@@ -1,0 +1,41 @@
+//! Topology-inference cost: BLU's deterministic gradient repair vs
+//! the MCMC baseline (the paper's §3.4 argument for the deterministic
+//! design), at testbed and NS3 scales.
+
+use blu_core::blueprint::mcmc::{infer_mcmc, McmcConfig};
+use blu_core::blueprint::{infer_topology, ConstraintSystem, InferenceConfig};
+use blu_sim::rng::DetRng;
+use blu_sim::topology::InterferenceTopology;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn system(n: usize, h: usize, seed: u64) -> ConstraintSystem {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let topo = InterferenceTopology::random(n, h, (0.15, 0.5), 0.35, &mut rng);
+    ConstraintSystem::from_topology(&topo)
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_inference");
+    for (name, n, h) in [("testbed_6x4", 6usize, 4usize), ("ns3_15x9", 15, 9)] {
+        let sys = system(n, h, 42);
+        group.bench_function(format!("gradient_{name}"), |b| {
+            b.iter(|| black_box(infer_topology(black_box(&sys), &InferenceConfig::default())))
+        });
+        group.bench_function(format!("mcmc_{name}"), |b| {
+            let cfg = McmcConfig {
+                steps: 5_000,
+                ..Default::default()
+            };
+            b.iter(|| black_box(infer_mcmc(black_box(&sys), &cfg, 1)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_inference
+}
+criterion_main!(benches);

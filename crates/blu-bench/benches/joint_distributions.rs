@@ -1,0 +1,57 @@
+//! Joint-access-distribution cost: topology-driven computation
+//! (BLU's §3.6 approach) vs counting patterns from raw traces.
+//!
+//! The paper notes that computing joint distributions directly from
+//! traces in real time is impractical even for 2-user MU-MIMO; the
+//! topology-driven DP is orders of magnitude cheaper and independent
+//! of trace length.
+
+use blu_core::joint::conditioning::Conditioning;
+use blu_core::joint::{AccessDistribution, EmpiricalPatternAccess, TopologyAccess};
+use blu_sim::clientset::ClientSet;
+use blu_sim::rng::DetRng;
+use blu_sim::topology::InterferenceTopology;
+use blu_traces::schema::AccessTrace;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_joint(c: &mut Criterion) {
+    let mut rng = DetRng::seed_from_u64(7);
+    let topo = InterferenceTopology::random(24, 16, (0.15, 0.5), 0.25, &mut rng);
+    // A 5-minute trace at sub-frame granularity (300k samples).
+    let accessible: Vec<ClientSet> = (0..300_000).map(|_| topo.sample_access(&mut rng)).collect();
+    let trace = AccessTrace {
+        n_ues: 24,
+        accessible,
+    };
+    let group_of_8 = ClientSet::from_iter([0, 3, 5, 8, 11, 14, 19, 23]);
+    let succeed = ClientSet::from_iter([0, 3, 5, 8]);
+    let fail = ClientSet::from_iter([11, 14, 19, 23]);
+
+    let mut g = c.benchmark_group("joint_distributions");
+    g.bench_function("topology_dp_8clients", |b| {
+        b.iter(|| {
+            // Fresh provider: measure the DP itself, not the cache.
+            let acc = TopologyAccess::new(&topo);
+            black_box(acc.pattern_distribution(black_box(group_of_8)))
+        })
+    });
+    g.bench_function("conditioning_recursion_p_joint", |b| {
+        let cond = Conditioning::new(&topo);
+        b.iter(|| black_box(cond.p_joint(black_box(succeed), black_box(fail))))
+    });
+    g.bench_function("empirical_from_trace_8clients", |b| {
+        b.iter(|| {
+            let acc = EmpiricalPatternAccess::new(&trace);
+            black_box(acc.pattern_distribution(black_box(group_of_8)))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_joint
+}
+criterion_main!(benches);

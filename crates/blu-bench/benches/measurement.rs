@@ -1,0 +1,29 @@
+//! Cost of planning the measurement phase (Algorithm 1) at the
+//! paper's operating points.
+
+use blu_core::measure::measurement_schedule;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_measurement(c: &mut Criterion) {
+    let mut g = c.benchmark_group("algorithm1");
+    for (n, k, t) in [(10usize, 4usize, 20u64), (20, 8, 50), (24, 10, 50)] {
+        g.bench_function(format!("plan_n{n}_k{k}_t{t}"), |b| {
+            b.iter(|| {
+                black_box(measurement_schedule(
+                    black_box(n),
+                    black_box(k),
+                    black_box(t),
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_measurement
+}
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Substrate kernel costs: zero-forcing MU-MIMO separation, DCF
+//! network simulation throughput, on/off trace generation, and the
+//! per-sub-frame emulation step.
+
+use blu_core::emulator::{EmulationConfig, Emulator};
+use blu_core::sched::PfScheduler;
+use blu_phy::cell::CellConfig;
+use blu_phy::mimo::zf_sinrs;
+use blu_sim::fading::Complex;
+use blu_sim::rng::DetRng;
+use blu_sim::time::Micros;
+use blu_traces::capture::{capture_synthetic, CaptureConfig};
+use blu_wifi::network::{WifiNetwork, WifiNetworkConfig, WifiStationSpec};
+use blu_wifi::onoff::OnOffSource;
+use blu_wifi::traffic::TrafficGen;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_zf(c: &mut Criterion) {
+    let mut rng = DetRng::seed_from_u64(1);
+    let s = std::f64::consts::FRAC_1_SQRT_2;
+    let chans: Vec<Vec<Complex>> = (0..4)
+        .map(|_| {
+            (0..4)
+                .map(|_| Complex::new(rng.gaussian() * s, rng.gaussian() * s))
+                .collect()
+        })
+        .collect();
+    c.bench_function("zf_sinrs_4x4", |b| {
+        b.iter(|| black_box(zf_sinrs(black_box(&chans), &[1.0, 2.0, 0.5, 1.5], 0.01)))
+    });
+}
+
+fn bench_dcf(c: &mut Criterion) {
+    c.bench_function("dcf_6_stations_100ms", |b| {
+        let stations: Vec<WifiStationSpec> = (0..6)
+            .map(|i| WifiStationSpec {
+                traffic: TrafficGen::iperf_default(),
+                dest: (i + 1) % 6,
+                snr_to_dest_db: 25.0,
+            })
+            .collect();
+        let cfg = WifiNetworkConfig::fully_connected(stations, Micros::from_millis(100));
+        b.iter(|| black_box(WifiNetwork::new(cfg.clone(), &DetRng::seed_from_u64(3)).run()))
+    });
+}
+
+fn bench_onoff(c: &mut Criterion) {
+    c.bench_function("onoff_generate_60s", |b| {
+        let src = OnOffSource::with_duty_cycle(0.4, 1_500.0);
+        b.iter(|| {
+            let mut rng = DetRng::seed_from_u64(4);
+            black_box(src.generate(Micros::from_secs(60), &mut rng))
+        })
+    });
+}
+
+fn bench_emulator(c: &mut Criterion) {
+    let trace = capture_synthetic(
+        &CaptureConfig {
+            duration: Micros::from_secs(10),
+            ..CaptureConfig::testbed_default()
+        },
+        5,
+    );
+    c.bench_function("emulate_pf_50_txops", |b| {
+        b.iter(|| {
+            let mut cfg = EmulationConfig::new(CellConfig::testbed_siso());
+            cfg.n_txops = 50;
+            black_box(Emulator::new(&trace, cfg).run(&mut PfScheduler, None))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_zf, bench_dcf, bench_onoff, bench_emulator
+}
+criterion_main!(benches);

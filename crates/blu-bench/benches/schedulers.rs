@@ -1,0 +1,59 @@
+//! Per-TxOP scheduling cost of PF, access-aware, and BLU speculative
+//! schedulers (24 UEs, 50 RBs) — BLU must fit comfortably inside an
+//! LTE scheduling interval to be deployable.
+
+use blu_core::joint::TopologyAccess;
+use blu_core::sched::{
+    AccessAwareScheduler, MatrixRates, PfScheduler, SchedInput, SpeculativeScheduler, UlScheduler,
+};
+use blu_sim::rng::DetRng;
+use blu_sim::topology::InterferenceTopology;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let n = 24;
+    let n_rbs = 50;
+    let mut rng = DetRng::seed_from_u64(1);
+    let topo = InterferenceTopology::random(n, 12, (0.15, 0.5), 0.25, &mut rng);
+    let rates = MatrixRates::build(n, n_rbs, |ue, rb| {
+        400.0 + ((ue * 31 + rb * 17) % 37) as f64 * 10.0
+    });
+    let avg: Vec<f64> = (0..n).map(|i| 50.0 + (i * 13 % 29) as f64).collect();
+    let p: Vec<f64> = (0..n).map(|i| topo.p_individual(i)).collect();
+
+    let mut group = c.benchmark_group("schedule_txop");
+    for (name, m, max_group) in [("siso", 1usize, 2usize), ("mumimo4", 4, 8)] {
+        let input = SchedInput {
+            n_clients: n,
+            n_rbs,
+            m_antennas: m,
+            k_max: 10,
+            max_group,
+            rates: &rates,
+            avg_tput: &avg,
+        };
+        group.bench_function(format!("pf_{name}"), |b| {
+            b.iter(|| black_box(PfScheduler.schedule(black_box(&input))))
+        });
+        group.bench_function(format!("aa_{name}"), |b| {
+            let mut aa = AccessAwareScheduler::new(p.clone());
+            b.iter(|| black_box(aa.schedule(black_box(&input))))
+        });
+        group.bench_function(format!("blu_{name}"), |b| {
+            // Fresh provider per iteration batch; the cache warms up
+            // exactly as it would across TxOPs in deployment.
+            let access = TopologyAccess::new(&topo);
+            let mut blu = SpeculativeScheduler::new(&access);
+            b.iter(|| black_box(blu.schedule(black_box(&input))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_schedulers
+}
+criterion_main!(benches);

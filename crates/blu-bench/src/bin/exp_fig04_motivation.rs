@@ -1,0 +1,187 @@
+//! Figure 4 — motivation: the cost of hidden terminals on LTE's
+//! scheduled uplink.
+//!
+//! * **Fig. 4a** — loss in sub-frame (RB) utilization under the
+//!   native PF scheduler as the number of hidden terminals per UE
+//!   grows (SISO and 2×2 MU-MIMO, 8-UE cell).
+//! * **Fig. 4b** — fraction of *fully occupied* sub-frames under the
+//!   same sweep.
+//! * **Fig. 4c** — number of hidden terminals when one WiFi cell is
+//!   replaced by an LTE cell in the same geometry (preamble vs
+//!   energy-detection sensing).
+
+use blu_bench::statsutil::mean;
+use blu_bench::table::save_results_json;
+use blu_bench::{ExpArgs, Table};
+use blu_core::emulator::{EmulationConfig, Emulator};
+use blu_core::sched::PfScheduler;
+use blu_phy::cell::CellConfig;
+use blu_sim::cca::SensingThresholds;
+use blu_sim::geometry::Region;
+use blu_sim::node::{Node, NodeKind};
+use blu_sim::pathloss::{LogDistance, Propagation, ShadowingField};
+use blu_sim::power::Dbm;
+use blu_sim::rng::DetRng;
+use blu_sim::time::Micros;
+use blu_sim::topology::count_hidden_terminals;
+use blu_traces::capture::capture_from_topology;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig4Row {
+    hts_per_ue: usize,
+    siso_utilization_loss: f64,
+    mumimo_utilization_loss: f64,
+    siso_full_subframes: f64,
+    mumimo_full_subframes: f64,
+}
+
+#[derive(Serialize)]
+struct Fig4cRow {
+    wifi_nodes: usize,
+    hidden_all_wifi: f64,
+    hidden_lte_wifi: f64,
+    ratio: f64,
+}
+
+fn pf_metrics(
+    trace: &blu_traces::schema::TestbedTrace,
+    cell: CellConfig,
+    n_txops: u64,
+) -> blu_core::metrics::UplinkMetrics {
+    let mut cfg = EmulationConfig::new(cell);
+    cfg.n_txops = n_txops;
+    Emulator::new(trace, cfg)
+        .run(&mut PfScheduler, None)
+        .metrics
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let n_txops = args.scaled(400, 60);
+    let trials = args.scaled(5, 2);
+
+    // ---- Fig. 4a / 4b ----
+    let mut table_ab = Table::new(
+        "Fig 4a/4b: PF under-utilization vs hidden terminals per UE (8 UEs)",
+        &[
+            "HTs/UE",
+            "SISO util-loss %",
+            "MUMIMO util-loss %",
+            "SISO full-SF %",
+            "MUMIMO full-SF %",
+        ],
+    );
+    let mut rows = Vec::new();
+    for hts_per_ue in [1usize, 2, 3, 4, 5, 6] {
+        let mut siso_loss = Vec::new();
+        let mut mu_loss = Vec::new();
+        let mut siso_full = Vec::new();
+        let mut mu_full = Vec::new();
+        for trial in 0..trials {
+            let topo = blu_bench::runners::topology_with_hts_per_ue(
+                8,
+                12,
+                hts_per_ue,
+                (0.2, 0.5),
+                args.seed + trial * 100 + hts_per_ue as u64,
+            );
+            let trace = capture_from_topology(
+                &topo,
+                Micros::from_secs(args.scaled(60, 10)),
+                1_500.0,
+                2,
+                50,
+                (12.0, 28.0),
+                args.seed + trial,
+            );
+            let mut siso = CellConfig::testbed_siso();
+            siso.max_ues_per_subframe = 10;
+            let m_siso = pf_metrics(&trace, siso, n_txops);
+            let mut mumimo = CellConfig::testbed_mumimo2();
+            mumimo.max_ues_per_subframe = 10;
+            let m_mu = pf_metrics(&trace, mumimo, n_txops);
+            siso_loss.push(1.0 - m_siso.rb_utilization());
+            mu_loss.push(1.0 - m_mu.rb_utilization());
+            siso_full.push(m_siso.full_subframe_fraction());
+            mu_full.push(m_mu.full_subframe_fraction());
+        }
+        let row = Fig4Row {
+            hts_per_ue,
+            siso_utilization_loss: mean(&siso_loss),
+            mumimo_utilization_loss: mean(&mu_loss),
+            siso_full_subframes: mean(&siso_full),
+            mumimo_full_subframes: mean(&mu_full),
+        };
+        table_ab.row(vec![
+            hts_per_ue.to_string(),
+            format!("{:.1}", row.siso_utilization_loss * 100.0),
+            format!("{:.1}", row.mumimo_utilization_loss * 100.0),
+            format!("{:.1}", row.siso_full_subframes * 100.0),
+            format!("{:.1}", row.mumimo_full_subframes * 100.0),
+        ]);
+        rows.push(row);
+    }
+    table_ab.print();
+    println!();
+
+    // ---- Fig. 4c ----
+    let mut table_c = Table::new(
+        "Fig 4c: hidden terminals, all-WiFi cell vs LTE cell in WiFi field",
+        &[
+            "WiFi nodes",
+            "hidden (all WiFi)",
+            "hidden (LTE cell)",
+            "ratio",
+        ],
+    );
+    let mut rows_c = Vec::new();
+    let mut rng = DetRng::seed_from_u64(args.seed);
+    for &n_wifi in &[10usize, 20, 30] {
+        let mut all_wifi = Vec::new();
+        let mut lte = Vec::new();
+        for _ in 0..args.scaled(40, 10) {
+            let region = Region::square(55.0);
+            let mut prop = Propagation::new(LogDistance::indoor_5ghz(), ShadowingField::disabled());
+            let head = Node::new(0, NodeKind::Enb, region.center());
+            let clients: Vec<Node> = region
+                .sample_uniform_n(4, &mut rng)
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| Node::new(1 + i as u32, NodeKind::Ue, p))
+                .collect();
+            let others: Vec<Node> = region
+                .sample_uniform_n(n_wifi, &mut rng)
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| Node::new(100 + i as u32, NodeKind::WifiSta, p))
+                .collect();
+            let th = SensingThresholds::default();
+            let floor = Dbm(-90.0);
+            let (w, _) =
+                count_hidden_terminals(&head, &clients, &others, &mut prop, &th, false, floor);
+            let (l, _) =
+                count_hidden_terminals(&head, &clients, &others, &mut prop, &th, true, floor);
+            all_wifi.push(w as f64);
+            lte.push(l as f64);
+        }
+        let row = Fig4cRow {
+            wifi_nodes: n_wifi,
+            hidden_all_wifi: mean(&all_wifi),
+            hidden_lte_wifi: mean(&lte),
+            ratio: mean(&lte) / mean(&all_wifi).max(1e-9),
+        };
+        table_c.row(vec![
+            n_wifi.to_string(),
+            format!("{:.2}", row.hidden_all_wifi),
+            format!("{:.2}", row.hidden_lte_wifi),
+            format!("{:.2}x", row.ratio),
+        ]);
+        rows_c.push(row);
+    }
+    table_c.print();
+
+    save_results_json("fig04ab", &rows).expect("write results");
+    save_results_json("fig04c", &rows_c).expect("write results");
+    println!("\nresults written to results/fig04ab.json, results/fig04c.json");
+}

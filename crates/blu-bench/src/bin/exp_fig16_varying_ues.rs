@@ -1,0 +1,82 @@
+//! Figure 16 — SISO throughput with varying numbers of UEs, with the
+//! joint access distributions coming from BLU's **inferred** topology
+//! (i.e. the full pipeline: measure → blue-print → condition →
+//! speculate).
+//!
+//! Paper shape: the gain over PF with the inferred topology is close
+//! to the perfect-knowledge gain (≈ 1.8× at 24 UEs), and grows with
+//! the number of UEs (more room for interference diversity).
+
+use blu_bench::runners::{compare_schedulers, emulated_large_trace, CompareOpts};
+use blu_bench::table::save_results_json;
+use blu_bench::{ExpArgs, Table};
+use blu_phy::cell::CellConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig16Row {
+    n_ues: usize,
+    pf_mbps: f64,
+    blu_inferred_mbps: f64,
+    blu_truth_mbps: f64,
+    inferred_gain: f64,
+    truth_gain: f64,
+    inference_accuracy: f64,
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let n_txops = args.scaled(1000, 120);
+
+    let mut table = Table::new(
+        "Fig 16: SISO throughput gain vs number of UEs (inferred topology)",
+        &[
+            "UEs",
+            "PF Mbps",
+            "BLU(inf) Mbps",
+            "BLU(truth) Mbps",
+            "gain(inf)",
+            "gain(truth)",
+            "inference acc",
+        ],
+    );
+    let mut rows = Vec::new();
+    for n_groups in [2usize, 3, 4, 5, 6] {
+        let n_ues = 4 * n_groups;
+        let trace = emulated_large_trace(
+            n_groups,
+            4,
+            6,
+            args.scaled(120, 20),
+            args.seed + n_groups as u64,
+        );
+        let mut cell = CellConfig::testbed_siso();
+        cell.max_ues_per_subframe = 10;
+        let mut opts = CompareOpts::new(cell, n_txops);
+        opts.with_inferred = true;
+        let cmp = compare_schedulers(&trace, &opts);
+        let inf = cmp.blu_inferred.as_ref().expect("inferred run");
+        let row = Fig16Row {
+            n_ues,
+            pf_mbps: cmp.pf.throughput_mbps(),
+            blu_inferred_mbps: inf.throughput_mbps(),
+            blu_truth_mbps: cmp.blu_truth.throughput_mbps(),
+            inferred_gain: inf.throughput_mbps() / cmp.pf.throughput_mbps(),
+            truth_gain: cmp.blu_truth.throughput_mbps() / cmp.pf.throughput_mbps(),
+            inference_accuracy: cmp.inference_accuracy.unwrap_or(f64::NAN),
+        };
+        table.row(vec![
+            n_ues.to_string(),
+            format!("{:.2}", row.pf_mbps),
+            format!("{:.2}", row.blu_inferred_mbps),
+            format!("{:.2}", row.blu_truth_mbps),
+            format!("{:.2}x", row.inferred_gain),
+            format!("{:.2}x", row.truth_gain),
+            format!("{:.2}", row.inference_accuracy),
+        ]);
+        rows.push(row);
+    }
+    table.print();
+    save_results_json("fig16", &rows).expect("write results");
+    println!("\nresults written to results/fig16.json");
+}

@@ -1,0 +1,134 @@
+//! §3.3 — measurement-overhead comparison.
+//!
+//! The cost of estimating k-client joint access distributions
+//! directly scales as `⌈C(N,k)/C(K,k)·T⌉` sub-frames and explodes
+//! with the MU-MIMO order (k up to 2M); BLU's pairwise measurements
+//! cost a constant `⌈C(N,2)/C(K,2)·T⌉`. The paper's example: all
+//! 6-client joints for M = 3, N = 20, K = 8 need ≈ 1384·T sub-frames
+//! versus < 7·T for pairwise. This binary regenerates that table and
+//! reports the sub-frame counts Algorithm 1 actually achieves against
+//! the pairwise floor.
+
+use blu_bench::table::save_results_json;
+use blu_bench::{ExpArgs, Table};
+use blu_core::measure::{measurement_schedule, min_subframes};
+use serde::Serialize;
+
+/// `C(n, k)` as f64 (plenty of range for the table's sizes).
+fn choose(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let mut out = 1.0;
+    for i in 0..k {
+        out *= (n - i) as f64 / (i + 1) as f64;
+    }
+    out
+}
+
+/// Sub-frames (in units of T) to measure all k-client joints.
+fn k_tuple_cost(n: usize, k_sched: usize, k: usize) -> f64 {
+    (choose(n, k) / choose(k_sched, k)).ceil()
+}
+
+#[derive(Serialize)]
+struct OverheadRow {
+    n: usize,
+    k_sched: usize,
+    m: usize,
+    tuple_cost_t: f64,
+    pairwise_floor_t: f64,
+    reduction: f64,
+}
+
+#[derive(Serialize)]
+struct Algorithm1Row {
+    n: usize,
+    k_sched: usize,
+    t: u64,
+    floor: u64,
+    achieved: u64,
+    overhead_pct: f64,
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+
+    let mut table = Table::new(
+        "Measurement overhead (units of T sub-frames): k-tuple vs pairwise",
+        &["N", "K", "M", "k=2M tuple cost", "pairwise", "reduction"],
+    );
+    let mut rows = Vec::new();
+    for &(n, k_sched, m) in &[
+        (20usize, 8usize, 1usize),
+        (20, 8, 2),
+        (20, 8, 3),
+        (20, 8, 4),
+        (24, 10, 2),
+        (24, 10, 4),
+        (12, 8, 2),
+    ] {
+        let k = 2 * m;
+        let tuple = k_tuple_cost(n, k_sched, k);
+        let pairwise = k_tuple_cost(n, k_sched, 2);
+        let row = OverheadRow {
+            n,
+            k_sched,
+            m,
+            tuple_cost_t: tuple,
+            pairwise_floor_t: pairwise,
+            reduction: tuple / pairwise,
+        };
+        table.row(vec![
+            n.to_string(),
+            k_sched.to_string(),
+            m.to_string(),
+            format!("{:.0}T", row.tuple_cost_t),
+            format!("{:.0}T", row.pairwise_floor_t),
+            format!("{:.0}x", row.reduction),
+        ]);
+        rows.push(row);
+    }
+    table.print();
+    println!("paper example: N=20, K=8, M=3 -> ~1384T vs <7T\n");
+
+    let mut table_a1 = Table::new(
+        "Algorithm 1: achieved measurement sub-frames vs floor",
+        &["N", "K", "T", "floor", "achieved", "overhead"],
+    );
+    let mut rows_a1 = Vec::new();
+    for &(n, k_sched, t) in &[
+        (10usize, 4usize, 20u64),
+        (20, 8, 50),
+        (24, 10, 50),
+        (16, 8, 30),
+        (8, 8, 50),
+    ] {
+        let plan = measurement_schedule(n, k_sched, t);
+        let floor = min_subframes(n, k_sched.min(n), t);
+        let row = Algorithm1Row {
+            n,
+            k_sched,
+            t,
+            floor,
+            achieved: plan.t_max(),
+            overhead_pct: 100.0 * (plan.t_max() as f64 / floor as f64 - 1.0),
+        };
+        table_a1.row(vec![
+            n.to_string(),
+            k_sched.to_string(),
+            t.to_string(),
+            floor.to_string(),
+            row.achieved.to_string(),
+            format!("{:.1}%", row.overhead_pct),
+        ]);
+        rows_a1.push(row);
+    }
+    table_a1.print();
+    println!("paper operating point: N=20, T=50, K=8 -> t_max ~340 sub-frames");
+
+    save_results_json("overhead_tuple_vs_pairwise", &rows).expect("write");
+    save_results_json("overhead_algorithm1", &rows_a1).expect("write");
+    println!("\nresults written to results/overhead_*.json");
+    let _ = args;
+}

@@ -1,0 +1,73 @@
+//! Minimal argument parsing shared by the experiment binaries.
+
+/// Common experiment arguments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpArgs {
+    /// Reduced trials/TxOPs for smoke runs.
+    pub quick: bool,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl ExpArgs {
+    /// Parse from `std::env::args()`: `--quick`, `--seed <u64>`.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit iterator (testable).
+    #[allow(clippy::should_implement_trait)] // parser entry point, not collection building
+    pub fn from_iter<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut out = ExpArgs {
+            quick: false,
+            seed: 42,
+        };
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--quick" => out.quick = true,
+                "--seed" => {
+                    let v = it.next().expect("--seed needs a value");
+                    out.seed = v.parse().expect("--seed must be a u64");
+                }
+                other => panic!("unknown argument: {other} (supported: --quick, --seed <u64>)"),
+            }
+        }
+        out
+    }
+
+    /// Pick between a full and a quick value.
+    pub fn scaled(&self, full: u64, quick: u64) -> u64 {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let a = ExpArgs::from_iter(Vec::<String>::new());
+        assert!(!a.quick);
+        assert_eq!(a.seed, 42);
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = ExpArgs::from_iter(["--quick", "--seed", "7"].iter().map(|s| s.to_string()));
+        assert!(a.quick);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.scaled(100, 5), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown argument")]
+    fn rejects_unknown() {
+        ExpArgs::from_iter(["--bogus".to_string()]);
+    }
+}

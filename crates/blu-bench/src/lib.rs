@@ -1,0 +1,21 @@
+//! # blu-bench — experiment harnesses and shared benchmark plumbing
+//!
+//! One binary per figure of the paper's evaluation (see DESIGN.md's
+//! per-experiment index), plus Criterion micro-benchmarks over the
+//! compute kernels. The binaries print the paper-style series to
+//! stdout and write machine-readable JSON into `results/`.
+//!
+//! Every binary accepts `--quick` (reduced trials/TxOPs, for smoke
+//! runs) and `--seed <u64>`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod runners;
+pub mod statsutil;
+pub mod table;
+
+pub use cli::ExpArgs;
+pub use runners::{compare_schedulers, SchedulerComparison};
+pub use table::Table;

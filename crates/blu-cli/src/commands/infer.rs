@@ -1,0 +1,65 @@
+//! `blu infer` — blue-print the hidden-terminal topology from a trace.
+
+use crate::args::Flags;
+use blu_core::blueprint::{infer_topology, topology_accuracy, ConstraintSystem, InferenceConfig};
+use blu_core::orchestrator::run_measurement_phase;
+use blu_traces::io::load_json;
+use blu_traces::stats::EmpiricalAccess;
+use std::path::Path;
+
+const HELP: &str = "blu infer <trace.json> — blue-print the interference topology
+
+OPTIONS:
+    --t <samples>   use an Algorithm-1 measurement phase with this many
+                    joint samples per pair instead of full-trace stats
+    --k <clients>   distinct clients per measurement sub-frame (default 8)
+    --restarts <n>  extra random inference restarts (default 6)";
+
+/// Run the subcommand.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["help"])?;
+    if flags.has("help") {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let path = flags.positional(0).ok_or("usage: blu infer <trace.json>")?;
+    let t = load_json(Path::new(path)).map_err(|e| e.to_string())?;
+    t.validate()?;
+
+    let sys = match flags.get("t") {
+        Some(_) => {
+            let samples: u64 = flags.get_or("t", 50u64)?;
+            let k: usize = flags.get_or("k", 8usize)?;
+            let (est, t_max) = run_measurement_phase(&t, k, samples);
+            println!("measurement phase: {t_max} sub-frames (T = {samples}, K = {k})");
+            ConstraintSystem::from_measurements(est.stats())
+        }
+        None => {
+            println!("using full-trace access statistics");
+            ConstraintSystem::from_measurements(&EmpiricalAccess::from_trace(&t.access))
+        }
+    };
+    let config = InferenceConfig {
+        random_restarts: flags.get_or("restarts", 6usize)?,
+        ..Default::default()
+    };
+    let result = infer_topology(&sys, &config);
+
+    println!(
+        "\ninferred blue-print ({} repair iterations over {} restarts, residual violation {:.5}):",
+        result.iterations, result.restarts, result.violation
+    );
+    for (k, ht) in result.topology.hts.iter().enumerate() {
+        println!("  HT {k}: q = {:.3}, blocks UEs {}", ht.q, ht.edges);
+    }
+    let acc = topology_accuracy(&t.ground_truth, &result.topology);
+    println!(
+        "\nvs ground truth: {} of {} terminals exact ({:.0}%), {} spurious, q MAE {:.3}",
+        acc.exact_matches,
+        acc.n_truth,
+        acc.exact_fraction() * 100.0,
+        acc.excess(),
+        acc.q_mae
+    );
+    Ok(())
+}

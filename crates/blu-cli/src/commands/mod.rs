@@ -1,0 +1,7 @@
+//! Subcommand implementations.
+
+pub mod eval;
+pub mod generate;
+pub mod infer;
+pub mod inspect;
+pub mod plan;

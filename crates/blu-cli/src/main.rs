@@ -1,0 +1,62 @@
+//! `blu` — command-line front end to the BLU reproduction.
+//!
+//! ```text
+//! blu generate --ues 8 --wifi 10 --seconds 60 --seed 7 --out trace.json
+//! blu inspect trace.json
+//! blu infer trace.json
+//! blu eval trace.json --scheduler blu --txops 500
+//! blu plan --clients 20 --k 8 --t 50
+//! ```
+//!
+//! Every subcommand works on the JSON trace format of `blu-traces`
+//! (see `blu generate`), so traces can be produced once and analyzed
+//! repeatedly — the same capture-then-replay workflow the paper uses.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "blu — blue-printing interference for LTE in unlicensed spectrum
+
+USAGE:
+    blu <COMMAND> [OPTIONS]
+
+COMMANDS:
+    generate   Generate a geometric scenario and write its trace
+    inspect    Summarize a trace: topology, activity, access stats
+    infer      Blue-print the hidden-terminal topology from a trace
+    eval       Replay a trace through a scheduler and report metrics
+    plan       Print an Algorithm-1 measurement plan
+    help       Show this message
+
+Run `blu <COMMAND> --help` for per-command options."
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "generate" => commands::generate::run(rest),
+        "inspect" => commands::inspect::run(rest),
+        "infer" => commands::infer::run(rest),
+        "eval" => commands::eval::run(rest),
+        "plan" => commands::plan::run(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

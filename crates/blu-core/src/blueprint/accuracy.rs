@@ -1,0 +1,147 @@
+//! The paper's topology-inference accuracy metric.
+//!
+//! §4.2.2: "a stringent accuracy metric, calculated as the fraction
+//! of the hidden terminals that are inferred with the exact same
+//! interference edges to specific UEs, when compared to the ground
+//! truth (even a single missing edge will prevent the match)."
+//!
+//! Both topologies are canonicalized first (duplicate edge sets
+//! merged), then ground-truth terminals are matched one-to-one
+//! against inferred terminals by exact edge-set equality.
+
+use blu_sim::topology::InterferenceTopology;
+use std::collections::HashMap;
+
+/// Accuracy report for an inferred topology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyReport {
+    /// Ground-truth hidden terminals (after canonicalization).
+    pub n_truth: usize,
+    /// Inferred hidden terminals (after canonicalization).
+    pub n_inferred: usize,
+    /// Terminals matched with the exact same edge set.
+    pub exact_matches: usize,
+    /// Mean absolute error of `q(k)` over the matched terminals
+    /// (NaN if none matched).
+    pub q_mae: f64,
+}
+
+impl AccuracyReport {
+    /// The paper's metric: matched / ground-truth count.
+    pub fn exact_fraction(&self) -> f64 {
+        if self.n_truth == 0 {
+            // Nothing to find: exact iff nothing was invented.
+            if self.n_inferred == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            self.exact_matches as f64 / self.n_truth as f64
+        }
+    }
+
+    /// Spurious terminals beyond the matches.
+    pub fn excess(&self) -> usize {
+        self.n_inferred.saturating_sub(self.exact_matches)
+    }
+}
+
+/// Score `inferred` against `truth`.
+pub fn topology_accuracy(
+    truth: &InterferenceTopology,
+    inferred: &InterferenceTopology,
+) -> AccuracyReport {
+    assert_eq!(truth.n_clients, inferred.n_clients);
+    let t = truth.canonicalize();
+    let i = inferred.canonicalize();
+    // Canonical topologies have unique edge sets, so matching is a
+    // hash join.
+    let inferred_by_edges: HashMap<u128, f64> = i.hts.iter().map(|ht| (ht.edges.0, ht.q)).collect();
+    let mut exact = 0usize;
+    let mut q_err = 0.0f64;
+    for ht in &t.hts {
+        if let Some(&qi) = inferred_by_edges.get(&ht.edges.0) {
+            exact += 1;
+            q_err += (qi - ht.q).abs();
+        }
+    }
+    AccuracyReport {
+        n_truth: t.hts.len(),
+        n_inferred: i.hts.len(),
+        exact_matches: exact,
+        q_mae: if exact > 0 {
+            q_err / exact as f64
+        } else {
+            f64::NAN
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blu_sim::topology::HiddenTerminal;
+
+    fn topo(n: usize, spec: &[(f64, &[usize])]) -> InterferenceTopology {
+        InterferenceTopology {
+            n_clients: n,
+            hts: spec
+                .iter()
+                .map(|&(q, edges)| HiddenTerminal {
+                    q,
+                    edges: edges.iter().copied().collect(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn perfect_match() {
+        let t = topo(3, &[(0.4, &[0, 1]), (0.2, &[2])]);
+        let r = topology_accuracy(&t, &t.clone());
+        assert_eq!(r.exact_fraction(), 1.0);
+        assert_eq!(r.excess(), 0);
+        assert!(r.q_mae < 1e-12);
+    }
+
+    #[test]
+    fn missing_edge_breaks_match() {
+        let truth = topo(3, &[(0.4, &[0, 1, 2])]);
+        let inferred = topo(3, &[(0.4, &[0, 1])]);
+        let r = topology_accuracy(&truth, &inferred);
+        assert_eq!(r.exact_matches, 0);
+        assert_eq!(r.exact_fraction(), 0.0);
+    }
+
+    #[test]
+    fn partial_match_counts_fraction() {
+        let truth = topo(4, &[(0.4, &[0, 1]), (0.3, &[2, 3])]);
+        let inferred = topo(4, &[(0.35, &[0, 1]), (0.3, &[1, 2, 3])]);
+        let r = topology_accuracy(&truth, &inferred);
+        assert_eq!(r.exact_matches, 1);
+        assert_eq!(r.exact_fraction(), 0.5);
+        assert_eq!(r.excess(), 1);
+        assert!((r.q_mae - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn canonicalization_merges_before_matching() {
+        // Two inferred HTs with the same edges merge into one whose
+        // combined q matches truth.
+        let truth = topo(2, &[(0.75, &[0, 1])]);
+        let inferred = topo(2, &[(0.5, &[0, 1]), (0.5, &[0, 1])]);
+        let r = topology_accuracy(&truth, &inferred);
+        assert_eq!(r.exact_matches, 1);
+        assert_eq!(r.n_inferred, 1);
+        assert!(r.q_mae < 1e-12);
+    }
+
+    #[test]
+    fn empty_truth_cases() {
+        let empty = InterferenceTopology::interference_free(2);
+        assert_eq!(topology_accuracy(&empty, &empty).exact_fraction(), 1.0);
+        let spurious = topo(2, &[(0.2, &[0])]);
+        assert_eq!(topology_accuracy(&empty, &spurious).exact_fraction(), 0.0);
+    }
+}

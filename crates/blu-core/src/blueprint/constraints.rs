@@ -1,0 +1,504 @@
+//! The constraint system of Eqn. 6.
+//!
+//! One constraint per client (`P(i) = Σ_k z_ik Q(k)`) and one per
+//! unordered pair (`P(i,j) = Σ_k z_ik z_jk Q(k)`). The inference
+//! algorithm manipulates topologies in the transformed domain; this
+//! module evaluates residuals and total violation.
+
+use crate::blueprint::transform::{pairwise_stat, transform_p, transform_q};
+use blu_sim::clientset::ClientSet;
+use blu_sim::topology::InterferenceTopology;
+use blu_traces::stats::{n_pairs, pair_index, EmpiricalAccess};
+
+/// A hidden terminal in the transformed domain: blocking weight
+/// `Q = −log(1−q)` plus its client edge set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransformedHt {
+    /// Blocking weight (≥ 0).
+    pub q_t: f64,
+    /// Impacted clients.
+    pub edges: ClientSet,
+}
+
+/// A candidate topology in the transformed domain.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TransformedTopology {
+    /// Hidden terminals.
+    pub hts: Vec<TransformedHt>,
+}
+
+impl TransformedTopology {
+    /// Convert to a probability-domain topology.
+    pub fn to_topology(&self, n_clients: usize) -> InterferenceTopology {
+        InterferenceTopology {
+            n_clients,
+            hts: self
+                .hts
+                .iter()
+                .map(|ht| blu_sim::topology::HiddenTerminal {
+                    q: crate::blueprint::transform::inverse_q(ht.q_t),
+                    edges: ht.edges,
+                })
+                .collect(),
+        }
+    }
+
+    /// Build from a probability-domain topology.
+    pub fn from_topology(topo: &InterferenceTopology) -> Self {
+        TransformedTopology {
+            hts: topo
+                .hts
+                .iter()
+                .map(|ht| TransformedHt {
+                    q_t: transform_q(ht.q),
+                    edges: ht.edges,
+                })
+                .collect(),
+        }
+    }
+
+    /// Drop HTs with no edges or negligible weight.
+    pub fn prune(&mut self, min_weight: f64) {
+        self.hts
+            .retain(|ht| !ht.edges.is_empty() && ht.q_t > min_weight);
+    }
+}
+
+/// Which constraint is referenced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintRef {
+    /// The individual constraint `P(i)`.
+    Individual(usize),
+    /// The pairwise constraint `P(i,j)`, `i < j`.
+    Pair(usize, usize),
+    /// A triple constraint (index into
+    /// [`ConstraintSystem::triples`]).
+    Triple(usize),
+}
+
+/// A third-order constraint: the total weight of hidden terminals
+/// covering all three clients (paper §3.5: extra joint measurements
+/// disambiguate skewed topologies that pairwise statistics cannot
+/// pin down).
+///
+/// In the transformed domain, with `A_i` the set of terminals
+/// covering client `i`,
+///
+/// ```text
+/// Q(A_i ∩ A_j ∩ A_k) = P(i) + P(j) + P(k)
+///                    − S(i,j) − S(i,k) − S(j,k) + S(i,j,k)
+/// ```
+///
+/// where `S(·) = −log p(·)` of the *joint access* of the set —
+/// inclusion–exclusion over union weights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TripleConstraint {
+    /// The three clients, `i < j < k`.
+    pub clients: (usize, usize, usize),
+    /// Transformed target weight.
+    pub target: f64,
+}
+
+/// The measured constraint targets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstraintSystem {
+    /// Number of clients.
+    pub n: usize,
+    /// Transformed individual targets `P(i)`.
+    pub individual: Vec<f64>,
+    /// Transformed pairwise targets `P(i,j)` (upper triangular, see
+    /// [`pair_index`]).
+    pub pair: Vec<f64>,
+    /// Optional third-order constraints (empty unless triple
+    /// measurements were taken).
+    pub triples: Vec<TripleConstraint>,
+}
+
+impl ConstraintSystem {
+    /// Build from exact probabilities of a ground-truth topology
+    /// (noiseless inputs — for testing inference in isolation).
+    pub fn from_topology(topo: &InterferenceTopology) -> Self {
+        let n = topo.n_clients;
+        let individual = (0..n).map(|i| transform_p(topo.p_individual(i))).collect();
+        let mut pair = vec![0.0; n_pairs(n)];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                pair[pair_index(n, i, j)] = pairwise_stat(
+                    topo.p_individual(i),
+                    topo.p_individual(j),
+                    topo.p_pair(i, j),
+                );
+            }
+        }
+        ConstraintSystem {
+            n,
+            individual,
+            pair,
+            triples: Vec::new(),
+        }
+    }
+
+    /// Build from measured access statistics. Unobserved clients or
+    /// pairs contribute zero-target constraints (no evidence of
+    /// blocking). Measured zeros are floored by add-half smoothing
+    /// (`p̂ ≥ 0.5/observations`) so a client that simply never won a
+    /// CCA during measurement does not produce an unbounded
+    /// constraint.
+    pub fn from_measurements(emp: &EmpiricalAccess) -> Self {
+        let n = emp.n;
+        let smooth = |p: Option<f64>, obs: u64| -> Option<f64> {
+            p.map(|v| {
+                let floor = 0.5 / obs.max(1) as f64;
+                v.max(floor).min(1.0)
+            })
+        };
+        let individual = (0..n)
+            .map(|i| transform_p(smooth(emp.p_individual(i), emp.obs_individual[i]).unwrap_or(1.0)))
+            .collect();
+        let mut pair = vec![0.0; n_pairs(n)];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let idx = pair_index(n, i, j);
+                let p_ij = smooth(emp.p_pair(i, j), emp.obs_pair[idx]);
+                let p_i = smooth(emp.p_individual(i), emp.obs_individual[i]);
+                let p_j = smooth(emp.p_individual(j), emp.obs_individual[j]);
+                if let (Some(pi), Some(pj), Some(pij)) = (p_i, p_j, p_ij) {
+                    pair[idx] = pairwise_stat(pi, pj, pij);
+                }
+            }
+        }
+        ConstraintSystem {
+            n,
+            individual,
+            pair,
+            triples: Vec::new(),
+        }
+    }
+
+    /// Add third-order constraints computed from a topology's exact
+    /// probabilities (for testing inference with triple evidence).
+    pub fn add_triples_from_topology(
+        &mut self,
+        topo: &InterferenceTopology,
+        triples: &[(usize, usize, usize)],
+    ) {
+        for &(i, j, k) in triples {
+            let stat = triple_stat(|s: ClientSet| topo.p_all_access(s), self.n, i, j, k);
+            self.triples.push(TripleConstraint {
+                clients: sort3(i, j, k),
+                target: stat,
+            });
+        }
+    }
+
+    /// Add third-order constraints measured from a full access trace
+    /// (the paper's "additional joint access distribution … from
+    /// existing (new) measurements").
+    pub fn add_triples_from_trace(
+        &mut self,
+        trace: &blu_traces::schema::AccessTrace,
+        triples: &[(usize, usize, usize)],
+    ) {
+        for &(i, j, k) in triples {
+            let stat = triple_stat(
+                |s: ClientSet| blu_traces::stats::empirical_joint(trace, s, ClientSet::EMPTY),
+                self.n,
+                i,
+                j,
+                k,
+            );
+            self.triples.push(TripleConstraint {
+                clients: sort3(i, j, k),
+                target: stat,
+            });
+        }
+    }
+
+    /// Residual of one constraint for a candidate topology:
+    /// `Σ contributions − target` (positive = over-contribution).
+    pub fn residual(&self, topo: &TransformedTopology, c: ConstraintRef) -> f64 {
+        match c {
+            ConstraintRef::Individual(i) => {
+                let contrib: f64 = topo
+                    .hts
+                    .iter()
+                    .filter(|ht| ht.edges.contains(i))
+                    .map(|ht| ht.q_t)
+                    .sum();
+                contrib - self.individual[i]
+            }
+            ConstraintRef::Pair(i, j) => {
+                let contrib: f64 = topo
+                    .hts
+                    .iter()
+                    .filter(|ht| ht.edges.contains(i) && ht.edges.contains(j))
+                    .map(|ht| ht.q_t)
+                    .sum();
+                contrib - self.pair[pair_index(self.n, i, j)]
+            }
+            ConstraintRef::Triple(t) => {
+                let (i, j, k) = self.triples[t].clients;
+                let contrib: f64 = topo
+                    .hts
+                    .iter()
+                    .filter(|ht| {
+                        ht.edges.contains(i) && ht.edges.contains(j) && ht.edges.contains(k)
+                    })
+                    .map(|ht| ht.q_t)
+                    .sum();
+                contrib - self.triples[t].target
+            }
+        }
+    }
+
+    /// Iterate every constraint reference.
+    pub fn all_constraints(&self) -> impl Iterator<Item = ConstraintRef> + '_ {
+        let n = self.n;
+        (0..n)
+            .map(ConstraintRef::Individual)
+            .chain((0..n).flat_map(move |i| ((i + 1)..n).map(move |j| ConstraintRef::Pair(i, j))))
+            .chain((0..self.triples.len()).map(ConstraintRef::Triple))
+    }
+
+    /// Total violation `Σ |residual|` over all constraints.
+    pub fn total_violation(&self, topo: &TransformedTopology) -> f64 {
+        self.all_constraints()
+            .map(|c| self.residual(topo, c).abs())
+            .sum()
+    }
+
+    /// The constraint with the largest absolute residual, with that
+    /// residual. `None` if there are no constraints.
+    pub fn max_violated(&self, topo: &TransformedTopology) -> Option<(ConstraintRef, f64)> {
+        self.all_constraints()
+            .map(|c| (c, self.residual(topo, c)))
+            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+    }
+}
+
+/// Sort a client triple ascending.
+fn sort3(i: usize, j: usize, k: usize) -> (usize, usize, usize) {
+    let mut v = [i, j, k];
+    v.sort_unstable();
+    assert!(
+        v[0] < v[1] && v[1] < v[2],
+        "triple clients must be distinct"
+    );
+    (v[0], v[1], v[2])
+}
+
+/// The transformed third-order statistic via inclusion–exclusion of
+/// joint-access log-probabilities.
+fn triple_stat(p_all: impl Fn(ClientSet) -> f64, _n: usize, i: usize, j: usize, k: usize) -> f64 {
+    use crate::blueprint::transform::transform_p;
+    let s = |set: ClientSet| transform_p(p_all(set));
+    let singles =
+        s(ClientSet::singleton(i)) + s(ClientSet::singleton(j)) + s(ClientSet::singleton(k));
+    let pairs = s(ClientSet::from_iter([i, j]))
+        + s(ClientSet::from_iter([i, k]))
+        + s(ClientSet::from_iter([j, k]));
+    let triple = s(ClientSet::from_iter([i, j, k]));
+    (singles - pairs + triple).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blu_sim::rng::DetRng;
+
+    fn random_topo(seed: u64) -> InterferenceTopology {
+        let mut rng = DetRng::seed_from_u64(seed);
+        InterferenceTopology::random(5, 4, (0.1, 0.7), 0.4, &mut rng)
+    }
+
+    #[test]
+    fn ground_truth_has_zero_violation() {
+        // DESIGN.md invariant 3: a ground-truth topology satisfies
+        // its own constraint system exactly.
+        for seed in 0..20 {
+            let topo = random_topo(seed);
+            let sys = ConstraintSystem::from_topology(&topo);
+            let t = TransformedTopology::from_topology(&topo);
+            let v = sys.total_violation(&t);
+            assert!(v < 1e-7, "seed {seed}: violation {v}");
+        }
+    }
+
+    #[test]
+    fn empty_topology_violation_is_sum_of_targets() {
+        let topo = random_topo(1);
+        let sys = ConstraintSystem::from_topology(&topo);
+        let empty = TransformedTopology::default();
+        let want: f64 = sys.individual.iter().sum::<f64>() + sys.pair.iter().sum::<f64>();
+        assert!((sys.total_violation(&empty) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_violated_finds_the_worst() {
+        let topo = random_topo(2);
+        let sys = ConstraintSystem::from_topology(&topo);
+        let empty = TransformedTopology::default();
+        let (c, r) = sys.max_violated(&empty).unwrap();
+        // All residuals are −target; worst is the largest target.
+        let max_ind = sys.individual.iter().cloned().fold(f64::MIN, f64::max);
+        let max_pair = sys.pair.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((r.abs() - max_ind.max(max_pair)).abs() < 1e-12, "{c:?} {r}");
+    }
+
+    #[test]
+    fn constraint_count() {
+        let topo = random_topo(3);
+        let sys = ConstraintSystem::from_topology(&topo);
+        assert_eq!(sys.all_constraints().count(), 5 + 10);
+    }
+
+    #[test]
+    fn from_measurements_approximates_from_topology() {
+        let topo = random_topo(4);
+        let mut rng = DetRng::seed_from_u64(99);
+        let mut emp = EmpiricalAccess::new(5);
+        let all = ClientSet::all(5);
+        for _ in 0..200_000 {
+            emp.record(all, topo.sample_access(&mut rng));
+        }
+        let measured = ConstraintSystem::from_measurements(&emp);
+        let exact = ConstraintSystem::from_topology(&topo);
+        for i in 0..5 {
+            assert!(
+                (measured.individual[i] - exact.individual[i]).abs() < 0.05,
+                "P({i})"
+            );
+        }
+        for (m, e) in measured.pair.iter().zip(&exact.pair) {
+            assert!((m - e).abs() < 0.05, "{m} vs {e}");
+        }
+    }
+
+    #[test]
+    fn prune_drops_weightless_hts() {
+        let mut t = TransformedTopology {
+            hts: vec![
+                TransformedHt {
+                    q_t: 0.5,
+                    edges: ClientSet::singleton(0),
+                },
+                TransformedHt {
+                    q_t: 1e-9,
+                    edges: ClientSet::singleton(1),
+                },
+                TransformedHt {
+                    q_t: 0.7,
+                    edges: ClientSet::EMPTY,
+                },
+            ],
+        };
+        t.prune(1e-6);
+        assert_eq!(t.hts.len(), 1);
+    }
+
+    #[test]
+    fn transformed_roundtrip() {
+        let topo = random_topo(5);
+        let t = TransformedTopology::from_topology(&topo);
+        let back = t.to_topology(5);
+        for (a, b) in topo.hts.iter().zip(&back.hts) {
+            assert!((a.q - b.q).abs() < 1e-9);
+            assert_eq!(a.edges, b.edges);
+        }
+    }
+}
+
+#[cfg(test)]
+mod triple_tests {
+    use super::*;
+    use blu_sim::rng::DetRng;
+    use blu_sim::topology::HiddenTerminal;
+
+    fn topo(n: usize, spec: &[(f64, &[usize])]) -> InterferenceTopology {
+        InterferenceTopology {
+            n_clients: n,
+            hts: spec
+                .iter()
+                .map(|&(q, edges)| HiddenTerminal {
+                    q,
+                    edges: edges.iter().copied().collect(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn triple_stat_is_exact_on_random_topologies() {
+        let mut rng = DetRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let t = InterferenceTopology::random(6, 5, (0.1, 0.7), 0.45, &mut rng);
+            let mut sys = ConstraintSystem::from_topology(&t);
+            sys.add_triples_from_topology(&t, &[(0, 1, 2), (1, 3, 5), (2, 3, 4)]);
+            let tt = TransformedTopology::from_topology(&t);
+            assert!(
+                sys.total_violation(&tt) < 1e-6,
+                "violation {} with triples",
+                sys.total_violation(&tt)
+            );
+        }
+    }
+
+    #[test]
+    fn triangle_and_star_agree_pairwise_but_differ_on_triples() {
+        // The classic ambiguity: three pairwise terminals (triangle)
+        // vs one shared terminal plus three singles (star) induce
+        // IDENTICAL pairwise statistics but different triple weight.
+        let q = 0.4;
+        let triangle = topo(3, &[(q, &[0, 1]), (q, &[0, 2]), (q, &[1, 2])]);
+        let star = topo(3, &[(q, &[0, 1, 2]), (q, &[0]), (q, &[1]), (q, &[2])]);
+        let sys_tri = ConstraintSystem::from_topology(&triangle);
+        let sys_star = ConstraintSystem::from_topology(&star);
+        for i in 0..3 {
+            assert!((sys_tri.individual[i] - sys_star.individual[i]).abs() < 1e-12);
+        }
+        for (a, b) in sys_tri.pair.iter().zip(&sys_star.pair) {
+            assert!((a - b).abs() < 1e-12, "pairwise stats must coincide");
+        }
+        // Both topologies satisfy the OTHER's pairwise system…
+        let t_tri = TransformedTopology::from_topology(&triangle);
+        let t_star = TransformedTopology::from_topology(&star);
+        assert!(sys_star.total_violation(&t_tri) < 1e-9);
+        assert!(sys_tri.total_violation(&t_star) < 1e-9);
+        // …but the triple constraint separates them.
+        let mut sys_star3 = sys_star.clone();
+        sys_star3.add_triples_from_topology(&star, &[(0, 1, 2)]);
+        assert!(
+            sys_star3.total_violation(&t_star) < 1e-9,
+            "truth still fits"
+        );
+        assert!(
+            sys_star3.total_violation(&t_tri) > 0.1,
+            "triangle must now violate: {}",
+            sys_star3.total_violation(&t_tri)
+        );
+    }
+
+    #[test]
+    fn measured_triples_approximate_exact() {
+        let mut rng = DetRng::seed_from_u64(2);
+        let t = InterferenceTopology::random(5, 4, (0.2, 0.6), 0.5, &mut rng);
+        let accessible: Vec<ClientSet> = (0..150_000).map(|_| t.sample_access(&mut rng)).collect();
+        let trace = blu_traces::schema::AccessTrace {
+            n_ues: 5,
+            accessible,
+        };
+        let mut sys_exact = ConstraintSystem::from_topology(&t);
+        sys_exact.add_triples_from_topology(&t, &[(0, 1, 2), (2, 3, 4)]);
+        let mut sys_meas = ConstraintSystem::from_topology(&t);
+        sys_meas.add_triples_from_trace(&trace, &[(0, 1, 2), (2, 3, 4)]);
+        for (a, b) in sys_exact.triples.iter().zip(&sys_meas.triples) {
+            assert_eq!(a.clients, b.clients);
+            assert!(
+                (a.target - b.target).abs() < 0.05,
+                "exact {} vs measured {}",
+                a.target,
+                b.target
+            );
+        }
+    }
+}

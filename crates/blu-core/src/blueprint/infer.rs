@@ -1,0 +1,801 @@
+//! Gradient topology repair (paper §3.4.2).
+//!
+//! Start from a candidate topology; at each iteration find the
+//! maximally-violated constraint and enumerate the paper's repair
+//! moves (adjust a hidden terminal's weight, add/remove edges, spawn
+//! a new hidden terminal); apply the move that most reduces total
+//! violation; stop at (near-)zero violation or an iteration budget,
+//! keeping the best configuration seen. Residuals are maintained
+//! incrementally so candidate evaluation costs `O(|edges|²)` instead
+//! of a full constraint sweep.
+
+use crate::blueprint::constraints::{
+    ConstraintRef, ConstraintSystem, TransformedHt, TransformedTopology,
+};
+use blu_sim::clientset::ClientSet;
+use blu_sim::topology::InterferenceTopology;
+use blu_traces::stats::pair_index;
+
+/// Weight below which a hidden terminal is considered gone.
+const MIN_WEIGHT: f64 = 1e-4;
+
+/// Configuration of the repair loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InferenceConfig {
+    /// Iteration budget per restart.
+    pub max_iters: usize,
+    /// Total violation below which the topology is accepted.
+    pub epsilon: f64,
+    /// Number of random restarts (in addition to the structured
+    /// initializations).
+    pub random_restarts: usize,
+    /// Enable the weight-refinement pass after structural repair.
+    pub refine_weights: bool,
+}
+
+impl Default for InferenceConfig {
+    fn default() -> Self {
+        InferenceConfig {
+            max_iters: 400,
+            epsilon: 1e-6,
+            random_restarts: 6,
+            refine_weights: true,
+        }
+    }
+}
+
+/// Result of inference.
+#[derive(Debug, Clone)]
+pub struct InferenceResult {
+    /// The inferred topology (probability domain, canonicalized).
+    pub topology: InterferenceTopology,
+    /// Total violation of the returned topology.
+    pub violation: f64,
+    /// Repair iterations spent across all restarts.
+    pub iterations: usize,
+    /// Number of restarts attempted.
+    pub restarts: usize,
+}
+
+/// The repair engine: a candidate topology plus incrementally
+/// maintained residuals against a constraint system.
+pub(crate) struct Repairer<'a> {
+    sys: &'a ConstraintSystem,
+    topo: TransformedTopology,
+    /// Residual (contribution − target) per individual constraint.
+    ind_res: Vec<f64>,
+    /// Residual per pair constraint.
+    pair_res: Vec<f64>,
+    /// Residual per triple constraint (empty unless triples given).
+    triple_res: Vec<f64>,
+}
+
+/// One repair move.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Move {
+    /// `q_t[k] += delta` (delta may be negative but must keep > 0).
+    AdjustWeight { k: usize, delta: f64 },
+    /// Add edges `added` to HT `k`.
+    AddEdges { k: usize, added: ClientSet },
+    /// Remove edges `removed` from HT `k`.
+    RemoveEdges { k: usize, removed: ClientSet },
+    /// Create a new HT.
+    NewHt { edges: ClientSet, q_t: f64 },
+}
+
+impl<'a> Repairer<'a> {
+    pub(crate) fn new(sys: &'a ConstraintSystem, start: TransformedTopology) -> Self {
+        let mut r = Repairer {
+            sys,
+            topo: TransformedTopology::default(),
+            ind_res: sys.individual.iter().map(|t| -t).collect(),
+            pair_res: sys.pair.iter().map(|t| -t).collect(),
+            triple_res: sys.triples.iter().map(|t| -t.target).collect(),
+        };
+        for ht in start.hts {
+            r.apply(Move::NewHt {
+                edges: ht.edges,
+                q_t: ht.q_t,
+            });
+        }
+        r
+    }
+
+    fn total_violation(&self) -> f64 {
+        self.ind_res.iter().map(|r| r.abs()).sum::<f64>()
+            + self.pair_res.iter().map(|r| r.abs()).sum::<f64>()
+            + self.triple_res.iter().map(|r| r.abs()).sum::<f64>()
+    }
+
+    fn max_violated(&self) -> (ConstraintRef, f64) {
+        let mut best = (ConstraintRef::Individual(0), 0.0f64);
+        for (i, &r) in self.ind_res.iter().enumerate() {
+            if r.abs() > best.1.abs() {
+                best = (ConstraintRef::Individual(i), r);
+            }
+        }
+        let n = self.sys.n;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let r = self.pair_res[pair_index(n, i, j)];
+                if r.abs() > best.1.abs() {
+                    best = (ConstraintRef::Pair(i, j), r);
+                }
+            }
+        }
+        for (t, &r) in self.triple_res.iter().enumerate() {
+            if r.abs() > best.1.abs() {
+                best = (ConstraintRef::Triple(t), r);
+            }
+        }
+        best
+    }
+
+    /// Triple indices fully covered by `edges`.
+    fn triples_within(&self, edges: ClientSet) -> Vec<usize> {
+        self.sys
+            .triples
+            .iter()
+            .enumerate()
+            .filter(|(_, tc)| {
+                let (i, j, k) = tc.clients;
+                edges.contains(i) && edges.contains(j) && edges.contains(k)
+            })
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// Add `delta` contribution to every constraint touched by
+    /// `edges` (individuals of members, pairs within).
+    fn shift_residuals(&mut self, edges: ClientSet, delta: f64) {
+        let members: Vec<usize> = edges.iter().collect();
+        for &i in &members {
+            self.ind_res[i] += delta;
+        }
+        for (a, &i) in members.iter().enumerate() {
+            for &j in &members[a + 1..] {
+                self.pair_res[pair_index(self.sys.n, i, j)] += delta;
+            }
+        }
+        for t in self.triples_within(edges) {
+            self.triple_res[t] += delta;
+        }
+    }
+
+    /// Violation delta of shifting the constraints touched by `edges`
+    /// by `delta`, without applying.
+    fn shift_cost(&self, edges: ClientSet, delta: f64) -> f64 {
+        let members: Vec<usize> = edges.iter().collect();
+        let mut cost = 0.0;
+        for &i in &members {
+            let r = self.ind_res[i];
+            cost += (r + delta).abs() - r.abs();
+        }
+        for (a, &i) in members.iter().enumerate() {
+            for &j in &members[a + 1..] {
+                let r = self.pair_res[pair_index(self.sys.n, i, j)];
+                cost += (r + delta).abs() - r.abs();
+            }
+        }
+        for t in self.triples_within(edges) {
+            let r = self.triple_res[t];
+            cost += (r + delta).abs() - r.abs();
+        }
+        cost
+    }
+
+    /// Violation delta of changing HT `k`'s edge set from `old` to
+    /// `new` at weight `w` (constraints leaving lose `w`, joining
+    /// gain `w`; pairs recomputed exactly).
+    fn edge_change_cost(&self, old: ClientSet, new: ClientSet, w: f64) -> f64 {
+        let mut cost = 0.0;
+        // Individuals.
+        for i in old.difference(new).iter() {
+            let r = self.ind_res[i];
+            cost += (r - w).abs() - r.abs();
+        }
+        for i in new.difference(old).iter() {
+            let r = self.ind_res[i];
+            cost += (r + w).abs() - r.abs();
+        }
+        // Pairs: covered before vs after.
+        let union = old.union(new);
+        let members: Vec<usize> = union.iter().collect();
+        for (a, &i) in members.iter().enumerate() {
+            for &j in &members[a + 1..] {
+                let before = old.contains(i) && old.contains(j);
+                let after = new.contains(i) && new.contains(j);
+                if before == after {
+                    continue;
+                }
+                let delta = if after { w } else { -w };
+                let r = self.pair_res[pair_index(self.sys.n, i, j)];
+                cost += (r + delta).abs() - r.abs();
+            }
+        }
+        // Triples: coverage changes.
+        for (t, tc) in self.sys.triples.iter().enumerate() {
+            let (i, j, k) = tc.clients;
+            let before = old.contains(i) && old.contains(j) && old.contains(k);
+            let after = new.contains(i) && new.contains(j) && new.contains(k);
+            if before == after {
+                continue;
+            }
+            let delta = if after { w } else { -w };
+            let r = self.triple_res[t];
+            cost += (r + delta).abs() - r.abs();
+        }
+        cost
+    }
+
+    fn move_cost(&self, m: Move) -> f64 {
+        match m {
+            Move::AdjustWeight { k, delta } => self.shift_cost(self.topo.hts[k].edges, delta),
+            Move::AddEdges { k, added } => {
+                let ht = &self.topo.hts[k];
+                self.edge_change_cost(ht.edges, ht.edges.union(added), ht.q_t)
+            }
+            Move::RemoveEdges { k, removed } => {
+                let ht = &self.topo.hts[k];
+                self.edge_change_cost(ht.edges, ht.edges.difference(removed), ht.q_t)
+            }
+            Move::NewHt { edges, q_t } => self.shift_cost(edges, q_t),
+        }
+    }
+
+    fn apply(&mut self, m: Move) {
+        match m {
+            Move::AdjustWeight { k, delta } => {
+                let edges = self.topo.hts[k].edges;
+                self.shift_residuals(edges, delta);
+                self.topo.hts[k].q_t += delta;
+            }
+            Move::AddEdges { k, added } => {
+                let ht = self.topo.hts[k];
+                let new = ht.edges.union(added);
+                self.apply_edge_change(k, ht.edges, new, ht.q_t);
+            }
+            Move::RemoveEdges { k, removed } => {
+                let ht = self.topo.hts[k];
+                let new = ht.edges.difference(removed);
+                self.apply_edge_change(k, ht.edges, new, ht.q_t);
+            }
+            Move::NewHt { edges, q_t } => {
+                self.shift_residuals(edges, q_t);
+                self.topo.hts.push(TransformedHt { q_t, edges });
+            }
+        }
+    }
+
+    fn apply_edge_change(&mut self, k: usize, old: ClientSet, new: ClientSet, w: f64) {
+        for i in old.difference(new).iter() {
+            self.ind_res[i] -= w;
+        }
+        for i in new.difference(old).iter() {
+            self.ind_res[i] += w;
+        }
+        let union = old.union(new);
+        let members: Vec<usize> = union.iter().collect();
+        for (a, &i) in members.iter().enumerate() {
+            for &j in &members[a + 1..] {
+                let before = old.contains(i) && old.contains(j);
+                let after = new.contains(i) && new.contains(j);
+                if before != after {
+                    let delta = if after { w } else { -w };
+                    self.pair_res[pair_index(self.sys.n, i, j)] += delta;
+                }
+            }
+        }
+        for (t, tc) in self.sys.triples.iter().enumerate() {
+            let (ti, tj, tk) = tc.clients;
+            let before = old.contains(ti) && old.contains(tj) && old.contains(tk);
+            let after = new.contains(ti) && new.contains(tj) && new.contains(tk);
+            if before != after {
+                self.triple_res[t] += if after { w } else { -w };
+            }
+        }
+        self.topo.hts[k].edges = new;
+    }
+
+    /// Enumerate repair candidates for the given violated constraint
+    /// (the paper's Case 1 / Case 2 catalogues).
+    fn candidates(&self, c: ConstraintRef, residual: f64) -> Vec<Move> {
+        let mut out = Vec::new();
+        let over = residual > 0.0;
+        let mag = residual.abs();
+        match c {
+            ConstraintRef::Individual(i) => {
+                for (k, ht) in self.topo.hts.iter().enumerate() {
+                    let has = ht.edges.contains(i);
+                    if over && has {
+                        // Reduce contribution or drop the edge.
+                        if ht.q_t - mag > MIN_WEIGHT {
+                            out.push(Move::AdjustWeight { k, delta: -mag });
+                        }
+                        out.push(Move::RemoveEdges {
+                            k,
+                            removed: ClientSet::singleton(i),
+                        });
+                    } else if !over && has {
+                        out.push(Move::AdjustWeight { k, delta: mag });
+                    } else if !over && !has {
+                        out.push(Move::AddEdges {
+                            k,
+                            added: ClientSet::singleton(i),
+                        });
+                    }
+                }
+                if !over {
+                    out.push(Move::NewHt {
+                        edges: ClientSet::singleton(i),
+                        q_t: mag,
+                    });
+                }
+            }
+            ConstraintRef::Pair(i, j) => {
+                let pair = ClientSet::from_iter([i, j]);
+                for (k, ht) in self.topo.hts.iter().enumerate() {
+                    let shared = ht.edges.contains(i) && ht.edges.contains(j);
+                    if over && shared {
+                        if ht.q_t - mag > MIN_WEIGHT {
+                            out.push(Move::AdjustWeight { k, delta: -mag });
+                        }
+                        out.push(Move::RemoveEdges {
+                            k,
+                            removed: ClientSet::singleton(i),
+                        });
+                        out.push(Move::RemoveEdges {
+                            k,
+                            removed: ClientSet::singleton(j),
+                        });
+                        out.push(Move::RemoveEdges { k, removed: pair });
+                    } else if !over && shared {
+                        out.push(Move::AdjustWeight { k, delta: mag });
+                    } else if !over && !shared {
+                        // Add the missing edge(s).
+                        let missing = pair.difference(ht.edges);
+                        out.push(Move::AddEdges { k, added: missing });
+                    }
+                }
+                if !over {
+                    out.push(Move::NewHt {
+                        edges: pair,
+                        q_t: mag,
+                    });
+                }
+            }
+            ConstraintRef::Triple(t) => {
+                let (i, j, k) = self.sys.triples[t].clients;
+                let trio = ClientSet::from_iter([i, j, k]);
+                for (kk, ht) in self.topo.hts.iter().enumerate() {
+                    let covers =
+                        ht.edges.contains(i) && ht.edges.contains(j) && ht.edges.contains(k);
+                    if over && covers {
+                        if ht.q_t - mag > MIN_WEIGHT {
+                            out.push(Move::AdjustWeight { k: kk, delta: -mag });
+                        }
+                        // Break the triple coverage by dropping any
+                        // one of the three edges.
+                        for c in [i, j, k] {
+                            out.push(Move::RemoveEdges {
+                                k: kk,
+                                removed: ClientSet::singleton(c),
+                            });
+                        }
+                    } else if !over && covers {
+                        out.push(Move::AdjustWeight { k: kk, delta: mag });
+                    } else if !over && !covers {
+                        let missing = trio.difference(ht.edges);
+                        out.push(Move::AddEdges {
+                            k: kk,
+                            added: missing,
+                        });
+                    }
+                }
+                if !over {
+                    out.push(Move::NewHt {
+                        edges: trio,
+                        q_t: mag,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Run the repair loop; returns (best topology, its violation,
+    /// iterations used).
+    pub(crate) fn run(
+        mut self,
+        max_iters: usize,
+        epsilon: f64,
+    ) -> (TransformedTopology, f64, usize) {
+        /// Non-improving iterations tolerated before giving up on
+        /// this restart (the move catalogue is uphill-capable, so
+        /// bounded patience beats both strict descent and cycling to
+        /// the iteration cap).
+        const PATIENCE: usize = 60;
+        let mut best = self.topo.clone();
+        let mut best_v = self.total_violation();
+        let mut iters = 0;
+        let mut stagnant = 0usize;
+        while iters < max_iters && stagnant < PATIENCE {
+            iters += 1;
+            let v = self.total_violation();
+            if v < best_v - 1e-12 {
+                best = self.topo.clone();
+                best_v = v;
+                stagnant = 0;
+            } else {
+                stagnant += 1;
+            }
+            if v < epsilon {
+                break;
+            }
+            let (c, r) = self.max_violated();
+            if r.abs() < epsilon {
+                break;
+            }
+            let cands = self.candidates(c, r);
+            if cands.is_empty() {
+                break;
+            }
+            let (m, _cost) = cands
+                .into_iter()
+                .map(|m| (m, self.move_cost(m)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .expect("non-empty candidates");
+            self.apply(m);
+            // Garbage-collect dead HTs so candidate lists stay small.
+            if iters % 16 == 0 {
+                self.gc();
+            }
+        }
+        let v = self.total_violation();
+        if v < best_v {
+            best = self.topo.clone();
+            best_v = v;
+        }
+        best.prune(MIN_WEIGHT);
+        (best, best_v, iters)
+    }
+
+    /// Remove edgeless/weightless HTs, keeping residuals consistent.
+    fn gc(&mut self) {
+        let mut k = 0;
+        while k < self.topo.hts.len() {
+            let ht = self.topo.hts[k];
+            if ht.edges.is_empty() || ht.q_t <= MIN_WEIGHT {
+                // Undo its contribution, then drop it.
+                self.shift_residuals(ht.edges, -ht.q_t);
+                self.topo.hts.swap_remove(k);
+            } else {
+                k += 1;
+            }
+        }
+    }
+}
+
+/// Local polish: single-edge toggles on the inferred terminals,
+/// accepted whenever they reduce total violation, interleaved with
+/// weight re-fits. The strict exact-edge-set metric is most often
+/// lost to exactly one wrong edge; this pass repairs those directly.
+pub fn polish(sys: &ConstraintSystem, topo: &mut TransformedTopology, passes: usize) {
+    for _ in 0..passes {
+        let mut improved = false;
+        let mut r = Repairer::new(sys, topo.clone());
+        for k in 0..r.topo.hts.len() {
+            for i in 0..sys.n {
+                let ht = r.topo.hts[k];
+                if ht.q_t <= MIN_WEIGHT {
+                    continue;
+                }
+                let new = if ht.edges.contains(i) {
+                    ht.edges.without(i)
+                } else {
+                    ht.edges.with(i)
+                };
+                if new.is_empty() {
+                    continue;
+                }
+                let cost = r.edge_change_cost(ht.edges, new, ht.q_t);
+                if cost < -1e-9 {
+                    r.apply_edge_change(k, ht.edges, new, ht.q_t);
+                    improved = true;
+                }
+            }
+        }
+        *topo = r.topo;
+        refine_weights(sys, topo);
+        if !improved {
+            break;
+        }
+    }
+}
+
+/// Non-negative least-squares refinement of the weights `Q(k)` with
+/// the edge structure held fixed (projected gradient on the linear
+/// system of Eqn. 6). Cleans up weight error left by the
+/// combinatorial repair.
+pub fn refine_weights(sys: &ConstraintSystem, topo: &mut TransformedTopology) {
+    let h = topo.hts.len();
+    if h == 0 {
+        return;
+    }
+    // Rows: every constraint; columns: HTs. Entry 1 if HT contributes.
+    let contributes = |c: ConstraintRef, ht: &TransformedHt| -> bool {
+        match c {
+            ConstraintRef::Individual(i) => ht.edges.contains(i),
+            ConstraintRef::Pair(i, j) => ht.edges.contains(i) && ht.edges.contains(j),
+            ConstraintRef::Triple(t) => {
+                let (i, j, k) = sys.triples[t].clients;
+                ht.edges.contains(i) && ht.edges.contains(j) && ht.edges.contains(k)
+            }
+        }
+    };
+    let constraints: Vec<(ConstraintRef, f64)> = sys
+        .all_constraints()
+        .map(|c| {
+            let target = match c {
+                ConstraintRef::Individual(i) => sys.individual[i],
+                ConstraintRef::Pair(i, j) => sys.pair[pair_index(sys.n, i, j)],
+                ConstraintRef::Triple(t) => sys.triples[t].target,
+            };
+            (c, target)
+        })
+        .collect();
+    let mut q: Vec<f64> = topo.hts.iter().map(|ht| ht.q_t).collect();
+    // Lipschitz-safe step: 1 / (max column count × rows touched).
+    let step = 1.0 / (constraints.len() as f64).max(1.0);
+    for _ in 0..400 {
+        let mut grad = vec![0.0; h];
+        for &(c, target) in &constraints {
+            let mut contrib = 0.0;
+            for (k, ht) in topo.hts.iter().enumerate() {
+                if contributes(c, ht) {
+                    contrib += q[k];
+                }
+            }
+            let r = contrib - target;
+            for (k, ht) in topo.hts.iter().enumerate() {
+                if contributes(c, ht) {
+                    grad[k] += 2.0 * r;
+                }
+            }
+        }
+        let mut moved = 0.0;
+        for k in 0..h {
+            let new = (q[k] - step * grad[k]).max(0.0);
+            moved += (new - q[k]).abs();
+            q[k] = new;
+        }
+        if moved < 1e-10 {
+            break;
+        }
+    }
+    for (k, ht) in topo.hts.iter_mut().enumerate() {
+        ht.q_t = q[k];
+    }
+    topo.prune(MIN_WEIGHT);
+}
+
+/// Full inference: multi-point initialization (see
+/// [`crate::blueprint::init`]), repair from each start, pick the
+/// topology with the smallest violation, breaking ties toward fewer
+/// hidden terminals; optionally refine weights.
+pub fn infer_topology(sys: &ConstraintSystem, config: &InferenceConfig) -> InferenceResult {
+    let starts = crate::blueprint::init::starting_topologies(sys, config.random_restarts);
+    let restarts = starts.len();
+    let mut best: Option<(TransformedTopology, f64)> = None;
+    let mut total_iters = 0;
+    for start in starts {
+        let repairer = Repairer::new(sys, start);
+        let (mut topo, mut v, iters) = repairer.run(config.max_iters, config.epsilon);
+        total_iters += iters;
+        if config.refine_weights && v > config.epsilon {
+            refine_weights(sys, &mut topo);
+            polish(sys, &mut topo, 6);
+            v = sys.total_violation(&topo);
+        }
+        let better = match &best {
+            None => true,
+            Some((bt, bv)) => {
+                // Smallest violation wins; near-ties go to fewer HTs.
+                v < bv - config.epsilon
+                    || ((v - bv).abs() <= config.epsilon && topo.hts.len() < bt.hts.len())
+            }
+        };
+        if better {
+            let stop = v < config.epsilon;
+            best = Some((topo, v));
+            if stop {
+                break;
+            }
+        }
+    }
+    let (topo, violation) = best.expect("at least one start");
+    InferenceResult {
+        topology: topo.to_topology(sys.n).canonicalize(),
+        violation,
+        iterations: total_iters,
+        restarts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blueprint::accuracy::topology_accuracy;
+    use blu_sim::rng::DetRng;
+    use blu_sim::topology::{HiddenTerminal, InterferenceTopology};
+
+    fn topo(n: usize, spec: &[(f64, &[usize])]) -> InterferenceTopology {
+        InterferenceTopology {
+            n_clients: n,
+            hts: spec
+                .iter()
+                .map(|&(q, edges)| HiddenTerminal {
+                    q,
+                    edges: edges.iter().copied().collect(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn ground_truth_is_a_fixed_point() {
+        // Starting from the truth, the repairer must not move.
+        let t = topo(4, &[(0.4, &[0, 1]), (0.25, &[2]), (0.6, &[1, 2, 3])]);
+        let sys = ConstraintSystem::from_topology(&t);
+        let start = TransformedTopology::from_topology(&t);
+        let r = Repairer::new(&sys, start.clone());
+        let (out, v, iters) = r.run(100, 1e-9);
+        assert!(v < 1e-9, "violation {v}");
+        assert!(iters <= 2);
+        assert_eq!(out.hts.len(), 3);
+    }
+
+    #[test]
+    fn recovers_single_hidden_terminal() {
+        let t = topo(3, &[(0.5, &[0, 1, 2])]);
+        let sys = ConstraintSystem::from_topology(&t);
+        let result = infer_topology(&sys, &InferenceConfig::default());
+        assert!(result.violation < 1e-6, "violation {}", result.violation);
+        let acc = topology_accuracy(&t, &result.topology);
+        assert_eq!(acc.exact_fraction(), 1.0, "{result:?}");
+    }
+
+    #[test]
+    fn recovers_disjoint_hidden_terminals() {
+        let t = topo(4, &[(0.3, &[0, 1]), (0.6, &[2, 3])]);
+        let sys = ConstraintSystem::from_topology(&t);
+        let result = infer_topology(&sys, &InferenceConfig::default());
+        assert!(result.violation < 1e-6);
+        assert_eq!(
+            topology_accuracy(&t, &result.topology).exact_fraction(),
+            1.0
+        );
+    }
+
+    #[test]
+    fn recovers_overlapping_hidden_terminals() {
+        let t = topo(4, &[(0.4, &[0, 1, 2]), (0.2, &[2, 3])]);
+        let sys = ConstraintSystem::from_topology(&t);
+        let result = infer_topology(&sys, &InferenceConfig::default());
+        assert!(result.violation < 1e-5, "violation {}", result.violation);
+        let acc = topology_accuracy(&t, &result.topology);
+        assert!(acc.exact_fraction() >= 0.5, "{:?}", result.topology);
+    }
+
+    #[test]
+    fn recovered_weights_match_truth() {
+        let t = topo(3, &[(0.45, &[0, 1, 2])]);
+        let sys = ConstraintSystem::from_topology(&t);
+        let result = infer_topology(&sys, &InferenceConfig::default());
+        assert_eq!(result.topology.n_hidden(), 1);
+        assert!(
+            (result.topology.hts[0].q - 0.45).abs() < 1e-4,
+            "q = {}",
+            result.topology.hts[0].q
+        );
+    }
+
+    #[test]
+    fn empty_system_yields_empty_topology() {
+        let t = InterferenceTopology::interference_free(4);
+        let sys = ConstraintSystem::from_topology(&t);
+        let result = infer_topology(&sys, &InferenceConfig::default());
+        assert_eq!(result.topology.n_hidden(), 0);
+        assert!(result.violation < 1e-9);
+    }
+
+    #[test]
+    fn refine_weights_fixes_perturbed_weights() {
+        let t = topo(4, &[(0.4, &[0, 1]), (0.3, &[2, 3])]);
+        let sys = ConstraintSystem::from_topology(&t);
+        let mut perturbed = TransformedTopology::from_topology(&t);
+        perturbed.hts[0].q_t *= 1.5;
+        perturbed.hts[1].q_t *= 0.5;
+        refine_weights(&sys, &mut perturbed);
+        let v = sys.total_violation(&perturbed);
+        assert!(v < 1e-3, "violation after refinement {v}");
+    }
+
+    #[test]
+    fn random_topologies_inferred_with_high_accuracy() {
+        // Noiseless inputs, moderate size: expect mostly-exact
+        // recovery across seeds (paper Fig. 14 regime).
+        let mut total_acc = 0.0;
+        let trials = 20;
+        for seed in 0..trials {
+            let mut rng = DetRng::seed_from_u64(seed);
+            let truth =
+                InterferenceTopology::random(6, 3, (0.15, 0.6), 0.4, &mut rng).canonicalize();
+            let sys = ConstraintSystem::from_topology(&truth);
+            let result = infer_topology(&sys, &InferenceConfig::default());
+            let acc = topology_accuracy(&truth, &result.topology).exact_fraction();
+            total_acc += acc;
+        }
+        let mean = total_acc / trials as f64;
+        assert!(mean > 0.8, "mean exact-edge accuracy {mean}");
+    }
+}
+
+#[cfg(test)]
+mod triple_inference_tests {
+    use super::*;
+    use crate::blueprint::accuracy::topology_accuracy;
+    use blu_sim::topology::HiddenTerminal;
+
+    /// Paper §3.5: pairwise statistics cannot separate a "star +
+    /// singles" truth from a cheaper "triangle" explanation, so the
+    /// fewest-terminals tie-break picks the triangle; one triple
+    /// measurement restores the truth.
+    #[test]
+    fn triple_evidence_disambiguates_skewed_topology() {
+        let q = 0.4;
+        let star = InterferenceTopology {
+            n_clients: 3,
+            hts: vec![
+                HiddenTerminal {
+                    q,
+                    edges: ClientSet::from_iter([0, 1, 2]),
+                },
+                HiddenTerminal {
+                    q,
+                    edges: ClientSet::singleton(0),
+                },
+                HiddenTerminal {
+                    q,
+                    edges: ClientSet::singleton(1),
+                },
+                HiddenTerminal {
+                    q,
+                    edges: ClientSet::singleton(2),
+                },
+            ],
+        };
+        // Pairwise only: the inferred solution explains the stats but
+        // need not match the star (triangle is cheaper).
+        let sys_pairwise = ConstraintSystem::from_topology(&star);
+        let r_pairwise = infer_topology(&sys_pairwise, &InferenceConfig::default());
+        assert!(r_pairwise.violation < 1e-6);
+
+        // With the triple: only the star satisfies everything.
+        let mut sys_triple = ConstraintSystem::from_topology(&star);
+        sys_triple.add_triples_from_topology(&star, &[(0, 1, 2)]);
+        let r_triple = infer_topology(&sys_triple, &InferenceConfig::default());
+        assert!(
+            r_triple.violation < 1e-5,
+            "violation {}",
+            r_triple.violation
+        );
+        let acc = topology_accuracy(&star, &r_triple.topology);
+        assert_eq!(
+            acc.exact_fraction(),
+            1.0,
+            "star not recovered: {:?}",
+            r_triple.topology
+        );
+    }
+}

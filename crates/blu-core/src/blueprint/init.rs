@@ -1,0 +1,303 @@
+//! Multi-point initialization for topology inference.
+//!
+//! The gradient repair is not guaranteed a global optimum (the paper
+//! §3.4.2, "Topology Initialization"), so it is restarted from a
+//! portfolio of starting topologies:
+//!
+//! 1. the **empty** topology;
+//! 2. **singles** — one hidden terminal per client, satisfying the
+//!    individual constraints exactly (pairs start violated);
+//! 3. **pairs** — one hidden terminal per positive pairwise
+//!    constraint, satisfying the pair constraints exactly, plus
+//!    per-client singles absorbing the residual individual exposure;
+//! 4. **cliques** — a constructive guess that groups clients whose
+//!    pairwise statistics look like one shared terminal (greedy seed
+//!    expansion over the pair matrix);
+//! 5. **random** topologies with varied hidden-terminal counts.
+
+use crate::blueprint::constraints::{ConstraintSystem, TransformedHt, TransformedTopology};
+use blu_sim::clientset::ClientSet;
+use blu_sim::rng::DetRng;
+use blu_traces::stats::pair_index;
+
+/// Threshold below which a transformed statistic is treated as zero
+/// (no shared terminal evidence).
+const STAT_EPS: f64 = 1e-6;
+
+/// Starting topology 2: one HT per client with nonzero exposure.
+fn singles(sys: &ConstraintSystem) -> TransformedTopology {
+    TransformedTopology {
+        hts: (0..sys.n)
+            .filter(|&i| sys.individual[i] > STAT_EPS)
+            .map(|i| TransformedHt {
+                q_t: sys.individual[i],
+                edges: ClientSet::singleton(i),
+            })
+            .collect(),
+    }
+}
+
+/// Starting topology 3: one HT per positive pair statistic, plus
+/// singles for the per-client exposure not explained by the pairs.
+fn pairs(sys: &ConstraintSystem) -> TransformedTopology {
+    let mut hts = Vec::new();
+    let mut explained = vec![0.0; sys.n];
+    for i in 0..sys.n {
+        for j in (i + 1)..sys.n {
+            let stat = sys.pair[pair_index(sys.n, i, j)];
+            if stat > STAT_EPS {
+                hts.push(TransformedHt {
+                    q_t: stat,
+                    edges: ClientSet::from_iter([i, j]),
+                });
+                explained[i] += stat;
+                explained[j] += stat;
+            }
+        }
+    }
+    for (i, &ex) in explained.iter().enumerate() {
+        let residual = sys.individual[i] - ex;
+        if residual > STAT_EPS {
+            hts.push(TransformedHt {
+                q_t: residual,
+                edges: ClientSet::singleton(i),
+            });
+        }
+    }
+    TransformedTopology { hts }
+}
+
+/// Starting topology 4: greedy clique construction. Repeatedly take
+/// the largest unexplained pair statistic `(i, j)` as a seed, grow a
+/// clique with every client `l` whose residual statistics to all
+/// current members are compatible (within a relative tolerance), emit
+/// the clique as one hidden terminal at the **bottleneck** weight
+/// (the minimum residual among its member pairs — safe when several
+/// terminals cover the seed pair), subtract, and repeat. Finish with
+/// singles for leftover individual exposure.
+///
+/// Parameterized by a relative tolerance and an optional shuffling
+/// RNG so the restart portfolio can carry several diverse clique
+/// decompositions (the growth order matters when terminals overlap).
+fn cliques_with(
+    sys: &ConstraintSystem,
+    rel_tol: f64,
+    shuffle: Option<&mut DetRng>,
+) -> TransformedTopology {
+    let n = sys.n;
+    let mut residual_pair = sys.pair.clone();
+    let mut residual_ind = sys.individual.clone();
+    let mut hts = Vec::new();
+    let mut order: Vec<usize> = (0..n).collect();
+    if let Some(rng) = shuffle {
+        rng.shuffle(&mut order);
+    }
+    for _round in 0..6 * n {
+        // Find the largest residual pair statistic.
+        let mut best = (0usize, 0usize, 0.0f64);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let s = residual_pair[pair_index(n, i, j)];
+                if s > best.2 {
+                    best = (i, j, s);
+                }
+            }
+        }
+        let (i, j, w) = best;
+        if w <= STAT_EPS {
+            break;
+        }
+        // Grow the clique: l joins if its residual pair stats to all
+        // members are ≥ (1 − rel_tol)·w.
+        let mut members = ClientSet::from_iter([i, j]);
+        let floor = (1.0 - rel_tol) * w;
+        for &l in &order {
+            if members.contains(l) {
+                continue;
+            }
+            let joins = members.iter().all(|m| {
+                let (a, b) = if l < m { (l, m) } else { (m, l) };
+                residual_pair[pair_index(n, a, b)] >= floor
+            });
+            if joins {
+                members.insert(l);
+            }
+        }
+        // Bottleneck weight over the clique's pairs: never subtract
+        // more than any member pair actually has.
+        let mv: Vec<usize> = members.iter().collect();
+        let mut weight = w;
+        for (a, &x) in mv.iter().enumerate() {
+            for &y in &mv[a + 1..] {
+                let (p, q) = if x < y { (x, y) } else { (y, x) };
+                weight = weight.min(residual_pair[pair_index(n, p, q)]);
+            }
+        }
+        if weight <= STAT_EPS {
+            break;
+        }
+        hts.push(TransformedHt {
+            q_t: weight,
+            edges: members,
+        });
+        for (a, &x) in mv.iter().enumerate() {
+            residual_ind[x] = (residual_ind[x] - weight).max(0.0);
+            for &y in &mv[a + 1..] {
+                let idx = pair_index(n, x, y);
+                residual_pair[idx] = (residual_pair[idx] - weight).max(0.0);
+            }
+        }
+    }
+    for (i, &residual) in residual_ind.iter().enumerate() {
+        if residual > STAT_EPS {
+            hts.push(TransformedHt {
+                q_t: residual,
+                edges: ClientSet::singleton(i),
+            });
+        }
+    }
+    TransformedTopology { hts }
+}
+
+/// The default clique construction (moderate tolerance, no shuffle).
+fn cliques(sys: &ConstraintSystem) -> TransformedTopology {
+    cliques_with(sys, 0.25, None)
+}
+
+/// Random start: `h` hidden terminals with random weights and edges.
+fn random_start(sys: &ConstraintSystem, h: usize, rng: &mut DetRng) -> TransformedTopology {
+    let max_stat = sys
+        .individual
+        .iter()
+        .cloned()
+        .fold(0.0f64, f64::max)
+        .max(0.1);
+    let hts = (0..h)
+        .map(|_| {
+            let mut edges = ClientSet::EMPTY;
+            while edges.is_empty() {
+                for i in 0..sys.n {
+                    if rng.chance(0.3) {
+                        edges.insert(i);
+                    }
+                }
+            }
+            TransformedHt {
+                q_t: rng.range_f64(0.05, max_stat),
+                edges,
+            }
+        })
+        .collect();
+    TransformedTopology { hts }
+}
+
+/// The full portfolio of starting topologies: clique decompositions
+/// at several tolerances, shuffled clique variants, the pair/single
+/// exact-satisfiers, the empty topology, and random topologies.
+pub fn starting_topologies(
+    sys: &ConstraintSystem,
+    random_restarts: usize,
+) -> Vec<TransformedTopology> {
+    let mut rng = DetRng::seed_from_u64(0xB1E);
+    let mut starts = vec![cliques(sys)];
+    for rel_tol in [0.05, 0.15, 0.4, 0.6] {
+        starts.push(cliques_with(sys, rel_tol, None));
+    }
+    for _ in 0..random_restarts.div_ceil(2) {
+        let tol = rng.range_f64(0.1, 0.5);
+        starts.push(cliques_with(sys, tol, Some(&mut rng)));
+    }
+    starts.push(pairs(sys));
+    starts.push(singles(sys));
+    starts.push(TransformedTopology::default());
+    for r in 0..random_restarts {
+        let h = 1 + (r % (2 * sys.n.max(1)));
+        starts.push(random_start(sys, h, &mut rng));
+    }
+    starts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blu_sim::topology::{HiddenTerminal, InterferenceTopology};
+
+    fn example_system() -> (InterferenceTopology, ConstraintSystem) {
+        let t = InterferenceTopology {
+            n_clients: 4,
+            hts: vec![
+                HiddenTerminal {
+                    q: 0.4,
+                    edges: ClientSet::from_iter([0, 1, 2]),
+                },
+                HiddenTerminal {
+                    q: 0.25,
+                    edges: ClientSet::from_iter([3]),
+                },
+            ],
+        };
+        let sys = ConstraintSystem::from_topology(&t);
+        (t, sys)
+    }
+
+    #[test]
+    fn singles_satisfy_individual_constraints() {
+        let (_, sys) = example_system();
+        let s = singles(&sys);
+        for i in 0..sys.n {
+            let r = sys.residual(
+                &s,
+                crate::blueprint::constraints::ConstraintRef::Individual(i),
+            );
+            assert!(r.abs() < 1e-12, "P({i}) residual {r}");
+        }
+    }
+
+    #[test]
+    fn pairs_satisfy_pair_constraints() {
+        let (_, sys) = example_system();
+        let p = pairs(&sys);
+        for i in 0..sys.n {
+            for j in (i + 1)..sys.n {
+                let r = sys.residual(&p, crate::blueprint::constraints::ConstraintRef::Pair(i, j));
+                assert!(r.abs() < 1e-9, "P({i},{j}) residual {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn cliques_recover_simple_structure_outright() {
+        // One HT covering {0,1,2}: the clique init alone should emit
+        // exactly that terminal (plus the {3} single) with zero
+        // violation.
+        let (_, sys) = example_system();
+        let c = cliques(&sys);
+        let v = sys.total_violation(&c);
+        assert!(v < 1e-9, "clique-init violation {v}: {c:?}");
+        assert_eq!(c.hts.len(), 2);
+        let edge_sets: Vec<ClientSet> = c.hts.iter().map(|h| h.edges).collect();
+        assert!(edge_sets.contains(&ClientSet::from_iter([0, 1, 2])));
+        assert!(edge_sets.contains(&ClientSet::singleton(3)));
+    }
+
+    #[test]
+    fn portfolio_contains_all_families() {
+        let (_, sys) = example_system();
+        let starts = starting_topologies(&sys, 5);
+        // 5 fixed-tolerance cliques + 3 shuffled cliques + pairs +
+        // singles + empty + 5 random.
+        assert!(starts.len() >= 13, "{}", starts.len());
+        assert!(starts.iter().any(|s| s.hts.is_empty()));
+    }
+
+    #[test]
+    fn random_starts_are_valid() {
+        let (_, sys) = example_system();
+        let mut rng = DetRng::seed_from_u64(1);
+        for h in 1..10 {
+            let s = random_start(&sys, h, &mut rng);
+            assert_eq!(s.hts.len(), h);
+            assert!(s.hts.iter().all(|ht| !ht.edges.is_empty() && ht.q_t > 0.0));
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! MCMC baseline for topology inference.
+//!
+//! The paper (§3.4) reports having applied Markov-Chain Monte Carlo
+//! before designing the deterministic repair: the topology is adapted
+//! by random proposals and accepted by Metropolis–Hastings against a
+//! likelihood that decays with constraint violation, with simulated
+//! annealing. It converges *in distribution*, needs a sample to be
+//! drawn for real-time use, and is slower — which is exactly what the
+//! ablation bench demonstrates. Kept as a faithful baseline.
+
+use crate::blueprint::constraints::{ConstraintSystem, TransformedHt, TransformedTopology};
+use blu_sim::clientset::ClientSet;
+use blu_sim::rng::DetRng;
+use blu_sim::topology::InterferenceTopology;
+
+/// MCMC configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct McmcConfig {
+    /// Number of proposal steps.
+    pub steps: usize,
+    /// Initial temperature (violation units).
+    pub t_start: f64,
+    /// Final temperature.
+    pub t_end: f64,
+    /// Maximum hidden terminals the chain may hold.
+    pub max_hts: usize,
+    /// Penalty per hidden terminal (Occam prior).
+    pub ht_penalty: f64,
+}
+
+impl Default for McmcConfig {
+    fn default() -> Self {
+        McmcConfig {
+            steps: 20_000,
+            t_start: 1.0,
+            t_end: 0.005,
+            max_hts: 64,
+            ht_penalty: 0.01,
+        }
+    }
+}
+
+/// Result of an MCMC run.
+#[derive(Debug, Clone)]
+pub struct McmcResult {
+    /// Best-scoring topology visited.
+    pub topology: InterferenceTopology,
+    /// Its total violation.
+    pub violation: f64,
+    /// Steps accepted.
+    pub accepted: usize,
+}
+
+fn energy(sys: &ConstraintSystem, topo: &TransformedTopology, ht_penalty: f64) -> f64 {
+    sys.total_violation(topo) + ht_penalty * topo.hts.len() as f64
+}
+
+/// Run Metropolis–Hastings with annealing; returns the best state.
+pub fn infer_mcmc(sys: &ConstraintSystem, config: &McmcConfig, seed: u64) -> McmcResult {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut state = TransformedTopology::default();
+    let mut e = energy(sys, &state, config.ht_penalty);
+    let mut best = state.clone();
+    let mut best_v = sys.total_violation(&state);
+    let mut accepted = 0usize;
+    let max_stat = sys.individual.iter().cloned().fold(0.1f64, f64::max);
+
+    for step in 0..config.steps {
+        // Annealing schedule (geometric).
+        let frac = step as f64 / config.steps.max(1) as f64;
+        let temp = config.t_start * (config.t_end / config.t_start).powf(frac);
+
+        // Propose.
+        let mut proposal = state.clone();
+        let kind = rng.below(4);
+        match kind {
+            0 => {
+                // Add a hidden terminal with a random small edge set.
+                if proposal.hts.len() < config.max_hts {
+                    let mut edges = ClientSet::EMPTY;
+                    let k = 1 + rng.below(3.min(sys.n));
+                    for _ in 0..k {
+                        edges.insert(rng.below(sys.n));
+                    }
+                    proposal.hts.push(TransformedHt {
+                        q_t: rng.range_f64(0.01, max_stat),
+                        edges,
+                    });
+                }
+            }
+            1 => {
+                // Remove a random hidden terminal.
+                if !proposal.hts.is_empty() {
+                    let k = rng.below(proposal.hts.len());
+                    proposal.hts.swap_remove(k);
+                }
+            }
+            2 => {
+                // Toggle a random edge.
+                if !proposal.hts.is_empty() {
+                    let k = rng.below(proposal.hts.len());
+                    let c = rng.below(sys.n);
+                    let ht = &mut proposal.hts[k];
+                    if ht.edges.contains(c) {
+                        ht.edges.remove(c);
+                    } else {
+                        ht.edges.insert(c);
+                    }
+                    if ht.edges.is_empty() {
+                        proposal.hts.swap_remove(k);
+                    }
+                }
+            }
+            _ => {
+                // Perturb a weight multiplicatively.
+                if !proposal.hts.is_empty() {
+                    let k = rng.below(proposal.hts.len());
+                    let f = rng.range_f64(0.6, 1.6);
+                    proposal.hts[k].q_t = (proposal.hts[k].q_t * f).max(1e-4);
+                }
+            }
+        }
+
+        let e_new = energy(sys, &proposal, config.ht_penalty);
+        let accept = e_new <= e || rng.chance(((e - e_new) / temp.max(1e-9)).exp());
+        if accept {
+            state = proposal;
+            e = e_new;
+            accepted += 1;
+            let v = sys.total_violation(&state);
+            if v < best_v {
+                best_v = v;
+                best = state.clone();
+            }
+        }
+    }
+    best.prune(1e-4);
+    McmcResult {
+        topology: best.to_topology(sys.n).canonicalize(),
+        violation: best_v,
+        accepted,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blueprint::accuracy::topology_accuracy;
+    use blu_sim::topology::HiddenTerminal;
+
+    #[test]
+    fn mcmc_finds_single_terminal() {
+        let truth = InterferenceTopology {
+            n_clients: 3,
+            hts: vec![HiddenTerminal {
+                q: 0.5,
+                edges: ClientSet::from_iter([0, 1, 2]),
+            }],
+        };
+        let sys = ConstraintSystem::from_topology(&truth);
+        let result = infer_mcmc(&sys, &McmcConfig::default(), 1);
+        assert!(
+            result.violation < 0.1,
+            "mcmc violation {}",
+            result.violation
+        );
+        let acc = topology_accuracy(&truth, &result.topology);
+        assert!(acc.exact_fraction() >= 1.0, "{:?}", result.topology);
+    }
+
+    #[test]
+    fn mcmc_handles_empty_truth() {
+        let truth = InterferenceTopology::interference_free(3);
+        let sys = ConstraintSystem::from_topology(&truth);
+        let result = infer_mcmc(&sys, &McmcConfig::default(), 2);
+        assert!(result.violation < 1e-6);
+        assert_eq!(result.topology.n_hidden(), 0);
+    }
+
+    #[test]
+    fn mcmc_accepts_some_steps() {
+        let truth = InterferenceTopology {
+            n_clients: 4,
+            hts: vec![HiddenTerminal {
+                q: 0.3,
+                edges: ClientSet::from_iter([1, 2]),
+            }],
+        };
+        let sys = ConstraintSystem::from_topology(&truth);
+        let result = infer_mcmc(&sys, &McmcConfig::default(), 3);
+        assert!(result.accepted > 100);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let truth = InterferenceTopology {
+            n_clients: 3,
+            hts: vec![HiddenTerminal {
+                q: 0.4,
+                edges: ClientSet::from_iter([0, 2]),
+            }],
+        };
+        let sys = ConstraintSystem::from_topology(&truth);
+        let cfg = McmcConfig {
+            steps: 2_000,
+            ..Default::default()
+        };
+        let a = infer_mcmc(&sys, &cfg, 7);
+        let b = infer_mcmc(&sys, &cfg, 7);
+        assert_eq!(a.topology, b.topology);
+        assert_eq!(a.accepted, b.accepted);
+    }
+}

@@ -1,0 +1,23 @@
+//! Blue-printing interference: inferring the hidden-terminal topology
+//! from pairwise client access measurements (paper §3.4).
+//!
+//! Pipeline: [`transform`] maps measured probabilities into the
+//! log domain where hidden-terminal contributions are additive;
+//! [`constraints`] holds the resulting linear constraint system
+//! (Eqn. 6); [`infer`] repairs a candidate topology by gradient moves
+//! until the constraints are satisfied, restarting from the
+//! [`init`] portfolio of starting topologies; [`accuracy`] scores an
+//! inferred topology against ground truth with the paper's strict
+//! exact-edge-set metric; [`mcmc`] is the Bayesian (MCMC) baseline the
+//! paper compares its deterministic solution against.
+
+pub mod accuracy;
+pub mod constraints;
+pub mod infer;
+pub mod init;
+pub mod mcmc;
+pub mod transform;
+
+pub use accuracy::topology_accuracy;
+pub use constraints::ConstraintSystem;
+pub use infer::{infer_topology, InferenceConfig, InferenceResult};

@@ -1,0 +1,130 @@
+//! The log-domain graph transformation (paper §3.4.1).
+//!
+//! ```text
+//! P(i)   = −log p(i)                 — client "blocking exposure"
+//! Q(k)   = −log(1 − q(k))            — HT "blocking weight"
+//! P(i,j) = −log( p(i)·p(j) / p(i,j) ) — pairwise shared exposure
+//! ```
+//!
+//! Under the generative model, `P(i) = Σ_k z_ik·Q(k)` and
+//! `P(i,j) = Σ_k z_ik·z_jk·Q(k)`: products of idle probabilities
+//! become sums of non-negative weights, and topology inference
+//! becomes a (combinatorial) linear constraint-satisfaction problem.
+//!
+//! Probabilities are clamped away from 0 before taking logs so the
+//! transformed domain stays finite; the clamp is a pure numeric
+//! guard (`1e-12` → `P ≤ 27.6`). Statistical flooring of *measured*
+//! zeros is handled where the measurements are ingested
+//! ([`crate::blueprint::constraints::ConstraintSystem::from_measurements`]
+//! applies add-half smoothing), not here — the exact transform must
+//! stay exact for any generatable topology.
+
+/// Smallest probability representable in the transformed domain
+/// (numeric guard only).
+pub const P_CLAMP_MIN: f64 = 1e-12;
+
+/// `−log p`, with `p` clamped into `[P_CLAMP_MIN, 1]`.
+pub fn transform_p(p: f64) -> f64 {
+    -(p.clamp(P_CLAMP_MIN, 1.0)).ln()
+}
+
+/// Inverse of [`transform_p`].
+pub fn inverse_p(big_p: f64) -> f64 {
+    (-big_p).exp().clamp(0.0, 1.0)
+}
+
+/// `Q(k) = −log(1 − q)`, with `1 − q` clamped like `p`.
+pub fn transform_q(q: f64) -> f64 {
+    transform_p(1.0 - q)
+}
+
+/// Inverse of [`transform_q`]: `q = 1 − e^{−Q}`.
+pub fn inverse_q(big_q: f64) -> f64 {
+    (1.0 - (-big_q).exp()).clamp(0.0, 1.0)
+}
+
+/// The pairwise statistic `P(i,j) = −log(p_i·p_j/p_ij)`.
+///
+/// This is the point-mass mutual information between the two access
+/// events; non-negative in the generative model (shared HTs only make
+/// joint access *more* likely than independence). Sampling noise can
+/// produce slightly negative raw values; they are floored at 0.
+pub fn pairwise_stat(p_i: f64, p_j: f64, p_ij: f64) -> f64 {
+    let p_i = p_i.clamp(P_CLAMP_MIN, 1.0);
+    let p_j = p_j.clamp(P_CLAMP_MIN, 1.0);
+    let p_ij = p_ij.clamp(P_CLAMP_MIN, 1.0);
+    (-(p_i * p_j / p_ij).ln()).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blu_sim::rng::DetRng;
+    use blu_sim::topology::InterferenceTopology;
+
+    #[test]
+    fn p_transform_roundtrip() {
+        for p in [0.01, 0.2, 0.5, 0.99, 1.0] {
+            let back = inverse_p(transform_p(p));
+            assert!((back - p).abs() < 1e-12, "{p}");
+        }
+    }
+
+    #[test]
+    fn q_transform_roundtrip() {
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99] {
+            let back = inverse_q(transform_q(q));
+            assert!((back - q).abs() < 1e-12, "{q}");
+        }
+    }
+
+    #[test]
+    fn clamping_bounds_transform() {
+        assert!(transform_p(0.0).is_finite());
+        assert!(transform_p(1e-15) <= -(P_CLAMP_MIN.ln()) + 1e-9);
+        assert_eq!(transform_p(1.0), 0.0);
+        assert_eq!(transform_q(1.0), transform_p(P_CLAMP_MIN));
+    }
+
+    #[test]
+    fn transformed_constraints_are_additive() {
+        // The core identity: P(i) = Σ_{k: z_ik} Q(k) and
+        // P(i,j) = Σ_{k: z_ik z_jk} Q(k) exactly, for random topologies.
+        let mut rng = DetRng::seed_from_u64(1);
+        for _ in 0..20 {
+            let topo = InterferenceTopology::random(6, 4, (0.05, 0.9), 0.4, &mut rng);
+            for i in 0..6 {
+                let lhs = transform_p(topo.p_individual(i));
+                let rhs: f64 = topo
+                    .hts
+                    .iter()
+                    .filter(|ht| ht.edges.contains(i))
+                    .map(|ht| transform_q(ht.q))
+                    .sum();
+                assert!((lhs - rhs).abs() < 1e-9, "P({i}): {lhs} vs {rhs}");
+                for j in (i + 1)..6 {
+                    let lhs = pairwise_stat(
+                        topo.p_individual(i),
+                        topo.p_individual(j),
+                        topo.p_pair(i, j),
+                    );
+                    let rhs: f64 = topo
+                        .hts
+                        .iter()
+                        .filter(|ht| ht.edges.contains(i) && ht.edges.contains(j))
+                        .map(|ht| transform_q(ht.q))
+                        .sum();
+                    assert!((lhs - rhs).abs() < 1e-9, "P({i},{j}): {lhs} vs {rhs}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pairwise_stat_floors_noise() {
+        // Independent clients with sampling noise: p_ij slightly
+        // below p_i·p_j → raw statistic negative → floored to 0.
+        assert_eq!(pairwise_stat(0.5, 0.5, 0.24), 0.0);
+        assert!(pairwise_stat(0.5, 0.5, 0.30) > 0.0);
+    }
+}

@@ -1,0 +1,1084 @@
+//! Trace-driven uplink emulation (paper §4.2).
+//!
+//! Replays a captured [`TestbedTrace`] through a scheduler at
+//! sub-frame granularity, reproducing the paper's experiment setup:
+//! TxOPs of 1 DL + 3 UL sub-frames, per-sub-frame CCA from the access
+//! trace, orthogonal DMRS pilots, zero-forcing MU-MIMO decoding
+//! against the CSI trace, MCS fixed at grant time (so deep fades
+//! produce fading losses, not blocking), PF averaging of delivered
+//! throughput, and the utilization/throughput accounting behind
+//! Figs. 10–13 and 15–18.
+
+use crate::measure::OutcomeEstimator;
+use crate::metrics::UplinkMetrics;
+use crate::sched::{mimo_penalty, MatrixRates, PfAverager, SchedInput, UlScheduler};
+use blu_phy::cell::CellConfig;
+use blu_phy::mcs::{Cqi, McsTable};
+use blu_phy::mimo::zf_sinrs;
+use blu_phy::outcome::{classify_rb, DecodeOutcome, RbObservation};
+use blu_sim::clientset::ClientSet;
+use blu_sim::power::Db;
+use blu_sim::rng::DetRng;
+use blu_sim::time::SubframeIndex;
+use blu_traces::schema::TestbedTrace;
+use std::collections::HashMap;
+
+/// In-flight HARQ processes of one TxOP burst, keyed by (client, RB).
+type HarqState = HashMap<(usize, usize), blu_phy::harq::HarqProcess>;
+
+/// Uplink traffic model (paper footnote 1: finite-buffer coupling is
+/// a "simple extension" to the scheduler — realized here by zeroing
+/// the rates of clients with empty queues and draining queues by
+/// delivered bits).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrafficModel {
+    /// Every client always has data (the paper's evaluation setting).
+    Backlogged,
+    /// Poisson arrivals of `burst_bits` chunks at `bursts_per_sec`
+    /// per client, buffered until delivered.
+    Poisson {
+        /// Mean bursts per second per client.
+        bursts_per_sec: f64,
+        /// Bits per burst.
+        burst_bits: f64,
+    },
+}
+
+/// Emulation parameters.
+#[derive(Debug, Clone)]
+pub struct EmulationConfig {
+    /// Cell configuration (antennas, RBs, TxOP shape, K, f).
+    pub cell: CellConfig,
+    /// Number of TxOPs to run.
+    pub n_txops: u64,
+    /// Link-adaptation margin subtracted from estimated SINR when
+    /// picking the grant MCS (dB).
+    pub mcs_margin_db: f64,
+    /// Per-RB frequency-selectivity jitter amplitude (dB): adds
+    /// deterministic per-(client, RB, coherence-block) variation so
+    /// OFDMA has diversity to exploit.
+    pub rb_jitter_db: f64,
+    /// PF averaging window α (sub-frames).
+    pub pf_alpha: f64,
+    /// HARQ retransmission limit within a TxOP burst (0 disables
+    /// HARQ; fading losses are then final). Chase combining per
+    /// `blu_phy::harq`.
+    pub harq_max_retx: u8,
+    /// Uplink traffic model.
+    pub traffic: TrafficModel,
+    /// SISO NOMA reception: when two over-scheduled clients both
+    /// transmit on one RB of a single-antenna eNB, attempt
+    /// successive interference cancellation instead of declaring a
+    /// collision (paper §5: BLU's gains apply to NOMA).
+    pub noma_sic: bool,
+    /// RNG seed (jitter derivation).
+    pub seed: u64,
+}
+
+impl EmulationConfig {
+    /// Defaults matching the paper's setup for a given cell config.
+    pub fn new(cell: CellConfig) -> Self {
+        EmulationConfig {
+            cell,
+            n_txops: 500,
+            mcs_margin_db: 1.0,
+            rb_jitter_db: 2.0,
+            pf_alpha: 100.0,
+            harq_max_retx: 0,
+            traffic: TrafficModel::Backlogged,
+            noma_sic: false,
+            seed: 0x0B1E,
+        }
+    }
+}
+
+/// What a run produced.
+#[derive(Debug, Clone)]
+pub struct EmulationReport {
+    /// Scheduler display name.
+    pub scheduler: &'static str,
+    /// Accumulated counters.
+    pub metrics: UplinkMetrics,
+    /// Wall-clock span of the run when TxOPs were acquired through
+    /// LBT contention (`None` for the idealized back-to-back mode).
+    pub wall_clock: Option<blu_sim::time::Micros>,
+}
+
+/// Deterministic per-(client, RB, block) frequency-selectivity jitter
+/// in dB, zero-mean uniform in ±`amp`.
+fn rb_jitter(seed: u64, ue: usize, rb: usize, block: u64, amp: f64) -> f64 {
+    if amp == 0.0 {
+        return 0.0;
+    }
+    let key = (ue as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((rb as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(block.wrapping_mul(0x94D0_49BB_1331_11EB))
+        .wrapping_add(seed);
+    let mut rng = DetRng::seed_from_u64(key);
+    rng.range_f64(-amp, amp)
+}
+
+/// The emulator: owns the PF state and drives a scheduler over a
+/// trace.
+pub struct Emulator<'a> {
+    trace: &'a TestbedTrace,
+    config: EmulationConfig,
+    mcs: McsTable,
+    averager: PfAverager,
+    /// Per-client buffered bits (finite-buffer mode only).
+    queues: Vec<f64>,
+    /// Arrival RNG (finite-buffer mode only).
+    traffic_rng: DetRng,
+}
+
+impl<'a> Emulator<'a> {
+    /// Create an emulator; validates the trace against the cell.
+    pub fn new(trace: &'a TestbedTrace, config: EmulationConfig) -> Self {
+        trace.validate().expect("inconsistent trace");
+        config.cell.validate().expect("invalid cell config");
+        assert!(
+            trace.csi.n_antennas >= config.cell.m_antennas,
+            "trace CSI has fewer antennas than the cell needs"
+        );
+        let n = trace.ground_truth.n_clients;
+        Emulator {
+            trace,
+            averager: PfAverager::new(n, config.pf_alpha),
+            mcs: McsTable::release10(),
+            queues: vec![0.0; n],
+            traffic_rng: DetRng::seed_from_u64(config.seed ^ 0x7AFF_1C),
+            config,
+        }
+    }
+
+    /// Advance the traffic model by one sub-frame (1 ms): new arrivals
+    /// land in the queues. No-op when backlogged.
+    fn traffic_tick(&mut self) {
+        if let TrafficModel::Poisson {
+            bursts_per_sec,
+            burst_bits,
+        } = self.config.traffic
+        {
+            let p_arrival = (bursts_per_sec / 1_000.0).min(1.0);
+            for q in self.queues.iter_mut() {
+                if self.traffic_rng.chance(p_arrival) {
+                    *q += burst_bits;
+                }
+            }
+        }
+    }
+
+    /// Whether a client currently has data to send.
+    fn has_data(&self, ue: usize) -> bool {
+        matches!(self.config.traffic, TrafficModel::Backlogged) || self.queues[ue] > 0.0
+    }
+
+    /// Drain a client's queue by delivered bits.
+    fn drain(&mut self, ue: usize, bits: f64) {
+        if !matches!(self.config.traffic, TrafficModel::Backlogged) {
+            self.queues[ue] = (self.queues[ue] - bits).max(0.0);
+        }
+    }
+
+    /// Scalar channel power gain of a client at a sub-frame (average
+    /// over the eNB antennas, mean ≈ 1).
+    fn channel_gain(&self, ue: usize, sf: SubframeIndex) -> f64 {
+        let h = self.trace.csi.channel(ue, sf);
+        let m = self.config.cell.m_antennas;
+        h.iter().take(m).map(|c| c.norm_sq()).sum::<f64>() / m as f64
+    }
+
+    /// True single-stream SINR (dB) of a client on an RB at a
+    /// sub-frame.
+    fn true_sinr_db(&self, ue: usize, rb: usize, sf: SubframeIndex) -> f64 {
+        let block = sf.0 / self.trace.csi.coherence_subframes;
+        self.trace.mean_snr_db[ue]
+            + 10.0 * self.channel_gain(ue, sf).max(1e-9).log10()
+            + rb_jitter(self.config.seed, ue, rb, block, self.config.rb_jitter_db)
+    }
+
+    /// Build the scheduler's grant-time rate matrix at a sub-frame.
+    /// Clients with empty buffers get rate 0 (footnote-1 coupling:
+    /// the scheduler simply never grants them).
+    fn rate_matrix(&self, sf: SubframeIndex) -> MatrixRates {
+        let n = self.trace.ground_truth.n_clients;
+        let n_rbs = self.config.cell.numerology.n_rbs;
+        MatrixRates::build(n, n_rbs, |ue, rb| {
+            if !self.has_data(ue) {
+                return 0.0;
+            }
+            let est = self.true_sinr_db(ue, rb, sf) - self.config.mcs_margin_db;
+            self.mcs
+                .rate_for_sinr(Db(est), &self.config.cell.numerology)
+        })
+    }
+
+    /// Grant-time MCS for a client on an RB given the group size the
+    /// scheduler built (applies the expected ZF penalty).
+    fn grant_cqi(&self, ue: usize, rb: usize, sf: SubframeIndex, group_size: usize) -> Cqi {
+        let m = self.config.cell.m_antennas;
+        let expected_streams = group_size.min(m);
+        let pen = mimo_penalty(expected_streams, m).max(1e-3);
+        let est = self.true_sinr_db(ue, rb, sf) - self.config.mcs_margin_db + 10.0 * pen.log10();
+        self.mcs.cqi_for_sinr(Db(est))
+    }
+
+    /// Decode one RB at one sub-frame: who transmitted, ZF SINRs,
+    /// per-client outcomes. `harq` holds the burst's in-flight
+    /// processes keyed by (client, RB); pass `None` to disable.
+    fn decode_rb(
+        &self,
+        rb: usize,
+        sf: SubframeIndex,
+        group: ClientSet,
+        accessible: ClientSet,
+        grant_sf: SubframeIndex,
+        mut harq: Option<&mut HarqState>,
+    ) -> RbObservation {
+        let m = self.config.cell.m_antennas;
+        // The cyclic-shift budget must accommodate the whole group
+        // (guaranteed by CellConfig::validate's f·M ≤ 8 cap).
+        debug_assert!(
+            blu_phy::pilot::PilotAssignment::for_group(group).is_some(),
+            "group exceeds orthogonal pilot budget"
+        );
+        let transmitting = group.intersection(accessible);
+        // DMRS pilot detection: cyclic shifts keep over-scheduled
+        // pilots orthogonal, so each pilot's SINR is its single-stream
+        // SNR (no inter-stream interference); detection fails only in
+        // a very deep fade (below the −10 dB correlation floor).
+        let pilots = blu_phy::pilot::detect_pilots(transmitting, |ue| {
+            Db(self.trace.mean_snr_db[ue] + 10.0 * self.channel_gain(ue, sf).max(1e-9).log10())
+        });
+        let transmitting = pilots.detected;
+        if transmitting.len() > m {
+            // SISO NOMA: a 2-stream pile-up may still be separable by
+            // successive interference cancellation.
+            if self.config.noma_sic && m == 1 && transmitting.len() == 2 {
+                return self.decode_rb_noma(rb, sf, group, transmitting, grant_sf);
+            }
+            return classify_rb(group, transmitting, m, |_| None);
+        }
+        // Zero-forcing decode of ≤ M streams.
+        let members: Vec<usize> = transmitting.iter().collect();
+        let block = sf.0 / self.trace.csi.coherence_subframes;
+        let channels: Vec<Vec<blu_sim::fading::Complex>> = members
+            .iter()
+            .map(|&ue| self.trace.csi.channel(ue, sf)[..m].to_vec())
+            .collect();
+        let powers: Vec<f64> = members
+            .iter()
+            .map(|&ue| {
+                let jit = rb_jitter(self.config.seed, ue, rb, block, self.config.rb_jitter_db);
+                10f64.powf((self.trace.mean_snr_db[ue] + jit) / 10.0)
+            })
+            .collect();
+        let sinrs = zf_sinrs(&channels, &powers, 1.0);
+        let group_size = group.len();
+        // Pre-compute per-transmitter decode results (HARQ mutates
+        // state, so this cannot live in the classify closure).
+        let mut results: Vec<(usize, Option<f64>)> = Vec::with_capacity(members.len());
+        for (idx, &ue) in members.iter().enumerate() {
+            let cqi = self.grant_cqi(ue, rb, grant_sf, group_size);
+            let realized_linear = match &sinrs {
+                Some(s) => s[idx].max(0.0),
+                None => 0.0, // rank-deficient channel: no usable energy
+            };
+            let bits = self.mcs.bits_per_rb(cqi, &self.config.cell.numerology);
+            let decoded = if !cqi.is_usable() {
+                false
+            } else if self
+                .mcs
+                .decodes(cqi, Db(10.0 * realized_linear.max(1e-12).log10()))
+            {
+                // Clean first-shot decode; drop any stale process.
+                if let Some(h) = harq.as_deref_mut() {
+                    h.remove(&(ue, rb));
+                }
+                true
+            } else if let Some(h) = harq.as_deref_mut() {
+                // Fading loss: soft-combine with the burst's pending
+                // process (or open one).
+                use blu_phy::harq::{HarqOutcome, HarqProcess};
+                match h.get_mut(&(ue, rb)) {
+                    Some(p) => match p.receive_retransmission(realized_linear, &self.mcs) {
+                        HarqOutcome::Decoded => {
+                            h.remove(&(ue, rb));
+                            true
+                        }
+                        HarqOutcome::Exhausted => {
+                            h.remove(&(ue, rb));
+                            false
+                        }
+                        HarqOutcome::Pending => false,
+                    },
+                    None => {
+                        h.insert(
+                            (ue, rb),
+                            HarqProcess::new(cqi, realized_linear, self.config.harq_max_retx),
+                        );
+                        false
+                    }
+                }
+            } else {
+                false // fading loss, HARQ disabled
+            };
+            results.push((ue, if decoded { Some(bits) } else { None }));
+        }
+        classify_rb(group, transmitting, m, |ue| {
+            results
+                .iter()
+                .find(|&&(u, _)| u == ue)
+                .and_then(|&(_, r)| r)
+        })
+    }
+
+    /// SIC decode of exactly two superposed SISO streams: outcomes are
+    /// `Success` for decoded streams and `Collision` for the rest.
+    fn decode_rb_noma(
+        &self,
+        rb: usize,
+        sf: SubframeIndex,
+        group: ClientSet,
+        transmitting: ClientSet,
+        grant_sf: SubframeIndex,
+    ) -> RbObservation {
+        let members: Vec<usize> = transmitting.iter().collect();
+        let block = sf.0 / self.trace.csi.coherence_subframes;
+        let powers: Vec<f64> = members
+            .iter()
+            .map(|&ue| {
+                let jit = rb_jitter(self.config.seed, ue, rb, block, self.config.rb_jitter_db);
+                10f64.powf((self.trace.mean_snr_db[ue] + jit) / 10.0)
+                    * self.channel_gain(ue, sf).max(1e-9)
+            })
+            .collect();
+        let group_size = group.len();
+        let decoded = blu_phy::noma::sic_decode(&powers, 1.0, |idx, sinr| {
+            let ue = members[idx];
+            let cqi = self.grant_cqi(ue, rb, grant_sf, group_size);
+            cqi.is_usable()
+                && self
+                    .mcs
+                    .decodes(cqi, Db(10.0 * sinr.max(1e-12).log10()))
+        });
+        let outcomes = group
+            .iter()
+            .map(|ue| {
+                let outcome = if !transmitting.contains(ue) {
+                    DecodeOutcome::Blocked
+                } else if let Some(idx) = members.iter().position(|&u| u == ue) {
+                    if decoded.contains(&idx) {
+                        let cqi = self.grant_cqi(ue, rb, grant_sf, group_size);
+                        DecodeOutcome::Success {
+                            bits: self.mcs.bits_per_rb(cqi, &self.config.cell.numerology),
+                        }
+                    } else {
+                        DecodeOutcome::Collision
+                    }
+                } else {
+                    DecodeOutcome::Collision
+                };
+                (ue, outcome)
+            })
+            .collect();
+        RbObservation {
+            scheduled: group,
+            outcomes,
+        }
+    }
+
+    /// Run the emulation. `estimator`, when provided, receives every
+    /// sub-frame's observations (this is how the orchestrator keeps
+    /// measuring during the speculative phase).
+    pub fn run(
+        &mut self,
+        scheduler: &mut dyn UlScheduler,
+        mut estimator: Option<&mut OutcomeEstimator>,
+    ) -> EmulationReport {
+        let n = self.trace.ground_truth.n_clients;
+        let n_rbs = self.config.cell.numerology.n_rbs;
+        let mut metrics = UplinkMetrics::new(n);
+        let mut sf = SubframeIndex(0);
+        for _ in 0..self.config.n_txops {
+            // DL part of the TxOP (grants go out here); traffic keeps
+            // arriving while the eNB transmits.
+            for _ in 0..self.config.cell.txop.dl_subframes {
+                self.traffic_tick();
+            }
+            sf = sf.advance(self.config.cell.txop.dl_subframes);
+            let grant_sf = sf;
+            // One schedule per TxOP, reused over the UL burst (the
+            // paper's 3-sub-frame grants).
+            let rates = self.rate_matrix(grant_sf);
+            let input = SchedInput {
+                n_clients: n,
+                n_rbs,
+                m_antennas: self.config.cell.m_antennas,
+                k_max: self.config.cell.max_ues_per_subframe,
+                max_group: self.config.cell.max_group_size(),
+                rates: &rates,
+                avg_tput: &self.averager.avg,
+            };
+            let schedule = scheduler.schedule(&input);
+            let mut harq: Option<HarqState> = if self.config.harq_max_retx > 0 {
+                Some(HashMap::new())
+            } else {
+                None
+            };
+            for _ in 0..self.config.cell.txop.ul_subframes {
+                self.traffic_tick();
+                let accessible = self.trace.access.at(sf);
+                let mut delivered = vec![0.0; n];
+                // Transport blocks only carry real payload: cap each
+                // client's deliverable bits at its queue contents
+                // (backlogged mode: unlimited).
+                let mut sendable: Vec<f64> = (0..n)
+                    .map(|ue| {
+                        if matches!(self.config.traffic, TrafficModel::Backlogged) {
+                            f64::INFINITY
+                        } else {
+                            self.queues[ue]
+                        }
+                    })
+                    .collect();
+                let mut observations = Vec::with_capacity(n_rbs);
+                let mut all_rbs_utilized = true;
+                for rb in 0..n_rbs {
+                    let group = schedule.group(rb);
+                    if group.is_empty() {
+                        all_rbs_utilized = false;
+                        continue;
+                    }
+                    metrics.rbs_scheduled += 1;
+                    let obs = self.decode_rb(rb, sf, group, accessible, grant_sf, harq.as_mut());
+                    let bits = obs.delivered_bits();
+                    if bits > 0.0 {
+                        metrics.rbs_utilized += 1;
+                    } else {
+                        all_rbs_utilized = false;
+                        if obs.collided() {
+                            metrics.rbs_collided += 1;
+                        } else if obs.transmitters().is_empty() {
+                            metrics.rbs_blocked += 1;
+                        } else {
+                            metrics.rbs_faded += 1;
+                        }
+                    }
+                    let mut credited_on_rb = 0.0;
+                    for &(ue, outcome) in &obs.outcomes {
+                        if let DecodeOutcome::Success { bits } = outcome {
+                            let credited = bits.min(sendable[ue]);
+                            sendable[ue] -= credited;
+                            delivered[ue] += credited;
+                            metrics.bits_per_client[ue] += credited;
+                            credited_on_rb += credited;
+                        }
+                    }
+                    metrics.bits_delivered += credited_on_rb;
+                    observations.push(obs);
+                }
+                metrics.subframes += 1;
+                if all_rbs_utilized && !observations.is_empty() {
+                    metrics.fully_utilized_subframes += 1;
+                }
+                if let Some(est) = estimator.as_deref_mut() {
+                    est.record_subframe(&observations);
+                }
+                for (ue, &bits) in delivered.iter().enumerate() {
+                    if bits > 0.0 {
+                        self.drain(ue, bits);
+                    }
+                }
+                self.averager.update(&delivered);
+                sf = sf.next();
+            }
+        }
+        EmulationReport {
+            scheduler: scheduler.name(),
+            metrics,
+            wall_clock: None,
+        }
+    }
+
+    /// Run with **LBT contention**: instead of back-to-back TxOPs,
+    /// the eNB acquires each TxOP through Cat-4 listen-before-talk
+    /// against `enb_busy` — the union activity of the WiFi nodes it
+    /// can sense. Sub-frame indices (and therefore the clients'
+    /// interference state) follow the wall clock, so throughput can
+    /// be reported per wall-clock second: the honest coexistence
+    /// number for a loaded channel.
+    pub fn run_contended(
+        &mut self,
+        scheduler: &mut dyn UlScheduler,
+        mut estimator: Option<&mut OutcomeEstimator>,
+        enb_busy: &blu_sim::medium::ActivityTimeline,
+        lbt_rng: DetRng,
+    ) -> EmulationReport {
+        use blu_phy::laa::{Lbt, LbtConfig};
+        use blu_sim::time::{Micros, SUBFRAME_US};
+        let n = self.trace.ground_truth.n_clients;
+        let n_rbs = self.config.cell.numerology.n_rbs;
+        let mut metrics = UplinkMetrics::new(n);
+        let mut lbt = Lbt::new(LbtConfig::default(), lbt_rng);
+        let mut now = Micros::ZERO;
+        for _ in 0..self.config.n_txops {
+            // Win the channel, then align to the next sub-frame
+            // boundary (LTE transmissions start on boundaries; the
+            // reservation-signal gap is charged to the TxOP).
+            let acquired = lbt.acquire(enb_busy, now);
+            let start_sf = acquired.as_u64().div_ceil(SUBFRAME_US);
+            let mut sf = SubframeIndex(start_sf);
+            sf = sf.advance(self.config.cell.txop.dl_subframes);
+            let grant_sf = sf;
+            let rates = self.rate_matrix(grant_sf);
+            let input = SchedInput {
+                n_clients: n,
+                n_rbs,
+                m_antennas: self.config.cell.m_antennas,
+                k_max: self.config.cell.max_ues_per_subframe,
+                max_group: self.config.cell.max_group_size(),
+                rates: &rates,
+                avg_tput: &self.averager.avg,
+            };
+            let schedule = scheduler.schedule(&input);
+            for _ in 0..self.config.cell.txop.ul_subframes {
+                let accessible = self.trace.access.at(sf);
+                let mut delivered = vec![0.0; n];
+                let mut observations = Vec::with_capacity(n_rbs);
+                for rb in 0..n_rbs {
+                    let group = schedule.group(rb);
+                    if group.is_empty() {
+                        continue;
+                    }
+                    metrics.rbs_scheduled += 1;
+                    let obs = self.decode_rb(rb, sf, group, accessible, grant_sf, None);
+                    let bits = obs.delivered_bits();
+                    if bits > 0.0 {
+                        metrics.rbs_utilized += 1;
+                    } else if obs.collided() {
+                        metrics.rbs_collided += 1;
+                    } else if obs.transmitters().is_empty() {
+                        metrics.rbs_blocked += 1;
+                    } else {
+                        metrics.rbs_faded += 1;
+                    }
+                    for &(ue, outcome) in &obs.outcomes {
+                        if let blu_phy::outcome::DecodeOutcome::Success { bits } = outcome {
+                            delivered[ue] += bits;
+                            metrics.bits_per_client[ue] += bits;
+                        }
+                    }
+                    metrics.bits_delivered += bits;
+                    observations.push(obs);
+                }
+                metrics.subframes += 1;
+                if let Some(est) = estimator.as_deref_mut() {
+                    est.record_subframe(&observations);
+                }
+                self.averager.update(&delivered);
+                sf = sf.next();
+            }
+            now = sf.start();
+            lbt.reset_cw();
+        }
+        EmulationReport {
+            scheduler: scheduler.name(),
+            metrics,
+            wall_clock: Some(now),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::joint::TopologyAccess;
+    use crate::sched::{AccessAwareScheduler, PfScheduler, SpeculativeScheduler};
+    use blu_sim::time::Micros;
+    use blu_traces::capture::{capture_synthetic, CaptureConfig};
+
+    fn small_cell() -> CellConfig {
+        let mut c = CellConfig::testbed_siso();
+        c.numerology.n_rbs = 10; // keep unit tests fast
+        c
+    }
+
+    fn quick_trace(seed: u64) -> blu_traces::schema::TestbedTrace {
+        capture_synthetic(
+            &CaptureConfig {
+                duration: Micros::from_secs(20),
+                q_range: (0.3, 0.6),
+                ..CaptureConfig::testbed_default()
+            },
+            seed,
+        )
+    }
+
+    fn quick_config(n_txops: u64) -> EmulationConfig {
+        let mut cfg = EmulationConfig::new(small_cell());
+        cfg.n_txops = n_txops;
+        cfg
+    }
+
+    #[test]
+    fn pf_emulation_produces_sane_metrics() {
+        let trace = quick_trace(1);
+        let mut emu = Emulator::new(&trace, quick_config(200));
+        let report = emu.run(&mut PfScheduler, None);
+        let m = &report.metrics;
+        assert_eq!(m.subframes, 600);
+        assert!(m.rbs_scheduled > 0);
+        assert!(m.rbs_utilized <= m.rbs_scheduled);
+        assert!(m.bits_delivered > 0.0);
+        assert!(m.rb_utilization() < 1.0, "hidden terminals must bite");
+        assert!(m.rbs_blocked > 0, "blocking must occur");
+    }
+
+    #[test]
+    fn blu_beats_pf_on_interference_heavy_trace() {
+        // The headline claim at small scale: with ground-truth
+        // topology, speculative scheduling delivers more throughput
+        // and higher utilization than PF.
+        let trace = quick_trace(2);
+        let topo = trace.ground_truth.clone();
+        let acc = TopologyAccess::new(&topo);
+
+        let mut emu_pf = Emulator::new(&trace, quick_config(200));
+        let pf = emu_pf.run(&mut PfScheduler, None);
+
+        let mut emu_blu = Emulator::new(&trace, quick_config(200));
+        let mut blu = SpeculativeScheduler::new(&acc);
+        let blu_report = emu_blu.run(&mut blu, None);
+
+        assert!(
+            blu_report.metrics.rb_utilization() > pf.metrics.rb_utilization(),
+            "BLU {} vs PF {}",
+            blu_report.metrics.rb_utilization(),
+            pf.metrics.rb_utilization()
+        );
+        assert!(
+            blu_report.metrics.throughput_mbps() > pf.metrics.throughput_mbps(),
+            "BLU {} vs PF {} Mbps",
+            blu_report.metrics.throughput_mbps(),
+            pf.metrics.throughput_mbps()
+        );
+    }
+
+    #[test]
+    fn aa_tracks_pf_without_boosting_utilization() {
+        // The paper's observation: AA cannot compensate for
+        // under-utilization during access (it never over-schedules).
+        let trace = quick_trace(3);
+        let p: Vec<f64> = (0..trace.ground_truth.n_clients)
+            .map(|i| trace.ground_truth.p_individual(i))
+            .collect();
+        let mut emu = Emulator::new(&trace, quick_config(150));
+        let aa = emu.run(&mut AccessAwareScheduler::new(p), None);
+        let mut emu2 = Emulator::new(&trace, quick_config(150));
+        let pf = emu2.run(&mut PfScheduler, None);
+        let ratio = aa.metrics.rb_utilization() / pf.metrics.rb_utilization().max(1e-9);
+        assert!(
+            (0.6..1.4).contains(&ratio),
+            "AA utilization ratio vs PF: {ratio}"
+        );
+    }
+
+    #[test]
+    fn estimator_receives_observations() {
+        let trace = quick_trace(4);
+        let mut est = OutcomeEstimator::new(trace.ground_truth.n_clients);
+        let mut emu = Emulator::new(&trace, quick_config(100));
+        emu.run(&mut PfScheduler, Some(&mut est));
+        // Scheduled clients must have been observed, and the measured
+        // access probability should be in the right region.
+        let observed: Vec<usize> = (0..trace.ground_truth.n_clients)
+            .filter(|&i| est.stats().p_individual(i).is_some())
+            .collect();
+        assert!(!observed.is_empty());
+        for i in observed {
+            let emp = est.stats().p_individual(i).unwrap();
+            let truth = trace.ground_truth.p_individual(i);
+            assert!(
+                (emp - truth).abs() < 0.25,
+                "client {i}: measured {emp} vs truth {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn emulation_is_deterministic() {
+        let trace = quick_trace(5);
+        let mut a = Emulator::new(&trace, quick_config(50));
+        let ra = a.run(&mut PfScheduler, None);
+        let mut b = Emulator::new(&trace, quick_config(50));
+        let rb = b.run(&mut PfScheduler, None);
+        assert_eq!(ra.metrics, rb.metrics);
+    }
+
+    #[test]
+    fn collisions_occur_only_with_overscheduling() {
+        let trace = quick_trace(6);
+        let mut emu = Emulator::new(&trace, quick_config(150));
+        let pf = emu.run(&mut PfScheduler, None);
+        assert_eq!(pf.metrics.rbs_collided, 0, "PF cannot collide (SISO)");
+    }
+}
+
+#[cfg(test)]
+mod contended_tests {
+    use super::*;
+    use crate::sched::PfScheduler;
+    use blu_sim::medium::ActivityTimeline;
+    use blu_sim::time::Micros;
+    use blu_traces::capture::{capture_synthetic, CaptureConfig};
+    use blu_wifi::onoff::OnOffSource;
+
+    fn quick_trace(seed: u64) -> blu_traces::schema::TestbedTrace {
+        capture_synthetic(
+            &CaptureConfig {
+                duration: Micros::from_secs(30),
+                ..CaptureConfig::testbed_default()
+            },
+            seed,
+        )
+    }
+
+    fn small_config(n_txops: u64) -> EmulationConfig {
+        let mut cell = CellConfig::testbed_siso();
+        cell.numerology.n_rbs = 10;
+        let mut cfg = EmulationConfig::new(cell);
+        cfg.n_txops = n_txops;
+        cfg
+    }
+
+    #[test]
+    fn idle_channel_contention_is_nearly_free() {
+        let trace = quick_trace(1);
+        let mut emu = Emulator::new(&trace, small_config(200));
+        let report = emu.run_contended(
+            &mut PfScheduler,
+            None,
+            &ActivityTimeline::new(),
+            DetRng::seed_from_u64(1),
+        );
+        let wall = report.wall_clock.unwrap();
+        // 200 TxOPs × 4 sub-frames = 800 ms of airtime; LBT on an
+        // idle channel adds ≤ ~1 sub-frame per TxOP.
+        assert!(wall >= Micros::from_millis(800));
+        assert!(wall <= Micros::from_millis(1_100), "wall {wall}");
+        assert_eq!(report.metrics.subframes, 600);
+    }
+
+    #[test]
+    fn busy_channel_stretches_wall_clock() {
+        let trace = quick_trace(2);
+        let mut rng = DetRng::seed_from_u64(3);
+        // Heavily loaded neighbour the eNB must defer to: 85% duty
+        // in 20 ms bursts.
+        let busy =
+            OnOffSource::with_duty_cycle(0.85, 20_000.0).generate(Micros::from_secs(600), &mut rng);
+        let mut emu_idle = Emulator::new(&trace, small_config(150));
+        let idle = emu_idle.run_contended(
+            &mut PfScheduler,
+            None,
+            &ActivityTimeline::new(),
+            DetRng::seed_from_u64(4),
+        );
+        let mut emu_busy = Emulator::new(&trace, small_config(150));
+        let contended =
+            emu_busy.run_contended(&mut PfScheduler, None, &busy, DetRng::seed_from_u64(4));
+        let w_idle = idle.wall_clock.unwrap().as_u64();
+        let w_busy = contended.wall_clock.unwrap().as_u64();
+        // 85% duty in 20 ms bursts: each TxOP waits out the residual
+        // burst (~20 ms) most of the time — wall clock several times
+        // the idle-channel run.
+        assert!(
+            w_busy as f64 > w_idle as f64 * 2.0,
+            "busy {w_busy} vs idle {w_idle}"
+        );
+        // Same number of TxOPs delivered, just later.
+        assert_eq!(idle.metrics.subframes, contended.metrics.subframes);
+    }
+
+    #[test]
+    fn contended_run_is_deterministic() {
+        let trace = quick_trace(5);
+        let mut rng = DetRng::seed_from_u64(7);
+        let busy =
+            OnOffSource::with_duty_cycle(0.3, 2_000.0).generate(Micros::from_secs(60), &mut rng);
+        let mut a = Emulator::new(&trace, small_config(80));
+        let ra = a.run_contended(&mut PfScheduler, None, &busy, DetRng::seed_from_u64(9));
+        let mut b = Emulator::new(&trace, small_config(80));
+        let rb = b.run_contended(&mut PfScheduler, None, &busy, DetRng::seed_from_u64(9));
+        assert_eq!(ra.metrics, rb.metrics);
+        assert_eq!(ra.wall_clock, rb.wall_clock);
+    }
+}
+
+#[cfg(test)]
+mod harq_tests {
+    use super::*;
+    use crate::sched::PfScheduler;
+    use blu_sim::time::Micros;
+    use blu_traces::capture::{capture_synthetic, CaptureConfig};
+
+    /// Low SNR + aggressive MCS: HARQ must convert a chunk of fading
+    /// losses into delivered bits without touching blocking losses.
+    #[test]
+    fn harq_recovers_fading_losses_only() {
+        let trace = capture_synthetic(
+            &CaptureConfig {
+                duration: Micros::from_secs(30),
+                snr_range_db: (7.0, 11.0),
+                q_range: (0.3, 0.5),
+                ..CaptureConfig::testbed_default()
+            },
+            11,
+        );
+        let mut cell = CellConfig::testbed_siso();
+        cell.numerology.n_rbs = 10;
+        let mut base = EmulationConfig::new(cell);
+        base.n_txops = 800;
+        base.mcs_margin_db = -2.0;
+
+        let off = Emulator::new(&trace, base.clone())
+            .run(&mut PfScheduler, None)
+            .metrics;
+        let mut cfg_on = base.clone();
+        cfg_on.harq_max_retx = 3;
+        let on = Emulator::new(&trace, cfg_on)
+            .run(&mut PfScheduler, None)
+            .metrics;
+
+        assert!(
+            off.rbs_faded > 100,
+            "need fading pressure: {}",
+            off.rbs_faded
+        );
+        assert!(
+            on.rbs_faded < off.rbs_faded,
+            "HARQ should reduce fading losses: {} vs {}",
+            on.rbs_faded,
+            off.rbs_faded
+        );
+        assert!(on.bits_delivered > off.bits_delivered);
+        // HARQ cannot help blocked grants (no energy to combine).
+        let diff = (on.rbs_blocked as f64 - off.rbs_blocked as f64).abs();
+        assert!(
+            diff / (off.rbs_blocked.max(1) as f64) < 0.01,
+            "blocking must be untouched: {} vs {}",
+            on.rbs_blocked,
+            off.rbs_blocked
+        );
+    }
+
+    #[test]
+    fn harq_is_deterministic_and_off_by_default() {
+        let trace = capture_synthetic(
+            &CaptureConfig {
+                duration: Micros::from_secs(10),
+                ..CaptureConfig::testbed_default()
+            },
+            12,
+        );
+        let mut cell = CellConfig::testbed_siso();
+        cell.numerology.n_rbs = 10;
+        let cfg = EmulationConfig::new(cell);
+        assert_eq!(cfg.harq_max_retx, 0);
+        let mut cfg = cfg;
+        cfg.n_txops = 100;
+        cfg.harq_max_retx = 2;
+        let a = Emulator::new(&trace, cfg.clone())
+            .run(&mut PfScheduler, None)
+            .metrics;
+        let b = Emulator::new(&trace, cfg)
+            .run(&mut PfScheduler, None)
+            .metrics;
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod traffic_tests {
+    use super::*;
+    use crate::sched::PfScheduler;
+    use blu_sim::time::Micros;
+    use blu_traces::capture::{capture_synthetic, CaptureConfig};
+
+    fn quick_trace(seed: u64) -> blu_traces::schema::TestbedTrace {
+        capture_synthetic(
+            &CaptureConfig {
+                duration: Micros::from_secs(20),
+                q_range: (0.2, 0.4),
+                ..CaptureConfig::testbed_default()
+            },
+            seed,
+        )
+    }
+
+    fn cfg(n_txops: u64) -> EmulationConfig {
+        let mut cell = CellConfig::testbed_siso();
+        cell.numerology.n_rbs = 10;
+        let mut c = EmulationConfig::new(cell);
+        c.n_txops = n_txops;
+        c
+    }
+
+    #[test]
+    fn light_load_caps_delivery_at_offered_traffic() {
+        let trace = quick_trace(21);
+        let mut light = cfg(2_000);
+        // 50 bursts/s × 2 kbit = 100 kbit/s per UE, far below capacity.
+        light.traffic = TrafficModel::Poisson {
+            bursts_per_sec: 50.0,
+            burst_bits: 2_000.0,
+        };
+        let m = Emulator::new(&trace, light)
+            .run(&mut PfScheduler, None)
+            .metrics;
+        let n = trace.ground_truth.n_clients as f64;
+        // Arrivals accrue over all 4 TxOP sub-frames but throughput
+        // is accounted per UL sub-frame (3 of 4): rescale.
+        let offered_mbps = n * 50.0 * 2_000.0 / 1e6 * (4.0 / 3.0);
+        let got = m.throughput_mbps();
+        // Delivery cannot exceed offered load (plus queueing slack),
+        // and under light load most of it should get through.
+        assert!(got <= offered_mbps * 1.1, "{got} vs offered {offered_mbps}");
+        assert!(got >= offered_mbps * 0.4, "{got} vs offered {offered_mbps}");
+    }
+
+    #[test]
+    fn backlogged_delivers_more_than_finite_load() {
+        let trace = quick_trace(22);
+        let back = Emulator::new(&trace, cfg(500))
+            .run(&mut PfScheduler, None)
+            .metrics;
+        let mut finite = cfg(500);
+        finite.traffic = TrafficModel::Poisson {
+            bursts_per_sec: 20.0,
+            burst_bits: 1_000.0,
+        };
+        let fin = Emulator::new(&trace, finite)
+            .run(&mut PfScheduler, None)
+            .metrics;
+        assert!(back.bits_delivered > fin.bits_delivered * 2.0);
+    }
+
+    #[test]
+    fn empty_queues_release_grants() {
+        // With tiny offered load, most sub-frames should have few or
+        // no scheduled RBs (rates zeroed for empty queues).
+        let trace = quick_trace(23);
+        let mut c = cfg(500);
+        c.traffic = TrafficModel::Poisson {
+            bursts_per_sec: 2.0,
+            burst_bits: 500.0,
+        };
+        let m = Emulator::new(&trace, c).run(&mut PfScheduler, None).metrics;
+        let full_allocation = m.subframes * 10;
+        assert!(
+            m.rbs_scheduled < full_allocation / 2,
+            "{} of {} RBs scheduled despite near-empty queues",
+            m.rbs_scheduled,
+            full_allocation
+        );
+    }
+
+    #[test]
+    fn finite_buffer_is_deterministic() {
+        let trace = quick_trace(24);
+        let mut c = cfg(200);
+        c.traffic = TrafficModel::Poisson {
+            bursts_per_sec: 100.0,
+            burst_bits: 3_000.0,
+        };
+        let a = Emulator::new(&trace, c.clone())
+            .run(&mut PfScheduler, None)
+            .metrics;
+        let b = Emulator::new(&trace, c).run(&mut PfScheduler, None).metrics;
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod noma_tests {
+    use super::*;
+    use crate::joint::TopologyAccess;
+    use crate::sched::{PfScheduler, SpeculativeScheduler};
+    use blu_sim::time::Micros;
+    use blu_traces::capture::{capture_synthetic, CaptureConfig};
+
+    fn heavy_trace(seed: u64) -> blu_traces::schema::TestbedTrace {
+        capture_synthetic(
+            &CaptureConfig {
+                duration: Micros::from_secs(30),
+                q_range: (0.4, 0.65),
+                // Wide SNR spread: power-domain separation is viable.
+                snr_range_db: (8.0, 30.0),
+                ..CaptureConfig::testbed_default()
+            },
+            seed,
+        )
+    }
+
+    fn cfg(noma: bool) -> EmulationConfig {
+        let mut cell = CellConfig::testbed_siso();
+        cell.numerology.n_rbs = 10;
+        let mut c = EmulationConfig::new(cell);
+        c.n_txops = 400;
+        c.noma_sic = noma;
+        c
+    }
+
+    #[test]
+    fn sic_rescues_overscheduling_collisions() {
+        let trace = heavy_trace(41);
+        let acc = TopologyAccess::new(&trace.ground_truth);
+        let plain = Emulator::new(&trace, cfg(false))
+            .run(&mut SpeculativeScheduler::new(&acc), None)
+            .metrics;
+        let noma = Emulator::new(&trace, cfg(true))
+            .run(&mut SpeculativeScheduler::new(&acc), None)
+            .metrics;
+        assert!(plain.rbs_collided > 20, "need collision pressure");
+        assert!(
+            noma.rbs_collided < plain.rbs_collided,
+            "SIC should resolve some pile-ups: {} vs {}",
+            noma.rbs_collided,
+            plain.rbs_collided
+        );
+        assert!(noma.bits_delivered > plain.bits_delivered);
+    }
+
+    #[test]
+    fn noma_is_noop_for_pf() {
+        // PF never over-schedules, so SIC has nothing to rescue.
+        let trace = heavy_trace(42);
+        let a = Emulator::new(&trace, cfg(false))
+            .run(&mut PfScheduler, None)
+            .metrics;
+        let b = Emulator::new(&trace, cfg(true))
+            .run(&mut PfScheduler, None)
+            .metrics;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn noma_estimator_still_counts_collisions_as_access() {
+        // Both SIC outcomes (Success or Collision) prove the client
+        // transmitted — the access statistics stay unbiased.
+        let trace = heavy_trace(43);
+        let acc = TopologyAccess::new(&trace.ground_truth);
+        let mut est = crate::measure::OutcomeEstimator::new(trace.ground_truth.n_clients);
+        Emulator::new(&trace, cfg(true))
+            .run(&mut SpeculativeScheduler::new(&acc), Some(&mut est));
+        for i in 0..trace.ground_truth.n_clients {
+            if let Some(p) = est.stats().p_individual(i) {
+                let truth = trace.ground_truth.p_individual(i);
+                assert!((p - truth).abs() < 0.15, "UE {i}: {p} vs {truth}");
+            }
+        }
+    }
+}

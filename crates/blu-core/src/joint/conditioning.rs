@@ -1,0 +1,231 @@
+//! The paper's recursive topology-conditioning computation of joint
+//! access distributions (§3.6, Eqns. 7–9).
+//!
+//! Given a blue-printed topology `T = (h, Q, Z)`, the joint
+//! probability that all clients of `U` can access while all clients
+//! of `V` cannot is
+//!
+//! ```text
+//! P(U, V̄) = P(V̄ | U) · P(U)                            (Eqn. 7)
+//! P(U)    = P(uₙ) · P_{uₙ}(uₙ₋₁) · P_{uₙ,uₙ₋₁}(uₙ₋₂) …   (Eqn. 8)
+//! ```
+//!
+//! where `P_{u…}(·)` denotes probabilities on the topology
+//! **conditioned** on clients `u…` accessing — i.e. with every hidden
+//! terminal adjacent to them removed (they must have been idle). The
+//! blocked-side term recurses via Bayes (Eqn. 9):
+//!
+//! ```text
+//! P(V̄ₘ) = (1 − P_{vₘ}(V̄ₘ₋₁)·P(vₘ)/P(V̄ₘ₋₁)) · P(V̄ₘ₋₁)
+//! ```
+//!
+//! The recursion bottoms out at individual access probabilities of
+//! conditioned topologies — exactly the quantities the blue-print
+//! provides. This module implements the recursion literally (the
+//! conditioned topology is a bitmask of surviving hidden terminals)
+//! and is property-tested against the inclusion–exclusion oracle
+//! [`InterferenceTopology::p_joint`].
+
+use blu_sim::clientset::ClientSet;
+use blu_sim::topology::InterferenceTopology;
+
+/// Evaluates the §3.6 recursion on a topology.
+pub struct Conditioning<'a> {
+    topo: &'a InterferenceTopology,
+}
+
+impl<'a> Conditioning<'a> {
+    /// Wrap a topology.
+    pub fn new(topo: &'a InterferenceTopology) -> Self {
+        assert!(
+            topo.n_hidden() <= 128,
+            "conditioning mask supports up to 128 hidden terminals"
+        );
+        Conditioning { topo }
+    }
+
+    /// Mask with every hidden terminal present.
+    fn full_mask(&self) -> u128 {
+        if self.topo.n_hidden() == 128 {
+            u128::MAX
+        } else {
+            (1u128 << self.topo.n_hidden()) - 1
+        }
+    }
+
+    /// HTs (within `mask`) adjacent to client `i`.
+    fn adjacent(&self, mask: u128, i: usize) -> u128 {
+        let mut out = 0u128;
+        for (k, ht) in self.topo.hts.iter().enumerate() {
+            if (mask >> k) & 1 == 1 && ht.edges.contains(i) {
+                out |= 1 << k;
+            }
+        }
+        out
+    }
+
+    /// `p(i)` on the conditioned topology `mask`.
+    fn p_individual_on(&self, mask: u128, i: usize) -> f64 {
+        let mut p = 1.0;
+        let mut m = self.adjacent(mask, i);
+        while m != 0 {
+            let k = m.trailing_zeros() as usize;
+            m &= m - 1;
+            p *= 1.0 - self.topo.hts[k].q;
+        }
+        p
+    }
+
+    /// `P(U)` on the conditioned topology `mask` (Eqn. 8): peel one
+    /// client at a time, conditioning the topology on each.
+    fn p_all_access_on(&self, mut mask: u128, u: ClientSet) -> f64 {
+        let mut p = 1.0;
+        for i in u.iter() {
+            p *= self.p_individual_on(mask, i);
+            mask &= !self.adjacent(mask, i);
+        }
+        p
+    }
+
+    /// `P(V̄)` on the conditioned topology `mask` (Eqn. 9): recurse on
+    /// the last client of `v`.
+    fn p_all_fail_on(&self, mask: u128, v: ClientSet) -> f64 {
+        if v.is_empty() {
+            return 1.0;
+        }
+        // Take vₘ = highest-indexed member, V̄ₘ₋₁ the rest.
+        let v_m = v.iter().last().expect("non-empty");
+        let rest = v.without(v_m);
+        if rest.is_empty() {
+            return 1.0 - self.p_individual_on(mask, v_m);
+        }
+        let p_rest = self.p_all_fail_on(mask, rest);
+        if p_rest <= 0.0 {
+            // P(V̄ₘ₋₁) = 0 forces P(V̄ₘ) = 0 (monotone events).
+            return 0.0;
+        }
+        let p_vm = self.p_individual_on(mask, v_m);
+        let mask_given_vm = mask & !self.adjacent(mask, v_m);
+        let p_rest_given_vm = self.p_all_fail_on(mask_given_vm, rest);
+        (1.0 - p_rest_given_vm * p_vm / p_rest) * p_rest
+    }
+
+    /// `P(U)` on the full topology (Eqn. 8).
+    pub fn p_all_access(&self, u: ClientSet) -> f64 {
+        self.p_all_access_on(self.full_mask(), u)
+    }
+
+    /// `P(U, V̄)` on the full topology (Eqn. 7). Sets must be disjoint.
+    pub fn p_joint(&self, succeed: ClientSet, fail: ClientSet) -> f64 {
+        assert!(succeed.is_disjoint(fail), "success/fail sets overlap");
+        let mut mask = self.full_mask();
+        let p_u = self.p_all_access_on(mask, succeed);
+        if p_u == 0.0 {
+            return 0.0;
+        }
+        // Condition the topology on all of U accessing.
+        for i in succeed.iter() {
+            mask &= !self.adjacent(mask, i);
+        }
+        let p_fail = self.p_all_fail_on(mask, fail);
+        // Float cancellation in Eqn. 9 can leave tiny negatives.
+        (p_u * p_fail).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blu_sim::rng::DetRng;
+    use blu_sim::topology::{HiddenTerminal, InterferenceTopology};
+
+    #[test]
+    fn paper_worked_example_shape() {
+        // The paper's example: 4 clients, compute P(1̄, 2̄, 3, 4) via
+        // conditioning; cross-check against the oracle.
+        let mut rng = DetRng::seed_from_u64(1);
+        let topo = InterferenceTopology::random(4, 3, (0.2, 0.6), 0.5, &mut rng);
+        let cond = Conditioning::new(&topo);
+        let succeed = ClientSet::from_iter([2, 3]);
+        let fail = ClientSet::from_iter([0, 1]);
+        let got = cond.p_joint(succeed, fail);
+        let want = topo.p_joint(succeed, fail);
+        assert!((got - want).abs() < 1e-12, "{got} vs {want}");
+    }
+
+    #[test]
+    fn matches_oracle_exhaustively_small() {
+        // Every (succeed, fail) partition of every subset, several
+        // random topologies.
+        for seed in 0..10 {
+            let mut rng = DetRng::seed_from_u64(seed);
+            let topo = InterferenceTopology::random(5, 4, (0.05, 0.8), 0.45, &mut rng);
+            let cond = Conditioning::new(&topo);
+            let all = ClientSet::all(5);
+            for w in all.subsets() {
+                for s in w.subsets() {
+                    let f = w.difference(s);
+                    let got = cond.p_joint(s, f);
+                    let want = topo.p_joint(s, f);
+                    assert!(
+                        (got - want).abs() < 1e-9,
+                        "seed {seed}, s={s}, f={f}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn p_all_access_matches_closed_form() {
+        let mut rng = DetRng::seed_from_u64(3);
+        let topo = InterferenceTopology::random(6, 5, (0.1, 0.7), 0.4, &mut rng);
+        let cond = Conditioning::new(&topo);
+        for mask in 0u128..64 {
+            let s = ClientSet(mask);
+            assert!(
+                (cond.p_all_access(s) - topo.p_all_access(s)).abs() < 1e-12,
+                "set {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn joint_distribution_sums_to_one() {
+        let mut rng = DetRng::seed_from_u64(4);
+        let topo = InterferenceTopology::random(6, 4, (0.1, 0.6), 0.5, &mut rng);
+        let cond = Conditioning::new(&topo);
+        let all = ClientSet::all(6);
+        let total: f64 = all
+            .subsets()
+            .map(|s| cond.p_joint(s, all.difference(s)))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn certain_blocker_forces_zero() {
+        // HT with q = 1 on client 0: P(0 accesses) = 0, and
+        // P(0 blocked) = 1.
+        let topo = InterferenceTopology {
+            n_clients: 2,
+            hts: vec![HiddenTerminal {
+                q: 1.0,
+                edges: ClientSet::singleton(0),
+            }],
+        };
+        let cond = Conditioning::new(&topo);
+        assert_eq!(cond.p_joint(ClientSet::singleton(0), ClientSet::EMPTY), 0.0);
+        assert!(
+            (cond.p_joint(ClientSet::singleton(1), ClientSet::singleton(0)) - 1.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn interference_free_topology() {
+        let topo = InterferenceTopology::interference_free(4);
+        let cond = Conditioning::new(&topo);
+        assert_eq!(cond.p_joint(ClientSet::all(4), ClientSet::EMPTY), 1.0);
+        assert_eq!(cond.p_joint(ClientSet::EMPTY, ClientSet::all(4)), 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Higher-order joint access distributions (paper §3.6).
+//!
+//! The speculative scheduler needs `P(g, Ḡ'\g)` — the probability
+//! that exactly the clients in `g` (among a candidate group `G'`) can
+//! use their grants. Three sources are provided behind the
+//! [`AccessDistribution`] trait:
+//!
+//! * [`TopologyAccess`] — exact probabilities from a (ground-truth or
+//!   inferred) hidden-terminal topology, via an `O(h·2^w)` dynamic
+//!   program over HT activity;
+//! * [`EmpiricalPatternAccess`] — frequencies counted directly from a
+//!   full access trace (the paper's "perfect knowledge" upper bound,
+//!   Fig. 15, and its "impractical in real time" comparison point);
+//! * [`IndependentAccess`] — the product of individual `p(i)` — what
+//!   a scheduler without interference-dependency information (the
+//!   access-aware baseline) implicitly assumes.
+//!
+//! [`conditioning`] implements the paper's own recursive formulation
+//! (Eqns. 7–9) and is property-tested against the closed-form oracle.
+
+pub mod conditioning;
+pub mod pattern;
+
+pub use pattern::{EmpiricalPatternAccess, IndependentAccess, TopologyAccess};
+
+use blu_sim::clientset::ClientSet;
+
+/// A source of joint access distributions over client sets.
+///
+/// The *pattern distribution* of a client set `w = {c₀ < c₁ < …}` is
+/// a vector of length `2^|w|`: entry `m` is the probability that
+/// exactly the clients `{cₙ : bit n of m set}` are **blocked** (fail
+/// CCA) while the rest of `w` can access.
+pub trait AccessDistribution {
+    /// The blocked-pattern distribution of `w` (length `2^|w|`,
+    /// sums to 1).
+    fn pattern_distribution(&self, w: ClientSet) -> Vec<f64>;
+
+    /// Convenience: `P(succeed accessible, fail blocked)` for
+    /// disjoint sets, marginalizing everything else.
+    fn p_joint(&self, succeed: ClientSet, fail: ClientSet) -> f64 {
+        assert!(succeed.is_disjoint(fail));
+        let w = succeed.union(fail);
+        let dist = self.pattern_distribution(w);
+        let members: Vec<usize> = w.iter().collect();
+        let mut fail_mask = 0usize;
+        for (n, &c) in members.iter().enumerate() {
+            if fail.contains(c) {
+                fail_mask |= 1 << n;
+            }
+        }
+        dist[fail_mask]
+    }
+
+    /// Individual access probability `p(i)`.
+    fn p_individual(&self, i: usize) -> f64 {
+        let dist = self.pattern_distribution(ClientSet::singleton(i));
+        dist[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blu_sim::rng::DetRng;
+    use blu_sim::topology::InterferenceTopology;
+
+    #[test]
+    fn p_joint_default_impl_matches_oracle() {
+        let mut rng = DetRng::seed_from_u64(1);
+        let topo = InterferenceTopology::random(6, 4, (0.1, 0.6), 0.4, &mut rng);
+        let acc = TopologyAccess::new(&topo);
+        for trial in 0..50 {
+            let succeed: ClientSet = (0..6).filter(|_| rng.chance(0.3)).collect();
+            let fail: ClientSet = (0..6)
+                .filter(|&i| !succeed.contains(i) && rng.chance(0.3))
+                .collect();
+            let got = acc.p_joint(succeed, fail);
+            let want = topo.p_joint(succeed, fail);
+            assert!(
+                (got - want).abs() < 1e-10,
+                "trial {trial}: {got} vs {want} for {succeed}/{fail}"
+            );
+        }
+    }
+
+    #[test]
+    fn p_individual_default_impl() {
+        let mut rng = DetRng::seed_from_u64(2);
+        let topo = InterferenceTopology::random(4, 3, (0.2, 0.5), 0.5, &mut rng);
+        let acc = TopologyAccess::new(&topo);
+        for i in 0..4 {
+            assert!((acc.p_individual(i) - topo.p_individual(i)).abs() < 1e-12);
+        }
+    }
+}

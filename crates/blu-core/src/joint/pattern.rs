@@ -1,0 +1,278 @@
+//! Pattern-distribution implementations of [`AccessDistribution`].
+
+use super::AccessDistribution;
+use blu_sim::clientset::ClientSet;
+use blu_sim::topology::InterferenceTopology;
+use blu_traces::schema::AccessTrace;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Exact pattern distributions from a hidden-terminal topology.
+///
+/// For a client set `w` the distribution over blocked-patterns is
+/// computed by a dynamic program over hidden terminals: start from
+/// "nobody blocked" with probability 1 and fold each HT in — active
+/// with probability `q(k)` (OR-ing its local edge mask into the
+/// blocked pattern), idle with `1 − q(k)`. `O(h · 2^|w|)`, exact.
+///
+/// Distributions are memoized per client set, because the scheduler
+/// re-queries the same candidate groups across RBs and sub-frames.
+pub struct TopologyAccess<'a> {
+    topo: &'a InterferenceTopology,
+    cache: RefCell<HashMap<u128, Vec<f64>>>,
+}
+
+impl<'a> TopologyAccess<'a> {
+    /// Wrap a topology.
+    pub fn new(topo: &'a InterferenceTopology) -> Self {
+        TopologyAccess {
+            topo,
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    fn compute(&self, w: ClientSet) -> Vec<f64> {
+        let members: Vec<usize> = w.iter().collect();
+        let size = 1usize << members.len();
+        let mut dist = vec![0.0; size];
+        dist[0] = 1.0;
+        let mut scratch = vec![0.0; size];
+        for ht in &self.topo.hts {
+            // Local blocked-mask of this HT within w.
+            let mut local = 0usize;
+            for (n, &c) in members.iter().enumerate() {
+                if ht.edges.contains(c) {
+                    local |= 1 << n;
+                }
+            }
+            if local == 0 || ht.q == 0.0 {
+                continue; // does not touch w / never active
+            }
+            scratch.iter_mut().for_each(|x| *x = 0.0);
+            for (m, &p) in dist.iter().enumerate() {
+                if p == 0.0 {
+                    continue;
+                }
+                scratch[m] += p * (1.0 - ht.q);
+                scratch[m | local] += p * ht.q;
+            }
+            std::mem::swap(&mut dist, &mut scratch);
+        }
+        dist
+    }
+}
+
+impl AccessDistribution for TopologyAccess<'_> {
+    fn pattern_distribution(&self, w: ClientSet) -> Vec<f64> {
+        if let Some(d) = self.cache.borrow().get(&w.0) {
+            return d.clone();
+        }
+        let d = self.compute(w);
+        self.cache.borrow_mut().insert(w.0, d.clone());
+        d
+    }
+}
+
+/// Pattern frequencies counted from a full access trace — the
+/// perfect-knowledge source the paper uses to isolate scheduler
+/// performance from inference (Fig. 15). The paper notes computing
+/// these directly in real time is impractical at MU-MIMO scale; the
+/// Criterion bench `joint_distributions` quantifies that.
+pub struct EmpiricalPatternAccess<'a> {
+    trace: &'a AccessTrace,
+    cache: RefCell<HashMap<u128, Vec<f64>>>,
+}
+
+impl<'a> EmpiricalPatternAccess<'a> {
+    /// Wrap an access trace.
+    pub fn new(trace: &'a AccessTrace) -> Self {
+        assert!(!trace.is_empty(), "empty access trace");
+        EmpiricalPatternAccess {
+            trace,
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    fn compute(&self, w: ClientSet) -> Vec<f64> {
+        let members: Vec<usize> = w.iter().collect();
+        let size = 1usize << members.len();
+        let mut counts = vec![0u64; size];
+        for &acc in &self.trace.accessible {
+            let mut m = 0usize;
+            for (n, &c) in members.iter().enumerate() {
+                if !acc.contains(c) {
+                    m |= 1 << n;
+                }
+            }
+            counts[m] += 1;
+        }
+        let total = self.trace.accessible.len() as f64;
+        counts.into_iter().map(|c| c as f64 / total).collect()
+    }
+}
+
+impl AccessDistribution for EmpiricalPatternAccess<'_> {
+    fn pattern_distribution(&self, w: ClientSet) -> Vec<f64> {
+        if let Some(d) = self.cache.borrow().get(&w.0) {
+            return d.clone();
+        }
+        let d = self.compute(w);
+        self.cache.borrow_mut().insert(w.0, d.clone());
+        d
+    }
+}
+
+/// Independence assumption: each client blocked with probability
+/// `1 − p(i)` independently. This is what a scheduler with only
+/// individual access probabilities can assume; over-scheduling on it
+/// ignores shared hidden terminals (the paper's Fig. 5 failure).
+pub struct IndependentAccess {
+    /// Individual access probabilities, indexed by client.
+    pub p: Vec<f64>,
+}
+
+impl IndependentAccess {
+    /// Construct from per-client access probabilities.
+    pub fn new(p: Vec<f64>) -> Self {
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        IndependentAccess { p }
+    }
+}
+
+impl AccessDistribution for IndependentAccess {
+    fn pattern_distribution(&self, w: ClientSet) -> Vec<f64> {
+        let members: Vec<usize> = w.iter().collect();
+        let size = 1usize << members.len();
+        let mut dist = vec![1.0; size];
+        for (m, d) in dist.iter_mut().enumerate() {
+            for (n, &c) in members.iter().enumerate() {
+                let blocked = (m >> n) & 1 == 1;
+                *d *= if blocked { 1.0 - self.p[c] } else { self.p[c] };
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blu_sim::rng::DetRng;
+    use blu_sim::topology::{HiddenTerminal, InterferenceTopology};
+
+    fn topo3() -> InterferenceTopology {
+        InterferenceTopology {
+            n_clients: 3,
+            hts: vec![
+                HiddenTerminal {
+                    q: 0.4,
+                    edges: ClientSet::from_iter([0, 1]),
+                },
+                HiddenTerminal {
+                    q: 0.3,
+                    edges: ClientSet::from_iter([1, 2]),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn topology_pattern_distribution_sums_to_one() {
+        let topo = topo3();
+        let acc = TopologyAccess::new(&topo);
+        for mask in 1u128..8 {
+            let d = acc.pattern_distribution(ClientSet(mask));
+            let sum: f64 = d.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "mask {mask}: {sum}");
+        }
+    }
+
+    #[test]
+    fn topology_pattern_matches_closed_forms() {
+        let topo = topo3();
+        let acc = TopologyAccess::new(&topo);
+        // w = {0,1}: patterns indexed (bit0 = client0 blocked,
+        // bit1 = client1 blocked).
+        let d = acc.pattern_distribution(ClientSet::from_iter([0, 1]));
+        // Both access: HT0 idle AND HT1 idle-or... client0 blocked by
+        // HT0 only; client1 by HT0 or HT1.
+        // P(00) = (1−0.4)(1−0.3) = 0.42
+        assert!((d[0] - 0.42).abs() < 1e-12);
+        // P(client0 ok, client1 blocked) = (1−0.4)·0.3 = 0.18
+        assert!((d[2] - 0.18).abs() < 1e-12);
+        // P(client0 blocked, client1 ok) = 0 (HT0 blocks both) —
+        // client0 blocked implies HT0 active implies client1 blocked.
+        assert!((d[1] - 0.0).abs() < 1e-12);
+        // P(both blocked) = 0.4.
+        assert!((d[3] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn topology_cache_consistency() {
+        let topo = topo3();
+        let acc = TopologyAccess::new(&topo);
+        let w = ClientSet::from_iter([0, 2]);
+        assert_eq!(acc.pattern_distribution(w), acc.pattern_distribution(w));
+    }
+
+    #[test]
+    fn empirical_matches_topology_on_samples() {
+        let mut rng = DetRng::seed_from_u64(3);
+        let topo = InterferenceTopology::random(5, 3, (0.2, 0.5), 0.5, &mut rng);
+        let accessible: Vec<ClientSet> =
+            (0..200_000).map(|_| topo.sample_access(&mut rng)).collect();
+        let trace = AccessTrace {
+            n_ues: 5,
+            accessible,
+        };
+        let emp = EmpiricalPatternAccess::new(&trace);
+        let exact = TopologyAccess::new(&topo);
+        let w = ClientSet::from_iter([0, 2, 4]);
+        let de = emp.pattern_distribution(w);
+        let dx = exact.pattern_distribution(w);
+        for (m, (a, b)) in de.iter().zip(&dx).enumerate() {
+            assert!((a - b).abs() < 0.01, "pattern {m}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn independent_access_products() {
+        let ind = IndependentAccess::new(vec![0.8, 0.5]);
+        let d = ind.pattern_distribution(ClientSet::from_iter([0, 1]));
+        assert!((d[0] - 0.4).abs() < 1e-12); // both ok
+        assert!((d[1] - 0.1).abs() < 1e-12); // 0 blocked, 1 ok
+        assert!((d[2] - 0.4).abs() < 1e-12); // 0 ok, 1 blocked
+        assert!((d[3] - 0.1).abs() < 1e-12);
+        let sum: f64 = d.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independence_misses_shared_ht_correlation() {
+        // The whole point of BLU: with a shared HT, P(one blocked,
+        // other ok) is smaller than independence predicts.
+        let topo = InterferenceTopology {
+            n_clients: 2,
+            hts: vec![HiddenTerminal {
+                q: 0.5,
+                edges: ClientSet::from_iter([0, 1]),
+            }],
+        };
+        let exact = TopologyAccess::new(&topo);
+        let ind = IndependentAccess::new(vec![0.5, 0.5]);
+        let w = ClientSet::from_iter([0, 1]);
+        let de = exact.pattern_distribution(w);
+        let di = ind.pattern_distribution(w);
+        // Exact: fully correlated — P(0 ok,1 blocked) = 0.
+        assert!((de[2] - 0.0).abs() < 1e-12);
+        // Independence predicts 0.25.
+        assert!((di[2] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_set_distribution() {
+        let topo = topo3();
+        let acc = TopologyAccess::new(&topo);
+        assert_eq!(acc.pattern_distribution(ClientSet::EMPTY), vec![1.0]);
+    }
+}

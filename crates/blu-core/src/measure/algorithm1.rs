@@ -1,0 +1,217 @@
+//! Algorithm 1: scheduling measurement sub-frames.
+//!
+//! Goal: observe every client **pair** jointly in at least `T`
+//! sub-frames while scheduling at most `K` distinct clients per
+//! sub-frame, using as few sub-frames as possible. The information-
+//! theoretic floor is `F_min = ⌈C(N,2)/C(K,2)·T⌉` (each sub-frame
+//! covers at most `C(K,2)` pairs).
+//!
+//! The paper's greedy builds each sub-frame one client at a time,
+//! choosing the client whose added pairs have been sampled least so
+//! far, through a logarithmic (diminishing-returns) utility of the
+//! pair counts — which also keeps sampling *even* over time, so the
+//! measurements are usable before the phase completes. We implement
+//! that greedy with the concave marginal gain
+//! `Σ_{s∈S} [log(2+c_{ℓs}) − log(1+c_{ℓs})]`, which is the increment
+//! of the paper's `Σ_j log((1+c_j)/(1+T))` objective when the chosen
+//! pairs' counters advance.
+
+use blu_sim::clientset::ClientSet;
+use blu_traces::stats::{n_pairs, pair_index};
+
+/// Lower bound on measurement sub-frames: `⌈C(N,2)/C(K,2)·T⌉`.
+pub fn min_subframes(n: usize, k: usize, t: u64) -> u64 {
+    assert!(k >= 2 && n >= 2);
+    let total_pairs = n_pairs(n) as u64;
+    let per_subframe = n_pairs(k.min(n)) as u64;
+    (total_pairs * t).div_ceil(per_subframe)
+}
+
+/// The output plan: one client set per measurement sub-frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MeasurementPlan {
+    /// Clients to schedule in each sub-frame, in order.
+    pub subframes: Vec<ClientSet>,
+    /// Final per-pair sample counts.
+    pub pair_counts: Vec<u64>,
+    /// Number of clients.
+    pub n: usize,
+}
+
+impl MeasurementPlan {
+    /// Sub-frames used (`t_max` in the paper).
+    pub fn t_max(&self) -> u64 {
+        self.subframes.len() as u64
+    }
+
+    /// Minimum samples across all pairs.
+    pub fn min_pair_count(&self) -> u64 {
+        self.pair_counts.iter().copied().min().unwrap_or(0)
+    }
+}
+
+/// Run Algorithm 1: produce a schedule giving every pair at least `T`
+/// joint observations with ≤ `K` distinct clients per sub-frame.
+///
+/// ```
+/// use blu_core::measure::{measurement_schedule, min_subframes};
+///
+/// let plan = measurement_schedule(10, 4, 5);
+/// assert!(plan.pair_counts.iter().all(|&c| c >= 5));
+/// // Close to the information-theoretic floor.
+/// assert!(plan.t_max() <= 2 * min_subframes(10, 4, 5));
+/// ```
+///
+/// Panics unless `2 ≤ K` and `2 ≤ N` (pairs must be schedulable).
+pub fn measurement_schedule(n: usize, k: usize, t: u64) -> MeasurementPlan {
+    assert!(n >= 2, "need at least two clients");
+    assert!(k >= 2, "need at least two clients per sub-frame");
+    let k = k.min(n);
+    let mut counts = vec![0u64; n_pairs(n)];
+    let mut subframes = Vec::new();
+    // Hard cap to guarantee termination even under bugs; the greedy
+    // needs ≈ F_min and never more than N/K times that.
+    let cap = 4 * min_subframes(n, k, t) + 16;
+    while counts.iter().any(|&c| c < t) {
+        assert!(
+            (subframes.len() as u64) < cap,
+            "Algorithm 1 failed to converge"
+        );
+        let mut s = ClientSet::EMPTY;
+        // First client: the one participating in the least-sampled
+        // pairs overall (drives coverage toward starved pairs).
+        let first = (0..n)
+            .min_by_key(|&i| {
+                (0..n)
+                    .filter(|&j| j != i)
+                    .map(|j| {
+                        let (a, b) = if i < j { (i, j) } else { (j, i) };
+                        counts[pair_index(n, a, b)]
+                    })
+                    .min()
+                    .unwrap_or(0)
+            })
+            .unwrap();
+        s.insert(first);
+        // Remaining K−1 clients by maximum concave marginal gain.
+        for _ in 1..k {
+            let mut best: Option<(usize, f64)> = None;
+            for l in 0..n {
+                if s.contains(l) {
+                    continue;
+                }
+                let gain: f64 = s
+                    .iter()
+                    .map(|m| {
+                        let (a, b) = if l < m { (l, m) } else { (m, l) };
+                        let c = counts[pair_index(n, a, b)] as f64;
+                        ((2.0 + c) / (1.0 + c)).ln()
+                    })
+                    .sum();
+                if best.is_none_or(|(_, g)| gain > g) {
+                    best = Some((l, gain));
+                }
+            }
+            let (l, _) = best.expect("candidates remain while |S| < K ≤ N");
+            s.insert(l);
+        }
+        // Update pair counters.
+        let members: Vec<usize> = s.iter().collect();
+        for (a, &i) in members.iter().enumerate() {
+            for &j in &members[a + 1..] {
+                counts[pair_index(n, i, j)] += 1;
+            }
+        }
+        subframes.push(s);
+    }
+    MeasurementPlan {
+        subframes,
+        pair_counts: counts,
+        n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn floor_matches_paper_examples() {
+        // §3.3: N=20, K=8, pairwise → < 7T sub-frames.
+        assert_eq!(min_subframes(20, 8, 1), 7);
+        assert_eq!(min_subframes(20, 8, 50), 340); // t_max ≈ 340 (§3.7)
+    }
+
+    #[test]
+    fn every_pair_reaches_t() {
+        let plan = measurement_schedule(10, 4, 5);
+        assert!(plan.pair_counts.iter().all(|&c| c >= 5));
+        assert!(plan.min_pair_count() >= 5);
+    }
+
+    #[test]
+    fn subframes_respect_k() {
+        let plan = measurement_schedule(12, 5, 3);
+        assert!(plan.subframes.iter().all(|s| s.len() == 5));
+    }
+
+    #[test]
+    fn overhead_close_to_floor() {
+        for &(n, k, t) in &[(10usize, 4usize, 5u64), (20, 8, 10), (8, 8, 3), (15, 6, 4)] {
+            let plan = measurement_schedule(n, k, t);
+            let floor = min_subframes(n, k, t);
+            assert!(
+                plan.t_max() <= floor * 2,
+                "N={n} K={k} T={t}: t_max {} vs floor {floor}",
+                plan.t_max()
+            );
+        }
+    }
+
+    #[test]
+    fn paper_operating_point() {
+        // §3.7: N=20, T=50, K=8 → t_max ≈ 340 sub-frames. Our greedy
+        // should land in the same ballpark (well under 2×).
+        let plan = measurement_schedule(20, 8, 50);
+        let t_max = plan.t_max();
+        assert!(
+            (340..600).contains(&t_max),
+            "t_max {t_max} out of expected range"
+        );
+    }
+
+    #[test]
+    fn sampling_stays_balanced_midway() {
+        // The log utility promises near-even sampling at any point:
+        // after half the schedule, max and min pair counts stay close.
+        let plan = measurement_schedule(12, 4, 8);
+        let half = plan.subframes.len() / 2;
+        let mut counts = vec![0u64; n_pairs(12)];
+        for s in &plan.subframes[..half] {
+            let m: Vec<usize> = s.iter().collect();
+            for (a, &i) in m.iter().enumerate() {
+                for &j in &m[a + 1..] {
+                    counts[pair_index(12, i, j)] += 1;
+                }
+            }
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max - min <= 3, "unbalanced at midpoint: {min}..{max}");
+    }
+
+    #[test]
+    fn k_capped_at_n() {
+        let plan = measurement_schedule(3, 8, 2);
+        assert!(plan.subframes.iter().all(|s| s.len() == 3));
+        assert!(plan.pair_counts.iter().all(|&c| c >= 2));
+        // With K ≥ N every sub-frame covers all pairs: exactly T needed.
+        assert_eq!(plan.t_max(), 2);
+    }
+
+    #[test]
+    fn whole_cell_in_one_subframe() {
+        let plan = measurement_schedule(6, 6, 4);
+        assert_eq!(plan.t_max(), 4);
+    }
+}

@@ -1,0 +1,7 @@
+//! Scalable measurement of client access distributions (paper §3.3).
+
+pub mod algorithm1;
+pub mod estimator;
+
+pub use algorithm1::{measurement_schedule, min_subframes, MeasurementPlan};
+pub use estimator::OutcomeEstimator;

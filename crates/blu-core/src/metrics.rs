@@ -1,0 +1,121 @@
+//! Performance metrics: throughput, RB utilization, fairness.
+
+use serde::{Deserialize, Serialize};
+
+/// Accumulated uplink performance counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct UplinkMetrics {
+    /// UL sub-frames evaluated.
+    pub subframes: u64,
+    /// RB-grants issued (RB × sub-frame units, counting an RB once
+    /// however many clients are over-scheduled on it).
+    pub rbs_scheduled: u64,
+    /// RB-grants that delivered data.
+    pub rbs_utilized: u64,
+    /// RB-grants lost to collisions from over-scheduling.
+    pub rbs_collided: u64,
+    /// RB-grants lost because every grantee was blocked.
+    pub rbs_blocked: u64,
+    /// RB-grants lost to fading only.
+    pub rbs_faded: u64,
+    /// Total delivered bits.
+    pub bits_delivered: f64,
+    /// Per-client delivered bits.
+    pub bits_per_client: Vec<f64>,
+    /// Sub-frames in which *every* scheduled RB delivered data
+    /// (the "completely occupied sub-frames" of Fig. 4b).
+    pub fully_utilized_subframes: u64,
+}
+
+impl UplinkMetrics {
+    /// New counters for `n` clients.
+    pub fn new(n: usize) -> Self {
+        UplinkMetrics {
+            bits_per_client: vec![0.0; n],
+            ..Default::default()
+        }
+    }
+
+    /// Fraction of scheduled RBs that carried data.
+    pub fn rb_utilization(&self) -> f64 {
+        if self.rbs_scheduled == 0 {
+            0.0
+        } else {
+            self.rbs_utilized as f64 / self.rbs_scheduled as f64
+        }
+    }
+
+    /// Fraction of sub-frames fully utilized.
+    pub fn full_subframe_fraction(&self) -> f64 {
+        if self.subframes == 0 {
+            0.0
+        } else {
+            self.fully_utilized_subframes as f64 / self.subframes as f64
+        }
+    }
+
+    /// Aggregate throughput in Mbps (1 sub-frame = 1 ms).
+    pub fn throughput_mbps(&self) -> f64 {
+        if self.subframes == 0 {
+            0.0
+        } else {
+            self.bits_delivered / (self.subframes as f64 * 1_000.0)
+        }
+    }
+
+    /// Jain's fairness index over per-client delivered bits.
+    pub fn jain_fairness(&self) -> f64 {
+        let xs: Vec<f64> = self
+            .bits_per_client
+            .iter()
+            .copied()
+            .filter(|&x| x >= 0.0)
+            .collect();
+        let n = xs.len() as f64;
+        let sum: f64 = xs.iter().sum();
+        let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+        if sum_sq == 0.0 {
+            1.0
+        } else {
+            sum * sum / (n * sum_sq)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_metrics_are_sane() {
+        let m = UplinkMetrics::new(3);
+        assert_eq!(m.rb_utilization(), 0.0);
+        assert_eq!(m.throughput_mbps(), 0.0);
+        assert_eq!(m.full_subframe_fraction(), 0.0);
+        assert_eq!(m.jain_fairness(), 1.0);
+    }
+
+    #[test]
+    fn utilization_and_throughput() {
+        let mut m = UplinkMetrics::new(2);
+        m.subframes = 10;
+        m.rbs_scheduled = 100;
+        m.rbs_utilized = 60;
+        m.bits_delivered = 50_000.0;
+        assert!((m.rb_utilization() - 0.6).abs() < 1e-12);
+        // 50 kbit over 10 ms = 5 Mbps.
+        assert!((m.throughput_mbps() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jain_bounds() {
+        let mut m = UplinkMetrics::new(4);
+        m.bits_per_client = vec![10.0, 10.0, 10.0, 10.0];
+        assert!((m.jain_fairness() - 1.0).abs() < 1e-12);
+        m.bits_per_client = vec![40.0, 0.0, 0.0, 0.0];
+        assert!((m.jain_fairness() - 0.25).abs() < 1e-12);
+        m.bits_per_client = vec![30.0, 10.0, 0.0, 0.0];
+        let j = m.jain_fairness();
+        assert!(j > 0.25 && j < 1.0);
+    }
+}

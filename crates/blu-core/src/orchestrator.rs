@@ -1,0 +1,359 @@
+//! The full BLU loop (paper Fig. 9): measurement phase → blue-print →
+//! speculative phase.
+//!
+//! Phase 1 schedules measurement sub-frames per Algorithm 1 (clients
+//! still carry data, but the schedule is chosen for information, not
+//! throughput) and estimates `p(i)`, `p(i,j)` from pilot-classified
+//! outcomes. The topology is then blue-printed from those pairwise
+//! statistics, and phase 2 runs the speculative scheduler against the
+//! inferred blue-print for `L >> t_max` sub-frames. Outcomes observed
+//! during phase 2 keep feeding the estimator, which is why subsequent
+//! measurement phases are shorter than the first (§3.7).
+
+use crate::blueprint::accuracy::{topology_accuracy, AccuracyReport};
+use crate::blueprint::{infer_topology, ConstraintSystem, InferenceConfig, InferenceResult};
+use crate::emulator::{EmulationConfig, EmulationReport, Emulator};
+use crate::joint::TopologyAccess;
+use crate::measure::{measurement_schedule, OutcomeEstimator};
+use crate::sched::SpeculativeScheduler;
+use blu_sim::time::SubframeIndex;
+use blu_sim::topology::InterferenceTopology;
+use blu_traces::schema::TestbedTrace;
+
+/// Configuration of a two-phase BLU run.
+#[derive(Debug, Clone)]
+pub struct BluConfig {
+    /// Emulation parameters (cell, TxOPs for the speculative phase).
+    pub emulation: EmulationConfig,
+    /// Measurement samples per client pair (`T`).
+    pub t_samples: u64,
+    /// Topology-inference configuration.
+    pub inference: InferenceConfig,
+}
+
+impl BluConfig {
+    /// Paper-flavoured defaults for a cell: `T = 50`.
+    pub fn new(emulation: EmulationConfig) -> Self {
+        BluConfig {
+            emulation,
+            t_samples: 50,
+            inference: InferenceConfig::default(),
+        }
+    }
+}
+
+/// Everything a BLU run produces.
+#[derive(Debug, Clone)]
+pub struct BluRunReport {
+    /// Sub-frames spent in the measurement phase (`t_max`).
+    pub measurement_subframes: u64,
+    /// The information-theoretic floor for comparison.
+    pub measurement_floor: u64,
+    /// The inference outcome.
+    pub inference: InferenceResult,
+    /// Accuracy of the blue-print against the trace's ground truth.
+    pub accuracy: AccuracyReport,
+    /// Speculative-phase performance.
+    pub speculative: EmulationReport,
+}
+
+/// Run the measurement phase against a trace: execute the Algorithm-1
+/// plan, reading each scheduled client's CCA outcome from the access
+/// trace, and return the estimator plus the sub-frames consumed.
+pub fn run_measurement_phase(
+    trace: &TestbedTrace,
+    k_max: usize,
+    t_samples: u64,
+) -> (OutcomeEstimator, u64) {
+    let n = trace.ground_truth.n_clients;
+    let plan = measurement_schedule(n, k_max, t_samples);
+    let mut est = OutcomeEstimator::new(n);
+    for (sf, &scheduled) in plan.subframes.iter().enumerate() {
+        let accessible = trace.access.at(SubframeIndex(sf as u64));
+        // Scheduled clients that pass CCA transmit; the estimator's
+        // stats object records observed vs accessed directly (the
+        // full-fidelity pilot path is exercised by the emulator).
+        est.stats_mut()
+            .record(scheduled, accessible.intersection(scheduled));
+    }
+    (est, plan.t_max())
+}
+
+/// Run the measurement phase at **full fidelity**: the Algorithm-1
+/// plan is executed through the emulator (grants, CCA, pilots, ZF
+/// decode), and the estimator is fed by the pilot-classified
+/// outcomes. One TxOP carries one planned client set over its whole
+/// UL burst (grants are per-burst), so the phase consumes
+/// `t_max × ul_subframes` UL sub-frames while collecting
+/// `burst`-fold samples per plan entry.
+pub fn run_measurement_phase_full(
+    trace: &TestbedTrace,
+    emulation: &EmulationConfig,
+    t_samples: u64,
+) -> (OutcomeEstimator, u64) {
+    let n = trace.ground_truth.n_clients;
+    let plan = measurement_schedule(n, emulation.cell.max_ues_per_subframe.max(2), t_samples);
+    let mut est = OutcomeEstimator::new(n);
+    let mut scheduler = crate::sched::MeasurementScheduler::new(&plan);
+    let mut cfg = emulation.clone();
+    cfg.n_txops = plan.t_max();
+    let mut emulator = Emulator::new(trace, cfg);
+    emulator.run(&mut scheduler, Some(&mut est));
+    (est, plan.t_max() * emulation.cell.txop.ul_subframes)
+}
+
+/// Blue-print a topology from measured statistics.
+pub fn blueprint_from_measurements(
+    est: &OutcomeEstimator,
+    config: &InferenceConfig,
+) -> InferenceResult {
+    let sys = ConstraintSystem::from_measurements(est.stats());
+    infer_topology(&sys, config)
+}
+
+/// Run the complete two-phase loop on a trace.
+pub fn run_blu(trace: &TestbedTrace, config: &BluConfig) -> BluRunReport {
+    let k = config.emulation.cell.max_ues_per_subframe;
+    let (mut est, t_max) = run_measurement_phase(trace, k, config.t_samples);
+    let inference = blueprint_from_measurements(&est, &config.inference);
+    let inferred: InterferenceTopology = inference.topology.clone();
+    let accuracy = topology_accuracy(&trace.ground_truth, &inferred);
+
+    let access = TopologyAccess::new(&inferred);
+    let mut scheduler = SpeculativeScheduler::new(&access);
+    let mut emulator = Emulator::new(trace, config.emulation.clone());
+    // Phase-2 outcomes keep feeding the estimator (future phases
+    // start warm, §3.7).
+    let speculative = emulator.run(&mut scheduler, Some(&mut est));
+
+    let floor = crate::measure::min_subframes(
+        trace.ground_truth.n_clients,
+        k.min(trace.ground_truth.n_clients),
+        config.t_samples,
+    );
+    BluRunReport {
+        measurement_subframes: t_max,
+        measurement_floor: floor,
+        inference,
+        accuracy,
+        speculative,
+    }
+}
+
+/// §3.7 "Tracking Dynamics": run the two-phase loop over a sequence
+/// of environment *epochs* (each a trace with its own topology —
+/// clients and interferers move at the tens-of-seconds scale). Each
+/// epoch re-measures and re-blue-prints before its speculative phase,
+/// which is how BLU stays inside the stationary regime.
+pub fn run_blu_adaptive(epochs: &[&TestbedTrace], config: &BluConfig) -> Vec<BluRunReport> {
+    epochs.iter().map(|t| run_blu(t, config)).collect()
+}
+
+/// The non-adaptive strawman for the dynamics experiment: blue-print
+/// once on the first epoch, then keep speculating on that stale
+/// blue-print as the environment changes underneath.
+pub fn run_blu_stale(epochs: &[&TestbedTrace], config: &BluConfig) -> Vec<BluRunReport> {
+    assert!(!epochs.is_empty());
+    let k = config.emulation.cell.max_ues_per_subframe;
+    let (est, t_max) = run_measurement_phase(epochs[0], k, config.t_samples);
+    let inference = blueprint_from_measurements(&est, &config.inference);
+    let inferred = inference.topology.clone();
+    let floor = crate::measure::min_subframes(
+        epochs[0].ground_truth.n_clients,
+        k.min(epochs[0].ground_truth.n_clients),
+        config.t_samples,
+    );
+    epochs
+        .iter()
+        .map(|trace| {
+            let access = TopologyAccess::new(&inferred);
+            let mut scheduler = SpeculativeScheduler::new(&access);
+            let mut emulator = Emulator::new(trace, config.emulation.clone());
+            let speculative = emulator.run(&mut scheduler, None);
+            BluRunReport {
+                measurement_subframes: t_max,
+                measurement_floor: floor,
+                inference: inference.clone(),
+                accuracy: topology_accuracy(&trace.ground_truth, &inferred),
+                speculative,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::PfScheduler;
+    use blu_phy::cell::CellConfig;
+    use blu_sim::time::Micros;
+    use blu_traces::capture::{capture_synthetic, CaptureConfig};
+
+    fn quick_trace(seed: u64) -> TestbedTrace {
+        capture_synthetic(
+            &CaptureConfig {
+                duration: Micros::from_secs(60),
+                q_range: (0.25, 0.55),
+                ..CaptureConfig::testbed_default()
+            },
+            seed,
+        )
+    }
+
+    fn quick_config(n_txops: u64) -> BluConfig {
+        let mut cell = CellConfig::testbed_siso();
+        cell.numerology.n_rbs = 10;
+        let mut emu = EmulationConfig::new(cell);
+        emu.n_txops = n_txops;
+        BluConfig::new(emu)
+    }
+
+    #[test]
+    fn measurement_phase_covers_all_pairs() {
+        let trace = quick_trace(1);
+        let (est, t_max) = run_measurement_phase(&trace, 8, 30);
+        assert!(est.stats().min_pair_samples() >= 30);
+        assert!(t_max >= 30); // at least T sub-frames
+        for i in 0..trace.ground_truth.n_clients {
+            let emp = est.stats().p_individual(i).unwrap();
+            let truth = trace.ground_truth.p_individual(i);
+            assert!((emp - truth).abs() < 0.25, "client {i}: {emp} vs {truth}");
+        }
+    }
+
+    #[test]
+    fn full_loop_runs_and_beats_pf() {
+        let trace = quick_trace(2);
+        let config = quick_config(150);
+        let report = run_blu(&trace, &config);
+        assert!(report.measurement_subframes >= report.measurement_floor);
+        assert!(report.speculative.metrics.bits_delivered > 0.0);
+
+        // Baseline PF on the same trace.
+        let mut emu = Emulator::new(&trace, config.emulation.clone());
+        let pf = emu.run(&mut PfScheduler, None);
+        assert!(
+            report.speculative.metrics.rb_utilization() > pf.metrics.rb_utilization(),
+            "BLU(inferred) {} vs PF {}",
+            report.speculative.metrics.rb_utilization(),
+            pf.metrics.rb_utilization()
+        );
+    }
+
+    #[test]
+    fn inference_from_measured_stats_is_reasonable() {
+        // With a full measurement phase at T = 200, inference should
+        // find most terminals exactly (noisy-input regime of Fig 14).
+        let trace = quick_trace(3);
+        let (est, _) = run_measurement_phase(&trace, 8, 200);
+        let result = blueprint_from_measurements(&est, &InferenceConfig::default());
+        let acc = topology_accuracy(&trace.ground_truth, &result.topology);
+        assert!(
+            acc.exact_fraction() >= 0.5,
+            "accuracy {} ({} of {} HTs, {} inferred)",
+            acc.exact_fraction(),
+            acc.exact_matches,
+            acc.n_truth,
+            acc.n_inferred
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let trace = quick_trace(4);
+        let config = quick_config(40);
+        let a = run_blu(&trace, &config);
+        let b = run_blu(&trace, &config);
+        assert_eq!(a.speculative.metrics, b.speculative.metrics);
+        assert_eq!(a.inference.topology, b.inference.topology);
+    }
+}
+
+#[cfg(test)]
+mod dynamics_tests {
+    use super::*;
+    use blu_phy::cell::CellConfig;
+    use blu_sim::time::Micros;
+    use blu_traces::capture::{capture_synthetic, CaptureConfig};
+
+    fn epoch(seed: u64) -> TestbedTrace {
+        capture_synthetic(
+            &CaptureConfig {
+                duration: Micros::from_secs(30),
+                q_range: (0.3, 0.6),
+                ..CaptureConfig::testbed_default()
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn adaptive_tracks_topology_change_better_than_stale() {
+        // Two very different interference environments back-to-back.
+        let a = epoch(31);
+        let b = epoch(77);
+        let epochs = [&a, &b];
+        let mut cell = CellConfig::testbed_siso();
+        cell.numerology.n_rbs = 10;
+        let mut emu = crate::emulator::EmulationConfig::new(cell);
+        emu.n_txops = 150;
+        let config = BluConfig::new(emu);
+
+        let adaptive = run_blu_adaptive(&epochs, &config);
+        let stale = run_blu_stale(&epochs, &config);
+        assert_eq!(adaptive.len(), 2);
+        assert_eq!(stale.len(), 2);
+
+        // On the changed epoch the stale blue-print no longer matches
+        // the ground truth; the adaptive one does.
+        assert!(
+            adaptive[1].accuracy.exact_fraction() > stale[1].accuracy.exact_fraction(),
+            "adaptive {} vs stale {}",
+            adaptive[1].accuracy.exact_fraction(),
+            stale[1].accuracy.exact_fraction()
+        );
+        // And performance on the changed epoch should not be worse.
+        let at = adaptive[1].speculative.metrics.throughput_mbps();
+        let st = stale[1].speculative.metrics.throughput_mbps();
+        assert!(at >= st * 0.95, "adaptive {at} vs stale {st}");
+    }
+}
+
+#[cfg(test)]
+mod full_fidelity_tests {
+    use super::*;
+    use blu_phy::cell::CellConfig;
+    use blu_sim::time::Micros;
+    use blu_traces::capture::{capture_synthetic, CaptureConfig};
+
+    /// The full-fidelity path (emulator + pilots) must agree with the
+    /// stats-level shortcut on the measured probabilities.
+    #[test]
+    fn full_fidelity_matches_stats_shortcut() {
+        let trace = capture_synthetic(
+            &CaptureConfig {
+                duration: Micros::from_secs(60),
+                q_range: (0.25, 0.55),
+                ..CaptureConfig::testbed_default()
+            },
+            5,
+        );
+        let mut cell = CellConfig::testbed_siso();
+        cell.numerology.n_rbs = 10;
+        let emu_cfg = EmulationConfig::new(cell);
+        let (full, consumed) = run_measurement_phase_full(&trace, &emu_cfg, 40);
+        let (quick, _) = run_measurement_phase(&trace, 8, 40);
+        assert!(consumed > 0);
+        assert!(full.stats().min_pair_samples() >= 40);
+        for i in 0..trace.ground_truth.n_clients {
+            let a = full.stats().p_individual(i).unwrap();
+            let b = quick.stats().p_individual(i).unwrap();
+            let truth = trace.ground_truth.p_individual(i);
+            assert!((a - truth).abs() < 0.2, "full path UE {i}: {a} vs {truth}");
+            assert!(
+                (a - b).abs() < 0.25,
+                "paths disagree for UE {i}: {a} vs {b}"
+            );
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! The access-aware baseline scheduler (paper Eqn. 5).
+//!
+//! A weighted PF scheduler that discounts each client's utility by
+//! its *individual* access probability `p(i)` — the best one can do
+//! with per-client measurements but **no dependency information**.
+//! It still schedules at most `M` clients per RB: without the joint
+//! distribution, over-scheduling risks pairing clients silenced by
+//! the same hidden terminal (the paper's Fig. 5 failure case), so the
+//! safe policy is not to over-schedule at all. This is exactly the
+//! baseline the paper evaluates ("AA").
+
+use super::{pf::PfScheduler, SchedInput, UlScheduler};
+use blu_phy::grant::RbSchedule;
+
+/// The access-aware scheduler.
+#[derive(Debug, Clone)]
+pub struct AccessAwareScheduler {
+    /// Individual access probabilities per client.
+    pub p_access: Vec<f64>,
+}
+
+impl AccessAwareScheduler {
+    /// Construct from per-client access probabilities.
+    pub fn new(p_access: Vec<f64>) -> Self {
+        assert!(p_access.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        AccessAwareScheduler { p_access }
+    }
+}
+
+impl UlScheduler for AccessAwareScheduler {
+    fn name(&self) -> &'static str {
+        "AA"
+    }
+
+    fn schedule(&mut self, input: &SchedInput<'_>) -> RbSchedule {
+        assert_eq!(self.p_access.len(), input.n_clients);
+        let p = &self.p_access;
+        PfScheduler::schedule_with_weights(input, input.m_antennas, &|ue, rb| {
+            p[ue] * input.weight(ue, rb)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::rates::MatrixRates;
+    use blu_sim::clientset::ClientSet;
+
+    #[test]
+    fn prefers_accessible_clients() {
+        // Equal rates and averages, but client 0 is usually blocked.
+        let rates = MatrixRates::flat(2, 4, 100.0);
+        let avg = vec![10.0, 10.0];
+        let input = SchedInput {
+            n_clients: 2,
+            n_rbs: 4,
+            m_antennas: 1,
+            k_max: 8,
+            max_group: 1,
+            rates: &rates,
+            avg_tput: &avg,
+        };
+        let mut aa = AccessAwareScheduler::new(vec![0.2, 0.9]);
+        let sched = aa.schedule(&input);
+        for rb in 0..4 {
+            assert_eq!(sched.group(rb), ClientSet::singleton(1));
+        }
+    }
+
+    #[test]
+    fn rate_can_outweigh_access() {
+        // Client 0: p = 0.5 but 4× the rate → expected utility wins.
+        let rates = MatrixRates::build(2, 2, |ue, _| if ue == 0 { 400.0 } else { 100.0 });
+        let avg = vec![10.0, 10.0];
+        let input = SchedInput {
+            n_clients: 2,
+            n_rbs: 2,
+            m_antennas: 1,
+            k_max: 8,
+            max_group: 1,
+            rates: &rates,
+            avg_tput: &avg,
+        };
+        let mut aa = AccessAwareScheduler::new(vec![0.5, 1.0]);
+        let sched = aa.schedule(&input);
+        assert_eq!(sched.group(0), ClientSet::singleton(0));
+    }
+
+    #[test]
+    fn never_overschedules() {
+        let rates = MatrixRates::flat(8, 4, 100.0);
+        let avg = vec![10.0; 8];
+        let input = SchedInput {
+            n_clients: 8,
+            n_rbs: 4,
+            m_antennas: 2,
+            k_max: 8,
+            max_group: 4, // even if the cap allowed more
+            rates: &rates,
+            avg_tput: &avg,
+        };
+        let mut aa = AccessAwareScheduler::new(vec![0.5; 8]);
+        let sched = aa.schedule(&input);
+        assert!(sched.max_group_size() <= 2, "AA must not over-schedule");
+    }
+
+    #[test]
+    fn zero_access_clients_skipped() {
+        let rates = MatrixRates::flat(2, 2, 100.0);
+        let avg = vec![10.0, 10.0];
+        let input = SchedInput {
+            n_clients: 2,
+            n_rbs: 2,
+            m_antennas: 1,
+            k_max: 8,
+            max_group: 1,
+            rates: &rates,
+            avg_tput: &avg,
+        };
+        let mut aa = AccessAwareScheduler::new(vec![0.0, 0.4]);
+        let sched = aa.schedule(&input);
+        for rb in 0..2 {
+            assert_eq!(sched.group(rb), ClientSet::singleton(1));
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Uplink schedulers: proportional fair (Eqn. 1), access-aware
+//! (Eqn. 5), and BLU's speculative scheduler (Eqns. 3–4).
+//!
+//! All three share the same shape: for each RB of a sub-frame choose
+//! a group of clients maximizing (expected) marginal PF utility
+//! `r_{i,b,g} / R_i`, subject to the MU-MIMO group-size cap and the
+//! cell-wide limit of `K` distinct clients per sub-frame. They differ
+//! in what they know about client channel access:
+//!
+//! * **PF** assumes every scheduled client transmits (licensed-
+//!   spectrum behaviour) — in unlicensed spectrum its grants go
+//!   unused whenever a hidden terminal silences a client;
+//! * **access-aware** weights each client by its individual access
+//!   probability `p(i)` but cannot over-schedule safely because it
+//!   has no dependency information;
+//! * **speculative (BLU)** over-schedules up to `f·M` clients per RB,
+//!   choosing groups by expected utility under the *joint* access
+//!   distribution so that over-scheduled clients are silenced by
+//!   *different* hidden terminals.
+
+pub mod access_aware;
+pub mod measurement;
+pub mod pf;
+pub mod rates;
+pub mod speculative;
+
+pub use access_aware::AccessAwareScheduler;
+pub use measurement::MeasurementScheduler;
+pub use pf::PfScheduler;
+pub use rates::{MatrixRates, RateMap};
+pub use speculative::SpeculativeScheduler;
+
+use blu_phy::grant::RbSchedule;
+
+/// Per-sub-frame inputs common to every scheduler.
+pub struct SchedInput<'a> {
+    /// Number of clients in the cell.
+    pub n_clients: usize,
+    /// RBs on the carrier.
+    pub n_rbs: usize,
+    /// eNB antennas `M`.
+    pub m_antennas: usize,
+    /// Maximum distinct clients per sub-frame `K`.
+    pub k_max: usize,
+    /// Per-RB group cap (`M` for PF/AA; `f·M` for BLU).
+    pub max_group: usize,
+    /// Instantaneous rates `r_{i,b}` in bits per RB per sub-frame
+    /// (single-stream; MU-MIMO degradation applied via
+    /// [`mimo_penalty`]).
+    pub rates: &'a dyn RateMap,
+    /// PF average throughputs `R_i` (same units as rates).
+    pub avg_tput: &'a [f64],
+}
+
+impl SchedInput<'_> {
+    /// The PF weight `w_{i,b} = r_{i,b} / R_i`, with the customary
+    /// floor on `R_i` so new clients are not infinitely favored.
+    pub fn weight(&self, ue: usize, rb: usize) -> f64 {
+        self.rates.rate(ue, rb) / self.avg_tput[ue].max(1.0)
+    }
+}
+
+/// Expected per-stream rate fraction of an `s`-stream zero-forcing
+/// MU-MIMO group on `M` antennas, relative to single-stream: the
+/// classic `(M − s + 1)/M` post-ZF power loss with i.i.d. Rayleigh
+/// channels.
+pub fn mimo_penalty(streams: usize, m_antennas: usize) -> f64 {
+    if streams == 0 {
+        return 0.0;
+    }
+    if streams > m_antennas {
+        return 0.0; // collision: nothing decodes
+    }
+    (m_antennas - streams + 1) as f64 / m_antennas as f64
+}
+
+/// A scheduler producing one sub-frame's (or TxOP's) UL schedule.
+pub trait UlScheduler {
+    /// Short display name for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Produce the RB schedule for one sub-frame.
+    fn schedule(&mut self, input: &SchedInput<'_>) -> RbSchedule;
+}
+
+/// PF average-throughput tracker (`R_i` with exponential weighting,
+/// α as in the paper's update equation).
+#[derive(Debug, Clone)]
+pub struct PfAverager {
+    /// Current averages, one per client.
+    pub avg: Vec<f64>,
+    /// Exponential window length α (sub-frames).
+    pub alpha: f64,
+}
+
+impl PfAverager {
+    /// New tracker; α = 100 sub-frames is conventional.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(alpha >= 1.0);
+        PfAverager {
+            avg: vec![0.0; n],
+            alpha,
+        }
+    }
+
+    /// Update after a sub-frame: `R_i ← (1/α)·delivered + (1−1/α)·R_i`.
+    pub fn update(&mut self, delivered_bits: &[f64]) {
+        assert_eq!(delivered_bits.len(), self.avg.len());
+        let a = 1.0 / self.alpha;
+        for (r, &d) in self.avg.iter_mut().zip(delivered_bits) {
+            *r = a * d + (1.0 - a) * *r;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mimo_penalty_shape() {
+        assert_eq!(mimo_penalty(1, 4), 1.0);
+        assert_eq!(mimo_penalty(4, 4), 0.25);
+        assert_eq!(mimo_penalty(2, 4), 0.75);
+        assert_eq!(mimo_penalty(5, 4), 0.0);
+        assert_eq!(mimo_penalty(0, 4), 0.0);
+        assert_eq!(mimo_penalty(1, 1), 1.0);
+        assert_eq!(mimo_penalty(2, 1), 0.0);
+    }
+
+    #[test]
+    fn pf_averager_converges_to_rate() {
+        let mut avg = PfAverager::new(1, 50.0);
+        for _ in 0..2_000 {
+            avg.update(&[100.0]);
+        }
+        assert!((avg.avg[0] - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pf_averager_decays_idle_clients() {
+        let mut avg = PfAverager::new(2, 10.0);
+        avg.update(&[100.0, 100.0]);
+        let before = avg.avg[1];
+        for _ in 0..100 {
+            avg.update(&[100.0, 0.0]);
+        }
+        assert!(avg.avg[1] < before * 0.01);
+        assert!(avg.avg[0] > 50.0);
+    }
+}

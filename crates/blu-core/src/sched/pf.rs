@@ -1,0 +1,201 @@
+//! The native proportional-fair scheduler (paper Eqn. 1).
+//!
+//! Per RB, pick the group of up to `M` clients maximizing
+//! `Σ_{i∈g} r_{i,b,g}/R_i` (with the ZF group-rate penalty applied
+//! through [`mimo_penalty`]), subject to the cell-wide limit of `K`
+//! distinct clients per sub-frame. This is the scheduler deployed in
+//! licensed spectrum — it has no notion of channel availability at
+//! the clients, which is precisely why it under-utilizes in
+//! unlicensed spectrum.
+
+use super::{mimo_penalty, SchedInput, UlScheduler};
+use blu_phy::grant::RbSchedule;
+use blu_sim::clientset::ClientSet;
+
+/// The PF scheduler (stateless between sub-frames; `R_i` lives in the
+/// caller's [`super::PfAverager`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PfScheduler;
+
+impl PfScheduler {
+    /// Pick the best group for one RB: walk clients in descending
+    /// weight order, skipping new clients once the cell-wide
+    /// `K`-distinct budget is exhausted, and keep the prefix size
+    /// with the best ZF-penalized utility.
+    pub(crate) fn best_group_for_rb(
+        input: &SchedInput<'_>,
+        rb: usize,
+        used: ClientSet,
+        cap: usize,
+        weight_of: &dyn Fn(usize, usize) -> f64,
+    ) -> (ClientSet, f64) {
+        let mut weighted: Vec<(usize, f64)> = (0..input.n_clients)
+            .map(|ue| (ue, weight_of(ue, rb)))
+            .filter(|&(_, w)| w > 0.0)
+            .collect();
+        weighted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        // Hard K cap: new clients only while budget remains.
+        let mut budget = input.k_max.saturating_sub(used.len());
+        let mut chain: Vec<(usize, f64)> = Vec::with_capacity(cap);
+        for &(ue, w) in &weighted {
+            if chain.len() >= cap {
+                break;
+            }
+            if used.contains(ue) {
+                chain.push((ue, w));
+            } else if budget > 0 {
+                budget -= 1;
+                chain.push((ue, w));
+            }
+        }
+        let mut best = (ClientSet::EMPTY, 0.0);
+        let mut prefix = 0.0;
+        for (s, &(_, w)) in chain.iter().enumerate() {
+            prefix += w;
+            let util = prefix * mimo_penalty(s + 1, input.m_antennas);
+            if util > best.1 {
+                best = (chain[..=s].iter().map(|&(ue, _)| ue).collect(), util);
+            }
+        }
+        best
+    }
+
+    /// Shared RB loop for PF-style schedulers: fill every RB,
+    /// enforcing the K-distinct-clients constraint.
+    pub(crate) fn schedule_with_weights(
+        input: &SchedInput<'_>,
+        cap: usize,
+        weight_of: &dyn Fn(usize, usize) -> f64,
+    ) -> RbSchedule {
+        let mut sched = RbSchedule::empty(input.n_rbs);
+        let mut used = ClientSet::EMPTY;
+        for rb in 0..input.n_rbs {
+            let (group, _) = Self::best_group_for_rb(input, rb, used, cap, weight_of);
+            for ue in group.iter() {
+                sched.assign(rb, ue);
+                used.insert(ue);
+            }
+        }
+        sched
+    }
+}
+
+impl UlScheduler for PfScheduler {
+    fn name(&self) -> &'static str {
+        "PF"
+    }
+
+    fn schedule(&mut self, input: &SchedInput<'_>) -> RbSchedule {
+        PfScheduler::schedule_with_weights(input, input.m_antennas, &|ue, rb| input.weight(ue, rb))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::rates::MatrixRates;
+
+    fn flat_input<'a>(
+        rates: &'a MatrixRates,
+        avg: &'a [f64],
+        m: usize,
+        k: usize,
+    ) -> SchedInput<'a> {
+        SchedInput {
+            n_clients: avg.len(),
+            n_rbs: 4,
+            m_antennas: m,
+            k_max: k,
+            max_group: m,
+            rates,
+            avg_tput: avg,
+        }
+    }
+
+    #[test]
+    fn siso_picks_argmax_weight() {
+        // Client 1 has double the rate: with equal averages it gets
+        // every RB.
+        let rates = MatrixRates::build(3, 4, |ue, _| if ue == 1 { 200.0 } else { 100.0 });
+        let avg = vec![10.0, 10.0, 10.0];
+        let input = flat_input(&rates, &avg, 1, 8);
+        let sched = PfScheduler.schedule(&input);
+        for rb in 0..4 {
+            assert_eq!(sched.group(rb), ClientSet::singleton(1));
+        }
+    }
+
+    #[test]
+    fn pf_weights_rebalance() {
+        // Same rates but client 1 already has a high average: the
+        // others win.
+        let rates = MatrixRates::flat(3, 4, 100.0);
+        let avg = vec![10.0, 1_000.0, 10.0];
+        let input = flat_input(&rates, &avg, 1, 8);
+        let sched = PfScheduler.schedule(&input);
+        for rb in 0..4 {
+            assert!(!sched.group(rb).contains(1), "RB {rb}");
+        }
+    }
+
+    #[test]
+    fn mumimo_groups_when_worthwhile() {
+        // M = 2, equal clients: penalty(2,2) = 0.5, so two equal
+        // clients give the same utility as one — tie goes to single;
+        // make the second client slightly better than half to force
+        // pairing.
+        let rates = MatrixRates::build(2, 4, |ue, _| if ue == 0 { 100.0 } else { 80.0 });
+        let avg = vec![10.0, 10.0];
+        let input = flat_input(&rates, &avg, 2, 8);
+        let sched = PfScheduler.schedule(&input);
+        // util(1) = 10; util(2) = (10+8)·0.5 = 9 → singles win.
+        assert_eq!(sched.max_group_size(), 1);
+
+        // M = 4: penalty(2,4) = 0.75 → util(2) = 13.5 > 10 → pair.
+        let input4 = SchedInput {
+            m_antennas: 4,
+            max_group: 4,
+            ..flat_input(&rates, &avg, 2, 8)
+        };
+        let sched4 = PfScheduler.schedule(&input4);
+        assert_eq!(sched4.max_group_size(), 2);
+    }
+
+    #[test]
+    fn never_exceeds_m_clients_per_rb() {
+        let rates = MatrixRates::flat(10, 4, 100.0);
+        let avg = vec![10.0; 10];
+        let input = flat_input(&rates, &avg, 2, 20);
+        let sched = PfScheduler.schedule(&input);
+        assert!(sched.max_group_size() <= 2);
+    }
+
+    #[test]
+    fn respects_k_distinct_clients() {
+        // 10 clients with per-RB preferences that would spread, but
+        // K = 2 forces reuse.
+        let rates = MatrixRates::build(10, 4, |ue, rb| {
+            if ue == rb * 2 || ue == rb * 2 + 1 {
+                200.0
+            } else {
+                100.0
+            }
+        });
+        let avg = vec![10.0; 10];
+        let input = flat_input(&rates, &avg, 1, 2);
+        let sched = PfScheduler.schedule(&input);
+        assert!(sched.scheduled_clients().len() <= 2);
+        assert_eq!(sched.occupied_rbs(), 4, "all RBs still filled");
+    }
+
+    #[test]
+    fn zero_rate_clients_not_scheduled() {
+        let rates = MatrixRates::build(2, 4, |ue, _| if ue == 0 { 0.0 } else { 50.0 });
+        let avg = vec![10.0, 10.0];
+        let input = flat_input(&rates, &avg, 1, 8);
+        let sched = PfScheduler.schedule(&input);
+        for rb in 0..4 {
+            assert_eq!(sched.group(rb), ClientSet::singleton(1));
+        }
+    }
+}

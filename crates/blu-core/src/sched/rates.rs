@@ -1,0 +1,71 @@
+//! Per-client per-RB instantaneous rate sources.
+
+/// A map from (client, RB) to the single-stream rate `r_{i,b}` in
+/// bits per RB per sub-frame, as estimated by the eNB at grant time.
+pub trait RateMap {
+    /// Rate of client `ue` on RB `rb`.
+    fn rate(&self, ue: usize, rb: usize) -> f64;
+}
+
+/// Dense rate matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixRates {
+    n_rbs: usize,
+    /// Row-major `[ue][rb]`.
+    data: Vec<f64>,
+}
+
+impl MatrixRates {
+    /// Build from a per-client-per-RB closure.
+    pub fn build(n_clients: usize, n_rbs: usize, f: impl Fn(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(n_clients * n_rbs);
+        for ue in 0..n_clients {
+            for rb in 0..n_rbs {
+                let r = f(ue, rb);
+                assert!(
+                    r >= 0.0 && r.is_finite(),
+                    "invalid rate {r} for ({ue},{rb})"
+                );
+                data.push(r);
+            }
+        }
+        MatrixRates { n_rbs, data }
+    }
+
+    /// A flat-rate matrix (every client, every RB the same rate).
+    pub fn flat(n_clients: usize, n_rbs: usize, rate: f64) -> Self {
+        Self::build(n_clients, n_rbs, |_, _| rate)
+    }
+}
+
+impl RateMap for MatrixRates {
+    fn rate(&self, ue: usize, rb: usize) -> f64 {
+        self.data[ue * self.n_rbs + rb]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_layout() {
+        let m = MatrixRates::build(2, 3, |u, b| (u * 10 + b) as f64);
+        assert_eq!(m.rate(0, 0), 0.0);
+        assert_eq!(m.rate(0, 2), 2.0);
+        assert_eq!(m.rate(1, 0), 10.0);
+        assert_eq!(m.rate(1, 2), 12.0);
+    }
+
+    #[test]
+    fn flat_rates() {
+        let m = MatrixRates::flat(3, 4, 7.5);
+        assert_eq!(m.rate(2, 3), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid rate")]
+    fn rejects_negative_rates() {
+        let _ = MatrixRates::build(1, 1, |_, _| -1.0);
+    }
+}

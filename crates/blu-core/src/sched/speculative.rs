@@ -1,0 +1,365 @@
+//! BLU's speculative scheduler (paper §3.2.2, Eqns. 3–4).
+//!
+//! Per RB, clients are added greedily: starting from the empty group,
+//! add the client `ℓ*` with the largest *expected* utility increment
+//! `E(G ∪ ℓ) − E(G)` (Eqn. 3), where the expectation runs over the
+//! joint access pattern of the group (Eqn. 4):
+//!
+//! ```text
+//! E(G) = Σ_{patterns} P(pattern) · penalty(|g|) · Σ_{i∈g} r_{i,b}/R_i
+//! ```
+//!
+//! with `g` the clients of the pattern that transmit; patterns with
+//! more than `M` transmitters contribute nothing (collision). The
+//! group grows while the increment is positive, up to the `f·M` cap
+//! (f = 2 by default) — beyond which collisions erase the gains (the
+//! paper's diminishing-returns observation).
+//!
+//! Cost: the pattern distribution is `O(h·2^w)` (cached per client
+//! set by the provider) and the expectation `O(2^w)` via a subset-sum
+//! table, `w ≤ f·M ≤ 8`.
+
+use super::{mimo_penalty, pf::PfScheduler, SchedInput, UlScheduler};
+use crate::joint::AccessDistribution;
+use blu_phy::grant::RbSchedule;
+use blu_sim::clientset::ClientSet;
+
+/// Minimum expected-utility increment to keep adding clients.
+const MIN_GAIN: f64 = 1e-9;
+
+/// The speculative scheduler, parameterized by a joint access
+/// distribution source (inferred blue-print, ground truth, empirical
+/// trace statistics, or an independence approximation).
+pub struct SpeculativeScheduler<'a> {
+    dist: &'a dyn AccessDistribution,
+}
+
+impl<'a> SpeculativeScheduler<'a> {
+    /// Wrap an access-distribution source.
+    pub fn new(dist: &'a dyn AccessDistribution) -> Self {
+        SpeculativeScheduler { dist }
+    }
+
+    /// Eqn. 4: the expected PF utility of scheduling group `w` on
+    /// RB `rb`.
+    pub fn expected_utility(&self, input: &SchedInput<'_>, rb: usize, w: ClientSet) -> f64 {
+        if w.is_empty() {
+            return 0.0;
+        }
+        let members: Vec<usize> = w.iter().collect();
+        let n = members.len();
+        let dist = self.dist.pattern_distribution(w);
+        debug_assert_eq!(dist.len(), 1 << n);
+        // Subset-sum of weights over blocked masks.
+        let weights: Vec<f64> = members.iter().map(|&ue| input.weight(ue, rb)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut blocked_sum = vec![0.0; 1 << n];
+        for m in 1usize..(1 << n) {
+            let low = m.trailing_zeros() as usize;
+            blocked_sum[m] = blocked_sum[m & (m - 1)] + weights[low];
+        }
+        let m_ant = input.m_antennas;
+        let mut e = 0.0;
+        for (m, &p) in dist.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let transmitting = n - m.count_ones() as usize;
+            if transmitting == 0 || transmitting > m_ant {
+                continue; // silence or collision
+            }
+            e += p * mimo_penalty(transmitting, m_ant) * (total - blocked_sum[m]);
+        }
+        e
+    }
+
+    /// The greedy group construction for one RB (Eqn. 3), under the
+    /// hard cell-wide `K`-distinct-clients budget.
+    fn best_group_for_rb(&self, input: &SchedInput<'_>, rb: usize, used: ClientSet) -> ClientSet {
+        let mut group = ClientSet::EMPTY;
+        let mut e = 0.0;
+        while group.len() < input.max_group {
+            let budget_left = input.k_max.saturating_sub(used.union(group).len());
+            let mut best: Option<(usize, f64)> = None;
+            for ue in 0..input.n_clients {
+                if group.contains(ue) {
+                    continue;
+                }
+                if !used.contains(ue) && budget_left == 0 {
+                    continue; // would exceed K distinct clients
+                }
+                if input.weight(ue, rb) <= 0.0 {
+                    continue;
+                }
+                let e_new = self.expected_utility(input, rb, group.with(ue));
+                if best.is_none_or(|(_, b)| e_new > b) {
+                    best = Some((ue, e_new));
+                }
+            }
+            match best {
+                Some((ue, e_new)) if e_new - e > MIN_GAIN => {
+                    group.insert(ue);
+                    e = e_new;
+                }
+                _ => break,
+            }
+        }
+        group
+    }
+}
+
+impl UlScheduler for SpeculativeScheduler<'_> {
+    fn name(&self) -> &'static str {
+        "BLU"
+    }
+
+    fn schedule(&mut self, input: &SchedInput<'_>) -> RbSchedule {
+        let mut sched = RbSchedule::empty(input.n_rbs);
+        let mut used = ClientSet::EMPTY;
+        for rb in 0..input.n_rbs {
+            let group = self.best_group_for_rb(input, rb, used);
+            if group.is_empty() {
+                // Never leave an RB unallocated if anyone is
+                // schedulable: fall back to the best PF client (the
+                // paper allocates all RBs every sub-frame).
+                let (fallback, _) =
+                    PfScheduler::best_group_for_rb(input, rb, used, input.m_antennas, &|ue, rb| {
+                        input.weight(ue, rb)
+                    });
+                for ue in fallback.iter() {
+                    sched.assign(rb, ue);
+                    used.insert(ue);
+                }
+                continue;
+            }
+            for ue in group.iter() {
+                sched.assign(rb, ue);
+                used.insert(ue);
+            }
+        }
+        sched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::joint::{IndependentAccess, TopologyAccess};
+    use crate::sched::rates::MatrixRates;
+    use blu_sim::topology::{HiddenTerminal, InterferenceTopology};
+
+    fn input<'a>(
+        rates: &'a MatrixRates,
+        avg: &'a [f64],
+        m: usize,
+        max_group: usize,
+        n_rbs: usize,
+    ) -> SchedInput<'a> {
+        SchedInput {
+            n_clients: avg.len(),
+            n_rbs,
+            m_antennas: m,
+            k_max: 10,
+            max_group,
+            rates,
+            avg_tput: avg,
+        }
+    }
+
+    #[test]
+    fn reduces_to_pf_without_interference() {
+        // DESIGN.md invariant 4: interference-free topology → BLU
+        // schedules exactly like PF (no over-scheduling: a second
+        // always-transmitting client would only collide).
+        let topo = InterferenceTopology::interference_free(4);
+        let acc = TopologyAccess::new(&topo);
+        let rates = MatrixRates::build(4, 6, |ue, rb| 100.0 + (ue * 7 + rb * 3) as f64);
+        let avg = vec![50.0, 80.0, 120.0, 60.0];
+        let inp = input(&rates, &avg, 1, 2, 6);
+        let mut blu = SpeculativeScheduler::new(&acc);
+        let mut pf = PfScheduler;
+        let sb = blu.schedule(&inp);
+        let sp = pf.schedule(&inp);
+        assert_eq!(sb, sp);
+    }
+
+    #[test]
+    fn overschedules_interference_diverse_clients() {
+        // Clients 0 and 1 are blocked by *different* HTs half the
+        // time: over-scheduling both on the same RB nearly doubles
+        // expected utilization. Client 2 shares client 0's HT.
+        // q = 0.7: blocking severe enough that over-scheduling a
+        // diverse pair strictly beats a single client (at q = 0.5 the
+        // two choices tie exactly and BLU correctly declines).
+        let topo = InterferenceTopology {
+            n_clients: 3,
+            hts: vec![
+                HiddenTerminal {
+                    q: 0.7,
+                    edges: ClientSet::from_iter([0, 2]),
+                },
+                HiddenTerminal {
+                    q: 0.7,
+                    edges: ClientSet::singleton(1),
+                },
+            ],
+        };
+        let acc = TopologyAccess::new(&topo);
+        let rates = MatrixRates::flat(3, 1, 100.0);
+        let avg = vec![10.0; 3];
+        let inp = input(&rates, &avg, 1, 2, 1);
+        let mut blu = SpeculativeScheduler::new(&acc);
+        let sched = blu.schedule(&inp);
+        let g = sched.group(0);
+        assert_eq!(g.len(), 2, "should over-schedule: {g}");
+        // The pair must be interference-diverse (0,1) or (2,1),
+        // never the shared-HT pair (0,2).
+        assert!(g.contains(1), "{g}");
+    }
+
+    #[test]
+    fn never_pairs_clients_sharing_a_hidden_terminal() {
+        // Only clients 0 and 2 available, both under the same HT:
+        // their accesses are perfectly correlated — over-scheduling
+        // can only collide. BLU must schedule one.
+        let topo = InterferenceTopology {
+            n_clients: 2,
+            hts: vec![HiddenTerminal {
+                q: 0.5,
+                edges: ClientSet::from_iter([0, 1]),
+            }],
+        };
+        let acc = TopologyAccess::new(&topo);
+        let rates = MatrixRates::flat(2, 1, 100.0);
+        let avg = vec![10.0; 2];
+        let inp = input(&rates, &avg, 1, 2, 1);
+        let mut blu = SpeculativeScheduler::new(&acc);
+        let sched = blu.schedule(&inp);
+        assert_eq!(sched.group(0).len(), 1);
+    }
+
+    #[test]
+    fn respects_group_cap() {
+        // Many perfectly-diverse clients: group must stop at f·M.
+        let hts = (0..8)
+            .map(|i| HiddenTerminal {
+                q: 0.7,
+                edges: ClientSet::singleton(i),
+            })
+            .collect();
+        let topo = InterferenceTopology { n_clients: 8, hts };
+        let acc = TopologyAccess::new(&topo);
+        let rates = MatrixRates::flat(8, 1, 100.0);
+        let avg = vec![10.0; 8];
+        let inp = input(&rates, &avg, 2, 4, 1);
+        let mut blu = SpeculativeScheduler::new(&acc);
+        let sched = blu.schedule(&inp);
+        assert!(sched.max_group_size() <= 4);
+        assert!(sched.max_group_size() > 2, "should over-schedule past M");
+    }
+
+    #[test]
+    fn expected_utility_example_from_paper() {
+        // The paper's SISO example: s₂ is over-scheduled only if
+        // P(s₂,s̄₁)·w₂ + P(s̄₂,s₁)·w₁ > P(s₁)·w₁.
+        let topo = InterferenceTopology {
+            n_clients: 2,
+            hts: vec![
+                HiddenTerminal {
+                    q: 0.4,
+                    edges: ClientSet::singleton(0),
+                },
+                HiddenTerminal {
+                    q: 0.4,
+                    edges: ClientSet::singleton(1),
+                },
+            ],
+        };
+        let acc = TopologyAccess::new(&topo);
+        let rates = MatrixRates::flat(2, 1, 100.0);
+        let avg = vec![10.0; 2];
+        let inp = input(&rates, &avg, 1, 2, 1);
+        let blu = SpeculativeScheduler::new(&acc);
+        let _w = 100.0 / 10.0;
+        // E({0}) = p(0)·w = 0.6·10 = 6.
+        let e1 = blu.expected_utility(&inp, 0, ClientSet::singleton(0));
+        assert!((e1 - 6.0).abs() < 1e-9, "{e1}");
+        // E({0,1}) = P(0, 1̄)·w + P(0̄, 1)·w = 0.6·0.4·10 ×2 = 4.8.
+        // (Both transmitting is a SISO collision: no utility.)
+        let e2 = blu.expected_utility(&inp, 0, ClientSet::from_iter([0, 1]));
+        assert!((e2 - 4.8).abs() < 1e-9, "{e2}");
+        // 4.8 < 6 → this pair must NOT be over-scheduled at q = 0.4…
+        let mut sched = SpeculativeScheduler::new(&acc);
+        let s = sched.schedule(&inp);
+        assert_eq!(s.group(0).len(), 1);
+        // …but at q = 0.6 blocking (p = 0.4):
+        // E({0}) = 4, E({0,1}) = 2·(0.4·0.6·10) = 4.8 > 4 → pair.
+        let topo2 = InterferenceTopology {
+            n_clients: 2,
+            hts: vec![
+                HiddenTerminal {
+                    q: 0.6,
+                    edges: ClientSet::singleton(0),
+                },
+                HiddenTerminal {
+                    q: 0.6,
+                    edges: ClientSet::singleton(1),
+                },
+            ],
+        };
+        let acc2 = TopologyAccess::new(&topo2);
+        let mut sched2 = SpeculativeScheduler::new(&acc2);
+        let s2 = sched2.schedule(&inp);
+        assert_eq!(s2.group(0).len(), 2);
+    }
+
+    #[test]
+    fn mumimo_expected_utility_counts_up_to_m_streams() {
+        let topo = InterferenceTopology::interference_free(2);
+        let acc = TopologyAccess::new(&topo);
+        let rates = MatrixRates::flat(2, 1, 100.0);
+        let avg = vec![10.0; 2];
+        let inp = input(&rates, &avg, 2, 4, 1);
+        let blu = SpeculativeScheduler::new(&acc);
+        // Both always transmit; M = 2 decodes both at penalty 0.5.
+        let e = blu.expected_utility(&inp, 0, ClientSet::from_iter([0, 1]));
+        assert!((e - 0.5 * 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rb_never_left_empty_when_clients_exist() {
+        // A client that never accesses still shouldn't leave RBs
+        // unallocated (the paper allocates every RB; spectral
+        // resources are never intentionally wasted).
+        let topo = InterferenceTopology {
+            n_clients: 1,
+            hts: vec![HiddenTerminal {
+                q: 1.0,
+                edges: ClientSet::singleton(0),
+            }],
+        };
+        let acc = TopologyAccess::new(&topo);
+        let rates = MatrixRates::flat(1, 2, 100.0);
+        let avg = vec![10.0];
+        let inp = input(&rates, &avg, 1, 2, 2);
+        let mut blu = SpeculativeScheduler::new(&acc);
+        let sched = blu.schedule(&inp);
+        assert_eq!(sched.occupied_rbs(), 2);
+    }
+
+    #[test]
+    fn independence_assumption_overschedules_shared_ht_pairs() {
+        // Ablation seed: with the independence approximation BLU
+        // pairs clients sharing one HT (wrongly) — demonstrating why
+        // the joint distribution matters.
+        let ind = IndependentAccess::new(vec![0.4, 0.4]);
+        let rates = MatrixRates::flat(2, 1, 100.0);
+        let avg = vec![10.0; 2];
+        let inp = input(&rates, &avg, 1, 2, 1);
+        let mut blu = SpeculativeScheduler::new(&ind);
+        let sched = blu.schedule(&inp);
+        // Independence says pairing is worth it (E = 2·0.4·0.6·10 =
+        // 4.8 > 4) — but if the truth were a shared HT this collides.
+        assert_eq!(sched.group(0).len(), 2);
+    }
+}

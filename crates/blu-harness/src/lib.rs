@@ -1,0 +1,16 @@
+//! # blu-harness — repository-level examples and integration tests
+//!
+//! This crate exists to host the top-level `examples/` binaries and
+//! `tests/` integration suites (mapped via explicit `[[example]]` /
+//! `[[test]]` paths), so they can exercise the whole workspace public
+//! API exactly as a downstream user would. The library itself only
+//! re-exports the workspace crates for convenient `use` lines in
+//! those binaries.
+
+#![forbid(unsafe_code)]
+
+pub use blu_core;
+pub use blu_phy;
+pub use blu_sim;
+pub use blu_traces;
+pub use blu_wifi;

@@ -1,0 +1,163 @@
+//! Uplink grants and per-sub-frame RB schedules.
+//!
+//! The eNB conveys the UL schedule in the DL part of the TxOP. A
+//! *grant* tells one UE which RBs to occupy at which MCS for how many
+//! sub-frames. BLU's key (LTE-compliant) trick is that grants for the
+//! same RB may be issued to **more** UEs than the eNB has antennas —
+//! the over-scheduling of paper §3.2.2 — so an [`RbSchedule`] maps
+//! each RB to a *set* of clients, not a single one.
+
+use crate::mcs::Cqi;
+use crate::rb::RbSet;
+use blu_sim::clientset::ClientSet;
+use serde::{Deserialize, Serialize};
+
+/// An uplink grant for one UE.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UlGrant {
+    /// Client (UE) index within the cell.
+    pub ue: usize,
+    /// RBs allocated to the UE.
+    pub rbs: RbSet,
+    /// MCS the UE must encode at (fixed at grant time from the eNB's
+    /// last channel estimate — realized SINR may differ).
+    pub cqi: Cqi,
+    /// Number of consecutive UL sub-frames the grant covers (the
+    /// paper's bursts are 3).
+    pub burst_subframes: u64,
+}
+
+/// The UL schedule of one sub-frame: for every RB, the set of clients
+/// granted that RB.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RbSchedule {
+    /// Number of RBs on the carrier.
+    pub n_rbs: usize,
+    /// `clients[b]` = set of UEs granted RB `b`.
+    pub clients: Vec<ClientSet>,
+}
+
+impl RbSchedule {
+    /// An empty schedule over `n_rbs` RBs.
+    pub fn empty(n_rbs: usize) -> Self {
+        RbSchedule {
+            n_rbs,
+            clients: vec![ClientSet::EMPTY; n_rbs],
+        }
+    }
+
+    /// Grant RB `b` to client `ue` (in addition to any existing
+    /// grantees — over-scheduling).
+    pub fn assign(&mut self, b: usize, ue: usize) {
+        assert!(b < self.n_rbs, "RB {b} out of range");
+        self.clients[b].insert(ue);
+    }
+
+    /// Grant a whole RB set to a client.
+    pub fn assign_rbs(&mut self, rbs: RbSet, ue: usize) {
+        for b in rbs.iter() {
+            self.assign(b, ue);
+        }
+    }
+
+    /// The set of clients granted RB `b`.
+    pub fn group(&self, b: usize) -> ClientSet {
+        self.clients[b]
+    }
+
+    /// All clients appearing anywhere in the schedule.
+    pub fn scheduled_clients(&self) -> ClientSet {
+        self.clients
+            .iter()
+            .fold(ClientSet::EMPTY, |acc, &c| acc.union(c))
+    }
+
+    /// The RBs granted to a particular client.
+    pub fn rbs_of(&self, ue: usize) -> RbSet {
+        self.clients
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.contains(ue))
+            .map(|(b, _)| b)
+            .collect()
+    }
+
+    /// Number of RBs with at least one grantee.
+    pub fn occupied_rbs(&self) -> usize {
+        self.clients.iter().filter(|c| !c.is_empty()).count()
+    }
+
+    /// Largest per-RB group size (over-scheduling depth).
+    pub fn max_group_size(&self) -> usize {
+        self.clients.iter().map(|c| c.len()).max().unwrap_or(0)
+    }
+
+    /// Convert to per-UE grants (RB sets), given a common CQI lookup.
+    pub fn to_grants(&self, cqi_of: impl Fn(usize) -> Cqi, burst_subframes: u64) -> Vec<UlGrant> {
+        self.scheduled_clients()
+            .iter()
+            .map(|ue| UlGrant {
+                ue,
+                rbs: self.rbs_of(ue),
+                cqi: cqi_of(ue),
+                burst_subframes,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_and_query() {
+        let mut s = RbSchedule::empty(4);
+        s.assign(0, 3);
+        s.assign(0, 7); // over-scheduled
+        s.assign(2, 3);
+        assert_eq!(s.group(0), ClientSet::from_iter([3, 7]));
+        assert_eq!(s.group(1), ClientSet::EMPTY);
+        assert_eq!(s.rbs_of(3), RbSet::from_iter([0, 2]));
+        assert_eq!(s.scheduled_clients(), ClientSet::from_iter([3, 7]));
+        assert_eq!(s.occupied_rbs(), 2);
+        assert_eq!(s.max_group_size(), 2);
+    }
+
+    #[test]
+    fn assign_rbs_bulk() {
+        let mut s = RbSchedule::empty(10);
+        s.assign_rbs(RbSet::range(2, 6), 1);
+        assert_eq!(s.rbs_of(1), RbSet::range(2, 6));
+        assert_eq!(s.occupied_rbs(), 4);
+    }
+
+    #[test]
+    fn to_grants_collects_per_ue() {
+        let mut s = RbSchedule::empty(4);
+        s.assign(0, 1);
+        s.assign(1, 1);
+        s.assign(1, 2);
+        let grants = s.to_grants(|_| Cqi(9), 3);
+        assert_eq!(grants.len(), 2);
+        let g1 = grants.iter().find(|g| g.ue == 1).unwrap();
+        assert_eq!(g1.rbs, RbSet::from_iter([0, 1]));
+        assert_eq!(g1.burst_subframes, 3);
+        assert_eq!(g1.cqi, Cqi(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rb_panics() {
+        let mut s = RbSchedule::empty(2);
+        s.assign(2, 0);
+    }
+
+    #[test]
+    fn empty_schedule_stats() {
+        let s = RbSchedule::empty(5);
+        assert_eq!(s.occupied_rbs(), 0);
+        assert_eq!(s.max_group_size(), 0);
+        assert!(s.scheduled_clients().is_empty());
+    }
+}

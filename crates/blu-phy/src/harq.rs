@@ -1,0 +1,155 @@
+//! HARQ with chase combining.
+//!
+//! Release-10 LTE retransmits failed transport blocks and soft-
+//! combines the received energy: with chase combining, the effective
+//! SINR after `n` (re)transmissions is (approximately) the **sum** of
+//! the per-transmission linear SINRs. The MCS is fixed at the first
+//! transmission, so a block that fell just short of its decoding
+//! threshold usually survives the first retransmission.
+//!
+//! In the BLU setting HARQ matters because it converts *fading*
+//! losses (pilot received, data lost) into delayed successes —
+//! without touching the *blocking* losses BLU targets (no energy on
+//! the air means nothing to combine). The emulator in `blu-core`
+//! exposes it behind its `harq_max_retx` knob so experiments can
+//! quantify that separation.
+
+use crate::mcs::{Cqi, McsTable};
+use serde::{Deserialize, Serialize};
+
+/// Default LTE retransmission limit.
+pub const DEFAULT_MAX_RETX: u8 = 3;
+
+/// One in-flight HARQ process (one transport block awaiting decode).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HarqProcess {
+    /// MCS fixed at the initial transmission.
+    pub cqi: Cqi,
+    /// Sum of linear SINRs received so far.
+    pub combined_sinr_linear: f64,
+    /// Transmissions so far (1 = initial only).
+    pub transmissions: u8,
+    /// Retransmission limit.
+    pub max_retx: u8,
+}
+
+/// Outcome of feeding one (re)transmission into a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HarqOutcome {
+    /// The combined block now decodes.
+    Decoded,
+    /// Still undecodable; a retransmission is pending.
+    Pending,
+    /// Retransmission limit reached; the block is dropped.
+    Exhausted,
+}
+
+impl HarqProcess {
+    /// Start a process at the given MCS with the initial
+    /// transmission's realized linear SINR.
+    pub fn new(cqi: Cqi, initial_sinr_linear: f64, max_retx: u8) -> Self {
+        assert!(cqi.is_usable(), "cannot HARQ an unusable MCS");
+        HarqProcess {
+            cqi,
+            combined_sinr_linear: initial_sinr_linear.max(0.0),
+            transmissions: 1,
+            max_retx,
+        }
+    }
+
+    /// Effective combined SINR in dB.
+    pub fn combined_sinr_db(&self) -> f64 {
+        10.0 * self.combined_sinr_linear.max(1e-12).log10()
+    }
+
+    /// Whether the combined block decodes at its fixed MCS.
+    pub fn decodes(&self, mcs: &McsTable) -> bool {
+        mcs.decodes(self.cqi, blu_sim::power::Db(self.combined_sinr_db()))
+    }
+
+    /// Feed a retransmission's realized linear SINR (chase
+    /// combining) and report the block's fate.
+    pub fn receive_retransmission(&mut self, sinr_linear: f64, mcs: &McsTable) -> HarqOutcome {
+        self.combined_sinr_linear += sinr_linear.max(0.0);
+        self.transmissions += 1;
+        if self.decodes(mcs) {
+            HarqOutcome::Decoded
+        } else if self.retransmissions_left() == 0 {
+            HarqOutcome::Exhausted
+        } else {
+            HarqOutcome::Pending
+        }
+    }
+
+    /// Retransmissions still allowed.
+    pub fn retransmissions_left(&self) -> u8 {
+        (1 + self.max_retx).saturating_sub(self.transmissions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blu_sim::power::Db;
+
+    fn mcs() -> McsTable {
+        McsTable::release10()
+    }
+
+    #[test]
+    fn near_miss_decodes_after_one_retransmission() {
+        // CQI 9 needs 10.3 dB ≈ 10.7 linear. First try at 8 dB
+        // (6.3 linear) fails; combining a second at 8 dB gives
+        // 12.6 linear ≈ 11 dB > 10.3 dB → decoded.
+        let t = mcs();
+        let mut p = HarqProcess::new(Cqi(9), 10f64.powf(0.8), DEFAULT_MAX_RETX);
+        assert!(!p.decodes(&t));
+        let out = p.receive_retransmission(10f64.powf(0.8), &t);
+        assert_eq!(out, HarqOutcome::Decoded);
+    }
+
+    #[test]
+    fn deep_fade_exhausts() {
+        // CQI 15 needs 22.7 dB; −10 dB per try never accumulates
+        // enough within 3 retransmissions.
+        let t = mcs();
+        let mut p = HarqProcess::new(Cqi(15), 0.1, 3);
+        assert_eq!(p.receive_retransmission(0.1, &t), HarqOutcome::Pending);
+        assert_eq!(p.receive_retransmission(0.1, &t), HarqOutcome::Pending);
+        assert_eq!(p.receive_retransmission(0.1, &t), HarqOutcome::Exhausted);
+    }
+
+    #[test]
+    fn combining_is_additive_in_linear_domain() {
+        let mut p = HarqProcess::new(Cqi(5), 1.0, 3);
+        p.receive_retransmission(3.0, &mcs());
+        assert!((p.combined_sinr_linear - 4.0).abs() < 1e-12);
+        assert!((p.combined_sinr_db() - 6.0206).abs() < 1e-3);
+    }
+
+    #[test]
+    fn retransmission_budget_counts_down() {
+        let mut p = HarqProcess::new(Cqi(15), 0.01, 2);
+        assert_eq!(p.retransmissions_left(), 2);
+        p.receive_retransmission(0.01, &mcs());
+        assert_eq!(p.retransmissions_left(), 1);
+        p.receive_retransmission(0.01, &mcs());
+        assert_eq!(p.retransmissions_left(), 0);
+    }
+
+    #[test]
+    fn already_good_block_decodes_immediately() {
+        let p = HarqProcess::new(Cqi(1), 10f64.powf(0.5), 3); // 5 dB > −6.7 dB
+        assert!(p.decodes(&mcs()));
+        assert!(p.combined_sinr_db() - 5.0 < 1e-9);
+    }
+
+    #[test]
+    fn negative_sinr_contributions_clamped() {
+        let mut p = HarqProcess::new(Cqi(5), -1.0, 3);
+        assert_eq!(p.combined_sinr_linear, 0.0);
+        p.receive_retransmission(-2.0, &mcs());
+        assert_eq!(p.combined_sinr_linear, 0.0);
+        let _ = Db(0.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # blu-phy — LTE PHY/MAC substrate for BLU
+//!
+//! The paper's testbed runs a Release-10 LTE stack (MATLAB LTE
+//! Toolbox on WARP SDRs). BLU itself only touches a narrow slice of
+//! that stack, and this crate reproduces exactly that slice:
+//!
+//! * the **numerology** of a 10 MHz carrier (50 resource blocks,
+//!   1 ms sub-frames, TxOPs of 2–10 ms with a DL/UL split);
+//! * **uplink grants** and per-sub-frame RB schedules;
+//! * the **CQI/MCS rate model** mapping SINR to per-RB transport bits;
+//! * **DMRS pilots** with orthogonal cyclic shifts — the mechanism BLU
+//!   uses to tell *blocked* (no pilot) from *collision* (too many
+//!   pilots) from *fading* (pilot but no data), paper §3.3;
+//! * a **MU-MIMO zero-forcing receiver** for up to `M` concurrent
+//!   streams on the same RB, with collision when more than `M`
+//!   transmissions arrive;
+//! * **LAA channel access** (Cat-4 energy-detect backoff) for the eNB
+//!   to win TxOPs against WiFi contention.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod grant;
+pub mod harq;
+pub mod laa;
+pub mod mcs;
+pub mod mimo;
+pub mod noma;
+pub mod numerology;
+pub mod outcome;
+pub mod pilot;
+pub mod rb;
+
+pub use cell::CellConfig;
+pub use grant::{RbSchedule, UlGrant};
+pub use mcs::{Cqi, McsTable};
+pub use numerology::Numerology;
+pub use outcome::{classify_rb, DecodeOutcome, RbObservation};
+pub use rb::RbSet;

@@ -1,0 +1,207 @@
+//! CQI/MCS rate model.
+//!
+//! LTE maps channel quality (SINR) to one of 15 CQI levels, each with
+//! a modulation order and code rate; the product gives the spectral
+//! efficiency in bits per resource element. We use the standard 3GPP
+//! 36.213 Table 7.2.3-1 efficiencies and the conventional SINR
+//! switching points (≈ 2 dB spacing, BLER ≤ 10 % targets).
+
+use crate::numerology::Numerology;
+use blu_sim::power::Db;
+use serde::{Deserialize, Serialize};
+
+/// A channel-quality indicator (1..=15). CQI 0 means "out of range"
+/// (no transmission possible).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Cqi(pub u8);
+
+impl Cqi {
+    /// Out-of-range marker.
+    pub const OUT_OF_RANGE: Cqi = Cqi(0);
+
+    /// Whether a transmission at this CQI can be decoded at all.
+    pub fn is_usable(self) -> bool {
+        self.0 >= 1
+    }
+}
+
+/// One row of the CQI table.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CqiRow {
+    /// CQI index (1..=15).
+    pub cqi: Cqi,
+    /// Modulation order (2 = QPSK, 4 = 16QAM, 6 = 64QAM bits/symbol).
+    pub modulation_bits: u8,
+    /// Effective code rate ×1024 (3GPP convention).
+    pub code_rate_x1024: u16,
+    /// Spectral efficiency in bits per resource element.
+    pub efficiency: f64,
+    /// Minimum SINR (dB) at which this CQI meets the BLER target.
+    pub min_sinr_db: f64,
+}
+
+/// The CQI → efficiency table with SINR switching points.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McsTable {
+    rows: Vec<CqiRow>,
+}
+
+impl Default for McsTable {
+    fn default() -> Self {
+        Self::release10()
+    }
+}
+
+impl McsTable {
+    /// 3GPP 36.213 Table 7.2.3-1 (Release 10) with conventional SINR
+    /// thresholds.
+    pub fn release10() -> Self {
+        // (cqi, mod bits, code rate x1024, efficiency, min SINR dB)
+        const ROWS: &[(u8, u8, u16, f64, f64)] = &[
+            (1, 2, 78, 0.1523, -6.7),
+            (2, 2, 120, 0.2344, -4.7),
+            (3, 2, 193, 0.3770, -2.3),
+            (4, 2, 308, 0.6016, 0.2),
+            (5, 2, 449, 0.8770, 2.4),
+            (6, 2, 602, 1.1758, 4.3),
+            (7, 4, 378, 1.4766, 5.9),
+            (8, 4, 490, 1.9141, 8.1),
+            (9, 4, 616, 2.4063, 10.3),
+            (10, 6, 466, 2.7305, 11.7),
+            (11, 6, 567, 3.3223, 14.1),
+            (12, 6, 666, 3.9023, 16.3),
+            (13, 6, 772, 4.5234, 18.7),
+            (14, 6, 873, 5.1152, 21.0),
+            (15, 6, 948, 5.5547, 22.7),
+        ];
+        McsTable {
+            rows: ROWS
+                .iter()
+                .map(|&(c, m, r, e, s)| CqiRow {
+                    cqi: Cqi(c),
+                    modulation_bits: m,
+                    code_rate_x1024: r,
+                    efficiency: e,
+                    min_sinr_db: s,
+                })
+                .collect(),
+        }
+    }
+
+    /// All rows, ascending CQI.
+    pub fn rows(&self) -> &[CqiRow] {
+        &self.rows
+    }
+
+    /// Highest CQI whose SINR requirement is met, or
+    /// [`Cqi::OUT_OF_RANGE`] if even CQI 1 cannot be decoded.
+    pub fn cqi_for_sinr(&self, sinr: Db) -> Cqi {
+        self.rows
+            .iter()
+            .rev()
+            .find(|r| sinr.0 >= r.min_sinr_db)
+            .map_or(Cqi::OUT_OF_RANGE, |r| r.cqi)
+    }
+
+    /// Spectral efficiency (bits per resource element) of a CQI;
+    /// 0 for out-of-range.
+    pub fn efficiency(&self, cqi: Cqi) -> f64 {
+        if cqi.0 == 0 {
+            return 0.0;
+        }
+        self.rows[usize::from(cqi.0) - 1].efficiency
+    }
+
+    /// Minimum SINR needed to decode at the given CQI.
+    pub fn min_sinr(&self, cqi: Cqi) -> Db {
+        assert!(cqi.is_usable());
+        Db(self.rows[usize::from(cqi.0) - 1].min_sinr_db)
+    }
+
+    /// Transport bits carried by one RB in one sub-frame at `cqi`.
+    pub fn bits_per_rb(&self, cqi: Cqi, num: &Numerology) -> f64 {
+        self.efficiency(cqi) * num.res_per_rb() as f64
+    }
+
+    /// Rate (bits per RB per sub-frame) achieved at the given SINR —
+    /// the scheduler's `r_{i,b}`.
+    pub fn rate_for_sinr(&self, sinr: Db, num: &Numerology) -> f64 {
+        self.bits_per_rb(self.cqi_for_sinr(sinr), num)
+    }
+
+    /// Whether a transmission *encoded* at `cqi` decodes when received
+    /// at `sinr` (the fading-loss test: the grant fixed the MCS from a
+    /// stale channel estimate; if the realized SINR is below the MCS's
+    /// requirement, decoding fails — the paper's "fading" case).
+    pub fn decodes(&self, cqi: Cqi, sinr: Db) -> bool {
+        cqi.is_usable() && sinr.0 >= self.rows[usize::from(cqi.0) - 1].min_sinr_db
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_monotone() {
+        let t = McsTable::release10();
+        for w in t.rows().windows(2) {
+            assert!(w[0].efficiency < w[1].efficiency);
+            assert!(w[0].min_sinr_db < w[1].min_sinr_db);
+            assert!(w[0].cqi < w[1].cqi);
+        }
+        assert_eq!(t.rows().len(), 15);
+    }
+
+    #[test]
+    fn cqi_selection_brackets() {
+        let t = McsTable::release10();
+        assert_eq!(t.cqi_for_sinr(Db(-10.0)), Cqi::OUT_OF_RANGE);
+        assert_eq!(t.cqi_for_sinr(Db(-6.7)), Cqi(1));
+        assert_eq!(t.cqi_for_sinr(Db(0.0)), Cqi(3));
+        assert_eq!(t.cqi_for_sinr(Db(30.0)), Cqi(15));
+        assert_eq!(t.cqi_for_sinr(Db(10.4)), Cqi(9));
+    }
+
+    #[test]
+    fn efficiency_lookup() {
+        let t = McsTable::release10();
+        assert_eq!(t.efficiency(Cqi::OUT_OF_RANGE), 0.0);
+        assert!((t.efficiency(Cqi(15)) - 5.5547).abs() < 1e-9);
+        assert!((t.efficiency(Cqi(1)) - 0.1523).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bits_per_rb_at_top_cqi() {
+        let t = McsTable::release10();
+        let num = Numerology::mhz10();
+        // 5.5547 bits/RE × 144 RE ≈ 800 bits per RB per sub-frame.
+        let bits = t.bits_per_rb(Cqi(15), &num);
+        assert!((bits - 799.9).abs() < 1.0, "{bits}");
+    }
+
+    #[test]
+    fn full_carrier_peak_rate_plausible() {
+        // 50 RBs × ~800 bits / 1 ms ≈ 40 Mbps — the right order for
+        // 10 MHz SISO uplink.
+        let t = McsTable::release10();
+        let num = Numerology::mhz10();
+        let peak_mbps = t.rate_for_sinr(Db(30.0), &num) * num.n_rbs as f64 / 1_000.0;
+        assert!((30.0..50.0).contains(&peak_mbps), "{peak_mbps} Mbps");
+    }
+
+    #[test]
+    fn decode_respects_mcs_threshold() {
+        let t = McsTable::release10();
+        // Encoded at CQI 9 (needs 10.3 dB): 12 dB decodes, 8 dB fails.
+        assert!(t.decodes(Cqi(9), Db(12.0)));
+        assert!(!t.decodes(Cqi(9), Db(8.0)));
+        assert!(!t.decodes(Cqi::OUT_OF_RANGE, Db(30.0)));
+    }
+
+    #[test]
+    fn min_sinr_matches_rows() {
+        let t = McsTable::release10();
+        assert_eq!(t.min_sinr(Cqi(7)), Db(5.9));
+    }
+}

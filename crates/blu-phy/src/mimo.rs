@@ -1,0 +1,326 @@
+//! MU-MIMO uplink receiver model (zero forcing).
+//!
+//! With `M` antennas the eNB can separate up to `M` concurrent
+//! single-antenna uplink streams on the same RB. We model the standard
+//! zero-forcing receiver: for stream `i` with channel column `a_i =
+//! √p_i·h_i`, the post-ZF SINR is
+//!
+//! ```text
+//! SINR_i = 1 / (N₀ · [(AᴴA)⁻¹]_ii)
+//! ```
+//!
+//! When more than `M` streams arrive, the system is under-determined
+//! and nothing decodes — the paper's collision case (handled one layer
+//! up in [`crate::outcome`]).
+
+use blu_sim::fading::Complex;
+use serde::{Deserialize, Serialize};
+
+/// A dense complex matrix (row-major).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CMat {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    data: Vec<Complex>,
+}
+
+impl CMat {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMat {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex::ONE;
+        }
+        m
+    }
+
+    /// Build from column vectors (all the same length).
+    pub fn from_columns(cols: &[Vec<Complex>]) -> Self {
+        assert!(!cols.is_empty());
+        let rows = cols[0].len();
+        assert!(cols.iter().all(|c| c.len() == rows));
+        let mut m = CMat::zeros(rows, cols.len());
+        for (j, col) in cols.iter().enumerate() {
+            for (i, &v) in col.iter().enumerate() {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Conjugate transpose.
+    pub fn hermitian(&self) -> CMat {
+        let mut out = CMat::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// Matrix product.
+    pub fn mul(&self, rhs: &CMat) -> CMat {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch");
+        let mut out = CMat::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == Complex::ZERO {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Inverse via Gauss–Jordan with partial pivoting.
+    ///
+    /// Returns `None` if the matrix is (numerically) singular.
+    pub fn inverse(&self) -> Option<CMat> {
+        assert_eq!(self.rows, self.cols, "inverse of non-square matrix");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = CMat::identity(n);
+        for col in 0..n {
+            // Partial pivot: largest magnitude in this column.
+            let pivot_row = (col..n)
+                .max_by(|&r1, &r2| {
+                    a[(r1, col)]
+                        .norm_sq()
+                        .partial_cmp(&a[(r2, col)].norm_sq())
+                        .unwrap()
+                })
+                .unwrap();
+            if a[(pivot_row, col)].norm_sq() < 1e-24 {
+                return None; // singular
+            }
+            if pivot_row != col {
+                a.swap_rows(pivot_row, col);
+                inv.swap_rows(pivot_row, col);
+            }
+            let pivot_inv = a[(col, col)].inv();
+            for j in 0..n {
+                a[(col, j)] = a[(col, j)] * pivot_inv;
+                inv[(col, j)] = inv[(col, j)] * pivot_inv;
+            }
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let f = a[(r, col)];
+                if f == Complex::ZERO {
+                    continue;
+                }
+                for j in 0..n {
+                    let aj = a[(col, j)];
+                    let ij = inv[(col, j)];
+                    a[(r, j)] = a[(r, j)] - f * aj;
+                    inv[(r, j)] = inv[(r, j)] - f * ij;
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    fn swap_rows(&mut self, r1: usize, r2: usize) {
+        if r1 == r2 {
+            return;
+        }
+        for j in 0..self.cols {
+            let a = self[(r1, j)];
+            let b = self[(r2, j)];
+            self[(r1, j)] = b;
+            self[(r2, j)] = a;
+        }
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for CMat {
+    type Output = Complex;
+    fn index(&self, (i, j): (usize, usize)) -> &Complex {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for CMat {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Post-zero-forcing SINRs (linear) for `S ≤ M` concurrent streams.
+///
+/// * `channels[i]` — unit-power channel vector of stream `i` (length
+///   `M`, one entry per eNB antenna);
+/// * `rx_powers_mw[i]` — average received power of stream `i` in mW;
+/// * `noise_mw` — per-antenna noise power in mW.
+///
+/// Returns `None` when the streams cannot be separated: more streams
+/// than antennas, or a (numerically) rank-deficient channel matrix.
+pub fn zf_sinrs(
+    channels: &[Vec<Complex>],
+    rx_powers_mw: &[f64],
+    noise_mw: f64,
+) -> Option<Vec<f64>> {
+    let s = channels.len();
+    assert_eq!(s, rx_powers_mw.len());
+    assert!(noise_mw > 0.0, "noise power must be positive");
+    if s == 0 {
+        return Some(Vec::new());
+    }
+    let m = channels[0].len();
+    if s > m {
+        return None; // under-determined: collision
+    }
+    // A = [√p₁·h₁ … √p_S·h_S]
+    let cols: Vec<Vec<Complex>> = channels
+        .iter()
+        .zip(rx_powers_mw)
+        .map(|(h, &p)| {
+            assert!(p >= 0.0);
+            let amp = p.sqrt();
+            h.iter().map(|&c| c.scale(amp)).collect()
+        })
+        .collect();
+    let a = CMat::from_columns(&cols);
+    let gram = a.hermitian().mul(&a);
+    let ginv = gram.inverse()?;
+    Some(
+        (0..s)
+            .map(|i| {
+                let noise_amp = ginv[(i, i)].re.max(1e-30);
+                1.0 / (noise_mw * noise_amp)
+            })
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blu_sim::rng::DetRng;
+
+    fn c(re: f64, im: f64) -> Complex {
+        Complex::new(re, im)
+    }
+
+    #[test]
+    fn identity_inverse() {
+        let i3 = CMat::identity(3);
+        assert_eq!(i3.inverse().unwrap(), i3);
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let mut rng = DetRng::seed_from_u64(1);
+        for n in 1..=5 {
+            let mut m = CMat::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    m[(i, j)] = c(rng.gaussian(), rng.gaussian());
+                }
+            }
+            let inv = m.inverse().expect("random matrix should be invertible");
+            let prod = m.mul(&inv);
+            for i in 0..n {
+                for j in 0..n {
+                    let expect = if i == j { 1.0 } else { 0.0 };
+                    assert!(
+                        (prod[(i, j)].re - expect).abs() < 1e-9 && prod[(i, j)].im.abs() < 1e-9,
+                        "n={n} ({i},{j}) = {:?}",
+                        prod[(i, j)]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_rejected() {
+        let mut m = CMat::zeros(2, 2);
+        m[(0, 0)] = c(1.0, 0.0);
+        m[(0, 1)] = c(2.0, 0.0);
+        m[(1, 0)] = c(2.0, 0.0);
+        m[(1, 1)] = c(4.0, 0.0);
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn single_stream_zf_equals_mrc_snr() {
+        // One stream on M antennas: post-ZF SNR = p·‖h‖² / N₀.
+        let h = vec![c(1.0, 0.0), c(0.0, 1.0)]; // ‖h‖² = 2
+        let sinr = zf_sinrs(&[h], &[4.0], 0.5).unwrap();
+        assert!((sinr[0] - 4.0 * 2.0 / 0.5).abs() < 1e-9, "{sinr:?}");
+    }
+
+    #[test]
+    fn orthogonal_streams_suffer_no_penalty() {
+        // Two orthogonal channels: each stream behaves as if alone.
+        let h1 = vec![c(1.0, 0.0), c(0.0, 0.0)];
+        let h2 = vec![c(0.0, 0.0), c(1.0, 0.0)];
+        let sinrs = zf_sinrs(&[h1, h2], &[2.0, 3.0], 0.1).unwrap();
+        assert!((sinrs[0] - 20.0).abs() < 1e-9);
+        assert!((sinrs[1] - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlated_streams_lose_sinr() {
+        let h1 = vec![c(1.0, 0.0), c(0.0, 0.0)];
+        let h_corr = vec![c(0.9, 0.0), c(0.435_889_894_354, 0.0)]; // unit norm, correlated with h1
+        let alone = zf_sinrs(std::slice::from_ref(&h1), &[1.0], 0.1).unwrap()[0];
+        let both = zf_sinrs(&[h1, h_corr], &[1.0, 1.0], 0.1).unwrap();
+        assert!(both[0] < alone, "ZF must pay for correlation");
+        assert!(both[1] < alone);
+    }
+
+    #[test]
+    fn more_streams_than_antennas_is_collision() {
+        let h = vec![c(1.0, 0.0), c(0.0, 1.0)];
+        let chans = vec![h.clone(), h.clone(), h];
+        assert!(zf_sinrs(&chans, &[1.0, 1.0, 1.0], 0.1).is_none());
+    }
+
+    #[test]
+    fn identical_channels_are_inseparable() {
+        let h = vec![c(1.0, 0.0), c(1.0, 0.0)];
+        assert!(zf_sinrs(&[h.clone(), h], &[1.0, 1.0], 0.1).is_none());
+    }
+
+    #[test]
+    fn empty_group_ok() {
+        assert_eq!(zf_sinrs(&[], &[], 0.1), Some(Vec::new()));
+    }
+
+    #[test]
+    fn random_channels_full_rank_with_high_probability() {
+        let mut rng = DetRng::seed_from_u64(2);
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        for _ in 0..100 {
+            let chans: Vec<Vec<Complex>> = (0..4)
+                .map(|_| {
+                    (0..4)
+                        .map(|_| c(rng.gaussian() * s, rng.gaussian() * s))
+                        .collect()
+                })
+                .collect();
+            let out = zf_sinrs(&chans, &[1.0; 4], 0.01);
+            assert!(out.is_some());
+            assert!(out.unwrap().iter().all(|&x| x > 0.0));
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Power-domain NOMA reception with successive interference
+//! cancellation (SIC).
+//!
+//! The paper's related-work section argues BLU's speculative
+//! scheduler composes with NOMA: when two over-scheduled clients
+//! *both* pass CCA on a SISO carrier, a SIC receiver can still
+//! separate them if their receive powers differ enough — turning a
+//! subset of over-scheduling collisions into double successes.
+//!
+//! The model is the textbook one: decode streams in descending
+//! receive power, each seeing the weaker streams as noise; on a
+//! successful decode, cancel the stream and continue; the first
+//! failure stops the chain (error propagation — everything weaker is
+//! lost too).
+
+/// SIC decoding order and per-stream SINRs.
+///
+/// Input: per-stream average receive powers (mW) and the noise power
+/// (mW). Output: stream indices in decode order, each with the SINR
+/// (linear) it sees at its turn *assuming all earlier streams were
+/// cancelled*.
+pub fn sic_order_sinrs(rx_powers_mw: &[f64], noise_mw: f64) -> Vec<(usize, f64)> {
+    assert!(noise_mw > 0.0);
+    let mut order: Vec<usize> = (0..rx_powers_mw.len()).collect();
+    order.sort_by(|&a, &b| rx_powers_mw[b].partial_cmp(&rx_powers_mw[a]).unwrap());
+    let total: f64 = rx_powers_mw.iter().sum();
+    let mut remaining = total;
+    order
+        .into_iter()
+        .map(|i| {
+            let p = rx_powers_mw[i].max(0.0);
+            let interference = (remaining - p).max(0.0);
+            remaining -= p;
+            (i, p / (interference + noise_mw))
+        })
+        .collect()
+}
+
+/// Run the SIC chain with a per-stream decode predicate (given the
+/// stream index and its SINR, does its transport block decode?).
+/// Returns the set of stream indices that decoded; the chain stops at
+/// the first failure.
+pub fn sic_decode(
+    rx_powers_mw: &[f64],
+    noise_mw: f64,
+    decodes: impl Fn(usize, f64) -> bool,
+) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (idx, sinr) in sic_order_sinrs(rx_powers_mw, noise_mw) {
+        if decodes(idx, sinr) {
+            out.push(idx);
+        } else {
+            break; // error propagation: weaker streams are lost
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_descending_power() {
+        let sinrs = sic_order_sinrs(&[1.0, 8.0, 2.0], 0.1);
+        let order: Vec<usize> = sinrs.iter().map(|&(i, _)| i).collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn first_stream_sees_all_interference_last_sees_none() {
+        let sinrs = sic_order_sinrs(&[1.0, 8.0], 0.5);
+        // Strongest: 8 / (1 + 0.5); weakest after cancel: 1 / 0.5.
+        assert!((sinrs[0].1 - 8.0 / 1.5).abs() < 1e-12);
+        assert!((sinrs[1].1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_power_gap_decodes_both() {
+        // 20 dB gap: both streams clear a 3 dB (2.0 linear) threshold.
+        let got = sic_decode(&[0.1, 10.0], 0.01, |_, sinr| sinr >= 2.0);
+        assert_eq!(got, vec![1, 0]);
+    }
+
+    #[test]
+    fn equal_powers_decode_nothing_at_moderate_mcs() {
+        // Equal powers: strongest sees SINR ≈ 1 < threshold → chain
+        // stops immediately. This is the classic SISO collision.
+        let got = sic_decode(&[1.0, 1.0], 0.01, |_, sinr| sinr >= 2.0);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn error_propagation_stops_the_chain() {
+        // Strongest decodes; middle fails; weakest would have decoded
+        // in isolation but is never reached.
+        let powers = [0.4, 100.0, 0.39];
+        let got = sic_decode(&powers, 0.001, |i, sinr| {
+            if i == 0 {
+                sinr >= 1.0 // middle stream needs 0 dB; sees ~0.4/0.39 ≈ 1.02…
+            } else {
+                sinr >= 2.0
+            }
+        });
+        // Stream 1 (strongest) decodes at ~100/0.79 >> 2; stream 0
+        // decodes at ~1.02 ≥ 1.0; stream 2 then sees 0.39/0.001 ≥ 2.
+        assert_eq!(got, vec![1, 0, 2]);
+        // Tighten stream 0's requirement: the chain breaks there and
+        // stream 2 is lost despite its huge post-cancel SINR.
+        let got = sic_decode(&powers, 0.001, |i, sinr| {
+            if i == 0 {
+                sinr >= 2.0
+            } else {
+                sinr >= 2.0
+            }
+        });
+        assert_eq!(got, vec![1]);
+    }
+
+    #[test]
+    fn single_stream_reduces_to_plain_snr() {
+        let sinrs = sic_order_sinrs(&[4.0], 0.5);
+        assert_eq!(sinrs.len(), 1);
+        assert!((sinrs[0].1 - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        assert!(sic_order_sinrs(&[], 0.1).is_empty());
+        assert!(sic_decode(&[], 0.1, |_, _| true).is_empty());
+    }
+}

@@ -1,0 +1,127 @@
+//! LTE carrier numerology and TxOP structure.
+//!
+//! The testbed uses a 10 MHz Release-10 carrier (50 resource blocks,
+//! sampling rate 15.36 MHz) with grants issued in bursts of three
+//! sub-frames; a TxOP in unlicensed spectrum spans 2–10 ms and is
+//! split between DL (control + grants) and UL sub-frames (paper
+//! Fig. 2b).
+
+use serde::{Deserialize, Serialize};
+
+/// Static numerology of an LTE carrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Numerology {
+    /// Carrier bandwidth in MHz (1.4, 3, 5, 10, 15, 20).
+    pub bandwidth_mhz: u32,
+    /// Number of uplink resource blocks.
+    pub n_rbs: usize,
+    /// Subcarriers per RB (always 12 in LTE).
+    pub subcarriers_per_rb: usize,
+    /// OFDM data symbols per sub-frame available for PUSCH
+    /// (14 symbols minus 2 DMRS symbols).
+    pub data_symbols_per_subframe: usize,
+}
+
+impl Numerology {
+    /// The paper's configuration: a 10 MHz carrier.
+    pub fn mhz10() -> Self {
+        Numerology {
+            bandwidth_mhz: 10,
+            n_rbs: 50,
+            subcarriers_per_rb: 12,
+            data_symbols_per_subframe: 12,
+        }
+    }
+
+    /// A 20 MHz carrier (for larger-cell experiments).
+    pub fn mhz20() -> Self {
+        Numerology {
+            bandwidth_mhz: 20,
+            n_rbs: 100,
+            subcarriers_per_rb: 12,
+            data_symbols_per_subframe: 12,
+        }
+    }
+
+    /// Resource elements available for data per RB per sub-frame.
+    pub fn res_per_rb(&self) -> usize {
+        self.subcarriers_per_rb * self.data_symbols_per_subframe
+    }
+}
+
+/// Shape of one transmission opportunity in unlicensed spectrum:
+/// after winning the channel, the eNB sends `dl_subframes` (carrying
+/// control and UL grants) followed by `ul_subframes` used by the
+/// scheduled UEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxOpShape {
+    /// Leading DL sub-frames.
+    pub dl_subframes: u64,
+    /// Trailing UL sub-frames (the paper's UE bursts are 3 sub-frames).
+    pub ul_subframes: u64,
+}
+
+impl TxOpShape {
+    /// The paper's testbed shape: 1 DL sub-frame carrying grants, then
+    /// a 3-sub-frame UL burst.
+    pub fn paper_default() -> Self {
+        TxOpShape {
+            dl_subframes: 1,
+            ul_subframes: 3,
+        }
+    }
+
+    /// Total TxOP length in sub-frames.
+    pub fn total_subframes(&self) -> u64 {
+        self.dl_subframes + self.ul_subframes
+    }
+
+    /// Validate against the LAA TxOP bounds (2–10 ms).
+    pub fn is_valid_laa(&self) -> bool {
+        let t = self.total_subframes();
+        (2..=10).contains(&t) && self.dl_subframes >= 1 && self.ul_subframes >= 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mhz10_matches_lte_spec() {
+        let n = Numerology::mhz10();
+        assert_eq!(n.n_rbs, 50);
+        assert_eq!(n.res_per_rb(), 144);
+    }
+
+    #[test]
+    fn mhz20_matches_lte_spec() {
+        assert_eq!(Numerology::mhz20().n_rbs, 100);
+    }
+
+    #[test]
+    fn paper_txop_is_valid() {
+        let t = TxOpShape::paper_default();
+        assert_eq!(t.total_subframes(), 4);
+        assert!(t.is_valid_laa());
+    }
+
+    #[test]
+    fn txop_bounds_enforced() {
+        assert!(!TxOpShape {
+            dl_subframes: 1,
+            ul_subframes: 0
+        }
+        .is_valid_laa());
+        assert!(!TxOpShape {
+            dl_subframes: 6,
+            ul_subframes: 6
+        }
+        .is_valid_laa());
+        assert!(TxOpShape {
+            dl_subframes: 2,
+            ul_subframes: 8
+        }
+        .is_valid_laa());
+    }
+}

@@ -1,0 +1,198 @@
+//! Per-RB decode-outcome classification at the eNB.
+//!
+//! This is the observation layer of paper §3.3: from the DMRS pilot
+//! report and the data-decode attempts on one RB, the eNB labels each
+//! scheduled client's result. These labels drive both the performance
+//! accounting (utilization/throughput) and BLU's access-distribution
+//! estimator (a *blocked* client counts as "could not use its grant";
+//! a *fading* loss does not — the client did access the channel).
+
+use blu_sim::clientset::ClientSet;
+use serde::{Deserialize, Serialize};
+
+/// Outcome for one scheduled client on one RB in one sub-frame.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DecodeOutcome {
+    /// No pilot received: the client's CCA found the channel busy
+    /// (hidden-terminal blocking) and it never transmitted.
+    Blocked,
+    /// More concurrent transmissions than eNB antennas: nothing on
+    /// this RB can be resolved. Over-scheduling gone wrong.
+    Collision,
+    /// Pilot received but data failed to decode at the granted MCS:
+    /// channel fading, not interference.
+    Fading,
+    /// Data decoded, carrying this many transport bits on this RB.
+    Success {
+        /// Transport bits delivered on this RB this sub-frame.
+        bits: f64,
+    },
+}
+
+impl DecodeOutcome {
+    /// Whether the client transmitted (i.e. passed CCA).
+    pub fn transmitted(self) -> bool {
+        !matches!(self, DecodeOutcome::Blocked)
+    }
+
+    /// Delivered bits (0 unless success).
+    pub fn bits(self) -> f64 {
+        match self {
+            DecodeOutcome::Success { bits } => bits,
+            _ => 0.0,
+        }
+    }
+}
+
+/// The eNB's full observation of one RB in one sub-frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RbObservation {
+    /// Clients that were granted this RB.
+    pub scheduled: ClientSet,
+    /// Per-client outcomes, in ascending client order, one per
+    /// scheduled client.
+    pub outcomes: Vec<(usize, DecodeOutcome)>,
+}
+
+impl RbObservation {
+    /// Clients whose pilot arrived (they transmitted).
+    pub fn transmitters(&self) -> ClientSet {
+        self.outcomes
+            .iter()
+            .filter(|(_, o)| o.transmitted())
+            .map(|&(ue, _)| ue)
+            .collect()
+    }
+
+    /// Total delivered bits on this RB.
+    pub fn delivered_bits(&self) -> f64 {
+        self.outcomes.iter().map(|(_, o)| o.bits()).sum()
+    }
+
+    /// Whether the RB delivered any data.
+    pub fn utilized(&self) -> bool {
+        self.delivered_bits() > 0.0
+    }
+
+    /// Whether the RB saw a collision.
+    pub fn collided(&self) -> bool {
+        self.outcomes
+            .iter()
+            .any(|(_, o)| matches!(o, DecodeOutcome::Collision))
+    }
+}
+
+/// Classify one RB.
+///
+/// * `scheduled` — clients granted the RB;
+/// * `pilots_detected` — subset whose DMRS pilot the eNB received;
+/// * `m_antennas` — eNB antenna count (decode capacity);
+/// * `decode` — for a transmitting client, `Some(bits)` if its data
+///   decodes given the realized post-receiver SINR, `None` for a
+///   fading loss. Only consulted when the RB is resolvable.
+pub fn classify_rb(
+    scheduled: ClientSet,
+    pilots_detected: ClientSet,
+    m_antennas: usize,
+    decode: impl Fn(usize) -> Option<f64>,
+) -> RbObservation {
+    debug_assert!(pilots_detected.is_subset_of(scheduled));
+    let n_tx = pilots_detected.len();
+    let outcomes = scheduled
+        .iter()
+        .map(|ue| {
+            let outcome = if !pilots_detected.contains(ue) {
+                DecodeOutcome::Blocked
+            } else if n_tx > m_antennas {
+                // Orthogonal pilots still resolve, so the eNB *knows*
+                // this was an over-scheduling collision (paper §3.3).
+                DecodeOutcome::Collision
+            } else {
+                match decode(ue) {
+                    Some(bits) => DecodeOutcome::Success { bits },
+                    None => DecodeOutcome::Fading,
+                }
+            };
+            (ue, outcome)
+        })
+        .collect();
+    RbObservation {
+        scheduled,
+        outcomes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_blocked_when_no_pilots() {
+        let obs = classify_rb(ClientSet::from_iter([1, 2]), ClientSet::EMPTY, 2, |_| {
+            Some(100.0)
+        });
+        assert!(obs
+            .outcomes
+            .iter()
+            .all(|(_, o)| matches!(o, DecodeOutcome::Blocked)));
+        assert!(!obs.utilized());
+        assert_eq!(obs.transmitters(), ClientSet::EMPTY);
+    }
+
+    #[test]
+    fn collision_when_transmitters_exceed_antennas() {
+        let sched = ClientSet::from_iter([1, 2, 3]);
+        let obs = classify_rb(sched, sched, 2, |_| Some(100.0));
+        assert!(obs.collided());
+        assert!(obs
+            .outcomes
+            .iter()
+            .all(|(_, o)| matches!(o, DecodeOutcome::Collision)));
+        assert_eq!(obs.delivered_bits(), 0.0);
+    }
+
+    #[test]
+    fn mixed_blocked_and_success() {
+        let sched = ClientSet::from_iter([1, 2, 3]);
+        let pilots = ClientSet::from_iter([1, 3]);
+        let obs = classify_rb(sched, pilots, 2, |ue| {
+            if ue == 1 {
+                Some(500.0)
+            } else {
+                None // ue 3 fades
+            }
+        });
+        let get = |ue: usize| obs.outcomes.iter().find(|&&(u, _)| u == ue).unwrap().1;
+        assert!(matches!(get(1), DecodeOutcome::Success { .. }));
+        assert!(matches!(get(2), DecodeOutcome::Blocked));
+        assert!(matches!(get(3), DecodeOutcome::Fading));
+        assert_eq!(obs.delivered_bits(), 500.0);
+        assert!(obs.utilized());
+        assert_eq!(obs.transmitters(), pilots);
+    }
+
+    #[test]
+    fn siso_two_transmitters_collide() {
+        let sched = ClientSet::from_iter([4, 9]);
+        let obs = classify_rb(sched, sched, 1, |_| Some(1.0));
+        assert!(obs.collided());
+    }
+
+    #[test]
+    fn exactly_m_transmitters_decode() {
+        let sched = ClientSet::from_iter([1, 2, 3, 4]);
+        let pilots = ClientSet::from_iter([1, 2]);
+        let obs = classify_rb(sched, pilots, 2, |_| Some(10.0));
+        assert!(!obs.collided());
+        assert_eq!(obs.delivered_bits(), 20.0);
+    }
+
+    #[test]
+    fn outcome_helpers() {
+        assert!(DecodeOutcome::Fading.transmitted());
+        assert!(DecodeOutcome::Collision.transmitted());
+        assert!(!DecodeOutcome::Blocked.transmitted());
+        assert_eq!(DecodeOutcome::Success { bits: 7.0 }.bits(), 7.0);
+        assert_eq!(DecodeOutcome::Fading.bits(), 0.0);
+    }
+}

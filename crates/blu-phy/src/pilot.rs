@@ -1,0 +1,137 @@
+//! DMRS pilots with orthogonal cyclic shifts.
+//!
+//! Paper §3.3 ("Differentiating between Fading and Hidden Terminal
+//! Loss"): even when clients are over-scheduled on the same RB, their
+//! DMRS pilots are assigned **orthogonal cyclic shifts**, and pilots
+//! are sent at the lowest modulation so they survive fading that kills
+//! data. The eNB therefore observes, per RB:
+//!
+//! * *which* scheduled UEs put energy on the air (pilot present), and
+//! * whether the data decoded.
+//!
+//! From this it classifies each loss as **blocked** (no pilot — the UE
+//! failed CCA), **collision** (more pilots than antennas), or
+//! **fading** (pilot present, data not decodable). The classification
+//! feeds the access-distribution estimator in `blu-core`.
+
+use blu_sim::clientset::ClientSet;
+use blu_sim::power::Db;
+use serde::{Deserialize, Serialize};
+
+/// LTE DMRS supports up to 12 cyclic shifts; 8 are conventionally
+/// usable with good cross-correlation, matching the paper's K ≤ 8
+/// distinct clients per sub-frame.
+pub const MAX_ORTHOGONAL_SHIFTS: usize = 8;
+
+/// Assignment of cyclic shifts to the clients scheduled on one RB.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PilotAssignment {
+    /// `shifts[n]` = (client, cyclic shift index) for each scheduled
+    /// client, shift indices unique.
+    pub shifts: Vec<(usize, u8)>,
+}
+
+impl PilotAssignment {
+    /// Assign shifts 0,1,2,… to the clients of a group (ascending
+    /// client index — deterministic, matching grant signaling).
+    ///
+    /// Returns `None` if the group exceeds the orthogonal-shift
+    /// budget (the scheduler must never let this happen; the
+    /// speculative scheduler's cap of `2M ≤ 8` respects it).
+    pub fn for_group(group: ClientSet) -> Option<PilotAssignment> {
+        if group.len() > MAX_ORTHOGONAL_SHIFTS {
+            return None;
+        }
+        Some(PilotAssignment {
+            shifts: group
+                .iter()
+                .enumerate()
+                .map(|(n, ue)| (ue, n as u8))
+                .collect(),
+        })
+    }
+
+    /// The shift assigned to a client, if scheduled.
+    pub fn shift_of(&self, ue: usize) -> Option<u8> {
+        self.shifts.iter().find(|&&(u, _)| u == ue).map(|&(_, s)| s)
+    }
+}
+
+/// Minimum SINR at which a DMRS pilot is detected. Pilots use
+/// sequence correlation and survive far below data-decoding SINRs;
+/// −10 dB is a conservative detection floor.
+pub const PILOT_DETECT_SINR_DB: f64 = -10.0;
+
+/// What the eNB's pilot detector reports for one RB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PilotReport {
+    /// Scheduled clients whose pilot was detected.
+    pub detected: ClientSet,
+}
+
+/// Detect pilots: a transmitted pilot is detected iff its SINR
+/// (computed against *non-orthogonal* interference only — other
+/// pilots on different shifts do not interfere) clears the floor.
+///
+/// `transmitted` is the set of scheduled clients that actually put
+/// energy on the air; `pilot_sinr` returns the pilot-domain SINR for
+/// a client (data-stream interference is orthogonalized away).
+pub fn detect_pilots(transmitted: ClientSet, pilot_sinr: impl Fn(usize) -> Db) -> PilotReport {
+    let mut detected = ClientSet::EMPTY;
+    for ue in transmitted.iter() {
+        if pilot_sinr(ue).0 >= PILOT_DETECT_SINR_DB {
+            detected.insert(ue);
+        }
+    }
+    PilotReport { detected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_gives_unique_shifts() {
+        let group = ClientSet::from_iter([2, 5, 9, 11]);
+        let pa = PilotAssignment::for_group(group).unwrap();
+        assert_eq!(pa.shifts.len(), 4);
+        let mut shifts: Vec<u8> = pa.shifts.iter().map(|&(_, s)| s).collect();
+        shifts.sort_unstable();
+        shifts.dedup();
+        assert_eq!(shifts.len(), 4);
+    }
+
+    #[test]
+    fn oversize_group_rejected() {
+        let group = ClientSet::all(9);
+        assert!(PilotAssignment::for_group(group).is_none());
+        assert!(PilotAssignment::for_group(ClientSet::all(8)).is_some());
+    }
+
+    #[test]
+    fn shift_lookup() {
+        let pa = PilotAssignment::for_group(ClientSet::from_iter([3, 7])).unwrap();
+        assert_eq!(pa.shift_of(3), Some(0));
+        assert_eq!(pa.shift_of(7), Some(1));
+        assert_eq!(pa.shift_of(5), None);
+    }
+
+    #[test]
+    fn pilots_detected_above_floor() {
+        let tx = ClientSet::from_iter([1, 2, 3]);
+        let report = detect_pilots(tx, |ue| match ue {
+            1 => Db(5.0),
+            2 => Db(-9.0),
+            _ => Db(-15.0), // below floor: missed
+        });
+        assert!(report.detected.contains(1));
+        assert!(report.detected.contains(2));
+        assert!(!report.detected.contains(3));
+    }
+
+    #[test]
+    fn silent_client_has_no_pilot() {
+        let report = detect_pilots(ClientSet::EMPTY, |_| Db(30.0));
+        assert!(report.detected.is_empty());
+    }
+}

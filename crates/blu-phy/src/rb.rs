@@ -1,0 +1,148 @@
+//! Resource-block sets.
+//!
+//! Mirrors [`blu_sim::ClientSet`] but for RB indices (up to 128 RBs —
+//! enough for a 100-RB 20 MHz carrier with headroom). Grants allocate
+//! RB sets; schedules track per-RB client groups.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of resource-block indices in `[0, 128)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct RbSet(pub u128);
+
+impl RbSet {
+    /// The empty set.
+    pub const EMPTY: RbSet = RbSet(0);
+
+    /// Maximum representable RB index plus one.
+    pub const CAPACITY: usize = 128;
+
+    /// A single RB.
+    pub fn singleton(b: usize) -> Self {
+        assert!(b < Self::CAPACITY);
+        RbSet(1u128 << b)
+    }
+
+    /// The contiguous range `[lo, hi)`.
+    pub fn range(lo: usize, hi: usize) -> Self {
+        assert!(lo <= hi && hi <= Self::CAPACITY);
+        let mut s = RbSet::EMPTY;
+        for b in lo..hi {
+            s.insert(b);
+        }
+        s
+    }
+
+    /// All RBs of a carrier with `n` RBs.
+    pub fn all(n: usize) -> Self {
+        RbSet::range(0, n)
+    }
+
+    /// Number of RBs in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Membership.
+    pub fn contains(self, b: usize) -> bool {
+        b < Self::CAPACITY && (self.0 >> b) & 1 == 1
+    }
+
+    /// Insert in place.
+    pub fn insert(&mut self, b: usize) {
+        assert!(b < Self::CAPACITY);
+        self.0 |= 1u128 << b;
+    }
+
+    /// Union.
+    pub fn union(self, o: RbSet) -> RbSet {
+        RbSet(self.0 | o.0)
+    }
+
+    /// Intersection.
+    pub fn intersection(self, o: RbSet) -> RbSet {
+        RbSet(self.0 & o.0)
+    }
+
+    /// Whether disjoint.
+    pub fn is_disjoint(self, o: RbSet) -> bool {
+        self.0 & o.0 == 0
+    }
+
+    /// Iterate RB indices ascending.
+    pub fn iter(self) -> impl Iterator<Item = usize> {
+        let mut m = self.0;
+        std::iter::from_fn(move || {
+            if m == 0 {
+                None
+            } else {
+                let b = m.trailing_zeros() as usize;
+                m &= m - 1;
+                Some(b)
+            }
+        })
+    }
+}
+
+impl FromIterator<usize> for RbSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = RbSet::EMPTY;
+        for b in iter {
+            s.insert(b);
+        }
+        s
+    }
+}
+
+impl fmt::Display for RbSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RBs{{")?;
+        for (n, b) in self.iter().enumerate() {
+            if n > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{b}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_and_all() {
+        assert_eq!(RbSet::range(2, 5).iter().collect::<Vec<_>>(), vec![2, 3, 4]);
+        assert_eq!(RbSet::all(50).len(), 50);
+        assert!(RbSet::range(3, 3).is_empty());
+    }
+
+    #[test]
+    fn algebra() {
+        let a = RbSet::from_iter([0, 1, 2]);
+        let b = RbSet::from_iter([2, 3]);
+        assert_eq!(a.union(b).len(), 4);
+        assert_eq!(a.intersection(b), RbSet::singleton(2));
+        assert!(a.is_disjoint(RbSet::from_iter([7])));
+        assert!(!a.is_disjoint(b));
+    }
+
+    #[test]
+    fn membership() {
+        let s = RbSet::from_iter([5, 49]);
+        assert!(s.contains(5) && s.contains(49) && !s.contains(6));
+        assert!(!s.contains(200));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(RbSet::from_iter([1, 4]).to_string(), "RBs{1,4}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests of the LTE PHY primitives.
+
+use blu_phy::mcs::McsTable;
+use blu_phy::mimo::zf_sinrs;
+use blu_phy::numerology::Numerology;
+use blu_phy::rb::RbSet;
+use blu_sim::fading::Complex;
+use blu_sim::power::Db;
+use blu_sim::rng::DetRng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ---- MCS table ----
+
+    /// The selected CQI's own threshold is always met, and the next
+    /// CQI's is not (tightness of the bracket).
+    #[test]
+    fn cqi_selection_is_tight(sinr in -20.0f64..40.0) {
+        let t = McsTable::release10();
+        let cqi = t.cqi_for_sinr(Db(sinr));
+        if cqi.is_usable() {
+            prop_assert!(sinr >= t.min_sinr(cqi).0);
+            if (cqi.0 as usize) < t.rows().len() {
+                let next = blu_phy::mcs::Cqi(cqi.0 + 1);
+                prop_assert!(sinr < t.min_sinr(next).0);
+            }
+        } else {
+            prop_assert!(sinr < t.min_sinr(blu_phy::mcs::Cqi(1)).0);
+        }
+    }
+
+    /// Rate is monotone non-decreasing in SINR.
+    #[test]
+    fn rate_monotone_in_sinr(a in -20.0f64..40.0, b in -20.0f64..40.0) {
+        let t = McsTable::release10();
+        let num = Numerology::mhz10();
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(t.rate_for_sinr(Db(lo), &num) <= t.rate_for_sinr(Db(hi), &num));
+    }
+
+    /// A block decodes at its granted MCS iff the realized SINR meets
+    /// that MCS's threshold — independent of how the grant was chosen.
+    #[test]
+    fn decode_consistent_with_selection(grant_sinr in -10.0f64..40.0, realized in -10.0f64..40.0) {
+        let t = McsTable::release10();
+        let cqi = t.cqi_for_sinr(Db(grant_sinr));
+        if cqi.is_usable() {
+            prop_assert_eq!(t.decodes(cqi, Db(realized)), realized >= t.min_sinr(cqi).0);
+            // Decoding at the granted SINR itself always succeeds.
+            prop_assert!(t.decodes(cqi, Db(grant_sinr)));
+        }
+    }
+
+    // ---- RbSet ----
+
+    #[test]
+    fn rbset_union_intersection_laws(a in any::<u128>(), b in any::<u128>()) {
+        let (a, b) = (RbSet(a), RbSet(b));
+        prop_assert_eq!(a.union(b).len() + a.intersection(b).len(), a.len() + b.len());
+        prop_assert!(a.intersection(b).is_disjoint(RbSet(!0) .intersection(RbSet(!(a.0 & b.0)))));
+    }
+
+    #[test]
+    fn rbset_iter_sorted_and_complete(a in any::<u128>()) {
+        let s = RbSet(a);
+        let items: Vec<usize> = s.iter().collect();
+        prop_assert_eq!(items.len(), s.len());
+        prop_assert!(items.windows(2).all(|w| w[0] < w[1]));
+        for &b in &items {
+            prop_assert!(s.contains(b));
+        }
+    }
+
+    // ---- zero-forcing receiver ----
+
+    /// With random i.i.d. channels: ZF SINRs are positive, at most the
+    /// interference-free matched-filter bound, and exactly that bound
+    /// for a single stream.
+    #[test]
+    fn zf_sinr_bounded_by_matched_filter(seed in any::<u64>(), s in 1usize..5) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let m = 4usize;
+        let norm = std::f64::consts::FRAC_1_SQRT_2;
+        let chans: Vec<Vec<Complex>> = (0..s)
+            .map(|_| (0..m).map(|_| Complex::new(rng.gaussian() * norm, rng.gaussian() * norm)).collect())
+            .collect();
+        let powers: Vec<f64> = (0..s).map(|_| rng.range_f64(0.1, 10.0)).collect();
+        let noise = 0.05;
+        if let Some(sinrs) = zf_sinrs(&chans, &powers, noise) {
+            for (i, &sinr) in sinrs.iter().enumerate() {
+                prop_assert!(sinr > 0.0);
+                let mf = powers[i] * blu_sim::fading::norm_sq(&chans[i]) / noise;
+                prop_assert!(sinr <= mf * (1.0 + 1e-9), "stream {i}: {sinr} > MF {mf}");
+                if s == 1 {
+                    prop_assert!((sinr - mf).abs() < 1e-6 * mf);
+                }
+            }
+        }
+    }
+
+    /// Scaling every power by c scales every post-ZF SINR by c.
+    #[test]
+    fn zf_sinr_scales_with_power(seed in any::<u64>(), c in 0.1f64..10.0) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let norm = std::f64::consts::FRAC_1_SQRT_2;
+        let chans: Vec<Vec<Complex>> = (0..2)
+            .map(|_| (0..3).map(|_| Complex::new(rng.gaussian() * norm, rng.gaussian() * norm)).collect())
+            .collect();
+        let p1 = [1.0, 2.0];
+        let p2 = [c, 2.0 * c];
+        let (Some(a), Some(b)) = (zf_sinrs(&chans, &p1, 0.1), zf_sinrs(&chans, &p2, 0.1)) else {
+            return Ok(()); // rank-deficient draw
+        };
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((y / x - c).abs() < 1e-6, "{y} / {x} != {c}");
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Compact sets of client indices.
+//!
+//! Client/UE counts in the paper top out at 24–25 (plus headroom for
+//! stress tests), so a 128-bit bitmask is a perfect fit: set algebra
+//! is a single instruction and the scheduler's inner loops (which
+//! enumerate subsets of an RB's over-scheduled group, Eqn. 4) stay
+//! allocation-free.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of client indices in `[0, 128)`, stored as a bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct ClientSet(pub u128);
+
+impl ClientSet {
+    /// The empty set.
+    pub const EMPTY: ClientSet = ClientSet(0);
+
+    /// Maximum representable client index plus one.
+    pub const CAPACITY: usize = 128;
+
+    /// A singleton set.
+    pub fn singleton(i: usize) -> Self {
+        assert!(i < Self::CAPACITY, "client index {i} out of range");
+        ClientSet(1u128 << i)
+    }
+
+    /// The set `{0, 1, …, n−1}`.
+    pub fn all(n: usize) -> Self {
+        assert!(n <= Self::CAPACITY);
+        if n == Self::CAPACITY {
+            ClientSet(u128::MAX)
+        } else {
+            ClientSet((1u128 << n) - 1)
+        }
+    }
+
+    /// Build from an iterator of indices (also available through the
+    /// `FromIterator` impl; the inherent method keeps callers free of
+    /// a `use` for the common case).
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = ClientSet::EMPTY;
+        for i in iter {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of members.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Membership test.
+    pub fn contains(self, i: usize) -> bool {
+        i < Self::CAPACITY && (self.0 >> i) & 1 == 1
+    }
+
+    /// Insert a member in place.
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < Self::CAPACITY, "client index {i} out of range");
+        self.0 |= 1u128 << i;
+    }
+
+    /// Remove a member in place.
+    pub fn remove(&mut self, i: usize) {
+        if i < Self::CAPACITY {
+            self.0 &= !(1u128 << i);
+        }
+    }
+
+    /// Set union.
+    pub fn union(self, other: ClientSet) -> ClientSet {
+        ClientSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub fn intersection(self, other: ClientSet) -> ClientSet {
+        ClientSet(self.0 & other.0)
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(self, other: ClientSet) -> ClientSet {
+        ClientSet(self.0 & !other.0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset_of(self, other: ClientSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Whether the two sets share no members.
+    pub fn is_disjoint(self, other: ClientSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// With member `i` added (pure).
+    pub fn with(self, i: usize) -> ClientSet {
+        let mut s = self;
+        s.insert(i);
+        s
+    }
+
+    /// With member `i` removed (pure).
+    pub fn without(self, i: usize) -> ClientSet {
+        let mut s = self;
+        s.remove(i);
+        s
+    }
+
+    /// Iterate members in increasing order.
+    pub fn iter(self) -> ClientSetIter {
+        ClientSetIter(self.0)
+    }
+
+    /// Iterate all subsets of this set (including the empty set and
+    /// the set itself). Number of subsets is `2^len`; callers guard
+    /// set size (the scheduler bounds groups at `2M ≤ 16`).
+    pub fn subsets(self) -> SubsetIter {
+        SubsetIter {
+            mask: self.0,
+            current: 0,
+            done: false,
+        }
+    }
+
+    /// Iterate subsets of exactly `k` members.
+    pub fn subsets_of_size(self, k: usize) -> impl Iterator<Item = ClientSet> {
+        self.subsets().filter(move |s| s.len() == k)
+    }
+}
+
+impl FromIterator<usize> for ClientSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        ClientSet::from_iter(iter)
+    }
+}
+
+impl IntoIterator for ClientSet {
+    type Item = usize;
+    type IntoIter = ClientSetIter;
+    fn into_iter(self) -> ClientSetIter {
+        self.iter()
+    }
+}
+
+impl fmt::Display for ClientSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (n, i) in self.iter().enumerate() {
+            if n > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{i}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over set members (ascending).
+#[derive(Debug, Clone)]
+pub struct ClientSetIter(u128);
+
+impl Iterator for ClientSetIter {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let i = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(i)
+    }
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for ClientSetIter {}
+
+/// Iterator over all subsets of a mask, using the standard
+/// `(current − mask) & mask` sub-mask enumeration trick.
+#[derive(Debug, Clone)]
+pub struct SubsetIter {
+    mask: u128,
+    current: u128,
+    done: bool,
+}
+
+impl Iterator for SubsetIter {
+    type Item = ClientSet;
+    fn next(&mut self) -> Option<ClientSet> {
+        if self.done {
+            return None;
+        }
+        let out = ClientSet(self.current);
+        if self.current == self.mask {
+            self.done = true;
+        } else {
+            self.current = (self.current.wrapping_sub(self.mask)) & self.mask;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_membership() {
+        let mut s = ClientSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(3);
+        s.insert(17);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(3) && s.contains(17));
+        assert!(!s.contains(4));
+        s.remove(3);
+        assert!(!s.contains(3));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn all_and_singleton() {
+        assert_eq!(ClientSet::all(5).len(), 5);
+        assert_eq!(ClientSet::all(0), ClientSet::EMPTY);
+        assert_eq!(ClientSet::all(128).len(), 128);
+        assert_eq!(ClientSet::singleton(7).iter().collect::<Vec<_>>(), vec![7]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = ClientSet::from_iter([1, 2, 3]);
+        let b = ClientSet::from_iter([3, 4]);
+        assert_eq!(a.union(b), ClientSet::from_iter([1, 2, 3, 4]));
+        assert_eq!(a.intersection(b), ClientSet::singleton(3));
+        assert_eq!(a.difference(b), ClientSet::from_iter([1, 2]));
+        assert!(ClientSet::from_iter([1, 2]).is_subset_of(a));
+        assert!(!a.is_subset_of(b));
+        assert!(a.is_disjoint(ClientSet::from_iter([5, 6])));
+        assert!(!a.is_disjoint(b));
+    }
+
+    #[test]
+    fn iteration_ascending() {
+        let s = ClientSet::from_iter([9, 1, 64, 127]);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![1, 9, 64, 127]);
+        assert_eq!(s.iter().len(), 4);
+    }
+
+    #[test]
+    fn subsets_enumeration() {
+        let s = ClientSet::from_iter([2, 5, 9]);
+        let subs: Vec<ClientSet> = s.subsets().collect();
+        assert_eq!(subs.len(), 8);
+        assert!(subs.contains(&ClientSet::EMPTY));
+        assert!(subs.contains(&s));
+        for sub in &subs {
+            assert!(sub.is_subset_of(s));
+        }
+        // All distinct.
+        let mut raw: Vec<u128> = subs.iter().map(|s| s.0).collect();
+        raw.sort_unstable();
+        raw.dedup();
+        assert_eq!(raw.len(), 8);
+    }
+
+    #[test]
+    fn subsets_of_empty_set() {
+        let subs: Vec<ClientSet> = ClientSet::EMPTY.subsets().collect();
+        assert_eq!(subs, vec![ClientSet::EMPTY]);
+    }
+
+    #[test]
+    fn subsets_of_size_counts() {
+        let s = ClientSet::all(6);
+        assert_eq!(s.subsets_of_size(0).count(), 1);
+        assert_eq!(s.subsets_of_size(2).count(), 15);
+        assert_eq!(s.subsets_of_size(3).count(), 20);
+        assert_eq!(s.subsets_of_size(6).count(), 1);
+    }
+
+    #[test]
+    fn with_without_pure() {
+        let s = ClientSet::from_iter([1]);
+        let t = s.with(2);
+        assert!(t.contains(2) && !s.contains(2));
+        assert_eq!(t.without(2), s);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(ClientSet::from_iter([0, 3, 7]).to_string(), "{0,3,7}");
+        assert_eq!(ClientSet::EMPTY.to_string(), "{}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_insert_panics() {
+        let mut s = ClientSet::EMPTY;
+        s.insert(128);
+    }
+}

@@ -1,0 +1,69 @@
+//! Substrate error type.
+
+use std::fmt;
+
+/// Errors produced by the simulation substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// A configuration value was invalid (message explains which).
+    InvalidConfig(String),
+    /// A referenced node id does not exist in the deployment.
+    UnknownNode(u32),
+    /// An index (client, hidden terminal, RB…) was out of range.
+    IndexOutOfRange {
+        /// What kind of index.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound.
+        bound: usize,
+    },
+    /// A probability left the valid `[0, 1]` interval.
+    InvalidProbability {
+        /// Context for the failure.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimError::UnknownNode(id) => write!(f, "unknown node id {id}"),
+            SimError::IndexOutOfRange { what, index, bound } => {
+                write!(f, "{what} index {index} out of range (< {bound})")
+            }
+            SimError::InvalidProbability { what, value } => {
+                write!(f, "invalid probability for {what}: {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SimError::InvalidConfig("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(SimError::UnknownNode(3).to_string().contains("3"));
+        let e = SimError::IndexOutOfRange {
+            what: "client",
+            index: 9,
+            bound: 4,
+        };
+        assert!(e.to_string().contains("client") && e.to_string().contains("9"));
+        let p = SimError::InvalidProbability {
+            what: "q(k)",
+            value: 1.5,
+        };
+        assert!(p.to_string().contains("1.5"));
+    }
+}

@@ -1,0 +1,227 @@
+//! Fractional interference impact (paper §3.5).
+//!
+//! The blue-print assumes a hidden terminal either blocks a client or
+//! does not (`z_ik ∈ {0,1}`). In reality, fading makes the impact
+//! fractional: when terminal `k` is on the air, client `i`'s CCA
+//! fails only with probability `z_ik ∈ [0,1]`. This module provides
+//! that richer generative model so experiments can quantify how much
+//! the binary assumption costs (the paper argues: little).
+
+use crate::clientset::ClientSet;
+use crate::rng::DetRng;
+use crate::topology::{HiddenTerminal, InterferenceTopology};
+use serde::{Deserialize, Serialize};
+
+/// A hidden terminal with per-client fractional impact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FractionalHt {
+    /// Probability the terminal is on the air at a CCA instant.
+    pub q: f64,
+    /// `impact[i]` — probability client `i` is blocked *given* the
+    /// terminal is active (0 = unaffected, 1 = always blocked).
+    pub impact: Vec<f64>,
+}
+
+/// A topology whose edges carry fractional blocking probabilities.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FractionalTopology {
+    /// Number of clients.
+    pub n_clients: usize,
+    /// The terminals.
+    pub hts: Vec<FractionalHt>,
+}
+
+impl FractionalTopology {
+    /// Random instance: a fraction `frac_soft` of the nonzero
+    /// impacts are fractional (uniform in `[0.2, 0.8]`), the rest
+    /// are hard (1.0).
+    pub fn random(
+        n_clients: usize,
+        n_hts: usize,
+        q_range: (f64, f64),
+        edge_prob: f64,
+        frac_soft: f64,
+        rng: &mut DetRng,
+    ) -> Self {
+        let hts = (0..n_hts)
+            .map(|_| {
+                let q = rng.range_f64(q_range.0, q_range.1);
+                let mut impact = vec![0.0; n_clients];
+                let mut any = false;
+                while !any {
+                    for z in impact.iter_mut() {
+                        *z = if rng.chance(edge_prob) {
+                            any = true;
+                            if rng.chance(frac_soft) {
+                                rng.range_f64(0.2, 0.8)
+                            } else {
+                                1.0
+                            }
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+                FractionalHt { q, impact }
+            })
+            .collect();
+        FractionalTopology { n_clients, hts }
+    }
+
+    /// Exact individual access probability:
+    /// `p(i) = Π_k (1 − q_k·z_ik)`.
+    pub fn p_individual(&self, i: usize) -> f64 {
+        self.hts
+            .iter()
+            .map(|ht| 1.0 - ht.q * ht.impact[i])
+            .product()
+    }
+
+    /// Exact pairwise joint access probability. Blocking decisions of
+    /// different clients are conditionally independent given the
+    /// terminal's activity:
+    /// `p(i,j) = Π_k [(1 − q_k) + q_k·(1 − z_ik)(1 − z_jk)]`.
+    pub fn p_pair(&self, i: usize, j: usize) -> f64 {
+        self.hts
+            .iter()
+            .map(|ht| (1.0 - ht.q) + ht.q * (1.0 - ht.impact[i]) * (1.0 - ht.impact[j]))
+            .product()
+    }
+
+    /// Sample one CCA instant.
+    pub fn sample_access(&self, rng: &mut DetRng) -> ClientSet {
+        let mut blocked = ClientSet::EMPTY;
+        for ht in &self.hts {
+            if rng.chance(ht.q) {
+                for (i, &z) in ht.impact.iter().enumerate() {
+                    if z > 0.0 && rng.chance(z) {
+                        blocked.insert(i);
+                    }
+                }
+            }
+        }
+        ClientSet::all(self.n_clients).difference(blocked)
+    }
+
+    /// The nearest binary topology: impacts at or above `threshold`
+    /// become edges; each terminal's activity is kept. This is the
+    /// structure BLU's binary inference would ideally recover.
+    pub fn binarize(&self, threshold: f64) -> InterferenceTopology {
+        let hts = self
+            .hts
+            .iter()
+            .filter_map(|ht| {
+                let edges: ClientSet = ht
+                    .impact
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &z)| z >= threshold)
+                    .map(|(i, _)| i)
+                    .collect();
+                if edges.is_empty() {
+                    None
+                } else {
+                    Some(HiddenTerminal { q: ht.q, edges })
+                }
+            })
+            .collect();
+        InterferenceTopology {
+            n_clients: self.n_clients,
+            hts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> FractionalTopology {
+        FractionalTopology {
+            n_clients: 3,
+            hts: vec![
+                FractionalHt {
+                    q: 0.5,
+                    impact: vec![1.0, 0.4, 0.0],
+                },
+                FractionalHt {
+                    q: 0.3,
+                    impact: vec![0.0, 1.0, 0.7],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn individual_closed_form() {
+        let t = example();
+        assert!((t.p_individual(0) - 0.5).abs() < 1e-12);
+        assert!((t.p_individual(1) - (1.0 - 0.2) * 0.7).abs() < 1e-12);
+        assert!((t.p_individual(2) - (1.0 - 0.21)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_closed_form_matches_monte_carlo() {
+        let t = example();
+        let mut rng = DetRng::seed_from_u64(1);
+        let n = 300_000;
+        for (i, j) in [(0usize, 1usize), (0, 2), (1, 2)] {
+            let hits = (0..n)
+                .filter(|_| {
+                    let acc = t.sample_access(&mut rng);
+                    acc.contains(i) && acc.contains(j)
+                })
+                .count();
+            let emp = hits as f64 / n as f64;
+            let exact = t.p_pair(i, j);
+            assert!((emp - exact).abs() < 0.005, "({i},{j}): {emp} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn hard_impacts_reduce_to_binary_model() {
+        // All-1.0 impacts: the fractional model must agree with the
+        // binary topology's closed forms.
+        let frac = FractionalTopology {
+            n_clients: 2,
+            hts: vec![FractionalHt {
+                q: 0.4,
+                impact: vec![1.0, 1.0],
+            }],
+        };
+        let bin = frac.binarize(0.5);
+        for i in 0..2 {
+            assert!((frac.p_individual(i) - bin.p_individual(i)).abs() < 1e-12);
+        }
+        assert!((frac.p_pair(0, 1) - bin.p_pair(0, 1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binarize_thresholds_edges() {
+        let t = example();
+        let b = t.binarize(0.5);
+        assert_eq!(b.n_hidden(), 2);
+        assert!(b.hts[0].edges.contains(0) && !b.hts[0].edges.contains(1));
+        assert!(b.hts[1].edges.contains(1) && b.hts[1].edges.contains(2));
+        // Threshold 0.3 keeps the 0.4 impact.
+        let b2 = t.binarize(0.3);
+        assert!(b2.hts[0].edges.contains(1));
+    }
+
+    #[test]
+    fn random_instances_are_valid() {
+        let mut rng = DetRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let t = FractionalTopology::random(6, 4, (0.2, 0.6), 0.4, 0.5, &mut rng);
+            assert_eq!(t.hts.len(), 4);
+            for ht in &t.hts {
+                assert!(ht.impact.iter().any(|&z| z > 0.0));
+                assert!(ht.impact.iter().all(|&z| (0.0..=1.0).contains(&z)));
+            }
+            for i in 0..6 {
+                let p = t.p_individual(i);
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+}

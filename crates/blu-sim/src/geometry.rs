@@ -1,0 +1,218 @@
+//! Planar geometry and node-placement generators.
+//!
+//! The paper's testbed is an enterprise floor; its NS3 sweeps place
+//! eNB, UEs and WiFi nodes uniformly at random. We model all layouts
+//! in a 2-D plane with coordinates in meters.
+
+use crate::rng::DetRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A point in the plane, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// x-coordinate in meters.
+    pub x: f64,
+    /// y-coordinate in meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Construct a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Euclidean distance to another point, in meters.
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Midpoint between two points.
+    pub fn midpoint(&self, other: &Point) -> Point {
+        Point::new((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.1}, {:.1})", self.x, self.y)
+    }
+}
+
+/// An axis-aligned rectangular deployment region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    /// Width of the region in meters (x span).
+    pub width: f64,
+    /// Height of the region in meters (y span).
+    pub height: f64,
+}
+
+impl Region {
+    /// Construct a region; dimensions must be positive.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(width > 0.0 && height > 0.0, "region must be non-empty");
+        Region { width, height }
+    }
+
+    /// A square region of the given side.
+    pub fn square(side: f64) -> Self {
+        Region::new(side, side)
+    }
+
+    /// Center of the region.
+    pub fn center(&self) -> Point {
+        Point::new(self.width / 2.0, self.height / 2.0)
+    }
+
+    /// Whether the region contains the point (boundary inclusive).
+    pub fn contains(&self, p: &Point) -> bool {
+        (0.0..=self.width).contains(&p.x) && (0.0..=self.height).contains(&p.y)
+    }
+
+    /// Sample a point uniformly at random inside the region.
+    pub fn sample_uniform(&self, rng: &mut DetRng) -> Point {
+        Point::new(
+            rng.range_f64(0.0, self.width),
+            rng.range_f64(0.0, self.height),
+        )
+    }
+
+    /// Sample `n` points uniformly at random.
+    pub fn sample_uniform_n(&self, n: usize, rng: &mut DetRng) -> Vec<Point> {
+        (0..n).map(|_| self.sample_uniform(rng)).collect()
+    }
+
+    /// Sample `n` points uniformly with a minimum pairwise separation
+    /// (dart throwing with retry; falls back to plain uniform for
+    /// points that cannot be separated after `max_tries`).
+    pub fn sample_separated(&self, n: usize, min_sep: f64, rng: &mut DetRng) -> Vec<Point> {
+        const MAX_TRIES: usize = 200;
+        let mut pts: Vec<Point> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let mut candidate = self.sample_uniform(rng);
+            for _ in 0..MAX_TRIES {
+                if pts.iter().all(|p| p.distance(&candidate) >= min_sep) {
+                    break;
+                }
+                candidate = self.sample_uniform(rng);
+            }
+            pts.push(candidate);
+        }
+        pts
+    }
+
+    /// Sample points clustered around `centers` with Gaussian spread
+    /// `sigma` (clamped into the region). Clusters are assigned
+    /// round-robin, mimicking per-room enterprise layouts.
+    pub fn sample_clustered(
+        &self,
+        n: usize,
+        centers: &[Point],
+        sigma: f64,
+        rng: &mut DetRng,
+    ) -> Vec<Point> {
+        assert!(!centers.is_empty(), "need at least one cluster center");
+        (0..n)
+            .map(|i| {
+                let c = centers[i % centers.len()];
+                let x = (c.x + rng.gaussian_with(0.0, sigma)).clamp(0.0, self.width);
+                let y = (c.y + rng.gaussian_with(0.0, sigma)).clamp(0.0, self.height);
+                Point::new(x, y)
+            })
+            .collect()
+    }
+
+    /// Place `n` points on a regular grid filling the region (used for
+    /// repeatable "testbed" layouts).
+    pub fn sample_grid(&self, n: usize) -> Vec<Point> {
+        if n == 0 {
+            return Vec::new();
+        }
+        let cols = (n as f64).sqrt().ceil() as usize;
+        let rows = n.div_ceil(cols);
+        let dx = self.width / (cols as f64 + 1.0);
+        let dy = self.height / (rows as f64 + 1.0);
+        (0..n)
+            .map(|i| {
+                let r = i / cols;
+                let c = i % cols;
+                Point::new(dx * (c as f64 + 1.0), dy * (r as f64 + 1.0))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(a.distance(&a), 0.0);
+        assert_eq!(a.midpoint(&b), Point::new(1.5, 2.0));
+    }
+
+    #[test]
+    fn uniform_samples_inside() {
+        let region = Region::new(30.0, 20.0);
+        let mut rng = DetRng::seed_from_u64(1);
+        for p in region.sample_uniform_n(1_000, &mut rng) {
+            assert!(region.contains(&p), "{p:?} outside region");
+        }
+    }
+
+    #[test]
+    fn separated_samples_respect_min_distance() {
+        let region = Region::square(100.0);
+        let mut rng = DetRng::seed_from_u64(2);
+        let pts = region.sample_separated(20, 5.0, &mut rng);
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                assert!(pts[i].distance(&pts[j]) >= 5.0, "points {i},{j} too close");
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_samples_stay_in_region() {
+        let region = Region::square(50.0);
+        let mut rng = DetRng::seed_from_u64(3);
+        let centers = [Point::new(10.0, 10.0), Point::new(40.0, 40.0)];
+        for p in region.sample_clustered(200, &centers, 4.0, &mut rng) {
+            assert!(region.contains(&p));
+        }
+    }
+
+    #[test]
+    fn grid_fills_region() {
+        let region = Region::new(40.0, 40.0);
+        let pts = region.sample_grid(9);
+        assert_eq!(pts.len(), 9);
+        for p in &pts {
+            assert!(region.contains(p));
+        }
+        // 3x3 grid: distinct rows/columns.
+        assert!((pts[0].x - pts[3].x).abs() < 1e-9);
+        assert!((pts[0].y - pts[1].y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grid_empty_ok() {
+        assert!(Region::square(1.0).sample_grid(0).is_empty());
+    }
+
+    #[test]
+    fn region_center() {
+        assert_eq!(Region::new(10.0, 20.0).center(), Point::new(5.0, 10.0));
+    }
+}

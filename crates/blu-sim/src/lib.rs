@@ -1,0 +1,51 @@
+//! # blu-sim — wireless environment substrate for BLU
+//!
+//! This crate implements the physical-world substrate that the BLU
+//! reproduction runs on: deterministic randomness, simulation time,
+//! planar geometry, radio propagation (path loss, shadowing, Rayleigh
+//! fading), link budgets and SINR, clear-channel assessment with the
+//! asymmetric sensing thresholds of WiFi and LTE-LAA, a µs-resolution
+//! medium-activity timeline, and — most importantly for BLU — the
+//! **ground-truth hidden-terminal interference topology**
+//! ([`topology::InterferenceTopology`]) that the paper's blue-printing
+//! algorithm tries to recover from pairwise client access statistics.
+//!
+//! Everything here is deterministic given a seed: the same
+//! configuration always produces the same topology, the same fading
+//! realization and the same access pattern, which makes the paper's
+//! experiments exactly reproducible.
+//!
+//! The design follows the event-driven, allocation-light style of
+//! embedded network stacks: plain data structures, no global state,
+//! no async runtime (the workload is CPU-bound simulation).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cca;
+pub mod clientset;
+pub mod error;
+pub mod events;
+pub mod fading;
+pub mod fractional;
+pub mod geometry;
+pub mod link;
+pub mod medium;
+pub mod node;
+pub mod pathloss;
+pub mod power;
+pub mod rng;
+pub mod time;
+pub mod topology;
+
+pub use cca::{SensingMode, SensingThresholds};
+pub use clientset::ClientSet;
+pub use error::SimError;
+pub use fading::Complex;
+pub use fractional::{FractionalHt, FractionalTopology};
+pub use geometry::Point;
+pub use node::{Node, NodeId, NodeKind};
+pub use power::{Db, Dbm, MilliWatts};
+pub use rng::DetRng;
+pub use time::{Micros, SubframeIndex, SUBFRAME_US};
+pub use topology::{HiddenTerminal, InterferenceTopology};

@@ -1,0 +1,362 @@
+//! Medium activity timelines.
+//!
+//! A transmitter's behaviour, as far as a CCA-performing listener is
+//! concerned, is fully described by *when it is on the air*. The WiFi
+//! DCF simulation emits one [`ActivityTimeline`] per hidden terminal;
+//! the LTE side queries them at CCA instants. Timelines are also the
+//! unit of trace capture/combination in `blu-traces` (the paper builds
+//! large emulated topologies by splicing independently recorded
+//! activity timelines together, §4.2.1).
+
+use crate::time::Micros;
+use serde::{Deserialize, Serialize};
+
+/// A half-open busy interval `[start, end)` on the medium.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BusyInterval {
+    /// First busy microsecond.
+    pub start: Micros,
+    /// One past the last busy microsecond.
+    pub end: Micros,
+}
+
+impl BusyInterval {
+    /// Construct; `end` must be after `start`.
+    pub fn new(start: Micros, end: Micros) -> Self {
+        assert!(end > start, "empty or negative busy interval");
+        BusyInterval { start, end }
+    }
+
+    /// Interval duration.
+    pub fn duration(&self) -> Micros {
+        self.end - self.start
+    }
+
+    /// Whether instant `t` lies inside.
+    pub fn contains(&self, t: Micros) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Whether this interval overlaps `[t0, t1)`.
+    pub fn overlaps(&self, t0: Micros, t1: Micros) -> bool {
+        self.start < t1 && t0 < self.end
+    }
+}
+
+/// A single transmitter's on-air history: sorted, non-overlapping
+/// busy intervals.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ActivityTimeline {
+    intervals: Vec<BusyInterval>,
+}
+
+impl ActivityTimeline {
+    /// An empty (always idle) timeline.
+    pub fn new() -> Self {
+        ActivityTimeline::default()
+    }
+
+    /// Build from pre-sorted, non-overlapping intervals.
+    ///
+    /// Panics (debug) if invariants are violated.
+    pub fn from_intervals(intervals: Vec<BusyInterval>) -> Self {
+        for w in intervals.windows(2) {
+            debug_assert!(
+                w[0].end <= w[1].start,
+                "intervals overlap or out of order: {w:?}"
+            );
+        }
+        ActivityTimeline { intervals }
+    }
+
+    /// Append a busy interval; must start at or after the previous
+    /// interval's end (merges if touching).
+    pub fn push(&mut self, start: Micros, end: Micros) {
+        assert!(end > start, "empty busy interval");
+        if let Some(last) = self.intervals.last_mut() {
+            assert!(
+                start >= last.end,
+                "busy interval not appended in time order"
+            );
+            if start == last.end {
+                last.end = end;
+                return;
+            }
+        }
+        self.intervals.push(BusyInterval::new(start, end));
+    }
+
+    /// The recorded intervals.
+    pub fn intervals(&self) -> &[BusyInterval] {
+        &self.intervals
+    }
+
+    /// Number of busy intervals.
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// Whether the timeline has no busy time.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+
+    /// Whether the transmitter is on the air at instant `t`.
+    /// O(log n) binary search.
+    pub fn busy_at(&self, t: Micros) -> bool {
+        self.intervals
+            .binary_search_by(|iv| {
+                if iv.end <= t {
+                    std::cmp::Ordering::Less
+                } else if iv.start > t {
+                    std::cmp::Ordering::Greater
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Whether the transmitter is on the air at any point in `[t0, t1)`.
+    pub fn busy_in(&self, t0: Micros, t1: Micros) -> bool {
+        if t1 <= t0 {
+            return false;
+        }
+        // First interval ending after t0:
+        let idx = self.intervals.partition_point(|iv| iv.end <= t0);
+        self.intervals
+            .get(idx)
+            .is_some_and(|iv| iv.overlaps(t0, t1))
+    }
+
+    /// Total busy microseconds within `[t0, t1)`.
+    pub fn busy_time_in(&self, t0: Micros, t1: Micros) -> Micros {
+        if t1 <= t0 {
+            return Micros::ZERO;
+        }
+        let idx = self.intervals.partition_point(|iv| iv.end <= t0);
+        let mut total = 0u64;
+        for iv in &self.intervals[idx..] {
+            if iv.start >= t1 {
+                break;
+            }
+            let s = iv.start.max(t0);
+            let e = iv.end.min(t1);
+            total += e.as_u64() - s.as_u64();
+        }
+        Micros(total)
+    }
+
+    /// Fraction of `[t0, t1)` that is busy (airtime utilization).
+    pub fn airtime_in(&self, t0: Micros, t1: Micros) -> f64 {
+        if t1 <= t0 {
+            return 0.0;
+        }
+        self.busy_time_in(t0, t1).as_u64() as f64 / (t1 - t0).as_u64() as f64
+    }
+
+    /// Earliest instant at or after `t` when the medium is idle
+    /// (i.e. the end of the busy interval containing `t`, or `t`).
+    pub fn idle_at_or_after(&self, t: Micros) -> Micros {
+        let idx = self.intervals.partition_point(|iv| iv.end <= t);
+        match self.intervals.get(idx) {
+            Some(iv) if iv.contains(t) => iv.end,
+            _ => t,
+        }
+    }
+
+    /// Start of the first busy interval at or after `t`, if any.
+    pub fn next_busy_start(&self, t: Micros) -> Option<Micros> {
+        let idx = self.intervals.partition_point(|iv| iv.end <= t);
+        self.intervals.get(idx).map(|iv| iv.start.max(t))
+    }
+
+    /// End of the last busy interval (timeline horizon).
+    pub fn horizon(&self) -> Micros {
+        self.intervals.last().map_or(Micros::ZERO, |iv| iv.end)
+    }
+
+    /// Shift every interval later by `offset` (used when splicing
+    /// independently recorded traces onto a common clock).
+    pub fn shifted(&self, offset: Micros) -> ActivityTimeline {
+        ActivityTimeline {
+            intervals: self
+                .intervals
+                .iter()
+                .map(|iv| BusyInterval::new(iv.start + offset, iv.end + offset))
+                .collect(),
+        }
+    }
+
+    /// Restrict to `[t0, t1)` and rebase so `t0` becomes time zero.
+    pub fn window(&self, t0: Micros, t1: Micros) -> ActivityTimeline {
+        let mut out = ActivityTimeline::new();
+        for iv in &self.intervals {
+            if iv.end <= t0 {
+                continue;
+            }
+            if iv.start >= t1 {
+                break;
+            }
+            let s = iv.start.max(t0) - t0;
+            let e = iv.end.min(t1) - t0;
+            out.push(s, e);
+        }
+        out
+    }
+}
+
+/// Merge several timelines into the union "any of them busy" timeline
+/// (used to compute a listener's aggregate channel occupancy).
+pub fn union(timelines: &[&ActivityTimeline]) -> ActivityTimeline {
+    let mut all: Vec<BusyInterval> = timelines
+        .iter()
+        .flat_map(|t| t.intervals().iter().copied())
+        .collect();
+    all.sort_by_key(|iv| iv.start);
+    let mut out = ActivityTimeline::new();
+    let mut cur: Option<BusyInterval> = None;
+    for iv in all {
+        match cur {
+            None => cur = Some(iv),
+            Some(ref mut c) => {
+                if iv.start <= c.end {
+                    c.end = c.end.max(iv.end);
+                } else {
+                    out.push(c.start, c.end);
+                    cur = Some(iv);
+                }
+            }
+        }
+    }
+    if let Some(c) = cur {
+        out.push(c.start, c.end);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tl(spec: &[(u64, u64)]) -> ActivityTimeline {
+        let mut t = ActivityTimeline::new();
+        for &(s, e) in spec {
+            t.push(Micros(s), Micros(e));
+        }
+        t
+    }
+
+    #[test]
+    fn busy_at_point_queries() {
+        let t = tl(&[(10, 20), (30, 40)]);
+        assert!(!t.busy_at(Micros(5)));
+        assert!(t.busy_at(Micros(10)));
+        assert!(t.busy_at(Micros(19)));
+        assert!(!t.busy_at(Micros(20)));
+        assert!(!t.busy_at(Micros(25)));
+        assert!(t.busy_at(Micros(35)));
+        assert!(!t.busy_at(Micros(40)));
+    }
+
+    #[test]
+    fn busy_in_range_queries() {
+        let t = tl(&[(10, 20), (30, 40)]);
+        assert!(t.busy_in(Micros(0), Micros(11)));
+        assert!(!t.busy_in(Micros(20), Micros(30)));
+        assert!(t.busy_in(Micros(25), Micros(31)));
+        assert!(t.busy_in(Micros(15), Micros(16)));
+        assert!(!t.busy_in(Micros(40), Micros(100)));
+        assert!(!t.busy_in(Micros(5), Micros(5)));
+    }
+
+    #[test]
+    fn busy_time_accumulates_partial_overlaps() {
+        let t = tl(&[(10, 20), (30, 40)]);
+        assert_eq!(t.busy_time_in(Micros(0), Micros(50)), Micros(20));
+        assert_eq!(t.busy_time_in(Micros(15), Micros(35)), Micros(10));
+        assert_eq!(t.busy_time_in(Micros(12), Micros(18)), Micros(6));
+        assert!((t.airtime_in(Micros(0), Micros(100)) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn push_merges_touching_intervals() {
+        let mut t = ActivityTimeline::new();
+        t.push(Micros(0), Micros(10));
+        t.push(Micros(10), Micros(20));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.intervals()[0], BusyInterval::new(Micros(0), Micros(20)));
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn out_of_order_push_panics() {
+        let mut t = ActivityTimeline::new();
+        t.push(Micros(10), Micros(20));
+        t.push(Micros(5), Micros(8));
+    }
+
+    #[test]
+    fn union_merges_overlaps() {
+        let a = tl(&[(0, 10), (20, 30)]);
+        let b = tl(&[(5, 25), (40, 50)]);
+        let u = union(&[&a, &b]);
+        assert_eq!(
+            u.intervals(),
+            &[
+                BusyInterval::new(Micros(0), Micros(30)),
+                BusyInterval::new(Micros(40), Micros(50)),
+            ]
+        );
+    }
+
+    #[test]
+    fn union_of_nothing_is_empty() {
+        let u = union(&[]);
+        assert!(u.is_empty());
+        assert_eq!(u.horizon(), Micros::ZERO);
+    }
+
+    #[test]
+    fn shifted_and_window() {
+        let t = tl(&[(10, 20), (30, 40)]);
+        let s = t.shifted(Micros(100));
+        assert!(s.busy_at(Micros(115)));
+        assert!(!s.busy_at(Micros(15)));
+
+        let w = t.window(Micros(15), Micros(35));
+        // [15,20) -> [0,5); [30,35) -> [15,20)
+        assert_eq!(
+            w.intervals(),
+            &[
+                BusyInterval::new(Micros(0), Micros(5)),
+                BusyInterval::new(Micros(15), Micros(20)),
+            ]
+        );
+    }
+
+    #[test]
+    fn horizon_tracks_last_interval() {
+        assert_eq!(tl(&[(10, 20), (30, 44)]).horizon(), Micros(44));
+    }
+
+    #[test]
+    fn idle_at_or_after_skips_busy() {
+        let t = tl(&[(10, 20), (30, 40)]);
+        assert_eq!(t.idle_at_or_after(Micros(5)), Micros(5));
+        assert_eq!(t.idle_at_or_after(Micros(10)), Micros(20));
+        assert_eq!(t.idle_at_or_after(Micros(15)), Micros(20));
+        assert_eq!(t.idle_at_or_after(Micros(20)), Micros(20));
+        assert_eq!(t.idle_at_or_after(Micros(35)), Micros(40));
+        assert_eq!(t.idle_at_or_after(Micros(50)), Micros(50));
+    }
+
+    #[test]
+    fn next_busy_start_lookahead() {
+        let t = tl(&[(10, 20), (30, 40)]);
+        assert_eq!(t.next_busy_start(Micros(0)), Some(Micros(10)));
+        assert_eq!(t.next_busy_start(Micros(15)), Some(Micros(15)));
+        assert_eq!(t.next_busy_start(Micros(20)), Some(Micros(30)));
+        assert_eq!(t.next_busy_start(Micros(40)), None);
+    }
+}

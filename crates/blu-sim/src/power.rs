@@ -1,0 +1,199 @@
+//! Power and gain units.
+//!
+//! Radio link budgets mix logarithmic (dBm, dB) and linear (mW)
+//! quantities; confusing the two is the classic propagation-model bug.
+//! We make the units distinct newtypes so the compiler rejects e.g.
+//! adding a dBm level to another dBm level (power levels add in linear
+//! domain, gains add in log domain).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Neg, Sub};
+
+/// An absolute power level in dBm.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Dbm(pub f64);
+
+/// A relative gain/loss in dB.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Db(pub f64);
+
+/// An absolute power in milliwatts (linear domain).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct MilliWatts(pub f64);
+
+impl Dbm {
+    /// A level far below any sensing threshold ("no signal").
+    pub const FLOOR: Dbm = Dbm(-200.0);
+
+    /// Convert to linear milliwatts.
+    pub fn to_milliwatts(self) -> MilliWatts {
+        MilliWatts(10f64.powf(self.0 / 10.0))
+    }
+}
+
+impl MilliWatts {
+    /// Zero power.
+    pub const ZERO: MilliWatts = MilliWatts(0.0);
+
+    /// Convert to dBm; zero/negative power maps to [`Dbm::FLOOR`].
+    pub fn to_dbm(self) -> Dbm {
+        if self.0 <= 0.0 {
+            Dbm::FLOOR
+        } else {
+            Dbm(10.0 * self.0.log10())
+        }
+    }
+}
+
+/// Applying a gain to a power level: `dBm + dB = dBm`.
+impl Add<Db> for Dbm {
+    type Output = Dbm;
+    fn add(self, rhs: Db) -> Dbm {
+        Dbm(self.0 + rhs.0)
+    }
+}
+
+/// Removing a loss from a power level: `dBm − dB = dBm`.
+impl Sub<Db> for Dbm {
+    type Output = Dbm;
+    fn sub(self, rhs: Db) -> Dbm {
+        Dbm(self.0 - rhs.0)
+    }
+}
+
+/// Difference of two levels is a gain: `dBm − dBm = dB`.
+impl Sub<Dbm> for Dbm {
+    type Output = Db;
+    fn sub(self, rhs: Dbm) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl Add for Db {
+    type Output = Db;
+    fn add(self, rhs: Db) -> Db {
+        Db(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Db {
+    fn add_assign(&mut self, rhs: Db) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Db {
+    type Output = Db;
+    fn sub(self, rhs: Db) -> Db {
+        Db(self.0 - rhs.0)
+    }
+}
+
+impl Neg for Db {
+    type Output = Db;
+    fn neg(self) -> Db {
+        Db(-self.0)
+    }
+}
+
+impl Add for MilliWatts {
+    type Output = MilliWatts;
+    fn add(self, rhs: MilliWatts) -> MilliWatts {
+        MilliWatts(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for MilliWatts {
+    fn add_assign(&mut self, rhs: MilliWatts) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for MilliWatts {
+    fn sum<I: Iterator<Item = MilliWatts>>(iter: I) -> MilliWatts {
+        MilliWatts(iter.map(|m| m.0).sum())
+    }
+}
+
+impl fmt::Display for Dbm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} dBm", self.0)
+    }
+}
+
+impl fmt::Display for Db {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} dB", self.0)
+    }
+}
+
+/// Linear SNR/SINR ratio → dB.
+pub fn ratio_to_db(ratio: f64) -> Db {
+    if ratio <= 0.0 {
+        Db(-200.0)
+    } else {
+        Db(10.0 * ratio.log10())
+    }
+}
+
+/// dB → linear ratio.
+pub fn db_to_ratio(db: Db) -> f64 {
+    10f64.powf(db.0 / 10.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dbm_milliwatt_roundtrip() {
+        for level in [-90.0, -30.0, 0.0, 10.0, 23.0] {
+            let back = Dbm(level).to_milliwatts().to_dbm();
+            assert!((back.0 - level).abs() < 1e-9, "{level} -> {back:?}");
+        }
+    }
+
+    #[test]
+    fn zero_mw_maps_to_floor() {
+        assert_eq!(MilliWatts::ZERO.to_dbm(), Dbm::FLOOR);
+        assert_eq!(MilliWatts(-1.0).to_dbm(), Dbm::FLOOR);
+    }
+
+    #[test]
+    fn known_conversions() {
+        assert!((Dbm(0.0).to_milliwatts().0 - 1.0).abs() < 1e-12);
+        assert!((Dbm(30.0).to_milliwatts().0 - 1000.0).abs() < 1e-9);
+        assert!((Dbm(-30.0).to_milliwatts().0 - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gain_arithmetic() {
+        let p = Dbm(-40.0) + Db(10.0);
+        assert_eq!(p, Dbm(-30.0));
+        let q = p - Db(5.0);
+        assert_eq!(q, Dbm(-35.0));
+        assert_eq!(Dbm(-30.0) - Dbm(-40.0), Db(10.0));
+        assert_eq!(-Db(3.0), Db(-3.0));
+    }
+
+    #[test]
+    fn powers_sum_linearly() {
+        // Two equal powers add to +3.01 dB.
+        let p = Dbm(-50.0).to_milliwatts();
+        let total = (p + p).to_dbm();
+        assert!((total.0 - (-46.9897)).abs() < 1e-3, "{total:?}");
+        let summed: MilliWatts = [p, p, p].into_iter().sum();
+        assert!((summed.0 - 3.0 * p.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn ratio_db_roundtrip() {
+        for r in [0.01, 0.5, 1.0, 4.0, 1000.0] {
+            let back = db_to_ratio(ratio_to_db(r));
+            assert!((back - r).abs() / r < 1e-9);
+        }
+        assert_eq!(ratio_to_db(0.0), Db(-200.0));
+    }
+}

@@ -1,0 +1,326 @@
+//! Deterministic randomness.
+//!
+//! Every stochastic component in the reproduction draws from a
+//! [`DetRng`], a seeded PRNG with explicit *stream derivation*: from a
+//! master seed one derives independent child seeds for "topology",
+//! "fading", "traffic", … so that changing the amount of randomness one
+//! component consumes does not perturb the others. This is what makes
+//! experiment sweeps comparable across configurations.
+//!
+//! The implementation wraps a small, fast xoshiro256++-style generator
+//! built on SplitMix64 seeding (public-domain constructions), plus
+//! Box–Muller for Gaussian variates (we avoid the extra `rand_distr`
+//! dependency).
+
+use rand::RngCore;
+
+/// SplitMix64 step: used for seed expansion and stream derivation.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic PRNG (xoshiro256++) with stream derivation.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    s: [u64; 4],
+    /// Cached second Gaussian variate from Box–Muller.
+    gauss_spare: Option<f64>,
+}
+
+impl DetRng {
+    /// Create a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng {
+            s,
+            gauss_spare: None,
+        }
+    }
+
+    /// Derive an independent child generator for a named stream.
+    ///
+    /// The same `(parent seed, label)` pair always yields the same
+    /// child stream, and different labels yield decorrelated streams.
+    pub fn derive(&self, label: &str) -> DetRng {
+        // Mix the label into a fresh seed via FNV-1a, then re-expand.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        // Also mix in this generator's state so sibling derivations of
+        // different parents differ.
+        let mixed = h ^ self.s[0].rotate_left(17) ^ self.s[2];
+        DetRng::seed_from_u64(mixed)
+    }
+
+    /// Derive an independent child generator for an indexed stream
+    /// (e.g. per-topology, per-trial).
+    pub fn derive_indexed(&self, label: &str, index: u64) -> DetRng {
+        let mut child = self.derive(label);
+        let mut sm = child.next_u64() ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        DetRng {
+            s,
+            gauss_spare: None,
+        }
+    }
+
+    #[inline]
+    fn next(&mut self) -> u64 {
+        // xoshiro256++
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(hi >= lo);
+        lo + (hi - lo) * self.f64()
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "DetRng::below(0)");
+        // Lemire's multiply-shift rejection-free-enough reduction is
+        // overkill here; simple 128-bit multiply keeps bias < 2^-64.
+        ((u128::from(self.next()) * n as u128) >> 64) as usize
+    }
+
+    /// Uniform integer in `[lo, hi)`. Panics if the range is empty.
+    #[inline]
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(hi > lo, "DetRng::range_usize empty range");
+        lo + self.below(hi - lo)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0,1]`).
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Standard normal variate via Box–Muller.
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(z) = self.gauss_spare.take() {
+            return z;
+        }
+        // Draw u1 in (0,1] to avoid ln(0).
+        let u1 = 1.0 - self.f64();
+        let u2 = self.f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.gauss_spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal variate with the given mean and standard deviation.
+    pub fn gaussian_with(&mut self, mean: f64, std_dev: f64) -> f64 {
+        mean + std_dev * self.gaussian()
+    }
+
+    /// Exponential variate with the given mean. Panics if `mean <= 0`.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        assert!(mean > 0.0, "exponential mean must be positive");
+        let u = 1.0 - self.f64();
+        -mean * u.ln()
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Choose `k` distinct indices out of `n` (order arbitrary but
+    /// deterministic). Panics if `k > n`.
+    pub fn choose_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot choose {k} of {n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        // Partial Fisher–Yates: first k positions are the sample.
+        for i in 0..k {
+            let j = self.range_usize(i, n);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+impl RngCore for DetRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next() >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::seed_from_u64(42);
+        let mut b = DetRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::seed_from_u64(1);
+        let mut b = DetRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn derivation_is_stable_and_label_sensitive() {
+        let root = DetRng::seed_from_u64(7);
+        let mut x1 = root.derive("fading");
+        let mut x2 = root.derive("fading");
+        let mut y = root.derive("traffic");
+        assert_eq!(x1.next_u64(), x2.next_u64());
+        assert_ne!(x1.next_u64(), y.next_u64());
+    }
+
+    #[test]
+    fn derive_indexed_streams_differ() {
+        let root = DetRng::seed_from_u64(7);
+        let mut a = root.derive_indexed("topo", 0);
+        let mut b = root.derive_indexed("topo", 1);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = DetRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_half() {
+        let mut r = DetRng::seed_from_u64(5);
+        let n = 100_000;
+        let mean = (0..n).map(|_| r.f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn below_covers_all_buckets() {
+        let mut r = DetRng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[r.below(10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut r = DetRng::seed_from_u64(11);
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = DetRng::seed_from_u64(13);
+        let n = 200_000;
+        let mean = (0..n).map(|_| r.exponential(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn choose_indices_distinct_and_in_range() {
+        let mut r = DetRng::seed_from_u64(17);
+        for _ in 0..100 {
+            let k = r.range_usize(1, 8);
+            let sample = r.choose_indices(20, k);
+            assert_eq!(sample.len(), k);
+            let mut sorted = sample.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), k, "duplicates in {sample:?}");
+            assert!(sample.iter().all(|&i| i < 20));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = DetRng::seed_from_u64(19);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fill_bytes_deterministic() {
+        let mut a = DetRng::seed_from_u64(23);
+        let mut b = DetRng::seed_from_u64(23);
+        let mut ba = [0u8; 13];
+        let mut bb = [0u8; 13];
+        a.fill_bytes(&mut ba);
+        b.fill_bytes(&mut bb);
+        assert_eq!(ba, bb);
+    }
+}

@@ -1,0 +1,619 @@
+//! The ground-truth hidden-terminal interference topology.
+//!
+//! This is the object at the heart of the paper (Fig. 6b): a bipartite
+//! graph between **hidden terminals** (WiFi transmitters the eNB
+//! cannot hear) and **clients** (UEs), where an edge `z_ik = 1` means
+//! client `i` senses hidden terminal `k`'s transmissions and defers.
+//! Each hidden terminal `k` has an access probability `q(k)` — the
+//! probability it is on the air at a CCA instant.
+//!
+//! Under the paper's generative model (independent HT activity,
+//! binary impact), the client access probabilities have closed forms:
+//!
+//! ```text
+//! p(i)    = Π_{k: z_ik=1} (1 − q(k))
+//! p(i,j)  = Π_{k: z_ik ∨ z_jk} (1 − q(k))
+//! P(U, V̄) = Π_{k ∈ A(U)} (1−q_k) · Σ_{S⊆V} (−1)^|S| Π_{k ∈ A(S)\A(U)} (1−q_k)
+//! ```
+//!
+//! where `A(X)` is the set of HTs adjacent to any client in `X`. The
+//! last identity (inclusion–exclusion over the "failing" clients) is
+//! the *oracle* against which `blu-core`'s recursive topology
+//! conditioning (paper §3.6) is property-tested.
+//!
+//! The same type doubles as BLU's *inferred* blue-print: the inference
+//! algorithm in `blu-core::blueprint` produces an
+//! [`InterferenceTopology`] and the scheduler consumes one without
+//! caring whether it is ground truth or inferred.
+
+use crate::cca::SensingThresholds;
+use crate::clientset::ClientSet;
+use crate::error::SimError;
+use crate::node::Node;
+use crate::pathloss::PathLossModel;
+use crate::pathloss::Propagation;
+use crate::rng::DetRng;
+use serde::{Deserialize, Serialize};
+
+/// One hidden terminal in the blue-print.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HiddenTerminal {
+    /// Probability the terminal is on the air at a CCA instant.
+    pub q: f64,
+    /// Clients that sense this terminal (edge set `z_·k`).
+    pub edges: ClientSet,
+}
+
+impl HiddenTerminal {
+    /// Construct; validates `q ∈ [0, 1]`.
+    pub fn new(q: f64, edges: ClientSet) -> Result<Self, SimError> {
+        if !(0.0..=1.0).contains(&q) || q.is_nan() {
+            return Err(SimError::InvalidProbability {
+                what: "hidden-terminal access q(k)",
+                value: q,
+            });
+        }
+        Ok(HiddenTerminal { q, edges })
+    }
+}
+
+/// A bipartite hidden-terminal → client interference topology.
+///
+/// ```
+/// use blu_sim::clientset::ClientSet;
+/// use blu_sim::topology::{HiddenTerminal, InterferenceTopology};
+///
+/// // One hidden terminal, 40% active, silencing clients 0 and 1.
+/// let topo = InterferenceTopology::new(
+///     3,
+///     vec![HiddenTerminal::new(0.4, ClientSet::from_iter([0, 1])).unwrap()],
+/// )
+/// .unwrap();
+/// assert_eq!(topo.p_individual(0), 0.6);
+/// assert_eq!(topo.p_individual(2), 1.0);
+/// // Clients 0 and 1 share the terminal: their accesses coincide.
+/// assert_eq!(topo.p_pair(0, 1), 0.6);
+/// // P(0 accesses while 1 is blocked) is impossible here.
+/// assert_eq!(
+///     topo.p_joint(ClientSet::from_iter([0]), ClientSet::from_iter([1])),
+///     0.0
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InterferenceTopology {
+    /// Number of clients (UEs) in the cell.
+    pub n_clients: usize,
+    /// The hidden terminals with their activity and edges.
+    pub hts: Vec<HiddenTerminal>,
+}
+
+impl InterferenceTopology {
+    /// A topology with no hidden terminals (every client always
+    /// accesses).
+    pub fn interference_free(n_clients: usize) -> Self {
+        InterferenceTopology {
+            n_clients,
+            hts: Vec::new(),
+        }
+    }
+
+    /// Construct, validating every HT.
+    pub fn new(n_clients: usize, hts: Vec<HiddenTerminal>) -> Result<Self, SimError> {
+        assert!(n_clients <= ClientSet::CAPACITY);
+        let valid_clients = ClientSet::all(n_clients);
+        for ht in &hts {
+            if !(0.0..=1.0).contains(&ht.q) || ht.q.is_nan() {
+                return Err(SimError::InvalidProbability {
+                    what: "hidden-terminal access q(k)",
+                    value: ht.q,
+                });
+            }
+            if !ht.edges.is_subset_of(valid_clients) {
+                let bad = ht
+                    .edges
+                    .iter()
+                    .find(|&i| i >= n_clients)
+                    .unwrap_or(n_clients);
+                return Err(SimError::IndexOutOfRange {
+                    what: "hidden-terminal edge client",
+                    index: bad,
+                    bound: n_clients,
+                });
+            }
+        }
+        Ok(InterferenceTopology { n_clients, hts })
+    }
+
+    /// Number of hidden terminals.
+    pub fn n_hidden(&self) -> usize {
+        self.hts.len()
+    }
+
+    /// Generate a random topology: `n_hts` terminals, each with
+    /// activity drawn from `q_range` and each client attached with
+    /// probability `edge_prob`. Edgeless terminals are re-rolled so
+    /// the result has exactly `n_hts` *effective* terminals.
+    pub fn random(
+        n_clients: usize,
+        n_hts: usize,
+        q_range: (f64, f64),
+        edge_prob: f64,
+        rng: &mut DetRng,
+    ) -> Self {
+        assert!((1..=ClientSet::CAPACITY).contains(&n_clients));
+        assert!((0.0..=1.0).contains(&edge_prob));
+        let mut hts = Vec::with_capacity(n_hts);
+        for _ in 0..n_hts {
+            let q = rng.range_f64(q_range.0, q_range.1);
+            let mut edges = ClientSet::EMPTY;
+            // Re-roll until at least one edge exists (an edgeless HT
+            // is unobservable and would silently shrink the topology).
+            while edges.is_empty() {
+                for i in 0..n_clients {
+                    if rng.chance(edge_prob) {
+                        edges.insert(i);
+                    }
+                }
+                if edge_prob == 0.0 {
+                    edges.insert(rng.below(n_clients));
+                }
+            }
+            hts.push(HiddenTerminal { q, edges });
+        }
+        InterferenceTopology { n_clients, hts }
+    }
+
+    /// Set of HTs (by index) adjacent to any client in `clients`.
+    fn adjacent_hts(&self, clients: ClientSet) -> u128 {
+        let mut mask = 0u128;
+        for (k, ht) in self.hts.iter().enumerate() {
+            if !ht.edges.is_disjoint(clients) {
+                mask |= 1 << k;
+            }
+        }
+        mask
+    }
+
+    /// `Π (1 − q_k)` over the HTs in `mask` — the probability that
+    /// all of them are simultaneously idle.
+    fn idle_product(&self, mask: u128) -> f64 {
+        let mut p = 1.0;
+        let mut m = mask;
+        while m != 0 {
+            let k = m.trailing_zeros() as usize;
+            m &= m - 1;
+            p *= 1.0 - self.hts[k].q;
+        }
+        p
+    }
+
+    /// Individual access probability `p(i)`.
+    pub fn p_individual(&self, i: usize) -> f64 {
+        assert!(i < self.n_clients);
+        self.idle_product(self.adjacent_hts(ClientSet::singleton(i)))
+    }
+
+    /// Pairwise joint access probability `p(i, j)` — both clients can
+    /// use their grants.
+    pub fn p_pair(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n_clients && j < self.n_clients);
+        self.idle_product(self.adjacent_hts(ClientSet::singleton(i).with(j)))
+    }
+
+    /// Probability that *all* clients in `clients` can access
+    /// (`P(U)` in the paper's notation).
+    pub fn p_all_access(&self, clients: ClientSet) -> f64 {
+        self.idle_product(self.adjacent_hts(clients))
+    }
+
+    /// Exact joint probability `P(U, V̄)`: all clients in `succeed`
+    /// access while all clients in `fail` are blocked. The two sets
+    /// must be disjoint. Inclusion–exclusion over subsets of `fail`
+    /// (`2^|fail|` terms; callers keep `|fail| ≤ 2M ≤ 16`).
+    pub fn p_joint(&self, succeed: ClientSet, fail: ClientSet) -> f64 {
+        assert!(succeed.is_disjoint(fail), "success/fail sets overlap");
+        let a_u = self.adjacent_hts(succeed);
+        let base = self.idle_product(a_u);
+        if base == 0.0 {
+            return 0.0;
+        }
+        // P(every v in `fail` blocked | HTs adjacent to U idle)
+        //   = Σ_{S ⊆ fail} (−1)^{|S|} Π_{k ∈ A(S)\A(U)} (1 − q_k)
+        let mut blocked = 0.0;
+        for s in fail.subsets() {
+            let a_s = self.adjacent_hts(s) & !a_u;
+            let sign = if s.len() % 2 == 0 { 1.0 } else { -1.0 };
+            blocked += sign * self.idle_product(a_s);
+        }
+        // Guard tiny negative values from float cancellation.
+        base * blocked.max(0.0)
+    }
+
+    /// Sample one CCA instant: draw each HT's on-air state
+    /// independently and return the set of clients that pass CCA.
+    pub fn sample_access(&self, rng: &mut DetRng) -> ClientSet {
+        let mut blocked = ClientSet::EMPTY;
+        for ht in &self.hts {
+            if rng.chance(ht.q) {
+                blocked = blocked.union(ht.edges);
+            }
+        }
+        ClientSet::all(self.n_clients).difference(blocked)
+    }
+
+    /// Canonical form: drop edgeless HTs, merge HTs with identical
+    /// edge sets (their idle probabilities multiply), sort by edge
+    /// mask. Two topologies that induce the same access distributions
+    /// through duplicate/empty HTs normalize to the same value.
+    pub fn canonicalize(&self) -> InterferenceTopology {
+        use std::collections::BTreeMap;
+        let mut merged: BTreeMap<u128, f64> = BTreeMap::new();
+        for ht in &self.hts {
+            if ht.edges.is_empty() || ht.q <= 0.0 {
+                continue;
+            }
+            // (1−q) products merge multiplicatively.
+            let idle = merged.entry(ht.edges.0).or_insert(1.0);
+            *idle *= 1.0 - ht.q;
+        }
+        let hts = merged
+            .into_iter()
+            .filter(|&(_, idle)| idle < 1.0)
+            .map(|(mask, idle)| HiddenTerminal {
+                q: 1.0 - idle,
+                edges: ClientSet(mask),
+            })
+            .collect();
+        InterferenceTopology {
+            n_clients: self.n_clients,
+            hts,
+        }
+    }
+
+    /// Total violation of this topology against measured transformed
+    /// constraints would live in `blu-core`; here we expose the raw
+    /// per-client adjacency for inspection.
+    pub fn clients_of(&self, ht_index: usize) -> ClientSet {
+        self.hts[ht_index].edges
+    }
+
+    /// HT indices impacting client `i`.
+    pub fn hts_of(&self, i: usize) -> Vec<usize> {
+        self.hts
+            .iter()
+            .enumerate()
+            .filter(|(_, ht)| ht.edges.contains(i))
+            .map(|(k, _)| k)
+            .collect()
+    }
+}
+
+/// Result of extracting ground truth from a geometric deployment.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// The interference topology (HTs × UEs) with placeholder
+    /// `q(k) = 0`; activity is filled in from traffic simulation.
+    pub topology: InterferenceTopology,
+    /// For each HT in `topology.hts`, the node id of the WiFi
+    /// transmitter it corresponds to.
+    pub ht_nodes: Vec<crate::node::NodeId>,
+    /// For each client index, the UE node id.
+    pub ue_nodes: Vec<crate::node::NodeId>,
+}
+
+/// Extract the ground-truth hidden-terminal topology from node
+/// geometry: a WiFi transmitter is a *hidden terminal* if the eNB
+/// does **not** sense it (so the eNB's TxOP acquisition cannot
+/// protect against it) while at least one UE **does** sense it (so
+/// that UE's CCA blocks on it). Edges connect it to every UE that
+/// senses it.
+pub fn extract_ground_truth<M: PathLossModel>(
+    enb: &Node,
+    ues: &[Node],
+    wifi: &[Node],
+    prop: &mut Propagation<M>,
+    thresholds: &SensingThresholds,
+) -> GroundTruth {
+    assert!(ues.len() <= ClientSet::CAPACITY);
+    let mut hts = Vec::new();
+    let mut ht_nodes = Vec::new();
+    for w in wifi {
+        debug_assert!(w.kind.is_wifi());
+        let at_enb = prop.receive(w.tx_power, w.id.0, w.pos, enb.id.0, enb.pos);
+        // LTE eNB senses WiFi via energy detection.
+        let enb_hears = thresholds.senses(false, true, at_enb);
+        if enb_hears {
+            continue; // not hidden: eNB defers to it during TxOP acquisition
+        }
+        let mut edges = ClientSet::EMPTY;
+        for (i, ue) in ues.iter().enumerate() {
+            let at_ue = prop.receive(w.tx_power, w.id.0, w.pos, ue.id.0, ue.pos);
+            // UE CCA is energy detection too.
+            if thresholds.senses(false, true, at_ue) {
+                edges.insert(i);
+            }
+        }
+        if !edges.is_empty() {
+            hts.push(HiddenTerminal { q: 0.0, edges });
+            ht_nodes.push(w.id);
+        }
+    }
+    GroundTruth {
+        topology: InterferenceTopology {
+            n_clients: ues.len(),
+            hts,
+        },
+        ht_nodes,
+        ue_nodes: ues.iter().map(|u| u.id).collect(),
+    }
+}
+
+/// Count hidden terminals in a deployment for Fig. 4c.
+///
+/// A terminal `o` is *hidden* with respect to an uplink transmission
+/// from client `c` to the cell head when (a) `c` cannot sense `o`
+/// under its technology's sensing rules — so `c` would transmit
+/// concurrently — and (b) `o`'s signal still arrives at the head
+/// strongly enough to corrupt reception (`interference_floor`).
+/// The paper's Fig. 4c compares the count for an all-WiFi cell
+/// (preamble detection, −82 dBm) against an LTE cell in the same
+/// geometry (energy detection, −72 dBm): the 10 dB sensitivity loss
+/// more than doubles the hidden set.
+///
+/// Returns the number of distinct terminals hidden to at least one
+/// client, and the total number of hidden (client, terminal) pairs.
+pub fn count_hidden_terminals<M: PathLossModel>(
+    head: &Node,
+    clients: &[Node],
+    others: &[Node],
+    prop: &mut Propagation<M>,
+    thresholds: &SensingThresholds,
+    cell_is_lte: bool,
+    interference_floor: crate::power::Dbm,
+) -> (usize, usize) {
+    let mut distinct = 0usize;
+    let mut pairs = 0usize;
+    for o in others {
+        let src_is_wifi = o.kind.is_wifi();
+        let at_head = prop.receive(o.tx_power, o.id.0, o.pos, head.id.0, head.pos);
+        if at_head < interference_floor {
+            continue; // too weak to matter at the receiver
+        }
+        let mut hidden_for_any = false;
+        for c in clients {
+            let at_c = prop.receive(o.tx_power, o.id.0, o.pos, c.id.0, c.pos);
+            let c_hears = thresholds.senses(!cell_is_lte, src_is_wifi, at_c);
+            if !c_hears {
+                pairs += 1;
+                hidden_for_any = true;
+            }
+        }
+        if hidden_for_any {
+            distinct += 1;
+        }
+    }
+    (distinct, pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Point;
+    use crate::node::NodeKind;
+    use crate::pathloss::{LogDistance, Propagation, ShadowingField};
+
+    fn topo(n: usize, spec: &[(f64, &[usize])]) -> InterferenceTopology {
+        InterferenceTopology {
+            n_clients: n,
+            hts: spec
+                .iter()
+                .map(|&(q, edges)| HiddenTerminal {
+                    q,
+                    edges: edges.iter().copied().collect(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn individual_access_closed_form() {
+        // Client 0 hears HTs with q=0.3 and q=0.5; p(0) = 0.7*0.5.
+        let t = topo(2, &[(0.3, &[0]), (0.5, &[0, 1]), (0.2, &[1])]);
+        assert!((t.p_individual(0) - 0.35).abs() < 1e-12);
+        assert!((t.p_individual(1) - 0.5 * 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_access_counts_shared_ht_once() {
+        let t = topo(2, &[(0.3, &[0]), (0.5, &[0, 1]), (0.2, &[1])]);
+        // p(0,1) = (1−0.3)(1−0.5)(1−0.2): the shared HT appears once.
+        assert!((t.p_pair(0, 1) - 0.7 * 0.5 * 0.8).abs() < 1e-12);
+        assert_eq!(t.p_pair(0, 1), t.p_pair(1, 0));
+    }
+
+    #[test]
+    fn interference_free_always_accesses() {
+        let t = InterferenceTopology::interference_free(4);
+        for i in 0..4 {
+            assert_eq!(t.p_individual(i), 1.0);
+        }
+        assert_eq!(t.p_joint(ClientSet::all(4), ClientSet::EMPTY), 1.0);
+        let mut rng = DetRng::seed_from_u64(1);
+        assert_eq!(t.sample_access(&mut rng), ClientSet::all(4));
+    }
+
+    #[test]
+    fn joint_succeed_only_matches_all_access() {
+        let mut rng = DetRng::seed_from_u64(2);
+        let t = InterferenceTopology::random(6, 4, (0.1, 0.6), 0.4, &mut rng);
+        for mask in 1u128..1 << 6 {
+            let s = ClientSet(mask);
+            assert!(
+                (t.p_joint(s, ClientSet::EMPTY) - t.p_all_access(s)).abs() < 1e-12,
+                "mismatch for {s}"
+            );
+        }
+    }
+
+    #[test]
+    fn joint_distribution_sums_to_one() {
+        let mut rng = DetRng::seed_from_u64(3);
+        let t = InterferenceTopology::random(5, 3, (0.1, 0.7), 0.5, &mut rng);
+        let all = ClientSet::all(5);
+        let total: f64 = all.subsets().map(|s| t.p_joint(s, all.difference(s))).sum();
+        assert!((total - 1.0).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn joint_agrees_with_monte_carlo() {
+        let t = topo(3, &[(0.4, &[0, 1]), (0.3, &[1, 2]), (0.2, &[2])]);
+        let mut rng = DetRng::seed_from_u64(4);
+        let n = 200_000;
+        let succeed = ClientSet::from_iter([0]);
+        let fail = ClientSet::from_iter([1, 2]);
+        let mut hits = 0usize;
+        for _ in 0..n {
+            let acc = t.sample_access(&mut rng);
+            if succeed.is_subset_of(acc) && fail.is_disjoint(acc) {
+                hits += 1;
+            }
+        }
+        let mc = hits as f64 / n as f64;
+        let exact = t.p_joint(succeed, fail);
+        assert!((mc - exact).abs() < 0.005, "mc {mc} vs exact {exact}");
+    }
+
+    #[test]
+    fn sample_access_distribution_matches_p_individual() {
+        let t = topo(2, &[(0.3, &[0]), (0.5, &[0, 1])]);
+        let mut rng = DetRng::seed_from_u64(5);
+        let n = 100_000;
+        let mut c0 = 0;
+        for _ in 0..n {
+            if t.sample_access(&mut rng).contains(0) {
+                c0 += 1;
+            }
+        }
+        let emp = c0 as f64 / n as f64;
+        assert!((emp - 0.35).abs() < 0.005, "{emp}");
+    }
+
+    #[test]
+    fn canonicalize_merges_duplicates_and_drops_empty() {
+        let t = topo(
+            3,
+            &[(0.5, &[0, 1]), (0.5, &[0, 1]), (0.0, &[2]), (0.3, &[])],
+        );
+        let c = t.canonicalize();
+        assert_eq!(c.n_hidden(), 1);
+        // Two q=0.5 HTs on {0,1} merge to q = 1 − 0.25 = 0.75.
+        assert!((c.hts[0].q - 0.75).abs() < 1e-12);
+        assert_eq!(c.hts[0].edges, ClientSet::from_iter([0, 1]));
+        // Access probabilities preserved.
+        for i in 0..3 {
+            assert!((c.p_individual(i) - t.p_individual(i)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn random_topology_has_no_edgeless_hts() {
+        let mut rng = DetRng::seed_from_u64(6);
+        for trial in 0..50 {
+            let t = InterferenceTopology::random(8, 5, (0.1, 0.9), 0.2, &mut rng);
+            assert_eq!(t.n_hidden(), 5, "trial {trial}");
+            assert!(t.hts.iter().all(|ht| !ht.edges.is_empty()));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_q_and_edges() {
+        assert!(HiddenTerminal::new(1.5, ClientSet::singleton(0)).is_err());
+        assert!(HiddenTerminal::new(f64::NAN, ClientSet::singleton(0)).is_err());
+        let bad = InterferenceTopology::new(
+            2,
+            vec![HiddenTerminal {
+                q: 0.5,
+                edges: ClientSet::singleton(5),
+            }],
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn hts_of_lists_adjacency() {
+        let t = topo(3, &[(0.4, &[0, 1]), (0.3, &[1, 2])]);
+        assert_eq!(t.hts_of(0), vec![0]);
+        assert_eq!(t.hts_of(1), vec![0, 1]);
+        assert_eq!(t.hts_of(2), vec![1]);
+        assert_eq!(t.clients_of(0), ClientSet::from_iter([0, 1]));
+    }
+
+    fn make_prop() -> Propagation<LogDistance> {
+        Propagation::new(LogDistance::indoor_5ghz(), ShadowingField::disabled())
+    }
+
+    #[test]
+    fn extraction_finds_hidden_terminal() {
+        // eNB far from the WiFi node (can't sense it); UE 0 close to
+        // it (senses it); UE 1 also far.
+        let enb = Node::new(0, NodeKind::Enb, Point::new(0.0, 0.0));
+        let ues = [
+            Node::new(1, NodeKind::Ue, Point::new(60.0, 0.0)),
+            Node::new(2, NodeKind::Ue, Point::new(5.0, 5.0)),
+        ];
+        let wifi = [Node::new(3, NodeKind::WifiSta, Point::new(70.0, 0.0))];
+        let mut prop = make_prop();
+        let gt = extract_ground_truth(&enb, &ues, &wifi, &mut prop, &SensingThresholds::default());
+        assert_eq!(gt.topology.n_hidden(), 1);
+        assert!(gt.topology.hts[0].edges.contains(0));
+        assert!(!gt.topology.hts[0].edges.contains(1));
+        assert_eq!(gt.ht_nodes.len(), 1);
+    }
+
+    #[test]
+    fn extraction_ignores_wifi_near_enb() {
+        let enb = Node::new(0, NodeKind::Enb, Point::new(0.0, 0.0));
+        let ues = [Node::new(1, NodeKind::Ue, Point::new(10.0, 0.0))];
+        let wifi = [Node::new(2, NodeKind::WifiSta, Point::new(3.0, 0.0))];
+        let mut prop = make_prop();
+        let gt = extract_ground_truth(&enb, &ues, &wifi, &mut prop, &SensingThresholds::default());
+        assert_eq!(gt.topology.n_hidden(), 0);
+    }
+
+    #[test]
+    fn lte_cell_sees_more_hidden_terminals_than_wifi_cell() {
+        // Fig. 4c's mechanism: the same geometry yields more hidden
+        // terminals when the cell uses energy detection (LTE) than
+        // when it uses preamble detection (WiFi).
+        let mut rng = DetRng::seed_from_u64(7);
+        let region = crate::geometry::Region::square(120.0);
+        let mut lte_total = 0usize;
+        let mut wifi_total = 0usize;
+        for _trial in 0..20 {
+            let mut prop = make_prop();
+            let head = Node::new(0, NodeKind::Enb, region.center());
+            let clients: Vec<Node> = region
+                .sample_uniform_n(4, &mut rng)
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| Node::new(1 + i as u32, NodeKind::Ue, p))
+                .collect();
+            let others: Vec<Node> = region
+                .sample_uniform_n(10, &mut rng)
+                .into_iter()
+                .enumerate()
+                .map(|(i, p)| Node::new(100 + i as u32, NodeKind::WifiSta, p))
+                .collect();
+            let th = SensingThresholds::default();
+            let floor = crate::power::Dbm(-90.0);
+            lte_total +=
+                count_hidden_terminals(&head, &clients, &others, &mut prop, &th, true, floor).1;
+            wifi_total +=
+                count_hidden_terminals(&head, &clients, &others, &mut prop, &th, false, floor).1;
+        }
+        assert!(
+            lte_total > wifi_total,
+            "lte {lte_total} should exceed wifi {wifi_total}"
+        );
+    }
+}

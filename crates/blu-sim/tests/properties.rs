@@ -1,0 +1,145 @@
+//! Property-based tests of the substrate primitives.
+
+use blu_sim::clientset::ClientSet;
+use blu_sim::medium::{union, ActivityTimeline, BusyInterval};
+use blu_sim::power::{db_to_ratio, ratio_to_db, Db, Dbm};
+use blu_sim::rng::DetRng;
+use blu_sim::time::Micros;
+use proptest::prelude::*;
+
+fn arb_clientset() -> impl Strategy<Value = ClientSet> {
+    any::<u128>().prop_map(ClientSet)
+}
+
+/// A random, valid activity timeline built from (idle, busy) gap pairs.
+fn arb_timeline() -> impl Strategy<Value = ActivityTimeline> {
+    proptest::collection::vec((1u64..1_000, 1u64..1_000), 0..24).prop_map(|gaps| {
+        let mut tl = ActivityTimeline::new();
+        let mut t = 0u64;
+        for (idle, busy) in gaps {
+            t += idle;
+            tl.push(Micros(t), Micros(t + busy));
+            t += busy;
+        }
+        tl
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ---- ClientSet algebra laws ----
+
+    #[test]
+    fn clientset_de_morgan(a in arb_clientset(), b in arb_clientset()) {
+        let everything = ClientSet(u128::MAX);
+        let lhs = everything.difference(a.union(b));
+        let rhs = everything.difference(a).intersection(everything.difference(b));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn clientset_difference_disjoint(a in arb_clientset(), b in arb_clientset()) {
+        prop_assert!(a.difference(b).is_disjoint(b));
+        prop_assert!(a.difference(b).is_subset_of(a));
+        prop_assert_eq!(a.difference(b).union(a.intersection(b)), a);
+    }
+
+    #[test]
+    fn clientset_len_inclusion_exclusion(a in arb_clientset(), b in arb_clientset()) {
+        prop_assert_eq!(
+            a.union(b).len() + a.intersection(b).len(),
+            a.len() + b.len()
+        );
+    }
+
+    #[test]
+    fn clientset_iter_roundtrip(a in arb_clientset()) {
+        let rebuilt: ClientSet = a.iter().collect();
+        prop_assert_eq!(rebuilt, a);
+    }
+
+    // ---- power units ----
+
+    #[test]
+    fn dbm_mw_roundtrip(level in -120.0f64..40.0) {
+        let back = Dbm(level).to_milliwatts().to_dbm();
+        prop_assert!((back.0 - level).abs() < 1e-9);
+    }
+
+    #[test]
+    fn db_ratio_roundtrip(db in -60.0f64..60.0) {
+        let back = ratio_to_db(db_to_ratio(Db(db)));
+        prop_assert!((back.0 - db).abs() < 1e-9);
+    }
+
+    // ---- activity timelines ----
+
+    #[test]
+    fn timeline_busy_time_equals_interval_sum(tl in arb_timeline()) {
+        let total: u64 = tl
+            .intervals()
+            .iter()
+            .map(|iv| iv.duration().as_u64())
+            .sum();
+        let horizon = tl.horizon() + Micros(1);
+        prop_assert_eq!(tl.busy_time_in(Micros::ZERO, horizon).as_u64(), total);
+    }
+
+    #[test]
+    fn timeline_window_preserves_busy_time(tl in arb_timeline(), a in 0u64..20_000, len in 1u64..20_000) {
+        let t0 = Micros(a);
+        let t1 = Micros(a + len);
+        let w = tl.window(t0, t1);
+        prop_assert_eq!(
+            w.busy_time_in(Micros::ZERO, Micros(len)),
+            tl.busy_time_in(t0, t1)
+        );
+    }
+
+    #[test]
+    fn timeline_shift_is_translation(tl in arb_timeline(), off in 0u64..10_000, probe in 0u64..40_000) {
+        let s = tl.shifted(Micros(off));
+        prop_assert_eq!(s.busy_at(Micros(probe + off)), tl.busy_at(Micros(probe)));
+    }
+
+    #[test]
+    fn union_busy_iff_any_busy(t1 in arb_timeline(), t2 in arb_timeline(), probe in 0u64..50_000) {
+        let u = union(&[&t1, &t2]);
+        let t = Micros(probe);
+        prop_assert_eq!(u.busy_at(t), t1.busy_at(t) || t2.busy_at(t));
+    }
+
+    #[test]
+    fn idle_at_or_after_is_idle_and_minimal(tl in arb_timeline(), probe in 0u64..50_000) {
+        let t = Micros(probe);
+        let idle = tl.idle_at_or_after(t);
+        prop_assert!(idle >= t);
+        prop_assert!(!tl.busy_at(idle));
+        // Minimality: every instant in [t, idle) is busy.
+        if idle > t {
+            prop_assert!(tl.busy_at(t));
+            prop_assert!(!tl.busy_in(idle, idle + Micros(0)));
+        }
+    }
+
+    // ---- deterministic RNG streams ----
+
+    #[test]
+    fn derived_streams_reproducible(seed in any::<u64>(), label in "[a-z]{1,8}") {
+        let root = DetRng::seed_from_u64(seed);
+        let mut a = root.derive(&label);
+        let mut b = root.derive(&label);
+        for _ in 0..16 {
+            prop_assert_eq!(a.f64().to_bits(), b.f64().to_bits());
+        }
+    }
+}
+
+#[test]
+fn busy_interval_invariants() {
+    let iv = BusyInterval::new(Micros(5), Micros(9));
+    assert_eq!(iv.duration(), Micros(4));
+    assert!(iv.contains(Micros(5)));
+    assert!(!iv.contains(Micros(9)));
+}

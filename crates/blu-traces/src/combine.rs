@@ -1,0 +1,253 @@
+//! Trace-combination operators (paper §4.2.1).
+//!
+//! "We emulate larger topologies by combining the traces collected
+//! from different testbed topologies": for a fixed UE set-up, traces
+//! recorded with hidden terminals at different locations are merged
+//! into one larger hidden-terminal field; for a fixed hidden-terminal
+//! set-up, traces of different UE sets are concatenated into one
+//! larger cell. Both operators are implemented here, preserving the
+//! invariant that the combined trace's access sets equal what
+//! `derive_access` would produce on the combined topology + combined
+//! activity.
+
+use crate::capture::derive_access;
+use crate::schema::TestbedTrace;
+use blu_sim::clientset::ClientSet;
+use blu_sim::fading::Complex;
+use blu_sim::time::SUBFRAME_US;
+use blu_sim::topology::{HiddenTerminal, InterferenceTopology};
+
+/// Merge two traces recorded over the **same UE deployment** but
+/// different hidden-terminal placements: the result has the union of
+/// the hidden terminals, and each UE is blocked whenever either
+/// field blocks it. CSI and SNR are taken from `a`.
+///
+/// Panics if the UE counts differ.
+pub fn merge_hidden_fields(a: &TestbedTrace, b: &TestbedTrace) -> TestbedTrace {
+    assert_eq!(
+        a.ground_truth.n_clients, b.ground_truth.n_clients,
+        "merge_hidden_fields requires identical UE deployments"
+    );
+    let horizon = a.wifi.horizon.min(b.wifi.horizon);
+    let n_subframes = horizon.as_u64() / SUBFRAME_US;
+
+    let mut hts: Vec<HiddenTerminal> = a.ground_truth.hts.clone();
+    hts.extend(b.ground_truth.hts.iter().cloned());
+    let ground_truth = InterferenceTopology {
+        n_clients: a.ground_truth.n_clients,
+        hts,
+    };
+
+    let mut timelines = a.wifi.timelines.clone();
+    timelines.extend(b.wifi.timelines.iter().cloned());
+    let mut labels: Vec<String> = a.wifi.labels.iter().map(|l| format!("a:{l}")).collect();
+    labels.extend(b.wifi.labels.iter().map(|l| format!("b:{l}")));
+
+    let access = derive_access(&ground_truth, &timelines, n_subframes);
+    TestbedTrace {
+        description: format!("merge[{} + {}]", a.description, b.description),
+        ground_truth,
+        wifi: crate::schema::WifiActivityTrace {
+            labels,
+            timelines,
+            horizon,
+        },
+        access,
+        csi: a.csi.clone(),
+        mean_snr_db: a.mean_snr_db.clone(),
+    }
+}
+
+/// Concatenate two traces recorded over **disjoint UE deployments**
+/// (different UE sets, independent hidden-terminal fields): the
+/// result is a cell with `nA + nB` UEs; `b`'s UE indices are shifted
+/// by `nA`, and each original hidden terminal keeps its own edges.
+pub fn concat_ue_deployments(a: &TestbedTrace, b: &TestbedTrace) -> TestbedTrace {
+    let na = a.ground_truth.n_clients;
+    let nb = b.ground_truth.n_clients;
+    assert!(na + nb <= ClientSet::CAPACITY);
+    let horizon = a.wifi.horizon.min(b.wifi.horizon);
+    let n_subframes = (horizon.as_u64() / SUBFRAME_US) as usize;
+
+    let shift = |edges: ClientSet| -> ClientSet { edges.iter().map(|i| i + na).collect() };
+
+    let mut hts = a.ground_truth.hts.clone();
+    hts.extend(b.ground_truth.hts.iter().map(|ht| HiddenTerminal {
+        q: ht.q,
+        edges: shift(ht.edges),
+    }));
+    let ground_truth = InterferenceTopology {
+        n_clients: na + nb,
+        hts,
+    };
+
+    let mut timelines = a.wifi.timelines.clone();
+    timelines.extend(b.wifi.timelines.iter().cloned());
+    let mut labels: Vec<String> = a.wifi.labels.iter().map(|l| format!("a:{l}")).collect();
+    labels.extend(b.wifi.labels.iter().map(|l| format!("b:{l}")));
+
+    // Access sets combine positionally: UE i<na from a, i≥na from b.
+    let accessible = (0..n_subframes)
+        .map(|t| {
+            let sa = a.access.accessible[t % a.access.len()];
+            let sb = b.access.accessible[t % b.access.len()];
+            sa.union(shift(sb))
+        })
+        .collect();
+
+    // CSI: stack UE channel vectors; pad antenna counts must match.
+    assert_eq!(
+        a.csi.n_antennas, b.csi.n_antennas,
+        "cannot concat traces with different antenna counts"
+    );
+    assert_eq!(a.csi.coherence_subframes, b.csi.coherence_subframes);
+    let n_blocks = a.csi.blocks.len().min(b.csi.blocks.len());
+    let blocks: Vec<Vec<Vec<Complex>>> = (0..n_blocks)
+        .map(|blk| {
+            let mut v = a.csi.blocks[blk].clone();
+            v.extend(b.csi.blocks[blk].iter().cloned());
+            v
+        })
+        .collect();
+
+    let mut mean_snr_db = a.mean_snr_db.clone();
+    mean_snr_db.extend(b.mean_snr_db.iter().copied());
+
+    TestbedTrace {
+        description: format!("concat[{} | {}]", a.description, b.description),
+        ground_truth,
+        wifi: crate::schema::WifiActivityTrace {
+            labels,
+            timelines,
+            horizon,
+        },
+        access: crate::schema::AccessTrace {
+            n_ues: na + nb,
+            accessible,
+        },
+        csi: crate::schema::CsiTrace {
+            n_ues: na + nb,
+            n_antennas: a.csi.n_antennas,
+            coherence_subframes: a.csi.coherence_subframes,
+            blocks,
+        },
+        mean_snr_db,
+    }
+}
+
+/// Build a large emulated topology by folding `merge_hidden_fields`
+/// over HT-field traces and `concat_ue_deployments` over UE-group
+/// traces — the paper's "up to 24 UEs and 36 WiFi hidden terminals".
+pub fn emulate_large(ue_groups: &[TestbedTrace], extra_ht_fields: &[TestbedTrace]) -> TestbedTrace {
+    assert!(!ue_groups.is_empty());
+    let mut combined = ue_groups[0].clone();
+    for g in &ue_groups[1..] {
+        combined = concat_ue_deployments(&combined, g);
+    }
+    for f in extra_ht_fields {
+        assert_eq!(
+            f.ground_truth.n_clients, combined.ground_truth.n_clients,
+            "extra HT fields must cover the combined UE deployment"
+        );
+        combined = merge_hidden_fields(&combined, f);
+    }
+    combined
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::{capture_synthetic, CaptureConfig};
+    use blu_sim::time::Micros;
+
+    fn quick(seed: u64, n_ues: usize, n_hts: usize) -> TestbedTrace {
+        capture_synthetic(
+            &CaptureConfig {
+                n_ues,
+                n_hts,
+                duration: Micros::from_secs(5),
+                ..CaptureConfig::quick()
+            },
+            seed,
+        )
+    }
+
+    #[test]
+    fn merge_unions_hidden_fields() {
+        let a = quick(1, 4, 3);
+        let b = quick(2, 4, 2);
+        let m = merge_hidden_fields(&a, &b);
+        assert_eq!(m.validate(), Ok(()));
+        assert_eq!(m.ground_truth.n_hidden(), 5);
+        assert_eq!(m.ground_truth.n_clients, 4);
+        // Merged access = intersection of blockings: a UE accessible
+        // in the merge must be accessible in both sources.
+        for t in 0..m.access.len() {
+            let ma = m.access.accessible[t];
+            let aa = a.access.accessible[t];
+            let bb = b.access.accessible[t];
+            assert_eq!(ma, aa.intersection(bb), "sub-frame {t}");
+        }
+    }
+
+    #[test]
+    fn concat_shifts_ue_indices() {
+        let a = quick(3, 3, 2);
+        let b = quick(4, 2, 2);
+        let c = concat_ue_deployments(&a, &b);
+        assert_eq!(c.validate(), Ok(()));
+        assert_eq!(c.ground_truth.n_clients, 5);
+        assert_eq!(c.ground_truth.n_hidden(), 4);
+        // b's HTs only touch UEs 3..5.
+        for ht in &c.ground_truth.hts[2..] {
+            assert!(ht.edges.iter().all(|i| i >= 3));
+        }
+        // Access for a's UEs preserved.
+        for t in 0..c.access.len() {
+            for i in 0..3 {
+                assert_eq!(
+                    c.access.accessible[t].contains(i),
+                    a.access.accessible[t].contains(i)
+                );
+            }
+            for i in 0..2 {
+                assert_eq!(
+                    c.access.accessible[t].contains(3 + i),
+                    b.access.accessible[t].contains(i)
+                );
+            }
+        }
+        assert_eq!(c.mean_snr_db.len(), 5);
+        assert_eq!(c.csi.blocks[0].len(), 5);
+    }
+
+    #[test]
+    fn emulate_paper_scale() {
+        // Six 4-UE groups → 24 UEs; each group brings 4 HTs,
+        // plus nothing extra: 24 HTs total.
+        let groups: Vec<TestbedTrace> = (0..6).map(|s| quick(10 + s, 4, 4)).collect();
+        let big = emulate_large(&groups, &[]);
+        assert_eq!(big.validate(), Ok(()));
+        assert_eq!(big.ground_truth.n_clients, 24);
+        assert_eq!(big.ground_truth.n_hidden(), 24);
+    }
+
+    #[test]
+    fn merged_access_consistent_with_derive() {
+        // The merge's access sets must equal derive_access on the
+        // combined topology + timelines (invariant 7 of DESIGN.md).
+        let a = quick(5, 4, 2);
+        let b = quick(6, 4, 3);
+        let m = merge_hidden_fields(&a, &b);
+        let re = derive_access(&m.ground_truth, &m.wifi.timelines, m.access.len() as u64);
+        assert_eq!(m.access, re);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical UE deployments")]
+    fn merge_rejects_mismatched_ues() {
+        let a = quick(1, 3, 2);
+        let b = quick(2, 4, 2);
+        let _ = merge_hidden_fields(&a, &b);
+    }
+}

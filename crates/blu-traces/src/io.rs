@@ -1,0 +1,291 @@
+//! Trace persistence: JSON (human-inspectable) and a compact binary
+//! codec for the bulky per-sub-frame data.
+//!
+//! JSON is the interchange format for whole [`TestbedTrace`] bundles;
+//! the binary codec (`bytes`-based, little-endian, versioned magic)
+//! is provided for the two high-volume record types — access traces
+//! (one `u128` per sub-frame) and activity timelines — where JSON
+//! bloats 10×.
+
+use crate::schema::{AccessTrace, TestbedTrace, WifiActivityTrace};
+use blu_sim::clientset::ClientSet;
+use blu_sim::medium::{ActivityTimeline, BusyInterval};
+use blu_sim::time::Micros;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from trace IO.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// JSON (de)serialization error.
+    Json(serde_json::Error),
+    /// Binary codec error (bad magic, truncation, version).
+    Codec(String),
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "io error: {e}"),
+            TraceIoError::Json(e) => write!(f, "json error: {e}"),
+            TraceIoError::Codec(m) => write!(f, "codec error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceIoError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceIoError::Json(e)
+    }
+}
+
+/// Save a full trace bundle as JSON.
+pub fn save_json(trace: &TestbedTrace, path: &Path) -> Result<(), TraceIoError> {
+    let f = BufWriter::new(File::create(path)?);
+    serde_json::to_writer(f, trace)?;
+    Ok(())
+}
+
+/// Load a trace bundle from JSON.
+pub fn load_json(path: &Path) -> Result<TestbedTrace, TraceIoError> {
+    let f = BufReader::new(File::open(path)?);
+    Ok(serde_json::from_reader(f)?)
+}
+
+const ACCESS_MAGIC: u32 = 0x424C_5541; // "BLUA"
+const ACTIVITY_MAGIC: u32 = 0x424C_5554; // "BLUT"
+const CODEC_VERSION: u16 = 1;
+
+/// Encode an access trace to the compact binary format.
+pub fn encode_access(trace: &AccessTrace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + trace.accessible.len() * 16);
+    buf.put_u32_le(ACCESS_MAGIC);
+    buf.put_u16_le(CODEC_VERSION);
+    buf.put_u16_le(trace.n_ues as u16);
+    buf.put_u64_le(trace.accessible.len() as u64);
+    for &acc in &trace.accessible {
+        buf.put_u128_le(acc.0);
+    }
+    buf.freeze()
+}
+
+/// Decode an access trace from the compact binary format.
+pub fn decode_access(mut data: &[u8]) -> Result<AccessTrace, TraceIoError> {
+    let err = |m: &str| TraceIoError::Codec(m.into());
+    if data.remaining() < 16 {
+        return Err(err("truncated header"));
+    }
+    if data.get_u32_le() != ACCESS_MAGIC {
+        return Err(err("bad magic"));
+    }
+    if data.get_u16_le() != CODEC_VERSION {
+        return Err(err("unsupported version"));
+    }
+    let n_ues = data.get_u16_le() as usize;
+    let len = data.get_u64_le() as usize;
+    if data.remaining() < len * 16 {
+        return Err(err("truncated body"));
+    }
+    let accessible = (0..len).map(|_| ClientSet(data.get_u128_le())).collect();
+    Ok(AccessTrace { n_ues, accessible })
+}
+
+/// Encode a WiFi activity trace to binary (labels UTF-8
+/// length-prefixed, intervals as u64 pairs).
+pub fn encode_activity(trace: &WifiActivityTrace) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(ACTIVITY_MAGIC);
+    buf.put_u16_le(CODEC_VERSION);
+    buf.put_u16_le(trace.timelines.len() as u16);
+    buf.put_u64_le(trace.horizon.as_u64());
+    for (label, tl) in trace.labels.iter().zip(&trace.timelines) {
+        let lb = label.as_bytes();
+        buf.put_u16_le(lb.len() as u16);
+        buf.put_slice(lb);
+        buf.put_u32_le(tl.intervals().len() as u32);
+        for iv in tl.intervals() {
+            buf.put_u64_le(iv.start.as_u64());
+            buf.put_u64_le(iv.end.as_u64());
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a WiFi activity trace from binary.
+pub fn decode_activity(mut data: &[u8]) -> Result<WifiActivityTrace, TraceIoError> {
+    let err = |m: &str| TraceIoError::Codec(m.into());
+    if data.remaining() < 16 {
+        return Err(err("truncated header"));
+    }
+    if data.get_u32_le() != ACTIVITY_MAGIC {
+        return Err(err("bad magic"));
+    }
+    if data.get_u16_le() != CODEC_VERSION {
+        return Err(err("unsupported version"));
+    }
+    let n = data.get_u16_le() as usize;
+    let horizon = Micros(data.get_u64_le());
+    let mut labels = Vec::with_capacity(n);
+    let mut timelines = Vec::with_capacity(n);
+    for _ in 0..n {
+        if data.remaining() < 2 {
+            return Err(err("truncated label length"));
+        }
+        let ll = data.get_u16_le() as usize;
+        if data.remaining() < ll {
+            return Err(err("truncated label"));
+        }
+        let mut lb = vec![0u8; ll];
+        data.copy_to_slice(&mut lb);
+        labels.push(String::from_utf8(lb).map_err(|_| err("label not UTF-8"))?);
+        if data.remaining() < 4 {
+            return Err(err("truncated interval count"));
+        }
+        let m = data.get_u32_le() as usize;
+        if data.remaining() < m * 16 {
+            return Err(err("truncated intervals"));
+        }
+        let mut ivs = Vec::with_capacity(m);
+        for _ in 0..m {
+            let s = data.get_u64_le();
+            let e = data.get_u64_le();
+            if e <= s {
+                return Err(err("empty interval"));
+            }
+            ivs.push(BusyInterval::new(Micros(s), Micros(e)));
+        }
+        timelines.push(ActivityTimeline::from_intervals(ivs));
+    }
+    Ok(WifiActivityTrace {
+        labels,
+        timelines,
+        horizon,
+    })
+}
+
+/// Write raw bytes to a file.
+pub fn write_bytes(data: &Bytes, path: &Path) -> Result<(), TraceIoError> {
+    let mut f = BufWriter::new(File::create(path)?);
+    f.write_all(data)?;
+    Ok(())
+}
+
+/// Read a whole file.
+pub fn read_bytes(path: &Path) -> Result<Vec<u8>, TraceIoError> {
+    let mut f = BufReader::new(File::open(path)?);
+    let mut out = Vec::new();
+    f.read_to_end(&mut out)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capture::{capture_synthetic, CaptureConfig};
+    use std::path::PathBuf;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("blu-traces-test-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let trace = capture_synthetic(
+            &CaptureConfig {
+                duration: Micros::from_secs(2),
+                ..CaptureConfig::quick()
+            },
+            1,
+        );
+        let path = temp_path("roundtrip.json");
+        save_json(&trace, &path).unwrap();
+        let back = load_json(&path).unwrap();
+        assert_eq!(trace, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn binary_access_roundtrip() {
+        let trace = capture_synthetic(
+            &CaptureConfig {
+                duration: Micros::from_secs(3),
+                ..CaptureConfig::quick()
+            },
+            2,
+        );
+        let enc = encode_access(&trace.access);
+        let dec = decode_access(&enc).unwrap();
+        assert_eq!(trace.access, dec);
+    }
+
+    #[test]
+    fn binary_activity_roundtrip() {
+        let trace = capture_synthetic(
+            &CaptureConfig {
+                duration: Micros::from_secs(3),
+                ..CaptureConfig::quick()
+            },
+            3,
+        );
+        let enc = encode_activity(&trace.wifi);
+        let dec = decode_activity(&enc).unwrap();
+        assert_eq!(trace.wifi, dec);
+    }
+
+    #[test]
+    fn binary_activity_smaller_than_json() {
+        // The activity codec's win is on interval-heavy timelines
+        // (the access codec trades size for fixed-width simplicity).
+        let trace = capture_synthetic(
+            &CaptureConfig {
+                duration: Micros::from_secs(5),
+                ..CaptureConfig::quick()
+            },
+            4,
+        );
+        let bin = encode_activity(&trace.wifi).len();
+        let json = serde_json::to_vec(&trace.wifi).unwrap().len();
+        assert!(
+            bin < json / 3 * 2,
+            "binary {bin} not smaller than json {json}"
+        );
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let trace = capture_synthetic(&CaptureConfig::quick(), 5);
+        let enc = encode_access(&trace.access);
+        // Bad magic.
+        let mut bad = enc.to_vec();
+        bad[0] ^= 0xFF;
+        assert!(decode_access(&bad).is_err());
+        // Truncation.
+        assert!(decode_access(&enc[..enc.len() - 5]).is_err());
+        assert!(decode_access(&enc[..8]).is_err());
+        // Wrong codec entirely.
+        assert!(decode_activity(&enc).is_err());
+    }
+
+    #[test]
+    fn file_bytes_roundtrip() {
+        let path = temp_path("bytes.bin");
+        let data = Bytes::from_static(b"hello blu");
+        write_bytes(&data, &path).unwrap();
+        assert_eq!(read_bytes(&path).unwrap(), b"hello blu");
+        std::fs::remove_file(&path).ok();
+    }
+}

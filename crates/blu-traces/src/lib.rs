@@ -1,0 +1,32 @@
+//! # blu-traces — trace capture, persistence, combination, statistics
+//!
+//! The paper's large-scale evaluation is **trace-driven**: 5-minute
+//! LTE channel traces and WiFi-activity traces are recorded on the
+//! WARP testbed for 150 small topologies, then *combined* to emulate
+//! topologies of up to 24 UEs and 36 hidden terminals (§4.2.1). This
+//! crate is that tooling:
+//!
+//! * [`schema`] — the trace types: per-HT WiFi activity timelines,
+//!   per-sub-frame UE access sets, block-fading CSI, and the bundled
+//!   [`schema::TestbedTrace`] with its ground-truth topology;
+//! * [`capture`] — recording traces from `blu-sim`/`blu-wifi` runs;
+//! * [`combine`] — the paper's splicing operators: merge hidden
+//!   terminal sets over a common UE deployment, concatenate UE
+//!   deployments under a common interference field, window/rebase;
+//! * [`stats`] — empirical `p(i)`, `p(i,j)` and higher-order joint
+//!   access frequencies measured from traces;
+//! * [`io`] — JSON (human-inspectable) and compact binary codecs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod combine;
+pub mod io;
+pub mod scenario;
+pub mod schema;
+pub mod stats;
+
+pub use scenario::{generate as generate_scenario, Scenario, ScenarioConfig};
+pub use schema::{AccessTrace, CsiTrace, TestbedTrace, WifiActivityTrace};
+pub use stats::EmpiricalAccess;

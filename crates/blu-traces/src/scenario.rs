@@ -1,0 +1,378 @@
+//! Geometric scenario generation: from a node deployment to a full
+//! [`TestbedTrace`].
+//!
+//! Mirrors both data sources of the paper's §4.2: the WARP testbed
+//! (an enterprise floor with a handful of UEs and WiFi laptops) and
+//! the NS3 sweeps (5–25 UEs/WiFi nodes placed uniformly at random,
+//! WiFi nodes sending UDP to random neighbours under rate
+//! adaptation). The pipeline:
+//!
+//! 1. place the eNB at the region centre, UEs and WiFi nodes at
+//!    random positions;
+//! 2. evaluate the propagation field (log-distance + shadowing) and
+//!    extract the **ground-truth hidden-terminal topology** from the
+//!    asymmetric sensing thresholds;
+//! 3. synthesize WiFi activity — either a full DCF contention
+//!    simulation over the WiFi nodes (correlated airtime) or
+//!    independent on/off sources (the paper's analytic model);
+//! 4. derive per-sub-frame UE access, CSI, and uplink SNRs into a
+//!    trace.
+
+use crate::capture::assemble_trace;
+use crate::schema::TestbedTrace;
+use blu_sim::cca::SensingThresholds;
+use blu_sim::geometry::Region;
+use blu_sim::link::lte_10mhz_noise_floor;
+use blu_sim::medium::ActivityTimeline;
+use blu_sim::node::{Node, NodeKind};
+use blu_sim::pathloss::{LogDistance, Propagation, ShadowingField};
+use blu_sim::rng::DetRng;
+use blu_sim::time::Micros;
+use blu_wifi::network::{hears_from_rx_power, WifiNetwork, WifiNetworkConfig, WifiStationSpec};
+use blu_wifi::onoff::OnOffSource;
+use blu_wifi::traffic::TrafficGen;
+use serde::{Deserialize, Serialize};
+
+/// How hidden-terminal activity is synthesized.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ActivityModel {
+    /// Full 802.11 DCF contention between the WiFi nodes (activity
+    /// correlated through carrier sensing).
+    Dcf,
+    /// Independent on/off renewal sources with duty cycles drawn from
+    /// the given range (the paper's independence model).
+    OnOff {
+        /// Range of duty cycles `q(k)`.
+        q_range: (f64, f64),
+        /// Mean ON-burst duration (µs).
+        mean_on_us: f64,
+    },
+}
+
+/// Scenario parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Side of the square deployment region (m).
+    pub region_m: f64,
+    /// Number of UEs.
+    pub n_ues: usize,
+    /// Number of WiFi nodes (hidden-terminal candidates).
+    pub n_wifi: usize,
+    /// Trace duration.
+    pub duration: Micros,
+    /// eNB antennas (CSI dimensionality).
+    pub n_antennas: usize,
+    /// Channel coherence (sub-frames).
+    pub coherence_subframes: u64,
+    /// Path-loss exponent.
+    pub pathloss_exponent: f64,
+    /// Log-normal shadowing σ (dB); 0 disables.
+    pub shadowing_sigma_db: f64,
+    /// Activity synthesis model.
+    pub activity: ActivityModel,
+    /// WiFi offered traffic (DCF model only).
+    pub wifi_traffic: TrafficGen,
+}
+
+impl ScenarioConfig {
+    /// Paper-testbed-flavoured defaults: enterprise floor, 4 UEs,
+    /// 6 WiFi laptops, DCF activity.
+    pub fn testbed() -> Self {
+        ScenarioConfig {
+            region_m: 60.0,
+            n_ues: 4,
+            n_wifi: 6,
+            duration: Micros::from_secs(60),
+            n_antennas: 2,
+            coherence_subframes: 50,
+            pathloss_exponent: 3.2,
+            shadowing_sigma_db: 4.0,
+            activity: ActivityModel::Dcf,
+            wifi_traffic: TrafficGen::Bursty {
+                mean_on_us: 20_000.0,
+                mean_off_us: 15_000.0,
+                bytes: 1470,
+            },
+        }
+    }
+
+    /// NS3-sweep-flavoured defaults: larger region, variable counts,
+    /// on/off activity for controlled ground truth.
+    pub fn ns3(n_ues: usize, n_wifi: usize) -> Self {
+        ScenarioConfig {
+            region_m: 120.0,
+            n_ues,
+            n_wifi,
+            duration: Micros::from_secs(120),
+            n_antennas: 4,
+            coherence_subframes: 50,
+            pathloss_exponent: 3.2,
+            shadowing_sigma_db: 5.0,
+            activity: ActivityModel::OnOff {
+                q_range: (0.15, 0.6),
+                mean_on_us: 1_500.0,
+            },
+            wifi_traffic: TrafficGen::iperf_default(),
+        }
+    }
+}
+
+/// A generated scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The full trace (ground truth + activity + access + CSI).
+    pub trace: TestbedTrace,
+    /// All deployed WiFi nodes (including non-hidden ones).
+    pub wifi_nodes: Vec<Node>,
+    /// UE nodes.
+    pub ue_nodes: Vec<Node>,
+    /// The eNB.
+    pub enb: Node,
+    /// WiFi nodes audible to the eNB (they delay TxOPs but cause no
+    /// UL blocking).
+    pub n_wifi_audible: usize,
+    /// Union busy timeline of the WiFi nodes the eNB senses — the
+    /// medium the eNB's Cat-4 LBT contends against.
+    pub enb_audible_activity: blu_sim::medium::ActivityTimeline,
+}
+
+/// Generate a scenario deterministically from a seed.
+pub fn generate(cfg: &ScenarioConfig, seed: u64) -> Scenario {
+    let root = DetRng::seed_from_u64(seed);
+    let mut place_rng = root.derive("placement");
+    let region = Region::square(cfg.region_m);
+
+    let enb = Node::new(0, NodeKind::Enb, region.center());
+    let ue_nodes: Vec<Node> = region
+        .sample_separated(cfg.n_ues, 3.0, &mut place_rng)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| Node::new(1 + i as u32, NodeKind::Ue, p))
+        .collect();
+    let wifi_nodes: Vec<Node> = region
+        .sample_separated(cfg.n_wifi, 3.0, &mut place_rng)
+        .into_iter()
+        .enumerate()
+        .map(|(i, p)| Node::new(100 + i as u32, NodeKind::WifiSta, p))
+        .collect();
+
+    let model = LogDistance {
+        ref_loss_db: 47.0,
+        exponent: cfg.pathloss_exponent,
+        ref_distance_m: 1.0,
+    };
+    let shadowing = if cfg.shadowing_sigma_db > 0.0 {
+        ShadowingField::new(cfg.shadowing_sigma_db, root.derive("shadow"))
+    } else {
+        ShadowingField::disabled()
+    };
+    let mut prop = Propagation::new(model, shadowing);
+    let thresholds = SensingThresholds::default();
+
+    let gt = blu_sim::topology::extract_ground_truth(
+        &enb,
+        &ue_nodes,
+        &wifi_nodes,
+        &mut prop,
+        &thresholds,
+    );
+    let n_hidden = gt.topology.n_hidden();
+    let n_wifi_audible = cfg.n_wifi - {
+        // Hidden candidates are those in ht_nodes; audible = rest
+        // (including WiFi nodes nobody senses, which are harmless).
+        gt.ht_nodes.len()
+    };
+
+    // Synthesize activity for ALL WiFi nodes, then keep the hidden
+    // ones' timelines.
+    let all_timelines: Vec<ActivityTimeline> = match cfg.activity {
+        ActivityModel::OnOff {
+            q_range,
+            mean_on_us,
+        } => {
+            let mut act_rng = root.derive("activity");
+            (0..cfg.n_wifi)
+                .map(|_| {
+                    let q = act_rng.range_f64(q_range.0, q_range.1).clamp(0.01, 0.99);
+                    OnOffSource::with_duty_cycle(q, mean_on_us).generate(cfg.duration, &mut act_rng)
+                })
+                .collect()
+        }
+        ActivityModel::Dcf => {
+            let mut dest_rng = root.derive("dest");
+            let n = cfg.n_wifi;
+            // Each WiFi node sends UDP to a random other node
+            // (paper's NS3 setup).
+            let stations: Vec<WifiStationSpec> = (0..n)
+                .map(|i| {
+                    let mut dest = dest_rng.below(n.max(2));
+                    if dest == i {
+                        dest = (dest + 1) % n;
+                    }
+                    let rx = prop.receive(
+                        wifi_nodes[i].tx_power,
+                        wifi_nodes[i].id.0,
+                        wifi_nodes[i].pos,
+                        wifi_nodes[dest].id.0,
+                        wifi_nodes[dest].pos,
+                    );
+                    let snr = rx - lte_10mhz_noise_floor();
+                    WifiStationSpec {
+                        traffic: cfg.wifi_traffic,
+                        dest,
+                        snr_to_dest_db: snr.0.clamp(-5.0, 40.0),
+                    }
+                })
+                .collect();
+            let mut rx_matrix = vec![vec![blu_sim::power::Dbm::FLOOR; n]; n];
+            for tx in 0..n {
+                for rx in 0..n {
+                    if tx == rx {
+                        continue;
+                    }
+                    rx_matrix[tx][rx] = prop.receive(
+                        wifi_nodes[tx].tx_power,
+                        wifi_nodes[tx].id.0,
+                        wifi_nodes[tx].pos,
+                        wifi_nodes[rx].id.0,
+                        wifi_nodes[rx].pos,
+                    );
+                }
+            }
+            let hears = hears_from_rx_power(|tx, rx| rx_matrix[tx][rx], n, thresholds.preamble_dbm);
+            let net_cfg = WifiNetworkConfig {
+                stations,
+                hears,
+                horizon: cfg.duration,
+            };
+            WifiNetwork::new(net_cfg, &root.derive("dcf"))
+                .run()
+                .timelines
+        }
+    };
+
+    // Keep only hidden terminals' timelines, matched to the edges.
+    let ht_indices: Vec<usize> = gt
+        .ht_nodes
+        .iter()
+        .map(|id| {
+            wifi_nodes
+                .iter()
+                .position(|w| w.id == *id)
+                .expect("ht node present")
+        })
+        .collect();
+    let timelines: Vec<ActivityTimeline> = ht_indices
+        .iter()
+        .map(|&i| all_timelines[i].clone())
+        .collect();
+    // The eNB's contention view: union of all WiFi activity it can
+    // sense (everything that is NOT hidden from it).
+    let audible: Vec<&ActivityTimeline> = (0..cfg.n_wifi)
+        .filter(|i| !ht_indices.contains(i))
+        .map(|i| &all_timelines[i])
+        .collect();
+    let enb_audible_activity = blu_sim::medium::union(&audible);
+    let edges: Vec<blu_sim::clientset::ClientSet> =
+        gt.topology.hts.iter().map(|ht| ht.edges).collect();
+    let labels: Vec<String> = gt.ht_nodes.iter().map(|id| format!("{id}")).collect();
+
+    // UE uplink SNRs from the propagation field.
+    let noise = lte_10mhz_noise_floor();
+    let mean_snr_db: Vec<f64> = ue_nodes
+        .iter()
+        .map(|ue| {
+            let rx = prop.receive(ue.tx_power, ue.id.0, ue.pos, enb.id.0, enb.pos);
+            (rx - noise).0.clamp(3.0, 32.0)
+        })
+        .collect();
+
+    let trace = assemble_trace(
+        format!(
+            "scenario seed={seed} region={}m ues={} wifi={} hidden={}",
+            cfg.region_m, cfg.n_ues, cfg.n_wifi, n_hidden
+        ),
+        cfg.n_ues,
+        &edges,
+        timelines,
+        labels,
+        cfg.duration,
+        cfg.n_antennas,
+        cfg.coherence_subframes,
+        mean_snr_db,
+        &root.derive("csi-root"),
+    );
+    Scenario {
+        trace,
+        wifi_nodes,
+        ue_nodes,
+        enb,
+        n_wifi_audible,
+        enb_audible_activity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(cfg: &mut ScenarioConfig) {
+        cfg.duration = Micros::from_secs(5);
+    }
+
+    #[test]
+    fn onoff_scenario_is_consistent() {
+        let mut cfg = ScenarioConfig::ns3(6, 8);
+        quick(&mut cfg);
+        let s = generate(&cfg, 1);
+        assert_eq!(s.trace.validate(), Ok(()));
+        assert_eq!(s.trace.ground_truth.n_clients, 6);
+        assert!(s.trace.ground_truth.n_hidden() <= 8);
+        assert_eq!(s.ue_nodes.len(), 6);
+        assert_eq!(s.wifi_nodes.len(), 8);
+    }
+
+    #[test]
+    fn dcf_scenario_is_consistent() {
+        let mut cfg = ScenarioConfig::testbed();
+        quick(&mut cfg);
+        let s = generate(&cfg, 2);
+        assert_eq!(s.trace.validate(), Ok(()));
+        // Hidden terminals must have measured activity if traffic
+        // flowed.
+        for ht in &s.trace.ground_truth.hts {
+            assert!((0.0..=1.0).contains(&ht.q));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let mut cfg = ScenarioConfig::ns3(4, 6);
+        quick(&mut cfg);
+        let a = generate(&cfg, 7);
+        let b = generate(&cfg, 7);
+        assert_eq!(a.trace, b.trace);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = ScenarioConfig::ns3(4, 6);
+        quick(&mut cfg);
+        let a = generate(&cfg, 1);
+        let b = generate(&cfg, 2);
+        assert_ne!(a.trace.description, b.trace.description);
+        // Topology or SNRs almost surely differ.
+        assert!(
+            a.trace.ground_truth != b.trace.ground_truth
+                || a.trace.mean_snr_db != b.trace.mean_snr_db
+        );
+    }
+
+    #[test]
+    fn hidden_plus_audible_bounded_by_total() {
+        let mut cfg = ScenarioConfig::ns3(5, 10);
+        quick(&mut cfg);
+        let s = generate(&cfg, 3);
+        assert_eq!(s.n_wifi_audible + s.trace.ground_truth.n_hidden(), 10);
+    }
+}

@@ -1,0 +1,237 @@
+//! Trace schemas.
+//!
+//! Everything is `serde`-serializable; see [`crate::io`] for the JSON
+//! and binary codecs.
+
+use blu_sim::clientset::ClientSet;
+use blu_sim::fading::Complex;
+use blu_sim::medium::ActivityTimeline;
+use blu_sim::time::{Micros, SubframeIndex, SUBFRAME_US};
+use blu_sim::topology::InterferenceTopology;
+use serde::{Deserialize, Serialize};
+
+/// Per-hidden-terminal WiFi activity timelines over a common clock.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WifiActivityTrace {
+    /// Human-readable labels (e.g. node ids) per hidden terminal.
+    pub labels: Vec<String>,
+    /// One busy timeline per hidden terminal.
+    pub timelines: Vec<ActivityTimeline>,
+    /// Trace horizon.
+    pub horizon: Micros,
+}
+
+impl WifiActivityTrace {
+    /// Number of hidden terminals recorded.
+    pub fn n_hts(&self) -> usize {
+        self.timelines.len()
+    }
+
+    /// Number of whole sub-frames covered.
+    pub fn n_subframes(&self) -> u64 {
+        self.horizon.as_u64() / SUBFRAME_US
+    }
+
+    /// Empirical airtime (≈ `q(k)`) of hidden terminal `k`.
+    pub fn airtime(&self, k: usize) -> f64 {
+        self.timelines[k].airtime_in(Micros::ZERO, self.horizon)
+    }
+}
+
+/// Per-sub-frame record of which UEs *could* access the channel
+/// (i.e. would pass CCA if granted). This is what the scheduler
+/// evaluation replays.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccessTrace {
+    /// Number of UEs.
+    pub n_ues: usize,
+    /// `accessible[t]` = set of UEs passing CCA in sub-frame `t`.
+    pub accessible: Vec<ClientSet>,
+}
+
+impl AccessTrace {
+    /// Number of sub-frames.
+    pub fn len(&self) -> usize {
+        self.accessible.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.accessible.is_empty()
+    }
+
+    /// Access set at a sub-frame (wraps around for replay loops).
+    pub fn at(&self, sf: SubframeIndex) -> ClientSet {
+        assert!(!self.is_empty());
+        self.accessible[(sf.0 as usize) % self.accessible.len()]
+    }
+}
+
+/// Block-fading CSI: for each coherence block, the per-UE channel
+/// vectors (one complex coefficient per eNB antenna).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CsiTrace {
+    /// Number of UEs.
+    pub n_ues: usize,
+    /// eNB antennas.
+    pub n_antennas: usize,
+    /// Coherence length in sub-frames.
+    pub coherence_subframes: u64,
+    /// `blocks[b][u]` = channel vector of UE `u` in coherence block `b`.
+    pub blocks: Vec<Vec<Vec<Complex>>>,
+}
+
+impl CsiTrace {
+    /// Channel vector of UE `u` at sub-frame `sf` (wraps for replay).
+    pub fn channel(&self, u: usize, sf: SubframeIndex) -> &[Complex] {
+        assert!(!self.blocks.is_empty());
+        let block = (sf.0 / self.coherence_subframes) as usize % self.blocks.len();
+        &self.blocks[block][u]
+    }
+
+    /// Number of sub-frames covered without wrapping.
+    pub fn n_subframes(&self) -> u64 {
+        self.blocks.len() as u64 * self.coherence_subframes
+    }
+}
+
+/// Everything recorded from one testbed/emulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TestbedTrace {
+    /// Free-form description (topology id, generation parameters).
+    pub description: String,
+    /// Ground-truth HT topology (with `q(k)` filled in from measured
+    /// airtime).
+    pub ground_truth: InterferenceTopology,
+    /// Raw WiFi activity.
+    pub wifi: WifiActivityTrace,
+    /// Derived per-sub-frame UE access sets.
+    pub access: AccessTrace,
+    /// Per-UE uplink CSI.
+    pub csi: CsiTrace,
+    /// Mean large-scale uplink SNR per UE in dB (grant-time rate
+    /// selection baseline).
+    pub mean_snr_db: Vec<f64>,
+}
+
+impl TestbedTrace {
+    /// Sanity-check cross-field consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.ground_truth.n_clients;
+        if self.access.n_ues != n {
+            return Err(format!(
+                "access trace has {} UEs, topology {}",
+                self.access.n_ues, n
+            ));
+        }
+        if self.csi.n_ues != n {
+            return Err(format!(
+                "csi trace has {} UEs, topology {}",
+                self.csi.n_ues, n
+            ));
+        }
+        if self.mean_snr_db.len() != n {
+            return Err("mean_snr_db length mismatch".into());
+        }
+        if self.ground_truth.n_hidden() != self.wifi.n_hts() {
+            return Err(format!(
+                "topology has {} HTs, wifi trace {}",
+                self.ground_truth.n_hidden(),
+                self.wifi.n_hts()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blu_sim::topology::HiddenTerminal;
+
+    fn mini_trace() -> TestbedTrace {
+        let mut tl = ActivityTimeline::new();
+        tl.push(Micros(0), Micros(500));
+        TestbedTrace {
+            description: "mini".into(),
+            ground_truth: InterferenceTopology {
+                n_clients: 2,
+                hts: vec![HiddenTerminal {
+                    q: 0.5,
+                    edges: ClientSet::singleton(0),
+                }],
+            },
+            wifi: WifiActivityTrace {
+                labels: vec!["ht0".into()],
+                timelines: vec![tl],
+                horizon: Micros::from_millis(2),
+            },
+            access: AccessTrace {
+                n_ues: 2,
+                accessible: vec![ClientSet::singleton(1), ClientSet::all(2)],
+            },
+            csi: CsiTrace {
+                n_ues: 2,
+                n_antennas: 1,
+                coherence_subframes: 1,
+                blocks: vec![vec![vec![Complex::ONE], vec![Complex::ONE]]],
+            },
+            mean_snr_db: vec![20.0, 25.0],
+        }
+    }
+
+    #[test]
+    fn mini_trace_validates() {
+        assert_eq!(mini_trace().validate(), Ok(()));
+    }
+
+    #[test]
+    fn validation_catches_mismatches() {
+        let mut t = mini_trace();
+        t.access.n_ues = 3;
+        assert!(t.validate().is_err());
+
+        let mut t = mini_trace();
+        t.mean_snr_db.pop();
+        assert!(t.validate().is_err());
+
+        let mut t = mini_trace();
+        t.wifi.timelines.clear();
+        t.wifi.labels.clear();
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn access_trace_wraps() {
+        let a = AccessTrace {
+            n_ues: 2,
+            accessible: vec![ClientSet::singleton(0), ClientSet::singleton(1)],
+        };
+        assert_eq!(a.at(SubframeIndex(0)), ClientSet::singleton(0));
+        assert_eq!(a.at(SubframeIndex(1)), ClientSet::singleton(1));
+        assert_eq!(a.at(SubframeIndex(2)), ClientSet::singleton(0));
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn csi_trace_block_lookup() {
+        let c = CsiTrace {
+            n_ues: 1,
+            n_antennas: 1,
+            coherence_subframes: 10,
+            blocks: vec![vec![vec![Complex::ONE]], vec![vec![Complex::new(2.0, 0.0)]]],
+        };
+        assert_eq!(c.channel(0, SubframeIndex(5))[0], Complex::ONE);
+        assert_eq!(c.channel(0, SubframeIndex(10))[0], Complex::new(2.0, 0.0));
+        // Wraps after 20 sub-frames.
+        assert_eq!(c.channel(0, SubframeIndex(20))[0], Complex::ONE);
+        assert_eq!(c.n_subframes(), 20);
+    }
+
+    #[test]
+    fn wifi_trace_airtime() {
+        let t = mini_trace();
+        assert!((t.wifi.airtime(0) - 0.25).abs() < 1e-12);
+        assert_eq!(t.wifi.n_subframes(), 2);
+    }
+}

@@ -1,0 +1,240 @@
+//! Empirical access statistics from traces.
+//!
+//! Computes the measured `p(i)`, `p(i,j)` and arbitrary joint access
+//! frequencies `P(U, V̄)` from an [`AccessTrace`] — the "direct from
+//! traces" path the paper uses as the perfect-knowledge upper bound
+//! (Fig. 15), and as the source of measured pairwise distributions
+//! feeding the blue-printing inference.
+
+use crate::schema::AccessTrace;
+use blu_sim::clientset::ClientSet;
+
+/// Empirical access statistics accumulated from (a window of) an
+/// access trace. Counts are over sub-frames in which the clients in
+/// question were *observed* — for a full trace every sub-frame
+/// observes every client; the measurement scheduler in `blu-core`
+/// feeds partial observations instead.
+#[derive(Debug, Clone)]
+pub struct EmpiricalAccess {
+    /// Number of clients.
+    pub n: usize,
+    /// `obs[i]` — sub-frames where client `i`'s access was observed.
+    pub obs_individual: Vec<u64>,
+    /// `acc[i]` — of those, sub-frames where it could access.
+    pub acc_individual: Vec<u64>,
+    /// Upper-triangular pair counts, indexed via [`pair_index`].
+    pub obs_pair: Vec<u64>,
+    /// Pair joint-access counts (both accessible).
+    pub acc_pair: Vec<u64>,
+}
+
+/// Index of the unordered pair `(i, j)`, `i < j`, in a flat
+/// upper-triangular array for `n` clients.
+pub fn pair_index(n: usize, i: usize, j: usize) -> usize {
+    assert!(i < j && j < n, "bad pair ({i},{j}) for n={n}");
+    // Row-major upper triangle: offset of row i = i*n − i(i+1)/2.
+    i * n - i * (i + 1) / 2 + (j - i - 1)
+}
+
+/// Number of unordered pairs.
+pub fn n_pairs(n: usize) -> usize {
+    n * (n - 1) / 2
+}
+
+impl EmpiricalAccess {
+    /// Empty accumulator for `n` clients.
+    pub fn new(n: usize) -> Self {
+        EmpiricalAccess {
+            n,
+            obs_individual: vec![0; n],
+            acc_individual: vec![0; n],
+            obs_pair: vec![0; n_pairs(n)],
+            acc_pair: vec![0; n_pairs(n)],
+        }
+    }
+
+    /// Record one sub-frame in which the clients in `observed` were
+    /// scheduled (their access state is known) and `accessible ∩
+    /// observed` of them could access.
+    pub fn record(&mut self, observed: ClientSet, accessible: ClientSet) {
+        for i in observed.iter() {
+            self.obs_individual[i] += 1;
+            if accessible.contains(i) {
+                self.acc_individual[i] += 1;
+            }
+        }
+        let obs: Vec<usize> = observed.iter().collect();
+        for (a, &i) in obs.iter().enumerate() {
+            for &j in &obs[a + 1..] {
+                let idx = pair_index(self.n, i, j);
+                self.obs_pair[idx] += 1;
+                if accessible.contains(i) && accessible.contains(j) {
+                    self.acc_pair[idx] += 1;
+                }
+            }
+        }
+    }
+
+    /// Ingest a full trace (every client observed every sub-frame).
+    pub fn from_trace(trace: &AccessTrace) -> Self {
+        let mut e = EmpiricalAccess::new(trace.n_ues);
+        let all = ClientSet::all(trace.n_ues);
+        for &acc in &trace.accessible {
+            e.record(all, acc);
+        }
+        e
+    }
+
+    /// Measured `p(i)`; `None` if never observed.
+    pub fn p_individual(&self, i: usize) -> Option<f64> {
+        if self.obs_individual[i] == 0 {
+            None
+        } else {
+            Some(self.acc_individual[i] as f64 / self.obs_individual[i] as f64)
+        }
+    }
+
+    /// Measured `p(i,j)`; `None` if the pair was never co-observed.
+    pub fn p_pair(&self, i: usize, j: usize) -> Option<f64> {
+        let (i, j) = if i < j { (i, j) } else { (j, i) };
+        let idx = pair_index(self.n, i, j);
+        if self.obs_pair[idx] == 0 {
+            None
+        } else {
+            Some(self.acc_pair[idx] as f64 / self.obs_pair[idx] as f64)
+        }
+    }
+
+    /// Minimum number of samples across all pairs (coverage check for
+    /// the measurement scheduler).
+    pub fn min_pair_samples(&self) -> u64 {
+        self.obs_pair.iter().copied().min().unwrap_or(0)
+    }
+}
+
+/// Empirical joint frequency `P(U accessible, V blocked)` from a full
+/// access trace (used for the perfect-knowledge scheduler and for
+/// testing the conditioning math).
+pub fn empirical_joint(trace: &AccessTrace, succeed: ClientSet, fail: ClientSet) -> f64 {
+    assert!(succeed.is_disjoint(fail));
+    if trace.is_empty() {
+        return 0.0;
+    }
+    let hits = trace
+        .accessible
+        .iter()
+        .filter(|&&acc| succeed.is_subset_of(acc) && fail.is_disjoint(acc))
+        .count();
+    hits as f64 / trace.accessible.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_index_is_a_bijection() {
+        let n = 10;
+        let mut seen = vec![false; n_pairs(n)];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let idx = pair_index(n, i, j);
+                assert!(!seen[idx], "duplicate index for ({i},{j})");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn record_accumulates() {
+        let mut e = EmpiricalAccess::new(3);
+        // Observe {0,1}: 0 accessible, 1 not.
+        e.record(ClientSet::from_iter([0, 1]), ClientSet::singleton(0));
+        // Observe {0,1,2}: all accessible.
+        e.record(ClientSet::all(3), ClientSet::all(3));
+        assert_eq!(e.p_individual(0), Some(1.0));
+        assert_eq!(e.p_individual(1), Some(0.5));
+        assert_eq!(e.p_individual(2), Some(1.0));
+        assert_eq!(e.p_pair(0, 1), Some(0.5));
+        assert_eq!(e.p_pair(1, 2), Some(1.0));
+        assert_eq!(e.p_pair(2, 0), Some(1.0)); // order-insensitive
+    }
+
+    #[test]
+    fn unobserved_is_none() {
+        let e = EmpiricalAccess::new(2);
+        assert_eq!(e.p_individual(0), None);
+        assert_eq!(e.p_pair(0, 1), None);
+        assert_eq!(e.min_pair_samples(), 0);
+    }
+
+    #[test]
+    fn from_trace_matches_manual_counts() {
+        let trace = AccessTrace {
+            n_ues: 2,
+            accessible: vec![
+                ClientSet::all(2),
+                ClientSet::singleton(0),
+                ClientSet::EMPTY,
+                ClientSet::all(2),
+            ],
+        };
+        let e = EmpiricalAccess::from_trace(&trace);
+        assert_eq!(e.p_individual(0), Some(0.75));
+        assert_eq!(e.p_individual(1), Some(0.5));
+        assert_eq!(e.p_pair(0, 1), Some(0.5));
+        assert_eq!(e.min_pair_samples(), 4);
+    }
+
+    #[test]
+    fn empirical_joint_counts_patterns() {
+        let trace = AccessTrace {
+            n_ues: 3,
+            accessible: vec![
+                ClientSet::from_iter([0, 1]),
+                ClientSet::from_iter([0]),
+                ClientSet::from_iter([0, 1, 2]),
+                ClientSet::from_iter([1]),
+            ],
+        };
+        // P(0 accessible, 2 blocked) — sub-frames 0, 1 → 2/4.
+        let p = empirical_joint(&trace, ClientSet::singleton(0), ClientSet::singleton(2));
+        assert_eq!(p, 0.5);
+        // P(all accessible) = 1/4.
+        assert_eq!(
+            empirical_joint(&trace, ClientSet::all(3), ClientSet::EMPTY),
+            0.25
+        );
+        // Empty sets: probability 1.
+        assert_eq!(
+            empirical_joint(&trace, ClientSet::EMPTY, ClientSet::EMPTY),
+            1.0
+        );
+    }
+
+    #[test]
+    fn empirical_matches_generative_model() {
+        // Sample from a known topology and check measured p(i), p(i,j)
+        // converge to the closed forms.
+        use blu_sim::rng::DetRng;
+        use blu_sim::topology::InterferenceTopology;
+        let mut rng = DetRng::seed_from_u64(1);
+        let topo = InterferenceTopology::random(5, 4, (0.2, 0.6), 0.4, &mut rng);
+        let accessible: Vec<ClientSet> =
+            (0..100_000).map(|_| topo.sample_access(&mut rng)).collect();
+        let trace = AccessTrace {
+            n_ues: 5,
+            accessible,
+        };
+        let e = EmpiricalAccess::from_trace(&trace);
+        for i in 0..5 {
+            let emp = e.p_individual(i).unwrap();
+            assert!((emp - topo.p_individual(i)).abs() < 0.01);
+            for j in (i + 1)..5 {
+                let emp = e.p_pair(i, j).unwrap();
+                assert!((emp - topo.p_pair(i, j)).abs() < 0.01);
+            }
+        }
+    }
+}

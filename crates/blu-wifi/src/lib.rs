@@ -1,0 +1,39 @@
+//! # blu-wifi — the 802.11 interferer substrate
+//!
+//! In the paper, hidden terminals are laptops running iperf UDP flows
+//! over ath9k 802.11a/b/g/n cards with dynamic rate selection. What
+//! BLU observes of them is purely their **channel occupancy**: when a
+//! hidden terminal is on the air, nearby UEs fail CCA and forfeit
+//! their grants.
+//!
+//! This crate reproduces that occupancy process two ways:
+//!
+//! * [`network::WifiNetwork`] — a full event-driven 802.11 DCF
+//!   simulation (DIFS/backoff/CW doubling, frame airtime from the
+//!   802.11n rate table, Minstrel-style rate adaptation, saturated or
+//!   Poisson UDP traffic, carrier-sensing graph with WiFi↔WiFi hidden
+//!   terminals). Activity emerges from contention, so co-located
+//!   interferers share airtime — the *correlated* case that stresses
+//!   the paper's independence assumption.
+//! * [`onoff::OnOffSource`] — a renewal on/off process with a target
+//!   duty cycle, matching the paper's independent-activity model
+//!   `q(k)` exactly. Used where experiments need controlled ground
+//!   truth.
+//!
+//! Both emit [`blu_sim::medium::ActivityTimeline`]s consumed by the
+//! LTE side and by the trace tooling.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod minstrel;
+pub mod network;
+pub mod onoff;
+pub mod rates;
+pub mod timing;
+pub mod traffic;
+
+pub use network::{WifiNetwork, WifiNetworkConfig, WifiStationSpec};
+pub use onoff::OnOffSource;
+pub use rates::{RateIdx, RATE_TABLE};
+pub use traffic::TrafficGen;

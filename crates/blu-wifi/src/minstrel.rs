@@ -1,0 +1,162 @@
+//! Minstrel-style rate adaptation.
+//!
+//! The paper's hidden terminals use "dynamic rate selection to ensure
+//! that the best bitrate is used at the sender". We model the essence
+//! of Linux's Minstrel: track an EWMA delivery probability per rate,
+//! pick the rate with the best expected throughput, and spend a small
+//! fraction of frames sampling other rates so the estimate stays
+//! fresh.
+
+use crate::rates::{RateIdx, RATE_TABLE};
+use blu_sim::rng::DetRng;
+
+/// Fraction of frames used to sample non-optimal rates.
+const SAMPLE_FRACTION: f64 = 0.1;
+/// EWMA weight of the newest observation.
+const EWMA_ALPHA: f64 = 0.25;
+/// Optimistic prior so untried rates get explored.
+const PRIOR_SUCCESS: f64 = 0.5;
+
+/// Per-link Minstrel state.
+#[derive(Debug, Clone)]
+pub struct Minstrel {
+    /// EWMA delivery probability per rate.
+    prob: [f64; RATE_TABLE.len()],
+    rng: DetRng,
+}
+
+impl Minstrel {
+    /// Fresh state with an optimistic prior.
+    pub fn new(rng: DetRng) -> Self {
+        Minstrel {
+            prob: [PRIOR_SUCCESS; RATE_TABLE.len()],
+            rng,
+        }
+    }
+
+    /// Expected throughput of a rate (Mbps × delivery probability).
+    fn expected_tput(&self, r: usize) -> f64 {
+        RATE_TABLE[r].mbps * self.prob[r]
+    }
+
+    /// The current best rate by expected throughput.
+    pub fn best_rate(&self) -> RateIdx {
+        let best = (0..RATE_TABLE.len())
+            .max_by(|&a, &b| {
+                self.expected_tput(a)
+                    .partial_cmp(&self.expected_tput(b))
+                    .unwrap()
+            })
+            .unwrap();
+        RateIdx(best)
+    }
+
+    /// Pick the rate for the next frame (mostly the best rate, with a
+    /// sampling fraction spent on random other rates).
+    pub fn pick(&mut self) -> RateIdx {
+        if self.rng.chance(SAMPLE_FRACTION) {
+            RateIdx(self.rng.below(RATE_TABLE.len()))
+        } else {
+            self.best_rate()
+        }
+    }
+
+    /// Report the outcome of a frame sent at `rate`.
+    pub fn report(&mut self, rate: RateIdx, delivered: bool) {
+        let obs = if delivered { 1.0 } else { 0.0 };
+        let p = &mut self.prob[rate.0];
+        *p = EWMA_ALPHA * obs + (1.0 - EWMA_ALPHA) * *p;
+    }
+
+    /// Current delivery-probability estimate for a rate.
+    pub fn probability(&self, rate: RateIdx) -> f64 {
+        self.prob[rate.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rates::delivery_probability;
+    use blu_sim::power::Db;
+
+    /// Drive minstrel against a ground-truth SNR and check it settles
+    /// near the throughput-optimal rate.
+    fn converged_rate(snr: Db, seed: u64) -> RateIdx {
+        let mut m = Minstrel::new(DetRng::seed_from_u64(seed));
+        let mut chan = DetRng::seed_from_u64(seed + 1);
+        for _ in 0..2_000 {
+            let r = m.pick();
+            let delivered = chan.chance(delivery_probability(r, snr));
+            m.report(r, delivered);
+        }
+        m.best_rate()
+    }
+
+    fn optimal_rate(snr: Db) -> RateIdx {
+        let best = (0..RATE_TABLE.len())
+            .max_by(|&a, &b| {
+                let ta = RATE_TABLE[a].mbps * delivery_probability(RateIdx(a), snr);
+                let tb = RATE_TABLE[b].mbps * delivery_probability(RateIdx(b), snr);
+                ta.partial_cmp(&tb).unwrap()
+            })
+            .unwrap();
+        RateIdx(best)
+    }
+
+    #[test]
+    fn converges_near_optimum_high_snr() {
+        let got = converged_rate(Db(35.0), 1);
+        assert_eq!(got, RateIdx::HIGHEST);
+    }
+
+    #[test]
+    fn converges_near_optimum_low_snr() {
+        let got = converged_rate(Db(5.0), 2);
+        let opt = optimal_rate(Db(5.0));
+        assert!(
+            (got.0 as i64 - opt.0 as i64).abs() <= 1,
+            "got {got:?}, optimal {opt:?}"
+        );
+    }
+
+    #[test]
+    fn converges_mid_snr() {
+        let got = converged_rate(Db(15.0), 3);
+        let opt = optimal_rate(Db(15.0));
+        assert!(
+            (got.0 as i64 - opt.0 as i64).abs() <= 1,
+            "got {got:?}, optimal {opt:?}"
+        );
+    }
+
+    #[test]
+    fn report_moves_probability() {
+        let mut m = Minstrel::new(DetRng::seed_from_u64(4));
+        let before = m.probability(RateIdx(2));
+        m.report(RateIdx(2), false);
+        assert!(m.probability(RateIdx(2)) < before);
+        m.report(RateIdx(2), true);
+        m.report(RateIdx(2), true);
+        m.report(RateIdx(2), true);
+        assert!(m.probability(RateIdx(2)) > before * 0.9);
+    }
+
+    #[test]
+    fn pick_samples_occasionally() {
+        let mut m = Minstrel::new(DetRng::seed_from_u64(5));
+        // Make rate 0 clearly best so deviations are samples.
+        for r in 1..RATE_TABLE.len() {
+            for _ in 0..40 {
+                m.report(RateIdx(r), false);
+            }
+        }
+        for _ in 0..40 {
+            m.report(RateIdx(0), true);
+        }
+        let picks: Vec<RateIdx> = (0..1_000).map(|_| m.pick()).collect();
+        let non_best = picks.iter().filter(|&&r| r != RateIdx(0)).count();
+        assert!(non_best > 30, "sampling too rare: {non_best}");
+        assert!(non_best < 250, "sampling too frequent: {non_best}");
+    }
+}

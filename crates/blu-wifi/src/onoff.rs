@@ -1,0 +1,135 @@
+//! Renewal on/off activity sources.
+//!
+//! The paper's analytical model treats each hidden terminal `k` as an
+//! independent process that is on the air with probability `q(k)` at
+//! any CCA instant. An exponential on/off renewal process with mean
+//! ON duration `μ_on` and OFF duration `μ_off` has exactly stationary
+//! busy probability `q = μ_on / (μ_on + μ_off)` — so this source lets
+//! experiments dial in ground-truth `q(k)` directly while still
+//! producing a realistic µs-level timeline (WiFi-frame-scale bursts).
+
+use blu_sim::medium::ActivityTimeline;
+use blu_sim::rng::DetRng;
+use blu_sim::time::Micros;
+use serde::{Deserialize, Serialize};
+
+/// An exponential on/off activity source.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnOffSource {
+    /// Mean ON (busy) duration in µs.
+    pub mean_on_us: f64,
+    /// Mean OFF (idle) duration in µs.
+    pub mean_off_us: f64,
+}
+
+impl OnOffSource {
+    /// Build a source with stationary busy probability `q` whose ON
+    /// periods average `mean_on_us` (e.g. a WiFi frame exchange,
+    /// ~1–2 ms).
+    ///
+    /// Panics unless `0 < q < 1`.
+    pub fn with_duty_cycle(q: f64, mean_on_us: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "duty cycle must be in (0,1), got {q}");
+        assert!(mean_on_us > 0.0);
+        let mean_off_us = mean_on_us * (1.0 - q) / q;
+        OnOffSource {
+            mean_on_us,
+            mean_off_us,
+        }
+    }
+
+    /// Stationary busy probability `μ_on / (μ_on + μ_off)`.
+    pub fn duty_cycle(&self) -> f64 {
+        self.mean_on_us / (self.mean_on_us + self.mean_off_us)
+    }
+
+    /// Generate the busy timeline over `[0, horizon)`.
+    ///
+    /// Starts in a random phase (ON with probability `q`), so the
+    /// process is stationary from time zero.
+    pub fn generate(&self, horizon: Micros, rng: &mut DetRng) -> ActivityTimeline {
+        let mut tl = ActivityTimeline::new();
+        let mut t: u64 = 0;
+        let h = horizon.as_u64();
+        // Stationary initial phase.
+        let mut on = rng.chance(self.duty_cycle());
+        while t < h {
+            let mean = if on {
+                self.mean_on_us
+            } else {
+                self.mean_off_us
+            };
+            let dur = rng.exponential(mean).round().max(1.0) as u64;
+            let end = (t + dur).min(h);
+            if on && end > t {
+                tl.push(Micros(t), Micros(end));
+            }
+            t = end;
+            on = !on;
+        }
+        tl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duty_cycle_construction() {
+        let s = OnOffSource::with_duty_cycle(0.3, 1_500.0);
+        assert!((s.duty_cycle() - 0.3).abs() < 1e-12);
+        assert!((s.mean_off_us - 3_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generated_airtime_matches_duty_cycle() {
+        let mut rng = DetRng::seed_from_u64(1);
+        for &q in &[0.1, 0.35, 0.6, 0.85] {
+            let s = OnOffSource::with_duty_cycle(q, 1_500.0);
+            let horizon = Micros::from_secs(60);
+            let tl = s.generate(horizon, &mut rng);
+            let airtime = tl.airtime_in(Micros::ZERO, horizon);
+            assert!(
+                (airtime - q).abs() < 0.02,
+                "q={q}: generated airtime {airtime}"
+            );
+        }
+    }
+
+    #[test]
+    fn point_sampling_matches_duty_cycle() {
+        // Sampling busy_at at sub-frame boundaries (what a UE CCA
+        // does) must also see probability ≈ q.
+        let s = OnOffSource::with_duty_cycle(0.4, 1_500.0);
+        let mut rng = DetRng::seed_from_u64(2);
+        let horizon = Micros::from_secs(30);
+        let tl = s.generate(horizon, &mut rng);
+        let n = 30_000u64;
+        let busy = (0..n).filter(|&sf| tl.busy_at(Micros(sf * 1_000))).count() as f64 / n as f64;
+        assert!((busy - 0.4).abs() < 0.02, "busy fraction {busy}");
+    }
+
+    #[test]
+    fn timeline_respects_horizon() {
+        let s = OnOffSource::with_duty_cycle(0.5, 2_000.0);
+        let mut rng = DetRng::seed_from_u64(3);
+        let horizon = Micros::from_millis(100);
+        let tl = s.generate(horizon, &mut rng);
+        assert!(tl.horizon() <= horizon);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let s = OnOffSource::with_duty_cycle(0.25, 1_000.0);
+        let a = s.generate(Micros::from_secs(1), &mut DetRng::seed_from_u64(9));
+        let b = s.generate(Micros::from_secs(1), &mut DetRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_duty_cycle_panics() {
+        OnOffSource::with_duty_cycle(1.0, 1_000.0);
+    }
+}

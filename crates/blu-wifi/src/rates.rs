@@ -1,0 +1,117 @@
+//! 802.11n single-stream (MCS 0–7, 20 MHz, long GI) rate table and a
+//! per-rate delivery model.
+
+use blu_sim::power::Db;
+use serde::{Deserialize, Serialize};
+
+/// Index into [`RATE_TABLE`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RateIdx(pub usize);
+
+/// One PHY rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rate {
+    /// PHY rate in Mbps.
+    pub mbps: f64,
+    /// SNR (dB) at which frame delivery is ~50 % for a full frame;
+    /// the success curve is a logistic around this point.
+    pub snr_mid_db: f64,
+}
+
+/// 802.11n MCS 0–7 (1 spatial stream, 20 MHz, 800 ns GI).
+pub const RATE_TABLE: [Rate; 8] = [
+    Rate {
+        mbps: 6.5,
+        snr_mid_db: 4.0,
+    },
+    Rate {
+        mbps: 13.0,
+        snr_mid_db: 7.0,
+    },
+    Rate {
+        mbps: 19.5,
+        snr_mid_db: 10.0,
+    },
+    Rate {
+        mbps: 26.0,
+        snr_mid_db: 13.0,
+    },
+    Rate {
+        mbps: 39.0,
+        snr_mid_db: 17.0,
+    },
+    Rate {
+        mbps: 52.0,
+        snr_mid_db: 21.0,
+    },
+    Rate {
+        mbps: 58.5,
+        snr_mid_db: 24.0,
+    },
+    Rate {
+        mbps: 65.0,
+        snr_mid_db: 26.0,
+    },
+];
+
+impl RateIdx {
+    /// The lowest (most robust) rate.
+    pub const LOWEST: RateIdx = RateIdx(0);
+    /// The highest rate.
+    pub const HIGHEST: RateIdx = RateIdx(RATE_TABLE.len() - 1);
+
+    /// The rate entry.
+    pub fn rate(self) -> Rate {
+        RATE_TABLE[self.0]
+    }
+
+    /// PHY rate in Mbps.
+    pub fn mbps(self) -> f64 {
+        self.rate().mbps
+    }
+}
+
+/// Probability a frame at this rate is delivered at the given SNR:
+/// a logistic curve with 2 dB steepness around the rate's midpoint.
+pub fn delivery_probability(rate: RateIdx, snr: Db) -> f64 {
+    let mid = rate.rate().snr_mid_db;
+    1.0 / (1.0 + (-(snr.0 - mid) / 1.0).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_monotone() {
+        for w in RATE_TABLE.windows(2) {
+            assert!(w[0].mbps < w[1].mbps);
+            assert!(w[0].snr_mid_db < w[1].snr_mid_db);
+        }
+    }
+
+    #[test]
+    fn delivery_probability_behaviour() {
+        // Far above midpoint: ~1. Far below: ~0. At midpoint: 0.5.
+        let r = RateIdx(3);
+        assert!(delivery_probability(r, Db(40.0)) > 0.99);
+        assert!(delivery_probability(r, Db(-10.0)) < 0.01);
+        let at_mid = delivery_probability(r, Db(13.0));
+        assert!((at_mid - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn robust_rate_survives_lower_snr() {
+        let snr = Db(8.0);
+        assert!(
+            delivery_probability(RateIdx::LOWEST, snr)
+                > delivery_probability(RateIdx::HIGHEST, snr)
+        );
+    }
+
+    #[test]
+    fn rate_idx_helpers() {
+        assert_eq!(RateIdx::LOWEST.mbps(), 6.5);
+        assert_eq!(RateIdx::HIGHEST.mbps(), 65.0);
+    }
+}

@@ -1,0 +1,76 @@
+//! 802.11 (OFDM, 5 GHz) MAC timing and frame airtime.
+
+use blu_sim::time::Micros;
+
+/// Backoff slot time (µs).
+pub const SLOT_US: u64 = 9;
+/// Short inter-frame space (µs).
+pub const SIFS_US: u64 = 16;
+/// DCF inter-frame space: SIFS + 2 slots (µs).
+pub const DIFS_US: u64 = SIFS_US + 2 * SLOT_US;
+/// PHY preamble + PLCP header for OFDM PHY (µs).
+pub const PREAMBLE_US: u64 = 20;
+/// ACK frame duration at a basic rate, including its preamble (µs).
+pub const ACK_US: u64 = 44;
+/// Minimum contention window (802.11 OFDM: 15).
+pub const CW_MIN: u32 = 15;
+/// Maximum contention window.
+pub const CW_MAX: u32 = 1023;
+/// Retry limit before a frame is dropped.
+pub const RETRY_LIMIT: u32 = 7;
+
+/// MAC + LLC overhead bytes added to a UDP payload in an 802.11 data
+/// frame (MAC header 26 + LLC/SNAP 8 + FCS 4, QoS data).
+pub const MAC_OVERHEAD_BYTES: usize = 38;
+
+/// On-air duration of a data frame of `payload_bytes` at `rate_mbps`,
+/// including preamble (not including the ACK exchange).
+pub fn frame_airtime(payload_bytes: usize, rate_mbps: f64) -> Micros {
+    assert!(rate_mbps > 0.0);
+    let bits = ((payload_bytes + MAC_OVERHEAD_BYTES) * 8) as f64;
+    let data_us = (bits / rate_mbps).ceil() as u64;
+    Micros(PREAMBLE_US + data_us)
+}
+
+/// Full channel hold time of one data exchange: frame + SIFS + ACK.
+pub fn exchange_airtime(payload_bytes: usize, rate_mbps: f64) -> Micros {
+    frame_airtime(payload_bytes, rate_mbps) + Micros(SIFS_US + ACK_US)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn difs_is_34us() {
+        assert_eq!(DIFS_US, 34);
+    }
+
+    #[test]
+    fn airtime_scales_inversely_with_rate() {
+        let slow = frame_airtime(1470, 6.5);
+        let fast = frame_airtime(1470, 65.0);
+        assert!(slow > fast);
+        // 1508 bytes at 6.5 Mbps ≈ 1856 µs + preamble.
+        assert_eq!(slow, Micros(20 + 1856));
+    }
+
+    #[test]
+    fn airtime_monotone_in_size() {
+        assert!(frame_airtime(200, 26.0) < frame_airtime(1470, 26.0));
+    }
+
+    #[test]
+    fn exchange_adds_sifs_and_ack() {
+        let f = frame_airtime(1000, 13.0);
+        assert_eq!(exchange_airtime(1000, 13.0), f + Micros(60));
+    }
+
+    #[test]
+    fn typical_full_rate_frame_under_2ms() {
+        // Even at the lowest rate a 1470 B frame holds the channel
+        // less than 2 ms — comparable to 1-2 LTE sub-frames, which is
+        // exactly why WiFi bursts blank out whole UL grants.
+        assert!(exchange_airtime(1470, 6.5).as_u64() < 2_000);
+    }
+}

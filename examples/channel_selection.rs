@@ -1,0 +1,78 @@
+//! Channel selection from interference blue-prints — the paper's
+//! "broader impact" application (§1).
+//!
+//! ```sh
+//! cargo run --release --example channel_selection
+//! ```
+//!
+//! An unlicensed-LTE operator choosing between candidate channels can
+//! blue-print the hidden-terminal field on each and pick the channel
+//! whose terminals hurt the *cell's expected uplink utilization*
+//! least — a much better signal than raw energy measurements, because
+//! the blue-print knows which clients are affected and how often.
+
+use blu_core::blueprint::{infer_topology, ConstraintSystem, InferenceConfig};
+use blu_core::joint::{AccessDistribution, TopologyAccess};
+use blu_sim::time::Micros;
+use blu_sim::topology::InterferenceTopology;
+use blu_traces::capture::{capture_synthetic, CaptureConfig};
+use blu_traces::stats::EmpiricalAccess;
+
+/// Expected fraction of granted RBs usable on a channel whose
+/// interference is described by `topo`, if the eNB schedules clients
+/// round-robin (pre-BLU estimate used for channel ranking).
+fn expected_utilization(topo: &InterferenceTopology) -> f64 {
+    let acc = TopologyAccess::new(topo);
+    (0..topo.n_clients)
+        .map(|i| acc.p_individual(i))
+        .sum::<f64>()
+        / topo.n_clients as f64
+}
+
+fn main() {
+    // Three candidate channels with different WiFi occupancies:
+    // busy hotspot, moderate, and a channel whose single heavy
+    // interferer only touches one UE.
+    let channels = [
+        ("ch 36 (busy hotspot)", 0.35, 0.7, 5),
+        ("ch 40 (moderate)", 0.15, 0.4, 4),
+        ("ch 44 (one heavy HT)", 0.5, 0.6, 1),
+    ];
+
+    println!("blue-printing 8-UE cell on three candidate channels\n");
+    let mut best: Option<(&str, f64)> = None;
+    for (idx, &(name, q_lo, q_hi, n_hts)) in channels.iter().enumerate() {
+        let trace = capture_synthetic(
+            &CaptureConfig {
+                n_ues: 8,
+                n_hts,
+                q_range: (q_lo, q_hi),
+                edge_prob: 0.35,
+                duration: Micros::from_secs(60),
+                ..CaptureConfig::testbed_default()
+            },
+            100 + idx as u64,
+        );
+        // Blue-print from the channel's measured access statistics.
+        let emp = EmpiricalAccess::from_trace(&trace.access);
+        let sys = ConstraintSystem::from_measurements(&emp);
+        let blueprint = infer_topology(&sys, &InferenceConfig::default()).topology;
+        let util = expected_utilization(&blueprint);
+        println!(
+            "{name}: {} hidden terminals inferred, expected grant usability {:.0}%",
+            blueprint.n_hidden(),
+            util * 100.0
+        );
+        for (k, ht) in blueprint.hts.iter().enumerate() {
+            println!("    HT {k}: q = {:.2}, impacts UEs {}", ht.q, ht.edges);
+        }
+        if best.is_none_or(|(_, b)| util > b) {
+            best = Some((name, util));
+        }
+    }
+    let (name, util) = best.unwrap();
+    println!(
+        "\n=> operate on {name} (expected grant usability {:.0}%)",
+        util * 100.0
+    );
+}

@@ -1,0 +1,72 @@
+//! Trace tooling: capture, persist, reload, and splice traces into
+//! the paper's large emulated topologies (§4.2.1).
+//!
+//! ```sh
+//! cargo run --release --example trace_pipeline
+//! ```
+
+use blu_sim::time::Micros;
+use blu_traces::capture::{capture_synthetic, CaptureConfig};
+use blu_traces::combine::{concat_ue_deployments, merge_hidden_fields};
+use blu_traces::io;
+use blu_traces::stats::EmpiricalAccess;
+
+fn main() {
+    let dir = std::env::temp_dir().join("blu-trace-pipeline");
+    std::fs::create_dir_all(&dir).expect("tempdir");
+
+    // 1. Capture two testbed-scale traces with different HT fields.
+    let cfg = CaptureConfig {
+        duration: Micros::from_secs(20),
+        ..CaptureConfig::testbed_default()
+    };
+    let a = capture_synthetic(&cfg, 1);
+    let b = capture_synthetic(&cfg, 2);
+    println!("captured: {} | {}", a.description, b.description);
+
+    // 2. Persist as JSON and as the compact binary codec.
+    let json_path = dir.join("trace_a.json");
+    io::save_json(&a, &json_path).expect("save json");
+    let bin_access = io::encode_access(&a.access);
+    let bin_activity = io::encode_activity(&a.wifi);
+    println!(
+        "persisted: JSON {} bytes; binary access {} bytes, activity {} bytes",
+        std::fs::metadata(&json_path).unwrap().len(),
+        bin_access.len(),
+        bin_activity.len()
+    );
+
+    // 3. Reload and verify.
+    let reloaded = io::load_json(&json_path).expect("reload");
+    assert_eq!(reloaded, a);
+    assert_eq!(io::decode_access(&bin_access).unwrap(), a.access);
+    println!("round-trip verified");
+
+    // 4. Combine: same UEs under both hidden-terminal fields…
+    let merged = merge_hidden_fields(&a, &b);
+    println!(
+        "merged HT fields: {} UEs, {} hidden terminals",
+        merged.ground_truth.n_clients,
+        merged.ground_truth.n_hidden()
+    );
+    // …and a bigger cell from disjoint UE deployments.
+    let big = concat_ue_deployments(&a, &b);
+    println!(
+        "concatenated UE deployments: {} UEs, {} hidden terminals",
+        big.ground_truth.n_clients,
+        big.ground_truth.n_hidden()
+    );
+
+    // 5. Statistics from the combined trace.
+    let emp = EmpiricalAccess::from_trace(&big.access);
+    println!("\naccess probabilities in the combined cell:");
+    for i in 0..big.ground_truth.n_clients {
+        println!(
+            "  p({i}) measured {:.2} / closed-form {:.2}",
+            emp.p_individual(i).unwrap(),
+            big.ground_truth.p_individual(i)
+        );
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

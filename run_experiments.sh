@@ -1,0 +1,16 @@
+#!/bin/sh
+# Regenerate every paper figure. Results land in results/*.json and
+# the console transcript in results/experiments.log.
+set -e
+cd "$(dirname "$0")"
+cargo build --release -p blu-bench
+for exp in exp_fig04_motivation exp_fig10_13_testbed exp_fig14_inference \
+           exp_fig15_perfect exp_fig16_varying_ues exp_fig17_mumimo \
+           exp_fig18_utilization exp_overhead \
+           exp_ablation_overschedule exp_ablation_joint exp_ablation_inference \
+           exp_ablation_fractional exp_ext_triples exp_ext_downlink \
+           exp_ext_contention exp_ext_correlated exp_ext_harq \
+           exp_ext_dynamics exp_ext_noma; do
+  echo "=============================== $exp ==============================="
+  ./target/release/$exp "$@"
+done

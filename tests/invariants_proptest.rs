@@ -1,0 +1,208 @@
+//! Property-based tests of the DESIGN.md invariants, spanning crates.
+
+use blu_core::blueprint::constraints::{ConstraintSystem, TransformedTopology};
+use blu_core::joint::conditioning::Conditioning;
+use blu_core::joint::{AccessDistribution, TopologyAccess};
+use blu_core::measure::{measurement_schedule, min_subframes};
+use blu_sim::clientset::ClientSet;
+use blu_sim::rng::DetRng;
+use blu_sim::topology::{HiddenTerminal, InterferenceTopology};
+use proptest::prelude::*;
+
+/// Strategy: a random interference topology with up to `n_max`
+/// clients and `h_max` hidden terminals.
+fn arb_topology(n_max: usize, h_max: usize) -> impl Strategy<Value = InterferenceTopology> {
+    (2..=n_max, 0..=h_max, any::<u64>()).prop_map(|(n, h, seed)| {
+        let mut rng = DetRng::seed_from_u64(seed);
+        if h == 0 {
+            InterferenceTopology::interference_free(n)
+        } else {
+            InterferenceTopology::random(n, h, (0.05, 0.95), 0.4, &mut rng)
+        }
+    })
+}
+
+/// Strategy: a disjoint (succeed, fail) pair of client subsets.
+fn arb_partition(n: usize, seed: u64) -> (ClientSet, ClientSet) {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut succeed = ClientSet::EMPTY;
+    let mut fail = ClientSet::EMPTY;
+    for i in 0..n {
+        match rng.below(3) {
+            0 => succeed.insert(i),
+            1 => fail.insert(i),
+            _ => {}
+        }
+    }
+    (succeed, fail)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariant 1: exact probabilities of any topology satisfy the
+    /// Eqn. 6 constraint system with zero violation.
+    #[test]
+    fn transform_soundness(topo in arb_topology(8, 6)) {
+        let sys = ConstraintSystem::from_topology(&topo);
+        let t = TransformedTopology::from_topology(&topo);
+        prop_assert!(sys.total_violation(&t) < 1e-7);
+    }
+
+    /// Invariant 2a: the §3.6 conditioning recursion equals the
+    /// inclusion–exclusion oracle for every partition.
+    #[test]
+    fn conditioning_equals_oracle(topo in arb_topology(7, 6), seed in any::<u64>()) {
+        let cond = Conditioning::new(&topo);
+        let (succeed, fail) = arb_partition(topo.n_clients, seed);
+        let got = cond.p_joint(succeed, fail);
+        let want = topo.p_joint(succeed, fail);
+        prop_assert!((got - want).abs() < 1e-9,
+            "{got} vs {want} for {succeed}/{fail}");
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&got));
+    }
+
+    /// Invariant 2b: the pattern-distribution DP is a probability
+    /// distribution consistent with the oracle.
+    #[test]
+    fn pattern_dp_is_consistent(topo in arb_topology(7, 6), seed in any::<u64>()) {
+        let acc = TopologyAccess::new(&topo);
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut w = ClientSet::EMPTY;
+        for i in 0..topo.n_clients {
+            if rng.chance(0.5) {
+                w.insert(i);
+            }
+        }
+        let dist = acc.pattern_distribution(w);
+        prop_assert_eq!(dist.len(), 1usize << w.len());
+        let total: f64 = dist.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "sums to {}", total);
+        prop_assert!(dist.iter().all(|&p| p >= -1e-12));
+        // Spot-check one pattern against the oracle.
+        if !w.is_empty() {
+            let members: Vec<usize> = w.iter().collect();
+            let mask = (seed as usize) & ((1 << members.len()) - 1);
+            let mut fail = ClientSet::EMPTY;
+            for (bit, &c) in members.iter().enumerate() {
+                if (mask >> bit) & 1 == 1 {
+                    fail.insert(c);
+                }
+            }
+            let succeed = w.difference(fail);
+            prop_assert!((dist[mask] - topo.p_joint(succeed, fail)).abs() < 1e-9);
+        }
+    }
+
+    /// Marginalization consistency: summing the pattern distribution
+    /// of a superset over the extra clients must reproduce the
+    /// subset's distribution exactly.
+    #[test]
+    fn pattern_dp_marginalizes(topo in arb_topology(7, 6), seed in any::<u64>()) {
+        let acc = TopologyAccess::new(&topo);
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut big = ClientSet::EMPTY;
+        for i in 0..topo.n_clients {
+            if rng.chance(0.6) {
+                big.insert(i);
+            }
+        }
+        let mut small = ClientSet::EMPTY;
+        for i in big.iter() {
+            if rng.chance(0.5) {
+                small.insert(i);
+            }
+        }
+        let d_big = acc.pattern_distribution(big);
+        let d_small = acc.pattern_distribution(small);
+        let big_members: Vec<usize> = big.iter().collect();
+        let small_members: Vec<usize> = small.iter().collect();
+        // Project each big-mask onto the small set and accumulate.
+        let mut projected = vec![0.0; d_small.len()];
+        for (mask, &p) in d_big.iter().enumerate() {
+            let mut small_mask = 0usize;
+            for (sbit, &c) in small_members.iter().enumerate() {
+                let bbit = big_members.iter().position(|&x| x == c).unwrap();
+                if (mask >> bbit) & 1 == 1 {
+                    small_mask |= 1 << sbit;
+                }
+            }
+            projected[small_mask] += p;
+        }
+        for (m, (a, b)) in projected.iter().zip(&d_small).enumerate() {
+            prop_assert!((a - b).abs() < 1e-9, "pattern {}: {} vs {}", m, a, b);
+        }
+    }
+
+    /// Invariant 3 (part): a ground-truth topology is a zero of its
+    /// own constraint system even after canonicalization.
+    #[test]
+    fn canonicalization_preserves_distributions(topo in arb_topology(8, 6)) {
+        let canon = topo.canonicalize();
+        for i in 0..topo.n_clients {
+            prop_assert!((canon.p_individual(i) - topo.p_individual(i)).abs() < 1e-9);
+            for j in (i + 1)..topo.n_clients {
+                prop_assert!((canon.p_pair(i, j) - topo.p_pair(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Invariant 5: Algorithm 1 covers every pair at least T times
+    /// within 2× of the information floor.
+    #[test]
+    fn measurement_coverage(n in 3usize..14, k in 2usize..9, t in 1u64..12) {
+        let plan = measurement_schedule(n, k, t);
+        prop_assert!(plan.pair_counts.iter().all(|&c| c >= t));
+        prop_assert!(plan.subframes.iter().all(|s| s.len() == k.min(n)));
+        let floor = min_subframes(n, k.min(n), t);
+        prop_assert!(plan.t_max() <= 2 * floor + 2,
+            "t_max {} vs floor {}", plan.t_max(), floor);
+    }
+
+    /// Monte-Carlo consistency: sampled access matches p_joint.
+    #[test]
+    fn sampling_matches_joint(seed in any::<u64>()) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let topo = InterferenceTopology::random(5, 3, (0.2, 0.7), 0.5, &mut rng);
+        let (succeed, fail) = arb_partition(5, seed ^ 0xABCD);
+        let exact = topo.p_joint(succeed, fail);
+        let n = 60_000;
+        let hits = (0..n)
+            .filter(|_| {
+                let acc = topo.sample_access(&mut rng);
+                succeed.is_subset_of(acc) && fail.is_disjoint(acc)
+            })
+            .count();
+        let emp = hits as f64 / n as f64;
+        prop_assert!((emp - exact).abs() < 0.02, "emp {} exact {}", emp, exact);
+    }
+}
+
+#[test]
+fn conditioning_handles_all_q_extremes() {
+    // Degenerate weights (q = 0, q = 1) must not divide by zero.
+    for q0 in [0.0, 1.0] {
+        for q1 in [0.0, 0.5, 1.0] {
+            let topo = InterferenceTopology {
+                n_clients: 3,
+                hts: vec![
+                    HiddenTerminal {
+                        q: q0,
+                        edges: ClientSet::from_iter([0, 1]),
+                    },
+                    HiddenTerminal {
+                        q: q1,
+                        edges: ClientSet::from_iter([1, 2]),
+                    },
+                ],
+            };
+            let cond = Conditioning::new(&topo);
+            let all = ClientSet::all(3);
+            let total: f64 = all
+                .subsets()
+                .map(|s| cond.p_joint(s, all.difference(s)))
+                .sum();
+            assert!((total - 1.0).abs() < 1e-9, "q0={q0} q1={q1}: total {total}");
+        }
+    }
+}

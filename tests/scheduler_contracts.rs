@@ -1,0 +1,120 @@
+//! Cross-crate scheduler contracts (DESIGN.md invariant 4) exercised
+//! against randomized environments.
+
+use blu_core::joint::TopologyAccess;
+use blu_core::sched::{
+    AccessAwareScheduler, MatrixRates, PfScheduler, SchedInput, SpeculativeScheduler, UlScheduler,
+};
+use blu_phy::pilot::MAX_ORTHOGONAL_SHIFTS;
+use blu_sim::rng::DetRng;
+use blu_sim::topology::InterferenceTopology;
+
+fn random_env(seed: u64) -> (InterferenceTopology, MatrixRates, Vec<f64>, usize, usize) {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let n = rng.range_usize(3, 16);
+    let h = rng.range_usize(1, 10);
+    let topo = InterferenceTopology::random(n, h, (0.1, 0.8), 0.4, &mut rng);
+    let n_rbs = rng.range_usize(4, 20);
+    let rates = MatrixRates::build(n, n_rbs, |ue, rb| {
+        100.0 + ((ue * 31 + rb * 7 + seed as usize) % 53) as f64 * 13.0
+    });
+    let avg: Vec<f64> = (0..n).map(|_| rng.range_f64(1.0, 400.0)).collect();
+    (topo, rates, avg, n, n_rbs)
+}
+
+#[test]
+fn speculative_respects_caps_across_random_environments() {
+    for seed in 0..40 {
+        let (topo, rates, avg, n, n_rbs) = random_env(seed);
+        let mut rng = DetRng::seed_from_u64(seed ^ 0xC0FFEE);
+        let m = rng.range_usize(1, 5);
+        let k_max = rng.range_usize(2, 12);
+        let max_group = (2 * m).min(MAX_ORTHOGONAL_SHIFTS);
+        let input = SchedInput {
+            n_clients: n,
+            n_rbs,
+            m_antennas: m,
+            k_max,
+            max_group,
+            rates: &rates,
+            avg_tput: &avg,
+        };
+        let acc = TopologyAccess::new(&topo);
+        let mut blu = SpeculativeScheduler::new(&acc);
+        let sched = blu.schedule(&input);
+        assert!(
+            sched.max_group_size() <= max_group,
+            "seed {seed}: group {} > cap {max_group}",
+            sched.max_group_size()
+        );
+        assert!(
+            sched.scheduled_clients().len() <= k_max,
+            "seed {seed}: K constraint broken ({} > {k_max})",
+            sched.scheduled_clients().len()
+        );
+        // Every RB is allocated whenever any client has a usable rate.
+        assert_eq!(sched.occupied_rbs(), n_rbs, "seed {seed}");
+    }
+}
+
+#[test]
+fn pf_and_aa_never_overschedule() {
+    for seed in 0..40 {
+        let (topo, rates, avg, n, n_rbs) = random_env(seed + 1000);
+        let mut rng = DetRng::seed_from_u64(seed);
+        let m = rng.range_usize(1, 5);
+        let input = SchedInput {
+            n_clients: n,
+            n_rbs,
+            m_antennas: m,
+            k_max: 10,
+            max_group: 2 * m,
+            rates: &rates,
+            avg_tput: &avg,
+        };
+        let pf = PfScheduler.schedule(&input);
+        assert!(pf.max_group_size() <= m, "seed {seed}: PF over-scheduled");
+        let p: Vec<f64> = (0..n).map(|i| topo.p_individual(i)).collect();
+        let aa = AccessAwareScheduler::new(p).schedule(&input);
+        assert!(aa.max_group_size() <= m, "seed {seed}: AA over-scheduled");
+    }
+}
+
+#[test]
+fn speculative_expected_utility_monotone_along_greedy_chain() {
+    // The greedy only adds clients with positive expected-utility
+    // increments, so E must not decrease RB-by-RB as groups grow.
+    for seed in 0..20 {
+        let (topo, rates, avg, n, n_rbs) = random_env(seed + 2000);
+        let input = SchedInput {
+            n_clients: n,
+            n_rbs,
+            m_antennas: 2,
+            k_max: 10,
+            max_group: 4,
+            rates: &rates,
+            avg_tput: &avg,
+        };
+        let acc = TopologyAccess::new(&topo);
+        let blu = SpeculativeScheduler::new(&acc);
+        let mut sched = SpeculativeScheduler::new(&acc);
+        let schedule = sched.schedule(&input);
+        for rb in 0..n_rbs {
+            let group = schedule.group(rb);
+            if group.len() < 2 {
+                continue;
+            }
+            // The full group's E must beat every single-member E
+            // (otherwise the greedy would have stopped earlier).
+            let e_full = blu.expected_utility(&input, rb, group);
+            for ue in group.iter() {
+                let e_single =
+                    blu.expected_utility(&input, rb, blu_sim::clientset::ClientSet::singleton(ue));
+                assert!(
+                    e_full >= e_single - 1e-9,
+                    "seed {seed} rb {rb}: E(full)={e_full} < E({{{ue}}})={e_single}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Deeper substrate invariants: DCF mutual exclusion, LBT safety,
+//! binary-codec robustness, and the §3.3 fading/blocking
+//! discrimination at system level.
+
+use blu_phy::laa::{ue_cca, Lbt, LbtConfig, DEFER_US};
+use blu_sim::medium::{union, ActivityTimeline};
+use blu_sim::rng::DetRng;
+use blu_sim::time::Micros;
+use blu_traces::io::{decode_access, decode_activity};
+use blu_wifi::network::{WifiNetwork, WifiNetworkConfig, WifiStationSpec};
+use blu_wifi::traffic::TrafficGen;
+use proptest::prelude::*;
+
+/// Stations that can all hear each other must never transmit
+/// concurrently (carrier sensing mutual exclusion) — across random
+/// station counts, traffic mixes and seeds.
+#[test]
+fn dcf_mutual_exclusion_holds_across_random_networks() {
+    for seed in 0..12u64 {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let n = rng.range_usize(2, 6);
+        let stations: Vec<WifiStationSpec> = (0..n)
+            .map(|i| WifiStationSpec {
+                traffic: if rng.chance(0.5) {
+                    TrafficGen::iperf_default()
+                } else {
+                    TrafficGen::Poisson {
+                        pkts_per_sec: rng.range_f64(50.0, 2_000.0),
+                        bytes: rng.range_usize(100, 1471),
+                    }
+                },
+                dest: (i + 1) % n,
+                snr_to_dest_db: rng.range_f64(8.0, 35.0),
+            })
+            .collect();
+        let cfg = WifiNetworkConfig::fully_connected(stations, Micros::from_millis(500));
+        let result = WifiNetwork::new(cfg, &DetRng::seed_from_u64(seed ^ 0xD)).run();
+        // Union airtime must equal the sum of airtimes: zero overlap.
+        let refs: Vec<&ActivityTimeline> = result.timelines.iter().collect();
+        let u = union(&refs);
+        let sum: f64 = result
+            .timelines
+            .iter()
+            .map(|t| {
+                t.busy_time_in(Micros::ZERO, Micros::from_millis(500))
+                    .as_u64() as f64
+            })
+            .sum();
+        let merged = u
+            .busy_time_in(Micros::ZERO, Micros::from_millis(500))
+            .as_u64() as f64;
+        assert!(
+            (sum - merged).abs() < 1.0,
+            "seed {seed}: overlap detected ({sum} vs {merged})"
+        );
+    }
+}
+
+/// The medium a DCF station sees must be idle for the defer period
+/// before any of its transmissions start.
+#[test]
+fn dcf_transmissions_respect_difs() {
+    let stations: Vec<WifiStationSpec> = (0..3)
+        .map(|i| WifiStationSpec {
+            traffic: TrafficGen::iperf_default(),
+            dest: (i + 1) % 3,
+            snr_to_dest_db: 30.0,
+        })
+        .collect();
+    let cfg = WifiNetworkConfig::fully_connected(stations, Micros::from_millis(300));
+    let result = WifiNetwork::new(cfg, &DetRng::seed_from_u64(1)).run();
+    for (s, tl) in result.timelines.iter().enumerate() {
+        // Medium as seen by s = union of the other stations.
+        let others: Vec<&ActivityTimeline> = result
+            .timelines
+            .iter()
+            .enumerate()
+            .filter(|&(o, _)| o != s)
+            .map(|(_, t)| t)
+            .collect();
+        let medium = union(&others);
+        for iv in tl.intervals() {
+            let difs = blu_wifi::timing::DIFS_US;
+            assert!(
+                !medium.busy_in(iv.start.saturating_sub(Micros(difs)), iv.start),
+                "station {s} started at {} without DIFS clearance",
+                iv.start
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The binary trace decoders must never panic on arbitrary input —
+    /// they return Err on garbage.
+    #[test]
+    fn codecs_never_panic_on_garbage(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_access(&data);
+        let _ = decode_activity(&data);
+    }
+
+    /// Truncating a valid encoding at any point must error, not panic
+    /// or return wrong data silently... (a shorter valid prefix can
+    /// only happen if the cut lands exactly on the declared length).
+    #[test]
+    fn truncated_encodings_fail_loudly(cut in 0usize..64, seed in any::<u64>()) {
+        use blu_traces::capture::{capture_synthetic, CaptureConfig};
+        let mut cfg = CaptureConfig::quick();
+        cfg.duration = Micros::from_millis(50);
+        let trace = capture_synthetic(&cfg, seed % 8);
+        let enc = blu_traces::io::encode_access(&trace.access);
+        let cut = cut.min(enc.len().saturating_sub(1));
+        if cut < enc.len() {
+            prop_assert!(decode_access(&enc[..cut]).is_err());
+        }
+    }
+
+    /// LBT acquisition always lands on an instant whose defer window
+    /// was idle, for arbitrary busy patterns.
+    #[test]
+    fn lbt_defer_window_always_idle(
+        seed in any::<u64>(),
+        gaps in proptest::collection::vec((1u64..500, 1u64..2_000), 1..20),
+    ) {
+        let mut tl = ActivityTimeline::new();
+        let mut t = 0u64;
+        for (idle, busy) in gaps {
+            t += idle;
+            tl.push(Micros(t), Micros(t + busy));
+            t += busy;
+        }
+        let mut lbt = Lbt::new(LbtConfig::default(), DetRng::seed_from_u64(seed));
+        let start = lbt.acquire(&tl, Micros::ZERO);
+        prop_assert!(!tl.busy_at(start));
+        prop_assert!(!tl.busy_in(start.saturating_sub(Micros(DEFER_US)), start));
+    }
+
+    /// UE one-shot CCA agrees with a brute-force scan of the window.
+    #[test]
+    fn ue_cca_matches_bruteforce(
+        seed in any::<u64>(),
+        grant_ms in 1u64..50,
+    ) {
+        let mut rng = DetRng::seed_from_u64(seed);
+        let mut tl = ActivityTimeline::new();
+        let mut t = 0u64;
+        while t < 60_000 {
+            let idle = rng.range_usize(10, 3_000) as u64;
+            let busy = rng.range_usize(10, 3_000) as u64;
+            t += idle;
+            if t >= 60_000 { break; }
+            tl.push(Micros(t), Micros(t + busy));
+            t += busy;
+        }
+        let grant = Micros(grant_ms * 1_000);
+        let outcome = ue_cca(&tl, grant);
+        let brute = (grant.as_u64().saturating_sub(25)..grant.as_u64())
+            .any(|us| tl.busy_at(Micros(us)));
+        prop_assert_eq!(outcome.is_idle(), !brute);
+    }
+}
+
+/// §3.3's discrimination claim, system level: heavy *fading* must not
+/// bias the measured access probabilities, because the estimator
+/// counts a fading loss (pilot received, data lost) as a successful
+/// channel access.
+#[test]
+fn fading_does_not_bias_access_statistics() {
+    use blu_core::emulator::{EmulationConfig, Emulator};
+    use blu_core::measure::OutcomeEstimator;
+    use blu_core::sched::PfScheduler;
+    use blu_phy::cell::CellConfig;
+    use blu_traces::capture::{capture_synthetic, CaptureConfig};
+
+    // Low SNR + zero link-adaptation margin: lots of fading losses.
+    let trace = capture_synthetic(
+        &CaptureConfig {
+            duration: Micros::from_secs(40),
+            snr_range_db: (6.0, 10.0),
+            q_range: (0.3, 0.5),
+            ..CaptureConfig::testbed_default()
+        },
+        3,
+    );
+    let mut cell = CellConfig::testbed_siso();
+    cell.numerology.n_rbs = 10;
+    let mut cfg = EmulationConfig::new(cell);
+    cfg.n_txops = 2_000;
+    cfg.mcs_margin_db = -2.0; // aggressive MCS: provoke decode failures
+    let mut est = OutcomeEstimator::new(trace.ground_truth.n_clients);
+    let mut emu = Emulator::new(&trace, cfg);
+    let report = emu.run(&mut PfScheduler, Some(&mut est));
+    assert!(
+        report.metrics.rbs_faded > 100,
+        "test needs real fading pressure, got {}",
+        report.metrics.rbs_faded
+    );
+    for i in 0..trace.ground_truth.n_clients {
+        if let Some(p) = est.stats().p_individual(i) {
+            let truth = trace.ground_truth.p_individual(i);
+            assert!(
+                (p - truth).abs() < 0.1,
+                "client {i}: measured {p} vs truth {truth} under fading"
+            );
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Integration: trace capture → persistence → combination invariants
+//! (DESIGN.md invariant 7).
+
+use blu_sim::time::Micros;
+use blu_traces::capture::{capture_synthetic, derive_access, CaptureConfig};
+use blu_traces::combine::{concat_ue_deployments, emulate_large, merge_hidden_fields};
+use blu_traces::io;
+use blu_traces::scenario::{generate, ScenarioConfig};
+use blu_traces::stats::EmpiricalAccess;
+
+fn quick(seed: u64, n_ues: usize, n_hts: usize) -> blu_traces::schema::TestbedTrace {
+    capture_synthetic(
+        &CaptureConfig {
+            n_ues,
+            n_hts,
+            duration: Micros::from_secs(8),
+            ..CaptureConfig::quick()
+        },
+        seed,
+    )
+}
+
+#[test]
+fn json_and_binary_agree_for_scenario_traces() {
+    let mut cfg = ScenarioConfig::testbed();
+    cfg.duration = Micros::from_secs(8);
+    let scenario = generate(&cfg, 3);
+    let t = &scenario.trace;
+
+    let json = serde_json::to_string(t).unwrap();
+    let back: blu_traces::schema::TestbedTrace = serde_json::from_str(&json).unwrap();
+    assert_eq!(&back, t);
+
+    let acc = io::encode_access(&t.access);
+    assert_eq!(io::decode_access(&acc).unwrap(), t.access);
+    let act = io::encode_activity(&t.wifi);
+    assert_eq!(io::decode_activity(&act).unwrap(), t.wifi);
+}
+
+#[test]
+fn combined_trace_access_equals_rederived_access() {
+    let a = quick(1, 4, 3);
+    let b = quick(2, 4, 2);
+    let merged = merge_hidden_fields(&a, &b);
+    let rederived = derive_access(
+        &merged.ground_truth,
+        &merged.wifi.timelines,
+        merged.access.len() as u64,
+    );
+    assert_eq!(merged.access, rederived);
+}
+
+#[test]
+fn paper_scale_emulation_is_consistent() {
+    let groups: Vec<_> = (0..6).map(|g| quick(10 + g, 4, 6)).collect();
+    let big = emulate_large(&groups, &[]);
+    assert_eq!(big.ground_truth.n_clients, 24);
+    assert_eq!(big.ground_truth.n_hidden(), 36);
+    assert_eq!(big.validate(), Ok(()));
+
+    // Empirical statistics of the spliced trace still match the
+    // combined ground-truth topology's closed forms.
+    let emp = EmpiricalAccess::from_trace(&big.access);
+    for i in 0..24 {
+        let measured = emp.p_individual(i).unwrap();
+        let exact = big.ground_truth.p_individual(i);
+        assert!(
+            (measured - exact).abs() < 0.08,
+            "UE {i}: measured {measured} vs exact {exact}"
+        );
+    }
+}
+
+#[test]
+fn concat_preserves_group_independence() {
+    let a = quick(21, 3, 2);
+    let b = quick(22, 2, 3);
+    let c = concat_ue_deployments(&a, &b);
+    // a's UEs and b's UEs are blocked by disjoint HT sets.
+    for ht in &c.ground_truth.hts[..2] {
+        assert!(ht.edges.iter().all(|i| i < 3));
+    }
+    for ht in &c.ground_truth.hts[2..] {
+        assert!(ht.edges.iter().all(|i| i >= 3));
+    }
+    // Pairwise statistics across the groups factorize (independent):
+    // p(i, j) == p(i)·p(j) for i in a, j in b.
+    for i in 0..3 {
+        for j in 3..5 {
+            let pij = c.ground_truth.p_pair(i, j);
+            let prod = c.ground_truth.p_individual(i) * c.ground_truth.p_individual(j);
+            assert!((pij - prod).abs() < 1e-12);
+        }
+    }
+}
