@@ -67,7 +67,11 @@ fn bench_emulator(c: &mut Criterion) {
         b.iter(|| {
             let mut cfg = EmulationConfig::new(CellConfig::testbed_siso());
             cfg.n_txops = 50;
-            black_box(Emulator::new(&trace, cfg).run(&mut PfScheduler, None))
+            black_box(
+                Emulator::new(&trace, cfg)
+                    .expect("emulator setup")
+                    .run(&mut PfScheduler, None),
+            )
         })
     });
 }

@@ -121,7 +121,7 @@ fn main() {
         let mut accs = Vec::new();
         for trial in 0..trials {
             let trace = trace_for(args.seed + 100 + trial, args.scaled(60, 15));
-            let (est, _) = run_measurement_phase(&trace, 8, t);
+            let (est, _) = run_measurement_phase(&trace, 8, t).expect("measurement phase");
             let inf = blueprint_from_measurements(&est, &InferenceConfig::default());
             accs.push(topology_accuracy(&trace.ground_truth, &inf.topology).exact_fraction());
         }
@@ -163,7 +163,7 @@ fn main() {
     let (n, k, t) = (16usize, 6usize, 20u64);
     let floor = min_subframes(n, k, t);
 
-    let alg1 = measurement_schedule(n, k, t).t_max();
+    let alg1 = measurement_schedule(n, k, t).expect("plan").t_max();
 
     // Shuffled round-robin: each round shuffles the clients and
     // partitions them into ⌈N/K⌉ windows of K. (Plain contiguous

@@ -78,15 +78,18 @@ fn main() {
                 c
             };
             let pf = Emulator::new(&trace, cfg.clone())
+                .expect("emulator setup")
                 .run(&mut PfScheduler, None)
                 .metrics;
             let p: Vec<f64> = (0..6).map(|i| trace.ground_truth.p_individual(i)).collect();
             let ind_acc = IndependentAccess::new(p);
             let ind = Emulator::new(&trace, cfg.clone())
+                .expect("emulator setup")
                 .run(&mut SpeculativeScheduler::new(&ind_acc), None)
                 .metrics;
             let joint_acc = TopologyAccess::new(&trace.ground_truth);
             let joint = Emulator::new(&trace, cfg)
+                .expect("emulator setup")
                 .run(&mut SpeculativeScheduler::new(&joint_acc), None)
                 .metrics;
             pf_v.push(pf.throughput_mbps());

@@ -65,6 +65,7 @@ fn main() {
                 cfg.n_txops = n_txops;
                 let acc = TopologyAccess::new(&trace.ground_truth);
                 let metrics = Emulator::new(&trace, cfg)
+                    .expect("emulator setup")
                     .run(&mut SpeculativeScheduler::new(&acc), None)
                     .metrics;
                 tput.push(metrics.throughput_mbps());

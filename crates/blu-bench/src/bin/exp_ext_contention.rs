@@ -72,19 +72,23 @@ fn main() {
             let mut cfg = cfg;
             cfg.n_txops = n_txops;
 
-            let pf = Emulator::new(&trace, cfg.clone()).run_contended(
-                &mut PfScheduler,
-                None,
-                &busy,
-                DetRng::seed_from_u64(seed ^ 0x17),
-            );
+            let pf = Emulator::new(&trace, cfg.clone())
+                .expect("emulator setup")
+                .run_contended(
+                    &mut PfScheduler,
+                    None,
+                    &busy,
+                    DetRng::seed_from_u64(seed ^ 0x17),
+                );
             let acc = TopologyAccess::new(&trace.ground_truth);
-            let blu = Emulator::new(&trace, cfg).run_contended(
-                &mut SpeculativeScheduler::new(&acc),
-                None,
-                &busy,
-                DetRng::seed_from_u64(seed ^ 0x17),
-            );
+            let blu = Emulator::new(&trace, cfg)
+                .expect("emulator setup")
+                .run_contended(
+                    &mut SpeculativeScheduler::new(&acc),
+                    None,
+                    &busy,
+                    DetRng::seed_from_u64(seed ^ 0x17),
+                );
             let wall_pf = pf.wall_clock.unwrap().as_secs_f64();
             let wall_blu = blu.wall_clock.unwrap().as_secs_f64();
             // eNB airtime share: TxOP airtime / wall clock (PF run).

@@ -93,14 +93,17 @@ fn main() {
             emu_cfg.n_txops = n_txops;
 
             let pf = Emulator::new(trace, emu_cfg.clone())
+                .expect("emulator setup")
                 .run(&mut PfScheduler, None)
                 .metrics;
             let bp_acc = TopologyAccess::new(&inf.topology);
             let bp = Emulator::new(trace, emu_cfg.clone())
+                .expect("emulator setup")
                 .run(&mut SpeculativeScheduler::new(&bp_acc), None)
                 .metrics;
             let emp_acc = EmpiricalPatternAccess::new(&trace.access);
             let emp = Emulator::new(trace, emu_cfg)
+                .expect("emulator setup")
                 .run(&mut SpeculativeScheduler::new(&emp_acc), None)
                 .metrics;
             pf_v.push(pf.throughput_mbps());

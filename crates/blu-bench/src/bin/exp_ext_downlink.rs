@@ -67,14 +67,16 @@ fn main() {
                 seed + 3,
             );
             let cell = CellConfig::testbed_siso();
-            let pf = run_downlink(&trace, &mut PfScheduler, &cell, n_subframes);
+            let pf =
+                run_downlink(&trace, &mut PfScheduler, &cell, n_subframes).expect("downlink run");
             let p_truth: Vec<f64> = (0..6).map(|i| trace.ground_truth.p_individual(i)).collect();
             let aa_truth = run_downlink(
                 &trace,
                 &mut AccessAwareScheduler::new(p_truth),
                 &cell,
                 n_subframes,
-            );
+            )
+            .expect("downlink run");
             // Blueprint-driven p(i).
             let emp = EmpiricalAccess::from_trace(&trace.access);
             let sys = ConstraintSystem::from_measurements(&emp);
@@ -85,7 +87,8 @@ fn main() {
                 &mut AccessAwareScheduler::new(p_inferred),
                 &cell,
                 n_subframes,
-            );
+            )
+            .expect("downlink run");
             pf_g.push(pf.throughput_mbps());
             aat_g.push(aa_truth.throughput_mbps());
             aai_g.push(aa_inf.throughput_mbps());

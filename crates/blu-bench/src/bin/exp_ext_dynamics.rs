@@ -81,10 +81,11 @@ fn main() {
         emu_cfg.n_txops = n_txops;
         let config = BluConfig::new(emu_cfg.clone());
 
-        let adaptive = run_blu_adaptive(&refs, &config);
-        let stale = run_blu_stale(&refs, &config);
+        let adaptive = run_blu_adaptive(&refs, &config).expect("adaptive run");
+        let stale = run_blu_stale(&refs, &config).expect("stale run");
         for (e, trace) in epochs.iter().enumerate() {
             let pf = Emulator::new(trace, emu_cfg.clone())
+                .expect("emulator setup")
                 .run(&mut PfScheduler, None)
                 .metrics;
             acc[e].epoch = e;

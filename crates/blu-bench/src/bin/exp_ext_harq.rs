@@ -80,7 +80,10 @@ fn main() {
                 let mut blu_sched = SpeculativeScheduler::new(&acc);
                 let mut pf_sched = PfScheduler;
                 let sched: &mut dyn UlScheduler = if blu { &mut blu_sched } else { &mut pf_sched };
-                let m = Emulator::new(&trace, cfg).run(sched, None).metrics;
+                let m = Emulator::new(&trace, cfg)
+                    .expect("emulator setup")
+                    .run(sched, None)
+                    .metrics;
                 tput.push(m.throughput_mbps());
                 faded.push(m.rbs_faded as f64);
                 blocked.push(m.rbs_blocked as f64);

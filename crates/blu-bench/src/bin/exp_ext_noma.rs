@@ -72,10 +72,12 @@ fn main() {
             let mut cfg = EmulationConfig::new(cell);
             cfg.n_txops = n_txops;
             let plain = Emulator::new(&trace, cfg.clone())
+                .expect("emulator setup")
                 .run(&mut SpeculativeScheduler::new(&acc), None)
                 .metrics;
             cfg.noma_sic = true;
             let noma = Emulator::new(&trace, cfg)
+                .expect("emulator setup")
                 .run(&mut SpeculativeScheduler::new(&acc), None)
                 .metrics;
             blu_v.push(plain.throughput_mbps());

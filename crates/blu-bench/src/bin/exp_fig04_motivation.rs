@@ -52,6 +52,7 @@ fn pf_metrics(
     let mut cfg = EmulationConfig::new(cell);
     cfg.n_txops = n_txops;
     Emulator::new(trace, cfg)
+        .expect("emulator setup")
         .run(&mut PfScheduler, None)
         .metrics
 }

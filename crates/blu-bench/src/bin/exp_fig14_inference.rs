@@ -50,7 +50,7 @@ fn accuracy_full_trace(trace: &TestbedTrace) -> f64 {
 /// Sensitivity extension: probabilities from an Algorithm-1
 /// measurement phase with only `t_samples` joint samples per pair.
 fn accuracy_of(trace: &TestbedTrace, t_samples: u64) -> f64 {
-    let (est, _) = run_measurement_phase(trace, 8, t_samples);
+    let (est, _) = run_measurement_phase(trace, 8, t_samples).expect("measurement phase");
     let inf = blueprint_from_measurements(&est, &InferenceConfig::default());
     topology_accuracy(&trace.ground_truth, &inf.topology).exact_fraction()
 }

@@ -104,7 +104,7 @@ fn main() {
         (16, 8, 30),
         (8, 8, 50),
     ] {
-        let plan = measurement_schedule(n, k_sched, t);
+        let plan = measurement_schedule(n, k_sched, t).expect("plan");
         let floor = min_subframes(n, k_sched.min(n), t);
         let row = Algorithm1Row {
             n,

@@ -67,7 +67,7 @@ pub struct SchedulerComparison {
 fn emu<'a>(trace: &'a TestbedTrace, cell: &CellConfig, n_txops: u64) -> Emulator<'a> {
     let mut cfg = EmulationConfig::new(cell.clone());
     cfg.n_txops = n_txops;
-    Emulator::new(trace, cfg)
+    Emulator::new(trace, cfg).expect("emulator setup")
 }
 
 /// Run PF / AA / BLU(+variants) over a trace.
@@ -95,6 +95,7 @@ pub fn compare_schedulers(trace: &TestbedTrace, opts: &CompareOpts) -> Scheduler
             (e, trace.access.len() as u64)
         } else {
             run_measurement_phase(trace, opts.cell.max_ues_per_subframe, opts.t_samples)
+                .expect("measurement phase")
         };
         let inf = blueprint_from_measurements(&est, &InferenceConfig::default());
         let acc = topology_accuracy(&trace.ground_truth, &inf.topology).exact_fraction();

@@ -64,6 +64,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
     if want("pf") {
         let m = Emulator::new(&t, cfg.clone())
+            .expect("emulator setup")
             .run(&mut PfScheduler, None)
             .metrics;
         print_metrics("PF", &m);
@@ -71,6 +72,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     if want("aa") {
         let p: Vec<f64> = (0..n).map(|i| t.ground_truth.p_individual(i)).collect();
         let m = Emulator::new(&t, cfg.clone())
+            .expect("emulator setup")
             .run(&mut AccessAwareScheduler::new(p), None)
             .metrics;
         print_metrics("AA", &m);
@@ -78,6 +80,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     if want("blu") {
         let acc = TopologyAccess::new(&t.ground_truth);
         let m = Emulator::new(&t, cfg.clone())
+            .expect("emulator setup")
             .run(&mut SpeculativeScheduler::new(&acc), None)
             .metrics;
         print_metrics("BLU(truth)", &m);
@@ -87,6 +90,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         let bp = infer_topology(&sys, &InferenceConfig::default()).topology;
         let acc = TopologyAccess::new(&bp);
         let m = Emulator::new(&t, cfg.clone())
+            .expect("emulator setup")
             .run(&mut SpeculativeScheduler::new(&acc), None)
             .metrics;
         print_metrics("BLU(inferred)", &m);
@@ -94,6 +98,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     if want("blu-empirical") {
         let acc = EmpiricalPatternAccess::new(&t.access);
         let m = Emulator::new(&t, cfg.clone())
+            .expect("emulator setup")
             .run(&mut SpeculativeScheduler::new(&acc), None)
             .metrics;
         print_metrics("BLU(empirical)", &m);

@@ -30,7 +30,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         Some(_) => {
             let samples: u64 = flags.get_or("t", 50u64)?;
             let k: usize = flags.get_or("k", 8usize)?;
-            let (est, t_max) = run_measurement_phase(&t, k, samples);
+            let (est, t_max) = run_measurement_phase(&t, k, samples).map_err(|e| e.to_string())?;
             println!("measurement phase: {t_max} sub-frames (T = {samples}, K = {k})");
             ConstraintSystem::from_measurements(est.stats())
         }

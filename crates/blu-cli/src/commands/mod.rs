@@ -5,3 +5,4 @@ pub mod generate;
 pub mod infer;
 pub mod inspect;
 pub mod plan;
+pub mod robust;

@@ -26,7 +26,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         return Err("need at least 2 clients and K ≥ 2".into());
     }
 
-    let plan = measurement_schedule(n, k, t);
+    let plan = measurement_schedule(n, k, t).map_err(|e| e.to_string())?;
     let floor = min_subframes(n, k.min(n), t);
     println!(
         "N = {n}, K = {k}, T = {t}: {} measurement sub-frames (floor {floor}, +{:.1}%)",

@@ -1,0 +1,238 @@
+//! `blu robust` — run the degraded-mode orchestrator under scripted
+//! faults.
+//!
+//! Synthesizes a fault-scripted capture (same generator as the robust
+//! test-bench) and drives [`blu_core::robust::run_blu_robust`] over
+//! it, printing the state-machine timeline, the inference verdicts,
+//! and the effective-throughput accounting.
+//!
+//! Fault scripts are given on the command line in a small DSL —
+//! events separated by `;`, each `kind@subframe key=value...`:
+//!
+//! ```text
+//! blu robust --seconds 90 \
+//!     --faults "appear@20000 q=0.6 edges=0,1,2,3; misclassify@0 rate=0.05"
+//! ```
+
+use crate::args::Flags;
+use blu_core::orchestrator::BluConfig;
+use blu_core::robust::{run_blu_robust, RobustConfig};
+use blu_core::EmulationConfig;
+use blu_phy::cell::CellConfig;
+use blu_sim::clientset::ClientSet;
+use blu_sim::faults::{FaultEvent, FaultKind, FaultScript};
+use blu_sim::time::Micros;
+use blu_traces::capture::CaptureConfig;
+use blu_traces::faults::capture_with_faults;
+
+const HELP: &str = "blu robust — degraded-mode BLU under scripted faults
+
+OPTIONS:
+    --faults <spec>   fault script (see below; default: none)
+    --ues <n>         number of UEs (default 6)
+    --hts <n>         initial hidden terminals (default 8)
+    --seconds <s>     capture duration (default 60)
+    --rbs <n>         resource blocks (default 25)
+    --seed <u64>      RNG seed (default 1)
+
+FAULT SCRIPT:
+    events separated by `;`, each `kind@subframe key=value ...`:
+      appear@SF q=Q edges=I,J,..     new hidden terminal
+      disappear@SF ht=H              remove terminal H
+      qdrift@SF ht=H q=Q             terminal H's duty cycle drifts
+      churn@SF ht=H toggle=I,J,..    flip edges of terminal H
+      misclassify@SF rate=R          pilot misclassification onward
+      drop@SF rate=R                 measurement reports dropped
+
+    example:
+      --faults \"appear@20000 q=0.6 edges=0,1,2,3; misclassify@0 rate=0.05\"";
+
+fn parse_clientset(s: &str) -> Result<ClientSet, String> {
+    let mut set = ClientSet::EMPTY;
+    for part in s.split(',').filter(|p| !p.is_empty()) {
+        let ue: usize = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad client index `{part}`"))?;
+        set.insert(ue);
+    }
+    if set.is_empty() {
+        return Err("empty client set".into());
+    }
+    Ok(set)
+}
+
+fn parse_event(spec: &str) -> Result<FaultEvent, String> {
+    let mut words = spec.split_whitespace();
+    let head = words.next().ok_or("empty fault event")?;
+    let (kind, at) = head
+        .split_once('@')
+        .ok_or_else(|| format!("`{head}`: expected kind@subframe"))?;
+    let at_subframe: u64 = at
+        .parse()
+        .map_err(|_| format!("`{head}`: bad subframe `{at}`"))?;
+    let mut kv = std::collections::HashMap::new();
+    for w in words {
+        let (k, v) = w
+            .split_once('=')
+            .ok_or_else(|| format!("`{w}`: expected key=value"))?;
+        kv.insert(k, v);
+    }
+    let need = |k: &str| -> Result<&str, String> {
+        kv.get(k)
+            .copied()
+            .ok_or_else(|| format!("`{kind}@{at}` needs {k}=..."))
+    };
+    let f64_of = |k: &str| -> Result<f64, String> {
+        need(k)?
+            .parse()
+            .map_err(|_| format!("`{kind}@{at}`: bad {k}"))
+    };
+    let usize_of = |k: &str| -> Result<usize, String> {
+        need(k)?
+            .parse()
+            .map_err(|_| format!("`{kind}@{at}`: bad {k}"))
+    };
+    let kind = match kind {
+        "appear" => FaultKind::HtAppear {
+            q: f64_of("q")?,
+            edges: parse_clientset(need("edges")?)?,
+        },
+        "disappear" => FaultKind::HtDisappear {
+            ht: usize_of("ht")?,
+        },
+        "qdrift" => FaultKind::QDrift {
+            ht: usize_of("ht")?,
+            q: f64_of("q")?,
+        },
+        "churn" => FaultKind::EdgeChurn {
+            ht: usize_of("ht")?,
+            toggle: parse_clientset(need("toggle")?)?,
+        },
+        "misclassify" => FaultKind::MisclassifyRate {
+            rate: f64_of("rate")?,
+        },
+        "drop" => FaultKind::DropRate {
+            rate: f64_of("rate")?,
+        },
+        other => return Err(format!("unknown fault kind `{other}`")),
+    };
+    Ok(FaultEvent { at_subframe, kind })
+}
+
+/// Parse the `;`-separated fault-script DSL.
+pub fn parse_fault_script(spec: &str) -> Result<FaultScript, String> {
+    let events = spec
+        .split(';')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse_event)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(FaultScript::new(events))
+}
+
+/// Run the subcommand.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["help"])?;
+    if flags.has("help") {
+        println!("{HELP}");
+        return Ok(());
+    }
+    let script = match flags.get("faults") {
+        Some(spec) => parse_fault_script(spec)?,
+        None => FaultScript::none(),
+    };
+    let cfg = CaptureConfig {
+        n_ues: flags.get_or("ues", 6usize)?,
+        n_hts: flags.get_or("hts", 8usize)?,
+        duration: Micros::from_secs(flags.get_or("seconds", 60u64)?),
+        q_range: (0.25, 0.55),
+        ..CaptureConfig::testbed_default()
+    };
+    let seed = flags.get_or("seed", 1u64)?;
+    script
+        .validate(cfg.n_ues, cfg.n_hts)
+        .map_err(|e| e.to_string())?;
+    let cap = capture_with_faults(&cfg, &script, seed).map_err(|e| e.to_string())?;
+
+    let mut cell = CellConfig::testbed_siso();
+    cell.numerology.n_rbs = flags.get_or("rbs", 25usize)?;
+    let config = RobustConfig::new(BluConfig::new(EmulationConfig::new(cell)));
+    let report = run_blu_robust(&cap, &config).map_err(|e| e.to_string())?;
+
+    println!(
+        "{} sub-frames, {} fault event(s), {} epoch(s)",
+        cap.trace.access.len(),
+        cap.script.len(),
+        cap.epochs.len()
+    );
+    println!("\nstate timeline:");
+    for t in &report.transitions {
+        println!("  sf {:>8}  -> {}", t.at_subframe, t.state);
+    }
+    println!("\nverdicts: {:?}", report.verdicts);
+    println!(
+        "re-measurements: {} | speculative TxOPs: {} | fallback TxOPs: {}",
+        report.n_remeasurements, report.speculative_txops, report.fallback_txops
+    );
+    println!(
+        "peak drift score: {:.3} | final confidence: {:.3} | final state: {}",
+        report.peak_drift,
+        report.final_confidence,
+        report.final_state()
+    );
+    println!(
+        "throughput: {:.2} Mbps raw, {:.2} Mbps effective ({} measurement sub-frames charged)",
+        report.metrics.throughput_mbps(),
+        report.effective_throughput_mbps(),
+        report.measurement_subframes
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dsl_round_trip() {
+        let s = parse_fault_script("appear@20000 q=0.6 edges=0,1,2,3; misclassify@0 rate=0.05")
+            .unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.events[0].at_subframe, 0); // sorted by subframe
+        assert!(matches!(
+            s.events[0].kind,
+            FaultKind::MisclassifyRate { rate } if (rate - 0.05).abs() < 1e-12
+        ));
+        match &s.events[1].kind {
+            FaultKind::HtAppear { q, edges } => {
+                assert!((q - 0.6).abs() < 1e-12);
+                assert_eq!(edges.len(), 4);
+            }
+            other => panic!("wrong kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dsl_all_kinds_parse() {
+        let s = parse_fault_script(
+            "disappear@5 ht=1; qdrift@6 ht=0 q=0.9; churn@7 ht=2 toggle=1,3; drop@8 rate=0.2",
+        )
+        .unwrap();
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn dsl_errors_are_descriptive() {
+        assert!(parse_fault_script("appear@x q=0.5 edges=0").is_err());
+        assert!(parse_fault_script("appear@10 edges=0").is_err()); // missing q
+        assert!(parse_fault_script("warp@10 q=0.5").is_err());
+        assert!(parse_fault_script("appear@10 q=0.5 edges=").is_err());
+    }
+
+    #[test]
+    fn empty_script_is_none() {
+        let s = parse_fault_script("  ").unwrap();
+        assert!(s.is_empty());
+    }
+}

@@ -6,6 +6,7 @@
 //! blu infer trace.json
 //! blu eval trace.json --scheduler blu --txops 500
 //! blu plan --clients 20 --k 8 --t 50
+//! blu robust --seconds 90 --faults "appear@20000 q=0.6 edges=0,1,2,3"
 //! ```
 //!
 //! Every subcommand works on the JSON trace format of `blu-traces`
@@ -29,6 +30,7 @@ COMMANDS:
     infer      Blue-print the hidden-terminal topology from a trace
     eval       Replay a trace through a scheduler and report metrics
     plan       Print an Algorithm-1 measurement plan
+    robust     Run the degraded-mode orchestrator under scripted faults
     help       Show this message
 
 Run `blu <COMMAND> --help` for per-command options."
@@ -46,6 +48,7 @@ fn main() -> ExitCode {
         "infer" => commands::infer::run(rest),
         "eval" => commands::eval::run(rest),
         "plan" => commands::plan::run(rest),
+        "robust" => commands::robust::run(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

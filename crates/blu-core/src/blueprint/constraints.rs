@@ -267,12 +267,24 @@ impl ConstraintSystem {
             .sum()
     }
 
+    /// Total target mass `Σ |target|` over all constraints — the
+    /// violation of the empty topology, and the natural normalizer
+    /// for residual-based confidence scores: `violation /
+    /// target_mass` is the fraction of the measured statistics a
+    /// candidate leaves unexplained.
+    pub fn target_mass(&self) -> f64 {
+        let mass: f64 = self.individual.iter().map(|t| t.abs()).sum::<f64>()
+            + self.pair.iter().map(|t| t.abs()).sum::<f64>()
+            + self.triples.iter().map(|t| t.target.abs()).sum::<f64>();
+        mass
+    }
+
     /// The constraint with the largest absolute residual, with that
     /// residual. `None` if there are no constraints.
     pub fn max_violated(&self, topo: &TransformedTopology) -> Option<(ConstraintRef, f64)> {
         self.all_constraints()
             .map(|c| (c, self.residual(topo, c)))
-            .max_by(|a, b| a.1.abs().partial_cmp(&b.1.abs()).unwrap())
+            .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
     }
 }
 

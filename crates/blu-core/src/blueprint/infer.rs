@@ -31,6 +31,16 @@ pub struct InferenceConfig {
     pub random_restarts: usize,
     /// Enable the weight-refinement pass after structural repair.
     pub refine_weights: bool,
+    /// Residual fraction (violation over constraint target mass) at
+    /// or below which the blueprint counts as [`Converged`]
+    /// (`InferenceVerdict::Converged`). Measured inputs never reach
+    /// `epsilon`, so this is the noisy-regime acceptance knob.
+    pub accept_residual: f64,
+    /// Residual fraction at or above which the blueprint is
+    /// [`Degraded`] (`InferenceVerdict::Degraded`): the constraint
+    /// system left most of its target mass unexplained and the
+    /// orchestrator should not speculate on it.
+    pub degraded_residual: f64,
 }
 
 impl Default for InferenceConfig {
@@ -40,6 +50,35 @@ impl Default for InferenceConfig {
             epsilon: 1e-6,
             random_restarts: 6,
             refine_weights: true,
+            accept_residual: 0.05,
+            degraded_residual: 0.5,
+        }
+    }
+}
+
+/// How much the returned blueprint should be trusted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InferenceVerdict {
+    /// The constraint system is (near-)fully explained: residual
+    /// violation under `epsilon` or within `accept_residual` of the
+    /// target mass.
+    Converged,
+    /// The optimisation budget ran out before reaching the acceptance
+    /// threshold. The blueprint is the best found and usually usable,
+    /// but its confidence should gate speculation.
+    MaxIters,
+    /// The inputs were inconsistent or pathological (non-finite
+    /// violation, no candidate produced, or most of the target mass
+    /// unexplained). Callers must not speculate on this blueprint.
+    Degraded,
+}
+
+impl std::fmt::Display for InferenceVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InferenceVerdict::Converged => write!(f, "converged"),
+            InferenceVerdict::MaxIters => write!(f, "max-iters"),
+            InferenceVerdict::Degraded => write!(f, "degraded"),
         }
     }
 }
@@ -55,6 +94,20 @@ pub struct InferenceResult {
     pub iterations: usize,
     /// Number of restarts attempted.
     pub restarts: usize,
+    /// Fraction of the constraint system's target mass left
+    /// unexplained, in `[0, 1]`.
+    pub residual_fraction: f64,
+    /// Convergence verdict.
+    pub verdict: InferenceVerdict,
+}
+
+impl InferenceResult {
+    /// Blueprint confidence in `[0, 1]`: the explained fraction of
+    /// the constraint target mass. `1.0` means every measured
+    /// individual/pair statistic is reproduced by the blueprint.
+    pub fn confidence(&self) -> f64 {
+        (1.0 - self.residual_fraction).clamp(0.0, 1.0)
+    }
 }
 
 /// The repair engine: a candidate topology plus incrementally
@@ -440,11 +493,13 @@ impl<'a> Repairer<'a> {
             if cands.is_empty() {
                 break;
             }
-            let (m, _cost) = cands
+            let Some((m, _cost)) = cands
                 .into_iter()
                 .map(|m| (m, self.move_cost(m)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-                .expect("non-empty candidates");
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+            else {
+                break; // no applicable move: keep the best seen
+            };
             self.apply(m);
             // Garbage-collect dead HTs so candidate lists stay small.
             if iters % 16 == 0 {
@@ -613,12 +668,36 @@ pub fn infer_topology(sys: &ConstraintSystem, config: &InferenceConfig) -> Infer
             }
         }
     }
-    let (topo, violation) = best.expect("at least one start");
+    // `starting_topologies` always yields at least the empty start,
+    // but a pathological constraint system must degrade, not panic.
+    let (topo, violation) =
+        best.unwrap_or_else(|| (TransformedTopology { hts: Vec::new() }, f64::INFINITY));
+    let mass = sys.target_mass();
+    let residual_fraction = if !violation.is_finite() {
+        1.0
+    } else if mass > 0.0 {
+        (violation / mass).clamp(0.0, 1.0)
+    } else if violation > config.epsilon {
+        1.0
+    } else {
+        0.0
+    };
+    let verdict = if !violation.is_finite() {
+        InferenceVerdict::Degraded
+    } else if violation <= config.epsilon || residual_fraction <= config.accept_residual {
+        InferenceVerdict::Converged
+    } else if residual_fraction >= config.degraded_residual {
+        InferenceVerdict::Degraded
+    } else {
+        InferenceVerdict::MaxIters
+    };
     InferenceResult {
         topology: topo.to_topology(sys.n).canonicalize(),
         violation,
         iterations: total_iters,
         restarts,
+        residual_fraction,
+        verdict,
     }
 }
 

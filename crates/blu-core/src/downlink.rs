@@ -41,8 +41,10 @@ pub fn run_downlink(
     scheduler: &mut dyn UlScheduler,
     cell: &CellConfig,
     n_subframes: u64,
-) -> DlMetrics {
-    trace.validate().expect("inconsistent trace");
+) -> Result<DlMetrics, crate::error::BluError> {
+    trace
+        .validate()
+        .map_err(crate::error::BluError::InvalidTrace)?;
     let n = trace.ground_truth.n_clients;
     let n_rbs = cell.numerology.n_rbs;
     let mcs = McsTable::release10();
@@ -99,7 +101,7 @@ pub fn run_downlink(
         }
         averager.update(&delivered);
     }
-    metrics
+    Ok(metrics)
 }
 
 // `rates.rate` used above needs the trait in scope.
@@ -132,7 +134,7 @@ mod tests {
     #[test]
     fn dl_collisions_occur_under_interference() {
         let trace = quick_trace(1);
-        let m = run_downlink(&trace, &mut PfScheduler, &small_cell(), 500);
+        let m = run_downlink(&trace, &mut PfScheduler, &small_cell(), 500).unwrap();
         assert_eq!(m.subframes, 500);
         assert!(m.rbs_blocked > 0, "hidden terminals must corrupt DL");
         assert!(m.bits_delivered > 0.0);
@@ -143,11 +145,11 @@ mod tests {
         // §3.7's claim: access-aware scheduling lifts DL efficiency.
         let trace = quick_trace(2);
         let cell = small_cell();
-        let pf = run_downlink(&trace, &mut PfScheduler, &cell, 800);
+        let pf = run_downlink(&trace, &mut PfScheduler, &cell, 800).unwrap();
         let p: Vec<f64> = (0..trace.ground_truth.n_clients)
             .map(|i| trace.ground_truth.p_individual(i))
             .collect();
-        let aa = run_downlink(&trace, &mut AccessAwareScheduler::new(p), &cell, 800);
+        let aa = run_downlink(&trace, &mut AccessAwareScheduler::new(p), &cell, 800).unwrap();
         assert!(
             aa.rb_utilization() > pf.rb_utilization(),
             "AA {} vs PF {}",
@@ -166,7 +168,7 @@ mod tests {
         for acc in trace.access.accessible.iter_mut() {
             *acc = blu_sim::clientset::ClientSet::all(trace.access.n_ues);
         }
-        let m = run_downlink(&trace, &mut PfScheduler, &small_cell(), 200);
+        let m = run_downlink(&trace, &mut PfScheduler, &small_cell(), 200).unwrap();
         assert_eq!(m.rbs_blocked, 0);
         assert!((m.rb_utilization() - 1.0).abs() < 1e-12);
     }
@@ -174,8 +176,8 @@ mod tests {
     #[test]
     fn deterministic() {
         let trace = quick_trace(4);
-        let a = run_downlink(&trace, &mut PfScheduler, &small_cell(), 100);
-        let b = run_downlink(&trace, &mut PfScheduler, &small_cell(), 100);
+        let a = run_downlink(&trace, &mut PfScheduler, &small_cell(), 100).unwrap();
+        let b = run_downlink(&trace, &mut PfScheduler, &small_cell(), 100).unwrap();
         assert_eq!(a, b);
     }
 }

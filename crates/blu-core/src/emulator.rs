@@ -9,6 +9,7 @@
 //! throughput, and the utilization/throughput accounting behind
 //! Figs. 10–13 and 15–18.
 
+use crate::error::BluError;
 use crate::measure::OutcomeEstimator;
 use crate::metrics::UplinkMetrics;
 use crate::sched::{mimo_penalty, MatrixRates, PfAverager, SchedInput, UlScheduler};
@@ -73,6 +74,11 @@ pub struct EmulationConfig {
     pub noma_sic: bool,
     /// RNG seed (jitter derivation).
     pub seed: u64,
+    /// Sub-frame at which the run starts reading the trace. Lets a
+    /// segmented orchestrator (e.g. the robust loop's
+    /// measure/speculate/fallback phases) resume mid-trace instead of
+    /// replaying the same prefix.
+    pub start_subframe: u64,
 }
 
 impl EmulationConfig {
@@ -88,6 +94,7 @@ impl EmulationConfig {
             traffic: TrafficModel::Backlogged,
             noma_sic: false,
             seed: 0x0B1E,
+            start_subframe: 0,
         }
     }
 }
@@ -134,21 +141,38 @@ pub struct Emulator<'a> {
 
 impl<'a> Emulator<'a> {
     /// Create an emulator; validates the trace against the cell.
-    pub fn new(trace: &'a TestbedTrace, config: EmulationConfig) -> Self {
-        trace.validate().expect("inconsistent trace");
-        config.cell.validate().expect("invalid cell config");
-        assert!(
-            trace.csi.n_antennas >= config.cell.m_antennas,
-            "trace CSI has fewer antennas than the cell needs"
-        );
+    pub fn new(trace: &'a TestbedTrace, config: EmulationConfig) -> Result<Self, BluError> {
+        trace.validate().map_err(BluError::InvalidTrace)?;
+        config.cell.validate()?;
+        if trace.csi.n_antennas < config.cell.m_antennas {
+            return Err(BluError::InvalidConfig(format!(
+                "trace CSI has {} antennas but the cell needs {}",
+                trace.csi.n_antennas, config.cell.m_antennas
+            )));
+        }
         let n = trace.ground_truth.n_clients;
-        Emulator {
+        Ok(Emulator {
             trace,
             averager: PfAverager::new(n, config.pf_alpha),
             mcs: McsTable::release10(),
             queues: vec![0.0; n],
-            traffic_rng: DetRng::seed_from_u64(config.seed ^ 0x7AFF_1C),
+            traffic_rng: DetRng::seed_from_u64(config.seed ^ 0x007A_FF1C),
             config,
+        })
+    }
+
+    /// The PF throughput averages accumulated so far (one per
+    /// client).
+    pub fn pf_averages(&self) -> &[f64] {
+        &self.averager.avg
+    }
+
+    /// Seed the PF averages — used by segmented runs to carry
+    /// fairness state from one emulator segment into the next.
+    /// Ignores a slice of the wrong length.
+    pub fn seed_pf_averages(&mut self, avg: &[f64]) {
+        if avg.len() == self.averager.avg.len() {
+            self.averager.avg.copy_from_slice(avg);
         }
     }
 
@@ -358,10 +382,7 @@ impl<'a> Emulator<'a> {
         let decoded = blu_phy::noma::sic_decode(&powers, 1.0, |idx, sinr| {
             let ue = members[idx];
             let cqi = self.grant_cqi(ue, rb, grant_sf, group_size);
-            cqi.is_usable()
-                && self
-                    .mcs
-                    .decodes(cqi, Db(10.0 * sinr.max(1e-12).log10()))
+            cqi.is_usable() && self.mcs.decodes(cqi, Db(10.0 * sinr.max(1e-12).log10()))
         });
         let outcomes = group
             .iter()
@@ -400,7 +421,7 @@ impl<'a> Emulator<'a> {
         let n = self.trace.ground_truth.n_clients;
         let n_rbs = self.config.cell.numerology.n_rbs;
         let mut metrics = UplinkMetrics::new(n);
-        let mut sf = SubframeIndex(0);
+        let mut sf = SubframeIndex(self.config.start_subframe);
         for _ in 0..self.config.n_txops {
             // DL part of the TxOP (grants go out here); traffic keeps
             // arriving while the eNB transmits.
@@ -625,7 +646,7 @@ mod tests {
     #[test]
     fn pf_emulation_produces_sane_metrics() {
         let trace = quick_trace(1);
-        let mut emu = Emulator::new(&trace, quick_config(200));
+        let mut emu = Emulator::new(&trace, quick_config(200)).unwrap();
         let report = emu.run(&mut PfScheduler, None);
         let m = &report.metrics;
         assert_eq!(m.subframes, 600);
@@ -645,10 +666,10 @@ mod tests {
         let topo = trace.ground_truth.clone();
         let acc = TopologyAccess::new(&topo);
 
-        let mut emu_pf = Emulator::new(&trace, quick_config(200));
+        let mut emu_pf = Emulator::new(&trace, quick_config(200)).unwrap();
         let pf = emu_pf.run(&mut PfScheduler, None);
 
-        let mut emu_blu = Emulator::new(&trace, quick_config(200));
+        let mut emu_blu = Emulator::new(&trace, quick_config(200)).unwrap();
         let mut blu = SpeculativeScheduler::new(&acc);
         let blu_report = emu_blu.run(&mut blu, None);
 
@@ -674,9 +695,9 @@ mod tests {
         let p: Vec<f64> = (0..trace.ground_truth.n_clients)
             .map(|i| trace.ground_truth.p_individual(i))
             .collect();
-        let mut emu = Emulator::new(&trace, quick_config(150));
+        let mut emu = Emulator::new(&trace, quick_config(150)).unwrap();
         let aa = emu.run(&mut AccessAwareScheduler::new(p), None);
-        let mut emu2 = Emulator::new(&trace, quick_config(150));
+        let mut emu2 = Emulator::new(&trace, quick_config(150)).unwrap();
         let pf = emu2.run(&mut PfScheduler, None);
         let ratio = aa.metrics.rb_utilization() / pf.metrics.rb_utilization().max(1e-9);
         assert!(
@@ -689,7 +710,7 @@ mod tests {
     fn estimator_receives_observations() {
         let trace = quick_trace(4);
         let mut est = OutcomeEstimator::new(trace.ground_truth.n_clients);
-        let mut emu = Emulator::new(&trace, quick_config(100));
+        let mut emu = Emulator::new(&trace, quick_config(100)).unwrap();
         emu.run(&mut PfScheduler, Some(&mut est));
         // Scheduled clients must have been observed, and the measured
         // access probability should be in the right region.
@@ -710,9 +731,9 @@ mod tests {
     #[test]
     fn emulation_is_deterministic() {
         let trace = quick_trace(5);
-        let mut a = Emulator::new(&trace, quick_config(50));
+        let mut a = Emulator::new(&trace, quick_config(50)).unwrap();
         let ra = a.run(&mut PfScheduler, None);
-        let mut b = Emulator::new(&trace, quick_config(50));
+        let mut b = Emulator::new(&trace, quick_config(50)).unwrap();
         let rb = b.run(&mut PfScheduler, None);
         assert_eq!(ra.metrics, rb.metrics);
     }
@@ -720,7 +741,7 @@ mod tests {
     #[test]
     fn collisions_occur_only_with_overscheduling() {
         let trace = quick_trace(6);
-        let mut emu = Emulator::new(&trace, quick_config(150));
+        let mut emu = Emulator::new(&trace, quick_config(150)).unwrap();
         let pf = emu.run(&mut PfScheduler, None);
         assert_eq!(pf.metrics.rbs_collided, 0, "PF cannot collide (SISO)");
     }
@@ -756,7 +777,7 @@ mod contended_tests {
     #[test]
     fn idle_channel_contention_is_nearly_free() {
         let trace = quick_trace(1);
-        let mut emu = Emulator::new(&trace, small_config(200));
+        let mut emu = Emulator::new(&trace, small_config(200)).unwrap();
         let report = emu.run_contended(
             &mut PfScheduler,
             None,
@@ -779,14 +800,14 @@ mod contended_tests {
         // in 20 ms bursts.
         let busy =
             OnOffSource::with_duty_cycle(0.85, 20_000.0).generate(Micros::from_secs(600), &mut rng);
-        let mut emu_idle = Emulator::new(&trace, small_config(150));
+        let mut emu_idle = Emulator::new(&trace, small_config(150)).unwrap();
         let idle = emu_idle.run_contended(
             &mut PfScheduler,
             None,
             &ActivityTimeline::new(),
             DetRng::seed_from_u64(4),
         );
-        let mut emu_busy = Emulator::new(&trace, small_config(150));
+        let mut emu_busy = Emulator::new(&trace, small_config(150)).unwrap();
         let contended =
             emu_busy.run_contended(&mut PfScheduler, None, &busy, DetRng::seed_from_u64(4));
         let w_idle = idle.wall_clock.unwrap().as_u64();
@@ -808,9 +829,9 @@ mod contended_tests {
         let mut rng = DetRng::seed_from_u64(7);
         let busy =
             OnOffSource::with_duty_cycle(0.3, 2_000.0).generate(Micros::from_secs(60), &mut rng);
-        let mut a = Emulator::new(&trace, small_config(80));
+        let mut a = Emulator::new(&trace, small_config(80)).unwrap();
         let ra = a.run_contended(&mut PfScheduler, None, &busy, DetRng::seed_from_u64(9));
-        let mut b = Emulator::new(&trace, small_config(80));
+        let mut b = Emulator::new(&trace, small_config(80)).unwrap();
         let rb = b.run_contended(&mut PfScheduler, None, &busy, DetRng::seed_from_u64(9));
         assert_eq!(ra.metrics, rb.metrics);
         assert_eq!(ra.wall_clock, rb.wall_clock);
@@ -844,11 +865,13 @@ mod harq_tests {
         base.mcs_margin_db = -2.0;
 
         let off = Emulator::new(&trace, base.clone())
+            .unwrap()
             .run(&mut PfScheduler, None)
             .metrics;
         let mut cfg_on = base.clone();
         cfg_on.harq_max_retx = 3;
         let on = Emulator::new(&trace, cfg_on)
+            .unwrap()
             .run(&mut PfScheduler, None)
             .metrics;
 
@@ -891,9 +914,11 @@ mod harq_tests {
         cfg.n_txops = 100;
         cfg.harq_max_retx = 2;
         let a = Emulator::new(&trace, cfg.clone())
+            .unwrap()
             .run(&mut PfScheduler, None)
             .metrics;
         let b = Emulator::new(&trace, cfg)
+            .unwrap()
             .run(&mut PfScheduler, None)
             .metrics;
         assert_eq!(a, b);
@@ -936,6 +961,7 @@ mod traffic_tests {
             burst_bits: 2_000.0,
         };
         let m = Emulator::new(&trace, light)
+            .unwrap()
             .run(&mut PfScheduler, None)
             .metrics;
         let n = trace.ground_truth.n_clients as f64;
@@ -953,6 +979,7 @@ mod traffic_tests {
     fn backlogged_delivers_more_than_finite_load() {
         let trace = quick_trace(22);
         let back = Emulator::new(&trace, cfg(500))
+            .unwrap()
             .run(&mut PfScheduler, None)
             .metrics;
         let mut finite = cfg(500);
@@ -961,6 +988,7 @@ mod traffic_tests {
             burst_bits: 1_000.0,
         };
         let fin = Emulator::new(&trace, finite)
+            .unwrap()
             .run(&mut PfScheduler, None)
             .metrics;
         assert!(back.bits_delivered > fin.bits_delivered * 2.0);
@@ -976,7 +1004,10 @@ mod traffic_tests {
             bursts_per_sec: 2.0,
             burst_bits: 500.0,
         };
-        let m = Emulator::new(&trace, c).run(&mut PfScheduler, None).metrics;
+        let m = Emulator::new(&trace, c)
+            .unwrap()
+            .run(&mut PfScheduler, None)
+            .metrics;
         let full_allocation = m.subframes * 10;
         assert!(
             m.rbs_scheduled < full_allocation / 2,
@@ -995,9 +1026,13 @@ mod traffic_tests {
             burst_bits: 3_000.0,
         };
         let a = Emulator::new(&trace, c.clone())
+            .unwrap()
             .run(&mut PfScheduler, None)
             .metrics;
-        let b = Emulator::new(&trace, c).run(&mut PfScheduler, None).metrics;
+        let b = Emulator::new(&trace, c)
+            .unwrap()
+            .run(&mut PfScheduler, None)
+            .metrics;
         assert_eq!(a, b);
     }
 }
@@ -1037,9 +1072,11 @@ mod noma_tests {
         let trace = heavy_trace(41);
         let acc = TopologyAccess::new(&trace.ground_truth);
         let plain = Emulator::new(&trace, cfg(false))
+            .unwrap()
             .run(&mut SpeculativeScheduler::new(&acc), None)
             .metrics;
         let noma = Emulator::new(&trace, cfg(true))
+            .unwrap()
             .run(&mut SpeculativeScheduler::new(&acc), None)
             .metrics;
         assert!(plain.rbs_collided > 20, "need collision pressure");
@@ -1057,9 +1094,11 @@ mod noma_tests {
         // PF never over-schedules, so SIC has nothing to rescue.
         let trace = heavy_trace(42);
         let a = Emulator::new(&trace, cfg(false))
+            .unwrap()
             .run(&mut PfScheduler, None)
             .metrics;
         let b = Emulator::new(&trace, cfg(true))
+            .unwrap()
             .run(&mut PfScheduler, None)
             .metrics;
         assert_eq!(a, b);
@@ -1073,6 +1112,7 @@ mod noma_tests {
         let acc = TopologyAccess::new(&trace.ground_truth);
         let mut est = crate::measure::OutcomeEstimator::new(trace.ground_truth.n_clients);
         Emulator::new(&trace, cfg(true))
+            .unwrap()
             .run(&mut SpeculativeScheduler::new(&acc), Some(&mut est));
         for i in 0..trace.ground_truth.n_clients {
             if let Some(p) = est.stats().p_individual(i) {

@@ -94,7 +94,9 @@ impl<'a> Conditioning<'a> {
             return 1.0;
         }
         // Take vₘ = highest-indexed member, V̄ₘ₋₁ the rest.
-        let v_m = v.iter().last().expect("non-empty");
+        let Some(v_m) = v.iter().last() else {
+            return 1.0;
+        };
         let rest = v.without(v_m);
         if rest.is_empty() {
             return 1.0 - self.p_individual_on(mask, v_m);

@@ -58,13 +58,17 @@
 pub mod blueprint;
 pub mod downlink;
 pub mod emulator;
+pub mod error;
 pub mod joint;
 pub mod measure;
 pub mod metrics;
 pub mod orchestrator;
+pub mod robust;
 pub mod sched;
 
-pub use blueprint::infer::{InferenceConfig, InferenceResult};
+pub use blueprint::infer::{InferenceConfig, InferenceResult, InferenceVerdict};
 pub use emulator::{EmulationConfig, EmulationReport};
+pub use error::BluError;
 pub use joint::AccessDistribution;
 pub use orchestrator::{BluConfig, BluRunReport};
+pub use robust::{run_blu_robust, OrchestratorState, RobustConfig, RobustRunReport};

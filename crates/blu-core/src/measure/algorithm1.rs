@@ -16,6 +16,7 @@
 //! of the paper's `Σ_j log((1+c_j)/(1+T))` objective when the chosen
 //! pairs' counters advance.
 
+use crate::error::BluError;
 use blu_sim::clientset::ClientSet;
 use blu_traces::stats::{n_pairs, pair_index};
 
@@ -56,16 +57,24 @@ impl MeasurementPlan {
 /// ```
 /// use blu_core::measure::{measurement_schedule, min_subframes};
 ///
-/// let plan = measurement_schedule(10, 4, 5);
+/// let plan = measurement_schedule(10, 4, 5).unwrap();
 /// assert!(plan.pair_counts.iter().all(|&c| c >= 5));
 /// // Close to the information-theoretic floor.
 /// assert!(plan.t_max() <= 2 * min_subframes(10, 4, 5));
 /// ```
 ///
-/// Panics unless `2 ≤ K` and `2 ≤ N` (pairs must be schedulable).
-pub fn measurement_schedule(n: usize, k: usize, t: u64) -> MeasurementPlan {
-    assert!(n >= 2, "need at least two clients");
-    assert!(k >= 2, "need at least two clients per sub-frame");
+/// Errors unless `2 ≤ K` and `2 ≤ N` (pairs must be schedulable).
+pub fn measurement_schedule(n: usize, k: usize, t: u64) -> Result<MeasurementPlan, BluError> {
+    if n < 2 {
+        return Err(BluError::InvalidConfig(format!(
+            "measurement needs at least two clients, got {n}"
+        )));
+    }
+    if k < 2 {
+        return Err(BluError::InvalidConfig(format!(
+            "measurement needs at least two clients per sub-frame, got K = {k}"
+        )));
+    }
     let k = k.min(n);
     let mut counts = vec![0u64; n_pairs(n)];
     let mut subframes = Vec::new();
@@ -73,10 +82,11 @@ pub fn measurement_schedule(n: usize, k: usize, t: u64) -> MeasurementPlan {
     // needs ≈ F_min and never more than N/K times that.
     let cap = 4 * min_subframes(n, k, t) + 16;
     while counts.iter().any(|&c| c < t) {
-        assert!(
-            (subframes.len() as u64) < cap,
-            "Algorithm 1 failed to converge"
-        );
+        if (subframes.len() as u64) >= cap {
+            return Err(BluError::Inference(format!(
+                "Algorithm 1 failed to converge within {cap} sub-frames (N={n}, K={k}, T={t})"
+            )));
+        }
         let mut s = ClientSet::EMPTY;
         // First client: the one participating in the least-sampled
         // pairs overall (drives coverage toward starved pairs).
@@ -91,7 +101,7 @@ pub fn measurement_schedule(n: usize, k: usize, t: u64) -> MeasurementPlan {
                     .min()
                     .unwrap_or(0)
             })
-            .unwrap();
+            .unwrap_or(0);
         s.insert(first);
         // Remaining K−1 clients by maximum concave marginal gain.
         for _ in 1..k {
@@ -112,7 +122,9 @@ pub fn measurement_schedule(n: usize, k: usize, t: u64) -> MeasurementPlan {
                     best = Some((l, gain));
                 }
             }
-            let (l, _) = best.expect("candidates remain while |S| < K ≤ N");
+            // Candidates always remain while |S| < K ≤ N; treat the
+            // impossible case as a no-op rather than aborting.
+            let Some((l, _)) = best else { break };
             s.insert(l);
         }
         // Update pair counters.
@@ -124,11 +136,11 @@ pub fn measurement_schedule(n: usize, k: usize, t: u64) -> MeasurementPlan {
         }
         subframes.push(s);
     }
-    MeasurementPlan {
+    Ok(MeasurementPlan {
         subframes,
         pair_counts: counts,
         n,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -144,21 +156,21 @@ mod tests {
 
     #[test]
     fn every_pair_reaches_t() {
-        let plan = measurement_schedule(10, 4, 5);
+        let plan = measurement_schedule(10, 4, 5).unwrap();
         assert!(plan.pair_counts.iter().all(|&c| c >= 5));
         assert!(plan.min_pair_count() >= 5);
     }
 
     #[test]
     fn subframes_respect_k() {
-        let plan = measurement_schedule(12, 5, 3);
+        let plan = measurement_schedule(12, 5, 3).unwrap();
         assert!(plan.subframes.iter().all(|s| s.len() == 5));
     }
 
     #[test]
     fn overhead_close_to_floor() {
         for &(n, k, t) in &[(10usize, 4usize, 5u64), (20, 8, 10), (8, 8, 3), (15, 6, 4)] {
-            let plan = measurement_schedule(n, k, t);
+            let plan = measurement_schedule(n, k, t).unwrap();
             let floor = min_subframes(n, k, t);
             assert!(
                 plan.t_max() <= floor * 2,
@@ -172,7 +184,7 @@ mod tests {
     fn paper_operating_point() {
         // §3.7: N=20, T=50, K=8 → t_max ≈ 340 sub-frames. Our greedy
         // should land in the same ballpark (well under 2×).
-        let plan = measurement_schedule(20, 8, 50);
+        let plan = measurement_schedule(20, 8, 50).unwrap();
         let t_max = plan.t_max();
         assert!(
             (340..600).contains(&t_max),
@@ -184,7 +196,7 @@ mod tests {
     fn sampling_stays_balanced_midway() {
         // The log utility promises near-even sampling at any point:
         // after half the schedule, max and min pair counts stay close.
-        let plan = measurement_schedule(12, 4, 8);
+        let plan = measurement_schedule(12, 4, 8).unwrap();
         let half = plan.subframes.len() / 2;
         let mut counts = vec![0u64; n_pairs(12)];
         for s in &plan.subframes[..half] {
@@ -202,7 +214,7 @@ mod tests {
 
     #[test]
     fn k_capped_at_n() {
-        let plan = measurement_schedule(3, 8, 2);
+        let plan = measurement_schedule(3, 8, 2).unwrap();
         assert!(plan.subframes.iter().all(|s| s.len() == 3));
         assert!(plan.pair_counts.iter().all(|&c| c >= 2));
         // With K ≥ N every sub-frame covers all pairs: exactly T needed.
@@ -211,7 +223,7 @@ mod tests {
 
     #[test]
     fn whole_cell_in_one_subframe() {
-        let plan = measurement_schedule(6, 6, 4);
+        let plan = measurement_schedule(6, 6, 4).unwrap();
         assert_eq!(plan.t_max(), 4);
     }
 }

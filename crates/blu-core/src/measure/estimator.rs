@@ -64,6 +64,13 @@ impl OutcomeEstimator {
         &mut self.stats
     }
 
+    /// Age the accumulated statistics by `keep` (see
+    /// [`EmpiricalAccess::decay`]): called before a re-measurement so
+    /// the shortened phase's fresh samples outweigh pre-drift history.
+    pub fn decay(&mut self, keep: f64) {
+        self.stats.decay(keep);
+    }
+
     /// Consume into the statistics.
     pub fn into_stats(self) -> EmpiricalAccess {
         self.stats

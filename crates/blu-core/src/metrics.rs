@@ -63,6 +63,28 @@ impl UplinkMetrics {
         }
     }
 
+    /// Fold another set of counters into this one — used by segmented
+    /// runs (e.g. the robust orchestrator) to aggregate per-segment
+    /// emulator metrics into one run-level report. Per-client vectors
+    /// of differing lengths are merged over the common prefix.
+    pub fn merge(&mut self, other: &UplinkMetrics) {
+        self.subframes += other.subframes;
+        self.rbs_scheduled += other.rbs_scheduled;
+        self.rbs_utilized += other.rbs_utilized;
+        self.rbs_collided += other.rbs_collided;
+        self.rbs_blocked += other.rbs_blocked;
+        self.rbs_faded += other.rbs_faded;
+        self.bits_delivered += other.bits_delivered;
+        self.fully_utilized_subframes += other.fully_utilized_subframes;
+        if self.bits_per_client.len() < other.bits_per_client.len() {
+            self.bits_per_client
+                .resize(other.bits_per_client.len(), 0.0);
+        }
+        for (a, b) in self.bits_per_client.iter_mut().zip(&other.bits_per_client) {
+            *a += b;
+        }
+    }
+
     /// Jain's fairness index over per-client delivered bits.
     pub fn jain_fairness(&self) -> f64 {
         let xs: Vec<f64> = self

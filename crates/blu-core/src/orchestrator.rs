@@ -13,6 +13,7 @@
 use crate::blueprint::accuracy::{topology_accuracy, AccuracyReport};
 use crate::blueprint::{infer_topology, ConstraintSystem, InferenceConfig, InferenceResult};
 use crate::emulator::{EmulationConfig, EmulationReport, Emulator};
+use crate::error::BluError;
 use crate::joint::TopologyAccess;
 use crate::measure::{measurement_schedule, OutcomeEstimator};
 use crate::sched::SpeculativeScheduler;
@@ -60,13 +61,25 @@ pub struct BluRunReport {
 /// Run the measurement phase against a trace: execute the Algorithm-1
 /// plan, reading each scheduled client's CCA outcome from the access
 /// trace, and return the estimator plus the sub-frames consumed.
+///
+/// Errors with [`BluError::TraceTooShort`] when the plan does not fit
+/// inside the trace — the access trace wraps on replay, and wrapped
+/// measurement would silently re-sample the same prefix, biasing the
+/// pairwise statistics the blue-print is built from.
 pub fn run_measurement_phase(
     trace: &TestbedTrace,
     k_max: usize,
     t_samples: u64,
-) -> (OutcomeEstimator, u64) {
+) -> Result<(OutcomeEstimator, u64), BluError> {
     let n = trace.ground_truth.n_clients;
-    let plan = measurement_schedule(n, k_max, t_samples);
+    let plan = measurement_schedule(n, k_max, t_samples)?;
+    if plan.t_max() > trace.access.len() as u64 {
+        return Err(BluError::TraceTooShort {
+            what: "measurement phase",
+            needed: plan.t_max(),
+            available: trace.access.len() as u64,
+        });
+    }
     let mut est = OutcomeEstimator::new(n);
     for (sf, &scheduled) in plan.subframes.iter().enumerate() {
         let accessible = trace.access.at(SubframeIndex(sf as u64));
@@ -76,7 +89,7 @@ pub fn run_measurement_phase(
         est.stats_mut()
             .record(scheduled, accessible.intersection(scheduled));
     }
-    (est, plan.t_max())
+    Ok((est, plan.t_max()))
 }
 
 /// Run the measurement phase at **full fidelity**: the Algorithm-1
@@ -90,16 +103,25 @@ pub fn run_measurement_phase_full(
     trace: &TestbedTrace,
     emulation: &EmulationConfig,
     t_samples: u64,
-) -> (OutcomeEstimator, u64) {
+) -> Result<(OutcomeEstimator, u64), BluError> {
     let n = trace.ground_truth.n_clients;
-    let plan = measurement_schedule(n, emulation.cell.max_ues_per_subframe.max(2), t_samples);
+    let plan = measurement_schedule(n, emulation.cell.max_ues_per_subframe.max(2), t_samples)?;
+    let per_txop = emulation.cell.txop.dl_subframes + emulation.cell.txop.ul_subframes;
+    let needed = emulation.start_subframe + plan.t_max() * per_txop;
+    if needed > trace.access.len() as u64 {
+        return Err(BluError::TraceTooShort {
+            what: "full-fidelity measurement phase",
+            needed,
+            available: trace.access.len() as u64,
+        });
+    }
     let mut est = OutcomeEstimator::new(n);
-    let mut scheduler = crate::sched::MeasurementScheduler::new(&plan);
+    let mut scheduler = crate::sched::MeasurementScheduler::new(&plan)?;
     let mut cfg = emulation.clone();
     cfg.n_txops = plan.t_max();
-    let mut emulator = Emulator::new(trace, cfg);
+    let mut emulator = Emulator::new(trace, cfg)?;
     emulator.run(&mut scheduler, Some(&mut est));
-    (est, plan.t_max() * emulation.cell.txop.ul_subframes)
+    Ok((est, plan.t_max() * emulation.cell.txop.ul_subframes))
 }
 
 /// Blue-print a topology from measured statistics.
@@ -112,16 +134,16 @@ pub fn blueprint_from_measurements(
 }
 
 /// Run the complete two-phase loop on a trace.
-pub fn run_blu(trace: &TestbedTrace, config: &BluConfig) -> BluRunReport {
+pub fn run_blu(trace: &TestbedTrace, config: &BluConfig) -> Result<BluRunReport, BluError> {
     let k = config.emulation.cell.max_ues_per_subframe;
-    let (mut est, t_max) = run_measurement_phase(trace, k, config.t_samples);
+    let (mut est, t_max) = run_measurement_phase(trace, k, config.t_samples)?;
     let inference = blueprint_from_measurements(&est, &config.inference);
     let inferred: InterferenceTopology = inference.topology.clone();
     let accuracy = topology_accuracy(&trace.ground_truth, &inferred);
 
     let access = TopologyAccess::new(&inferred);
     let mut scheduler = SpeculativeScheduler::new(&access);
-    let mut emulator = Emulator::new(trace, config.emulation.clone());
+    let mut emulator = Emulator::new(trace, config.emulation.clone())?;
     // Phase-2 outcomes keep feeding the estimator (future phases
     // start warm, §3.7).
     let speculative = emulator.run(&mut scheduler, Some(&mut est));
@@ -131,13 +153,13 @@ pub fn run_blu(trace: &TestbedTrace, config: &BluConfig) -> BluRunReport {
         k.min(trace.ground_truth.n_clients),
         config.t_samples,
     );
-    BluRunReport {
+    Ok(BluRunReport {
         measurement_subframes: t_max,
         measurement_floor: floor,
         inference,
         accuracy,
         speculative,
-    }
+    })
 }
 
 /// §3.7 "Tracking Dynamics": run the two-phase loop over a sequence
@@ -145,17 +167,25 @@ pub fn run_blu(trace: &TestbedTrace, config: &BluConfig) -> BluRunReport {
 /// clients and interferers move at the tens-of-seconds scale). Each
 /// epoch re-measures and re-blue-prints before its speculative phase,
 /// which is how BLU stays inside the stationary regime.
-pub fn run_blu_adaptive(epochs: &[&TestbedTrace], config: &BluConfig) -> Vec<BluRunReport> {
+pub fn run_blu_adaptive(
+    epochs: &[&TestbedTrace],
+    config: &BluConfig,
+) -> Result<Vec<BluRunReport>, BluError> {
     epochs.iter().map(|t| run_blu(t, config)).collect()
 }
 
 /// The non-adaptive strawman for the dynamics experiment: blue-print
 /// once on the first epoch, then keep speculating on that stale
 /// blue-print as the environment changes underneath.
-pub fn run_blu_stale(epochs: &[&TestbedTrace], config: &BluConfig) -> Vec<BluRunReport> {
-    assert!(!epochs.is_empty());
+pub fn run_blu_stale(
+    epochs: &[&TestbedTrace],
+    config: &BluConfig,
+) -> Result<Vec<BluRunReport>, BluError> {
+    if epochs.is_empty() {
+        return Err(BluError::EmptyInput("epoch list"));
+    }
     let k = config.emulation.cell.max_ues_per_subframe;
-    let (est, t_max) = run_measurement_phase(epochs[0], k, config.t_samples);
+    let (est, t_max) = run_measurement_phase(epochs[0], k, config.t_samples)?;
     let inference = blueprint_from_measurements(&est, &config.inference);
     let inferred = inference.topology.clone();
     let floor = crate::measure::min_subframes(
@@ -168,15 +198,15 @@ pub fn run_blu_stale(epochs: &[&TestbedTrace], config: &BluConfig) -> Vec<BluRun
         .map(|trace| {
             let access = TopologyAccess::new(&inferred);
             let mut scheduler = SpeculativeScheduler::new(&access);
-            let mut emulator = Emulator::new(trace, config.emulation.clone());
+            let mut emulator = Emulator::new(trace, config.emulation.clone())?;
             let speculative = emulator.run(&mut scheduler, None);
-            BluRunReport {
+            Ok(BluRunReport {
                 measurement_subframes: t_max,
                 measurement_floor: floor,
                 inference: inference.clone(),
                 accuracy: topology_accuracy(&trace.ground_truth, &inferred),
                 speculative,
-            }
+            })
         })
         .collect()
 }
@@ -211,7 +241,7 @@ mod tests {
     #[test]
     fn measurement_phase_covers_all_pairs() {
         let trace = quick_trace(1);
-        let (est, t_max) = run_measurement_phase(&trace, 8, 30);
+        let (est, t_max) = run_measurement_phase(&trace, 8, 30).unwrap();
         assert!(est.stats().min_pair_samples() >= 30);
         assert!(t_max >= 30); // at least T sub-frames
         for i in 0..trace.ground_truth.n_clients {
@@ -225,12 +255,12 @@ mod tests {
     fn full_loop_runs_and_beats_pf() {
         let trace = quick_trace(2);
         let config = quick_config(150);
-        let report = run_blu(&trace, &config);
+        let report = run_blu(&trace, &config).unwrap();
         assert!(report.measurement_subframes >= report.measurement_floor);
         assert!(report.speculative.metrics.bits_delivered > 0.0);
 
         // Baseline PF on the same trace.
-        let mut emu = Emulator::new(&trace, config.emulation.clone());
+        let mut emu = Emulator::new(&trace, config.emulation.clone()).unwrap();
         let pf = emu.run(&mut PfScheduler, None);
         assert!(
             report.speculative.metrics.rb_utilization() > pf.metrics.rb_utilization(),
@@ -245,7 +275,7 @@ mod tests {
         // With a full measurement phase at T = 200, inference should
         // find most terminals exactly (noisy-input regime of Fig 14).
         let trace = quick_trace(3);
-        let (est, _) = run_measurement_phase(&trace, 8, 200);
+        let (est, _) = run_measurement_phase(&trace, 8, 200).unwrap();
         let result = blueprint_from_measurements(&est, &InferenceConfig::default());
         let acc = topology_accuracy(&trace.ground_truth, &result.topology);
         assert!(
@@ -262,8 +292,8 @@ mod tests {
     fn deterministic_runs() {
         let trace = quick_trace(4);
         let config = quick_config(40);
-        let a = run_blu(&trace, &config);
-        let b = run_blu(&trace, &config);
+        let a = run_blu(&trace, &config).unwrap();
+        let b = run_blu(&trace, &config).unwrap();
         assert_eq!(a.speculative.metrics, b.speculative.metrics);
         assert_eq!(a.inference.topology, b.inference.topology);
     }
@@ -299,8 +329,8 @@ mod dynamics_tests {
         emu.n_txops = 150;
         let config = BluConfig::new(emu);
 
-        let adaptive = run_blu_adaptive(&epochs, &config);
-        let stale = run_blu_stale(&epochs, &config);
+        let adaptive = run_blu_adaptive(&epochs, &config).unwrap();
+        let stale = run_blu_stale(&epochs, &config).unwrap();
         assert_eq!(adaptive.len(), 2);
         assert_eq!(stale.len(), 2);
 
@@ -341,8 +371,8 @@ mod full_fidelity_tests {
         let mut cell = CellConfig::testbed_siso();
         cell.numerology.n_rbs = 10;
         let emu_cfg = EmulationConfig::new(cell);
-        let (full, consumed) = run_measurement_phase_full(&trace, &emu_cfg, 40);
-        let (quick, _) = run_measurement_phase(&trace, 8, 40);
+        let (full, consumed) = run_measurement_phase_full(&trace, &emu_cfg, 40).unwrap();
+        let (quick, _) = run_measurement_phase(&trace, 8, 40).unwrap();
         assert!(consumed > 0);
         assert!(full.stats().min_pair_samples() >= 40);
         for i in 0..trace.ground_truth.n_clients {

@@ -1,0 +1,624 @@
+//! Degraded-mode BLU orchestration: the robust loop that survives a
+//! changing, fault-ridden environment.
+//!
+//! The vanilla orchestrator ([`crate::orchestrator`]) assumes the
+//! interference field is stationary for the whole run. This module
+//! drops that assumption: it drives the two-phase loop against a
+//! [`FaultyCapture`] in which hidden terminals appear, disappear and
+//! drift mid-run and the observation path itself lies (pilot
+//! misclassification, dropped reports — [`blu_sim::faults`]).
+//!
+//! The loop is a five-state machine:
+//!
+//! ```text
+//!        ┌───────────── Measuring ◄────────────┐
+//!        ▼                                     │ (probation over)
+//!   [infer verdict]                            │
+//!    │confident │degraded/low-confidence       │
+//!    ▼          ▼                              │
+//! Confident   Fallback ────────────────────────┘
+//!    │(drift EWMA over threshold)
+//!    ▼
+//! Drifting → Remeasuring (shortened phase, estimator decayed, §3.7)
+//! ```
+//!
+//! * **Measuring / Remeasuring** — run the Algorithm-1 plan against
+//!   the trace, feeding the estimator through the observation-fault
+//!   channel. Re-measurements are shorter (`remeasure_t_samples`) and
+//!   the estimator is first *decayed* so fresh post-drift samples
+//!   outweigh stale history (staleness windowing).
+//! * **Confident** — speculative scheduling on the inferred
+//!   blue-print, in segments of `check_interval_txops`; after each
+//!   segment every client's observed CCA outcome updates a per-client
+//!   mispredict EWMA against the blue-print's predicted access
+//!   probability.
+//! * **Drifting** — the EWMA crossed `drift_threshold`: the
+//!   blue-print no longer describes the air. Recorded for
+//!   observability, then immediately re-measure.
+//! * **Fallback** — the inference verdict was
+//!   [`InferenceVerdict::Degraded`] (or confidence fell below
+//!   `confidence_floor`): scheduling proceeds with plain proportional
+//!   fair, which needs no topology knowledge, until a probation
+//!   period expires and measurement is retried.
+//!
+//! PF fairness state is carried across segments
+//! ([`Emulator::seed_pf_averages`]), and measurement overhead is
+//! charged against throughput in
+//! [`RobustRunReport::effective_throughput_mbps`] — the number a
+//! deployment would actually see.
+
+use crate::blueprint::infer::InferenceVerdict;
+use crate::blueprint::InferenceResult;
+use crate::emulator::Emulator;
+use crate::error::BluError;
+use crate::joint::TopologyAccess;
+use crate::measure::{measurement_schedule, OutcomeEstimator};
+use crate::metrics::UplinkMetrics;
+use crate::orchestrator::{blueprint_from_measurements, BluConfig};
+use crate::sched::{PfScheduler, SpeculativeScheduler};
+use blu_sim::clientset::ClientSet;
+use blu_sim::faults::ObservationChannel;
+use blu_sim::rng::DetRng;
+use blu_sim::time::SubframeIndex;
+use blu_traces::faults::FaultyCapture;
+
+/// Where the robust orchestrator currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrchestratorState {
+    /// Initial full-length measurement phase.
+    Measuring,
+    /// Speculating on a blue-print whose drift score is below
+    /// threshold.
+    Confident,
+    /// Drift detected; about to re-measure.
+    Drifting,
+    /// Shortened re-measurement phase (§3.7).
+    Remeasuring,
+    /// Blue-print unusable — scheduling with plain PF.
+    Fallback,
+}
+
+impl std::fmt::Display for OrchestratorState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            OrchestratorState::Measuring => "measuring",
+            OrchestratorState::Confident => "confident",
+            OrchestratorState::Drifting => "drifting",
+            OrchestratorState::Remeasuring => "re-measuring",
+            OrchestratorState::Fallback => "fallback",
+        })
+    }
+}
+
+/// Per-client mispredict tracker: an EWMA of the signed difference
+/// between each observed CCA outcome (1 = accessed) and the
+/// blue-print's predicted access probability. Under a correct
+/// blue-print every per-client EWMA hovers around zero; a terminal
+/// appearing, disappearing or drifting pulls its victims' EWMAs away
+/// in either direction, so the score is the **maximum absolute**
+/// per-client deviation.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    alpha: f64,
+    dev: Vec<f64>,
+    samples: u64,
+}
+
+impl DriftMonitor {
+    /// New monitor over `n` clients with EWMA weight `alpha`.
+    pub fn new(alpha: f64, n: usize) -> Self {
+        DriftMonitor {
+            alpha: alpha.clamp(0.0, 1.0),
+            dev: vec![0.0; n],
+            samples: 0,
+        }
+    }
+
+    /// Feed one observed outcome for client `ue` against the
+    /// blue-print's predicted access probability.
+    pub fn observe(&mut self, ue: usize, accessed: bool, predicted: f64) {
+        if ue >= self.dev.len() {
+            return;
+        }
+        let p = if predicted.is_finite() {
+            predicted.clamp(0.0, 1.0)
+        } else {
+            0.5
+        };
+        let x = if accessed { 1.0 } else { 0.0 };
+        self.dev[ue] += self.alpha * ((x - p) - self.dev[ue]);
+        self.samples += 1;
+    }
+
+    /// Current drift score: the largest per-client |EWMA| deviation.
+    pub fn score(&self) -> f64 {
+        self.dev.iter().fold(0.0_f64, |m, d| m.max(d.abs()))
+    }
+
+    /// Observations consumed since the last reset.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Forget everything (called after re-blue-printing).
+    pub fn reset(&mut self) {
+        self.dev.iter_mut().for_each(|d| *d = 0.0);
+        self.samples = 0;
+    }
+}
+
+/// Configuration of the robust loop.
+#[derive(Debug, Clone)]
+pub struct RobustConfig {
+    /// The underlying two-phase configuration (cell, `T`, inference).
+    pub blu: BluConfig,
+    /// Minimum blue-print confidence (`1 − residual fraction`) to
+    /// speculate on; below it the loop falls back to PF.
+    pub confidence_floor: f64,
+    /// Drift-score threshold that triggers re-measurement.
+    pub drift_threshold: f64,
+    /// EWMA weight of the drift monitor.
+    pub drift_alpha: f64,
+    /// Ignore the drift score until this many outcomes were seen
+    /// (EWMA warm-up).
+    pub min_drift_samples: u64,
+    /// `T` for shortened re-measurement phases (§3.7 — the estimator
+    /// stays warm, so far fewer fresh samples suffice).
+    pub remeasure_t_samples: u64,
+    /// Speculative/fallback segment length between drift checks.
+    pub check_interval_txops: u64,
+    /// TxOPs spent in PF fallback before measurement is retried.
+    pub fallback_probation_txops: u64,
+    /// Estimator count-retention factor applied before each
+    /// re-measurement (see [`OutcomeEstimator::decay`]).
+    pub estimator_keep: f64,
+    /// Seed of the observation-fault channel RNG.
+    pub seed: u64,
+}
+
+impl RobustConfig {
+    /// Defaults tuned for the testbed-scale scenarios of the paper.
+    pub fn new(blu: BluConfig) -> Self {
+        RobustConfig {
+            blu,
+            confidence_floor: 0.35,
+            drift_threshold: 0.35,
+            drift_alpha: 0.01,
+            min_drift_samples: 1_000,
+            remeasure_t_samples: 15,
+            check_interval_txops: 25,
+            fallback_probation_txops: 50,
+            estimator_keep: 0.25,
+            seed: 0xD1F7,
+        }
+    }
+}
+
+/// One state-machine transition, for post-mortem inspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StateTransition {
+    /// Trace sub-frame at which the state was entered.
+    pub at_subframe: u64,
+    /// The state entered.
+    pub state: OrchestratorState,
+}
+
+/// Everything a robust run produces.
+#[derive(Debug, Clone)]
+pub struct RobustRunReport {
+    /// Merged scheduling-phase metrics (speculative + fallback
+    /// segments; measurement sub-frames carry no counted payload).
+    pub metrics: UplinkMetrics,
+    /// Total sub-frames spent measuring (initial + re-measurements).
+    pub measurement_subframes: u64,
+    /// Number of re-measurement phases triggered.
+    pub n_remeasurements: u32,
+    /// TxOPs spent speculating on a blue-print.
+    pub speculative_txops: u64,
+    /// TxOPs spent in PF fallback.
+    pub fallback_txops: u64,
+    /// The full state history, in order.
+    pub transitions: Vec<StateTransition>,
+    /// Verdict of every inference attempt, in order.
+    pub verdicts: Vec<InferenceVerdict>,
+    /// Confidence of the last blue-print in force (0 when none).
+    pub final_confidence: f64,
+    /// Largest drift score observed across the run.
+    pub peak_drift: f64,
+}
+
+impl RobustRunReport {
+    /// Throughput with measurement overhead charged: delivered bits
+    /// over *all* elapsed sub-frames, scheduled or measuring. This is
+    /// the honest number for comparing a re-measuring loop against a
+    /// never-measuring baseline.
+    pub fn effective_throughput_mbps(&self) -> f64 {
+        let total = self.metrics.subframes + self.measurement_subframes;
+        if total == 0 {
+            0.0
+        } else {
+            self.metrics.bits_delivered / (total as f64 * 1_000.0)
+        }
+    }
+
+    /// The state the run ended in.
+    pub fn final_state(&self) -> OrchestratorState {
+        self.transitions
+            .last()
+            .map(|t| t.state)
+            .unwrap_or(OrchestratorState::Measuring)
+    }
+}
+
+/// Run the robust loop over a fault-scripted capture until the trace
+/// is exhausted.
+///
+/// Injected faults never panic this function: an inference failure on
+/// corrupted statistics surfaces as a [`InferenceVerdict::Degraded`]
+/// verdict and routes into PF fallback; a trace too short for even
+/// one measurement phase is a typed [`BluError`].
+pub fn run_blu_robust(
+    capture: &FaultyCapture,
+    config: &RobustConfig,
+) -> Result<RobustRunReport, BluError> {
+    let trace = &capture.trace;
+    trace.validate().map_err(BluError::InvalidTrace)?;
+    let n = trace.ground_truth.n_clients;
+    let trace_len = trace.access.len() as u64;
+    let per_txop = config.blu.emulation.cell.txop.total_subframes();
+    let dl = config.blu.emulation.cell.txop.dl_subframes;
+    let ul = config.blu.emulation.cell.txop.ul_subframes;
+    let k_max = config.blu.emulation.cell.max_ues_per_subframe;
+    if config.check_interval_txops == 0 {
+        return Err(BluError::InvalidConfig(
+            "check_interval_txops must be positive".into(),
+        ));
+    }
+
+    let mut est = OutcomeEstimator::new(n);
+    let mut chan = ObservationChannel::new(DetRng::seed_from_u64(config.seed ^ 0x0B5E_7ACE));
+    let mut drift = DriftMonitor::new(config.drift_alpha, n);
+    let mut metrics = UplinkMetrics::new(n);
+    let mut cursor: u64 = 0;
+    let mut state = OrchestratorState::Measuring;
+    let mut transitions = vec![StateTransition {
+        at_subframe: 0,
+        state,
+    }];
+    let mut verdicts: Vec<InferenceVerdict> = Vec::new();
+    let mut blueprint: Option<InferenceResult> = None;
+    let mut pf_avg: Option<Vec<f64>> = None;
+    let mut measurement_subframes = 0u64;
+    let mut n_remeasurements = 0u32;
+    let mut speculative_txops = 0u64;
+    let mut fallback_txops = 0u64;
+    let mut probation_left = 0u64;
+    let mut peak_drift = 0.0_f64;
+
+    // The initial measurement phase must fit; later phases that run
+    // off the end of the trace simply end the run in whatever state
+    // it was in (there is no more air to schedule anyway).
+    {
+        let plan = measurement_schedule(n, k_max, config.blu.t_samples)?;
+        if plan.t_max() > trace_len {
+            return Err(BluError::TraceTooShort {
+                what: "robust initial measurement phase",
+                needed: plan.t_max(),
+                available: trace_len,
+            });
+        }
+    }
+
+    let enter = |transitions: &mut Vec<StateTransition>,
+                 state: &mut OrchestratorState,
+                 next: OrchestratorState,
+                 at: u64| {
+        *state = next;
+        transitions.push(StateTransition {
+            at_subframe: at,
+            state: next,
+        });
+    };
+
+    loop {
+        match state {
+            OrchestratorState::Measuring | OrchestratorState::Remeasuring => {
+                let t = if state == OrchestratorState::Measuring {
+                    config.blu.t_samples
+                } else {
+                    config.remeasure_t_samples
+                };
+                let plan = measurement_schedule(n, k_max, t)?;
+                if cursor + plan.t_max() > trace_len {
+                    break;
+                }
+                for (i, &scheduled) in plan.subframes.iter().enumerate() {
+                    let sf = cursor + i as u64;
+                    let accessible = trace.access.at(SubframeIndex(sf));
+                    let obs_state = capture.script.obs_state_at(sf);
+                    if let Some((obs, acc)) =
+                        chan.corrupt(obs_state, scheduled, accessible.intersection(scheduled))
+                    {
+                        est.stats_mut().record(obs, acc);
+                    }
+                }
+                cursor += plan.t_max();
+                measurement_subframes += plan.t_max();
+                let result = blueprint_from_measurements(&est, &config.blu.inference);
+                verdicts.push(result.verdict);
+                let usable = result.verdict != InferenceVerdict::Degraded
+                    && result.confidence() >= config.confidence_floor;
+                if usable {
+                    blueprint = Some(result);
+                    drift.reset();
+                    enter(
+                        &mut transitions,
+                        &mut state,
+                        OrchestratorState::Confident,
+                        cursor,
+                    );
+                } else {
+                    blueprint = None;
+                    probation_left = config.fallback_probation_txops;
+                    enter(
+                        &mut transitions,
+                        &mut state,
+                        OrchestratorState::Fallback,
+                        cursor,
+                    );
+                }
+            }
+            OrchestratorState::Confident | OrchestratorState::Fallback => {
+                let room = (trace_len - cursor) / per_txop;
+                let txops = config.check_interval_txops.min(room);
+                if txops == 0 {
+                    break;
+                }
+                let mut cfg = config.blu.emulation.clone();
+                cfg.n_txops = txops;
+                cfg.start_subframe = cursor;
+                let mut emu = Emulator::new(trace, cfg)?;
+                if let Some(avg) = &pf_avg {
+                    emu.seed_pf_averages(avg);
+                }
+                let seg = if state == OrchestratorState::Confident {
+                    let result = blueprint.as_ref().expect("Confident implies a blueprint");
+                    let access = TopologyAccess::new(&result.topology);
+                    let mut sched = SpeculativeScheduler::new(&access);
+                    emu.run(&mut sched, None)
+                } else {
+                    emu.run(&mut PfScheduler, None)
+                };
+                pf_avg = Some(emu.pf_averages().to_vec());
+                metrics.merge(&seg.metrics);
+
+                // Observed CCA outcomes keep feeding the estimator
+                // (warm re-measurements, §3.7) and — when a blue-print
+                // is in force — the drift monitor. Only UL sub-frames
+                // are observable: the eNB transmits during DL.
+                for t_i in 0..txops {
+                    for u in 0..ul {
+                        let sf = cursor + t_i * per_txop + dl + u;
+                        let accessible = trace.access.at(SubframeIndex(sf));
+                        let obs_state = capture.script.obs_state_at(sf);
+                        let all = ClientSet::all(n);
+                        if let Some((obs, acc)) = chan.corrupt(obs_state, all, accessible) {
+                            est.stats_mut().record(obs, acc);
+                            if let Some(result) = &blueprint {
+                                for ue in obs.iter() {
+                                    drift.observe(
+                                        ue,
+                                        acc.contains(ue),
+                                        result.topology.p_individual(ue),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+                cursor += txops * per_txop;
+
+                if state == OrchestratorState::Confident {
+                    speculative_txops += txops;
+                    peak_drift = peak_drift.max(drift.score());
+                    if drift.samples() >= config.min_drift_samples
+                        && drift.score() > config.drift_threshold
+                    {
+                        enter(
+                            &mut transitions,
+                            &mut state,
+                            OrchestratorState::Drifting,
+                            cursor,
+                        );
+                    }
+                } else {
+                    fallback_txops += txops;
+                    probation_left = probation_left.saturating_sub(txops);
+                    if probation_left == 0 {
+                        est.decay(config.estimator_keep);
+                        n_remeasurements += 1;
+                        enter(
+                            &mut transitions,
+                            &mut state,
+                            OrchestratorState::Remeasuring,
+                            cursor,
+                        );
+                    }
+                }
+            }
+            OrchestratorState::Drifting => {
+                // Transitional: decay stale statistics and go
+                // straight into the shortened re-measurement.
+                est.decay(config.estimator_keep);
+                n_remeasurements += 1;
+                enter(
+                    &mut transitions,
+                    &mut state,
+                    OrchestratorState::Remeasuring,
+                    cursor,
+                );
+            }
+        }
+    }
+
+    Ok(RobustRunReport {
+        metrics,
+        measurement_subframes,
+        n_remeasurements,
+        speculative_txops,
+        fallback_txops,
+        transitions,
+        verdicts,
+        final_confidence: blueprint.as_ref().map(|r| r.confidence()).unwrap_or(0.0),
+        peak_drift,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blu_phy::cell::CellConfig;
+    use blu_sim::clientset::ClientSet;
+    use blu_sim::faults::{FaultEvent, FaultKind, FaultScript};
+    use blu_sim::time::Micros;
+    use blu_traces::capture::CaptureConfig;
+    use blu_traces::faults::capture_with_faults;
+
+    fn capture(script: FaultScript, secs: u64, seed: u64) -> FaultyCapture {
+        capture_with_faults(
+            &CaptureConfig {
+                duration: Micros::from_secs(secs),
+                q_range: (0.25, 0.55),
+                ..CaptureConfig::testbed_default()
+            },
+            &script,
+            seed,
+        )
+        .unwrap()
+    }
+
+    fn quick_config() -> RobustConfig {
+        let mut cell = CellConfig::testbed_siso();
+        cell.numerology.n_rbs = 10;
+        let emu = crate::emulator::EmulationConfig::new(cell);
+        RobustConfig::new(BluConfig::new(emu))
+    }
+
+    #[test]
+    fn clean_run_stays_confident() {
+        let cap = capture(FaultScript::none(), 60, 11);
+        let report = run_blu_robust(&cap, &quick_config()).unwrap();
+        assert_eq!(report.final_state(), OrchestratorState::Confident);
+        assert_eq!(report.n_remeasurements, 0);
+        assert_eq!(report.fallback_txops, 0);
+        assert!(report.speculative_txops > 0);
+        assert!(report.metrics.bits_delivered > 0.0);
+        assert!(report.final_confidence > 0.5);
+    }
+
+    #[test]
+    fn appearance_triggers_drift_and_remeasure() {
+        // A strong new terminal blankets four clients mid-run.
+        let script = FaultScript::new(vec![FaultEvent {
+            at_subframe: 20_000,
+            kind: FaultKind::HtAppear {
+                q: 0.6,
+                edges: ClientSet::from_iter([0, 1, 2, 3]),
+            },
+        }]);
+        let cap = capture(script, 90, 12);
+        let report = run_blu_robust(&cap, &quick_config()).unwrap();
+        assert!(
+            report.n_remeasurements >= 1,
+            "appearance went undetected: peak drift {}",
+            report.peak_drift
+        );
+        assert!(report.peak_drift > 0.35);
+        assert!(report
+            .transitions
+            .iter()
+            .any(|t| t.state == OrchestratorState::Drifting));
+        // After re-measuring the loop should have found its footing
+        // again rather than dying in fallback.
+        assert_eq!(report.final_state(), OrchestratorState::Confident);
+    }
+
+    #[test]
+    fn clean_run_never_spuriously_remeasures() {
+        let cap = capture(FaultScript::none(), 90, 13);
+        let report = run_blu_robust(&cap, &quick_config()).unwrap();
+        assert_eq!(
+            report.n_remeasurements, 0,
+            "false drift alarm (peak {})",
+            report.peak_drift
+        );
+    }
+
+    #[test]
+    fn misclassification_does_not_panic_and_still_delivers() {
+        let script = FaultScript::new(vec![FaultEvent {
+            at_subframe: 0,
+            kind: FaultKind::MisclassifyRate { rate: 0.05 },
+        }]);
+        let cap = capture(script, 60, 14);
+        let report = run_blu_robust(&cap, &quick_config()).unwrap();
+        assert!(report.metrics.bits_delivered > 0.0);
+        assert!(!report.verdicts.is_empty());
+    }
+
+    #[test]
+    fn heavy_observation_faults_route_to_fallback_not_panic() {
+        // Half the outcomes flipped and half the reports dropped: the
+        // statistics are garbage; the loop must keep scheduling.
+        let script = FaultScript::new(vec![
+            FaultEvent {
+                at_subframe: 0,
+                kind: FaultKind::MisclassifyRate { rate: 0.5 },
+            },
+            FaultEvent {
+                at_subframe: 0,
+                kind: FaultKind::DropRate { rate: 0.5 },
+            },
+        ]);
+        let cap = capture(script, 60, 15);
+        let report = run_blu_robust(&cap, &quick_config()).unwrap();
+        assert!(report.metrics.bits_delivered > 0.0);
+        // Either the inference survived the noise or fallback ran —
+        // both are acceptable; a panic is not.
+        assert!(report.fallback_txops > 0 || report.speculative_txops > 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let script = FaultScript::new(vec![FaultEvent {
+            at_subframe: 15_000,
+            kind: FaultKind::QDrift { ht: 0, q: 0.9 },
+        }]);
+        let cap = capture(script, 60, 16);
+        let cfg = quick_config();
+        let a = run_blu_robust(&cap, &cfg).unwrap();
+        let b = run_blu_robust(&cap, &cfg).unwrap();
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.transitions, b.transitions);
+        assert_eq!(a.verdicts, b.verdicts);
+    }
+
+    #[test]
+    fn too_short_trace_is_a_typed_error() {
+        let cap = capture(FaultScript::none(), 1, 17);
+        let mut cfg = quick_config();
+        cfg.blu.t_samples = 5_000;
+        match run_blu_robust(&cap, &cfg) {
+            Err(BluError::TraceTooShort { .. }) => {}
+            other => panic!("expected TraceTooShort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn effective_throughput_charges_measurement() {
+        let cap = capture(FaultScript::none(), 60, 18);
+        let report = run_blu_robust(&cap, &quick_config()).unwrap();
+        assert!(report.effective_throughput_mbps() <= report.metrics.throughput_mbps());
+        assert!(report.effective_throughput_mbps() > 0.0);
+    }
+}

@@ -11,6 +11,7 @@
 //! for free.
 
 use super::{SchedInput, UlScheduler};
+use crate::error::BluError;
 use crate::measure::MeasurementPlan;
 use blu_phy::grant::RbSchedule;
 
@@ -21,13 +22,15 @@ pub struct MeasurementScheduler {
 }
 
 impl MeasurementScheduler {
-    /// Wrap a plan; panics on an empty plan.
-    pub fn new(plan: &MeasurementPlan) -> Self {
-        assert!(!plan.subframes.is_empty(), "empty measurement plan");
-        MeasurementScheduler {
+    /// Wrap a plan; errors on an empty plan (nothing to replay).
+    pub fn new(plan: &MeasurementPlan) -> Result<Self, BluError> {
+        if plan.subframes.is_empty() {
+            return Err(BluError::EmptyInput("measurement plan"));
+        }
+        Ok(MeasurementScheduler {
             plan: plan.subframes.clone(),
             cursor: 0,
-        }
+        })
     }
 
     /// How many schedules have been issued so far.
@@ -86,8 +89,8 @@ mod tests {
 
     #[test]
     fn follows_the_plan_without_overscheduling() {
-        let plan = measurement_schedule(8, 4, 3);
-        let mut sched = MeasurementScheduler::new(&plan);
+        let plan = measurement_schedule(8, 4, 3).unwrap();
+        let mut sched = MeasurementScheduler::new(&plan).unwrap();
         let rates = MatrixRates::flat(8, 12, 100.0);
         let avg = vec![10.0; 8];
         let inp = input(&rates, &avg, 12);
@@ -102,8 +105,8 @@ mod tests {
 
     #[test]
     fn rb_chunks_are_balanced() {
-        let plan = measurement_schedule(6, 3, 1);
-        let mut sched = MeasurementScheduler::new(&plan);
+        let plan = measurement_schedule(6, 3, 1).unwrap();
+        let mut sched = MeasurementScheduler::new(&plan).unwrap();
         let rates = MatrixRates::flat(6, 10, 100.0);
         let avg = vec![10.0; 6];
         let s = sched.schedule(&input(&rates, &avg, 10));
@@ -118,9 +121,9 @@ mod tests {
 
     #[test]
     fn wraps_around_for_long_runs() {
-        let plan = measurement_schedule(4, 4, 1);
+        let plan = measurement_schedule(4, 4, 1).unwrap();
         assert_eq!(plan.subframes.len(), 1);
-        let mut sched = MeasurementScheduler::new(&plan);
+        let mut sched = MeasurementScheduler::new(&plan).unwrap();
         let rates = MatrixRates::flat(4, 8, 100.0);
         let avg = vec![10.0; 4];
         let inp = input(&rates, &avg, 8);

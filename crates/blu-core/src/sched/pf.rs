@@ -33,7 +33,7 @@ impl PfScheduler {
             .map(|ue| (ue, weight_of(ue, rb)))
             .filter(|&(_, w)| w > 0.0)
             .collect();
-        weighted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        weighted.sort_by(|a, b| b.1.total_cmp(&a.1));
         // Hard K cap: new clients only while budget remains.
         let mut budget = input.k_max.saturating_sub(used.len());
         let mut chain: Vec<(usize, f64)> = Vec::with_capacity(cap);

@@ -107,13 +107,7 @@ mod tests {
         assert_eq!(got, vec![1, 0, 2]);
         // Tighten stream 0's requirement: the chain breaks there and
         // stream 2 is lost despite its huge post-cancel SINR.
-        let got = sic_decode(&powers, 0.001, |i, sinr| {
-            if i == 0 {
-                sinr >= 2.0
-            } else {
-                sinr >= 2.0
-            }
-        });
+        let got = sic_decode(&powers, 0.001, |_, sinr| sinr >= 2.0);
         assert_eq!(got, vec![1]);
     }
 

@@ -1,0 +1,592 @@
+//! Deterministic fault injection.
+//!
+//! The paper's robustness story (§3.7) hinges on LTE-U deployments
+//! facing a *moving target*: WiFi hidden terminals appear, disappear,
+//! change their offered load `q(k)`, and shift which clients they
+//! impact; meanwhile the measurement channel itself is noisy (pilot
+//! misclassification, lost outcome reports). This module provides the
+//! scripted, seed-deterministic fault substrate those conditions are
+//! injected through:
+//!
+//! * [`FaultKind`] — the catalogue of environment and observation
+//!   faults;
+//! * [`FaultScript`] — a validated, subframe-ordered list of
+//!   [`FaultEvent`]s, serializable so experiments and the CLI can
+//!   share scenario files;
+//! * [`apply_topology_fault`] — the topology mutation hook used by
+//!   trace capture to evolve the ground truth mid-run;
+//! * [`ObservationChannel`] — the estimator-input corruption channel
+//!   (bit-flip misclassification and dropped subframe reports), driven
+//!   by a [`DetRng`] stream so runs remain exactly reproducible.
+//!
+//! Fault *application* lives next to the consumers: `blu-traces`
+//! splices faulted epochs into access traces, and `blu-core`'s robust
+//! orchestrator reads [`FaultScript::obs_state_at`] while recording
+//! measurement outcomes.
+
+use crate::clientset::ClientSet;
+use crate::error::SimError;
+use crate::rng::DetRng;
+use crate::topology::{HiddenTerminal, InterferenceTopology};
+use serde::{Deserialize, Serialize};
+
+/// One kind of injected fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A new hidden terminal appears with duty cycle `q`, impacting
+    /// the clients in `edges`. It is appended to the topology, so it
+    /// receives the next free HT index.
+    HtAppear {
+        /// Stationary busy probability of the new terminal.
+        q: f64,
+        /// Clients whose CCA the new terminal blocks.
+        edges: ClientSet,
+    },
+    /// Hidden terminal `ht` leaves the air. Its slot is kept (with
+    /// `q = 0`) so later events can keep referring to stable indices.
+    HtDisappear {
+        /// Index of the terminal (in order of appearance).
+        ht: usize,
+    },
+    /// Hidden terminal `ht`'s duty cycle drifts to a new value.
+    QDrift {
+        /// Index of the terminal (in order of appearance).
+        ht: usize,
+        /// New stationary busy probability.
+        q: f64,
+    },
+    /// The client-impact edge set of `ht` churns: every client in
+    /// `toggle` flips between impacted and unimpacted.
+    EdgeChurn {
+        /// Index of the terminal (in order of appearance).
+        ht: usize,
+        /// Clients whose edge to `ht` is toggled.
+        toggle: ClientSet,
+    },
+    /// From this subframe on, each observed client's access outcome is
+    /// misclassified (bit-flipped) independently with this rate.
+    MisclassifyRate {
+        /// Per-client flip probability in `[0, 1]`.
+        rate: f64,
+    },
+    /// From this subframe on, entire subframe outcome reports are
+    /// dropped (never reach the estimator) with this rate.
+    DropRate {
+        /// Per-subframe drop probability in `[0, 1]`.
+        rate: f64,
+    },
+}
+
+impl FaultKind {
+    /// Whether this fault mutates the interference topology (and thus
+    /// forces a new trace epoch), as opposed to corrupting the
+    /// observation path only.
+    pub fn is_topological(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::HtAppear { .. }
+                | FaultKind::HtDisappear { .. }
+                | FaultKind::QDrift { .. }
+                | FaultKind::EdgeChurn { .. }
+        )
+    }
+}
+
+/// A fault scheduled at a subframe boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Subframe at whose start the fault takes effect.
+    pub at_subframe: u64,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// Observation-path fault rates in force at some instant.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ObsFaultState {
+    /// Per-client access-outcome flip probability.
+    pub misclassify_rate: f64,
+    /// Per-subframe report drop probability.
+    pub drop_rate: f64,
+}
+
+/// A subframe-ordered fault scenario.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultScript {
+    /// Events sorted by `at_subframe` (stable on ties).
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultScript {
+    /// An empty (fault-free) script.
+    pub fn none() -> Self {
+        FaultScript::default()
+    }
+
+    /// Build a script, sorting events by subframe (stable on ties, so
+    /// same-subframe events apply in authoring order).
+    pub fn new(mut events: Vec<FaultEvent>) -> Self {
+        events.sort_by_key(|e| e.at_subframe);
+        FaultScript { events }
+    }
+
+    /// Number of scripted events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the script has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// How many `HtAppear` events the script contains.
+    pub fn n_appearing(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::HtAppear { .. }))
+            .count()
+    }
+
+    /// Validate against a cell of `n_clients` clients whose initial
+    /// topology has `n_initial_hts` hidden terminals: indices must
+    /// refer to terminals that exist by the time the event fires,
+    /// probabilities and rates must be in `[0, 1]`, and edge sets must
+    /// stay within the client population.
+    pub fn validate(&self, n_clients: usize, n_initial_hts: usize) -> Result<(), SimError> {
+        let all = ClientSet::all(n_clients);
+        let mut universe = n_initial_hts;
+        let mut sorted = true;
+        for w in self.events.windows(2) {
+            sorted &= w[0].at_subframe <= w[1].at_subframe;
+        }
+        if !sorted {
+            return Err(SimError::InvalidConfig(
+                "fault events not sorted by subframe (use FaultScript::new)".into(),
+            ));
+        }
+        for ev in &self.events {
+            match ev.kind {
+                FaultKind::HtAppear { q, edges } => {
+                    check_probability("HtAppear q", q)?;
+                    if !edges.is_subset_of(all) {
+                        return Err(SimError::InvalidConfig(format!(
+                            "HtAppear edges {edges} outside client population {all}"
+                        )));
+                    }
+                    if edges.is_empty() {
+                        return Err(SimError::InvalidConfig(
+                            "HtAppear with empty edge set has no observable effect".into(),
+                        ));
+                    }
+                    universe += 1;
+                }
+                FaultKind::HtDisappear { ht } => check_ht_index(ht, universe)?,
+                FaultKind::QDrift { ht, q } => {
+                    check_ht_index(ht, universe)?;
+                    check_probability("QDrift q", q)?;
+                }
+                FaultKind::EdgeChurn { ht, toggle } => {
+                    check_ht_index(ht, universe)?;
+                    if !toggle.is_subset_of(all) {
+                        return Err(SimError::InvalidConfig(format!(
+                            "EdgeChurn toggle {toggle} outside client population {all}"
+                        )));
+                    }
+                }
+                FaultKind::MisclassifyRate { rate } => check_probability("misclassify rate", rate)?,
+                FaultKind::DropRate { rate } => check_probability("drop rate", rate)?,
+            }
+        }
+        Ok(())
+    }
+
+    /// The distinct subframes at which topology-mutating events fire,
+    /// ascending.
+    pub fn topology_event_subframes(&self) -> Vec<u64> {
+        let mut sfs: Vec<u64> = self
+            .events
+            .iter()
+            .filter(|e| e.kind.is_topological())
+            .map(|e| e.at_subframe)
+            .collect();
+        sfs.dedup();
+        sfs
+    }
+
+    /// Topology-mutating events firing exactly at `sf`, in order.
+    pub fn topology_events_at(&self, sf: u64) -> impl Iterator<Item = &FaultEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.kind.is_topological() && e.at_subframe == sf)
+    }
+
+    /// The observation-fault rates in force at subframe `sf` (step
+    /// function over the scripted rate changes).
+    pub fn obs_state_at(&self, sf: u64) -> ObsFaultState {
+        let mut state = ObsFaultState::default();
+        for ev in &self.events {
+            if ev.at_subframe > sf {
+                break;
+            }
+            match ev.kind {
+                FaultKind::MisclassifyRate { rate } => state.misclassify_rate = rate,
+                FaultKind::DropRate { rate } => state.drop_rate = rate,
+                _ => {}
+            }
+        }
+        state
+    }
+
+    /// Whether the script ever corrupts the observation path.
+    pub fn has_observation_faults(&self) -> bool {
+        self.events.iter().any(|e| {
+            matches!(
+                e.kind,
+                FaultKind::MisclassifyRate { .. } | FaultKind::DropRate { .. }
+            )
+        })
+    }
+}
+
+fn check_probability(what: &'static str, p: f64) -> Result<(), SimError> {
+    if p.is_finite() && (0.0..=1.0).contains(&p) {
+        Ok(())
+    } else {
+        Err(SimError::InvalidProbability { what, value: p })
+    }
+}
+
+fn check_ht_index(ht: usize, universe: usize) -> Result<(), SimError> {
+    if ht < universe {
+        Ok(())
+    } else {
+        Err(SimError::IndexOutOfRange {
+            what: "fault hidden-terminal",
+            index: ht,
+            bound: universe,
+        })
+    }
+}
+
+/// Apply one topology-mutating fault to `topo` in place. Returns
+/// `Ok(true)` if the topology changed, `Ok(false)` for
+/// observation-path faults (which leave it untouched).
+pub fn apply_topology_fault(
+    topo: &mut InterferenceTopology,
+    kind: &FaultKind,
+) -> Result<bool, SimError> {
+    let all = ClientSet::all(topo.n_clients);
+    match *kind {
+        FaultKind::HtAppear { q, edges } => {
+            check_probability("HtAppear q", q)?;
+            if !edges.is_subset_of(all) {
+                return Err(SimError::InvalidConfig(format!(
+                    "HtAppear edges {edges} outside client population {all}"
+                )));
+            }
+            topo.hts.push(HiddenTerminal { q, edges });
+            Ok(true)
+        }
+        FaultKind::HtDisappear { ht } => {
+            check_ht_index(ht, topo.hts.len())?;
+            // Keep the slot so indices (and activity-timeline lanes)
+            // stay stable; q = 0 means "never on the air".
+            topo.hts[ht].q = 0.0;
+            Ok(true)
+        }
+        FaultKind::QDrift { ht, q } => {
+            check_ht_index(ht, topo.hts.len())?;
+            check_probability("QDrift q", q)?;
+            topo.hts[ht].q = q;
+            Ok(true)
+        }
+        FaultKind::EdgeChurn { ht, toggle } => {
+            check_ht_index(ht, topo.hts.len())?;
+            if !toggle.is_subset_of(all) {
+                return Err(SimError::InvalidConfig(format!(
+                    "EdgeChurn toggle {toggle} outside client population {all}"
+                )));
+            }
+            let e = topo.hts[ht].edges;
+            topo.hts[ht].edges = ClientSet(e.0 ^ toggle.0);
+            Ok(true)
+        }
+        FaultKind::MisclassifyRate { .. } | FaultKind::DropRate { .. } => Ok(false),
+    }
+}
+
+/// The observation corruption channel: everything between the PHY's
+/// true CCA outcome and the estimator's books. Deterministic given
+/// its RNG stream.
+#[derive(Debug, Clone)]
+pub struct ObservationChannel {
+    rng: DetRng,
+}
+
+impl ObservationChannel {
+    /// Build from a dedicated RNG stream.
+    pub fn new(rng: DetRng) -> Self {
+        ObservationChannel { rng }
+    }
+
+    /// Pass one subframe report `(observed, accessible)` through the
+    /// channel under fault state `state`. Returns `None` when the
+    /// whole report is dropped; otherwise the (possibly bit-flipped)
+    /// report. The observed set is never altered — only what the eNB
+    /// *concludes* about each observed client's access.
+    pub fn corrupt(
+        &mut self,
+        state: ObsFaultState,
+        observed: ClientSet,
+        accessible: ClientSet,
+    ) -> Option<(ClientSet, ClientSet)> {
+        if state.drop_rate > 0.0 && self.rng.chance(state.drop_rate) {
+            return None;
+        }
+        let mut acc = accessible;
+        if state.misclassify_rate > 0.0 {
+            for ue in observed.iter() {
+                if self.rng.chance(state.misclassify_rate) {
+                    acc = ClientSet(acc.0 ^ (1u128 << ue));
+                }
+            }
+        }
+        Some((observed, acc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_topo() -> InterferenceTopology {
+        InterferenceTopology {
+            n_clients: 4,
+            hts: vec![
+                HiddenTerminal {
+                    q: 0.3,
+                    edges: ClientSet::from_iter([0, 1]),
+                },
+                HiddenTerminal {
+                    q: 0.5,
+                    edges: ClientSet::singleton(2),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn script_sorts_and_validates() {
+        let script = FaultScript::new(vec![
+            FaultEvent {
+                at_subframe: 500,
+                kind: FaultKind::QDrift { ht: 0, q: 0.8 },
+            },
+            FaultEvent {
+                at_subframe: 100,
+                kind: FaultKind::MisclassifyRate { rate: 0.05 },
+            },
+        ]);
+        assert_eq!(script.events[0].at_subframe, 100);
+        assert_eq!(script.validate(4, 2), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_bad_events() {
+        let bad_q = FaultScript::new(vec![FaultEvent {
+            at_subframe: 0,
+            kind: FaultKind::QDrift { ht: 0, q: 1.5 },
+        }]);
+        assert!(bad_q.validate(4, 2).is_err());
+
+        let bad_index = FaultScript::new(vec![FaultEvent {
+            at_subframe: 0,
+            kind: FaultKind::HtDisappear { ht: 2 },
+        }]);
+        assert!(bad_index.validate(4, 2).is_err());
+
+        let bad_edges = FaultScript::new(vec![FaultEvent {
+            at_subframe: 0,
+            kind: FaultKind::HtAppear {
+                q: 0.4,
+                edges: ClientSet::singleton(7),
+            },
+        }]);
+        assert!(bad_edges.validate(4, 2).is_err());
+    }
+
+    #[test]
+    fn appearance_extends_the_index_universe() {
+        // Index 2 only exists because the appearance precedes it.
+        let script = FaultScript::new(vec![
+            FaultEvent {
+                at_subframe: 100,
+                kind: FaultKind::HtAppear {
+                    q: 0.4,
+                    edges: ClientSet::singleton(0),
+                },
+            },
+            FaultEvent {
+                at_subframe: 200,
+                kind: FaultKind::HtDisappear { ht: 2 },
+            },
+        ]);
+        assert_eq!(script.validate(4, 2), Ok(()));
+        // Reversed order: index 2 referenced before it exists.
+        let early = FaultScript::new(vec![
+            FaultEvent {
+                at_subframe: 50,
+                kind: FaultKind::HtDisappear { ht: 2 },
+            },
+            FaultEvent {
+                at_subframe: 100,
+                kind: FaultKind::HtAppear {
+                    q: 0.4,
+                    edges: ClientSet::singleton(0),
+                },
+            },
+        ]);
+        assert!(early.validate(4, 2).is_err());
+    }
+
+    #[test]
+    fn topology_faults_mutate_in_place() {
+        let mut topo = base_topo();
+        apply_topology_fault(
+            &mut topo,
+            &FaultKind::HtAppear {
+                q: 0.6,
+                edges: ClientSet::from_iter([1, 3]),
+            },
+        )
+        .unwrap();
+        assert_eq!(topo.n_hidden(), 3);
+        assert_eq!(topo.hts[2].q, 0.6);
+
+        apply_topology_fault(&mut topo, &FaultKind::QDrift { ht: 0, q: 0.9 }).unwrap();
+        assert_eq!(topo.hts[0].q, 0.9);
+
+        apply_topology_fault(
+            &mut topo,
+            &FaultKind::EdgeChurn {
+                ht: 1,
+                toggle: ClientSet::from_iter([2, 3]),
+            },
+        )
+        .unwrap();
+        assert_eq!(topo.hts[1].edges, ClientSet::singleton(3));
+
+        apply_topology_fault(&mut topo, &FaultKind::HtDisappear { ht: 2 }).unwrap();
+        assert_eq!(topo.n_hidden(), 3, "slot kept for index stability");
+        assert_eq!(topo.hts[2].q, 0.0);
+    }
+
+    #[test]
+    fn observation_faults_leave_topology_alone() {
+        let mut topo = base_topo();
+        let before = topo.clone();
+        let changed =
+            apply_topology_fault(&mut topo, &FaultKind::MisclassifyRate { rate: 0.1 }).unwrap();
+        assert!(!changed);
+        assert_eq!(topo, before);
+    }
+
+    #[test]
+    fn obs_state_is_a_step_function() {
+        let script = FaultScript::new(vec![
+            FaultEvent {
+                at_subframe: 100,
+                kind: FaultKind::MisclassifyRate { rate: 0.05 },
+            },
+            FaultEvent {
+                at_subframe: 300,
+                kind: FaultKind::DropRate { rate: 0.2 },
+            },
+            FaultEvent {
+                at_subframe: 500,
+                kind: FaultKind::MisclassifyRate { rate: 0.0 },
+            },
+        ]);
+        assert_eq!(script.obs_state_at(0), ObsFaultState::default());
+        assert_eq!(script.obs_state_at(100).misclassify_rate, 0.05);
+        assert_eq!(script.obs_state_at(299).drop_rate, 0.0);
+        let mid = script.obs_state_at(400);
+        assert_eq!(mid.misclassify_rate, 0.05);
+        assert_eq!(mid.drop_rate, 0.2);
+        let late = script.obs_state_at(9_999);
+        assert_eq!(late.misclassify_rate, 0.0);
+        assert_eq!(late.drop_rate, 0.2);
+    }
+
+    #[test]
+    fn channel_is_deterministic_and_bounded() {
+        let state = ObsFaultState {
+            misclassify_rate: 0.5,
+            drop_rate: 0.25,
+        };
+        let observed = ClientSet::from_iter([0, 1, 2, 3]);
+        let accessible = ClientSet::from_iter([0, 2]);
+        let mut a = ObservationChannel::new(DetRng::seed_from_u64(9));
+        let mut b = ObservationChannel::new(DetRng::seed_from_u64(9));
+        let mut dropped = 0;
+        for _ in 0..2_000 {
+            let ra = a.corrupt(state, observed, accessible);
+            let rb = b.corrupt(state, observed, accessible);
+            assert_eq!(ra, rb, "channel must be replayable");
+            match ra {
+                None => dropped += 1,
+                Some((obs, _)) => assert_eq!(obs, observed, "observed set never altered"),
+            }
+        }
+        // ~25% of 2000 reports dropped; loose deterministic bound.
+        assert!((300..=700).contains(&dropped), "dropped {dropped}");
+    }
+
+    #[test]
+    fn clean_channel_is_transparent() {
+        let mut ch = ObservationChannel::new(DetRng::seed_from_u64(1));
+        let observed = ClientSet::from_iter([0, 3]);
+        let accessible = ClientSet::singleton(3);
+        for _ in 0..100 {
+            assert_eq!(
+                ch.corrupt(ObsFaultState::default(), observed, accessible),
+                Some((observed, accessible))
+            );
+        }
+    }
+
+    #[test]
+    fn misclassification_flips_both_ways() {
+        // With rate 1.0 every observed client's bit flips exactly.
+        let state = ObsFaultState {
+            misclassify_rate: 1.0,
+            drop_rate: 0.0,
+        };
+        let mut ch = ObservationChannel::new(DetRng::seed_from_u64(3));
+        let observed = ClientSet::from_iter([0, 1]);
+        let accessible = ClientSet::singleton(0);
+        let (_, acc) = ch.corrupt(state, observed, accessible).unwrap();
+        assert_eq!(acc, ClientSet::singleton(1));
+    }
+
+    #[test]
+    fn script_round_trips_through_serde() {
+        let script = FaultScript::new(vec![
+            FaultEvent {
+                at_subframe: 42,
+                kind: FaultKind::HtAppear {
+                    q: 0.45,
+                    edges: ClientSet::from_iter([0, 1]),
+                },
+            },
+            FaultEvent {
+                at_subframe: 42,
+                kind: FaultKind::DropRate { rate: 0.1 },
+            },
+        ]);
+        let json = serde_json::to_string(&script).unwrap();
+        let back: FaultScript = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, script);
+    }
+}

@@ -27,6 +27,7 @@ pub mod clientset;
 pub mod error;
 pub mod events;
 pub mod fading;
+pub mod faults;
 pub mod fractional;
 pub mod geometry;
 pub mod link;
@@ -42,6 +43,7 @@ pub use cca::{SensingMode, SensingThresholds};
 pub use clientset::ClientSet;
 pub use error::SimError;
 pub use fading::Complex;
+pub use faults::{FaultEvent, FaultKind, FaultScript, ObservationChannel};
 pub use fractional::{FractionalHt, FractionalTopology};
 pub use geometry::Point;
 pub use node::{Node, NodeId, NodeKind};

@@ -22,11 +22,13 @@
 
 pub mod capture;
 pub mod combine;
+pub mod faults;
 pub mod io;
 pub mod scenario;
 pub mod schema;
 pub mod stats;
 
+pub use faults::{capture_with_faults, FaultEpoch, FaultyCapture};
 pub use scenario::{generate as generate_scenario, Scenario, ScenarioConfig};
 pub use schema::{AccessTrace, CsiTrace, TestbedTrace, WifiActivityTrace};
 pub use stats::EmpiricalAccess;

@@ -105,6 +105,33 @@ impl EmpiricalAccess {
         }
     }
 
+    /// Exponentially age the accumulated counts: every counter is
+    /// scaled by `keep ∈ [0, 1]` (rounded down). A tracking
+    /// orchestrator calls this before re-measuring so stale
+    /// observations from a pre-drift environment stop dominating the
+    /// empirical probabilities while recent evidence is retained
+    /// (staleness windowing, §3.7). `keep = 0` forgets everything;
+    /// `keep = 1` is a no-op. Out-of-range values are clamped.
+    pub fn decay(&mut self, keep: f64) {
+        let keep = keep.clamp(0.0, 1.0);
+        let scale = |c: &mut u64| *c = (*c as f64 * keep).floor() as u64;
+        self.obs_individual.iter_mut().for_each(scale);
+        self.acc_individual.iter_mut().for_each(scale);
+        self.obs_pair.iter_mut().for_each(scale);
+        self.acc_pair.iter_mut().for_each(scale);
+        // Scaling acc and obs independently can never produce
+        // acc > obs because floor is monotone and acc ≤ obs held
+        // before; re-establish the invariant defensively anyway.
+        for (acc, obs) in self
+            .acc_individual
+            .iter_mut()
+            .zip(self.obs_individual.iter())
+            .chain(self.acc_pair.iter_mut().zip(self.obs_pair.iter()))
+        {
+            *acc = (*acc).min(*obs);
+        }
+    }
+
     /// Minimum number of samples across all pairs (coverage check for
     /// the measurement scheduler).
     pub fn min_pair_samples(&self) -> u64 {

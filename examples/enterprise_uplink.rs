@@ -48,11 +48,12 @@ fn main() {
 
     // Baseline PF on the same trace.
     let pf = Emulator::new(&scenario.trace, emu_cfg.clone())
+        .expect("emulator setup")
         .run(&mut PfScheduler, None)
         .metrics;
 
     // The full BLU loop: measure → blue-print → speculate.
-    let report = run_blu(&scenario.trace, &BluConfig::new(emu_cfg));
+    let report = run_blu(&scenario.trace, &BluConfig::new(emu_cfg)).expect("blu run");
 
     println!(
         "\nmeasurement phase: {} sub-frames (floor {})",

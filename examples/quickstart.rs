@@ -43,12 +43,14 @@ fn main() {
 
     // Baseline: the proportional-fair scheduler LTE ships today.
     let pf = Emulator::new(&trace, config.clone())
+        .expect("emulator setup")
         .run(&mut PfScheduler, None)
         .metrics;
 
     // BLU: speculative over-scheduling on the interference blue-print.
     let blueprint = TopologyAccess::new(&trace.ground_truth);
     let blu = Emulator::new(&trace, config)
+        .expect("emulator setup")
         .run(&mut SpeculativeScheduler::new(&blueprint), None)
         .metrics;
 

@@ -38,7 +38,7 @@ fn main() {
     let n = trace.ground_truth.n_clients;
 
     // 1. Measurement plan.
-    let plan = measurement_schedule(n, 8, 50);
+    let plan = measurement_schedule(n, 8, 50).expect("plan");
     println!(
         "Algorithm 1: {} sub-frames to give every pair 50 joint samples (floor {})",
         plan.t_max(),
@@ -46,7 +46,7 @@ fn main() {
     );
 
     // 2. Measure from grant outcomes (here: a long, accurate phase).
-    let (est, _) = run_measurement_phase(&trace, 8, 2_000);
+    let (est, _) = run_measurement_phase(&trace, 8, 2_000).expect("measurement phase");
     println!("\nmeasured access probabilities:");
     for i in 0..n {
         println!(

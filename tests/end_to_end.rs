@@ -37,9 +37,10 @@ fn geometric_scenario_full_pipeline_beats_pf() {
     emu_cfg.n_txops = 200;
 
     let pf = Emulator::new(&scenario.trace, emu_cfg.clone())
+        .expect("emulator setup")
         .run(&mut PfScheduler, None)
         .metrics;
-    let report = run_blu(&scenario.trace, &BluConfig::new(emu_cfg));
+    let report = run_blu(&scenario.trace, &BluConfig::new(emu_cfg)).expect("blu run");
     let blu = &report.speculative.metrics;
 
     assert!(
@@ -60,7 +61,7 @@ fn dcf_driven_scenario_runs_end_to_end() {
     let scenario = generate(&cfg, 9);
     let mut emu_cfg = EmulationConfig::new(small_cell(2));
     emu_cfg.n_txops = 100;
-    let report = run_blu(&scenario.trace, &BluConfig::new(emu_cfg));
+    let report = run_blu(&scenario.trace, &BluConfig::new(emu_cfg)).expect("blu run");
     let m = &report.speculative.metrics;
     assert_eq!(m.subframes, 300);
     assert!(m.rbs_scheduled > 0);
@@ -76,9 +77,10 @@ fn mumimo_pipeline_uses_concurrency() {
     let mut emu_cfg = EmulationConfig::new(small_cell(2));
     emu_cfg.n_txops = 150;
     let pf = Emulator::new(&scenario.trace, emu_cfg.clone())
+        .expect("emulator setup")
         .run(&mut PfScheduler, None)
         .metrics;
-    let report = run_blu(&scenario.trace, &BluConfig::new(emu_cfg));
+    let report = run_blu(&scenario.trace, &BluConfig::new(emu_cfg)).expect("blu run");
     // MU-MIMO cell must beat SISO PF in raw delivery terms.
     assert!(report.speculative.metrics.bits_delivered > 0.0);
     assert!(pf.bits_delivered > 0.0);
@@ -93,8 +95,8 @@ fn deterministic_across_runs() {
     assert_eq!(s1.trace, s2.trace);
     let mut emu_cfg = EmulationConfig::new(small_cell(1));
     emu_cfg.n_txops = 60;
-    let r1 = run_blu(&s1.trace, &BluConfig::new(emu_cfg.clone()));
-    let r2 = run_blu(&s2.trace, &BluConfig::new(emu_cfg));
+    let r1 = run_blu(&s1.trace, &BluConfig::new(emu_cfg.clone())).expect("blu run");
+    let r2 = run_blu(&s2.trace, &BluConfig::new(emu_cfg)).expect("blu run");
     assert_eq!(r1.speculative.metrics, r2.speculative.metrics);
     assert_eq!(r1.inference.topology, r2.inference.topology);
 }

@@ -151,7 +151,7 @@ proptest! {
     /// within 2× of the information floor.
     #[test]
     fn measurement_coverage(n in 3usize..14, k in 2usize..9, t in 1u64..12) {
-        let plan = measurement_schedule(n, k, t);
+        let plan = measurement_schedule(n, k, t).unwrap();
         prop_assert!(plan.pair_counts.iter().all(|&c| c >= t));
         prop_assert!(plan.subframes.iter().all(|s| s.len() == k.min(n)));
         let floor = min_subframes(n, k.min(n), t);

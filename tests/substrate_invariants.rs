@@ -190,7 +190,7 @@ fn fading_does_not_bias_access_statistics() {
     cfg.n_txops = 2_000;
     cfg.mcs_margin_db = -2.0; // aggressive MCS: provoke decode failures
     let mut est = OutcomeEstimator::new(trace.ground_truth.n_clients);
-    let mut emu = Emulator::new(&trace, cfg);
+    let mut emu = Emulator::new(&trace, cfg).expect("emulator setup");
     let report = emu.run(&mut PfScheduler, Some(&mut est));
     assert!(
         report.metrics.rbs_faded > 100,

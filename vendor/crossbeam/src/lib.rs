@@ -1,0 +1,9 @@
+//! Vendored placeholder for `crossbeam` (see `vendor/README.md`).
+//!
+//! The workspace declares this dependency but does not currently use
+//! it; a re-export of `std::thread::scope` is provided so the name is
+//! not entirely hollow.
+
+/// Structured concurrency scope (std-backed stand-in for
+/// `crossbeam::scope`).
+pub use std::thread::scope;

@@ -1,0 +1,28 @@
+//! Vendored shim for the `rand` crate (see `vendor/README.md`).
+//!
+//! The workspace only uses the [`RngCore`] trait as a public extension
+//! point on its own deterministic generator; everything stochastic in
+//! the reproduction goes through `blu_sim::rng::DetRng` directly.
+
+/// Core random-number-generator interface (API-compatible subset of
+/// `rand::RngCore`).
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}

@@ -1,0 +1,49 @@
+//! Vendored shim for `rayon` (see `vendor/README.md`).
+//!
+//! `par_iter()`/`into_par_iter()` return the corresponding *standard*
+//! iterators, so all downstream combinators (`map`, `filter`,
+//! `collect`, `sum`, …) come from `std::iter::Iterator` and run
+//! sequentially. This preserves correctness and determinism; it only
+//! gives up the parallel speed-up, which the offline build environment
+//! cannot benchmark meaningfully anyway.
+
+pub mod prelude {
+    /// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// Item type yielded by the iterator.
+        type Item;
+        /// Concrete iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// "Parallel" (here: sequential) by-value iteration.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Item type yielded by the iterator.
+        type Item: 'data;
+        /// Concrete iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// "Parallel" (here: sequential) by-reference iteration.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Item = <&'data C as IntoIterator>::Item;
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}

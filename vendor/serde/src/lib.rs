@@ -1,0 +1,488 @@
+//! Vendored shim for `serde` (see `vendor/README.md`).
+//!
+//! Instead of upstream serde's visitor-based zero-copy architecture,
+//! this shim routes everything through one in-memory [`Value`] tree:
+//! `Serialize` renders a value *to* a [`Value`], `Deserialize` parses
+//! a value *from* one. The derive macros (re-exported from the
+//! vendored `serde_derive`) generate impls of these traits with the
+//! same external data representation upstream serde uses for the
+//! shapes in this workspace: structs as maps, newtype structs as their
+//! inner value, tuple structs as sequences, enums externally tagged
+//! (`"Variant"` for unit variants, `{"Variant": ...}` otherwise).
+
+use std::collections::{BTreeMap, HashMap};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing data tree: the interchange format between
+/// `Serialize`, `Deserialize`, and format crates (`serde_json`).
+///
+/// Maps preserve insertion order (serialization order of fields).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer (covers all unsigned and non-negative
+    /// signed values).
+    UInt(u128),
+    /// Negative integer.
+    Int(i128),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Value>),
+    /// Key-value map with string keys, in insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrow as a map, if this is one.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a sequence, if this is one.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrow as a string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u128` (integral floats accepted).
+    pub fn as_u128(&self) -> Option<u128> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) => u128::try_from(i).ok(),
+            Value::Float(f) if f >= 0.0 && f.fract() == 0.0 && f <= u128::MAX as f64 => {
+                Some(f as u128)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i128` (integral floats accepted).
+    pub fn as_i128(&self) -> Option<i128> {
+        match *self {
+            Value::UInt(u) => i128::try_from(u).ok(),
+            Value::Int(i) => Some(i),
+            Value::Float(f)
+                if f.fract() == 0.0 && f >= i128::MIN as f64 && f <= i128::MAX as f64 =>
+            {
+                Some(f as i128)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::UInt(u) => Some(u as f64),
+            Value::Int(i) => Some(i as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Short human label of the variant, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Build an error from any message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render `self` into the [`Value`] data model.
+pub trait Serialize {
+    /// Convert to a [`Value`] tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstruct `Self` from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Parse from a [`Value`] tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------------------------------------------------------------
+// Derive-support helpers (public because generated code calls them).
+// ---------------------------------------------------------------
+
+/// Look up `key` in a field map.
+pub fn field<'a>(map: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialize the field `key` of struct `ty` from a field map.
+/// A missing key is treated as `Value::Null` so `Option` fields
+/// tolerate their key being absent.
+pub fn de_field<T: Deserialize>(
+    map: &[(String, Value)],
+    key: &str,
+    ty: &str,
+) -> Result<T, DeError> {
+    match field(map, key) {
+        Some(v) => T::from_value(v)
+            .map_err(|e| DeError(format!("field `{key}` of `{ty}`: {e}"))),
+        None => T::from_value(&Value::Null)
+            .map_err(|_| DeError(format!("missing field `{key}` of `{ty}`"))),
+    }
+}
+
+/// Deserialize element `i` of a fixed-arity sequence for type `ty`.
+pub fn de_idx<T: Deserialize>(seq: &[Value], i: usize, ty: &str) -> Result<T, DeError> {
+    let v = seq
+        .get(i)
+        .ok_or_else(|| DeError(format!("missing element {i} of `{ty}`")))?;
+    T::from_value(v).map_err(|e| DeError(format!("element {i} of `{ty}`: {e}")))
+}
+
+// ---------------------------------------------------------------
+// Primitive and container impls.
+// ---------------------------------------------------------------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(u128::from(*self)) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let u = v.as_u128()
+                    .ok_or_else(|| DeError(format!(
+                        "expected unsigned integer, got {}", v.kind())))?;
+                <$t>::try_from(u).map_err(|_| DeError(format!(
+                    "integer {u} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, u128);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u128)
+    }
+}
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let u = v
+            .as_u128()
+            .ok_or_else(|| DeError(format!("expected unsigned integer, got {}", v.kind())))?;
+        usize::try_from(u).map_err(|_| DeError(format!("integer {u} out of range for usize")))
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = i128::from(*self);
+                if i >= 0 { Value::UInt(i as u128) } else { Value::Int(i) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let i = v.as_i128()
+                    .ok_or_else(|| DeError(format!(
+                        "expected integer, got {}", v.kind())))?;
+                <$t>::try_from(i).map_err(|_| DeError(format!(
+                    "integer {i} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, i128);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+impl Deserialize for isize {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let i = v
+            .as_i128()
+            .ok_or_else(|| DeError(format!("expected integer, got {}", v.kind())))?;
+        isize::try_from(i).map_err(|_| DeError(format!("integer {i} out of range for isize")))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            // JSON has no NaN literal; the writer emits null for
+            // non-finite floats and this mirrors it back.
+            Value::Null => Ok(f64::NAN),
+            _ => v
+                .as_f64()
+                .ok_or_else(|| DeError(format!("expected float, got {}", v.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError(format!("expected bool, got {}", v.kind()))),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError(format!("expected string, got {}", v.kind())))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError(format!("expected single-char string, got {s:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError(format!("expected string, got {}", v.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(DeError(format!("expected null, got {}", v.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            _ => T::from_value(v).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_seq()
+            .ok_or_else(|| DeError(format!("expected sequence, got {}", v.kind())))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + std::fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(v)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError(format!("expected array of length {N}, got {n}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let s = v.as_seq().ok_or_else(|| DeError(format!(
+                    "expected sequence for tuple, got {}", v.kind())))?;
+                let arity = [$($i),+].len();
+                if s.len() != arity {
+                    return Err(DeError(format!(
+                        "expected tuple of length {arity}, got {}", s.len())));
+                }
+                Ok(($($t::from_value(&s[$i])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_map()
+            .ok_or_else(|| DeError(format!("expected map, got {}", v.kind())))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<String, V, S> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output.
+        let mut entries: Vec<_> = self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMap<String, V, S> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_map()
+            .ok_or_else(|| DeError(format!("expected map, got {}", v.kind())))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}

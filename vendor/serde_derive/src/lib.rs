@@ -1,0 +1,478 @@
+//! Vendored shim for `serde_derive` (see `vendor/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for
+//! the vendored `serde`'s `Value`-based data model without `syn` or
+//! `quote`: the item's token stream is parsed by hand into a small
+//! shape description (struct/enum, field names/arities), and the impl
+//! is emitted by building Rust source text and re-parsing it.
+//!
+//! Supported shapes — exactly what this workspace uses:
+//! * unit / tuple / named-field structs (no generics, no lifetimes)
+//! * enums with unit, tuple, and named-field variants
+//! * arbitrary `#[...]` attributes and doc comments (skipped)
+//!
+//! Representation matches upstream serde's external data format for
+//! these shapes: named structs → maps, newtype structs → inner value,
+//! tuple structs → sequences, enums externally tagged.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field shape of a struct or enum variant.
+enum Fields {
+    Unit,
+    /// Tuple fields; payload is the arity.
+    Tuple(usize),
+    /// Named fields in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Shape {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Cursor over a flat token-tree list.
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Skip any `#[...]` attributes (including doc comments, which
+    /// arrive as attributes).
+    fn skip_attrs(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.pos += 1;
+                }
+                _ => panic!("serde_derive shim: `#` not followed by `[...]`"),
+            }
+        }
+    }
+
+    /// Skip a `pub` / `pub(...)` visibility qualifier if present.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive shim: expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Skip tokens until a top-level `,` (angle-bracket aware) or end
+    /// of stream. Consumes the comma. Used to skip field types and
+    /// enum discriminants.
+    fn skip_until_comma(&mut self) {
+        let mut angle: i32 = 0;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => {
+                        self.pos += 1;
+                        return;
+                    }
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+/// Count fields of a tuple struct/variant: top-level commas in the
+/// paren group (+1), angle-bracket aware. Nested parens/brackets are
+/// single `Group` tokens, so only `<`…`>` needs depth tracking.
+fn count_tuple_fields(g: TokenStream) -> usize {
+    let mut n = 0usize;
+    let mut saw_any = false;
+    let mut angle: i32 = 0;
+    let mut last_was_comma = true;
+    for t in g {
+        saw_any = true;
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    last_was_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if last_was_comma {
+            n += 1;
+            last_was_comma = false;
+        }
+    }
+    if saw_any {
+        n
+    } else {
+        0
+    }
+}
+
+/// Parse the field names out of a named-field brace group.
+fn parse_named_fields(g: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(g);
+    let mut names = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        c.skip_vis();
+        let name = c.expect_ident("field name");
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after field `{name}`, got {other:?}"),
+        }
+        c.skip_until_comma();
+        names.push(name);
+    }
+    names
+}
+
+/// Parse enum variants out of the enum body brace group.
+fn parse_variants(g: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(g);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let fields = match c.peek() {
+            Some(TokenTree::Group(grp)) if grp.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(grp.stream());
+                c.pos += 1;
+                Fields::Tuple(n)
+            }
+            Some(TokenTree::Group(grp)) if grp.delimiter() == Delimiter::Brace => {
+                let f = parse_named_fields(grp.stream());
+                c.pos += 1;
+                Fields::Named(f)
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        c.skip_until_comma();
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let kw = c.expect_ident("`struct` or `enum`");
+    let is_enum = match kw.as_str() {
+        "struct" => false,
+        "enum" => true,
+        other => panic!("serde_derive shim: unsupported item `{other}` (union?)"),
+    };
+    let name = c.expect_ident("type name");
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+    if is_enum {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive shim: expected enum body, got {other:?}"),
+        }
+    } else {
+        match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g.stream())),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Shape::Struct {
+                name,
+                fields: Fields::Tuple(count_tuple_fields(g.stream())),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Struct {
+                name,
+                fields: Fields::Unit,
+            },
+            other => panic!("serde_derive shim: expected struct body, got {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    let mut out = String::new();
+    match shape {
+        Shape::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+                }
+                Fields::Named(fs) => {
+                    let entries: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+                }
+            };
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}\n"
+            ));
+        }
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\
+                         ::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(vec![(\
+                             ::std::string::String::from(\"{vn}\"), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let entries: Vec<String> = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Map(vec![{}]))]),\n",
+                            fs.join(", "),
+                            entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n}}\n}}\n"
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------
+
+fn gen_named_ctor(path: &str, ty: &str, fs: &[String], map_var: &str) -> String {
+    let fields: Vec<String> = fs
+        .iter()
+        .map(|f| format!("{f}: ::serde::de_field({map_var}, \"{f}\", \"{ty}\")?"))
+        .collect();
+    format!("{path} {{ {} }}", fields.join(", "))
+}
+
+fn gen_tuple_ctor(path: &str, ty: &str, n: usize, seq_var: &str) -> String {
+    let elems: Vec<String> = (0..n)
+        .map(|i| format!("::serde::de_idx({seq_var}, {i}, \"{ty}\")?"))
+        .collect();
+    format!("{path}({})", elems.join(", "))
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let body = match shape {
+        Shape::Struct { name, fields } => match fields {
+            Fields::Unit => format!(
+                "match __v {{\n\
+                 ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"expected null for unit struct `{name}`, got {{}}\", __other.kind()))),\n\
+                 }}"
+            ),
+            Fields::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+            ),
+            Fields::Tuple(n) => format!(
+                "{{\n\
+                 let __s = __v.as_seq().ok_or_else(|| ::serde::DeError::custom(\
+                 format!(\"expected sequence for `{name}`, got {{}}\", __v.kind())))?;\n\
+                 if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::custom(format!(\
+                 \"expected {n} elements for `{name}`, got {{}}\", __s.len()))); }}\n\
+                 ::std::result::Result::Ok({ctor})\n}}",
+                ctor = gen_tuple_ctor(name, name, *n, "__s")
+            ),
+            Fields::Named(fs) => format!(
+                "{{\n\
+                 let __m = __v.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                 format!(\"expected map for `{name}`, got {{}}\", __v.kind())))?;\n\
+                 ::std::result::Result::Ok({ctor})\n}}",
+                ctor = gen_named_ctor(name, name, fs, "__m")
+            ),
+        },
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.fields {
+                    Fields::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Fields::Tuple(1) => data_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    Fields::Tuple(n) => data_arms.push_str(&format!(
+                        "\"{vn}\" => {{\n\
+                         let __s = __inner.as_seq().ok_or_else(|| ::serde::DeError::custom(\
+                         format!(\"expected sequence for `{name}::{vn}`, got {{}}\", \
+                         __inner.kind())))?;\n\
+                         if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::DeError::custom(format!(\
+                         \"expected {n} elements for `{name}::{vn}`, got {{}}\", __s.len()))); }}\n\
+                         ::std::result::Result::Ok({ctor})\n}}\n",
+                        ctor = gen_tuple_ctor(&format!("{name}::{vn}"), &format!("{name}::{vn}"), *n, "__s")
+                    )),
+                    Fields::Named(fs) => data_arms.push_str(&format!(
+                        "\"{vn}\" => {{\n\
+                         let __m = __inner.as_map().ok_or_else(|| ::serde::DeError::custom(\
+                         format!(\"expected map for `{name}::{vn}`, got {{}}\", \
+                         __inner.kind())))?;\n\
+                         ::std::result::Result::Ok({ctor})\n}}\n",
+                        ctor = gen_named_ctor(&format!("{name}::{vn}"), &format!("{name}::{vn}"), fs, "__m")
+                    )),
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown unit variant `{{__other}}` of `{name}`\"))),\n\
+                 }},\n\
+                 ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                 let (__k, __inner) = &__m[0];\n\
+                 match __k.as_str() {{\n\
+                 {data_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                 }}\n}},\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 format!(\"expected externally-tagged `{name}`, got {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    let name = match shape {
+        Shape::Struct { name, .. } | Shape::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// `#[derive(Serialize)]` for the vendored serde shim.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_serialize(&shape)
+        .parse()
+        .expect("serde_derive shim: generated Serialize impl failed to parse")
+}
+
+/// `#[derive(Deserialize)]` for the vendored serde shim.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_deserialize(&shape)
+        .parse()
+        .expect("serde_derive shim: generated Deserialize impl failed to parse")
+}
