@@ -37,12 +37,12 @@ fn bench_joint(c: &mut Criterion) {
         })
     });
     g.bench_function("conditioning_recursion_p_joint", |b| {
-        let cond = Conditioning::new(&topo);
+        let cond = Conditioning::new(&topo).expect("topology fits the conditioning mask");
         b.iter(|| black_box(cond.p_joint(black_box(succeed), black_box(fail))))
     });
     g.bench_function("empirical_from_trace_8clients", |b| {
         b.iter(|| {
-            let acc = EmpiricalPatternAccess::new(&trace);
+            let acc = EmpiricalPatternAccess::new(&trace).expect("non-empty access trace");
             black_box(acc.pattern_distribution(black_box(group_of_8)))
         })
     });

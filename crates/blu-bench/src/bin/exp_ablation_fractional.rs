@@ -126,7 +126,7 @@ fn main() {
 
             // BLU with exact empirical pattern statistics (no binary
             // model error).
-            let acc_exact = EmpiricalPatternAccess::new(&trace);
+            let acc_exact = EmpiricalPatternAccess::new(&trace).expect("non-empty access trace");
             exact_u.push(evaluate(
                 &mut SpeculativeScheduler::new(&acc_exact),
                 &trace,

@@ -82,7 +82,7 @@ fn main() {
                 .run(&mut PfScheduler, None)
                 .metrics;
             let p: Vec<f64> = (0..6).map(|i| trace.ground_truth.p_individual(i)).collect();
-            let ind_acc = IndependentAccess::new(p);
+            let ind_acc = IndependentAccess::new(p).expect("probabilities in [0, 1]");
             let ind = Emulator::new(&trace, cfg.clone())
                 .expect("emulator setup")
                 .run(&mut SpeculativeScheduler::new(&ind_acc), None)

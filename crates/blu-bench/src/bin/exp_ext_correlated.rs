@@ -101,7 +101,8 @@ fn main() {
                 .expect("emulator setup")
                 .run(&mut SpeculativeScheduler::new(&bp_acc), None)
                 .metrics;
-            let emp_acc = EmpiricalPatternAccess::new(&trace.access);
+            let emp_acc =
+                EmpiricalPatternAccess::new(&trace.access).expect("non-empty access trace");
             let emp = Emulator::new(trace, emu_cfg)
                 .expect("emulator setup")
                 .run(&mut SpeculativeScheduler::new(&emp_acc), None)

@@ -12,7 +12,7 @@
 //! Paper shape: utilization boost up to ≈ 80 %, throughput gains of
 //! 50–80 %, both growing with interference.
 
-use blu_bench::runners::{compare_schedulers, topology_with_hts_per_ue, CompareOpts};
+use blu_bench::runners::{compare_schedulers, fan_out, topology_with_hts_per_ue, CompareOpts};
 use blu_bench::statsutil::mean;
 use blu_bench::table::save_results_json;
 use blu_bench::{ExpArgs, Table};
@@ -50,13 +50,13 @@ fn main() {
     );
     let mut rows = Vec::new();
     for hts_per_ue in [1usize, 2, 3, 4] {
-        let mut siso_tg = Vec::new();
-        let mut mu_tg = Vec::new();
-        let mut siso_ug = Vec::new();
-        let mut mu_u_pf = Vec::new();
-        let mut mu_u_blu = Vec::new();
-        for trial in 0..trials {
-            let seed = args.seed + trial * 1000 + hts_per_ue as u64;
+        // Trials are independent runs with per-trial seeds: fan them
+        // out over the thread pool. Results come back in trial order,
+        // so the aggregated means are identical to the old loop.
+        let trial_seeds: Vec<u64> = (0..trials)
+            .map(|trial| args.seed + trial * 1000 + hts_per_ue as u64)
+            .collect();
+        let runs = fan_out(trial_seeds, |seed| {
             // Heavier WiFi activity than the default: the testbed's
             // laptops run saturated iperf.
             let topo = topology_with_hts_per_ue(4, 6, hts_per_ue, (0.3, 0.6), seed);
@@ -77,6 +77,14 @@ fn main() {
                 &trace,
                 &CompareOpts::new(CellConfig::testbed_mumimo2(), n_txops),
             );
+            (siso, mumimo)
+        });
+        let mut siso_tg = Vec::new();
+        let mut mu_tg = Vec::new();
+        let mut siso_ug = Vec::new();
+        let mut mu_u_pf = Vec::new();
+        let mut mu_u_blu = Vec::new();
+        for (siso, mumimo) in &runs {
             siso_tg
                 .push(100.0 * (siso.blu_truth.throughput_mbps() / siso.pf.throughput_mbps() - 1.0));
             mu_tg.push(

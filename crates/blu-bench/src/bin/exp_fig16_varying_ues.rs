@@ -7,7 +7,7 @@
 //! to the perfect-knowledge gain (≈ 1.8× at 24 UEs), and grows with
 //! the number of UEs (more room for interference diversity).
 
-use blu_bench::runners::{compare_schedulers, emulated_large_trace, CompareOpts};
+use blu_bench::runners::{compare_schedulers, emulated_large_trace, fan_out, CompareOpts};
 use blu_bench::table::save_results_json;
 use blu_bench::{ExpArgs, Table};
 use blu_phy::cell::CellConfig;
@@ -40,8 +40,9 @@ fn main() {
             "inference acc",
         ],
     );
-    let mut rows = Vec::new();
-    for n_groups in [2usize, 3, 4, 5, 6] {
+    // Each cell size is an independent scenario: fan them out over
+    // the thread pool (results come back in scenario order).
+    let rows: Vec<Fig16Row> = fan_out(vec![2usize, 3, 4, 5, 6], |n_groups| {
         let n_ues = 4 * n_groups;
         let trace = emulated_large_trace(
             n_groups,
@@ -56,7 +57,7 @@ fn main() {
         opts.with_inferred = true;
         let cmp = compare_schedulers(&trace, &opts);
         let inf = cmp.blu_inferred.as_ref().expect("inferred run");
-        let row = Fig16Row {
+        Fig16Row {
             n_ues,
             pf_mbps: cmp.pf.throughput_mbps(),
             blu_inferred_mbps: inf.throughput_mbps(),
@@ -64,9 +65,11 @@ fn main() {
             inferred_gain: inf.throughput_mbps() / cmp.pf.throughput_mbps(),
             truth_gain: cmp.blu_truth.throughput_mbps() / cmp.pf.throughput_mbps(),
             inference_accuracy: cmp.inference_accuracy.unwrap_or(f64::NAN),
-        };
+        }
+    });
+    for row in &rows {
         table.row(vec![
-            n_ues.to_string(),
+            row.n_ues.to_string(),
             format!("{:.2}", row.pf_mbps),
             format!("{:.2}", row.blu_inferred_mbps),
             format!("{:.2}", row.blu_truth_mbps),
@@ -74,7 +77,6 @@ fn main() {
             format!("{:.2}x", row.truth_gain),
             format!("{:.2}", row.inference_accuracy),
         ]);
-        rows.push(row);
     }
     table.print();
     save_results_json("fig16", &rows).expect("write results");

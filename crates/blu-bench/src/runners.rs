@@ -109,7 +109,7 @@ pub fn compare_schedulers(trace: &TestbedTrace, opts: &CompareOpts) -> Scheduler
     };
 
     let blu_empirical = if opts.with_empirical {
-        let access = EmpiricalPatternAccess::new(&trace.access);
+        let access = EmpiricalPatternAccess::new(&trace.access).expect("non-empty access trace");
         Some(
             emu(trace, &opts.cell, opts.n_txops)
                 .run(&mut SpeculativeScheduler::new(&access), None)
@@ -128,6 +128,54 @@ pub fn compare_schedulers(trace: &TestbedTrace, opts: &CompareOpts) -> Scheduler
         inference_accuracy,
         measurement_subframes,
     }
+}
+
+/// Fan independent scenario inputs out over the worker-thread pool,
+/// running `run` on each; results come back **in input order** (the
+/// rayon shim joins chunks in spawn order), so the output is
+/// byte-identical to `scenarios.into_iter().map(run).collect()` — the
+/// fan-out reorders wall-clock execution, never results.
+pub fn fan_out<T, R, F>(scenarios: Vec<T>, run: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    use rayon::prelude::*;
+    scenarios.into_par_iter().map(run).collect()
+}
+
+/// Run [`compare_schedulers`] once per seed in parallel (one trace
+/// per seed via `make_trace`), returning comparisons in seed order.
+/// Deterministic: identical output to
+/// [`compare_over_seeds_sequential`].
+pub fn compare_over_seeds<F>(
+    seeds: &[u64],
+    make_trace: F,
+    opts: &CompareOpts,
+) -> Vec<SchedulerComparison>
+where
+    F: Fn(u64) -> TestbedTrace + Sync,
+{
+    fan_out(seeds.to_vec(), |seed| {
+        compare_schedulers(&make_trace(seed), opts)
+    })
+}
+
+/// Sequential reference for [`compare_over_seeds`] — kept alive for
+/// differential testing and single-thread profiling.
+pub fn compare_over_seeds_sequential<F>(
+    seeds: &[u64],
+    make_trace: F,
+    opts: &CompareOpts,
+) -> Vec<SchedulerComparison>
+where
+    F: Fn(u64) -> TestbedTrace,
+{
+    seeds
+        .iter()
+        .map(|&seed| compare_schedulers(&make_trace(seed), opts))
+        .collect()
 }
 
 /// Build a topology with exactly `hts_per_ue` hidden terminals

@@ -1,0 +1,44 @@
+//! The bench runners' parallel fan-out must be a pure wall-clock
+//! optimization: results (and their JSON serialization) have to be
+//! byte-identical to the sequential reference, in input order.
+
+use blu_bench::runners::{compare_over_seeds, compare_over_seeds_sequential, fan_out, CompareOpts};
+use blu_phy::cell::CellConfig;
+use blu_sim::time::Micros;
+use blu_traces::capture::{capture_synthetic, CaptureConfig};
+use blu_traces::schema::TestbedTrace;
+
+fn make_trace(seed: u64) -> TestbedTrace {
+    capture_synthetic(
+        &CaptureConfig {
+            duration: Micros::from_secs(10),
+            q_range: (0.3, 0.6),
+            ..CaptureConfig::testbed_default()
+        },
+        seed,
+    )
+}
+
+#[test]
+fn fan_out_preserves_input_order() {
+    let out = fan_out((0..257u32).collect(), |x| x.wrapping_mul(31) ^ 7);
+    let want: Vec<u32> = (0..257u32).map(|x| x.wrapping_mul(31) ^ 7).collect();
+    assert_eq!(out, want);
+}
+
+#[test]
+fn compare_over_seeds_json_identical_to_sequential() {
+    let mut cell = CellConfig::testbed_siso();
+    cell.numerology.n_rbs = 8;
+    let mut opts = CompareOpts::new(cell, 50);
+    opts.with_empirical = true;
+    let seeds = [2u64, 9, 17, 23];
+    let par = compare_over_seeds(&seeds, make_trace, &opts);
+    let seq = compare_over_seeds_sequential(&seeds, make_trace, &opts);
+    assert_eq!(par.len(), seq.len());
+    assert_eq!(
+        serde_json::to_string(&par).unwrap(),
+        serde_json::to_string(&seq).unwrap(),
+        "parallel fan-out must serialize byte-identically to the sequential reference"
+    );
+}

@@ -96,7 +96,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         print_metrics("BLU(inferred)", &m);
     }
     if want("blu-empirical") {
-        let acc = EmpiricalPatternAccess::new(&t.access);
+        let acc = EmpiricalPatternAccess::new(&t.access).expect("non-empty access trace");
         let m = Emulator::new(&t, cfg.clone())
             .expect("emulator setup")
             .run(&mut SpeculativeScheduler::new(&acc), None)

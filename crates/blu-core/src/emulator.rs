@@ -612,6 +612,116 @@ impl<'a> Emulator<'a> {
     }
 }
 
+/// Run `n_trials` independent emulations of one trace in parallel,
+/// returning the reports **in trial order**.
+///
+/// Each trial builds its own [`Emulator`] (from `config_for(t)`) and
+/// its own scheduler (from `scheduler_for(t)`), so trials share
+/// nothing mutable — only the trace and whatever `Send + Sync` state
+/// the factories capture (typically one [`AccessDistribution`]
+/// provider, whose bounded memo cache is then warmed by all workers).
+/// The rayon shim's ordered reduction makes the result vector
+/// byte-identical to running the same trials in a sequential loop —
+/// the property `blu-bench`'s differential tests pin down.
+///
+/// [`AccessDistribution`]: crate::joint::AccessDistribution
+#[allow(clippy::needless_lifetimes)] // `'a` names the trace borrow the boxed schedulers may hold
+pub fn run_trials<'a, C, S>(
+    trace: &'a TestbedTrace,
+    n_trials: usize,
+    config_for: C,
+    scheduler_for: S,
+) -> Vec<Result<EmulationReport, BluError>>
+where
+    C: Fn(usize) -> EmulationConfig + Sync,
+    S: Fn(usize) -> Box<dyn UlScheduler + 'a> + Sync,
+{
+    use rayon::prelude::*;
+    (0..n_trials)
+        .into_par_iter()
+        .map(|t| {
+            let mut emu = Emulator::new(trace, config_for(t))?;
+            let mut sched = scheduler_for(t);
+            Ok(emu.run(sched.as_mut(), None))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod trial_tests {
+    use super::*;
+    use crate::joint::TopologyAccess;
+    use crate::sched::{PfScheduler, SpeculativeScheduler};
+    use blu_sim::time::Micros;
+    use blu_traces::capture::{capture_synthetic, CaptureConfig};
+
+    #[test]
+    fn parallel_trials_match_sequential_loop() {
+        let trace = capture_synthetic(
+            &CaptureConfig {
+                duration: Micros::from_secs(20),
+                q_range: (0.3, 0.6),
+                ..CaptureConfig::testbed_default()
+            },
+            31,
+        );
+        let mut cell = CellConfig::testbed_siso();
+        cell.numerology.n_rbs = 10;
+        let cfg_for = |t: usize| {
+            let mut c = EmulationConfig::new(cell.clone());
+            c.n_txops = 40;
+            c.seed = 0x0B1E + t as u64;
+            c
+        };
+        // One shared provider across all worker threads: exercises
+        // the Send + Sync bounded cache for real.
+        let acc = TopologyAccess::new(&trace.ground_truth);
+        let par = run_trials(&trace, 6, cfg_for, |_| {
+            Box::new(SpeculativeScheduler::new(&acc))
+        });
+        let seq: Vec<UplinkMetrics> = (0..6)
+            .map(|t| {
+                let mut emu = Emulator::new(&trace, cfg_for(t)).unwrap();
+                emu.run(&mut SpeculativeScheduler::new(&acc), None).metrics
+            })
+            .collect();
+        assert_eq!(par.len(), 6);
+        for (t, (p, s)) in par.into_iter().zip(seq).enumerate() {
+            assert_eq!(p.unwrap().metrics, s, "trial {t} diverged");
+        }
+    }
+
+    #[test]
+    fn trial_setup_errors_surface_per_trial() {
+        let trace = capture_synthetic(
+            &CaptureConfig {
+                duration: Micros::from_secs(10),
+                ..CaptureConfig::testbed_default()
+            },
+            32,
+        );
+        let reports = run_trials(
+            &trace,
+            3,
+            |t| {
+                let mut cell = CellConfig::testbed_siso();
+                cell.numerology.n_rbs = 10;
+                if t == 1 {
+                    // More antennas than the trace's CSI carries.
+                    cell.m_antennas = 64;
+                }
+                let mut c = EmulationConfig::new(cell);
+                c.n_txops = 10;
+                c
+            },
+            |_| Box::new(PfScheduler),
+        );
+        assert!(reports[0].is_ok());
+        assert!(reports[1].is_err(), "bad trial must fail alone");
+        assert!(reports[2].is_ok());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -34,6 +34,16 @@ pub enum BluError {
     EmptyInput(&'static str),
     /// Inference could not produce a usable blueprint.
     Inference(String),
+    /// A client set is too large for a `2^|w|` pattern enumeration —
+    /// the `1 << |w|` table index would overflow `usize`.
+    SetTooLarge {
+        /// What was being enumerated.
+        what: &'static str,
+        /// Members in the offending set.
+        len: usize,
+        /// Largest supported set size.
+        max: usize,
+    },
 }
 
 impl fmt::Display for BluError {
@@ -52,6 +62,10 @@ impl fmt::Display for BluError {
             BluError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             BluError::EmptyInput(what) => write!(f, "empty input: {what}"),
             BluError::Inference(msg) => write!(f, "inference failed: {msg}"),
+            BluError::SetTooLarge { what, len, max } => write!(
+                f,
+                "client set too large for {what}: {len} members, at most {max} supported"
+            ),
         }
     }
 }

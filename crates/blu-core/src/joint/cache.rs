@@ -1,0 +1,209 @@
+//! Bounded, thread-safe memoization of pattern distributions.
+//!
+//! The speculative scheduler issues `O(N · fM)` pattern-distribution
+//! queries per RB and re-queries the same candidate groups across RBs
+//! and sub-frames, so memoization is essential — but the seed's
+//! unbounded `RefCell<HashMap<_, Vec<f64>>>` both leaked memory over
+//! long runs (every distinct client set ever queried stayed resident
+//! forever) and cloned a `2^|w|` vector out of the map on every hit.
+//!
+//! [`DistributionCache`] fixes both: distributions are stored once as
+//! immutable shared slices (`Arc<[f64]>`) and handed out by refcount
+//! bump, and the cache is **bounded** with deterministic LRU
+//! eviction. Recency is a monotone tick; on overflow the entry with
+//! the smallest tick (oldest use) is evicted, ties broken by smaller
+//! key — a total order, so eviction is reproducible run to run. The
+//! interior `Mutex` (instead of `RefCell`) is what lets providers be
+//! `Send + Sync` and shared across the parallel trial fan-out.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Default number of distinct client sets kept resident. The greedy
+/// builder's working set is the candidate groups of one cell
+/// (`O(N · fM)` per RB, heavily repeated), which fits comfortably;
+/// pathological query streams evict instead of growing.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
+
+struct Entry {
+    dist: Arc<[f64]>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<u128, Entry>,
+    tick: u64,
+}
+
+/// A bounded LRU-style cache from client-set bitmasks to shared
+/// pattern-distribution slices.
+pub struct DistributionCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for DistributionCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DistributionCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl DistributionCache {
+    /// New cache holding at most `capacity` distributions
+    /// (`capacity` is clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        DistributionCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of distributions currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Fetch the distribution for `key`, computing and inserting it on
+    /// a miss. Hits bump the entry's recency; misses evict the
+    /// least-recently-used entry first when the cache is full. Errors
+    /// from `compute` are returned without touching the cache.
+    pub fn get_or_insert_with<E>(
+        &self,
+        key: u128,
+        compute: impl FnOnce() -> Result<Arc<[f64]>, E>,
+    ) -> Result<Arc<[f64]>, E> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(e) = inner.map.get_mut(&key) {
+            e.last_used = tick;
+            return Ok(e.dist.clone());
+        }
+        let dist = compute()?;
+        if inner.map.len() >= self.capacity {
+            // Deterministic LRU: smallest (last_used, key) goes. Ticks
+            // are unique, so the key tie-break is belt-and-braces.
+            if let Some(&victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(k, e)| (e.last_used, *k))
+                .map(|(k, _)| k)
+            {
+                inner.map.remove(&victim);
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                dist: dist.clone(),
+                last_used: tick,
+            },
+        );
+        Ok(dist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist_of(v: f64) -> Arc<[f64]> {
+        Arc::from(vec![v])
+    }
+
+    #[test]
+    fn hit_returns_shared_slice_without_recompute() {
+        let c = DistributionCache::new(8);
+        let a = c.get_or_insert_with::<()>(1, || Ok(dist_of(0.5))).unwrap();
+        let b = c
+            .get_or_insert_with::<()>(1, || panic!("must not recompute on hit"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "hits must share storage");
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn bound_is_enforced() {
+        let c = DistributionCache::new(4);
+        for k in 0..100u128 {
+            c.get_or_insert_with::<()>(k, || Ok(dist_of(k as f64)))
+                .unwrap();
+            assert!(c.len() <= 4, "cache exceeded bound at key {k}");
+        }
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn eviction_is_lru_and_deterministic() {
+        let c = DistributionCache::new(2);
+        c.get_or_insert_with::<()>(1, || Ok(dist_of(1.0))).unwrap();
+        c.get_or_insert_with::<()>(2, || Ok(dist_of(2.0))).unwrap();
+        // Touch 1 so 2 becomes the LRU victim.
+        c.get_or_insert_with::<()>(1, || panic!("hit expected"))
+            .unwrap();
+        c.get_or_insert_with::<()>(3, || Ok(dist_of(3.0))).unwrap();
+        // 1 must still be resident; 2 must have been evicted.
+        c.get_or_insert_with::<()>(1, || panic!("1 was evicted"))
+            .unwrap();
+        let recomputed = std::cell::Cell::new(false);
+        c.get_or_insert_with::<()>(2, || {
+            recomputed.set(true);
+            Ok(dist_of(2.0))
+        })
+        .unwrap();
+        assert!(recomputed.get(), "2 should have been evicted");
+    }
+
+    #[test]
+    fn compute_error_leaves_cache_untouched() {
+        let c = DistributionCache::new(2);
+        let r = c.get_or_insert_with(9, || Err("boom"));
+        assert_eq!(r.unwrap_err(), "boom");
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn capacity_clamped_to_one() {
+        let c = DistributionCache::new(0);
+        assert_eq!(c.capacity(), 1);
+        c.get_or_insert_with::<()>(1, || Ok(dist_of(1.0))).unwrap();
+        c.get_or_insert_with::<()>(2, || Ok(dist_of(2.0))).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let c = DistributionCache::new(64);
+        std::thread::scope(|s| {
+            for t in 0..4u128 {
+                let c = &c;
+                s.spawn(move || {
+                    for k in 0..256u128 {
+                        let d = c
+                            .get_or_insert_with::<()>(k % 32, || Ok(dist_of((t + k) as f64)))
+                            .unwrap();
+                        assert_eq!(d.len(), 1);
+                    }
+                });
+            }
+        });
+        assert!(c.len() <= 32);
+    }
+}

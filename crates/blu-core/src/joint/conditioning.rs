@@ -26,22 +26,31 @@
 //! and is property-tested against the inclusion–exclusion oracle
 //! [`InterferenceTopology::p_joint`].
 
+use crate::error::BluError;
 use blu_sim::clientset::ClientSet;
 use blu_sim::topology::InterferenceTopology;
 
+/// Most hidden terminals the `u128` conditioning mask can represent.
+pub const MAX_CONDITIONING_HTS: usize = 128;
+
 /// Evaluates the §3.6 recursion on a topology.
+#[derive(Debug)]
 pub struct Conditioning<'a> {
     topo: &'a InterferenceTopology,
 }
 
 impl<'a> Conditioning<'a> {
-    /// Wrap a topology.
-    pub fn new(topo: &'a InterferenceTopology) -> Self {
-        assert!(
-            topo.n_hidden() <= 128,
-            "conditioning mask supports up to 128 hidden terminals"
-        );
-        Conditioning { topo }
+    /// Wrap a topology. Errors if the topology has more hidden
+    /// terminals than the `u128` conditioning mask can track.
+    pub fn new(topo: &'a InterferenceTopology) -> Result<Self, BluError> {
+        if topo.n_hidden() > MAX_CONDITIONING_HTS {
+            return Err(BluError::SetTooLarge {
+                what: "conditioning hidden-terminal mask",
+                len: topo.n_hidden(),
+                max: MAX_CONDITIONING_HTS,
+            });
+        }
+        Ok(Conditioning { topo })
     }
 
     /// Mask with every hidden terminal present.
@@ -117,13 +126,18 @@ impl<'a> Conditioning<'a> {
         self.p_all_access_on(self.full_mask(), u)
     }
 
-    /// `P(U, V̄)` on the full topology (Eqn. 7). Sets must be disjoint.
-    pub fn p_joint(&self, succeed: ClientSet, fail: ClientSet) -> f64 {
-        assert!(succeed.is_disjoint(fail), "success/fail sets overlap");
+    /// `P(U, V̄)` on the full topology (Eqn. 7). Errors if the sets
+    /// overlap — a client cannot both access and be blocked.
+    pub fn p_joint(&self, succeed: ClientSet, fail: ClientSet) -> Result<f64, BluError> {
+        if !succeed.is_disjoint(fail) {
+            return Err(BluError::InvalidConfig(format!(
+                "conditioning p_joint needs disjoint sets, got {succeed} and {fail}"
+            )));
+        }
         let mut mask = self.full_mask();
         let p_u = self.p_all_access_on(mask, succeed);
         if p_u == 0.0 {
-            return 0.0;
+            return Ok(0.0);
         }
         // Condition the topology on all of U accessing.
         for i in succeed.iter() {
@@ -131,7 +145,7 @@ impl<'a> Conditioning<'a> {
         }
         let p_fail = self.p_all_fail_on(mask, fail);
         // Float cancellation in Eqn. 9 can leave tiny negatives.
-        (p_u * p_fail).max(0.0)
+        Ok((p_u * p_fail).max(0.0))
     }
 }
 
@@ -147,10 +161,10 @@ mod tests {
         // conditioning; cross-check against the oracle.
         let mut rng = DetRng::seed_from_u64(1);
         let topo = InterferenceTopology::random(4, 3, (0.2, 0.6), 0.5, &mut rng);
-        let cond = Conditioning::new(&topo);
+        let cond = Conditioning::new(&topo).unwrap();
         let succeed = ClientSet::from_iter([2, 3]);
         let fail = ClientSet::from_iter([0, 1]);
-        let got = cond.p_joint(succeed, fail);
+        let got = cond.p_joint(succeed, fail).unwrap();
         let want = topo.p_joint(succeed, fail);
         assert!((got - want).abs() < 1e-12, "{got} vs {want}");
     }
@@ -162,12 +176,12 @@ mod tests {
         for seed in 0..10 {
             let mut rng = DetRng::seed_from_u64(seed);
             let topo = InterferenceTopology::random(5, 4, (0.05, 0.8), 0.45, &mut rng);
-            let cond = Conditioning::new(&topo);
+            let cond = Conditioning::new(&topo).unwrap();
             let all = ClientSet::all(5);
             for w in all.subsets() {
                 for s in w.subsets() {
                     let f = w.difference(s);
-                    let got = cond.p_joint(s, f);
+                    let got = cond.p_joint(s, f).unwrap();
                     let want = topo.p_joint(s, f);
                     assert!(
                         (got - want).abs() < 1e-9,
@@ -182,7 +196,7 @@ mod tests {
     fn p_all_access_matches_closed_form() {
         let mut rng = DetRng::seed_from_u64(3);
         let topo = InterferenceTopology::random(6, 5, (0.1, 0.7), 0.4, &mut rng);
-        let cond = Conditioning::new(&topo);
+        let cond = Conditioning::new(&topo).unwrap();
         for mask in 0u128..64 {
             let s = ClientSet(mask);
             assert!(
@@ -196,11 +210,11 @@ mod tests {
     fn joint_distribution_sums_to_one() {
         let mut rng = DetRng::seed_from_u64(4);
         let topo = InterferenceTopology::random(6, 4, (0.1, 0.6), 0.5, &mut rng);
-        let cond = Conditioning::new(&topo);
+        let cond = Conditioning::new(&topo).unwrap();
         let all = ClientSet::all(6);
         let total: f64 = all
             .subsets()
-            .map(|s| cond.p_joint(s, all.difference(s)))
+            .map(|s| cond.p_joint(s, all.difference(s)).unwrap())
             .sum();
         assert!((total - 1.0).abs() < 1e-9, "{total}");
     }
@@ -216,18 +230,68 @@ mod tests {
                 edges: ClientSet::singleton(0),
             }],
         };
-        let cond = Conditioning::new(&topo);
-        assert_eq!(cond.p_joint(ClientSet::singleton(0), ClientSet::EMPTY), 0.0);
+        let cond = Conditioning::new(&topo).unwrap();
+        assert_eq!(
+            cond.p_joint(ClientSet::singleton(0), ClientSet::EMPTY)
+                .unwrap(),
+            0.0
+        );
         assert!(
-            (cond.p_joint(ClientSet::singleton(1), ClientSet::singleton(0)) - 1.0).abs() < 1e-12
+            (cond
+                .p_joint(ClientSet::singleton(1), ClientSet::singleton(0))
+                .unwrap()
+                - 1.0)
+                .abs()
+                < 1e-12
         );
     }
 
     #[test]
     fn interference_free_topology() {
         let topo = InterferenceTopology::interference_free(4);
-        let cond = Conditioning::new(&topo);
-        assert_eq!(cond.p_joint(ClientSet::all(4), ClientSet::EMPTY), 1.0);
-        assert_eq!(cond.p_joint(ClientSet::EMPTY, ClientSet::all(4)), 0.0);
+        let cond = Conditioning::new(&topo).unwrap();
+        assert_eq!(
+            cond.p_joint(ClientSet::all(4), ClientSet::EMPTY).unwrap(),
+            1.0
+        );
+        assert_eq!(
+            cond.p_joint(ClientSet::EMPTY, ClientSet::all(4)).unwrap(),
+            0.0
+        );
+    }
+
+    #[test]
+    fn too_many_hidden_terminals_is_typed_error() {
+        // Former `assert!(n_hidden() <= 128)` panic.
+        let topo = InterferenceTopology {
+            n_clients: 2,
+            hts: vec![
+                HiddenTerminal {
+                    q: 0.1,
+                    edges: ClientSet::singleton(0),
+                };
+                MAX_CONDITIONING_HTS + 1
+            ],
+        };
+        let err = Conditioning::new(&topo).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BluError::SetTooLarge { len, max, .. }
+                    if len == MAX_CONDITIONING_HTS + 1 && max == MAX_CONDITIONING_HTS
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn overlapping_sets_is_typed_error() {
+        // Former `assert!(succeed.is_disjoint(fail))` panic.
+        let topo = InterferenceTopology::interference_free(3);
+        let cond = Conditioning::new(&topo).unwrap();
+        let err = cond
+            .p_joint(ClientSet::from_iter([0, 1]), ClientSet::from_iter([1]))
+            .unwrap_err();
+        assert!(matches!(err, BluError::InvalidConfig(_)), "{err}");
     }
 }

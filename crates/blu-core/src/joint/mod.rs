@@ -15,33 +15,76 @@
 //!   a scheduler without interference-dependency information (the
 //!   access-aware baseline) implicitly assumes.
 //!
+//! Distributions are handed out as shared immutable slices
+//! (`Arc<[f64]>`) from **bounded** per-provider caches
+//! ([`cache::DistributionCache`]) — a cache hit is a refcount bump,
+//! not a `2^|w|` clone — and providers are `Send + Sync`, so one
+//! provider can back schedulers running on several threads of the
+//! trial fan-out. Degenerate inputs (overlapping sets, sets too large
+//! for the `2^|w|` enumeration) surface as [`BluError`] values rather
+//! than panics, per the repo's library error policy.
+//!
 //! [`conditioning`] implements the paper's own recursive formulation
 //! (Eqns. 7–9) and is property-tested against the closed-form oracle.
 
+pub mod cache;
 pub mod conditioning;
 pub mod pattern;
 
+pub use cache::DistributionCache;
 pub use pattern::{EmpiricalPatternAccess, IndependentAccess, TopologyAccess};
 
+use crate::error::BluError;
 use blu_sim::clientset::ClientSet;
+use std::sync::Arc;
+
+/// Largest client-set size the `2^|w|` pattern enumeration supports:
+/// one below the `usize` bit width, so `1usize << |w|` cannot
+/// overflow. (Practical group sizes are `f·M ≤ 8`; this guard exists
+/// so a buggy or hostile caller gets a typed error, not UB-adjacent
+/// shift wrapping.)
+pub const MAX_PATTERN_SET: usize = usize::BITS as usize - 1;
+
+/// Returns a [`BluError::SetTooLarge`] when `w` cannot be pattern-
+/// enumerated without overflowing the `1 << |w|` table size.
+pub(crate) fn check_pattern_set(what: &'static str, w: ClientSet) -> Result<(), BluError> {
+    let len = w.len();
+    if len > MAX_PATTERN_SET {
+        return Err(BluError::SetTooLarge {
+            what,
+            len,
+            max: MAX_PATTERN_SET,
+        });
+    }
+    Ok(())
+}
 
 /// A source of joint access distributions over client sets.
 ///
 /// The *pattern distribution* of a client set `w = {c₀ < c₁ < …}` is
-/// a vector of length `2^|w|`: entry `m` is the probability that
-/// exactly the clients `{cₙ : bit n of m set}` are **blocked** (fail
-/// CCA) while the rest of `w` can access.
-pub trait AccessDistribution {
-    /// The blocked-pattern distribution of `w` (length `2^|w|`,
-    /// sums to 1).
-    fn pattern_distribution(&self, w: ClientSet) -> Vec<f64>;
+/// a shared slice of length `2^|w|`: entry `m` is the probability
+/// that exactly the clients `{cₙ : bit n of m set}` are **blocked**
+/// (fail CCA) while the rest of `w` can access.
+///
+/// Providers must be `Send + Sync`: the parallel trial fan-out shares
+/// one provider (and therefore one memo cache) across worker threads.
+pub trait AccessDistribution: Send + Sync {
+    /// The blocked-pattern distribution of `w` (length `2^|w|`, sums
+    /// to 1). Errors if `|w|` exceeds [`MAX_PATTERN_SET`] or the set
+    /// references clients the provider does not know.
+    fn pattern_distribution(&self, w: ClientSet) -> Result<Arc<[f64]>, BluError>;
 
     /// Convenience: `P(succeed accessible, fail blocked)` for
-    /// disjoint sets, marginalizing everything else.
-    fn p_joint(&self, succeed: ClientSet, fail: ClientSet) -> f64 {
-        assert!(succeed.is_disjoint(fail));
+    /// disjoint sets, marginalizing everything else. Errors if the
+    /// sets overlap.
+    fn p_joint(&self, succeed: ClientSet, fail: ClientSet) -> Result<f64, BluError> {
+        if !succeed.is_disjoint(fail) {
+            return Err(BluError::InvalidConfig(format!(
+                "p_joint needs disjoint sets, got {succeed} and {fail}"
+            )));
+        }
         let w = succeed.union(fail);
-        let dist = self.pattern_distribution(w);
+        let dist = self.pattern_distribution(w)?;
         let members: Vec<usize> = w.iter().collect();
         let mut fail_mask = 0usize;
         for (n, &c) in members.iter().enumerate() {
@@ -49,13 +92,13 @@ pub trait AccessDistribution {
                 fail_mask |= 1 << n;
             }
         }
-        dist[fail_mask]
+        Ok(dist[fail_mask])
     }
 
     /// Individual access probability `p(i)`.
-    fn p_individual(&self, i: usize) -> f64 {
-        let dist = self.pattern_distribution(ClientSet::singleton(i));
-        dist[0]
+    fn p_individual(&self, i: usize) -> Result<f64, BluError> {
+        let dist = self.pattern_distribution(ClientSet::singleton(i))?;
+        Ok(dist[0])
     }
 }
 
@@ -75,7 +118,7 @@ mod tests {
             let fail: ClientSet = (0..6)
                 .filter(|&i| !succeed.contains(i) && rng.chance(0.3))
                 .collect();
-            let got = acc.p_joint(succeed, fail);
+            let got = acc.p_joint(succeed, fail).unwrap();
             let want = topo.p_joint(succeed, fail);
             assert!(
                 (got - want).abs() < 1e-10,
@@ -90,7 +133,43 @@ mod tests {
         let topo = InterferenceTopology::random(4, 3, (0.2, 0.5), 0.5, &mut rng);
         let acc = TopologyAccess::new(&topo);
         for i in 0..4 {
-            assert!((acc.p_individual(i) - topo.p_individual(i)).abs() < 1e-12);
+            assert!((acc.p_individual(i).unwrap() - topo.p_individual(i)).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn p_joint_overlapping_sets_is_typed_error() {
+        // Former `assert!(succeed.is_disjoint(fail))` panic.
+        let topo = InterferenceTopology::interference_free(3);
+        let acc = TopologyAccess::new(&topo);
+        let err = acc
+            .p_joint(ClientSet::from_iter([0, 1]), ClientSet::from_iter([1, 2]))
+            .unwrap_err();
+        assert!(matches!(err, BluError::InvalidConfig(_)), "{err}");
+    }
+
+    #[test]
+    fn oversized_set_is_typed_error() {
+        let topo = InterferenceTopology::interference_free(3);
+        let acc = TopologyAccess::new(&topo);
+        let err = acc
+            .pattern_distribution(ClientSet::all(MAX_PATTERN_SET + 1))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BluError::SetTooLarge { len, max, .. }
+                    if len == MAX_PATTERN_SET + 1 && max == MAX_PATTERN_SET
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn providers_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TopologyAccess<'_>>();
+        assert_send_sync::<EmpiricalPatternAccess<'_>>();
+        assert_send_sync::<IndependentAccess>();
     }
 }

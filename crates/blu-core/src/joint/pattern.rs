@@ -1,11 +1,13 @@
 //! Pattern-distribution implementations of [`AccessDistribution`].
 
-use super::AccessDistribution;
+use super::cache::{DistributionCache, DEFAULT_CACHE_CAPACITY};
+use super::{check_pattern_set, AccessDistribution};
+use crate::error::BluError;
 use blu_sim::clientset::ClientSet;
+use blu_sim::error::SimError;
 use blu_sim::topology::InterferenceTopology;
 use blu_traces::schema::AccessTrace;
-use std::cell::RefCell;
-use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Exact pattern distributions from a hidden-terminal topology.
 ///
@@ -15,23 +17,38 @@ use std::collections::HashMap;
 /// with probability `q(k)` (OR-ing its local edge mask into the
 /// blocked pattern), idle with `1 − q(k)`. `O(h · 2^|w|)`, exact.
 ///
-/// Distributions are memoized per client set, because the scheduler
-/// re-queries the same candidate groups across RBs and sub-frames.
+/// Distributions are memoized per client set in a bounded
+/// [`DistributionCache`], because the scheduler re-queries the same
+/// candidate groups across RBs and sub-frames; hits share one
+/// `Arc<[f64]>` allocation instead of cloning.
+#[derive(Debug)]
 pub struct TopologyAccess<'a> {
     topo: &'a InterferenceTopology,
-    cache: RefCell<HashMap<u128, Vec<f64>>>,
+    cache: DistributionCache,
 }
 
 impl<'a> TopologyAccess<'a> {
-    /// Wrap a topology.
+    /// Wrap a topology (default cache bound).
     pub fn new(topo: &'a InterferenceTopology) -> Self {
+        Self::with_capacity(topo, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Wrap a topology, keeping at most `capacity` memoized
+    /// distributions resident.
+    pub fn with_capacity(topo: &'a InterferenceTopology, capacity: usize) -> Self {
         TopologyAccess {
             topo,
-            cache: RefCell::new(HashMap::new()),
+            cache: DistributionCache::new(capacity),
         }
     }
 
-    fn compute(&self, w: ClientSet) -> Vec<f64> {
+    /// Number of distributions currently memoized (bounded by the
+    /// cache capacity).
+    pub fn cached_distributions(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn compute(&self, w: ClientSet) -> Arc<[f64]> {
         let members: Vec<usize> = w.iter().collect();
         let size = 1usize << members.len();
         let mut dist = vec![0.0; size];
@@ -58,18 +75,14 @@ impl<'a> TopologyAccess<'a> {
             }
             std::mem::swap(&mut dist, &mut scratch);
         }
-        dist
+        dist.into()
     }
 }
 
 impl AccessDistribution for TopologyAccess<'_> {
-    fn pattern_distribution(&self, w: ClientSet) -> Vec<f64> {
-        if let Some(d) = self.cache.borrow().get(&w.0) {
-            return d.clone();
-        }
-        let d = self.compute(w);
-        self.cache.borrow_mut().insert(w.0, d.clone());
-        d
+    fn pattern_distribution(&self, w: ClientSet) -> Result<Arc<[f64]>, BluError> {
+        check_pattern_set("topology pattern distribution", w)?;
+        self.cache.get_or_insert_with(w.0, || Ok(self.compute(w)))
     }
 }
 
@@ -78,22 +91,38 @@ impl AccessDistribution for TopologyAccess<'_> {
 /// performance from inference (Fig. 15). The paper notes computing
 /// these directly in real time is impractical at MU-MIMO scale; the
 /// Criterion bench `joint_distributions` quantifies that.
+#[derive(Debug)]
 pub struct EmpiricalPatternAccess<'a> {
     trace: &'a AccessTrace,
-    cache: RefCell<HashMap<u128, Vec<f64>>>,
+    cache: DistributionCache,
 }
 
 impl<'a> EmpiricalPatternAccess<'a> {
-    /// Wrap an access trace.
-    pub fn new(trace: &'a AccessTrace) -> Self {
-        assert!(!trace.is_empty(), "empty access trace");
-        EmpiricalPatternAccess {
-            trace,
-            cache: RefCell::new(HashMap::new()),
-        }
+    /// Wrap an access trace (default cache bound). Errors on an empty
+    /// trace — there are no samples to count frequencies from.
+    pub fn new(trace: &'a AccessTrace) -> Result<Self, BluError> {
+        Self::with_capacity(trace, DEFAULT_CACHE_CAPACITY)
     }
 
-    fn compute(&self, w: ClientSet) -> Vec<f64> {
+    /// Wrap an access trace, keeping at most `capacity` memoized
+    /// distributions resident.
+    pub fn with_capacity(trace: &'a AccessTrace, capacity: usize) -> Result<Self, BluError> {
+        if trace.is_empty() {
+            return Err(BluError::EmptyInput("access trace"));
+        }
+        Ok(EmpiricalPatternAccess {
+            trace,
+            cache: DistributionCache::new(capacity),
+        })
+    }
+
+    /// Number of distributions currently memoized (bounded by the
+    /// cache capacity).
+    pub fn cached_distributions(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn compute(&self, w: ClientSet) -> Arc<[f64]> {
         let members: Vec<usize> = w.iter().collect();
         let size = 1usize << members.len();
         let mut counts = vec![0u64; size];
@@ -107,18 +136,18 @@ impl<'a> EmpiricalPatternAccess<'a> {
             counts[m] += 1;
         }
         let total = self.trace.accessible.len() as f64;
-        counts.into_iter().map(|c| c as f64 / total).collect()
+        counts
+            .into_iter()
+            .map(|c| c as f64 / total)
+            .collect::<Vec<f64>>()
+            .into()
     }
 }
 
 impl AccessDistribution for EmpiricalPatternAccess<'_> {
-    fn pattern_distribution(&self, w: ClientSet) -> Vec<f64> {
-        if let Some(d) = self.cache.borrow().get(&w.0) {
-            return d.clone();
-        }
-        let d = self.compute(w);
-        self.cache.borrow_mut().insert(w.0, d.clone());
-        d
+    fn pattern_distribution(&self, w: ClientSet) -> Result<Arc<[f64]>, BluError> {
+        check_pattern_set("empirical pattern distribution", w)?;
+        self.cache.get_or_insert_with(w.0, || Ok(self.compute(w)))
     }
 }
 
@@ -126,22 +155,50 @@ impl AccessDistribution for EmpiricalPatternAccess<'_> {
 /// `1 − p(i)` independently. This is what a scheduler with only
 /// individual access probabilities can assume; over-scheduling on it
 /// ignores shared hidden terminals (the paper's Fig. 5 failure).
+#[derive(Debug)]
 pub struct IndependentAccess {
     /// Individual access probabilities, indexed by client.
     pub p: Vec<f64>,
+    cache: DistributionCache,
 }
 
 impl IndependentAccess {
-    /// Construct from per-client access probabilities.
-    pub fn new(p: Vec<f64>) -> Self {
-        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
-        IndependentAccess { p }
+    /// Construct from per-client access probabilities (default cache
+    /// bound). Errors if any probability is outside `[0, 1]`.
+    pub fn new(p: Vec<f64>) -> Result<Self, BluError> {
+        Self::with_capacity(p, DEFAULT_CACHE_CAPACITY)
     }
-}
 
-impl AccessDistribution for IndependentAccess {
-    fn pattern_distribution(&self, w: ClientSet) -> Vec<f64> {
+    /// Construct, keeping at most `capacity` memoized distributions
+    /// resident.
+    pub fn with_capacity(p: Vec<f64>, capacity: usize) -> Result<Self, BluError> {
+        if let Some(&bad) = p.iter().find(|&&x| !(0.0..=1.0).contains(&x)) {
+            return Err(BluError::Sim(SimError::InvalidProbability {
+                what: "individual access probability",
+                value: bad,
+            }));
+        }
+        Ok(IndependentAccess {
+            p,
+            cache: DistributionCache::new(capacity),
+        })
+    }
+
+    /// Number of distributions currently memoized (bounded by the
+    /// cache capacity).
+    pub fn cached_distributions(&self) -> usize {
+        self.cache.len()
+    }
+
+    fn compute(&self, w: ClientSet) -> Result<Arc<[f64]>, BluError> {
         let members: Vec<usize> = w.iter().collect();
+        if let Some(&c) = members.iter().find(|&&c| c >= self.p.len()) {
+            return Err(BluError::Sim(SimError::IndexOutOfRange {
+                what: "client",
+                index: c,
+                bound: self.p.len(),
+            }));
+        }
         let size = 1usize << members.len();
         let mut dist = vec![1.0; size];
         for (m, d) in dist.iter_mut().enumerate() {
@@ -150,7 +207,14 @@ impl AccessDistribution for IndependentAccess {
                 *d *= if blocked { 1.0 - self.p[c] } else { self.p[c] };
             }
         }
-        dist
+        Ok(dist.into())
+    }
+}
+
+impl AccessDistribution for IndependentAccess {
+    fn pattern_distribution(&self, w: ClientSet) -> Result<Arc<[f64]>, BluError> {
+        check_pattern_set("independent pattern distribution", w)?;
+        self.cache.get_or_insert_with(w.0, || self.compute(w))
     }
 }
 
@@ -181,7 +245,7 @@ mod tests {
         let topo = topo3();
         let acc = TopologyAccess::new(&topo);
         for mask in 1u128..8 {
-            let d = acc.pattern_distribution(ClientSet(mask));
+            let d = acc.pattern_distribution(ClientSet(mask)).unwrap();
             let sum: f64 = d.iter().sum();
             assert!((sum - 1.0).abs() < 1e-12, "mask {mask}: {sum}");
         }
@@ -193,7 +257,9 @@ mod tests {
         let acc = TopologyAccess::new(&topo);
         // w = {0,1}: patterns indexed (bit0 = client0 blocked,
         // bit1 = client1 blocked).
-        let d = acc.pattern_distribution(ClientSet::from_iter([0, 1]));
+        let d = acc
+            .pattern_distribution(ClientSet::from_iter([0, 1]))
+            .unwrap();
         // Both access: HT0 idle AND HT1 idle-or... client0 blocked by
         // HT0 only; client1 by HT0 or HT1.
         // P(00) = (1−0.4)(1−0.3) = 0.42
@@ -208,11 +274,29 @@ mod tests {
     }
 
     #[test]
-    fn topology_cache_consistency() {
+    fn topology_cache_hit_shares_storage() {
         let topo = topo3();
         let acc = TopologyAccess::new(&topo);
         let w = ClientSet::from_iter([0, 2]);
-        assert_eq!(acc.pattern_distribution(w), acc.pattern_distribution(w));
+        let a = acc.pattern_distribution(w).unwrap();
+        let b = acc.pattern_distribution(w).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "cache hit must not clone");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn topology_cache_stays_bounded() {
+        let topo = InterferenceTopology::interference_free(20);
+        let acc = TopologyAccess::with_capacity(&topo, 8);
+        // Query far more distinct sets than the bound.
+        for i in 0..20 {
+            for j in 0..20 {
+                let w = ClientSet::from_iter([i, j]);
+                acc.pattern_distribution(w).unwrap();
+                assert!(acc.cached_distributions() <= 8);
+            }
+        }
+        assert_eq!(acc.cached_distributions(), 8);
     }
 
     #[test]
@@ -225,26 +309,92 @@ mod tests {
             n_ues: 5,
             accessible,
         };
-        let emp = EmpiricalPatternAccess::new(&trace);
+        let emp = EmpiricalPatternAccess::new(&trace).unwrap();
         let exact = TopologyAccess::new(&topo);
         let w = ClientSet::from_iter([0, 2, 4]);
-        let de = emp.pattern_distribution(w);
-        let dx = exact.pattern_distribution(w);
-        for (m, (a, b)) in de.iter().zip(&dx).enumerate() {
+        let de = emp.pattern_distribution(w).unwrap();
+        let dx = exact.pattern_distribution(w).unwrap();
+        for (m, (a, b)) in de.iter().zip(dx.iter()).enumerate() {
             assert!((a - b).abs() < 0.01, "pattern {m}: {a} vs {b}");
         }
     }
 
     #[test]
+    fn empirical_empty_trace_is_typed_error() {
+        // Former `assert!(!trace.is_empty())` panic.
+        let trace = AccessTrace {
+            n_ues: 3,
+            accessible: vec![],
+        };
+        let err = EmpiricalPatternAccess::new(&trace).unwrap_err();
+        assert_eq!(err, BluError::EmptyInput("access trace"));
+    }
+
+    #[test]
+    fn empirical_cache_stays_bounded() {
+        let mut rng = DetRng::seed_from_u64(7);
+        let topo = InterferenceTopology::random(10, 2, (0.2, 0.5), 0.5, &mut rng);
+        let accessible: Vec<ClientSet> = (0..64).map(|_| topo.sample_access(&mut rng)).collect();
+        let trace = AccessTrace {
+            n_ues: 10,
+            accessible,
+        };
+        let emp = EmpiricalPatternAccess::with_capacity(&trace, 4).unwrap();
+        for i in 0..10 {
+            for j in 0..10 {
+                emp.pattern_distribution(ClientSet::from_iter([i, j]))
+                    .unwrap();
+                assert!(emp.cached_distributions() <= 4);
+            }
+        }
+    }
+
+    #[test]
     fn independent_access_products() {
-        let ind = IndependentAccess::new(vec![0.8, 0.5]);
-        let d = ind.pattern_distribution(ClientSet::from_iter([0, 1]));
+        let ind = IndependentAccess::new(vec![0.8, 0.5]).unwrap();
+        let d = ind
+            .pattern_distribution(ClientSet::from_iter([0, 1]))
+            .unwrap();
         assert!((d[0] - 0.4).abs() < 1e-12); // both ok
         assert!((d[1] - 0.1).abs() < 1e-12); // 0 blocked, 1 ok
         assert!((d[2] - 0.4).abs() < 1e-12); // 0 ok, 1 blocked
         assert!((d[3] - 0.1).abs() < 1e-12);
         let sum: f64 = d.iter().sum();
         assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_out_of_range_probability_is_typed_error() {
+        // Former `assert!` panic on p outside [0, 1].
+        let err = IndependentAccess::new(vec![0.5, 1.5]).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BluError::Sim(SimError::InvalidProbability { value, .. }) if value == 1.5
+            ),
+            "{err}"
+        );
+        let err = IndependentAccess::new(vec![-0.1]).unwrap_err();
+        assert!(matches!(err, BluError::Sim(_)), "{err}");
+    }
+
+    #[test]
+    fn independent_unknown_client_is_typed_error() {
+        let ind = IndependentAccess::new(vec![0.5, 0.5]).unwrap();
+        let err = ind
+            .pattern_distribution(ClientSet::from_iter([0, 5]))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BluError::Sim(SimError::IndexOutOfRange {
+                    index: 5,
+                    bound: 2,
+                    ..
+                })
+            ),
+            "{err}"
+        );
     }
 
     #[test]
@@ -259,10 +409,10 @@ mod tests {
             }],
         };
         let exact = TopologyAccess::new(&topo);
-        let ind = IndependentAccess::new(vec![0.5, 0.5]);
+        let ind = IndependentAccess::new(vec![0.5, 0.5]).unwrap();
         let w = ClientSet::from_iter([0, 1]);
-        let de = exact.pattern_distribution(w);
-        let di = ind.pattern_distribution(w);
+        let de = exact.pattern_distribution(w).unwrap();
+        let di = ind.pattern_distribution(w).unwrap();
         // Exact: fully correlated — P(0 ok,1 blocked) = 0.
         assert!((de[2] - 0.0).abs() < 1e-12);
         // Independence predicts 0.25.
@@ -273,6 +423,7 @@ mod tests {
     fn empty_set_distribution() {
         let topo = topo3();
         let acc = TopologyAccess::new(&topo);
-        assert_eq!(acc.pattern_distribution(ClientSet::EMPTY), vec![1.0]);
+        let d = acc.pattern_distribution(ClientSet::EMPTY).unwrap();
+        assert_eq!(&*d, &[1.0][..]);
     }
 }

@@ -15,11 +15,35 @@
 //! (f = 2 by default) — beyond which collisions erase the gains (the
 //! paper's diminishing-returns observation).
 //!
+//! ## Hot-path structure
+//!
+//! The greedy builder is *incremental*: the per-RB weight vector and
+//! the per-client access probabilities are hoisted out of the
+//! candidate loop, the subset-sum table is a reused scratch buffer
+//! (no allocation per candidate), and candidates are pruned with the
+//! admissible upper bound
+//!
+//! ```text
+//! E(G ∪ ℓ) ≤ E(G) + p(ℓ)·w(ℓ)
+//! ```
+//!
+//! (ℓ's own contribution is at most `p(ℓ)·w(ℓ)` since the MIMO
+//! penalty is ≤ 1, and adding a client can only *lower* the existing
+//! members' contribution: the penalty is non-increasing in stream
+//! count and extra collisions zero terms out). A candidate whose
+//! bound cannot beat both the incumbent best and the acceptance
+//! threshold is skipped without evaluating the `O(2^w)` expectation.
+//! Pruned and exhaustive modes share one float kernel
+//! ([`expectation_kernel`]) and therefore produce **bit-identical**
+//! schedules — `SpeculativeScheduler::exhaustive` keeps the
+//! evaluate-everything path alive as the differential-test oracle.
+//!
 //! Cost: the pattern distribution is `O(h·2^w)` (cached per client
-//! set by the provider) and the expectation `O(2^w)` via a subset-sum
-//! table, `w ≤ f·M ≤ 8`.
+//! set by the provider, handed out as a shared `Arc<[f64]>`) and the
+//! expectation `O(2^w)` via the subset-sum table, `w ≤ f·M ≤ 8`.
 
 use super::{mimo_penalty, pf::PfScheduler, SchedInput, UlScheduler};
+use crate::error::BluError;
 use crate::joint::AccessDistribution;
 use blu_phy::grant::RbSchedule;
 use blu_sim::clientset::ClientSet;
@@ -27,55 +51,164 @@ use blu_sim::clientset::ClientSet;
 /// Minimum expected-utility increment to keep adding clients.
 const MIN_GAIN: f64 = 1e-9;
 
+/// Safety slack subtracted from the pruning threshold so float noise
+/// in the upper bound can never skip a candidate the exhaustive path
+/// would have picked.
+const PRUNE_SLACK: f64 = 1e-9;
+
+/// Eqn. 4 evaluated over an explicit pattern distribution: the
+/// expected PF utility of a group whose members (ascending) have
+/// per-RB PF `weights`. `blocked_sum` is caller-provided scratch for
+/// the subset-sum table — reused across calls, no allocation on the
+/// hot path. This single kernel backs both the pruned and the
+/// exhaustive builder, which is what makes their schedules
+/// bit-identical.
+fn expectation_kernel(
+    dist: &[f64],
+    weights: &[f64],
+    m_ant: usize,
+    blocked_sum: &mut Vec<f64>,
+) -> f64 {
+    let n = weights.len();
+    debug_assert_eq!(dist.len(), 1 << n);
+    let total: f64 = weights.iter().sum();
+    blocked_sum.clear();
+    blocked_sum.resize(1 << n, 0.0);
+    // Subset-sum of weights over blocked masks.
+    for m in 1usize..(1 << n) {
+        let low = m.trailing_zeros() as usize;
+        blocked_sum[m] = blocked_sum[m & (m - 1)] + weights[low];
+    }
+    let mut e = 0.0;
+    for (m, &p) in dist.iter().enumerate() {
+        if p == 0.0 {
+            continue;
+        }
+        let transmitting = n - m.count_ones() as usize;
+        if transmitting == 0 || transmitting > m_ant {
+            continue; // silence or collision
+        }
+        e += p * mimo_penalty(transmitting, m_ant) * (total - blocked_sum[m]);
+    }
+    e
+}
+
+/// Reusable buffers for one scheduler instance — sized once, reused
+/// across candidates, RBs and sub-frames.
+#[derive(Default)]
+struct Scratch {
+    /// `input.weight(ue, rb)` for the RB being built (hoisted out of
+    /// the candidate loop — the weight of a client does not change
+    /// while one RB's group is grown).
+    weights_rb: Vec<f64>,
+    /// Individual access probability per client, for the pruning
+    /// bound. Filled once per sub-frame.
+    p_ind: Vec<f64>,
+    /// Members of the group under construction, ascending.
+    members: Vec<usize>,
+    /// Weight vector of a candidate group, member order.
+    weights: Vec<f64>,
+    /// Subset-sum table for [`expectation_kernel`].
+    blocked_sum: Vec<f64>,
+}
+
 /// The speculative scheduler, parameterized by a joint access
 /// distribution source (inferred blue-print, ground truth, empirical
 /// trace statistics, or an independence approximation).
 pub struct SpeculativeScheduler<'a> {
     dist: &'a dyn AccessDistribution,
+    prune: bool,
+    scratch: Scratch,
 }
 
 impl<'a> SpeculativeScheduler<'a> {
-    /// Wrap an access-distribution source.
+    /// Wrap an access-distribution source (pruned hot path — the
+    /// default).
     pub fn new(dist: &'a dyn AccessDistribution) -> Self {
-        SpeculativeScheduler { dist }
+        SpeculativeScheduler {
+            dist,
+            prune: true,
+            scratch: Scratch::default(),
+        }
+    }
+
+    /// Reference mode: evaluate every candidate, no pruning. Produces
+    /// bit-identical schedules to [`SpeculativeScheduler::new`]
+    /// (shared float kernel); kept as the oracle for differential
+    /// tests and as the pre-optimization baseline for perf runs.
+    pub fn exhaustive(dist: &'a dyn AccessDistribution) -> Self {
+        SpeculativeScheduler {
+            dist,
+            prune: false,
+            scratch: Scratch::default(),
+        }
+    }
+
+    /// Whether the admissible-bound pruning is active.
+    pub fn pruning_enabled(&self) -> bool {
+        self.prune
     }
 
     /// Eqn. 4: the expected PF utility of scheduling group `w` on
     /// RB `rb`.
-    pub fn expected_utility(&self, input: &SchedInput<'_>, rb: usize, w: ClientSet) -> f64 {
+    pub fn expected_utility(
+        &self,
+        input: &SchedInput<'_>,
+        rb: usize,
+        w: ClientSet,
+    ) -> Result<f64, BluError> {
         if w.is_empty() {
-            return 0.0;
+            return Ok(0.0);
         }
-        let members: Vec<usize> = w.iter().collect();
-        let n = members.len();
-        let dist = self.dist.pattern_distribution(w);
-        debug_assert_eq!(dist.len(), 1 << n);
-        // Subset-sum of weights over blocked masks.
-        let weights: Vec<f64> = members.iter().map(|&ue| input.weight(ue, rb)).collect();
-        let total: f64 = weights.iter().sum();
-        let mut blocked_sum = vec![0.0; 1 << n];
-        for m in 1usize..(1 << n) {
-            let low = m.trailing_zeros() as usize;
-            blocked_sum[m] = blocked_sum[m & (m - 1)] + weights[low];
+        let dist = self.dist.pattern_distribution(w)?;
+        let weights: Vec<f64> = w.iter().map(|ue| input.weight(ue, rb)).collect();
+        let mut blocked_sum = Vec::new();
+        Ok(expectation_kernel(
+            &dist,
+            &weights,
+            input.m_antennas,
+            &mut blocked_sum,
+        ))
+    }
+
+    /// Fill the per-sub-frame pruning inputs (individual access
+    /// probabilities). No-op in exhaustive mode.
+    fn prepare(&mut self, input: &SchedInput<'_>) -> Result<(), BluError> {
+        if !self.prune {
+            return Ok(());
         }
-        let m_ant = input.m_antennas;
-        let mut e = 0.0;
-        for (m, &p) in dist.iter().enumerate() {
-            if p == 0.0 {
-                continue;
-            }
-            let transmitting = n - m.count_ones() as usize;
-            if transmitting == 0 || transmitting > m_ant {
-                continue; // silence or collision
-            }
-            e += p * mimo_penalty(transmitting, m_ant) * (total - blocked_sum[m]);
+        self.scratch.p_ind.clear();
+        for ue in 0..input.n_clients {
+            self.scratch.p_ind.push(self.dist.p_individual(ue)?);
         }
-        e
+        Ok(())
     }
 
     /// The greedy group construction for one RB (Eqn. 3), under the
     /// hard cell-wide `K`-distinct-clients budget.
-    fn best_group_for_rb(&self, input: &SchedInput<'_>, rb: usize, used: ClientSet) -> ClientSet {
+    fn best_group_for_rb(
+        &mut self,
+        input: &SchedInput<'_>,
+        rb: usize,
+        used: ClientSet,
+    ) -> Result<ClientSet, BluError> {
+        let dist_src = self.dist;
+        let prune = self.prune;
+        let Scratch {
+            weights_rb,
+            p_ind,
+            members,
+            weights,
+            blocked_sum,
+        } = &mut self.scratch;
+
+        // Hoisted: every candidate this RB reuses these weights.
+        weights_rb.clear();
+        for ue in 0..input.n_clients {
+            weights_rb.push(input.weight(ue, rb));
+        }
+
+        members.clear();
         let mut group = ClientSet::EMPTY;
         let mut e = 0.0;
         while group.len() < input.max_group {
@@ -88,10 +221,34 @@ impl<'a> SpeculativeScheduler<'a> {
                 if !used.contains(ue) && budget_left == 0 {
                     continue; // would exceed K distinct clients
                 }
-                if input.weight(ue, rb) <= 0.0 {
+                let w_ue = weights_rb[ue];
+                if w_ue <= 0.0 {
                     continue;
                 }
-                let e_new = self.expected_utility(input, rb, group.with(ue));
+                if prune {
+                    // Admissible bound: E(G∪ℓ) ≤ E(G) + p(ℓ)·w(ℓ).
+                    // To matter, a candidate must strictly beat the
+                    // incumbent best AND clear the acceptance
+                    // threshold e + MIN_GAIN; a bound below both
+                    // (minus slack) cannot change the outcome.
+                    let ub = e + p_ind[ue] * w_ue;
+                    let threshold = match best {
+                        Some((_, b)) => b.max(e + MIN_GAIN),
+                        None => e + MIN_GAIN,
+                    };
+                    if ub < threshold - PRUNE_SLACK {
+                        continue;
+                    }
+                }
+                let w = group.with(ue);
+                let dist = dist_src.pattern_distribution(w)?;
+                // Candidate weight vector in ascending-member order.
+                let pos = members.partition_point(|&m| m < ue);
+                weights.clear();
+                weights.extend(members[..pos].iter().map(|&m| weights_rb[m]));
+                weights.push(w_ue);
+                weights.extend(members[pos..].iter().map(|&m| weights_rb[m]));
+                let e_new = expectation_kernel(&dist, weights, input.m_antennas, blocked_sum);
                 if best.is_none_or(|(_, b)| e_new > b) {
                     best = Some((ue, e_new));
                 }
@@ -99,12 +256,14 @@ impl<'a> SpeculativeScheduler<'a> {
             match best {
                 Some((ue, e_new)) if e_new - e > MIN_GAIN => {
                     group.insert(ue);
+                    let pos = members.partition_point(|&m| m < ue);
+                    members.insert(pos, ue);
                     e = e_new;
                 }
                 _ => break,
             }
         }
-        group
+        Ok(group)
     }
 }
 
@@ -116,8 +275,17 @@ impl UlScheduler for SpeculativeScheduler<'_> {
     fn schedule(&mut self, input: &SchedInput<'_>) -> RbSchedule {
         let mut sched = RbSchedule::empty(input.n_rbs);
         let mut used = ClientSet::EMPTY;
+        // Distribution errors route into PF fallback (library error
+        // policy: a scheduler that panics is strictly worse than one
+        // that schedules conservatively).
+        let prepared = self.prepare(input).is_ok();
         for rb in 0..input.n_rbs {
-            let group = self.best_group_for_rb(input, rb, used);
+            let group = if prepared {
+                self.best_group_for_rb(input, rb, used)
+                    .unwrap_or(ClientSet::EMPTY)
+            } else {
+                ClientSet::EMPTY
+            };
             if group.is_empty() {
                 // Never leave an RB unallocated if anyone is
                 // schedulable: fall back to the best PF client (the
@@ -146,6 +314,7 @@ mod tests {
     use super::*;
     use crate::joint::{IndependentAccess, TopologyAccess};
     use crate::sched::rates::MatrixRates;
+    use blu_sim::rng::DetRng;
     use blu_sim::topology::{HiddenTerminal, InterferenceTopology};
 
     fn input<'a>(
@@ -282,11 +451,15 @@ mod tests {
         let blu = SpeculativeScheduler::new(&acc);
         let _w = 100.0 / 10.0;
         // E({0}) = p(0)·w = 0.6·10 = 6.
-        let e1 = blu.expected_utility(&inp, 0, ClientSet::singleton(0));
+        let e1 = blu
+            .expected_utility(&inp, 0, ClientSet::singleton(0))
+            .unwrap();
         assert!((e1 - 6.0).abs() < 1e-9, "{e1}");
         // E({0,1}) = P(0, 1̄)·w + P(0̄, 1)·w = 0.6·0.4·10 ×2 = 4.8.
         // (Both transmitting is a SISO collision: no utility.)
-        let e2 = blu.expected_utility(&inp, 0, ClientSet::from_iter([0, 1]));
+        let e2 = blu
+            .expected_utility(&inp, 0, ClientSet::from_iter([0, 1]))
+            .unwrap();
         assert!((e2 - 4.8).abs() < 1e-9, "{e2}");
         // 4.8 < 6 → this pair must NOT be over-scheduled at q = 0.4…
         let mut sched = SpeculativeScheduler::new(&acc);
@@ -322,7 +495,9 @@ mod tests {
         let inp = input(&rates, &avg, 2, 4, 1);
         let blu = SpeculativeScheduler::new(&acc);
         // Both always transmit; M = 2 decodes both at penalty 0.5.
-        let e = blu.expected_utility(&inp, 0, ClientSet::from_iter([0, 1]));
+        let e = blu
+            .expected_utility(&inp, 0, ClientSet::from_iter([0, 1]))
+            .unwrap();
         assert!((e - 0.5 * 20.0).abs() < 1e-9);
     }
 
@@ -352,7 +527,7 @@ mod tests {
         // Ablation seed: with the independence approximation BLU
         // pairs clients sharing one HT (wrongly) — demonstrating why
         // the joint distribution matters.
-        let ind = IndependentAccess::new(vec![0.4, 0.4]);
+        let ind = IndependentAccess::new(vec![0.4, 0.4]).unwrap();
         let rates = MatrixRates::flat(2, 1, 100.0);
         let avg = vec![10.0; 2];
         let inp = input(&rates, &avg, 1, 2, 1);
@@ -361,5 +536,44 @@ mod tests {
         // Independence says pairing is worth it (E = 2·0.4·0.6·10 =
         // 4.8 > 4) — but if the truth were a shared HT this collides.
         assert_eq!(sched.group(0).len(), 2);
+    }
+
+    #[test]
+    fn distribution_error_falls_back_to_pf() {
+        // A provider that only knows 2 clients, driven with 3:
+        // queries for client 2 error, and the error must route into
+        // PF fallback (never panic, never leave RBs empty).
+        let ind = IndependentAccess::new(vec![0.5, 0.5]).unwrap();
+        let rates = MatrixRates::flat(3, 2, 100.0);
+        let avg = vec![10.0; 3];
+        let inp = input(&rates, &avg, 1, 2, 2);
+        let mut blu = SpeculativeScheduler::new(&ind);
+        let sched = blu.schedule(&inp);
+        assert_eq!(sched.occupied_rbs(), 2);
+    }
+
+    #[test]
+    fn pruned_matches_exhaustive_on_random_topologies() {
+        // The bound E(G∪ℓ) ≤ E(G) + p(ℓ)·w(ℓ) is admissible, and both
+        // paths share one float kernel — schedules must be
+        // bit-identical, not merely equal in utility.
+        for seed in 0..30u64 {
+            let mut rng = DetRng::seed_from_u64(seed);
+            let topo = InterferenceTopology::random(8, 5, (0.05, 0.9), 0.5, &mut rng);
+            let acc = TopologyAccess::new(&topo);
+            let rates = MatrixRates::build(8, 5, |ue, rb| {
+                50.0 + ((ue * 13 + rb * 7 + seed as usize * 3) % 97) as f64
+            });
+            let avg: Vec<f64> = (0..8).map(|i| 10.0 + (i * 17 % 29) as f64).collect();
+            let m = 1 + (seed % 2) as usize;
+            let inp = input(&rates, &avg, m, 2 * m, 5);
+            let mut pruned = SpeculativeScheduler::new(&acc);
+            let mut exact = SpeculativeScheduler::exhaustive(&acc);
+            assert!(pruned.pruning_enabled());
+            assert!(!exact.pruning_enabled());
+            let a = pruned.schedule(&inp);
+            let b = exact.schedule(&inp);
+            assert_eq!(a, b, "seed {seed}: pruned and exhaustive diverged");
+        }
     }
 }

@@ -24,7 +24,7 @@ use blu_traces::stats::EmpiricalAccess;
 fn expected_utilization(topo: &InterferenceTopology) -> f64 {
     let acc = TopologyAccess::new(topo);
     (0..topo.n_clients)
-        .map(|i| acc.p_individual(i))
+        .map(|i| acc.p_individual(i).expect("client known to topology"))
         .sum::<f64>()
         / topo.n_clients as f64
 }

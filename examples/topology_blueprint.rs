@@ -81,8 +81,8 @@ fn main() {
     // 5. A higher-order joint from the blue-print (§3.6).
     let succeed = ClientSet::from_iter([0, 2]);
     let fail = ClientSet::from_iter([1, 3]);
-    let cond = Conditioning::new(&result.topology);
-    let from_blueprint = cond.p_joint(succeed, fail);
+    let cond = Conditioning::new(&result.topology).expect("inferred topology fits the mask");
+    let from_blueprint = cond.p_joint(succeed, fail).expect("disjoint sets");
     let exact = trace.ground_truth.p_joint(succeed, fail);
     let measured = empirical_joint(&trace.access, succeed, fail);
     println!("\nP(UEs {{0,2}} transmit while {{1,3}} are blocked):");

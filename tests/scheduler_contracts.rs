@@ -106,10 +106,11 @@ fn speculative_expected_utility_monotone_along_greedy_chain() {
             }
             // The full group's E must beat every single-member E
             // (otherwise the greedy would have stopped earlier).
-            let e_full = blu.expected_utility(&input, rb, group);
+            let e_full = blu.expected_utility(&input, rb, group).unwrap();
             for ue in group.iter() {
-                let e_single =
-                    blu.expected_utility(&input, rb, blu_sim::clientset::ClientSet::singleton(ue));
+                let e_single = blu
+                    .expected_utility(&input, rb, blu_sim::clientset::ClientSet::singleton(ue))
+                    .unwrap();
                 assert!(
                     e_full >= e_single - 1e-9,
                     "seed {seed} rb {rb}: E(full)={e_full} < E({{{ue}}})={e_single}"

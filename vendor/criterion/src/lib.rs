@@ -101,7 +101,10 @@ fn run_bench<F: FnMut(&mut Bencher)>(id: &str, samples: usize, f: &mut F) {
     }
     xs.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
     let median = xs[xs.len() / 2];
-    println!("bench {id}: median {median:.0} ns/iter over {} samples", xs.len());
+    println!(
+        "bench {id}: median {median:.0} ns/iter over {} samples",
+        xs.len()
+    );
 }
 
 /// Measurement context passed to benchmark closures.

@@ -1,49 +1,250 @@
-//! Vendored shim for `rayon` (see `vendor/README.md`).
+//! Vendored stand-in for `rayon` (see `vendor/README.md`) — now a
+//! *real* data-parallel executor, not a sequential shim.
 //!
-//! `par_iter()`/`into_par_iter()` return the corresponding *standard*
-//! iterators, so all downstream combinators (`map`, `filter`,
-//! `collect`, `sum`, …) come from `std::iter::Iterator` and run
-//! sequentially. This preserves correctness and determinism; it only
-//! gives up the parallel speed-up, which the offline build environment
-//! cannot benchmark meaningfully anyway.
+//! `par_iter()`/`into_par_iter()` materialize the input and hand back
+//! a [`ParIter`], whose combinators (`map`, `filter_map`, `filter`,
+//! `for_each`) fan the items out over a chunked
+//! [`std::thread::scope`] pool. Each worker processes one contiguous
+//! chunk and returns its results as a block; the blocks are then
+//! joined **in input order** (deterministic ordered reduction), so
+//! `collect()` observes exactly the sequence a sequential run would
+//! produce. Work that is pure and deterministic therefore yields
+//! bit-identical output with and without parallelism — the property
+//! the repo's differential tests pin down.
+//!
+//! Differences from upstream rayon, by design of this subset:
+//!
+//! * combinators are **eager** (each one is a full parallel pass);
+//! * only the combinators the workspace uses are provided;
+//! * work stealing is replaced by balanced contiguous chunking,
+//!   which is what makes ordered reduction trivial.
+//!
+//! Thread count: `min(available_parallelism, items)`, overridable
+//! with the conventional `RAYON_NUM_THREADS` environment variable
+//! (`1` disables threading entirely).
 
-pub mod prelude {
-    /// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
-    pub trait IntoParallelIterator {
-        /// Item type yielded by the iterator.
-        type Item;
-        /// Concrete iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// "Parallel" (here: sequential) by-value iteration.
-        fn into_par_iter(self) -> Self::Iter;
+/// Number of worker threads to use for `n_items` items.
+fn threads_for(n_items: usize) -> usize {
+    let hw = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    hw.min(n_items).max(1)
+}
+
+/// Run `f` over `items` on a chunked scoped pool, concatenating the
+/// per-chunk outputs in input order. `None` results are dropped
+/// (giving `filter_map`; `map` wraps everything in `Some`).
+fn run_chunked<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> Option<R> + Sync,
+{
+    let n = items.len();
+    let threads = threads_for(n);
+    if threads <= 1 {
+        return items.into_iter().filter_map(f).collect();
     }
+    // Balanced contiguous chunks: sizes differ by at most one, and
+    // chunk boundaries depend only on (n, threads) — never on timing.
+    let base = n / threads;
+    let extra = n % threads;
+    let mut it = items.into_iter();
+    let chunks: Vec<Vec<T>> = (0..threads)
+        .map(|i| {
+            let len = base + usize::from(i < extra);
+            it.by_ref().take(len).collect()
+        })
+        .collect();
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| s.spawn(move || chunk.into_iter().filter_map(f).collect::<Vec<R>>()))
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            // Join in spawn order — the ordered reduction.
+            out.extend(h.join().expect("rayon shim worker panicked"));
+        }
+        out
+    })
+}
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Item = I::Item;
-        type Iter = I::IntoIter;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+/// A materialized "parallel iterator": holds the items and runs each
+/// combinator as one chunked parallel pass.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map with order-preserving results.
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: run_chunked(self.items, |x| Some(f(x))),
         }
     }
 
-    /// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`.
+    /// Parallel filter-map with order-preserving results.
+    pub fn filter_map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> Option<R> + Sync,
+    {
+        ParIter {
+            items: run_chunked(self.items, f),
+        }
+    }
+
+    /// Parallel filter with order-preserving results.
+    pub fn filter<F>(self, f: F) -> ParIter<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        ParIter {
+            items: run_chunked(self.items, |x| if f(&x) { Some(x) } else { None }),
+        }
+    }
+
+    /// Parallel for-each (no result).
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        run_chunked(self.items, |x| {
+            f(x);
+            None::<()>
+        });
+    }
+
+    /// Gather the (already ordered) results into any collection.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sum the (already computed) items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Number of items currently held.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+}
+
+pub mod prelude {
+    use super::ParIter;
+
+    /// By-value conversion into a [`ParIter`]
+    /// (`rayon::iter::IntoParallelIterator` subset).
+    pub trait IntoParallelIterator {
+        /// Item type yielded by the iterator.
+        type Item: Send;
+        /// Convert into a parallel iterator.
+        fn into_par_iter(self) -> ParIter<Self::Item>;
+    }
+
+    impl<I> IntoParallelIterator for I
+    where
+        I: IntoIterator,
+        I::Item: Send,
+    {
+        type Item = I::Item;
+        fn into_par_iter(self) -> ParIter<I::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
+        }
+    }
+
+    /// By-reference conversion into a [`ParIter`]
+    /// (`rayon::iter::IntoParallelRefIterator` subset).
     pub trait IntoParallelRefIterator<'data> {
         /// Item type yielded by the iterator.
-        type Item: 'data;
-        /// Concrete iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// "Parallel" (here: sequential) by-reference iteration.
-        fn par_iter(&'data self) -> Self::Iter;
+        type Item: Send + 'data;
+        /// Borrowing parallel iteration.
+        fn par_iter(&'data self) -> ParIter<Self::Item>;
     }
 
     impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
     where
         &'data C: IntoIterator,
+        <&'data C as IntoIterator>::Item: Send,
     {
         type Item = <&'data C as IntoIterator>::Item;
-        type Iter = <&'data C as IntoIterator>::IntoIter;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_iter()
+        fn par_iter(&'data self) -> ParIter<Self::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let par: Vec<u64> = (0..10_000u64).into_par_iter().map(|i| i * i).collect();
+        let seq: Vec<u64> = (0..10_000u64).map(|i| i * i).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn filter_map_preserves_order_and_drops() {
+        let par: Vec<u64> = (0..5_000u64)
+            .into_par_iter()
+            .filter_map(|i| if i % 3 == 0 { Some(i * 2) } else { None })
+            .collect();
+        let seq: Vec<u64> = (0..5_000u64)
+            .filter_map(|i| if i % 3 == 0 { Some(i * 2) } else { None })
+            .collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn par_iter_by_ref() {
+        let data: Vec<i32> = (0..1_000).collect();
+        let doubled: Vec<i32> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), 1_000);
+        assert_eq!(doubled[999], 1_998);
+        assert_eq!(data.len(), 1_000); // untouched
+    }
+
+    #[test]
+    fn really_runs_on_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        (0..64usize).into_par_iter().for_each(|_| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+        });
+        let distinct = seen.lock().unwrap().len();
+        let expect_parallel = std::thread::available_parallelism()
+            .map(|n| n.get() > 1)
+            .unwrap_or(false);
+        if expect_parallel {
+            assert!(distinct > 1, "expected multi-threaded execution");
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u8> = vec![7u8].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
     }
 }

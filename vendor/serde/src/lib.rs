@@ -164,8 +164,7 @@ pub fn de_field<T: Deserialize>(
     ty: &str,
 ) -> Result<T, DeError> {
     match field(map, key) {
-        Some(v) => T::from_value(v)
-            .map_err(|e| DeError(format!("field `{key}` of `{ty}`: {e}"))),
+        Some(v) => T::from_value(v).map_err(|e| DeError(format!("field `{key}` of `{ty}`: {e}"))),
         None => T::from_value(&Value::Null)
             .map_err(|_| DeError(format!("missing field `{key}` of `{ty}`"))),
     }
@@ -445,7 +444,11 @@ impl_tuple! {
 
 impl<V: Serialize> Serialize for BTreeMap<String, V> {
     fn to_value(&self) -> Value {
-        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.to_value()))
+                .collect(),
+        )
     }
 }
 impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
@@ -461,7 +464,10 @@ impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
 impl<V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<String, V, S> {
     fn to_value(&self) -> Value {
         // Sort for deterministic output.
-        let mut entries: Vec<_> = self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect();
+        let mut entries: Vec<_> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_value()))
+            .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Map(entries)
     }

@@ -32,8 +32,14 @@ struct Variant {
 }
 
 enum Shape {
-    Struct { name: String, fields: Fields },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Cursor over a flat token-tree list.
@@ -374,9 +380,9 @@ fn gen_deserialize(shape: &Shape) -> String {
                  format!(\"expected null for unit struct `{name}`, got {{}}\", __other.kind()))),\n\
                  }}"
             ),
-            Fields::Tuple(1) => format!(
-                "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
-            ),
+            Fields::Tuple(1) => {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            }
             Fields::Tuple(n) => format!(
                 "{{\n\
                  let __s = __v.as_seq().ok_or_else(|| ::serde::DeError::custom(\
@@ -417,7 +423,12 @@ fn gen_deserialize(shape: &Shape) -> String {
                          ::serde::DeError::custom(format!(\
                          \"expected {n} elements for `{name}::{vn}`, got {{}}\", __s.len()))); }}\n\
                          ::std::result::Result::Ok({ctor})\n}}\n",
-                        ctor = gen_tuple_ctor(&format!("{name}::{vn}"), &format!("{name}::{vn}"), *n, "__s")
+                        ctor = gen_tuple_ctor(
+                            &format!("{name}::{vn}"),
+                            &format!("{name}::{vn}"),
+                            *n,
+                            "__s"
+                        )
                     )),
                     Fields::Named(fs) => data_arms.push_str(&format!(
                         "\"{vn}\" => {{\n\
@@ -425,7 +436,12 @@ fn gen_deserialize(shape: &Shape) -> String {
                          format!(\"expected map for `{name}::{vn}`, got {{}}\", \
                          __inner.kind())))?;\n\
                          ::std::result::Result::Ok({ctor})\n}}\n",
-                        ctor = gen_named_ctor(&format!("{name}::{vn}"), &format!("{name}::{vn}"), fs, "__m")
+                        ctor = gen_named_ctor(
+                            &format!("{name}::{vn}"),
+                            &format!("{name}::{vn}"),
+                            fs,
+                            "__m"
+                        )
                     )),
                 }
             }

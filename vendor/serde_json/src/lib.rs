@@ -399,13 +399,11 @@ impl<'a> Parser<'a> {
                                 if !(0xDC00..0xE000).contains(&lo) {
                                     return Err(self.err("invalid low surrogate"));
                                 }
-                                let cp =
-                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
                                 char::from_u32(cp)
                                     .ok_or_else(|| self.err("invalid surrogate pair"))?
                             } else {
-                                char::from_u32(hi)
-                                    .ok_or_else(|| self.err("invalid \\u escape"))?
+                                char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))?
                             };
                             out.push(c);
                         }
@@ -479,7 +477,11 @@ mod tests {
             ("c".into(), Value::Float(1.5e-9)),
             (
                 "d".into(),
-                Value::Seq(vec![Value::Null, Value::Bool(true), Value::Str("x\"\n".into())]),
+                Value::Seq(vec![
+                    Value::Null,
+                    Value::Bool(true),
+                    Value::Str("x\"\n".into()),
+                ]),
             ),
             ("e".into(), Value::Map(vec![])),
         ]);
