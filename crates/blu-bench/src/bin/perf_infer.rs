@@ -1,0 +1,201 @@
+//! Perf telemetry for the blueprint-inference fast path.
+//!
+//! Times three things and writes `BENCH_infer.json` (repo root) so
+//! the inference perf trajectory is tracked in-tree alongside
+//! `BENCH_sched.json`:
+//!
+//! * **single-run latency** — mean wall-clock of one blue-printing
+//!   pass (measurement statistics → inferred topology), on the same
+//!   scenario and estimator `perf_sched` uses so the two files stay
+//!   comparable;
+//! * **MCMC proposals/sec** — the incremental delta-energy chain
+//!   ([`infer_mcmc`]) versus the pre-fast-path reference that clones
+//!   the state and recomputes the full energy every proposal
+//!   ([`infer_mcmc_scratch`]), with the measured speedup. The two
+//!   chains draw the same RNG stream and return bit-identical
+//!   topologies (pinned by blu-core's differential tests), so this is
+//!   a pure like-for-like kernel comparison;
+//! * **batch cells/sec** — N independent cells blue-printed through
+//!   the parallel [`infer_batch`] front end versus the sequential
+//!   reference.
+//!
+//! `--quick` shrinks every loop for CI smoke runs; the JSON is
+//! written either way.
+
+use blu_bench::runners::topology_with_hts_per_ue;
+use blu_bench::{ExpArgs, Table};
+use blu_core::blueprint::batch::{infer_batch, infer_batch_sequential};
+use blu_core::blueprint::mcmc::{infer_mcmc, infer_mcmc_scratch, McmcConfig};
+use blu_core::blueprint::{ConstraintSystem, InferenceBackend, InferenceConfig};
+use blu_core::measure::OutcomeEstimator;
+use blu_core::orchestrator::blueprint_from_measurements;
+use blu_sim::rng::DetRng;
+use blu_sim::time::Micros;
+use blu_sim::topology::InterferenceTopology;
+use blu_traces::capture::capture_from_topology;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct BenchInfer {
+    quick: bool,
+    seed: u64,
+    // Blue-printing latency (same scenario as perf_sched).
+    inference_runs: u64,
+    inference_latency_ms: f64,
+    // MCMC chain throughput: incremental vs from-scratch energy
+    // (10 UEs / 8 HTs system with triple constraints).
+    mcmc_steps: u64,
+    mcmc_chains: u64,
+    incremental_proposals_per_sec: f64,
+    scratch_proposals_per_sec: f64,
+    mcmc_speedup: f64,
+    // Multi-cell batch inference (gradient backend per cell).
+    batch_cells: u64,
+    batch_cells_per_sec: f64,
+    sequential_cells_per_sec: f64,
+    batch_speedup: f64,
+}
+
+fn time_secs<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// A denser system where the full-energy recompute actually bites:
+/// every pair constraint is present and the topology contributes
+/// triple constraints too.
+fn dense_system(seed: u64) -> ConstraintSystem {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let topo = InterferenceTopology::random(10, 8, (0.2, 0.6), 0.4, &mut rng);
+    let mut sys = ConstraintSystem::from_topology(&topo);
+    sys.add_triples_from_topology(&topo, &[(0, 1, 2), (2, 4, 5), (3, 6, 9)]);
+    sys
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+
+    // Single-run blue-printing latency on the perf_sched scenario so
+    // BENCH_infer.json and BENCH_sched.json report the same quantity.
+    let topo = topology_with_hts_per_ue(4, 6, 3, (0.3, 0.6), args.seed);
+    let trace = capture_from_topology(
+        &topo,
+        Micros::from_secs(args.scaled(60, 8)),
+        1_500.0,
+        2,
+        50,
+        (12.0, 28.0),
+        args.seed + 7,
+    );
+    let inference_runs = args.scaled(20, 3);
+    let mut est = OutcomeEstimator::new(trace.ground_truth.n_clients);
+    *est.stats_mut() = blu_traces::stats::EmpiricalAccess::from_trace(&trace.access);
+    let (_, inf_secs) = time_secs(|| {
+        for _ in 0..inference_runs {
+            std::hint::black_box(blueprint_from_measurements(
+                &est,
+                &InferenceConfig::default(),
+            ));
+        }
+    });
+
+    // MCMC kernel throughput: incremental tracker vs clone+recompute.
+    let sys = dense_system(args.seed + 13);
+    let mcmc_steps = args.scaled(20_000, 2_000);
+    let mcmc_chains = args.scaled(4, 1);
+    let cfg = McmcConfig {
+        steps: mcmc_steps as usize,
+        ..Default::default()
+    };
+    let (_, inc_secs) = time_secs(|| {
+        for c in 0..mcmc_chains {
+            std::hint::black_box(infer_mcmc(&sys, &cfg, args.seed + c));
+        }
+    });
+    let (_, scr_secs) = time_secs(|| {
+        for c in 0..mcmc_chains {
+            std::hint::black_box(infer_mcmc_scratch(&sys, &cfg, args.seed + c));
+        }
+    });
+    let proposals = (mcmc_steps * mcmc_chains) as f64;
+    let inc_pps = proposals / inc_secs.max(1e-9);
+    let scr_pps = proposals / scr_secs.max(1e-9);
+
+    // Batch inference: one constraint system per cell, gradient
+    // backend, parallel fan-out vs sequential reference.
+    let batch_cells = args.scaled(16, 4);
+    let systems: Vec<ConstraintSystem> = (0..batch_cells)
+        .map(|c| {
+            let mut rng = DetRng::seed_from_u64(args.seed + 100 + c);
+            let t = InterferenceTopology::random(8, 6, (0.15, 0.6), 0.4, &mut rng);
+            ConstraintSystem::from_topology(&t)
+        })
+        .collect();
+    let icfg = InferenceConfig::default();
+    let (_, par_secs) = time_secs(|| std::hint::black_box(infer_batch(&systems, &icfg)));
+    let (_, seq_secs) = time_secs(|| {
+        std::hint::black_box(infer_batch_sequential(
+            &systems,
+            &icfg,
+            &InferenceBackend::Gradient,
+        ))
+    });
+    let par_cps = batch_cells as f64 / par_secs.max(1e-9);
+    let seq_cps = batch_cells as f64 / seq_secs.max(1e-9);
+
+    let out = BenchInfer {
+        quick: args.quick,
+        seed: args.seed,
+        inference_runs,
+        inference_latency_ms: 1e3 * inf_secs / inference_runs.max(1) as f64,
+        mcmc_steps,
+        mcmc_chains,
+        incremental_proposals_per_sec: inc_pps,
+        scratch_proposals_per_sec: scr_pps,
+        mcmc_speedup: inc_pps / scr_pps.max(1e-9),
+        batch_cells,
+        batch_cells_per_sec: par_cps,
+        sequential_cells_per_sec: seq_cps,
+        batch_speedup: par_cps / seq_cps.max(1e-9),
+    };
+
+    let mut table = Table::new(
+        "perf_infer: inference fast-path telemetry",
+        &["metric", "value"],
+    );
+    table.row(vec![
+        "inference latency".into(),
+        format!("{:.2} ms", out.inference_latency_ms),
+    ]);
+    table.row(vec![
+        "incremental proposals/sec".into(),
+        format!("{:.0}", out.incremental_proposals_per_sec),
+    ]);
+    table.row(vec![
+        "scratch proposals/sec".into(),
+        format!("{:.0}", out.scratch_proposals_per_sec),
+    ]);
+    table.row(vec![
+        "MCMC speedup".into(),
+        format!("{:.2}x", out.mcmc_speedup),
+    ]);
+    table.row(vec![
+        "batch cells/sec".into(),
+        format!("{:.1}", out.batch_cells_per_sec),
+    ]);
+    table.row(vec![
+        "sequential cells/sec".into(),
+        format!("{:.1}", out.sequential_cells_per_sec),
+    ]);
+    table.row(vec![
+        "batch speedup".into(),
+        format!("{:.2}x", out.batch_speedup),
+    ]);
+    table.print();
+
+    let json = serde_json::to_string_pretty(&out).expect("serializable");
+    std::fs::write("BENCH_infer.json", json + "\n").expect("write BENCH_infer.json");
+    println!("\nperf telemetry written to BENCH_infer.json");
+}

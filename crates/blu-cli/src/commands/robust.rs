@@ -15,6 +15,7 @@
 //! ```
 
 use crate::args::Flags;
+use blu_core::blueprint::{InferenceBackend, McmcConfig};
 use blu_core::orchestrator::BluConfig;
 use blu_core::robust::{run_blu_robust, RobustConfig};
 use blu_core::EmulationConfig;
@@ -33,7 +34,11 @@ OPTIONS:
     --hts <n>         initial hidden terminals (default 8)
     --seconds <s>     capture duration (default 60)
     --rbs <n>         resource blocks (default 25)
-    --seed <u64>      RNG seed (default 1)
+    --seed <u64>      RNG seed, shared by capture and MCMC (default 1)
+    --mcmc-steps <n>  blue-print with the annealed MCMC backend
+                      (this many proposals) instead of gradient repair
+    --t-start <f>     MCMC start temperature (default 1.0)
+    --t-end <f>       MCMC end temperature (default 0.005)
 
 FAULT SCRIPT:
     events separated by `;`, each `kind@subframe key=value ...`:
@@ -157,7 +162,18 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
     let mut cell = CellConfig::testbed_siso();
     cell.numerology.n_rbs = flags.get_or("rbs", 25usize)?;
-    let config = RobustConfig::new(BluConfig::new(EmulationConfig::new(cell)));
+    let mut config = RobustConfig::new(BluConfig::new(EmulationConfig::new(cell)));
+    if flags.get("mcmc-steps").is_some() {
+        config.backend = InferenceBackend::Mcmc {
+            config: McmcConfig {
+                steps: flags.get_or("mcmc-steps", 20_000usize)?,
+                t_start: flags.get_or("t-start", 1.0f64)?,
+                t_end: flags.get_or("t-end", 0.005f64)?,
+                ..Default::default()
+            },
+            seed,
+        };
+    }
     let report = run_blu_robust(&cap, &config).map_err(|e| e.to_string())?;
 
     println!(
@@ -174,6 +190,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
     println!(
         "re-measurements: {} | speculative TxOPs: {} | fallback TxOPs: {}",
         report.n_remeasurements, report.speculative_txops, report.fallback_txops
+    );
+    println!(
+        "inference latency: {:.2} ms total across {} blue-printing pass(es)",
+        report.inference_micros as f64 / 1e3,
+        report.verdicts.len()
     );
     println!(
         "peak drift score: {:.3} | final confidence: {:.3} | final state: {}",

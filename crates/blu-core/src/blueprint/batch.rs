@@ -1,0 +1,110 @@
+//! Parallel multi-cell batch inference.
+//!
+//! At deployment scale one eNB process blue-prints many cells — and
+//! PR-1's degraded-mode orchestration re-triggers inference on every
+//! drift event, so re-measurement storms arrive in bursts of
+//! independent per-cell problems. This module fans those problems out
+//! across the `vendor/rayon` worker pool.
+//!
+//! **Determinism contract:** each cell's inference is a pure function
+//! of its [`ConstraintSystem`] (and the backend's seed); the rayon
+//! shim materializes the input, splits it into contiguous chunks, and
+//! joins worker threads in spawn order, so
+//! [`infer_batch`] returns results **in input order, byte-identical**
+//! to the sequential reference [`infer_batch_sequential`] — the
+//! fan-out reorders wall-clock execution, never results. The
+//! differential tests below pin this.
+
+use crate::blueprint::constraints::ConstraintSystem;
+use crate::blueprint::infer::{InferenceConfig, InferenceResult};
+use crate::blueprint::InferenceBackend;
+
+/// Infer every cell's topology in parallel with the default
+/// (gradient) backend; results in input order.
+pub fn infer_batch(systems: &[ConstraintSystem], config: &InferenceConfig) -> Vec<InferenceResult> {
+    infer_batch_with(systems, config, &InferenceBackend::Gradient)
+}
+
+/// Infer every cell's topology in parallel with an explicit backend;
+/// results in input order.
+pub fn infer_batch_with(
+    systems: &[ConstraintSystem],
+    config: &InferenceConfig,
+    backend: &InferenceBackend,
+) -> Vec<InferenceResult> {
+    use rayon::prelude::*;
+    systems
+        .par_iter()
+        .map(|sys| backend.infer(sys, config))
+        .collect()
+}
+
+/// Sequential reference for [`infer_batch_with`] — kept alive for
+/// differential testing and single-thread profiling.
+pub fn infer_batch_sequential(
+    systems: &[ConstraintSystem],
+    config: &InferenceConfig,
+    backend: &InferenceBackend,
+) -> Vec<InferenceResult> {
+    systems
+        .iter()
+        .map(|sys| backend.infer(sys, config))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blueprint::mcmc::McmcConfig;
+    use blu_sim::rng::DetRng;
+    use blu_sim::topology::InterferenceTopology;
+
+    fn systems(n_cells: usize) -> Vec<ConstraintSystem> {
+        (0..n_cells)
+            .map(|c| {
+                let mut rng = DetRng::seed_from_u64(500 + c as u64);
+                let t = InterferenceTopology::random(5, 3, (0.15, 0.6), 0.4, &mut rng);
+                ConstraintSystem::from_topology(&t)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_matches_sequential_gradient() {
+        let sys = systems(6);
+        let cfg = InferenceConfig::default();
+        let par = infer_batch(&sys, &cfg);
+        let seq = infer_batch_sequential(&sys, &cfg, &InferenceBackend::Gradient);
+        assert_eq!(par.len(), seq.len());
+        for (a, b) in par.iter().zip(&seq) {
+            assert_eq!(a.topology, b.topology, "topologies must be bit-identical");
+            assert_eq!(a.violation.to_bits(), b.violation.to_bits());
+            assert_eq!(a.verdict, b.verdict);
+        }
+    }
+
+    #[test]
+    fn batch_matches_sequential_mcmc() {
+        let sys = systems(4);
+        let cfg = InferenceConfig::default();
+        let backend = InferenceBackend::Mcmc {
+            config: McmcConfig {
+                steps: 2_000,
+                ..Default::default()
+            },
+            seed: 9,
+        };
+        let par = infer_batch_with(&sys, &cfg, &backend);
+        let seq = infer_batch_sequential(&sys, &cfg, &backend);
+        for (a, b) in par.iter().zip(&seq) {
+            assert_eq!(a.topology, b.topology);
+            assert_eq!(a.violation.to_bits(), b.violation.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let out = infer_batch(&[], &InferenceConfig::default());
+        assert!(out.is_empty());
+    }
+}

@@ -251,7 +251,22 @@ impl ConstraintSystem {
         }
     }
 
-    /// Iterate every constraint reference.
+    /// Iterate every constraint reference, in the **canonical order**:
+    ///
+    /// 1. individuals `0 .. n`, ascending;
+    /// 2. pairs `(i, j)` with `i < j`, lexicographic (`i` ascending,
+    ///    then `j`) — the same order `pair_index` linearizes;
+    /// 3. triples in `self.triples` Vec order (insertion order).
+    ///
+    /// This order is a **contract**, not an implementation detail:
+    /// [`total_violation`](Self::total_violation) sums residuals in
+    /// it, so float summation order — and therefore the exact energy
+    /// bits — depends on it, and the incremental
+    /// [`ResidualTracker`](crate::blueprint::ResidualTracker) replays
+    /// the same order to stay bit-identical with the from-scratch
+    /// recompute. Built from ranges over dense storage, so it is
+    /// deterministic across runs and platforms (no hashing anywhere).
+    /// The `canonical_constraint_order` test pins it.
     pub fn all_constraints(&self) -> impl Iterator<Item = ConstraintRef> + '_ {
         let n = self.n;
         (0..n)
@@ -321,6 +336,39 @@ mod tests {
     fn random_topo(seed: u64) -> InterferenceTopology {
         let mut rng = DetRng::seed_from_u64(seed);
         InterferenceTopology::random(5, 4, (0.1, 0.7), 0.4, &mut rng)
+    }
+
+    #[test]
+    fn canonical_constraint_order() {
+        // Pins the `all_constraints` order contract (see its
+        // rustdoc): individuals ascending, pairs lexicographic,
+        // triples in insertion order. ResidualTracker and
+        // total_violation both depend on this exact sequence for
+        // bit-identical float summation.
+        let topo = random_topo(1);
+        let mut sys = ConstraintSystem::from_topology(&topo);
+        sys.add_triples_from_topology(&topo, &[(2, 3, 4), (0, 1, 2)]);
+        let got: Vec<ConstraintRef> = sys.all_constraints().collect();
+        let mut want: Vec<ConstraintRef> = (0..5).map(ConstraintRef::Individual).collect();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                want.push(ConstraintRef::Pair(i, j));
+            }
+        }
+        want.push(ConstraintRef::Triple(0));
+        want.push(ConstraintRef::Triple(1));
+        assert_eq!(got, want);
+        // Pair order must agree with pair_index's linearization.
+        for (k, c) in got.iter().skip(5).take(10).enumerate() {
+            if let ConstraintRef::Pair(i, j) = *c {
+                assert_eq!(pair_index(5, i, j), k);
+            } else {
+                panic!("expected a pair at position {k}");
+            }
+        }
+        // And the iteration must be identical across calls.
+        let again: Vec<ConstraintRef> = sys.all_constraints().collect();
+        assert_eq!(got, again);
     }
 
     #[test]

@@ -6,12 +6,16 @@
 //! a new hidden terminal); apply the move that most reduces total
 //! violation; stop at (near-)zero violation or an iteration budget,
 //! keeping the best configuration seen. Residuals are maintained
-//! incrementally so candidate evaluation costs `O(|edges|²)` instead
-//! of a full constraint sweep.
+//! incrementally by a [`ResidualTracker`] (see
+//! [`crate::blueprint::residual`]) so candidate evaluation costs
+//! `O(|edges|²)` instead of a full constraint sweep — with no
+//! per-move allocation: edge sets are walked as bitsets and the
+//! tracker's flat buffers are reused across every restart of a run.
 
 use crate::blueprint::constraints::{
     ConstraintRef, ConstraintSystem, TransformedHt, TransformedTopology,
 };
+use crate::blueprint::residual::ResidualTracker;
 use blu_sim::clientset::ClientSet;
 use blu_sim::topology::InterferenceTopology;
 use blu_traces::stats::pair_index;
@@ -110,17 +114,46 @@ impl InferenceResult {
     }
 }
 
-/// The repair engine: a candidate topology plus incrementally
-/// maintained residuals against a constraint system.
-pub(crate) struct Repairer<'a> {
-    sys: &'a ConstraintSystem,
+/// Residual fraction and verdict for a final violation — shared by
+/// the gradient path ([`infer_topology`]) and the MCMC backend
+/// ([`crate::blueprint::mcmc::infer_mcmc_result`]) so both report
+/// confidence on the same scale.
+pub(crate) fn classify(
+    sys: &ConstraintSystem,
+    violation: f64,
+    config: &InferenceConfig,
+) -> (f64, InferenceVerdict) {
+    let mass = sys.target_mass();
+    let residual_fraction = if !violation.is_finite() {
+        1.0
+    } else if mass > 0.0 {
+        (violation / mass).clamp(0.0, 1.0)
+    } else if violation > config.epsilon {
+        1.0
+    } else {
+        0.0
+    };
+    let verdict = if !violation.is_finite() {
+        InferenceVerdict::Degraded
+    } else if violation <= config.epsilon || residual_fraction <= config.accept_residual {
+        InferenceVerdict::Converged
+    } else if residual_fraction >= config.degraded_residual {
+        InferenceVerdict::Degraded
+    } else {
+        InferenceVerdict::MaxIters
+    };
+    (residual_fraction, verdict)
+}
+
+/// The repair engine: a candidate topology plus a borrowed
+/// [`ResidualTracker`] holding the incrementally maintained
+/// residuals. The tracker outlives the repairer so its flat buffers
+/// are reused across restarts instead of reallocated per start.
+pub(crate) struct Repairer<'t, 'a> {
+    res: &'t mut ResidualTracker<'a>,
     topo: TransformedTopology,
-    /// Residual (contribution − target) per individual constraint.
-    ind_res: Vec<f64>,
-    /// Residual per pair constraint.
-    pair_res: Vec<f64>,
-    /// Residual per triple constraint (empty unless triples given).
-    triple_res: Vec<f64>,
+    /// Reusable candidate-move buffer (cleared per iteration).
+    cand: Vec<Move>,
 }
 
 /// One repair move.
@@ -136,14 +169,15 @@ enum Move {
     NewHt { edges: ClientSet, q_t: f64 },
 }
 
-impl<'a> Repairer<'a> {
-    pub(crate) fn new(sys: &'a ConstraintSystem, start: TransformedTopology) -> Self {
+impl<'t, 'a> Repairer<'t, 'a> {
+    /// Start a repair from `start`. Resets the tracker, so the same
+    /// tracker can be handed to successive repairers.
+    pub(crate) fn new(res: &'t mut ResidualTracker<'a>, start: TransformedTopology) -> Self {
+        res.reset();
         let mut r = Repairer {
-            sys,
+            res,
             topo: TransformedTopology::default(),
-            ind_res: sys.individual.iter().map(|t| -t).collect(),
-            pair_res: sys.pair.iter().map(|t| -t).collect(),
-            triple_res: sys.triples.iter().map(|t| -t.target).collect(),
+            cand: Vec::new(),
         };
         for ht in start.hts {
             r.apply(Move::NewHt {
@@ -155,144 +189,27 @@ impl<'a> Repairer<'a> {
     }
 
     fn total_violation(&self) -> f64 {
-        self.ind_res.iter().map(|r| r.abs()).sum::<f64>()
-            + self.pair_res.iter().map(|r| r.abs()).sum::<f64>()
-            + self.triple_res.iter().map(|r| r.abs()).sum::<f64>()
+        self.res.recompute_violation()
     }
 
-    fn max_violated(&self) -> (ConstraintRef, f64) {
-        let mut best = (ConstraintRef::Individual(0), 0.0f64);
-        for (i, &r) in self.ind_res.iter().enumerate() {
-            if r.abs() > best.1.abs() {
-                best = (ConstraintRef::Individual(i), r);
-            }
-        }
-        let n = self.sys.n;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let r = self.pair_res[pair_index(n, i, j)];
-                if r.abs() > best.1.abs() {
-                    best = (ConstraintRef::Pair(i, j), r);
-                }
-            }
-        }
-        for (t, &r) in self.triple_res.iter().enumerate() {
-            if r.abs() > best.1.abs() {
-                best = (ConstraintRef::Triple(t), r);
-            }
-        }
-        best
-    }
-
-    /// Triple indices fully covered by `edges`.
-    fn triples_within(&self, edges: ClientSet) -> Vec<usize> {
-        self.sys
-            .triples
-            .iter()
-            .enumerate()
-            .filter(|(_, tc)| {
-                let (i, j, k) = tc.clients;
-                edges.contains(i) && edges.contains(j) && edges.contains(k)
-            })
-            .map(|(t, _)| t)
-            .collect()
-    }
-
-    /// Add `delta` contribution to every constraint touched by
-    /// `edges` (individuals of members, pairs within).
-    fn shift_residuals(&mut self, edges: ClientSet, delta: f64) {
-        let members: Vec<usize> = edges.iter().collect();
-        for &i in &members {
-            self.ind_res[i] += delta;
-        }
-        for (a, &i) in members.iter().enumerate() {
-            for &j in &members[a + 1..] {
-                self.pair_res[pair_index(self.sys.n, i, j)] += delta;
-            }
-        }
-        for t in self.triples_within(edges) {
-            self.triple_res[t] += delta;
-        }
-    }
-
-    /// Violation delta of shifting the constraints touched by `edges`
-    /// by `delta`, without applying.
-    fn shift_cost(&self, edges: ClientSet, delta: f64) -> f64 {
-        let members: Vec<usize> = edges.iter().collect();
-        let mut cost = 0.0;
-        for &i in &members {
-            let r = self.ind_res[i];
-            cost += (r + delta).abs() - r.abs();
-        }
-        for (a, &i) in members.iter().enumerate() {
-            for &j in &members[a + 1..] {
-                let r = self.pair_res[pair_index(self.sys.n, i, j)];
-                cost += (r + delta).abs() - r.abs();
-            }
-        }
-        for t in self.triples_within(edges) {
-            let r = self.triple_res[t];
-            cost += (r + delta).abs() - r.abs();
-        }
-        cost
-    }
-
-    /// Violation delta of changing HT `k`'s edge set from `old` to
-    /// `new` at weight `w` (constraints leaving lose `w`, joining
-    /// gain `w`; pairs recomputed exactly).
     fn edge_change_cost(&self, old: ClientSet, new: ClientSet, w: f64) -> f64 {
-        let mut cost = 0.0;
-        // Individuals.
-        for i in old.difference(new).iter() {
-            let r = self.ind_res[i];
-            cost += (r - w).abs() - r.abs();
-        }
-        for i in new.difference(old).iter() {
-            let r = self.ind_res[i];
-            cost += (r + w).abs() - r.abs();
-        }
-        // Pairs: covered before vs after.
-        let union = old.union(new);
-        let members: Vec<usize> = union.iter().collect();
-        for (a, &i) in members.iter().enumerate() {
-            for &j in &members[a + 1..] {
-                let before = old.contains(i) && old.contains(j);
-                let after = new.contains(i) && new.contains(j);
-                if before == after {
-                    continue;
-                }
-                let delta = if after { w } else { -w };
-                let r = self.pair_res[pair_index(self.sys.n, i, j)];
-                cost += (r + delta).abs() - r.abs();
-            }
-        }
-        // Triples: coverage changes.
-        for (t, tc) in self.sys.triples.iter().enumerate() {
-            let (i, j, k) = tc.clients;
-            let before = old.contains(i) && old.contains(j) && old.contains(k);
-            let after = new.contains(i) && new.contains(j) && new.contains(k);
-            if before == after {
-                continue;
-            }
-            let delta = if after { w } else { -w };
-            let r = self.triple_res[t];
-            cost += (r + delta).abs() - r.abs();
-        }
-        cost
+        self.res.edge_change_cost(old, new, w)
     }
 
     fn move_cost(&self, m: Move) -> f64 {
         match m {
-            Move::AdjustWeight { k, delta } => self.shift_cost(self.topo.hts[k].edges, delta),
+            Move::AdjustWeight { k, delta } => self.res.shift_cost(self.topo.hts[k].edges, delta),
             Move::AddEdges { k, added } => {
                 let ht = &self.topo.hts[k];
-                self.edge_change_cost(ht.edges, ht.edges.union(added), ht.q_t)
+                self.res
+                    .edge_change_cost(ht.edges, ht.edges.union(added), ht.q_t)
             }
             Move::RemoveEdges { k, removed } => {
                 let ht = &self.topo.hts[k];
-                self.edge_change_cost(ht.edges, ht.edges.difference(removed), ht.q_t)
+                self.res
+                    .edge_change_cost(ht.edges, ht.edges.difference(removed), ht.q_t)
             }
-            Move::NewHt { edges, q_t } => self.shift_cost(edges, q_t),
+            Move::NewHt { edges, q_t } => self.res.shift_cost(edges, q_t),
         }
     }
 
@@ -300,7 +217,7 @@ impl<'a> Repairer<'a> {
         match m {
             Move::AdjustWeight { k, delta } => {
                 let edges = self.topo.hts[k].edges;
-                self.shift_residuals(edges, delta);
+                self.res.shift(edges, delta);
                 self.topo.hts[k].q_t += delta;
             }
             Move::AddEdges { k, added } => {
@@ -314,51 +231,30 @@ impl<'a> Repairer<'a> {
                 self.apply_edge_change(k, ht.edges, new, ht.q_t);
             }
             Move::NewHt { edges, q_t } => {
-                self.shift_residuals(edges, q_t);
+                self.res.shift(edges, q_t);
                 self.topo.hts.push(TransformedHt { q_t, edges });
             }
         }
     }
 
     fn apply_edge_change(&mut self, k: usize, old: ClientSet, new: ClientSet, w: f64) {
-        for i in old.difference(new).iter() {
-            self.ind_res[i] -= w;
-        }
-        for i in new.difference(old).iter() {
-            self.ind_res[i] += w;
-        }
-        let union = old.union(new);
-        let members: Vec<usize> = union.iter().collect();
-        for (a, &i) in members.iter().enumerate() {
-            for &j in &members[a + 1..] {
-                let before = old.contains(i) && old.contains(j);
-                let after = new.contains(i) && new.contains(j);
-                if before != after {
-                    let delta = if after { w } else { -w };
-                    self.pair_res[pair_index(self.sys.n, i, j)] += delta;
-                }
-            }
-        }
-        for (t, tc) in self.sys.triples.iter().enumerate() {
-            let (ti, tj, tk) = tc.clients;
-            let before = old.contains(ti) && old.contains(tj) && old.contains(tk);
-            let after = new.contains(ti) && new.contains(tj) && new.contains(tk);
-            if before != after {
-                self.triple_res[t] += if after { w } else { -w };
-            }
-        }
+        self.res.apply_edge_change(old, new, w);
         self.topo.hts[k].edges = new;
     }
 
     /// Enumerate repair candidates for the given violated constraint
-    /// (the paper's Case 1 / Case 2 catalogues).
-    fn candidates(&self, c: ConstraintRef, residual: f64) -> Vec<Move> {
-        let mut out = Vec::new();
+    /// (the paper's Case 1 / Case 2 catalogues) into the reusable
+    /// candidate buffer.
+    fn candidates(&mut self, c: ConstraintRef, residual: f64) {
+        self.cand.clear();
+        let out = &mut self.cand;
+        let topo = &self.topo;
+        let sys = self.res.sys();
         let over = residual > 0.0;
         let mag = residual.abs();
         match c {
             ConstraintRef::Individual(i) => {
-                for (k, ht) in self.topo.hts.iter().enumerate() {
+                for (k, ht) in topo.hts.iter().enumerate() {
                     let has = ht.edges.contains(i);
                     if over && has {
                         // Reduce contribution or drop the edge.
@@ -387,7 +283,7 @@ impl<'a> Repairer<'a> {
             }
             ConstraintRef::Pair(i, j) => {
                 let pair = ClientSet::from_iter([i, j]);
-                for (k, ht) in self.topo.hts.iter().enumerate() {
+                for (k, ht) in topo.hts.iter().enumerate() {
                     let shared = ht.edges.contains(i) && ht.edges.contains(j);
                     if over && shared {
                         if ht.q_t - mag > MIN_WEIGHT {
@@ -418,9 +314,9 @@ impl<'a> Repairer<'a> {
                 }
             }
             ConstraintRef::Triple(t) => {
-                let (i, j, k) = self.sys.triples[t].clients;
+                let (i, j, k) = sys.triples[t].clients;
                 let trio = ClientSet::from_iter([i, j, k]);
-                for (kk, ht) in self.topo.hts.iter().enumerate() {
+                for (kk, ht) in topo.hts.iter().enumerate() {
                     let covers =
                         ht.edges.contains(i) && ht.edges.contains(j) && ht.edges.contains(k);
                     if over && covers {
@@ -453,7 +349,6 @@ impl<'a> Repairer<'a> {
                 }
             }
         }
-        out
     }
 
     /// Run the repair loop; returns (best topology, its violation,
@@ -485,19 +380,30 @@ impl<'a> Repairer<'a> {
             if v < epsilon {
                 break;
             }
-            let (c, r) = self.max_violated();
+            let (c, r) = self.res.max_violated();
             if r.abs() < epsilon {
                 break;
             }
-            let cands = self.candidates(c, r);
-            if cands.is_empty() {
+            self.candidates(c, r);
+            if self.cand.is_empty() {
                 break;
             }
-            let Some((m, _cost)) = cands
-                .into_iter()
-                .map(|m| (m, self.move_cost(m)))
-                .min_by(|a, b| a.1.total_cmp(&b.1))
-            else {
+            // First strict minimum by cost (`Iterator::min_by`
+            // semantics), evaluated without materializing a
+            // `(Move, cost)` vector.
+            let mut chosen: Option<(Move, f64)> = None;
+            for idx in 0..self.cand.len() {
+                let m = self.cand[idx];
+                let cost = self.move_cost(m);
+                let better = match chosen {
+                    None => true,
+                    Some((_, bc)) => cost.total_cmp(&bc) == std::cmp::Ordering::Less,
+                };
+                if better {
+                    chosen = Some((m, cost));
+                }
+            }
+            let Some((m, _cost)) = chosen else {
                 break; // no applicable move: keep the best seen
             };
             self.apply(m);
@@ -522,7 +428,7 @@ impl<'a> Repairer<'a> {
             let ht = self.topo.hts[k];
             if ht.edges.is_empty() || ht.q_t <= MIN_WEIGHT {
                 // Undo its contribution, then drop it.
-                self.shift_residuals(ht.edges, -ht.q_t);
+                self.res.shift(ht.edges, -ht.q_t);
                 self.topo.hts.swap_remove(k);
             } else {
                 k += 1;
@@ -536,9 +442,17 @@ impl<'a> Repairer<'a> {
 /// weight re-fits. The strict exact-edge-set metric is most often
 /// lost to exactly one wrong edge; this pass repairs those directly.
 pub fn polish(sys: &ConstraintSystem, topo: &mut TransformedTopology, passes: usize) {
+    let mut tracker = ResidualTracker::new(sys);
+    polish_with(&mut tracker, topo, passes);
+}
+
+/// [`polish`] against a caller-provided tracker (buffer reuse across
+/// restarts of [`infer_topology`]).
+fn polish_with(tracker: &mut ResidualTracker<'_>, topo: &mut TransformedTopology, passes: usize) {
+    let sys = tracker.sys();
     for _ in 0..passes {
         let mut improved = false;
-        let mut r = Repairer::new(sys, topo.clone());
+        let mut r = Repairer::new(tracker, topo.clone());
         for k in 0..r.topo.hts.len() {
             for i in 0..sys.n {
                 let ht = r.topo.hts[k];
@@ -602,8 +516,10 @@ pub fn refine_weights(sys: &ConstraintSystem, topo: &mut TransformedTopology) {
     let mut q: Vec<f64> = topo.hts.iter().map(|ht| ht.q_t).collect();
     // Lipschitz-safe step: 1 / (max column count × rows touched).
     let step = 1.0 / (constraints.len() as f64).max(1.0);
+    // One gradient buffer for all 400 iterations.
+    let mut grad = vec![0.0; h];
     for _ in 0..400 {
-        let mut grad = vec![0.0; h];
+        grad.iter_mut().for_each(|g| *g = 0.0);
         for &(c, target) in &constraints {
             let mut contrib = 0.0;
             for (k, ht) in topo.hts.iter().enumerate() {
@@ -637,19 +553,22 @@ pub fn refine_weights(sys: &ConstraintSystem, topo: &mut TransformedTopology) {
 /// Full inference: multi-point initialization (see
 /// [`crate::blueprint::init`]), repair from each start, pick the
 /// topology with the smallest violation, breaking ties toward fewer
-/// hidden terminals; optionally refine weights.
+/// hidden terminals; optionally refine weights. One
+/// [`ResidualTracker`] is allocated for the whole run and reset per
+/// restart.
 pub fn infer_topology(sys: &ConstraintSystem, config: &InferenceConfig) -> InferenceResult {
     let starts = crate::blueprint::init::starting_topologies(sys, config.random_restarts);
     let restarts = starts.len();
+    let mut tracker = ResidualTracker::new(sys);
     let mut best: Option<(TransformedTopology, f64)> = None;
     let mut total_iters = 0;
     for start in starts {
-        let repairer = Repairer::new(sys, start);
+        let repairer = Repairer::new(&mut tracker, start);
         let (mut topo, mut v, iters) = repairer.run(config.max_iters, config.epsilon);
         total_iters += iters;
         if config.refine_weights && v > config.epsilon {
             refine_weights(sys, &mut topo);
-            polish(sys, &mut topo, 6);
+            polish_with(&mut tracker, &mut topo, 6);
             v = sys.total_violation(&topo);
         }
         let better = match &best {
@@ -672,25 +591,7 @@ pub fn infer_topology(sys: &ConstraintSystem, config: &InferenceConfig) -> Infer
     // but a pathological constraint system must degrade, not panic.
     let (topo, violation) =
         best.unwrap_or_else(|| (TransformedTopology { hts: Vec::new() }, f64::INFINITY));
-    let mass = sys.target_mass();
-    let residual_fraction = if !violation.is_finite() {
-        1.0
-    } else if mass > 0.0 {
-        (violation / mass).clamp(0.0, 1.0)
-    } else if violation > config.epsilon {
-        1.0
-    } else {
-        0.0
-    };
-    let verdict = if !violation.is_finite() {
-        InferenceVerdict::Degraded
-    } else if violation <= config.epsilon || residual_fraction <= config.accept_residual {
-        InferenceVerdict::Converged
-    } else if residual_fraction >= config.degraded_residual {
-        InferenceVerdict::Degraded
-    } else {
-        InferenceVerdict::MaxIters
-    };
+    let (residual_fraction, verdict) = classify(sys, violation, config);
     InferenceResult {
         topology: topo.to_topology(sys.n).canonicalize(),
         violation,
@@ -727,7 +628,8 @@ mod tests {
         let t = topo(4, &[(0.4, &[0, 1]), (0.25, &[2]), (0.6, &[1, 2, 3])]);
         let sys = ConstraintSystem::from_topology(&t);
         let start = TransformedTopology::from_topology(&t);
-        let r = Repairer::new(&sys, start.clone());
+        let mut tracker = ResidualTracker::new(&sys);
+        let r = Repairer::new(&mut tracker, start.clone());
         let (out, v, iters) = r.run(100, 1e-9);
         assert!(v < 1e-9, "violation {v}");
         assert!(iters <= 2);

@@ -7,8 +7,31 @@
 //! annealing. It converges *in distribution*, needs a sample to be
 //! drawn for real-time use, and is slower — which is exactly what the
 //! ablation bench demonstrates. Kept as a faithful baseline.
+//!
+//! ## Incremental energy
+//!
+//! The energy is `total_violation + ht_penalty · |HTs|`. Every
+//! proposal edits exactly one hidden terminal, so its energy delta
+//! only involves the constraints that terminal touches — the chain
+//! therefore maintains a [`ResidualTracker`] and evaluates proposals
+//! with `shift_cost`/`edge_change_cost` in O(constraints touched)
+//! instead of recomputing `ConstraintSystem::total_violation` over
+//! every individual/pair/triple constraint on all 20k steps. The
+//! Metropolis accept test uses the delta directly:
+//! `ΔE ≤ 0 or U < exp(−ΔE/T)`.
+//!
+//! [`infer_mcmc_scratch`] keeps the pre-fast-path behavior alive —
+//! clone the state, apply the proposal, recompute the full energy —
+//! drawing the *identical* proposal/acceptance RNG stream, so the
+//! differential tests below can pin that both chains visit the same
+//! states and return bit-identical topologies, and `perf_infer` can
+//! measure the speedup against it.
+//!
+//! [`ResidualTracker`]: crate::blueprint::residual::ResidualTracker
 
 use crate::blueprint::constraints::{ConstraintSystem, TransformedHt, TransformedTopology};
+use crate::blueprint::infer::{InferenceConfig, InferenceResult};
+use crate::blueprint::residual::ResidualTracker;
 use blu_sim::clientset::ClientSet;
 use blu_sim::rng::DetRng;
 use blu_sim::topology::InterferenceTopology;
@@ -51,78 +74,247 @@ pub struct McmcResult {
     pub accepted: usize,
 }
 
-fn energy(sys: &ConstraintSystem, topo: &TransformedTopology, ht_penalty: f64) -> f64 {
-    sys.total_violation(topo) + ht_penalty * topo.hts.len() as f64
+/// One Metropolis proposal. `Stay` stands in for draw outcomes the
+/// legacy chain treated as no-ops (add when full, remove/toggle/
+/// reweight on an empty state); it has zero energy delta and is
+/// always accepted, exactly as the no-op clone was.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Proposal {
+    /// No state change.
+    Stay,
+    /// Push a new hidden terminal.
+    AddHt { edges: ClientSet, q_t: f64 },
+    /// `swap_remove` terminal `k`.
+    RemoveHt { k: usize },
+    /// Toggle client `c` on terminal `k` (terminal is removed if its
+    /// edge set empties).
+    ToggleEdge { k: usize, c: usize },
+    /// Set terminal `k`'s weight to `q_new`.
+    Reweight { k: usize, q_new: f64 },
+}
+
+/// Draw the next proposal. This is the single source of randomness
+/// for both the incremental and the from-scratch chain: the draw
+/// order (kind, then per-kind parameters) replicates the legacy
+/// implementation exactly, so both consume the same RNG stream.
+fn draw_proposal(
+    rng: &mut DetRng,
+    n: usize,
+    hts: &[TransformedHt],
+    config: &McmcConfig,
+    max_stat: f64,
+) -> Proposal {
+    match rng.below(4) {
+        0 => {
+            // Add a hidden terminal with a random small edge set.
+            if hts.len() < config.max_hts {
+                let mut edges = ClientSet::EMPTY;
+                let k = 1 + rng.below(3.min(n));
+                for _ in 0..k {
+                    edges.insert(rng.below(n));
+                }
+                Proposal::AddHt {
+                    edges,
+                    q_t: rng.range_f64(0.01, max_stat),
+                }
+            } else {
+                Proposal::Stay
+            }
+        }
+        1 => {
+            // Remove a random hidden terminal.
+            if hts.is_empty() {
+                Proposal::Stay
+            } else {
+                Proposal::RemoveHt {
+                    k: rng.below(hts.len()),
+                }
+            }
+        }
+        2 => {
+            // Toggle a random edge.
+            if hts.is_empty() {
+                Proposal::Stay
+            } else {
+                let k = rng.below(hts.len());
+                let c = rng.below(n);
+                Proposal::ToggleEdge { k, c }
+            }
+        }
+        _ => {
+            // Perturb a weight multiplicatively.
+            if hts.is_empty() {
+                Proposal::Stay
+            } else {
+                let k = rng.below(hts.len());
+                let f = rng.range_f64(0.6, 1.6);
+                Proposal::Reweight {
+                    k,
+                    q_new: (hts[k].q_t * f).max(1e-4),
+                }
+            }
+        }
+    }
+}
+
+/// The toggled edge set of `ToggleEdge`.
+fn toggled(edges: ClientSet, c: usize) -> ClientSet {
+    if edges.contains(c) {
+        edges.without(c)
+    } else {
+        edges.with(c)
+    }
+}
+
+fn max_individual_stat(sys: &ConstraintSystem) -> f64 {
+    sys.individual.iter().cloned().fold(0.1f64, f64::max)
 }
 
 /// Run Metropolis–Hastings with annealing; returns the best state.
+///
+/// Hot path: per-proposal cost is O(constraints touched by the edited
+/// hidden terminal), via an incrementally maintained
+/// [`ResidualTracker`]; no state clone is made except when a new best
+/// is recorded.
 pub fn infer_mcmc(sys: &ConstraintSystem, config: &McmcConfig, seed: u64) -> McmcResult {
     let mut rng = DetRng::seed_from_u64(seed);
-    let mut state = TransformedTopology::default();
-    let mut e = energy(sys, &state, config.ht_penalty);
-    let mut best = state.clone();
-    let mut best_v = sys.total_violation(&state);
+    let mut tracker = ResidualTracker::new(sys);
+    let mut hts: Vec<TransformedHt> = Vec::new();
+    // Running violation of the current state: the empty-state sum,
+    // then accumulated proposal deltas.
+    let mut violation = tracker.recompute_violation();
+    let mut best = hts.clone();
+    let mut best_v = violation;
     let mut accepted = 0usize;
-    let max_stat = sys.individual.iter().cloned().fold(0.1f64, f64::max);
+    let max_stat = max_individual_stat(sys);
 
     for step in 0..config.steps {
         // Annealing schedule (geometric).
         let frac = step as f64 / config.steps.max(1) as f64;
         let temp = config.t_start * (config.t_end / config.t_start).powf(frac);
 
-        // Propose.
-        let mut proposal = state.clone();
-        let kind = rng.below(4);
-        match kind {
-            0 => {
-                // Add a hidden terminal with a random small edge set.
-                if proposal.hts.len() < config.max_hts {
-                    let mut edges = ClientSet::EMPTY;
-                    let k = 1 + rng.below(3.min(sys.n));
-                    for _ in 0..k {
-                        edges.insert(rng.below(sys.n));
-                    }
-                    proposal.hts.push(TransformedHt {
-                        q_t: rng.range_f64(0.01, max_stat),
-                        edges,
-                    });
-                }
+        let prop = draw_proposal(&mut rng, sys.n, &hts, config, max_stat);
+
+        // Violation and HT-count-penalty deltas, without touching the
+        // state.
+        let (dv, dpen) = match prop {
+            Proposal::Stay => (0.0, 0.0),
+            Proposal::AddHt { edges, q_t } => (tracker.shift_cost(edges, q_t), config.ht_penalty),
+            Proposal::RemoveHt { k } => (
+                tracker.shift_cost(hts[k].edges, -hts[k].q_t),
+                -config.ht_penalty,
+            ),
+            Proposal::ToggleEdge { k, c } => {
+                let old = hts[k].edges;
+                let new = toggled(old, c);
+                let dpen = if new.is_empty() {
+                    -config.ht_penalty
+                } else {
+                    0.0
+                };
+                (tracker.edge_change_cost(old, new, hts[k].q_t), dpen)
             }
-            1 => {
-                // Remove a random hidden terminal.
-                if !proposal.hts.is_empty() {
-                    let k = rng.below(proposal.hts.len());
-                    proposal.hts.swap_remove(k);
-                }
+            Proposal::Reweight { k, q_new } => {
+                (tracker.shift_cost(hts[k].edges, q_new - hts[k].q_t), 0.0)
             }
-            2 => {
-                // Toggle a random edge.
-                if !proposal.hts.is_empty() {
-                    let k = rng.below(proposal.hts.len());
-                    let c = rng.below(sys.n);
-                    let ht = &mut proposal.hts[k];
-                    if ht.edges.contains(c) {
-                        ht.edges.remove(c);
+        };
+        let de = dv + dpen;
+        // The acceptance uniform is drawn unconditionally (common
+        // random numbers): the incremental and from-scratch energies
+        // can land on opposite sides of zero by one part in 1e15, and
+        // a conditional draw would let that desynchronize the RNG
+        // streams of the two chains forever after.
+        let u = rng.f64();
+        let accept = de <= 0.0 || u < (-de / temp.max(1e-9)).exp();
+        if accept {
+            match prop {
+                Proposal::Stay => {}
+                Proposal::AddHt { edges, q_t } => {
+                    tracker.shift(edges, q_t);
+                    hts.push(TransformedHt { q_t, edges });
+                }
+                Proposal::RemoveHt { k } => {
+                    tracker.shift(hts[k].edges, -hts[k].q_t);
+                    hts.swap_remove(k);
+                }
+                Proposal::ToggleEdge { k, c } => {
+                    let old = hts[k].edges;
+                    let new = toggled(old, c);
+                    tracker.apply_edge_change(old, new, hts[k].q_t);
+                    if new.is_empty() {
+                        hts.swap_remove(k);
                     } else {
-                        ht.edges.insert(c);
+                        hts[k].edges = new;
                     }
-                    if ht.edges.is_empty() {
-                        proposal.hts.swap_remove(k);
-                    }
+                }
+                Proposal::Reweight { k, q_new } => {
+                    tracker.shift(hts[k].edges, q_new - hts[k].q_t);
+                    hts[k].q_t = q_new;
                 }
             }
-            _ => {
-                // Perturb a weight multiplicatively.
-                if !proposal.hts.is_empty() {
-                    let k = rng.below(proposal.hts.len());
-                    let f = rng.range_f64(0.6, 1.6);
-                    proposal.hts[k].q_t = (proposal.hts[k].q_t * f).max(1e-4);
-                }
+            violation += dv;
+            accepted += 1;
+            if violation < best_v {
+                best_v = violation;
+                best = hts.clone();
             }
         }
+    }
+    let mut best = TransformedTopology { hts: best };
+    best.prune(1e-4);
+    McmcResult {
+        topology: best.to_topology(sys.n).canonicalize(),
+        violation: best_v,
+        accepted,
+    }
+}
 
-        let e_new = energy(sys, &proposal, config.ht_penalty);
-        let accept = e_new <= e || rng.chance(((e - e_new) / temp.max(1e-9)).exp());
+/// The pre-fast-path reference chain: clone the state, apply the
+/// proposal, recompute the full energy with
+/// `ConstraintSystem::total_violation`. Kept for differential tests
+/// and as the `perf_infer` baseline; it draws the identical RNG
+/// stream as [`infer_mcmc`].
+pub fn infer_mcmc_scratch(sys: &ConstraintSystem, config: &McmcConfig, seed: u64) -> McmcResult {
+    fn apply(topo: &mut TransformedTopology, prop: Proposal) {
+        match prop {
+            Proposal::Stay => {}
+            Proposal::AddHt { edges, q_t } => topo.hts.push(TransformedHt { q_t, edges }),
+            Proposal::RemoveHt { k } => {
+                topo.hts.swap_remove(k);
+            }
+            Proposal::ToggleEdge { k, c } => {
+                topo.hts[k].edges = toggled(topo.hts[k].edges, c);
+                if topo.hts[k].edges.is_empty() {
+                    topo.hts.swap_remove(k);
+                }
+            }
+            Proposal::Reweight { k, q_new } => topo.hts[k].q_t = q_new,
+        }
+    }
+    let energy = |topo: &TransformedTopology| -> f64 {
+        sys.total_violation(topo) + config.ht_penalty * topo.hts.len() as f64
+    };
+
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut state = TransformedTopology::default();
+    let mut e = energy(&state);
+    let mut best = state.clone();
+    let mut best_v = sys.total_violation(&state);
+    let mut accepted = 0usize;
+    let max_stat = max_individual_stat(sys);
+
+    for step in 0..config.steps {
+        let frac = step as f64 / config.steps.max(1) as f64;
+        let temp = config.t_start * (config.t_end / config.t_start).powf(frac);
+
+        let prop = draw_proposal(&mut rng, sys.n, &state.hts, config, max_stat);
+        let mut proposal = state.clone();
+        apply(&mut proposal, prop);
+        let e_new = energy(&proposal);
+        // Unconditional draw — see the matching comment in
+        // `infer_mcmc`.
+        let u = rng.f64();
+        let accept = e_new <= e || u < ((e - e_new) / temp.max(1e-9)).exp();
         if accept {
             state = proposal;
             e = e_new;
@@ -139,6 +331,33 @@ pub fn infer_mcmc(sys: &ConstraintSystem, config: &McmcConfig, seed: u64) -> Mcm
         topology: best.to_topology(sys.n).canonicalize(),
         violation: best_v,
         accepted,
+    }
+}
+
+/// Run the chain and report it as an [`InferenceResult`], with
+/// residual-fraction/verdict semantics shared with the gradient path
+/// — the pluggable-backend entry point used by
+/// [`crate::blueprint::InferenceBackend`].
+pub fn infer_mcmc_result(
+    sys: &ConstraintSystem,
+    config: &McmcConfig,
+    seed: u64,
+    acceptance: &InferenceConfig,
+) -> InferenceResult {
+    let r = infer_mcmc(sys, config, seed);
+    // Score the pruned, canonicalized output from scratch (the
+    // chain's running `violation` tracks the unpruned best state).
+    let t = TransformedTopology::from_topology(&r.topology);
+    let violation = sys.total_violation(&t);
+    let (residual_fraction, verdict) =
+        crate::blueprint::infer::classify(sys, violation, acceptance);
+    InferenceResult {
+        topology: r.topology,
+        violation,
+        iterations: config.steps,
+        restarts: 1,
+        residual_fraction,
+        verdict,
     }
 }
 
@@ -209,5 +428,85 @@ mod tests {
         let b = infer_mcmc(&sys, &cfg, 7);
         assert_eq!(a.topology, b.topology);
         assert_eq!(a.accepted, b.accepted);
+    }
+
+    /// The differential contract of the fast path: on the same seed
+    /// the incremental chain and the from-scratch reference draw the
+    /// same proposals, make the same accept decisions, and return
+    /// **bit-identical** topologies. Exercised across seeds and
+    /// system shapes (with and without triple constraints).
+    #[test]
+    fn incremental_matches_scratch() {
+        use blu_sim::rng::DetRng;
+        let cfg = McmcConfig {
+            steps: 3_000,
+            ..Default::default()
+        };
+        for seed in 0..6u64 {
+            let mut rng = DetRng::seed_from_u64(100 + seed);
+            let truth = InterferenceTopology::random(6, 4, (0.15, 0.65), 0.4, &mut rng);
+            let mut sys = ConstraintSystem::from_topology(&truth);
+            if seed % 2 == 0 {
+                sys.add_triples_from_topology(&truth, &[(0, 1, 2), (2, 4, 5)]);
+            }
+            let fast = infer_mcmc(&sys, &cfg, seed);
+            let scratch = infer_mcmc_scratch(&sys, &cfg, seed);
+            assert_eq!(
+                fast.accepted, scratch.accepted,
+                "seed {seed}: accept sequences diverged"
+            );
+            assert_eq!(
+                fast.topology, scratch.topology,
+                "seed {seed}: topologies not bit-identical"
+            );
+            assert!(
+                (fast.violation - scratch.violation).abs() < 1e-9,
+                "seed {seed}: violation {} vs {}",
+                fast.violation,
+                scratch.violation
+            );
+        }
+    }
+
+    /// The running (incrementally accumulated) violation must stay
+    /// glued to a from-scratch recompute of the final best state.
+    #[test]
+    fn running_violation_matches_recompute() {
+        let mut rng = blu_sim::rng::DetRng::seed_from_u64(42);
+        let truth = InterferenceTopology::random(5, 3, (0.2, 0.6), 0.45, &mut rng);
+        let sys = ConstraintSystem::from_topology(&truth);
+        let cfg = McmcConfig {
+            steps: 5_000,
+            ..Default::default()
+        };
+        let r = infer_mcmc(&sys, &cfg, 11);
+        // `violation` is the running value of the best pre-prune
+        // state; the pruned output can only drop sub-1e-4 weights, so
+        // a recompute stays within that band plus accumulation noise.
+        let t = TransformedTopology::from_topology(&r.topology);
+        let recomputed = sys.total_violation(&t);
+        assert!(
+            (recomputed - r.violation).abs() < 1e-2,
+            "running {} vs recomputed {}",
+            r.violation,
+            recomputed
+        );
+    }
+
+    #[test]
+    fn mcmc_result_reports_confidence() {
+        let truth = InterferenceTopology {
+            n_clients: 3,
+            hts: vec![HiddenTerminal {
+                q: 0.5,
+                edges: ClientSet::from_iter([0, 1, 2]),
+            }],
+        };
+        let sys = ConstraintSystem::from_topology(&truth);
+        let res = infer_mcmc_result(&sys, &McmcConfig::default(), 1, &InferenceConfig::default());
+        assert!(res.confidence() > 0.9, "confidence {}", res.confidence());
+        assert_eq!(res.restarts, 1);
+        let acc = topology_accuracy(&truth, &res.topology);
+        assert!(acc.exact_fraction() >= 1.0);
     }
 }

@@ -4,20 +4,64 @@
 //! Pipeline: [`transform`] maps measured probabilities into the
 //! log domain where hidden-terminal contributions are additive;
 //! [`constraints`] holds the resulting linear constraint system
-//! (Eqn. 6); [`infer`] repairs a candidate topology by gradient moves
-//! until the constraints are satisfied, restarting from the
-//! [`init`] portfolio of starting topologies; [`accuracy`] scores an
-//! inferred topology against ground truth with the paper's strict
-//! exact-edge-set metric; [`mcmc`] is the Bayesian (MCMC) baseline the
-//! paper compares its deterministic solution against.
+//! (Eqn. 6); [`residual`] maintains per-constraint residuals
+//! incrementally (the shared delta-energy kernel); [`infer`] repairs
+//! a candidate topology by gradient moves until the constraints are
+//! satisfied, restarting from the [`init`] portfolio of starting
+//! topologies; [`accuracy`] scores an inferred topology against
+//! ground truth with the paper's strict exact-edge-set metric;
+//! [`mcmc`] is the Bayesian (MCMC) baseline the paper compares its
+//! deterministic solution against; [`batch`] fans many cells'
+//! independent inferences across the worker pool with deterministic
+//! ordered reduction.
 
 pub mod accuracy;
+pub mod batch;
 pub mod constraints;
 pub mod infer;
 pub mod init;
 pub mod mcmc;
+pub mod residual;
 pub mod transform;
 
 pub use accuracy::topology_accuracy;
+pub use batch::{infer_batch, infer_batch_sequential, infer_batch_with};
 pub use constraints::ConstraintSystem;
 pub use infer::{infer_topology, InferenceConfig, InferenceResult};
+pub use mcmc::{infer_mcmc, infer_mcmc_result, McmcConfig};
+pub use residual::ResidualTracker;
+
+/// Which inference engine turns a constraint system into a topology.
+///
+/// Both backends report through [`InferenceResult`] with the same
+/// residual-fraction/verdict semantics, so the orchestration layers
+/// (`run_blu`, `robust`) can gate speculation identically regardless
+/// of backend.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum InferenceBackend {
+    /// The paper's deterministic gradient repair
+    /// ([`infer_topology`]) — the default.
+    #[default]
+    Gradient,
+    /// The annealed MCMC chain ([`mcmc::infer_mcmc`]) with its own
+    /// configuration and seed.
+    Mcmc {
+        /// Chain configuration (steps, temperatures, penalty).
+        config: McmcConfig,
+        /// Chain seed (determinism contract: same seed, same result).
+        seed: u64,
+    },
+}
+
+impl InferenceBackend {
+    /// Run this backend on a constraint system.
+    pub fn infer(&self, sys: &ConstraintSystem, config: &InferenceConfig) -> InferenceResult {
+        match self {
+            InferenceBackend::Gradient => infer::infer_topology(sys, config),
+            InferenceBackend::Mcmc {
+                config: mcmc_config,
+                seed,
+            } => mcmc::infer_mcmc_result(sys, mcmc_config, *seed, config),
+        }
+    }
+}

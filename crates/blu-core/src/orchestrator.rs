@@ -11,7 +11,9 @@
 //! measurement phases are shorter than the first (§3.7).
 
 use crate::blueprint::accuracy::{topology_accuracy, AccuracyReport};
-use crate::blueprint::{infer_topology, ConstraintSystem, InferenceConfig, InferenceResult};
+use crate::blueprint::{
+    infer_topology, ConstraintSystem, InferenceBackend, InferenceConfig, InferenceResult,
+};
 use crate::emulator::{EmulationConfig, EmulationReport, Emulator};
 use crate::error::BluError;
 use crate::joint::TopologyAccess;
@@ -131,6 +133,33 @@ pub fn blueprint_from_measurements(
 ) -> InferenceResult {
     let sys = ConstraintSystem::from_measurements(est.stats());
     infer_topology(&sys, config)
+}
+
+/// Blue-print a topology from measured statistics with an explicit
+/// inference backend (gradient repair or the annealed MCMC chain).
+pub fn blueprint_with_backend(
+    est: &OutcomeEstimator,
+    config: &InferenceConfig,
+    backend: &InferenceBackend,
+) -> InferenceResult {
+    let sys = ConstraintSystem::from_measurements(est.stats());
+    backend.infer(&sys, config)
+}
+
+/// Blue-print N independent cells' topologies in one shot, fanning
+/// the per-cell inferences across the worker-thread pool
+/// ([`crate::blueprint::batch`]). Results come back in input order
+/// and are byte-identical to mapping [`blueprint_from_measurements`]
+/// over the estimators sequentially.
+pub fn blueprint_batch_from_measurements(
+    ests: &[OutcomeEstimator],
+    config: &InferenceConfig,
+) -> Vec<InferenceResult> {
+    let systems: Vec<ConstraintSystem> = ests
+        .iter()
+        .map(|est| ConstraintSystem::from_measurements(est.stats()))
+        .collect();
+    crate::blueprint::batch::infer_batch(&systems, config)
 }
 
 /// Run the complete two-phase loop on a trace.
@@ -296,6 +325,37 @@ mod tests {
         let b = run_blu(&trace, &config).unwrap();
         assert_eq!(a.speculative.metrics, b.speculative.metrics);
         assert_eq!(a.inference.topology, b.inference.topology);
+    }
+
+    #[test]
+    fn gradient_backend_matches_direct_call() {
+        let trace = quick_trace(6);
+        let (est, _) = run_measurement_phase(&trace, 8, 40).unwrap();
+        let cfg = InferenceConfig::default();
+        let a = blueprint_with_backend(&est, &cfg, &InferenceBackend::default());
+        let b = blueprint_from_measurements(&est, &cfg);
+        assert_eq!(a.topology, b.topology);
+        assert_eq!(a.violation.to_bits(), b.violation.to_bits());
+        assert_eq!(a.verdict, b.verdict);
+    }
+
+    #[test]
+    fn batch_blueprint_matches_sequential_mapping() {
+        let ests: Vec<OutcomeEstimator> = (0..4)
+            .map(|s| {
+                let trace = quick_trace(10 + s);
+                run_measurement_phase(&trace, 8, 40).unwrap().0
+            })
+            .collect();
+        let cfg = InferenceConfig::default();
+        let batch = blueprint_batch_from_measurements(&ests, &cfg);
+        assert_eq!(batch.len(), ests.len());
+        for (est, got) in ests.iter().zip(&batch) {
+            let want = blueprint_from_measurements(est, &cfg);
+            assert_eq!(got.topology, want.topology, "batch must be bit-identical");
+            assert_eq!(got.violation.to_bits(), want.violation.to_bits());
+            assert_eq!(got.verdict, want.verdict);
+        }
     }
 }
 

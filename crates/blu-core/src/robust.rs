@@ -48,13 +48,13 @@
 //! deployment would actually see.
 
 use crate::blueprint::infer::InferenceVerdict;
-use crate::blueprint::InferenceResult;
+use crate::blueprint::{InferenceBackend, InferenceResult};
 use crate::emulator::Emulator;
 use crate::error::BluError;
 use crate::joint::TopologyAccess;
 use crate::measure::{measurement_schedule, OutcomeEstimator};
 use crate::metrics::UplinkMetrics;
-use crate::orchestrator::{blueprint_from_measurements, BluConfig};
+use crate::orchestrator::{blueprint_with_backend, BluConfig};
 use crate::sched::{PfScheduler, SpeculativeScheduler};
 use blu_sim::clientset::ClientSet;
 use blu_sim::faults::ObservationChannel;
@@ -174,6 +174,8 @@ pub struct RobustConfig {
     pub estimator_keep: f64,
     /// Seed of the observation-fault channel RNG.
     pub seed: u64,
+    /// Inference engine used at every (re-)blue-printing point.
+    pub backend: InferenceBackend,
 }
 
 impl RobustConfig {
@@ -190,6 +192,7 @@ impl RobustConfig {
             fallback_probation_txops: 50,
             estimator_keep: 0.25,
             seed: 0xD1F7,
+            backend: InferenceBackend::Gradient,
         }
     }
 }
@@ -225,6 +228,10 @@ pub struct RobustRunReport {
     pub final_confidence: f64,
     /// Largest drift score observed across the run.
     pub peak_drift: f64,
+    /// Wall-clock microseconds spent inside blueprint inference
+    /// across the whole run (initial + every re-measurement).
+    /// Timing only — excluded from the determinism contract.
+    pub inference_micros: u64,
 }
 
 impl RobustRunReport {
@@ -294,6 +301,7 @@ pub fn run_blu_robust(
     let mut fallback_txops = 0u64;
     let mut probation_left = 0u64;
     let mut peak_drift = 0.0_f64;
+    let mut inference_micros = 0u64;
 
     // The initial measurement phase must fit; later phases that run
     // off the end of the trace simply end the run in whatever state
@@ -344,7 +352,9 @@ pub fn run_blu_robust(
                 }
                 cursor += plan.t_max();
                 measurement_subframes += plan.t_max();
-                let result = blueprint_from_measurements(&est, &config.blu.inference);
+                let t0 = std::time::Instant::now();
+                let result = blueprint_with_backend(&est, &config.blu.inference, &config.backend);
+                inference_micros += t0.elapsed().as_micros() as u64;
                 verdicts.push(result.verdict);
                 let usable = result.verdict != InferenceVerdict::Degraded
                     && result.confidence() >= config.confidence_floor;
@@ -471,7 +481,39 @@ pub fn run_blu_robust(
         verdicts,
         final_confidence: blueprint.as_ref().map(|r| r.confidence()).unwrap_or(0.0),
         peak_drift,
+        inference_micros,
     })
+}
+
+/// Run the robust loop over a fleet of captures (one per cell) in
+/// parallel across the worker pool.
+///
+/// Each cell's run is an independent pure function of its capture and
+/// the shared config, and the rayon shim joins workers in spawn
+/// order, so the reports come back **in input order** and — apart
+/// from the wall-clock [`RobustRunReport::inference_micros`] field —
+/// identical to [`run_robust_fleet_sequential`].
+pub fn run_robust_fleet(
+    captures: &[FaultyCapture],
+    config: &RobustConfig,
+) -> Vec<Result<RobustRunReport, BluError>> {
+    use rayon::prelude::*;
+    captures
+        .par_iter()
+        .map(|cap| run_blu_robust(cap, config))
+        .collect()
+}
+
+/// Sequential reference for [`run_robust_fleet`] — kept alive for
+/// differential testing and single-thread profiling.
+pub fn run_robust_fleet_sequential(
+    captures: &[FaultyCapture],
+    config: &RobustConfig,
+) -> Vec<Result<RobustRunReport, BluError>> {
+    captures
+        .iter()
+        .map(|cap| run_blu_robust(cap, config))
+        .collect()
 }
 
 #[cfg(test)]
@@ -620,5 +662,43 @@ mod tests {
         let report = run_blu_robust(&cap, &quick_config()).unwrap();
         assert!(report.effective_throughput_mbps() <= report.metrics.throughput_mbps());
         assert!(report.effective_throughput_mbps() > 0.0);
+    }
+
+    #[test]
+    fn fleet_matches_sequential_reference() {
+        let caps: Vec<FaultyCapture> = (0..3)
+            .map(|s| capture(FaultScript::none(), 60, 20 + s))
+            .collect();
+        let cfg = quick_config();
+        let par = run_robust_fleet(&caps, &cfg);
+        let seq = run_robust_fleet_sequential(&caps, &cfg);
+        assert_eq!(par.len(), seq.len());
+        for (a, b) in par.iter().zip(&seq) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            // Everything but wall-clock timing must be identical.
+            assert_eq!(a.metrics, b.metrics);
+            assert_eq!(a.transitions, b.transitions);
+            assert_eq!(a.verdicts, b.verdicts);
+            assert_eq!(a.measurement_subframes, b.measurement_subframes);
+            assert_eq!(a.final_confidence.to_bits(), b.final_confidence.to_bits());
+        }
+    }
+
+    #[test]
+    fn mcmc_backend_completes_and_reports_timing() {
+        use crate::blueprint::McmcConfig;
+        let cap = capture(FaultScript::none(), 60, 19);
+        let mut cfg = quick_config();
+        cfg.backend = InferenceBackend::Mcmc {
+            config: McmcConfig {
+                steps: 3_000,
+                ..Default::default()
+            },
+            seed: 7,
+        };
+        let report = run_blu_robust(&cap, &cfg).unwrap();
+        assert!(report.metrics.bits_delivered > 0.0);
+        assert!(!report.verdicts.is_empty());
+        assert!(report.inference_micros > 0);
     }
 }

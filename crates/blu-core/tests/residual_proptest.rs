@@ -1,0 +1,139 @@
+//! Property tests of the incremental residual kernel: after ANY
+//! sequence of hidden-terminal edits, the [`ResidualTracker`]'s
+//! per-constraint residuals and its accumulated incremental energy
+//! must agree with a from-scratch recompute against the edited
+//! topology (within float accumulation noise, 1e-9).
+
+use blu_core::blueprint::constraints::{TransformedHt, TransformedTopology};
+use blu_core::blueprint::{ConstraintSystem, ResidualTracker};
+use blu_sim::clientset::ClientSet;
+use blu_sim::rng::DetRng;
+use blu_sim::topology::InterferenceTopology;
+use proptest::prelude::*;
+
+const N: usize = 8;
+
+/// One random hidden-terminal edit.
+#[derive(Debug, Clone)]
+enum Edit {
+    Add { edges: u8, q: f64 },
+    Remove { pick: usize },
+    Toggle { pick: usize, client: usize },
+    Reweight { pick: usize, factor: f64 },
+}
+
+fn arb_edit() -> impl Strategy<Value = Edit> {
+    (
+        0usize..4,
+        1u8..=u8::MAX,
+        0.01f64..0.9,
+        0usize..64,
+        0usize..N,
+        0.5f64..1.5,
+    )
+        .prop_map(|(kind, edges, q, pick, client, factor)| match kind {
+            0 => Edit::Add { edges, q },
+            1 => Edit::Remove { pick },
+            2 => Edit::Toggle { pick, client },
+            _ => Edit::Reweight { pick, factor },
+        })
+}
+
+fn system(seed: u64, with_triples: bool) -> ConstraintSystem {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let topo = InterferenceTopology::random(N, 5, (0.15, 0.6), 0.4, &mut rng);
+    let mut sys = ConstraintSystem::from_topology(&topo);
+    if with_triples {
+        sys.add_triples_from_topology(&topo, &[(0, 1, 2), (2, 4, 5), (1, 3, 7)]);
+    }
+    sys
+}
+
+/// Apply one edit to both the tracker (incrementally) and the mirror
+/// topology, returning the tracker-reported violation delta.
+fn apply(edit: &Edit, tracker: &mut ResidualTracker<'_>, hts: &mut Vec<TransformedHt>) -> f64 {
+    match *edit {
+        Edit::Add { edges, q } => {
+            let edges = ClientSet(edges as u128);
+            hts.push(TransformedHt { q_t: q, edges });
+            tracker.shift(edges, q)
+        }
+        Edit::Remove { pick } => {
+            if hts.is_empty() {
+                return 0.0;
+            }
+            let ht = hts.swap_remove(pick % hts.len());
+            tracker.shift(ht.edges, -ht.q_t)
+        }
+        Edit::Toggle { pick, client } => {
+            if hts.is_empty() {
+                return 0.0;
+            }
+            let k = pick % hts.len();
+            let old = hts[k].edges;
+            let mut new = old;
+            if new.contains(client) {
+                new.remove(client);
+            } else {
+                new.insert(client);
+            }
+            let dv = tracker.apply_edge_change(old, new, hts[k].q_t);
+            hts[k].edges = new;
+            if new.is_empty() {
+                hts.swap_remove(k);
+            }
+            dv
+        }
+        Edit::Reweight { pick, factor } => {
+            if hts.is_empty() {
+                return 0.0;
+            }
+            let k = pick % hts.len();
+            let q_new = (hts[k].q_t * factor).max(1e-4);
+            let dv = tracker.shift(hts[k].edges, q_new - hts[k].q_t);
+            hts[k].q_t = q_new;
+            dv
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn edit_sequence_matches_scratch_recompute(
+        seed in 0u64..32,
+        with_triples in any::<bool>(),
+        edits in proptest::collection::vec(arb_edit(), 0..60),
+    ) {
+        let sys = system(seed, with_triples);
+        let mut tracker = ResidualTracker::new(&sys);
+        let mut hts: Vec<TransformedHt> = Vec::new();
+        // Incremental energy: empty-topology violation plus every
+        // tracker-reported delta.
+        let mut violation = tracker.recompute_violation();
+        for edit in &edits {
+            violation += apply(edit, &mut tracker, &mut hts);
+        }
+
+        let topo = TransformedTopology { hts: hts.clone() };
+        // Per-constraint residuals agree with a from-scratch compute.
+        for c in sys.all_constraints() {
+            let inc = tracker.residual(c);
+            let scratch = sys.residual(&topo, c);
+            prop_assert!(
+                (inc - scratch).abs() < 1e-9,
+                "residual {c:?}: incremental {inc} vs scratch {scratch}"
+            );
+        }
+        // Accumulated incremental energy agrees with total_violation.
+        let scratch_v = sys.total_violation(&topo);
+        prop_assert!(
+            (violation - scratch_v).abs() < 1e-9,
+            "violation: incremental {violation} vs scratch {scratch_v}"
+        );
+        // And with the tracker's own canonical-order recompute.
+        let tracker_v = tracker.recompute_violation();
+        prop_assert!((violation - tracker_v).abs() < 1e-9);
+    }
+}
