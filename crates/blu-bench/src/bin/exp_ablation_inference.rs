@@ -161,7 +161,7 @@ fn main() {
     // ---- Algorithm 1 vs naive schedules ----
     // Coverage cost: sub-frames until every pair has T joint samples.
     let (n, k, t) = (16usize, 6usize, 20u64);
-    let floor = min_subframes(n, k, t);
+    let floor = min_subframes(n, k, t).expect("floor");
 
     let alg1 = measurement_schedule(n, k, t).expect("plan").t_max();
 

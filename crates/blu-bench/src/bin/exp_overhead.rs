@@ -105,7 +105,7 @@ fn main() {
         (8, 8, 50),
     ] {
         let plan = measurement_schedule(n, k_sched, t).expect("plan");
-        let floor = min_subframes(n, k_sched.min(n), t);
+        let floor = min_subframes(n, k_sched.min(n), t).expect("floor");
         let row = Algorithm1Row {
             n,
             k_sched,

@@ -27,7 +27,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
 
     let plan = measurement_schedule(n, k, t).map_err(|e| e.to_string())?;
-    let floor = min_subframes(n, k.min(n), t);
+    let floor = min_subframes(n, k.min(n), t).map_err(|e| e.to_string())?;
     println!(
         "N = {n}, K = {k}, T = {t}: {} measurement sub-frames (floor {floor}, +{:.1}%)",
         plan.t_max(),

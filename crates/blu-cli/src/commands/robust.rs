@@ -17,7 +17,8 @@
 use crate::args::Flags;
 use blu_core::blueprint::{InferenceBackend, McmcConfig};
 use blu_core::orchestrator::BluConfig;
-use blu_core::robust::{run_blu_robust, RobustConfig};
+use blu_core::robust::{run_blu_robust, CheckpointPolicy, RobustConfig};
+use blu_core::runtime::Deadline;
 use blu_core::EmulationConfig;
 use blu_phy::cell::CellConfig;
 use blu_sim::clientset::ClientSet;
@@ -39,6 +40,19 @@ OPTIONS:
                       (this many proposals) instead of gradient repair
     --t-start <f>     MCMC start temperature (default 1.0)
     --t-end <f>       MCMC end temperature (default 0.005)
+    --deadline-steps <n>  anytime inference: cap each blue-printing
+                      pass at n work units, speculate on best-so-far
+
+CRASH RECOVERY:
+    --checkpoint-dir <dir>    persist orchestrator snapshots to
+                              <dir>/cell-0.json (atomic temp+rename)
+    --checkpoint-every <sf>   also save every <sf> sub-frames of
+                              progress (default 10000; 0 = only at
+                              clean shutdown)
+    --resume                  restore from an existing snapshot in
+                              --checkpoint-dir and continue; the
+                              resumed run is bit-identical to an
+                              uninterrupted one
 
 FAULT SCRIPT:
     events separated by `;`, each `kind@subframe key=value ...`:
@@ -48,6 +62,11 @@ FAULT SCRIPT:
       churn@SF ht=H toggle=I,J,..    flip edges of terminal H
       misclassify@SF rate=R          pilot misclassification onward
       drop@SF rate=R                 measurement reports dropped
+      stall@SF factor=N              inference runs N× slower onward
+      panic@SF active=1|0            inference panics (contained and
+                                     routed to PF fallback) onward
+      poison@SF rate=R               constraint targets NaN-poisoned
+                                     at rate R (quarantined) onward
 
     example:
       --faults \"appear@20000 q=0.6 edges=0,1,2,3; misclassify@0 rate=0.05\"";
@@ -120,6 +139,21 @@ fn parse_event(spec: &str) -> Result<FaultEvent, String> {
         "drop" => FaultKind::DropRate {
             rate: f64_of("rate")?,
         },
+        "stall" => FaultKind::InferenceStall {
+            factor: need("factor")?
+                .parse()
+                .map_err(|_| format!("`{kind}@{at}`: bad factor"))?,
+        },
+        "panic" => FaultKind::InferencePanic {
+            active: match need("active")? {
+                "1" | "true" => true,
+                "0" | "false" => false,
+                bad => return Err(format!("`{kind}@{at}`: bad active `{bad}` (want 1|0)")),
+            },
+        },
+        "poison" => FaultKind::StatPoison {
+            rate: f64_of("rate")?,
+        },
         other => return Err(format!("unknown fault kind `{other}`")),
     };
     Ok(FaultEvent { at_subframe, kind })
@@ -138,7 +172,7 @@ pub fn parse_fault_script(spec: &str) -> Result<FaultScript, String> {
 
 /// Run the subcommand.
 pub fn run(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &["help"])?;
+    let flags = Flags::parse(args, &["help", "resume"])?;
     if flags.has("help") {
         println!("{HELP}");
         return Ok(());
@@ -163,6 +197,22 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let mut cell = CellConfig::testbed_siso();
     cell.numerology.n_rbs = flags.get_or("rbs", 25usize)?;
     let mut config = RobustConfig::new(BluConfig::new(EmulationConfig::new(cell)));
+    if let Some(budget) = flags.get("deadline-steps") {
+        let steps: u64 = budget
+            .parse()
+            .map_err(|_| format!("bad --deadline-steps `{budget}`"))?;
+        config.blu.inference.deadline = Deadline::Steps(steps);
+    }
+    if flags.has("resume") && flags.get("checkpoint-dir").is_none() {
+        return Err("--resume needs --checkpoint-dir".into());
+    }
+    if let Some(dir) = flags.get("checkpoint-dir") {
+        config.checkpoint = Some(CheckpointPolicy {
+            dir: std::path::PathBuf::from(dir),
+            every_subframes: flags.get_or("checkpoint-every", 10_000u64)?,
+            resume: flags.has("resume"),
+        });
+    }
     if flags.get("mcmc-steps").is_some() {
         config.backend = InferenceBackend::Mcmc {
             config: McmcConfig {
@@ -208,6 +258,27 @@ pub fn run(args: &[String]) -> Result<(), String> {
         report.effective_throughput_mbps(),
         report.measurement_subframes
     );
+    if !report.breaker_transitions.is_empty() {
+        println!("\ncircuit breaker:");
+        for t in &report.breaker_transitions {
+            println!("  sf {:>8}  {:?} -> {:?}", t.at_subframe, t.from, t.to);
+        }
+    }
+    if report.inference_panics > 0
+        || report.deadline_misses > 0
+        || report.quarantined_constraints > 0
+    {
+        println!(
+            "resilience: {} contained panic(s), {} deadline miss(es), {} constraint(s) quarantined",
+            report.inference_panics, report.deadline_misses, report.quarantined_constraints
+        );
+    }
+    if let Some(policy) = &config.checkpoint {
+        println!(
+            "checkpoint saved to {}",
+            policy.dir.join("cell-0.json").display()
+        );
+    }
     Ok(())
 }
 
@@ -241,6 +312,27 @@ mod tests {
         )
         .unwrap();
         assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn dsl_runtime_kinds_parse() {
+        let s = parse_fault_script("stall@100 factor=10; panic@200 active=1; poison@300 rate=0.25")
+            .unwrap();
+        assert_eq!(s.len(), 3);
+        assert!(matches!(
+            s.events[0].kind,
+            FaultKind::InferenceStall { factor: 10 }
+        ));
+        assert!(matches!(
+            s.events[1].kind,
+            FaultKind::InferencePanic { active: true }
+        ));
+        assert!(matches!(
+            s.events[2].kind,
+            FaultKind::StatPoison { rate } if (rate - 0.25).abs() < 1e-12
+        ));
+        assert!(parse_fault_script("panic@0 active=maybe").is_err());
+        assert!(parse_fault_script("stall@0").is_err()); // missing factor
     }
 
     #[test]

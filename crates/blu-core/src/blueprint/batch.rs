@@ -1,10 +1,18 @@
-//! Parallel multi-cell batch inference.
+//! Parallel multi-cell batch inference with per-cell panic isolation.
 //!
 //! At deployment scale one eNB process blue-prints many cells — and
 //! PR-1's degraded-mode orchestration re-triggers inference on every
 //! drift event, so re-measurement storms arrive in bursts of
 //! independent per-cell problems. This module fans those problems out
 //! across the `vendor/rayon` worker pool.
+//!
+//! **Isolation contract:** each cell's inference runs under
+//! `catch_unwind` *inside* the worker closure (the rayon shim joins
+//! workers with `expect`, so a panic that escaped the closure would
+//! abort the whole batch); a panicking cell comes back as
+//! [`BluError::Panicked`] while every other cell's result is
+//! untouched. A config rejected by [`InferenceConfig::validate`] is
+//! reported uniformly for all cells without spawning any work.
 //!
 //! **Determinism contract:** each cell's inference is a pure function
 //! of its [`ConstraintSystem`] (and the backend's seed); the rayon
@@ -18,24 +26,44 @@
 use crate::blueprint::constraints::ConstraintSystem;
 use crate::blueprint::infer::{InferenceConfig, InferenceResult};
 use crate::blueprint::InferenceBackend;
+use crate::error::BluError;
+use crate::runtime::panic_message;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// One cell's inference, with any panic contained at this boundary.
+pub(crate) fn guarded_infer(
+    sys: &ConstraintSystem,
+    config: &InferenceConfig,
+    backend: &InferenceBackend,
+) -> Result<InferenceResult, BluError> {
+    catch_unwind(AssertUnwindSafe(|| backend.infer(sys, config)))
+        .map_err(|payload| BluError::Panicked(panic_message(payload.as_ref())))
+}
 
 /// Infer every cell's topology in parallel with the default
-/// (gradient) backend; results in input order.
-pub fn infer_batch(systems: &[ConstraintSystem], config: &InferenceConfig) -> Vec<InferenceResult> {
+/// (gradient) backend; results in input order, one `Result` per cell.
+pub fn infer_batch(
+    systems: &[ConstraintSystem],
+    config: &InferenceConfig,
+) -> Vec<Result<InferenceResult, BluError>> {
     infer_batch_with(systems, config, &InferenceBackend::Gradient)
 }
 
 /// Infer every cell's topology in parallel with an explicit backend;
-/// results in input order.
+/// results in input order, one `Result` per cell. A per-cell panic is
+/// contained and surfaces as that cell's [`BluError::Panicked`].
 pub fn infer_batch_with(
     systems: &[ConstraintSystem],
     config: &InferenceConfig,
     backend: &InferenceBackend,
-) -> Vec<InferenceResult> {
+) -> Vec<Result<InferenceResult, BluError>> {
     use rayon::prelude::*;
+    if let Err(e) = config.validate() {
+        return systems.iter().map(|_| Err(e.clone())).collect();
+    }
     systems
         .par_iter()
-        .map(|sys| backend.infer(sys, config))
+        .map(|sys| guarded_infer(sys, config, backend))
         .collect()
 }
 
@@ -45,10 +73,13 @@ pub fn infer_batch_sequential(
     systems: &[ConstraintSystem],
     config: &InferenceConfig,
     backend: &InferenceBackend,
-) -> Vec<InferenceResult> {
+) -> Vec<Result<InferenceResult, BluError>> {
+    if let Err(e) = config.validate() {
+        return systems.iter().map(|_| Err(e.clone())).collect();
+    }
     systems
         .iter()
-        .map(|sys| backend.infer(sys, config))
+        .map(|sys| guarded_infer(sys, config, backend))
         .collect()
 }
 
@@ -69,6 +100,18 @@ mod tests {
             .collect()
     }
 
+    /// A constraint system that makes the gradient path panic: `n`
+    /// promises 5 clients but the target vectors are empty, so the
+    /// first residual lookup indexes out of bounds.
+    fn malformed() -> ConstraintSystem {
+        ConstraintSystem {
+            n: 5,
+            individual: Vec::new(),
+            pair: Vec::new(),
+            triples: Vec::new(),
+        }
+    }
+
     #[test]
     fn batch_matches_sequential_gradient() {
         let sys = systems(6);
@@ -77,6 +120,7 @@ mod tests {
         let seq = infer_batch_sequential(&sys, &cfg, &InferenceBackend::Gradient);
         assert_eq!(par.len(), seq.len());
         for (a, b) in par.iter().zip(&seq) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
             assert_eq!(a.topology, b.topology, "topologies must be bit-identical");
             assert_eq!(a.violation.to_bits(), b.violation.to_bits());
             assert_eq!(a.verdict, b.verdict);
@@ -97,6 +141,7 @@ mod tests {
         let par = infer_batch_with(&sys, &cfg, &backend);
         let seq = infer_batch_sequential(&sys, &cfg, &backend);
         for (a, b) in par.iter().zip(&seq) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
             assert_eq!(a.topology, b.topology);
             assert_eq!(a.violation.to_bits(), b.violation.to_bits());
         }
@@ -106,5 +151,44 @@ mod tests {
     fn empty_batch_is_fine() {
         let out = infer_batch(&[], &InferenceConfig::default());
         assert!(out.is_empty());
+    }
+
+    /// The acceptance criterion of the resilience PR: a panicking cell
+    /// must not cross the batch boundary, and its neighbours' results
+    /// must be exactly what they would have been without it.
+    #[test]
+    fn panicking_cell_is_isolated() {
+        let healthy = systems(4);
+        let mut mixed = healthy.clone();
+        mixed.insert(2, malformed());
+        let cfg = InferenceConfig::default();
+        let clean = infer_batch(&healthy, &cfg);
+        let out = infer_batch(&mixed, &cfg);
+        assert_eq!(out.len(), 5);
+        match &out[2] {
+            Err(BluError::Panicked(msg)) => {
+                assert!(!msg.is_empty(), "panic payload must be captured");
+            }
+            other => panic!("expected contained panic, got {other:?}"),
+        }
+        for (i, j) in [(0usize, 0usize), (1, 1), (3, 2), (4, 3)] {
+            let (a, b) = (out[i].as_ref().unwrap(), clean[j].as_ref().unwrap());
+            assert_eq!(a.topology, b.topology, "healthy cell {i} was perturbed");
+            assert_eq!(a.violation.to_bits(), b.violation.to_bits());
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_reported_for_every_cell() {
+        let sys = systems(3);
+        let cfg = InferenceConfig {
+            max_iters: 0,
+            ..Default::default()
+        };
+        let out = infer_batch(&sys, &cfg);
+        assert_eq!(out.len(), 3);
+        for r in &out {
+            assert!(matches!(r, Err(BluError::InvalidConfig(_))), "{r:?}");
+        }
     }
 }

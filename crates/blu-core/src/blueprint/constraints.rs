@@ -301,6 +301,32 @@ impl ConstraintSystem {
             .map(|c| (c, self.residual(topo, c)))
             .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))
     }
+
+    /// Quarantine corrupted targets before inference: a NaN (or other
+    /// non-finite, or negative — transformed targets are `−log` of a
+    /// probability, hence ≥ 0) individual/pair target is reset to the
+    /// no-interference value `0.0`, and a corrupted triple constraint
+    /// is dropped outright. Returns the number of constraints
+    /// quarantined; a clean system is left bit-for-bit untouched.
+    ///
+    /// The failure this guards against is quiet, not loud: a single
+    /// NaN target never panics the solver, it silently poisons every
+    /// residual sum into NaN, which compares `false` against every
+    /// acceptance threshold and drives the run into permanent
+    /// low-confidence fallback.
+    pub fn sanitize(&mut self) -> usize {
+        let mut quarantined = 0usize;
+        for t in self.individual.iter_mut().chain(self.pair.iter_mut()) {
+            if !(t.is_finite() && *t >= 0.0) {
+                *t = 0.0;
+                quarantined += 1;
+            }
+        }
+        let before = self.triples.len();
+        self.triples
+            .retain(|t| t.target.is_finite() && t.target >= 0.0);
+        quarantined + (before - self.triples.len())
+    }
 }
 
 /// Sort a client triple ascending.

@@ -16,9 +16,12 @@ use crate::blueprint::constraints::{
     ConstraintRef, ConstraintSystem, TransformedHt, TransformedTopology,
 };
 use crate::blueprint::residual::ResidualTracker;
+use crate::error::BluError;
+use crate::runtime::deadline::{Deadline, DeadlineToken};
 use blu_sim::clientset::ClientSet;
 use blu_sim::topology::InterferenceTopology;
 use blu_traces::stats::pair_index;
+use serde::{Deserialize, Serialize};
 
 /// Weight below which a hidden terminal is considered gone.
 const MIN_WEIGHT: f64 = 1e-4;
@@ -45,6 +48,12 @@ pub struct InferenceConfig {
     /// system left most of its target mass unexplained and the
     /// orchestrator should not speculate on it.
     pub degraded_residual: f64,
+    /// Time budget for the whole inference (all restarts plus
+    /// refinement). On expiry the best-so-far blueprint is returned
+    /// with [`InferenceResult::completed`] `= false`. The default
+    /// ([`Deadline::None`]) runs to convergence, bit-identical to the
+    /// pre-deadline behavior.
+    pub deadline: Deadline,
 }
 
 impl Default for InferenceConfig {
@@ -56,12 +65,51 @@ impl Default for InferenceConfig {
             refine_weights: true,
             accept_residual: 0.05,
             degraded_residual: 0.5,
+            deadline: Deadline::None,
         }
     }
 }
 
+impl InferenceConfig {
+    /// Reject configurations that would produce NaN thresholds or a
+    /// loop that can never run, with a typed
+    /// [`BluError::InvalidConfig`].
+    pub fn validate(&self) -> Result<(), BluError> {
+        if self.max_iters == 0 {
+            return Err(BluError::InvalidConfig(
+                "inference max_iters must be > 0".into(),
+            ));
+        }
+        if !self.epsilon.is_finite() || self.epsilon <= 0.0 {
+            return Err(BluError::InvalidConfig(format!(
+                "inference epsilon must be finite and > 0, got {}",
+                self.epsilon
+            )));
+        }
+        if !self.accept_residual.is_finite() || !(0.0..=1.0).contains(&self.accept_residual) {
+            return Err(BluError::InvalidConfig(format!(
+                "accept_residual must be finite in [0, 1], got {}",
+                self.accept_residual
+            )));
+        }
+        if !self.degraded_residual.is_finite() || !(0.0..=1.0).contains(&self.degraded_residual) {
+            return Err(BluError::InvalidConfig(format!(
+                "degraded_residual must be finite in [0, 1], got {}",
+                self.degraded_residual
+            )));
+        }
+        if self.degraded_residual < self.accept_residual {
+            return Err(BluError::InvalidConfig(format!(
+                "degraded_residual ({}) must be >= accept_residual ({})",
+                self.degraded_residual, self.accept_residual
+            )));
+        }
+        self.deadline.validate()
+    }
+}
+
 /// How much the returned blueprint should be trusted.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum InferenceVerdict {
     /// The constraint system is (near-)fully explained: residual
     /// violation under `epsilon` or within `accept_residual` of the
@@ -88,7 +136,7 @@ impl std::fmt::Display for InferenceVerdict {
 }
 
 /// Result of inference.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InferenceResult {
     /// The inferred topology (probability domain, canonicalized).
     pub topology: InterferenceTopology,
@@ -103,6 +151,13 @@ pub struct InferenceResult {
     pub residual_fraction: f64,
     /// Convergence verdict.
     pub verdict: InferenceVerdict,
+    /// Whether the run finished within its deadline (always `true`
+    /// under [`Deadline::None`]). When `false` the blueprint is the
+    /// anytime best-so-far.
+    pub completed: bool,
+    /// Upper bound on work units executed past the deadline (see
+    /// [`DeadlineToken::overshoot`]); `0` when completed.
+    pub overshoot: u64,
 }
 
 impl InferenceResult {
@@ -352,11 +407,14 @@ impl<'t, 'a> Repairer<'t, 'a> {
     }
 
     /// Run the repair loop; returns (best topology, its violation,
-    /// iterations used).
+    /// iterations used). The deadline token is consulted once per
+    /// iteration (the work-unit granularity of the gradient path);
+    /// on expiry the best state seen so far is returned.
     pub(crate) fn run(
         mut self,
         max_iters: usize,
         epsilon: f64,
+        token: &mut DeadlineToken,
     ) -> (TransformedTopology, f64, usize) {
         /// Non-improving iterations tolerated before giving up on
         /// this restart (the move catalogue is uphill-capable, so
@@ -368,6 +426,9 @@ impl<'t, 'a> Repairer<'t, 'a> {
         let mut iters = 0;
         let mut stagnant = 0usize;
         while iters < max_iters && stagnant < PATIENCE {
+            if token.tick() {
+                break;
+            }
             iters += 1;
             let v = self.total_violation();
             if v < best_v - 1e-12 {
@@ -562,11 +623,14 @@ pub fn infer_topology(sys: &ConstraintSystem, config: &InferenceConfig) -> Infer
     let mut tracker = ResidualTracker::new(sys);
     let mut best: Option<(TransformedTopology, f64)> = None;
     let mut total_iters = 0;
+    let mut token = config.deadline.token();
     for start in starts {
         let repairer = Repairer::new(&mut tracker, start);
-        let (mut topo, mut v, iters) = repairer.run(config.max_iters, config.epsilon);
+        let (mut topo, mut v, iters) = repairer.run(config.max_iters, config.epsilon, &mut token);
         total_iters += iters;
-        if config.refine_weights && v > config.epsilon {
+        // Skip the (unbudgeted) refinement pass once out of budget:
+        // the anytime contract is "best repaired state so far, now".
+        if config.refine_weights && v > config.epsilon && !token.expired() {
             refine_weights(sys, &mut topo);
             polish_with(&mut tracker, &mut topo, 6);
             v = sys.total_violation(&topo);
@@ -586,6 +650,9 @@ pub fn infer_topology(sys: &ConstraintSystem, config: &InferenceConfig) -> Infer
                 break;
             }
         }
+        if token.expired() {
+            break;
+        }
     }
     // `starting_topologies` always yields at least the empty start,
     // but a pathological constraint system must degrade, not panic.
@@ -599,6 +666,8 @@ pub fn infer_topology(sys: &ConstraintSystem, config: &InferenceConfig) -> Infer
         restarts,
         residual_fraction,
         verdict,
+        completed: !token.expired(),
+        overshoot: token.overshoot(),
     }
 }
 
@@ -630,7 +699,7 @@ mod tests {
         let start = TransformedTopology::from_topology(&t);
         let mut tracker = ResidualTracker::new(&sys);
         let r = Repairer::new(&mut tracker, start.clone());
-        let (out, v, iters) = r.run(100, 1e-9);
+        let (out, v, iters) = r.run(100, 1e-9, &mut Deadline::None.token());
         assert!(v < 1e-9, "violation {v}");
         assert!(iters <= 2);
         assert_eq!(out.hts.len(), 3);
@@ -726,6 +795,7 @@ mod tests {
 mod triple_inference_tests {
     use super::*;
     use crate::blueprint::accuracy::topology_accuracy;
+    use blu_sim::rng::DetRng;
     use blu_sim::topology::HiddenTerminal;
 
     /// Paper §3.5: pairwise statistics cannot separate a "star +
@@ -778,5 +848,110 @@ mod triple_inference_tests {
             "star not recovered: {:?}",
             r_triple.topology
         );
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        assert!(InferenceConfig::default().validate().is_ok());
+        let bad = [
+            InferenceConfig {
+                max_iters: 0,
+                ..Default::default()
+            },
+            InferenceConfig {
+                epsilon: 0.0,
+                ..Default::default()
+            },
+            InferenceConfig {
+                epsilon: f64::NAN,
+                ..Default::default()
+            },
+            InferenceConfig {
+                accept_residual: 1.5,
+                ..Default::default()
+            },
+            InferenceConfig {
+                degraded_residual: f64::INFINITY,
+                ..Default::default()
+            },
+            InferenceConfig {
+                accept_residual: 0.4,
+                degraded_residual: 0.1,
+                ..Default::default()
+            },
+            InferenceConfig {
+                deadline: Deadline::Steps(0),
+                ..Default::default()
+            },
+            InferenceConfig {
+                deadline: Deadline::Wall(std::time::Duration::ZERO),
+                ..Default::default()
+            },
+        ];
+        for cfg in bad {
+            assert!(
+                matches!(
+                    cfg.validate(),
+                    Err(crate::error::BluError::InvalidConfig(_))
+                ),
+                "{cfg:?} should be rejected"
+            );
+        }
+    }
+
+    fn deadline_test_system() -> ConstraintSystem {
+        let mut rng = DetRng::seed_from_u64(77);
+        let truth = InterferenceTopology::random(8, 5, (0.15, 0.6), 0.4, &mut rng);
+        ConstraintSystem::from_topology(&truth)
+    }
+
+    /// The no-deadline differential contract: adding the (default)
+    /// `Deadline::None` field must leave inference bit-identical to a
+    /// config that never heard of deadlines, and a roomy step budget
+    /// must match exactly as well (the token is only consulted, never
+    /// drawn from).
+    #[test]
+    fn no_deadline_is_bit_identical_to_roomy_budget() {
+        let sys = deadline_test_system();
+        let unbounded = infer_topology(&sys, &InferenceConfig::default());
+        assert!(unbounded.completed);
+        assert_eq!(unbounded.overshoot, 0);
+        let roomy = infer_topology(
+            &sys,
+            &InferenceConfig {
+                deadline: Deadline::Steps(u64::MAX),
+                ..Default::default()
+            },
+        );
+        assert_eq!(roomy.topology, unbounded.topology);
+        assert_eq!(roomy.violation.to_bits(), unbounded.violation.to_bits());
+        assert_eq!(roomy.verdict, unbounded.verdict);
+        assert_eq!(roomy.iterations, unbounded.iterations);
+        assert_eq!(roomy.restarts, unbounded.restarts);
+        assert!(roomy.completed);
+    }
+
+    /// A budget far below convergence still yields a usable anytime
+    /// result: finite violation, `completed = false`, zero overshoot
+    /// (step budgets are exact), and determinism across runs.
+    #[test]
+    fn tiny_step_budget_returns_best_so_far() {
+        let sys = deadline_test_system();
+        let cfg = InferenceConfig {
+            deadline: Deadline::Steps(3),
+            ..Default::default()
+        };
+        let a = infer_topology(&sys, &cfg);
+        let b = infer_topology(&sys, &cfg);
+        assert!(!a.completed, "3 repair iterations cannot converge here");
+        assert_eq!(a.overshoot, 0);
+        assert!(a.violation.is_finite());
+        assert!(!a.topology.p_individual(0).is_nan());
+        assert_eq!(a.topology, b.topology, "bounded runs stay deterministic");
+        assert_eq!(a.violation.to_bits(), b.violation.to_bits());
+        // The anytime result is strictly coarser than (or equal to)
+        // the converged one.
+        let full = infer_topology(&sys, &InferenceConfig::default());
+        assert!(a.violation >= full.violation);
     }
 }

@@ -32,6 +32,8 @@
 use crate::blueprint::constraints::{ConstraintSystem, TransformedHt, TransformedTopology};
 use crate::blueprint::infer::{InferenceConfig, InferenceResult};
 use crate::blueprint::residual::ResidualTracker;
+use crate::error::BluError;
+use crate::runtime::deadline::Deadline;
 use blu_sim::clientset::ClientSet;
 use blu_sim::rng::DetRng;
 use blu_sim::topology::InterferenceTopology;
@@ -63,6 +65,38 @@ impl Default for McmcConfig {
     }
 }
 
+impl McmcConfig {
+    /// Reject configurations that would make the chain degenerate
+    /// instead of letting them surface as NaN temperatures or a
+    /// silently empty run 20k subframes later.
+    pub fn validate(&self) -> Result<(), BluError> {
+        if self.steps == 0 {
+            return Err(BluError::InvalidConfig("mcmc steps must be > 0".into()));
+        }
+        if !self.t_start.is_finite() || !self.t_end.is_finite() {
+            return Err(BluError::InvalidConfig(
+                "mcmc temperatures must be finite".into(),
+            ));
+        }
+        if !(self.t_end > 0.0 && self.t_start >= self.t_end) {
+            return Err(BluError::InvalidConfig(format!(
+                "mcmc annealing needs t_start >= t_end > 0 (got t_start={}, t_end={})",
+                self.t_start, self.t_end
+            )));
+        }
+        if self.max_hts == 0 {
+            return Err(BluError::InvalidConfig("mcmc max_hts must be > 0".into()));
+        }
+        if !(self.ht_penalty.is_finite() && self.ht_penalty >= 0.0) {
+            return Err(BluError::InvalidConfig(format!(
+                "mcmc ht_penalty must be finite and >= 0 (got {})",
+                self.ht_penalty
+            )));
+        }
+        Ok(())
+    }
+}
+
 /// Result of an MCMC run.
 #[derive(Debug, Clone)]
 pub struct McmcResult {
@@ -72,6 +106,13 @@ pub struct McmcResult {
     pub violation: f64,
     /// Steps accepted.
     pub accepted: usize,
+    /// Proposal steps actually executed (equals `config.steps` unless
+    /// a deadline cut the chain short).
+    pub steps_done: usize,
+    /// Whether the chain ran its full proposal budget.
+    pub completed: bool,
+    /// Upper bound on proposals executed past a wall-clock deadline.
+    pub overshoot: u64,
 }
 
 /// One Metropolis proposal. `Stay` stands in for draw outcomes the
@@ -177,6 +218,21 @@ fn max_individual_stat(sys: &ConstraintSystem) -> f64 {
 /// [`ResidualTracker`]; no state clone is made except when a new best
 /// is recorded.
 pub fn infer_mcmc(sys: &ConstraintSystem, config: &McmcConfig, seed: u64) -> McmcResult {
+    infer_mcmc_bounded(sys, config, seed, Deadline::None)
+}
+
+/// [`infer_mcmc`] under an anytime deadline: the token is checked
+/// once per proposal, and on expiry the best state visited so far is
+/// returned with `completed = false`. `Deadline::None` reproduces
+/// [`infer_mcmc`] bit-identically (the token then touches no counter
+/// and no randomness).
+pub fn infer_mcmc_bounded(
+    sys: &ConstraintSystem,
+    config: &McmcConfig,
+    seed: u64,
+    deadline: Deadline,
+) -> McmcResult {
+    let mut token = deadline.token();
     let mut rng = DetRng::seed_from_u64(seed);
     let mut tracker = ResidualTracker::new(sys);
     let mut hts: Vec<TransformedHt> = Vec::new();
@@ -187,8 +243,13 @@ pub fn infer_mcmc(sys: &ConstraintSystem, config: &McmcConfig, seed: u64) -> Mcm
     let mut best_v = violation;
     let mut accepted = 0usize;
     let max_stat = max_individual_stat(sys);
+    let mut steps_done = 0usize;
 
     for step in 0..config.steps {
+        if token.tick() {
+            break;
+        }
+        steps_done += 1;
         // Annealing schedule (geometric).
         let frac = step as f64 / config.steps.max(1) as f64;
         let temp = config.t_start * (config.t_end / config.t_start).powf(frac);
@@ -266,6 +327,9 @@ pub fn infer_mcmc(sys: &ConstraintSystem, config: &McmcConfig, seed: u64) -> Mcm
         topology: best.to_topology(sys.n).canonicalize(),
         violation: best_v,
         accepted,
+        steps_done,
+        completed: !token.expired(),
+        overshoot: token.overshoot(),
     }
 }
 
@@ -331,6 +395,9 @@ pub fn infer_mcmc_scratch(sys: &ConstraintSystem, config: &McmcConfig, seed: u64
         topology: best.to_topology(sys.n).canonicalize(),
         violation: best_v,
         accepted,
+        steps_done: config.steps,
+        completed: true,
+        overshoot: 0,
     }
 }
 
@@ -344,7 +411,7 @@ pub fn infer_mcmc_result(
     seed: u64,
     acceptance: &InferenceConfig,
 ) -> InferenceResult {
-    let r = infer_mcmc(sys, config, seed);
+    let r = infer_mcmc_bounded(sys, config, seed, acceptance.deadline);
     // Score the pruned, canonicalized output from scratch (the
     // chain's running `violation` tracks the unpruned best state).
     let t = TransformedTopology::from_topology(&r.topology);
@@ -354,10 +421,12 @@ pub fn infer_mcmc_result(
     InferenceResult {
         topology: r.topology,
         violation,
-        iterations: config.steps,
+        iterations: r.steps_done,
         restarts: 1,
         residual_fraction,
         verdict,
+        completed: r.completed,
+        overshoot: r.overshoot,
     }
 }
 
@@ -508,5 +577,100 @@ mod tests {
         assert_eq!(res.restarts, 1);
         let acc = topology_accuracy(&truth, &res.topology);
         assert!(acc.exact_fraction() >= 1.0);
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_configs() {
+        assert!(McmcConfig::default().validate().is_ok());
+        let bad = [
+            McmcConfig {
+                steps: 0,
+                ..Default::default()
+            },
+            McmcConfig {
+                t_start: f64::NAN,
+                ..Default::default()
+            },
+            McmcConfig {
+                t_end: 0.0,
+                ..Default::default()
+            },
+            McmcConfig {
+                t_start: 0.001,
+                t_end: 0.1,
+                ..Default::default()
+            },
+            McmcConfig {
+                max_hts: 0,
+                ..Default::default()
+            },
+            McmcConfig {
+                ht_penalty: -1.0,
+                ..Default::default()
+            },
+        ];
+        for cfg in bad {
+            assert!(
+                matches!(cfg.validate(), Err(BluError::InvalidConfig(_))),
+                "{cfg:?} should be rejected"
+            );
+        }
+    }
+
+    fn deadline_test_system() -> ConstraintSystem {
+        use blu_sim::rng::DetRng;
+        let mut rng = DetRng::seed_from_u64(9);
+        let truth = InterferenceTopology::random(6, 4, (0.15, 0.65), 0.4, &mut rng);
+        ConstraintSystem::from_topology(&truth)
+    }
+
+    /// `Deadline::None` must be bit-identical to the plain entry
+    /// point, and a budget ≥ steps must behave as unbounded
+    /// (`completed = true`, zero overshoot).
+    #[test]
+    fn unbounded_deadline_is_bit_identical() {
+        use crate::runtime::deadline::Deadline;
+        let sys = deadline_test_system();
+        let cfg = McmcConfig {
+            steps: 2_000,
+            ..Default::default()
+        };
+        let plain = infer_mcmc(&sys, &cfg, 11);
+        let none = infer_mcmc_bounded(&sys, &cfg, 11, Deadline::None);
+        let roomy = infer_mcmc_bounded(&sys, &cfg, 11, Deadline::Steps(cfg.steps as u64));
+        for r in [&none, &roomy] {
+            assert_eq!(r.topology, plain.topology);
+            assert_eq!(r.violation.to_bits(), plain.violation.to_bits());
+            assert_eq!(r.accepted, plain.accepted);
+            assert_eq!(r.steps_done, cfg.steps);
+            assert!(r.completed);
+            assert_eq!(r.overshoot, 0);
+        }
+    }
+
+    /// A step budget below the configured chain length cuts the run
+    /// short **exactly** at the budget, deterministically, returning
+    /// a usable (finite-violation) best-so-far.
+    #[test]
+    fn step_budget_cuts_chain_short_deterministically() {
+        use crate::runtime::deadline::Deadline;
+        let sys = deadline_test_system();
+        let cfg = McmcConfig {
+            steps: 20_000,
+            ..Default::default()
+        };
+        let a = infer_mcmc_bounded(&sys, &cfg, 11, Deadline::Steps(500));
+        let b = infer_mcmc_bounded(&sys, &cfg, 11, Deadline::Steps(500));
+        assert_eq!(a.steps_done, 500);
+        assert!(!a.completed);
+        assert_eq!(a.overshoot, 0, "step budgets never overshoot");
+        assert!(a.violation.is_finite());
+        assert_eq!(a.topology, b.topology, "bounded runs are deterministic");
+        assert_eq!(a.accepted, b.accepted);
+        // The truncated chain is a prefix of the full chain's proposal
+        // stream: with the same seed it can never *accept more* than
+        // the full run.
+        let full = infer_mcmc(&sys, &cfg, 11);
+        assert!(a.accepted <= full.accepted);
     }
 }

@@ -44,6 +44,26 @@ pub enum BluError {
         /// Largest supported set size.
         max: usize,
     },
+    /// An arithmetic operation would overflow its integer type.
+    Overflow {
+        /// What was being computed.
+        what: &'static str,
+    },
+    /// A worker panicked and the panic was contained at an isolation
+    /// boundary (per-cell `catch_unwind` in batch/fleet inference).
+    /// Carries the stringified panic payload.
+    Panicked(String),
+    /// A checkpoint could not be written or read (I/O or corrupt
+    /// serialization).
+    Checkpoint(String),
+    /// A checkpoint was written by an incompatible snapshot-format
+    /// version.
+    CheckpointVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build reads and writes.
+        expected: u32,
+    },
 }
 
 impl fmt::Display for BluError {
@@ -65,6 +85,15 @@ impl fmt::Display for BluError {
             BluError::SetTooLarge { what, len, max } => write!(
                 f,
                 "client set too large for {what}: {len} members, at most {max} supported"
+            ),
+            BluError::Overflow { what } => write!(f, "arithmetic overflow computing {what}"),
+            BluError::Panicked(payload) => {
+                write!(f, "inference worker panicked (contained): {payload}")
+            }
+            BluError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
+            BluError::CheckpointVersion { found, expected } => write!(
+                f,
+                "checkpoint format version {found} incompatible with expected {expected}"
             ),
         }
     }

@@ -64,6 +64,7 @@ pub mod measure;
 pub mod metrics;
 pub mod orchestrator;
 pub mod robust;
+pub mod runtime;
 pub mod sched;
 
 pub use blueprint::infer::{InferenceConfig, InferenceResult, InferenceVerdict};
@@ -71,4 +72,7 @@ pub use emulator::{EmulationConfig, EmulationReport};
 pub use error::BluError;
 pub use joint::AccessDistribution;
 pub use orchestrator::{BluConfig, BluRunReport};
-pub use robust::{run_blu_robust, OrchestratorState, RobustConfig, RobustRunReport};
+pub use robust::{
+    run_blu_robust, run_robust_fleet, CheckpointPolicy, OrchestratorState, RobustConfig,
+    RobustRunReport, RobustSnapshot,
+};

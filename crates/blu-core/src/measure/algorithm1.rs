@@ -21,11 +21,30 @@ use blu_sim::clientset::ClientSet;
 use blu_traces::stats::{n_pairs, pair_index};
 
 /// Lower bound on measurement sub-frames: `⌈C(N,2)/C(K,2)·T⌉`.
-pub fn min_subframes(n: usize, k: usize, t: u64) -> u64 {
-    assert!(k >= 2 && n >= 2);
+///
+/// All arithmetic is checked: `C(N,2)·T` on a planet-scale `N` or an
+/// absurd `T` overflows `u64`, and an overflowed floor would silently
+/// produce a *bogus small* plan bound instead of refusing — so it is
+/// a typed [`BluError::Overflow`], and degenerate `N`/`K` (below 2,
+/// where no pair is schedulable) are [`BluError::InvalidConfig`]
+/// rather than a panic.
+pub fn min_subframes(n: usize, k: usize, t: u64) -> Result<u64, BluError> {
+    if n < 2 {
+        return Err(BluError::InvalidConfig(format!(
+            "measurement needs at least two clients, got {n}"
+        )));
+    }
+    if k < 2 {
+        return Err(BluError::InvalidConfig(format!(
+            "measurement needs at least two clients per sub-frame, got K = {k}"
+        )));
+    }
     let total_pairs = n_pairs(n) as u64;
     let per_subframe = n_pairs(k.min(n)) as u64;
-    (total_pairs * t).div_ceil(per_subframe)
+    let demand = total_pairs.checked_mul(t).ok_or(BluError::Overflow {
+        what: "measurement floor C(N,2)·T",
+    })?;
+    Ok(demand.div_ceil(per_subframe))
 }
 
 /// The output plan: one client set per measurement sub-frame.
@@ -60,27 +79,23 @@ impl MeasurementPlan {
 /// let plan = measurement_schedule(10, 4, 5).unwrap();
 /// assert!(plan.pair_counts.iter().all(|&c| c >= 5));
 /// // Close to the information-theoretic floor.
-/// assert!(plan.t_max() <= 2 * min_subframes(10, 4, 5));
+/// assert!(plan.t_max() <= 2 * min_subframes(10, 4, 5).unwrap());
 /// ```
 ///
 /// Errors unless `2 ≤ K` and `2 ≤ N` (pairs must be schedulable).
 pub fn measurement_schedule(n: usize, k: usize, t: u64) -> Result<MeasurementPlan, BluError> {
-    if n < 2 {
-        return Err(BluError::InvalidConfig(format!(
-            "measurement needs at least two clients, got {n}"
-        )));
-    }
-    if k < 2 {
-        return Err(BluError::InvalidConfig(format!(
-            "measurement needs at least two clients per sub-frame, got K = {k}"
-        )));
-    }
+    // Hard cap to guarantee termination even under bugs; the greedy
+    // needs ≈ F_min and never more than N/K times that. Degenerate
+    // N/K and an overflowing floor surface here as typed errors.
+    let cap = min_subframes(n, k, t)?
+        .checked_mul(4)
+        .and_then(|c| c.checked_add(16))
+        .ok_or(BluError::Overflow {
+            what: "measurement schedule cap 4·F_min + 16",
+        })?;
     let k = k.min(n);
     let mut counts = vec![0u64; n_pairs(n)];
     let mut subframes = Vec::new();
-    // Hard cap to guarantee termination even under bugs; the greedy
-    // needs ≈ F_min and never more than N/K times that.
-    let cap = 4 * min_subframes(n, k, t) + 16;
     while counts.iter().any(|&c| c < t) {
         if (subframes.len() as u64) >= cap {
             return Err(BluError::Inference(format!(
@@ -150,8 +165,43 @@ mod tests {
     #[test]
     fn floor_matches_paper_examples() {
         // §3.3: N=20, K=8, pairwise → < 7T sub-frames.
-        assert_eq!(min_subframes(20, 8, 1), 7);
-        assert_eq!(min_subframes(20, 8, 50), 340); // t_max ≈ 340 (§3.7)
+        assert_eq!(min_subframes(20, 8, 1).unwrap(), 7);
+        assert_eq!(min_subframes(20, 8, 50).unwrap(), 340); // t_max ≈ 340 (§3.7)
+    }
+
+    #[test]
+    fn floor_overflow_is_a_typed_error_not_a_wrap() {
+        // C(N,2) for N = 2^32 is ≈ 2^63: already near the u64 edge,
+        // so any T ≥ 2 overflows the C(N,2)·T product. Pin the exact
+        // boundary: the largest T that still fits, and T+1.
+        let n = 1usize << 32;
+        let pairs = n_pairs(n) as u64;
+        let t_ok = u64::MAX / pairs;
+        assert!(min_subframes(n, 8, t_ok).is_ok());
+        match min_subframes(n, 8, t_ok + 1) {
+            Err(BluError::Overflow { what }) => assert!(what.contains("floor")),
+            other => panic!("expected Overflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degenerate_n_and_k_are_typed_errors() {
+        assert!(matches!(
+            min_subframes(1, 4, 5),
+            Err(BluError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            min_subframes(10, 1, 5),
+            Err(BluError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            measurement_schedule(1, 4, 5),
+            Err(BluError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            measurement_schedule(10, 0, 5),
+            Err(BluError::InvalidConfig(_))
+        ));
     }
 
     #[test]
@@ -171,7 +221,7 @@ mod tests {
     fn overhead_close_to_floor() {
         for &(n, k, t) in &[(10usize, 4usize, 5u64), (20, 8, 10), (8, 8, 3), (15, 6, 4)] {
             let plan = measurement_schedule(n, k, t).unwrap();
-            let floor = min_subframes(n, k, t);
+            let floor = min_subframes(n, k, t).unwrap();
             assert!(
                 plan.t_max() <= floor * 2,
                 "N={n} K={k} T={t}: t_max {} vs floor {floor}",

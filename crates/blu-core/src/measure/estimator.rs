@@ -12,9 +12,10 @@
 use blu_phy::outcome::{DecodeOutcome, RbObservation};
 use blu_sim::clientset::ClientSet;
 use blu_traces::stats::EmpiricalAccess;
+use serde::{Deserialize, Serialize};
 
 /// Accumulates access statistics from scheduler outcomes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OutcomeEstimator {
     stats: EmpiricalAccess,
 }

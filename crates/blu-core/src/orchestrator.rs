@@ -148,13 +148,16 @@ pub fn blueprint_with_backend(
 
 /// Blue-print N independent cells' topologies in one shot, fanning
 /// the per-cell inferences across the worker-thread pool
-/// ([`crate::blueprint::batch`]). Results come back in input order
-/// and are byte-identical to mapping [`blueprint_from_measurements`]
-/// over the estimators sequentially.
+/// ([`crate::blueprint::batch`]). Results come back in input order;
+/// each successful cell is byte-identical to mapping
+/// [`blueprint_from_measurements`] over the estimators sequentially,
+/// and a cell whose inference panics surfaces as that cell's
+/// [`BluError::Panicked`](crate::error::BluError::Panicked) without
+/// disturbing its neighbours.
 pub fn blueprint_batch_from_measurements(
     ests: &[OutcomeEstimator],
     config: &InferenceConfig,
-) -> Vec<InferenceResult> {
+) -> Vec<Result<InferenceResult, crate::error::BluError>> {
     let systems: Vec<ConstraintSystem> = ests
         .iter()
         .map(|est| ConstraintSystem::from_measurements(est.stats()))
@@ -181,7 +184,7 @@ pub fn run_blu(trace: &TestbedTrace, config: &BluConfig) -> Result<BluRunReport,
         trace.ground_truth.n_clients,
         k.min(trace.ground_truth.n_clients),
         config.t_samples,
-    );
+    )?;
     Ok(BluRunReport {
         measurement_subframes: t_max,
         measurement_floor: floor,
@@ -221,7 +224,7 @@ pub fn run_blu_stale(
         epochs[0].ground_truth.n_clients,
         k.min(epochs[0].ground_truth.n_clients),
         config.t_samples,
-    );
+    )?;
     epochs
         .iter()
         .map(|trace| {
@@ -351,6 +354,7 @@ mod tests {
         let batch = blueprint_batch_from_measurements(&ests, &cfg);
         assert_eq!(batch.len(), ests.len());
         for (est, got) in ests.iter().zip(&batch) {
+            let got = got.as_ref().unwrap();
             let want = blueprint_from_measurements(est, &cfg);
             assert_eq!(got.topology, want.topology, "batch must be bit-identical");
             assert_eq!(got.violation.to_bits(), want.violation.to_bits());

@@ -1,5 +1,5 @@
 //! Degraded-mode BLU orchestration: the robust loop that survives a
-//! changing, fault-ridden environment.
+//! changing, fault-ridden environment — and a failing process.
 //!
 //! The vanilla orchestrator ([`crate::orchestrator`]) assumes the
 //! interference field is stationary for the whole run. This module
@@ -12,8 +12,8 @@
 //!
 //! ```text
 //!        ┌───────────── Measuring ◄────────────┐
-//!        ▼                                     │ (probation over)
-//!   [infer verdict]                            │
+//!        ▼                                     │ (probation over
+//!   [infer verdict]                            │  AND breaker allows)
 //!    │confident │degraded/low-confidence       │
 //!    ▼          ▼                              │
 //! Confident   Fallback ────────────────────────┘
@@ -37,9 +37,30 @@
 //!   observability, then immediately re-measure.
 //! * **Fallback** — the inference verdict was
 //!   [`InferenceVerdict::Degraded`] (or confidence fell below
-//!   `confidence_floor`): scheduling proceeds with plain proportional
-//!   fair, which needs no topology knowledge, until a probation
-//!   period expires and measurement is retried.
+//!   `confidence_floor`, or inference itself panicked): scheduling
+//!   proceeds with plain proportional fair, which needs no topology
+//!   knowledge, until a probation period expires **and** the per-cell
+//!   [`CircuitBreaker`] allows a retry — repeated failures back off
+//!   exponentially instead of burning a re-measurement phase on every
+//!   probation cycle.
+//!
+//! ## Resilience runtime (see [`crate::runtime`])
+//!
+//! Every inference call runs guarded: scripted runtime faults
+//! ([`blu_sim::faults::FaultKind::InferenceStall`], `InferencePanic`,
+//! `StatPoison`) stall it, panic it, or corrupt its constraint
+//! targets; poisoned targets are quarantined by
+//! [`ConstraintSystem::sanitize`] before the solver sees them, and a
+//! panic is contained at the call boundary as
+//! [`BluError::Panicked`] — it routes to fallback like any other
+//! failed inference and never crosses the cell boundary.
+//!
+//! The whole mutable loop state lives in a serializable
+//! [`RobustSnapshot`]; with a [`CheckpointPolicy`] configured, the
+//! loop atomically persists it on an interval and at clean shutdown,
+//! and a later run can resume **bit-identically** from the snapshot
+//! (all RNG streams — observation channel, poison source, breaker
+//! jitter — are part of it).
 //!
 //! PF fairness state is carried across segments
 //! ([`Emulator::seed_pf_averages`]), and measurement overhead is
@@ -47,6 +68,7 @@
 //! [`RobustRunReport::effective_throughput_mbps`] — the number a
 //! deployment would actually see.
 
+use crate::blueprint::constraints::ConstraintSystem;
 use crate::blueprint::infer::InferenceVerdict;
 use crate::blueprint::{InferenceBackend, InferenceResult};
 use crate::emulator::Emulator;
@@ -54,16 +76,22 @@ use crate::error::BluError;
 use crate::joint::TopologyAccess;
 use crate::measure::{measurement_schedule, OutcomeEstimator};
 use crate::metrics::UplinkMetrics;
-use crate::orchestrator::{blueprint_with_backend, BluConfig};
+use crate::orchestrator::BluConfig;
+use crate::runtime::breaker::{BreakerConfig, BreakerPoll, BreakerTransition, CircuitBreaker};
+use crate::runtime::checkpoint::{load_robust_checkpoint, save_robust_checkpoint};
+use crate::runtime::panic_message;
 use crate::sched::{PfScheduler, SpeculativeScheduler};
 use blu_sim::clientset::ClientSet;
 use blu_sim::faults::ObservationChannel;
 use blu_sim::rng::DetRng;
 use blu_sim::time::SubframeIndex;
 use blu_traces::faults::FaultyCapture;
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 
 /// Where the robust orchestrator currently is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum OrchestratorState {
     /// Initial full-length measurement phase.
     Measuring,
@@ -97,7 +125,7 @@ impl std::fmt::Display for OrchestratorState {
 /// appearing, disappearing or drifting pulls its victims' EWMAs away
 /// in either direction, so the score is the **maximum absolute**
 /// per-client deviation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DriftMonitor {
     alpha: f64,
     dev: Vec<f64>,
@@ -147,6 +175,21 @@ impl DriftMonitor {
     }
 }
 
+/// Where and how often the loop persists its state.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Directory holding the per-cell snapshot files
+    /// (`cell-<index>.json`).
+    pub dir: PathBuf,
+    /// Save whenever the cursor has advanced this many sub-frames
+    /// since the last save (0 = only at clean shutdown). A final
+    /// save always happens when the run completes.
+    pub every_subframes: u64,
+    /// Resume from an existing snapshot in `dir` if one is present
+    /// (a fresh run starts when the file is absent).
+    pub resume: bool,
+}
+
 /// Configuration of the robust loop.
 #[derive(Debug, Clone)]
 pub struct RobustConfig {
@@ -172,10 +215,16 @@ pub struct RobustConfig {
     /// Estimator count-retention factor applied before each
     /// re-measurement (see [`OutcomeEstimator::decay`]).
     pub estimator_keep: f64,
-    /// Seed of the observation-fault channel RNG.
+    /// Seed of the observation-fault channel RNG (the poison and
+    /// breaker-jitter streams are derived from it).
     pub seed: u64,
     /// Inference engine used at every (re-)blue-printing point.
     pub backend: InferenceBackend,
+    /// Per-cell circuit breaker gating re-measurement retries after
+    /// failed inferences.
+    pub breaker: BreakerConfig,
+    /// Optional checkpoint/restore policy (None = never persist).
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl RobustConfig {
@@ -193,12 +242,30 @@ impl RobustConfig {
             estimator_keep: 0.25,
             seed: 0xD1F7,
             backend: InferenceBackend::Gradient,
+            breaker: BreakerConfig::default(),
+            checkpoint: None,
         }
+    }
+
+    /// Up-front validation of every knob that would otherwise fail
+    /// deep inside the loop (or silently wedge it).
+    pub fn validate(&self) -> Result<(), BluError> {
+        if self.check_interval_txops == 0 {
+            return Err(BluError::InvalidConfig(
+                "check_interval_txops must be positive".into(),
+            ));
+        }
+        self.blu.inference.validate()?;
+        if let InferenceBackend::Mcmc { config, .. } = &self.backend {
+            config.validate()?;
+        }
+        self.breaker.validate()?;
+        Ok(())
     }
 }
 
 /// One state-machine transition, for post-mortem inspection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StateTransition {
     /// Trace sub-frame at which the state was entered.
     pub at_subframe: u64,
@@ -222,7 +289,8 @@ pub struct RobustRunReport {
     pub fallback_txops: u64,
     /// The full state history, in order.
     pub transitions: Vec<StateTransition>,
-    /// Verdict of every inference attempt, in order.
+    /// Verdict of every inference attempt, in order (a contained
+    /// panic is recorded as [`InferenceVerdict::Degraded`]).
     pub verdicts: Vec<InferenceVerdict>,
     /// Confidence of the last blue-print in force (0 when none).
     pub final_confidence: f64,
@@ -232,6 +300,16 @@ pub struct RobustRunReport {
     /// across the whole run (initial + every re-measurement).
     /// Timing only — excluded from the determinism contract.
     pub inference_micros: u64,
+    /// Circuit-breaker state changes, in order.
+    pub breaker_transitions: Vec<BreakerTransition>,
+    /// Inference panics contained at the guarded call boundary.
+    pub inference_panics: u32,
+    /// Inference calls that ran out of their deadline budget
+    /// (returned a best-so-far blueprint with `completed = false`).
+    pub deadline_misses: u32,
+    /// Constraint targets quarantined by
+    /// [`ConstraintSystem::sanitize`] before inference.
+    pub quarantined_constraints: u64,
 }
 
 impl RobustRunReport {
@@ -257,166 +335,357 @@ impl RobustRunReport {
     }
 }
 
-/// Run the robust loop over a fault-scripted capture until the trace
-/// is exhausted.
-///
-/// Injected faults never panic this function: an inference failure on
-/// corrupted statistics surfaces as a [`InferenceVerdict::Degraded`]
-/// verdict and routes into PF fallback; a trace too short for even
-/// one measurement phase is a typed [`BluError`].
-pub fn run_blu_robust(
-    capture: &FaultyCapture,
-    config: &RobustConfig,
-) -> Result<RobustRunReport, BluError> {
-    let trace = &capture.trace;
-    trace.validate().map_err(BluError::InvalidTrace)?;
-    let n = trace.ground_truth.n_clients;
-    let trace_len = trace.access.len() as u64;
-    let per_txop = config.blu.emulation.cell.txop.total_subframes();
-    let dl = config.blu.emulation.cell.txop.dl_subframes;
-    let ul = config.blu.emulation.cell.txop.ul_subframes;
-    let k_max = config.blu.emulation.cell.max_ues_per_subframe;
-    if config.check_interval_txops == 0 {
-        return Err(BluError::InvalidConfig(
-            "check_interval_txops must be positive".into(),
-        ));
+/// The complete mutable state of one cell's robust loop — everything
+/// that must survive a process restart for the resumed run to be
+/// bit-identical to an uninterrupted one. Persisted via
+/// [`crate::runtime::checkpoint`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustSnapshot {
+    /// Clients in the capture (resume-mismatch guard).
+    pub n_clients: u64,
+    /// Sub-frames in the capture (resume-mismatch guard).
+    pub trace_len: u64,
+    /// `RobustConfig::seed` the run started with (resume-mismatch
+    /// guard: a different seed means different RNG streams).
+    pub config_seed: u64,
+    /// Trace cursor, in sub-frames.
+    pub cursor: u64,
+    /// Current machine state.
+    pub state: OrchestratorState,
+    /// Whether the run has consumed the trace.
+    pub done: bool,
+    /// Accumulated access statistics.
+    pub est: OutcomeEstimator,
+    /// Observation-fault channel (carries its RNG).
+    pub chan: ObservationChannel,
+    /// RNG stream feeding scripted constraint poisoning.
+    pub poison_rng: DetRng,
+    /// Drift monitor EWMAs.
+    pub drift: DriftMonitor,
+    /// Per-cell circuit breaker (state, backoff, jitter RNG,
+    /// transition history).
+    pub breaker: CircuitBreaker,
+    /// Merged scheduling metrics so far.
+    pub metrics: UplinkMetrics,
+    /// State history so far.
+    pub transitions: Vec<StateTransition>,
+    /// Inference verdicts so far.
+    pub verdicts: Vec<InferenceVerdict>,
+    /// Blue-print currently in force.
+    pub blueprint: Option<InferenceResult>,
+    /// PF average-rate state carried across emulator segments.
+    pub pf_avg: Option<Vec<f64>>,
+    /// Sub-frames spent measuring so far.
+    pub measurement_subframes: u64,
+    /// Re-measurement phases so far.
+    pub n_remeasurements: u32,
+    /// TxOPs spent speculating so far.
+    pub speculative_txops: u64,
+    /// TxOPs spent in PF fallback so far.
+    pub fallback_txops: u64,
+    /// TxOPs of fallback probation remaining.
+    pub probation_left: u64,
+    /// Largest drift score seen so far.
+    pub peak_drift: f64,
+    /// Wall-clock inference time so far (timing only — excluded from
+    /// the determinism contract and therefore from snapshot
+    /// equality-based determinism tests).
+    pub inference_micros: u64,
+    /// Contained inference panics so far.
+    pub inference_panics: u32,
+    /// Deadline-bounded inferences that returned incomplete so far.
+    pub deadline_misses: u32,
+    /// Constraint targets quarantined so far.
+    pub quarantined_constraints: u64,
+}
+
+/// One cell's robust loop, decomposed into resumable steps. Public
+/// API stays [`run_blu_robust`]/[`run_robust_fleet`]; the driver
+/// exists so checkpointing can interleave with stepping and so tests
+/// can kill and resume a run mid-flight.
+pub(crate) struct RobustDriver<'a> {
+    capture: &'a FaultyCapture,
+    config: &'a RobustConfig,
+    n: usize,
+    trace_len: u64,
+    per_txop: u64,
+    dl: u64,
+    ul: u64,
+    k_max: usize,
+    pub(crate) snap: RobustSnapshot,
+}
+
+impl<'a> RobustDriver<'a> {
+    /// Start a fresh run.
+    pub(crate) fn new(
+        capture: &'a FaultyCapture,
+        config: &'a RobustConfig,
+    ) -> Result<Self, BluError> {
+        let trace = &capture.trace;
+        trace.validate().map_err(BluError::InvalidTrace)?;
+        config.validate()?;
+        let n = trace.ground_truth.n_clients;
+        let trace_len = trace.access.len() as u64;
+        let k_max = config.blu.emulation.cell.max_ues_per_subframe;
+
+        // The initial measurement phase must fit; later phases that
+        // run off the end of the trace simply end the run in whatever
+        // state it was in (there is no more air to schedule anyway).
+        {
+            let plan = measurement_schedule(n, k_max, config.blu.t_samples)?;
+            if plan.t_max() > trace_len {
+                return Err(BluError::TraceTooShort {
+                    what: "robust initial measurement phase",
+                    needed: plan.t_max(),
+                    available: trace_len,
+                });
+            }
+        }
+
+        let snap = RobustSnapshot {
+            n_clients: n as u64,
+            trace_len,
+            config_seed: config.seed,
+            cursor: 0,
+            state: OrchestratorState::Measuring,
+            done: false,
+            est: OutcomeEstimator::new(n),
+            chan: ObservationChannel::new(DetRng::seed_from_u64(config.seed ^ 0x0B5E_7ACE)),
+            poison_rng: DetRng::seed_from_u64(config.seed ^ 0x7015_0A11),
+            drift: DriftMonitor::new(config.drift_alpha, n),
+            breaker: CircuitBreaker::new(config.breaker, config.seed),
+            metrics: UplinkMetrics::new(n),
+            transitions: vec![StateTransition {
+                at_subframe: 0,
+                state: OrchestratorState::Measuring,
+            }],
+            verdicts: Vec::new(),
+            blueprint: None,
+            pf_avg: None,
+            measurement_subframes: 0,
+            n_remeasurements: 0,
+            speculative_txops: 0,
+            fallback_txops: 0,
+            probation_left: 0,
+            peak_drift: 0.0,
+            inference_micros: 0,
+            inference_panics: 0,
+            deadline_misses: 0,
+            quarantined_constraints: 0,
+        };
+        Ok(RobustDriver::with_snapshot(capture, config, snap))
     }
 
-    let mut est = OutcomeEstimator::new(n);
-    let mut chan = ObservationChannel::new(DetRng::seed_from_u64(config.seed ^ 0x0B5E_7ACE));
-    let mut drift = DriftMonitor::new(config.drift_alpha, n);
-    let mut metrics = UplinkMetrics::new(n);
-    let mut cursor: u64 = 0;
-    let mut state = OrchestratorState::Measuring;
-    let mut transitions = vec![StateTransition {
-        at_subframe: 0,
-        state,
-    }];
-    let mut verdicts: Vec<InferenceVerdict> = Vec::new();
-    let mut blueprint: Option<InferenceResult> = None;
-    let mut pf_avg: Option<Vec<f64>> = None;
-    let mut measurement_subframes = 0u64;
-    let mut n_remeasurements = 0u32;
-    let mut speculative_txops = 0u64;
-    let mut fallback_txops = 0u64;
-    let mut probation_left = 0u64;
-    let mut peak_drift = 0.0_f64;
-    let mut inference_micros = 0u64;
+    /// Continue from a restored snapshot, guarding against resuming
+    /// against the wrong capture or a reconfigured run.
+    pub(crate) fn resume(
+        capture: &'a FaultyCapture,
+        config: &'a RobustConfig,
+        snap: RobustSnapshot,
+    ) -> Result<Self, BluError> {
+        let trace = &capture.trace;
+        trace.validate().map_err(BluError::InvalidTrace)?;
+        config.validate()?;
+        let n = trace.ground_truth.n_clients as u64;
+        let trace_len = trace.access.len() as u64;
+        if snap.n_clients != n || snap.trace_len != trace_len {
+            return Err(BluError::Checkpoint(format!(
+                "snapshot was taken against a different capture \
+                 ({} clients / {} sub-frames, run has {} / {})",
+                snap.n_clients, snap.trace_len, n, trace_len
+            )));
+        }
+        if snap.config_seed != config.seed {
+            return Err(BluError::Checkpoint(format!(
+                "snapshot seed {:#x} does not match configured seed {:#x}",
+                snap.config_seed, config.seed
+            )));
+        }
+        Ok(RobustDriver::with_snapshot(capture, config, snap))
+    }
 
-    // The initial measurement phase must fit; later phases that run
-    // off the end of the trace simply end the run in whatever state
-    // it was in (there is no more air to schedule anyway).
-    {
-        let plan = measurement_schedule(n, k_max, config.blu.t_samples)?;
-        if plan.t_max() > trace_len {
-            return Err(BluError::TraceTooShort {
-                what: "robust initial measurement phase",
-                needed: plan.t_max(),
-                available: trace_len,
-            });
+    fn with_snapshot(
+        capture: &'a FaultyCapture,
+        config: &'a RobustConfig,
+        snap: RobustSnapshot,
+    ) -> Self {
+        let n = capture.trace.ground_truth.n_clients;
+        RobustDriver {
+            capture,
+            config,
+            n,
+            trace_len: capture.trace.access.len() as u64,
+            per_txop: config.blu.emulation.cell.txop.total_subframes(),
+            dl: config.blu.emulation.cell.txop.dl_subframes,
+            ul: config.blu.emulation.cell.txop.ul_subframes,
+            k_max: config.blu.emulation.cell.max_ues_per_subframe,
+            snap,
         }
     }
 
-    let enter = |transitions: &mut Vec<StateTransition>,
-                 state: &mut OrchestratorState,
-                 next: OrchestratorState,
-                 at: u64| {
-        *state = next;
-        transitions.push(StateTransition {
-            at_subframe: at,
+    fn enter(&mut self, next: OrchestratorState) {
+        self.snap.state = next;
+        self.snap.transitions.push(StateTransition {
+            at_subframe: self.snap.cursor,
             state: next,
         });
-    };
+    }
 
-    loop {
-        match state {
-            OrchestratorState::Measuring | OrchestratorState::Remeasuring => {
-                let t = if state == OrchestratorState::Measuring {
-                    config.blu.t_samples
-                } else {
-                    config.remeasure_t_samples
-                };
-                let plan = measurement_schedule(n, k_max, t)?;
-                if cursor + plan.t_max() > trace_len {
-                    break;
+    /// Run inference under the resilience guards: scripted poisoning
+    /// is injected and quarantined, scripted stalls repeat the solve,
+    /// and a panic (scripted or genuine) is contained at this
+    /// boundary.
+    fn guarded_blueprint(&mut self) -> Result<InferenceResult, BluError> {
+        let rt = self.capture.script.runtime_state_at(self.snap.cursor);
+        let mut sys = ConstraintSystem::from_measurements(self.snap.est.stats());
+        if rt.poison_rate > 0.0 {
+            for t in sys.individual.iter_mut().chain(sys.pair.iter_mut()) {
+                if self.snap.poison_rng.chance(rt.poison_rate) {
+                    *t = f64::NAN;
                 }
+            }
+            for tr in sys.triples.iter_mut() {
+                if self.snap.poison_rng.chance(rt.poison_rate) {
+                    tr.target = f64::NAN;
+                }
+            }
+        }
+        self.snap.quarantined_constraints += sys.sanitize() as u64;
+
+        let reps = rt.stall_factor.max(1);
+        let inject_panic = rt.panic;
+        let backend = &self.config.backend;
+        let icfg = &self.config.blu.inference;
+        let t0 = std::time::Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if inject_panic {
+                panic!("injected inference panic");
+            }
+            let mut result = backend.infer(&sys, icfg);
+            // A scripted stall models a slow solver by repeating the
+            // (deterministic) solve; the last result is returned.
+            for _ in 1..reps {
+                result = backend.infer(&sys, icfg);
+            }
+            result
+        }))
+        .map_err(|p| BluError::Panicked(panic_message(p.as_ref())));
+        self.snap.inference_micros += t0.elapsed().as_micros() as u64;
+        outcome
+    }
+
+    /// Execute one state-machine arm. Returns `Ok(false)` once the
+    /// trace is exhausted (the run is complete).
+    pub(crate) fn step(&mut self) -> Result<bool, BluError> {
+        if self.snap.done {
+            return Ok(false);
+        }
+        match self.snap.state {
+            OrchestratorState::Measuring | OrchestratorState::Remeasuring => {
+                let t = if self.snap.state == OrchestratorState::Measuring {
+                    self.config.blu.t_samples
+                } else {
+                    self.config.remeasure_t_samples
+                };
+                let plan = measurement_schedule(self.n, self.k_max, t)?;
+                if self.snap.cursor + plan.t_max() > self.trace_len {
+                    self.snap.done = true;
+                    return Ok(false);
+                }
+                let trace = &self.capture.trace;
                 for (i, &scheduled) in plan.subframes.iter().enumerate() {
-                    let sf = cursor + i as u64;
+                    let sf = self.snap.cursor + i as u64;
                     let accessible = trace.access.at(SubframeIndex(sf));
-                    let obs_state = capture.script.obs_state_at(sf);
-                    if let Some((obs, acc)) =
-                        chan.corrupt(obs_state, scheduled, accessible.intersection(scheduled))
-                    {
-                        est.stats_mut().record(obs, acc);
+                    let obs_state = self.capture.script.obs_state_at(sf);
+                    if let Some((obs, acc)) = self.snap.chan.corrupt(
+                        obs_state,
+                        scheduled,
+                        accessible.intersection(scheduled),
+                    ) {
+                        self.snap.est.stats_mut().record(obs, acc);
                     }
                 }
-                cursor += plan.t_max();
-                measurement_subframes += plan.t_max();
-                let t0 = std::time::Instant::now();
-                let result = blueprint_with_backend(&est, &config.blu.inference, &config.backend);
-                inference_micros += t0.elapsed().as_micros() as u64;
-                verdicts.push(result.verdict);
-                let usable = result.verdict != InferenceVerdict::Degraded
-                    && result.confidence() >= config.confidence_floor;
-                if usable {
-                    blueprint = Some(result);
-                    drift.reset();
-                    enter(
-                        &mut transitions,
-                        &mut state,
-                        OrchestratorState::Confident,
-                        cursor,
-                    );
-                } else {
-                    blueprint = None;
-                    probation_left = config.fallback_probation_txops;
-                    enter(
-                        &mut transitions,
-                        &mut state,
-                        OrchestratorState::Fallback,
-                        cursor,
-                    );
+                self.snap.cursor += plan.t_max();
+                self.snap.measurement_subframes += plan.t_max();
+
+                match self.guarded_blueprint() {
+                    Ok(result) => {
+                        if !result.completed {
+                            self.snap.deadline_misses += 1;
+                        }
+                        self.snap.verdicts.push(result.verdict);
+                        let usable = result.verdict != InferenceVerdict::Degraded
+                            && result.confidence() >= self.config.confidence_floor;
+                        if usable {
+                            self.snap.breaker.record_success(self.snap.cursor);
+                            self.snap.blueprint = Some(result);
+                            self.snap.drift.reset();
+                            self.enter(OrchestratorState::Confident);
+                        } else {
+                            self.snap.breaker.record_failure(self.snap.cursor);
+                            self.snap.blueprint = None;
+                            self.snap.probation_left = self.config.fallback_probation_txops;
+                            self.enter(OrchestratorState::Fallback);
+                        }
+                    }
+                    Err(e) => {
+                        if matches!(e, BluError::Panicked(_)) {
+                            self.snap.inference_panics += 1;
+                        }
+                        self.snap.verdicts.push(InferenceVerdict::Degraded);
+                        self.snap.breaker.record_failure(self.snap.cursor);
+                        self.snap.blueprint = None;
+                        self.snap.probation_left = self.config.fallback_probation_txops;
+                        self.enter(OrchestratorState::Fallback);
+                    }
                 }
             }
             OrchestratorState::Confident | OrchestratorState::Fallback => {
-                let room = (trace_len - cursor) / per_txop;
-                let txops = config.check_interval_txops.min(room);
+                let room = (self.trace_len - self.snap.cursor) / self.per_txop;
+                let txops = self.config.check_interval_txops.min(room);
                 if txops == 0 {
-                    break;
+                    self.snap.done = true;
+                    return Ok(false);
                 }
-                let mut cfg = config.blu.emulation.clone();
+                let trace = &self.capture.trace;
+                let mut cfg = self.config.blu.emulation.clone();
                 cfg.n_txops = txops;
-                cfg.start_subframe = cursor;
+                cfg.start_subframe = self.snap.cursor;
                 let mut emu = Emulator::new(trace, cfg)?;
-                if let Some(avg) = &pf_avg {
+                if let Some(avg) = &self.snap.pf_avg {
                     emu.seed_pf_averages(avg);
                 }
-                let seg = if state == OrchestratorState::Confident {
-                    let result = blueprint.as_ref().expect("Confident implies a blueprint");
+                let seg = if self.snap.state == OrchestratorState::Confident {
+                    let result = self
+                        .snap
+                        .blueprint
+                        .as_ref()
+                        .expect("Confident implies a blueprint");
                     let access = TopologyAccess::new(&result.topology);
                     let mut sched = SpeculativeScheduler::new(&access);
                     emu.run(&mut sched, None)
                 } else {
                     emu.run(&mut PfScheduler, None)
                 };
-                pf_avg = Some(emu.pf_averages().to_vec());
-                metrics.merge(&seg.metrics);
+                self.snap.pf_avg = Some(emu.pf_averages().to_vec());
+                self.snap.metrics.merge(&seg.metrics);
 
                 // Observed CCA outcomes keep feeding the estimator
                 // (warm re-measurements, §3.7) and — when a blue-print
                 // is in force — the drift monitor. Only UL sub-frames
                 // are observable: the eNB transmits during DL.
                 for t_i in 0..txops {
-                    for u in 0..ul {
-                        let sf = cursor + t_i * per_txop + dl + u;
+                    for u in 0..self.ul {
+                        let sf = self.snap.cursor + t_i * self.per_txop + self.dl + u;
                         let accessible = trace.access.at(SubframeIndex(sf));
-                        let obs_state = capture.script.obs_state_at(sf);
-                        let all = ClientSet::all(n);
-                        if let Some((obs, acc)) = chan.corrupt(obs_state, all, accessible) {
-                            est.stats_mut().record(obs, acc);
-                            if let Some(result) = &blueprint {
+                        let obs_state = self.capture.script.obs_state_at(sf);
+                        let all = ClientSet::all(self.n);
+                        if let Some((obs, acc)) = self.snap.chan.corrupt(obs_state, all, accessible)
+                        {
+                            self.snap.est.stats_mut().record(obs, acc);
+                            if let Some(result) = &self.snap.blueprint {
                                 for ue in obs.iter() {
-                                    drift.observe(
+                                    self.snap.drift.observe(
                                         ue,
                                         acc.contains(ue),
                                         result.topology.p_individual(ue),
@@ -426,63 +695,129 @@ pub fn run_blu_robust(
                         }
                     }
                 }
-                cursor += txops * per_txop;
+                self.snap.cursor += txops * self.per_txop;
 
-                if state == OrchestratorState::Confident {
-                    speculative_txops += txops;
-                    peak_drift = peak_drift.max(drift.score());
-                    if drift.samples() >= config.min_drift_samples
-                        && drift.score() > config.drift_threshold
+                if self.snap.state == OrchestratorState::Confident {
+                    self.snap.speculative_txops += txops;
+                    self.snap.peak_drift = self.snap.peak_drift.max(self.snap.drift.score());
+                    if self.snap.drift.samples() >= self.config.min_drift_samples
+                        && self.snap.drift.score() > self.config.drift_threshold
                     {
-                        enter(
-                            &mut transitions,
-                            &mut state,
-                            OrchestratorState::Drifting,
-                            cursor,
-                        );
+                        self.enter(OrchestratorState::Drifting);
                     }
                 } else {
-                    fallback_txops += txops;
-                    probation_left = probation_left.saturating_sub(txops);
-                    if probation_left == 0 {
-                        est.decay(config.estimator_keep);
-                        n_remeasurements += 1;
-                        enter(
-                            &mut transitions,
-                            &mut state,
-                            OrchestratorState::Remeasuring,
-                            cursor,
-                        );
+                    self.snap.fallback_txops += txops;
+                    self.snap.probation_left = self.snap.probation_left.saturating_sub(txops);
+                    if self.snap.probation_left == 0 {
+                        // Probation over — but a tripped breaker gates
+                        // the (expensive) re-measurement retry behind
+                        // its backoff: stay in fallback without a
+                        // transition until the breaker half-opens.
+                        match self.snap.breaker.poll(self.snap.cursor) {
+                            BreakerPoll::Wait(wait_subframes) => {
+                                self.snap.probation_left = (wait_subframes / self.per_txop).max(1);
+                            }
+                            BreakerPoll::Allow => {
+                                self.snap.est.decay(self.config.estimator_keep);
+                                self.snap.n_remeasurements += 1;
+                                self.enter(OrchestratorState::Remeasuring);
+                            }
+                        }
                     }
                 }
             }
             OrchestratorState::Drifting => {
                 // Transitional: decay stale statistics and go
                 // straight into the shortened re-measurement.
-                est.decay(config.estimator_keep);
-                n_remeasurements += 1;
-                enter(
-                    &mut transitions,
-                    &mut state,
-                    OrchestratorState::Remeasuring,
-                    cursor,
-                );
+                self.snap.est.decay(self.config.estimator_keep);
+                self.snap.n_remeasurements += 1;
+                self.enter(OrchestratorState::Remeasuring);
             }
         }
+        Ok(true)
     }
 
-    Ok(RobustRunReport {
-        metrics,
-        measurement_subframes,
-        n_remeasurements,
-        speculative_txops,
-        fallback_txops,
-        transitions,
-        verdicts,
-        final_confidence: blueprint.as_ref().map(|r| r.confidence()).unwrap_or(0.0),
-        peak_drift,
-        inference_micros,
-    })
+    /// Finish: fold the snapshot into the public report.
+    pub(crate) fn into_report(self) -> RobustRunReport {
+        let snap = self.snap;
+        RobustRunReport {
+            metrics: snap.metrics,
+            measurement_subframes: snap.measurement_subframes,
+            n_remeasurements: snap.n_remeasurements,
+            speculative_txops: snap.speculative_txops,
+            fallback_txops: snap.fallback_txops,
+            transitions: snap.transitions,
+            verdicts: snap.verdicts,
+            final_confidence: snap
+                .blueprint
+                .as_ref()
+                .map(|r| r.confidence())
+                .unwrap_or(0.0),
+            peak_drift: snap.peak_drift,
+            inference_micros: snap.inference_micros,
+            breaker_transitions: snap.breaker.transitions().to_vec(),
+            inference_panics: snap.inference_panics,
+            deadline_misses: snap.deadline_misses,
+            quarantined_constraints: snap.quarantined_constraints,
+        }
+    }
+}
+
+/// Run the robust loop over a fault-scripted capture until the trace
+/// is exhausted.
+///
+/// Injected faults never panic this function: an inference failure on
+/// corrupted statistics surfaces as a [`InferenceVerdict::Degraded`]
+/// verdict, an injected (or genuine) inference panic is contained as
+/// [`BluError::Panicked`] and both route into PF fallback behind the
+/// circuit breaker; a trace too short for even one measurement phase
+/// is a typed [`BluError`]. With [`RobustConfig::checkpoint`] set the
+/// loop persists (and optionally resumes) its state as cell 0.
+pub fn run_blu_robust(
+    capture: &FaultyCapture,
+    config: &RobustConfig,
+) -> Result<RobustRunReport, BluError> {
+    run_blu_robust_cell(capture, config, 0)
+}
+
+/// [`run_blu_robust`] with an explicit cell index, which names the
+/// checkpoint file (`cell-<index>.json`) when a
+/// [`CheckpointPolicy`] is configured. Fleet entry points call this
+/// with each capture's position.
+pub fn run_blu_robust_cell(
+    capture: &FaultyCapture,
+    config: &RobustConfig,
+    cell: usize,
+) -> Result<RobustRunReport, BluError> {
+    let ckpt_path = config
+        .checkpoint
+        .as_ref()
+        .map(|p| p.dir.join(format!("cell-{cell}.json")));
+    let mut driver = match (&config.checkpoint, &ckpt_path) {
+        (Some(policy), Some(path)) if policy.resume && path.exists() => {
+            let snap = load_robust_checkpoint(path)?;
+            RobustDriver::resume(capture, config, snap)?
+        }
+        _ => RobustDriver::new(capture, config)?,
+    };
+    let mut last_saved = driver.snap.cursor;
+    loop {
+        let more = driver.step()?;
+        if let (Some(policy), Some(path)) = (&config.checkpoint, &ckpt_path) {
+            let interval_due = policy.every_subframes > 0
+                && driver.snap.cursor.saturating_sub(last_saved) >= policy.every_subframes;
+            // Clean shutdown always persists, so a later `--resume`
+            // returns the completed run instead of recomputing it.
+            if interval_due || !more {
+                save_robust_checkpoint(path, &driver.snap)?;
+                last_saved = driver.snap.cursor;
+            }
+        }
+        if !more {
+            break;
+        }
+    }
+    Ok(driver.into_report())
 }
 
 /// Run the robust loop over a fleet of captures (one per cell) in
@@ -493,14 +828,24 @@ pub fn run_blu_robust(
 /// order, so the reports come back **in input order** and — apart
 /// from the wall-clock [`RobustRunReport::inference_micros`] field —
 /// identical to [`run_robust_fleet_sequential`].
+///
+/// **Isolation contract:** any panic inside a cell's run is contained
+/// inside that cell's worker closure (the rayon shim would otherwise
+/// abort the whole join) and surfaces as that cell's
+/// [`BluError::Panicked`]; the other cells' reports are exactly what
+/// they would have been without the faulty neighbour.
 pub fn run_robust_fleet(
     captures: &[FaultyCapture],
     config: &RobustConfig,
 ) -> Vec<Result<RobustRunReport, BluError>> {
     use rayon::prelude::*;
-    captures
+    let indexed: Vec<(usize, &FaultyCapture)> = captures.iter().enumerate().collect();
+    indexed
         .par_iter()
-        .map(|cap| run_blu_robust(cap, config))
+        .map(|&(cell, cap)| {
+            catch_unwind(AssertUnwindSafe(|| run_blu_robust_cell(cap, config, cell)))
+                .unwrap_or_else(|p| Err(BluError::Panicked(panic_message(p.as_ref()))))
+        })
         .collect()
 }
 
@@ -512,13 +857,19 @@ pub fn run_robust_fleet_sequential(
 ) -> Vec<Result<RobustRunReport, BluError>> {
     captures
         .iter()
-        .map(|cap| run_blu_robust(cap, config))
+        .enumerate()
+        .map(|(cell, cap)| {
+            catch_unwind(AssertUnwindSafe(|| run_blu_robust_cell(cap, config, cell)))
+                .unwrap_or_else(|p| Err(BluError::Panicked(panic_message(p.as_ref()))))
+        })
         .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runtime::breaker::BreakerState;
+    use crate::runtime::checkpoint::{RobustCheckpoint, CHECKPOINT_VERSION};
     use blu_phy::cell::CellConfig;
     use blu_sim::clientset::ClientSet;
     use blu_sim::faults::{FaultEvent, FaultKind, FaultScript};
@@ -546,6 +897,23 @@ mod tests {
         RobustConfig::new(BluConfig::new(emu))
     }
 
+    /// Reports compared field by field, excluding wall-clock timing.
+    fn assert_reports_identical(a: &RobustRunReport, b: &RobustRunReport) {
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.transitions, b.transitions);
+        assert_eq!(a.verdicts, b.verdicts);
+        assert_eq!(a.measurement_subframes, b.measurement_subframes);
+        assert_eq!(a.n_remeasurements, b.n_remeasurements);
+        assert_eq!(a.speculative_txops, b.speculative_txops);
+        assert_eq!(a.fallback_txops, b.fallback_txops);
+        assert_eq!(a.final_confidence.to_bits(), b.final_confidence.to_bits());
+        assert_eq!(a.peak_drift.to_bits(), b.peak_drift.to_bits());
+        assert_eq!(a.breaker_transitions, b.breaker_transitions);
+        assert_eq!(a.inference_panics, b.inference_panics);
+        assert_eq!(a.deadline_misses, b.deadline_misses);
+        assert_eq!(a.quarantined_constraints, b.quarantined_constraints);
+    }
+
     #[test]
     fn clean_run_stays_confident() {
         let cap = capture(FaultScript::none(), 60, 11);
@@ -556,6 +924,11 @@ mod tests {
         assert!(report.speculative_txops > 0);
         assert!(report.metrics.bits_delivered > 0.0);
         assert!(report.final_confidence > 0.5);
+        // The resilience layer is invisible on the clean path.
+        assert!(report.breaker_transitions.is_empty());
+        assert_eq!(report.inference_panics, 0);
+        assert_eq!(report.deadline_misses, 0);
+        assert_eq!(report.quarantined_constraints, 0);
     }
 
     #[test]
@@ -640,9 +1013,7 @@ mod tests {
         let cfg = quick_config();
         let a = run_blu_robust(&cap, &cfg).unwrap();
         let b = run_blu_robust(&cap, &cfg).unwrap();
-        assert_eq!(a.metrics, b.metrics);
-        assert_eq!(a.transitions, b.transitions);
-        assert_eq!(a.verdicts, b.verdicts);
+        assert_reports_identical(&a, &b);
     }
 
     #[test]
@@ -676,11 +1047,7 @@ mod tests {
         for (a, b) in par.iter().zip(&seq) {
             let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
             // Everything but wall-clock timing must be identical.
-            assert_eq!(a.metrics, b.metrics);
-            assert_eq!(a.transitions, b.transitions);
-            assert_eq!(a.verdicts, b.verdicts);
-            assert_eq!(a.measurement_subframes, b.measurement_subframes);
-            assert_eq!(a.final_confidence.to_bits(), b.final_confidence.to_bits());
+            assert_reports_identical(a, b);
         }
     }
 
@@ -700,5 +1067,364 @@ mod tests {
         assert!(report.metrics.bits_delivered > 0.0);
         assert!(!report.verdicts.is_empty());
         assert!(report.inference_micros > 0);
+    }
+
+    #[test]
+    fn degenerate_mcmc_backend_is_rejected_up_front() {
+        use crate::blueprint::McmcConfig;
+        let cap = capture(FaultScript::none(), 60, 19);
+        let mut cfg = quick_config();
+        cfg.backend = InferenceBackend::Mcmc {
+            config: McmcConfig {
+                steps: 0,
+                ..Default::default()
+            },
+            seed: 7,
+        };
+        assert!(matches!(
+            run_blu_robust(&cap, &cfg),
+            Err(BluError::InvalidConfig(_))
+        ));
+    }
+
+    // ------------------------------------------------------------------
+    // Resilience runtime: panic isolation, circuit breaking, poison
+    // quarantine, checkpoint/restore.
+    // ------------------------------------------------------------------
+
+    fn panic_script() -> FaultScript {
+        FaultScript::new(vec![FaultEvent {
+            at_subframe: 0,
+            kind: FaultKind::InferencePanic { active: true },
+        }])
+    }
+
+    #[test]
+    fn injected_panic_is_contained_and_breaker_opens() {
+        let cap = capture(panic_script(), 60, 30);
+        let report = run_blu_robust(&cap, &quick_config()).unwrap();
+        // Every inference attempt panicked, was contained, and routed
+        // to PF fallback.
+        assert!(report.inference_panics >= 1);
+        assert_eq!(report.speculative_txops, 0);
+        assert!(report.fallback_txops > 0);
+        assert!(report.metrics.bits_delivered > 0.0, "PF kept scheduling");
+        assert_eq!(report.final_state(), OrchestratorState::Fallback);
+        assert!(report
+            .verdicts
+            .iter()
+            .all(|v| *v == InferenceVerdict::Degraded));
+        // Threshold is 2: the second failure must have tripped the
+        // breaker open.
+        assert!(report
+            .breaker_transitions
+            .iter()
+            .any(|t| t.to == BreakerState::Open));
+    }
+
+    #[test]
+    fn breaker_backoff_spaces_out_retries() {
+        // With vs without the breaker gating retries, the same
+        // always-panicking run must attempt fewer inferences.
+        let cap = capture(panic_script(), 120, 31);
+        let gated = quick_config();
+        let mut ungated = quick_config();
+        // An effectively-never-tripping breaker reproduces the bare
+        // probation cycle.
+        ungated.breaker.failure_threshold = u32::MAX;
+        let with_breaker = run_blu_robust(&cap, &gated).unwrap();
+        let without = run_blu_robust(&cap, &ungated).unwrap();
+        assert!(
+            with_breaker.verdicts.len() < without.verdicts.len(),
+            "breaker must reduce re-measurement probes: {} vs {}",
+            with_breaker.verdicts.len(),
+            without.verdicts.len()
+        );
+        assert!(without.breaker_transitions.is_empty());
+    }
+
+    #[test]
+    fn stat_poison_is_quarantined_not_fatal() {
+        let script = FaultScript::new(vec![FaultEvent {
+            at_subframe: 0,
+            kind: FaultKind::StatPoison { rate: 1.0 },
+        }]);
+        let cap = capture(script, 60, 32);
+        let report = run_blu_robust(&cap, &quick_config()).unwrap();
+        assert!(
+            report.quarantined_constraints > 0,
+            "poisoned targets must be counted"
+        );
+        assert_eq!(report.inference_panics, 0, "NaNs must never panic");
+        assert!(report.metrics.bits_delivered > 0.0);
+    }
+
+    #[test]
+    fn inference_stall_changes_timing_not_results() {
+        let script = FaultScript::new(vec![FaultEvent {
+            at_subframe: 0,
+            kind: FaultKind::InferenceStall { factor: 3 },
+        }]);
+        let clean = capture(FaultScript::none(), 60, 33);
+        let stalled = capture(script, 60, 33);
+        let cfg = quick_config();
+        let a = run_blu_robust(&clean, &cfg).unwrap();
+        let b = run_blu_robust(&stalled, &cfg).unwrap();
+        // The stall repeats a deterministic solve: results identical.
+        assert_reports_identical(&a, &b);
+    }
+
+    /// The fleet acceptance criterion: 8 cells, 2 of them faulty (one
+    /// panicking, one panicking *and* 10× stalled). The fleet must
+    /// complete, the healthy six must be byte-identical to a
+    /// fault-free run, and the faulty two must sit in PF fallback
+    /// behind an open breaker — no panic crosses the batch boundary.
+    #[test]
+    fn fleet_isolates_faulty_cells() {
+        let faulty_script = |stall: bool| {
+            let mut events = vec![FaultEvent {
+                at_subframe: 0,
+                kind: FaultKind::InferencePanic { active: true },
+            }];
+            if stall {
+                events.push(FaultEvent {
+                    at_subframe: 0,
+                    kind: FaultKind::InferenceStall { factor: 10 },
+                });
+            }
+            FaultScript::new(events)
+        };
+        let clean_caps: Vec<FaultyCapture> = (0..8)
+            .map(|s| capture(FaultScript::none(), 45, 40 + s))
+            .collect();
+        let faulty_caps: Vec<FaultyCapture> = (0..8)
+            .map(|s| {
+                let script = match s {
+                    2 => faulty_script(false),
+                    5 => faulty_script(true),
+                    _ => FaultScript::none(),
+                };
+                capture(script, 45, 40 + s)
+            })
+            .collect();
+        // Runtime faults must not perturb the captured air itself.
+        for (a, b) in clean_caps.iter().zip(&faulty_caps) {
+            assert_eq!(a.trace.access.len(), b.trace.access.len());
+        }
+        let cfg = quick_config();
+        let clean = run_robust_fleet(&clean_caps, &cfg);
+        let mixed = run_robust_fleet(&faulty_caps, &cfg);
+        assert_eq!(mixed.len(), 8, "fleet must complete");
+        for i in 0..8 {
+            let m = mixed[i].as_ref().unwrap();
+            if i == 2 || i == 5 {
+                assert!(m.inference_panics >= 1, "cell {i} must contain panics");
+                assert_eq!(m.speculative_txops, 0);
+                assert_eq!(m.final_state(), OrchestratorState::Fallback);
+                assert!(
+                    m.breaker_transitions
+                        .iter()
+                        .any(|t| t.to == BreakerState::Open),
+                    "cell {i} breaker must have opened"
+                );
+            } else {
+                assert_reports_identical(m, clean[i].as_ref().unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn kill_and_resume_is_bit_identical() {
+        let script = FaultScript::new(vec![FaultEvent {
+            at_subframe: 20_000,
+            kind: FaultKind::HtAppear {
+                q: 0.6,
+                edges: ClientSet::from_iter([0, 1, 2, 3]),
+            },
+        }]);
+        let cap = capture(script, 90, 50);
+        let cfg = quick_config();
+
+        // Uninterrupted reference run.
+        let mut full = RobustDriver::new(&cap, &cfg).unwrap();
+        while full.step().unwrap() {}
+        let full_report = full.into_report();
+
+        // "Crash" after a few steps: snapshot, drop the driver,
+        // restore from the serialized bytes, continue.
+        let mut first = RobustDriver::new(&cap, &cfg).unwrap();
+        for _ in 0..3 {
+            assert!(first.step().unwrap());
+        }
+        let dir = std::env::temp_dir().join(format!("blu-ckpt-resume-{}", std::process::id()));
+        let path = dir.join("cell-0.json");
+        save_robust_checkpoint(&path, &first.snap).unwrap();
+        drop(first);
+
+        let snap = load_robust_checkpoint(&path).unwrap();
+        let mut resumed = RobustDriver::resume(&cap, &cfg, snap).unwrap();
+        while resumed.step().unwrap() {}
+        let resumed_report = resumed.into_report();
+
+        assert_reports_identical(&full_report, &resumed_report);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpointing_run_matches_plain_run_and_resumes_completed() {
+        let cap = capture(FaultScript::none(), 60, 51);
+        let plain_cfg = quick_config();
+        let plain = run_blu_robust(&cap, &plain_cfg).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("blu-ckpt-full-{}", std::process::id()));
+        let mut ckpt_cfg = quick_config();
+        ckpt_cfg.checkpoint = Some(CheckpointPolicy {
+            dir: dir.clone(),
+            every_subframes: 5_000,
+            resume: false,
+        });
+        let checkpointed = run_blu_robust(&cap, &ckpt_cfg).unwrap();
+        assert_reports_identical(&plain, &checkpointed);
+        assert!(dir.join("cell-0.json").exists(), "clean shutdown persists");
+
+        // Resuming the completed run replays nothing and returns the
+        // identical report.
+        let mut resume_cfg = ckpt_cfg.clone();
+        resume_cfg.checkpoint.as_mut().unwrap().resume = true;
+        let resumed = run_blu_robust(&cap, &resume_cfg).unwrap();
+        assert_reports_identical(&plain, &resumed);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_capture_and_seed() {
+        let cap = capture(FaultScript::none(), 60, 52);
+        let other = capture(FaultScript::none(), 90, 53);
+        let cfg = quick_config();
+        let driver = RobustDriver::new(&cap, &cfg).unwrap();
+        let snap = driver.snap.clone();
+
+        match RobustDriver::resume(&other, &cfg, snap.clone()) {
+            Err(BluError::Checkpoint(msg)) => assert!(msg.contains("different capture")),
+            Err(e) => panic!("expected Checkpoint error, got {e:?}"),
+            Ok(_) => panic!("resume against the wrong capture must fail"),
+        }
+        let mut reseeded = quick_config();
+        reseeded.seed ^= 1;
+        match RobustDriver::resume(&cap, &reseeded, snap) {
+            Err(BluError::Checkpoint(msg)) => assert!(msg.contains("seed")),
+            Err(e) => panic!("expected Checkpoint error, got {e:?}"),
+            Ok(_) => panic!("resume with a reseeded config must fail"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint format stability (satellite d).
+    // ------------------------------------------------------------------
+
+    /// A deterministic snapshot: the fresh pre-step state contains no
+    /// wall-clock fields, so its serialization is a pure function of
+    /// the capture and config.
+    fn fresh_snapshot() -> RobustSnapshot {
+        let cap = capture(FaultScript::none(), 60, 60);
+        let cfg = quick_config();
+        RobustDriver::new(&cap, &cfg).unwrap().snap
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_disk() {
+        let snap = fresh_snapshot();
+        let dir = std::env::temp_dir().join(format!("blu-ckpt-rt-{}", std::process::id()));
+        let path = dir.join("cell-0.json");
+        save_robust_checkpoint(&path, &snap).unwrap();
+        let thawed = load_robust_checkpoint(&path).unwrap();
+        assert_eq!(thawed, snap);
+        // A second save over the same path must stay atomic-valid.
+        save_robust_checkpoint(&path, &thawed).unwrap();
+        assert_eq!(load_robust_checkpoint(&path).unwrap(), snap);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Golden-file pin: the v1 on-disk schema. If this test fails the
+    /// format changed — bump [`CHECKPOINT_VERSION`] (and regenerate
+    /// the golden file with `BLU_REGEN_GOLDEN=1 cargo test -p
+    /// blu-core checkpoint_golden`) rather than silently breaking old
+    /// snapshots.
+    #[test]
+    fn checkpoint_golden_file_round_trips() {
+        let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/checkpoint_v1.json");
+        if std::env::var_os("BLU_REGEN_GOLDEN").is_some() {
+            let doc = RobustCheckpoint {
+                version: CHECKPOINT_VERSION,
+                snapshot: fresh_snapshot(),
+            };
+            let json = serde_json::to_string_pretty(&doc).unwrap();
+            std::fs::create_dir_all(std::path::Path::new(golden_path).parent().unwrap()).unwrap();
+            std::fs::write(golden_path, json + "\n").unwrap();
+        }
+        let golden = &std::fs::read_to_string(golden_path).unwrap();
+        let snap: RobustSnapshot = {
+            let doc: RobustCheckpoint = serde_json::from_str(golden).unwrap();
+            assert_eq!(doc.version, CHECKPOINT_VERSION);
+            doc.snapshot
+        };
+        assert_eq!(snap, fresh_snapshot(), "golden snapshot drifted");
+        // Re-serializing reproduces the golden bytes exactly.
+        let doc = RobustCheckpoint {
+            version: CHECKPOINT_VERSION,
+            snapshot: snap,
+        };
+        assert_eq!(
+            serde_json::to_string_pretty(&doc).unwrap().trim_end(),
+            golden.trim_end(),
+            "serialization of the v1 schema changed"
+        );
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected_before_decode() {
+        let snap = fresh_snapshot();
+        let dir = std::env::temp_dir().join(format!("blu-ckpt-ver-{}", std::process::id()));
+        let path = dir.join("cell-0.json");
+        save_robust_checkpoint(&path, &snap).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let bumped = text.replacen(
+            &format!("\"version\": {CHECKPOINT_VERSION}"),
+            "\"version\": 999",
+            1,
+        );
+        assert_ne!(text, bumped, "version field must be present to tamper");
+        std::fs::write(&path, bumped).unwrap();
+        match load_robust_checkpoint(&path) {
+            Err(BluError::CheckpointVersion { found, expected }) => {
+                assert_eq!(found, 999);
+                assert_eq!(expected, CHECKPOINT_VERSION);
+            }
+            other => panic!("expected CheckpointVersion, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_snapshot_is_a_typed_error_and_tmp_is_ignored() {
+        let snap = fresh_snapshot();
+        let dir = std::env::temp_dir().join(format!("blu-ckpt-torn-{}", std::process::id()));
+        let path = dir.join("cell-0.json");
+        save_robust_checkpoint(&path, &snap).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+
+        // A crash mid-write under the atomic protocol leaves a torn
+        // `.tmp` sibling and the previous complete checkpoint intact.
+        std::fs::write(path.with_extension("tmp"), &text[..text.len() / 2]).unwrap();
+        assert_eq!(load_robust_checkpoint(&path).unwrap(), snap);
+
+        // A genuinely torn target file (pre-atomic-write crash, disk
+        // corruption) must surface as a typed error, not a panic.
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        match load_robust_checkpoint(&path) {
+            Err(BluError::Checkpoint(_)) => {}
+            other => panic!("expected Checkpoint error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

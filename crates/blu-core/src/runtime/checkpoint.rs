@@ -1,0 +1,97 @@
+//! Versioned, atomically written snapshots of the robust
+//! orchestrator.
+//!
+//! An eNB restart must not discard hours of accumulated measurement
+//! evidence, and a resumed run must be **bit-identical** to one that
+//! never stopped — so the snapshot captures every piece of mutable
+//! loop state, including the RNG streams (observation channel, poison
+//! source, breaker jitter), not just the blueprint.
+//!
+//! ## Durability
+//!
+//! Saves are atomic at the filesystem level: the JSON is written to a
+//! `<file>.tmp` sibling and then `rename`d over the target, so a
+//! crash mid-write leaves either the previous complete checkpoint or
+//! a stray temp file — never a torn snapshot at the load path.
+//!
+//! ## Versioning
+//!
+//! The on-disk document is `{"version": N, "snapshot": {…}}`. Loading
+//! first parses to a raw [`serde::Value`] tree and probes `version`
+//! **before** attempting the full typed decode, so a format bump
+//! surfaces as the precise [`BluError::CheckpointVersion`] — not as a
+//! misleading field-by-field decode failure deep inside the snapshot.
+//! Any schema change to [`crate::robust::RobustSnapshot`] that is not
+//! purely additive (the vendored serde ignores unknown fields and
+//! tolerates missing `Option`s) must bump [`CHECKPOINT_VERSION`].
+
+use crate::error::BluError;
+use crate::robust::RobustSnapshot;
+use serde::{Deserialize, Serialize, Value};
+use std::fs;
+use std::path::Path;
+
+/// Snapshot-format version written and required by this build.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// The on-disk checkpoint document: a version tag wrapping the
+/// orchestrator snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RobustCheckpoint {
+    /// Snapshot-format version (see [`CHECKPOINT_VERSION`]).
+    pub version: u32,
+    /// The orchestrator state proper.
+    pub snapshot: RobustSnapshot,
+}
+
+fn io_err(what: &str, path: &Path, e: impl std::fmt::Display) -> BluError {
+    BluError::Checkpoint(format!("{what} {}: {e}", path.display()))
+}
+
+/// Atomically write `snapshot` (wrapped in the current format
+/// version) to `path`: serialize, write to a `.tmp` sibling, fsync,
+/// rename into place.
+pub fn save_robust_checkpoint(path: &Path, snapshot: &RobustSnapshot) -> Result<(), BluError> {
+    let doc = RobustCheckpoint {
+        version: CHECKPOINT_VERSION,
+        snapshot: snapshot.clone(),
+    };
+    let json = serde_json::to_string_pretty(&doc).map_err(|e| io_err("serializing", path, e))?;
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir).map_err(|e| io_err("creating directory for", path, e))?;
+        }
+    }
+    let tmp = path.with_extension("tmp");
+    {
+        use std::io::Write;
+        let mut f = fs::File::create(&tmp).map_err(|e| io_err("creating", &tmp, e))?;
+        f.write_all(json.as_bytes())
+            .map_err(|e| io_err("writing", &tmp, e))?;
+        f.sync_all().map_err(|e| io_err("syncing", &tmp, e))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| io_err("renaming into place", path, e))?;
+    Ok(())
+}
+
+/// Load a checkpoint, verifying the format version before decoding
+/// the snapshot body.
+pub fn load_robust_checkpoint(path: &Path) -> Result<RobustSnapshot, BluError> {
+    let text = fs::read_to_string(path).map_err(|e| io_err("reading", path, e))?;
+    let value: Value = serde_json::from_str(&text).map_err(|e| io_err("parsing", path, e))?;
+    let map = value
+        .as_map()
+        .ok_or_else(|| io_err("decoding", path, "top-level value is not an object"))?;
+    let found = serde::field(map, "version")
+        .and_then(Value::as_u128)
+        .ok_or_else(|| io_err("decoding", path, "missing or non-integer `version` field"))?;
+    if found != u128::from(CHECKPOINT_VERSION) {
+        return Err(BluError::CheckpointVersion {
+            found: u32::try_from(found).unwrap_or(u32::MAX),
+            expected: CHECKPOINT_VERSION,
+        });
+    }
+    let doc: RobustCheckpoint =
+        serde_json::from_value(&value).map_err(|e| io_err("decoding", path, e))?;
+    Ok(doc.snapshot)
+}

@@ -1,0 +1,52 @@
+//! Resilience runtime: the guarantees that keep blue-printing useful
+//! when the environment — or the process — misbehaves.
+//!
+//! The BLU pipeline (measure → blue-print → speculate) assumes
+//! inference finishes, workers don't die, and processes run to
+//! completion. None of those hold at deployment scale: unlicensed-band
+//! access decisions run under hard per-subframe time budgets, a latent
+//! solver bug on one cell must not take down a fleet, and an eNB
+//! restart must not discard hours of accumulated measurement evidence.
+//! This module supplies the three corresponding mechanisms:
+//!
+//! * [`deadline`] — anytime inference: a cheap cancellation token
+//!   checked at proposal granularity, so a deadline overrun degrades
+//!   to a best-so-far blueprint instead of blocking the subframe
+//!   clock;
+//! * [`breaker`] — per-cell circuit breaking: repeatedly failing
+//!   cells are parked in PF fallback behind an exponentially backed
+//!   off, jittered retry schedule instead of burning re-measurement
+//!   budget on every probation cycle;
+//! * [`checkpoint`] — versioned, atomically written snapshots of
+//!   orchestrator state, so `blu robust --resume` continues a run
+//!   bit-identically after a crash.
+//!
+//! All three are deterministic by construction (the breaker's jitter
+//! draws from a seeded [`blu_sim::rng::DetRng`]; the deadline's
+//! step-budget arm never consults a clock), so the repository's
+//! differential-testing discipline extends to its failure paths.
+
+pub mod breaker;
+pub mod checkpoint;
+pub mod deadline;
+
+/// Render a `catch_unwind` payload as a human-readable string.
+///
+/// Panic payloads are almost always `&str` (a literal) or `String`
+/// (a `panic!("{…}")` format); anything else is summarized rather
+/// than re-thrown so the isolation boundary never loses the error.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+pub use breaker::{BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker};
+pub use checkpoint::{
+    load_robust_checkpoint, save_robust_checkpoint, RobustCheckpoint, CHECKPOINT_VERSION,
+};
+pub use deadline::{Deadline, DeadlineToken, DEADLINE_CHECK_EVERY};

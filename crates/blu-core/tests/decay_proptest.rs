@@ -1,0 +1,118 @@
+//! Property tests of estimator decay (staleness windowing, §3.7).
+//!
+//! [`OutcomeEstimator::decay`] ages the accumulated access counters by
+//! a retention factor `keep`. The properties a re-measurement loop
+//! silently relies on:
+//!
+//! * counters never go negative or exceed their pre-decay values —
+//!   decay only forgets, it never invents evidence;
+//! * the `accessed ≤ observed` books invariant survives, so every
+//!   post-decay empirical probability stays inside `[0, 1]`;
+//! * decay is **monotone in `keep`**: retaining more can never leave
+//!   fewer samples, component-wise;
+//! * out-of-range and non-finite `keep` values are clamped into
+//!   `[0, 1]` (NaN retains everything) instead of erasing the books.
+
+use blu_core::measure::OutcomeEstimator;
+use blu_sim::clientset::ClientSet;
+use blu_sim::rng::DetRng;
+use blu_traces::stats::EmpiricalAccess;
+use proptest::prelude::*;
+
+const N: usize = 6;
+
+/// Build an estimator with a random but reproducible history.
+fn seeded_estimator(seed: u64, subframes: u16) -> OutcomeEstimator {
+    let mut rng = DetRng::seed_from_u64(seed);
+    let mut est = OutcomeEstimator::new(N);
+    for _ in 0..subframes {
+        let mut observed = ClientSet::EMPTY;
+        let mut accessed = ClientSet::EMPTY;
+        for ue in 0..N {
+            if rng.chance(0.7) {
+                observed.insert(ue);
+                if rng.chance(0.5) {
+                    accessed.insert(ue);
+                }
+            }
+        }
+        if !observed.is_empty() {
+            est.stats_mut().record(observed, accessed);
+        }
+    }
+    est
+}
+
+fn counters(stats: &EmpiricalAccess) -> Vec<u64> {
+    stats
+        .obs_individual
+        .iter()
+        .chain(&stats.acc_individual)
+        .chain(&stats.obs_pair)
+        .chain(&stats.acc_pair)
+        .copied()
+        .collect()
+}
+
+/// `accessed ≤ observed` for every individual and pair counter.
+fn books_consistent(stats: &EmpiricalAccess) -> bool {
+    stats
+        .acc_individual
+        .iter()
+        .zip(&stats.obs_individual)
+        .chain(stats.acc_pair.iter().zip(&stats.obs_pair))
+        .all(|(a, o)| a <= o)
+}
+
+proptest! {
+    /// Decay only forgets: every counter stays within [0, before],
+    /// and the accessed ≤ observed invariant survives, so all
+    /// empirical probabilities remain valid.
+    #[test]
+    fn decay_never_inflates_or_corrupts(seed in any::<u64>(), subframes in 1u16..200, keep in 0.0f64..1.0) {
+        let mut est = seeded_estimator(seed, subframes);
+        let before = counters(est.stats());
+        est.decay(keep);
+        let after = counters(est.stats());
+        for (b, a) in before.iter().zip(&after) {
+            prop_assert!(a <= b, "decay inflated a counter: {b} -> {a}");
+        }
+        prop_assert!(books_consistent(est.stats()));
+        for ue in 0..N {
+            if let Some(p) = est.stats().p_individual(ue) {
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    /// Monotone in keep: retaining more history never leaves fewer
+    /// samples in any counter.
+    #[test]
+    fn decay_is_monotone_in_keep(seed in any::<u64>(), subframes in 1u16..200, lo in 0.0f64..1.0, hi in 0.0f64..1.0) {
+        let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+        let mut a = seeded_estimator(seed, subframes);
+        let mut b = a.clone();
+        a.decay(lo);
+        b.decay(hi);
+        for (x, y) in counters(a.stats()).iter().zip(&counters(b.stats())) {
+            prop_assert!(x <= y, "keep {lo} left {x} samples but keep {hi} left {y}");
+        }
+    }
+
+    /// Out-of-range keep clamps to the nearest bound; NaN and +inf
+    /// retain everything rather than zeroing the books.
+    #[test]
+    fn out_of_range_keep_is_clamped(seed in any::<u64>(), subframes in 1u16..100) {
+        let reference = seeded_estimator(seed, subframes);
+
+        let mut zeroed = reference.clone();
+        zeroed.decay(-3.5);
+        prop_assert!(counters(zeroed.stats()).iter().all(|&c| c == 0));
+
+        for keep in [2.0, f64::INFINITY, f64::NAN] {
+            let mut kept = reference.clone();
+            kept.decay(keep);
+            prop_assert_eq!(counters(kept.stats()), counters(reference.stats()));
+        }
+    }
+}

@@ -75,6 +75,30 @@ pub enum FaultKind {
         /// Per-subframe drop probability in `[0, 1]`.
         rate: f64,
     },
+    /// From this subframe on, every blueprint inference takes `factor`
+    /// times its normal wall-clock cost (the runtime re-executes the
+    /// solve). Models a CPU-starved or thermally throttled cell;
+    /// results are unchanged, only latency — which is exactly what
+    /// deadline-bounded inference must absorb.
+    InferenceStall {
+        /// Wall-clock multiplier; `1` means no stall.
+        factor: u32,
+    },
+    /// From this subframe on, every blueprint inference panics (when
+    /// `active`). Models a latent solver bug on one cell; the runtime's
+    /// `catch_unwind` isolation must contain it.
+    InferencePanic {
+        /// Whether the panic injector is armed.
+        active: bool,
+    },
+    /// From this subframe on, each constraint target fed to inference
+    /// is replaced with NaN with this rate. Models corrupted
+    /// measurement statistics; the input-sanitization pass must
+    /// quarantine poisoned targets rather than propagate NaN energies.
+    StatPoison {
+        /// Per-constraint poison probability in `[0, 1]`.
+        rate: f64,
+    },
 }
 
 impl FaultKind {
@@ -108,6 +132,36 @@ pub struct ObsFaultState {
     pub misclassify_rate: f64,
     /// Per-subframe report drop probability.
     pub drop_rate: f64,
+}
+
+/// Inference-runtime fault knobs in force at some instant (step
+/// function over [`FaultKind::InferenceStall`] /
+/// [`FaultKind::InferencePanic`] / [`FaultKind::StatPoison`] events).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeFaultState {
+    /// Wall-clock multiplier for each inference (`1` = healthy).
+    pub stall_factor: u32,
+    /// Whether inference panics instead of returning.
+    pub panic: bool,
+    /// Per-constraint NaN-poison probability.
+    pub poison_rate: f64,
+}
+
+impl Default for RuntimeFaultState {
+    fn default() -> Self {
+        RuntimeFaultState {
+            stall_factor: 1,
+            panic: false,
+            poison_rate: 0.0,
+        }
+    }
+}
+
+impl RuntimeFaultState {
+    /// Whether any runtime fault is active.
+    pub fn is_faulty(&self) -> bool {
+        self.stall_factor > 1 || self.panic || self.poison_rate > 0.0
+    }
 }
 
 /// A subframe-ordered fault scenario.
@@ -196,6 +250,15 @@ impl FaultScript {
                 }
                 FaultKind::MisclassifyRate { rate } => check_probability("misclassify rate", rate)?,
                 FaultKind::DropRate { rate } => check_probability("drop rate", rate)?,
+                FaultKind::InferenceStall { factor } => {
+                    if factor == 0 {
+                        return Err(SimError::InvalidConfig(
+                            "InferenceStall factor must be >= 1 (1 = no stall)".into(),
+                        ));
+                    }
+                }
+                FaultKind::InferencePanic { .. } => {}
+                FaultKind::StatPoison { rate } => check_probability("stat poison rate", rate)?,
             }
         }
         Ok(())
@@ -244,6 +307,37 @@ impl FaultScript {
             matches!(
                 e.kind,
                 FaultKind::MisclassifyRate { .. } | FaultKind::DropRate { .. }
+            )
+        })
+    }
+
+    /// The inference-runtime fault knobs in force at subframe `sf`
+    /// (step function over the scripted changes, like
+    /// [`obs_state_at`](Self::obs_state_at)).
+    pub fn runtime_state_at(&self, sf: u64) -> RuntimeFaultState {
+        let mut state = RuntimeFaultState::default();
+        for ev in &self.events {
+            if ev.at_subframe > sf {
+                break;
+            }
+            match ev.kind {
+                FaultKind::InferenceStall { factor } => state.stall_factor = factor.max(1),
+                FaultKind::InferencePanic { active } => state.panic = active,
+                FaultKind::StatPoison { rate } => state.poison_rate = rate,
+                _ => {}
+            }
+        }
+        state
+    }
+
+    /// Whether the script ever faults the inference runtime itself.
+    pub fn has_runtime_faults(&self) -> bool {
+        self.events.iter().any(|e| {
+            matches!(
+                e.kind,
+                FaultKind::InferenceStall { .. }
+                    | FaultKind::InferencePanic { .. }
+                    | FaultKind::StatPoison { .. }
             )
         })
     }
@@ -312,14 +406,19 @@ pub fn apply_topology_fault(
             topo.hts[ht].edges = ClientSet(e.0 ^ toggle.0);
             Ok(true)
         }
-        FaultKind::MisclassifyRate { .. } | FaultKind::DropRate { .. } => Ok(false),
+        FaultKind::MisclassifyRate { .. }
+        | FaultKind::DropRate { .. }
+        | FaultKind::InferenceStall { .. }
+        | FaultKind::InferencePanic { .. }
+        | FaultKind::StatPoison { .. } => Ok(false),
     }
 }
 
 /// The observation corruption channel: everything between the PHY's
 /// true CCA outcome and the estimator's books. Deterministic given
-/// its RNG stream.
-#[derive(Debug, Clone)]
+/// its RNG stream; serializable so checkpoint/restore can freeze the
+/// stream mid-run and resume bit-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ObservationChannel {
     rng: DetRng,
 }
@@ -568,6 +667,114 @@ mod tests {
         let accessible = ClientSet::singleton(0);
         let (_, acc) = ch.corrupt(state, observed, accessible).unwrap();
         assert_eq!(acc, ClientSet::singleton(1));
+    }
+
+    #[test]
+    fn runtime_state_is_a_step_function() {
+        let script = FaultScript::new(vec![
+            FaultEvent {
+                at_subframe: 100,
+                kind: FaultKind::InferenceStall { factor: 10 },
+            },
+            FaultEvent {
+                at_subframe: 300,
+                kind: FaultKind::InferencePanic { active: true },
+            },
+            FaultEvent {
+                at_subframe: 500,
+                kind: FaultKind::StatPoison { rate: 0.5 },
+            },
+            FaultEvent {
+                at_subframe: 700,
+                kind: FaultKind::InferencePanic { active: false },
+            },
+        ]);
+        assert!(script.has_runtime_faults());
+        assert!(!script.runtime_state_at(0).is_faulty());
+        assert_eq!(script.runtime_state_at(99), RuntimeFaultState::default());
+        assert_eq!(script.runtime_state_at(100).stall_factor, 10);
+        assert!(!script.runtime_state_at(299).panic);
+        assert!(script.runtime_state_at(300).panic);
+        let mid = script.runtime_state_at(600);
+        assert!(mid.panic && mid.stall_factor == 10 && mid.poison_rate == 0.5);
+        let late = script.runtime_state_at(9_999);
+        assert!(!late.panic, "panic disarmed at 700");
+        assert_eq!(late.stall_factor, 10);
+        assert!(late.is_faulty());
+    }
+
+    #[test]
+    fn runtime_faults_validate_and_stay_non_topological() {
+        let script = FaultScript::new(vec![
+            FaultEvent {
+                at_subframe: 0,
+                kind: FaultKind::InferenceStall { factor: 10 },
+            },
+            FaultEvent {
+                at_subframe: 0,
+                kind: FaultKind::InferencePanic { active: true },
+            },
+            FaultEvent {
+                at_subframe: 0,
+                kind: FaultKind::StatPoison { rate: 0.25 },
+            },
+        ]);
+        assert_eq!(script.validate(4, 2), Ok(()));
+        assert!(script.topology_event_subframes().is_empty());
+        for ev in &script.events {
+            assert!(!ev.kind.is_topological());
+            let mut topo = base_topo();
+            let before = topo.clone();
+            assert!(!apply_topology_fault(&mut topo, &ev.kind).unwrap());
+            assert_eq!(topo, before);
+        }
+
+        let zero_stall = FaultScript::new(vec![FaultEvent {
+            at_subframe: 0,
+            kind: FaultKind::InferenceStall { factor: 0 },
+        }]);
+        assert!(zero_stall.validate(4, 2).is_err());
+
+        let bad_poison = FaultScript::new(vec![FaultEvent {
+            at_subframe: 0,
+            kind: FaultKind::StatPoison { rate: f64::NAN },
+        }]);
+        assert!(bad_poison.validate(4, 2).is_err());
+    }
+
+    #[test]
+    fn rng_and_channel_round_trip_through_serde() {
+        // Freeze a channel mid-stream, thaw it, and check both copies
+        // continue identically — the property checkpoint/restore
+        // leans on.
+        let state = ObsFaultState {
+            misclassify_rate: 0.3,
+            drop_rate: 0.1,
+        };
+        let observed = ClientSet::from_iter([0, 1, 2]);
+        let accessible = ClientSet::from_iter([0, 2]);
+        let mut ch = ObservationChannel::new(DetRng::seed_from_u64(77));
+        for _ in 0..57 {
+            ch.corrupt(state, observed, accessible);
+        }
+        let json = serde_json::to_string(&ch).unwrap();
+        let mut thawed: ObservationChannel = serde_json::from_str(&json).unwrap();
+        assert_eq!(thawed, ch);
+        for _ in 0..200 {
+            assert_eq!(
+                thawed.corrupt(state, observed, accessible),
+                ch.corrupt(state, observed, accessible)
+            );
+        }
+
+        // Same for a bare DetRng with a cached Gaussian spare.
+        let mut rng = DetRng::seed_from_u64(5);
+        let _ = rng.gaussian(); // populates gauss_spare
+        let json = serde_json::to_string(&rng).unwrap();
+        let mut thawed: DetRng = serde_json::from_str(&json).unwrap();
+        assert_eq!(thawed, rng);
+        assert_eq!(thawed.gaussian(), rng.gaussian());
+        assert_eq!(thawed.f64(), rng.f64());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! dependency).
 
 use rand::RngCore;
+use serde::{Deserialize, Serialize};
 
 /// SplitMix64 step: used for seed expansion and stream derivation.
 fn splitmix64(state: &mut u64) -> u64 {
@@ -24,7 +25,13 @@ fn splitmix64(state: &mut u64) -> u64 {
 }
 
 /// Deterministic PRNG (xoshiro256++) with stream derivation.
-#[derive(Debug, Clone)]
+///
+/// Serializable so that checkpoint/restore (see `blu-core`'s runtime
+/// layer) can freeze and resume a stream mid-flight: the snapshot
+/// captures the full generator state including the cached Box–Muller
+/// spare, so a resumed stream is bit-identical to an uninterrupted
+/// one.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DetRng {
     s: [u64; 4],
     /// Cached second Gaussian variate from Box–Muller.

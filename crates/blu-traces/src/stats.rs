@@ -8,13 +8,14 @@
 
 use crate::schema::AccessTrace;
 use blu_sim::clientset::ClientSet;
+use serde::{Deserialize, Serialize};
 
 /// Empirical access statistics accumulated from (a window of) an
 /// access trace. Counts are over sub-frames in which the clients in
 /// question were *observed* — for a full trace every sub-frame
 /// observes every client; the measurement scheduler in `blu-core`
 /// feeds partial observations instead.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct EmpiricalAccess {
     /// Number of clients.
     pub n: usize,
@@ -111,9 +112,21 @@ impl EmpiricalAccess {
     /// observations from a pre-drift environment stop dominating the
     /// empirical probabilities while recent evidence is retained
     /// (staleness windowing, §3.7). `keep = 0` forgets everything;
-    /// `keep = 1` is a no-op. Out-of-range values are clamped.
+    /// `keep = 1` is a no-op. Out-of-range values are clamped, and a
+    /// non-finite `keep` (NaN/±inf from an upstream arithmetic bug) is
+    /// treated as "retain everything" rather than silently zeroing the
+    /// books — note `NaN.clamp(0.0, 1.0)` stays NaN and `NaN as u64`
+    /// saturates to 0, so without this guard a single NaN would erase
+    /// every counter.
     pub fn decay(&mut self, keep: f64) {
-        let keep = keep.clamp(0.0, 1.0);
+        let keep = if keep.is_nan() {
+            1.0
+        } else {
+            keep.clamp(0.0, 1.0)
+        };
+        if keep == 1.0 {
+            return;
+        }
         let scale = |c: &mut u64| *c = (*c as f64 * keep).floor() as u64;
         self.obs_individual.iter_mut().for_each(scale);
         self.acc_individual.iter_mut().for_each(scale);

@@ -42,7 +42,7 @@ fn main() {
     println!(
         "Algorithm 1: {} sub-frames to give every pair 50 joint samples (floor {})",
         plan.t_max(),
-        min_subframes(n, 8.min(n), 50)
+        min_subframes(n, 8.min(n), 50).expect("floor")
     );
 
     // 2. Measure from grant outcomes (here: a long, accurate phase).

@@ -154,7 +154,7 @@ proptest! {
         let plan = measurement_schedule(n, k, t).unwrap();
         prop_assert!(plan.pair_counts.iter().all(|&c| c >= t));
         prop_assert!(plan.subframes.iter().all(|s| s.len() == k.min(n)));
-        let floor = min_subframes(n, k.min(n), t);
+        let floor = min_subframes(n, k.min(n), t).unwrap();
         prop_assert!(plan.t_max() <= 2 * floor + 2,
             "t_max {} vs floor {}", plan.t_max(), floor);
     }
