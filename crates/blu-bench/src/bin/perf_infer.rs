@@ -50,8 +50,10 @@ struct BenchInfer {
     incremental_proposals_per_sec: f64,
     scratch_proposals_per_sec: f64,
     mcmc_speedup: f64,
-    // Multi-cell batch inference (gradient backend per cell).
+    // Multi-cell batch inference (gradient backend per cell),
+    // best-of-`batch_rounds` alternating measurement.
     batch_cells: u64,
+    batch_rounds: u64,
     batch_cells_per_sec: f64,
     sequential_cells_per_sec: f64,
     batch_speedup: f64,
@@ -124,8 +126,9 @@ fn main() {
     let scr_pps = proposals / scr_secs.max(1e-9);
 
     // Batch inference: one constraint system per cell, gradient
-    // backend, parallel fan-out vs sequential reference.
-    let batch_cells = args.scaled(16, 4);
+    // backend, sharded fan-out with per-shard scratch vs sequential
+    // reference.
+    let batch_cells = args.scaled(16, 8);
     let systems: Vec<ConstraintSystem> = (0..batch_cells)
         .map(|c| {
             let mut rng = DetRng::seed_from_u64(args.seed + 100 + c);
@@ -134,14 +137,36 @@ fn main() {
         })
         .collect();
     let icfg = InferenceConfig::default();
-    let (_, par_secs) = time_secs(|| std::hint::black_box(infer_batch(&systems, &icfg)));
-    let (_, seq_secs) = time_secs(|| {
-        std::hint::black_box(infer_batch_sequential(
-            &systems,
-            &icfg,
-            &InferenceBackend::Gradient,
-        ))
-    });
+    // Untimed warm-up of both paths: fault in code/data pages and
+    // spin up the shard threads once, so neither timed pass pays
+    // first-run costs the other doesn't.
+    std::hint::black_box(infer_batch(&systems, &icfg));
+    std::hint::black_box(infer_batch_sequential(
+        &systems,
+        &icfg,
+        &InferenceBackend::Gradient,
+    ));
+    // Alternating min-of-rounds: the per-cell math of the two paths
+    // is pinned bit-identical by the differential tests, so the
+    // measurement must reject scheduler noise rather than average it
+    // in. Interleaving cancels frequency drift between the paths and
+    // the minimum is robust to one-sided interference on a loaded
+    // host.
+    let batch_rounds = args.scaled(7, 3);
+    let mut par_secs = f64::INFINITY;
+    let mut seq_secs = f64::INFINITY;
+    for _ in 0..batch_rounds {
+        let (_, p) = time_secs(|| std::hint::black_box(infer_batch(&systems, &icfg)));
+        let (_, s) = time_secs(|| {
+            std::hint::black_box(infer_batch_sequential(
+                &systems,
+                &icfg,
+                &InferenceBackend::Gradient,
+            ))
+        });
+        par_secs = par_secs.min(p);
+        seq_secs = seq_secs.min(s);
+    }
     let par_cps = batch_cells as f64 / par_secs.max(1e-9);
     let seq_cps = batch_cells as f64 / seq_secs.max(1e-9);
 
@@ -156,6 +181,7 @@ fn main() {
         scratch_proposals_per_sec: scr_pps,
         mcmc_speedup: inc_pps / scr_pps.max(1e-9),
         batch_cells,
+        batch_rounds,
         batch_cells_per_sec: par_cps,
         sequential_cells_per_sec: seq_cps,
         batch_speedup: par_cps / seq_cps.max(1e-9),

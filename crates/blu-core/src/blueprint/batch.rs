@@ -1,31 +1,43 @@
-//! Parallel multi-cell batch inference with per-cell panic isolation.
+//! Sharded multi-cell batch inference with per-cell panic isolation
+//! and per-shard scratch reuse.
 //!
 //! At deployment scale one eNB process blue-prints many cells — and
 //! PR-1's degraded-mode orchestration re-triggers inference on every
 //! drift event, so re-measurement storms arrive in bursts of
 //! independent per-cell problems. This module fans those problems out
-//! across the `vendor/rayon` worker pool.
+//! across the engine's [`FleetEngine`] shards. Each shard owns one
+//! [`InferScratch`] for its whole chunk of cells, so the gradient
+//! path's flat buffers (residual tracker, refinement arrays) are
+//! allocated once per shard instead of once per cell — which is also
+//! why the batch front end beats the sequential reference even on a
+//! single hardware thread.
 //!
 //! **Isolation contract:** each cell's inference runs under
-//! `catch_unwind` *inside* the worker closure (the rayon shim joins
-//! workers with `expect`, so a panic that escaped the closure would
+//! `catch_unwind` *inside* the shard closure (the fleet engine joins
+//! shards with `expect`, so a panic that escaped the closure would
 //! abort the whole batch); a panicking cell comes back as
 //! [`BluError::Panicked`] while every other cell's result is
-//! untouched. A config rejected by [`InferenceConfig::validate`] is
+//! untouched — a panic mid-inference leaves the shard's scratch
+//! empty, never corrupt, so subsequent cells on the shard are
+//! unaffected. A config rejected by [`InferenceConfig::validate`] is
 //! reported uniformly for all cells without spawning any work.
 //!
 //! **Determinism contract:** each cell's inference is a pure function
-//! of its [`ConstraintSystem`] (and the backend's seed); the rayon
-//! shim materializes the input, splits it into contiguous chunks, and
-//! joins worker threads in spawn order, so
+//! of its [`ConstraintSystem`] (and the backend's seed); the fleet
+//! engine materializes the input, splits it into contiguous chunks,
+//! and joins shard threads in spawn order, so
 //! [`infer_batch`] returns results **in input order, byte-identical**
 //! to the sequential reference [`infer_batch_sequential`] — the
-//! fan-out reorders wall-clock execution, never results. The
-//! differential tests below pin this.
+//! fan-out reorders wall-clock execution, and the scratch recycles
+//! allocations, but neither ever changes results. The differential
+//! tests below pin this.
 
 use crate::blueprint::constraints::ConstraintSystem;
-use crate::blueprint::infer::{InferenceConfig, InferenceResult};
+use crate::blueprint::infer::{
+    infer_topology_with, InferScratch, InferenceConfig, InferenceResult,
+};
 use crate::blueprint::InferenceBackend;
+use crate::engine::FleetEngine;
 use crate::error::BluError;
 use crate::runtime::panic_message;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -40,6 +52,25 @@ pub(crate) fn guarded_infer(
         .map_err(|payload| BluError::Panicked(panic_message(payload.as_ref())))
 }
 
+/// [`guarded_infer`] with shard-local scratch: the gradient backend
+/// runs through [`infer_topology_with`] so its buffers are recycled
+/// across the shard's cells; the MCMC backend keeps its own state and
+/// takes the plain path.
+fn guarded_infer_scratch(
+    sys: &ConstraintSystem,
+    config: &InferenceConfig,
+    backend: &InferenceBackend,
+    scratch: &mut InferScratch,
+) -> Result<InferenceResult, BluError> {
+    match backend {
+        InferenceBackend::Gradient => catch_unwind(AssertUnwindSafe(|| {
+            infer_topology_with(sys, config, scratch)
+        }))
+        .map_err(|payload| BluError::Panicked(panic_message(payload.as_ref()))),
+        other => guarded_infer(sys, config, other),
+    }
+}
+
 /// Infer every cell's topology in parallel with the default
 /// (gradient) backend; results in input order, one `Result` per cell.
 pub fn infer_batch(
@@ -49,22 +80,22 @@ pub fn infer_batch(
     infer_batch_with(systems, config, &InferenceBackend::Gradient)
 }
 
-/// Infer every cell's topology in parallel with an explicit backend;
-/// results in input order, one `Result` per cell. A per-cell panic is
-/// contained and surfaces as that cell's [`BluError::Panicked`].
+/// Infer every cell's topology across the fleet shards with an
+/// explicit backend; results in input order, one `Result` per cell. A
+/// per-cell panic is contained and surfaces as that cell's
+/// [`BluError::Panicked`].
 pub fn infer_batch_with(
     systems: &[ConstraintSystem],
     config: &InferenceConfig,
     backend: &InferenceBackend,
 ) -> Vec<Result<InferenceResult, BluError>> {
-    use rayon::prelude::*;
     if let Err(e) = config.validate() {
         return systems.iter().map(|_| Err(e.clone())).collect();
     }
-    systems
-        .par_iter()
-        .map(|sys| guarded_infer(sys, config, backend))
-        .collect()
+    let items: Vec<&ConstraintSystem> = systems.iter().collect();
+    FleetEngine::run(items, InferScratch::default, |scratch, sys| {
+        guarded_infer_scratch(sys, config, backend, scratch)
+    })
 }
 
 /// Sequential reference for [`infer_batch_with`] — kept alive for
@@ -144,6 +175,27 @@ mod tests {
             let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
             assert_eq!(a.topology, b.topology);
             assert_eq!(a.violation.to_bits(), b.violation.to_bits());
+        }
+    }
+
+    /// One scratch carried across heterogeneous cells (including a
+    /// different client count, which forces a buffer rebind to a new
+    /// shape) must reproduce the scratch-free path bit for bit.
+    #[test]
+    fn scratch_reuse_is_bit_identical_across_heterogeneous_cells() {
+        let mut sys = systems(4);
+        let mut rng = DetRng::seed_from_u64(900);
+        let big = InterferenceTopology::random(9, 5, (0.15, 0.6), 0.4, &mut rng);
+        sys.push(ConstraintSystem::from_topology(&big));
+        let cfg = InferenceConfig::default();
+        let mut scratch = InferScratch::default();
+        for s in &sys {
+            let with = infer_topology_with(s, &cfg, &mut scratch);
+            let plain = crate::blueprint::infer::infer_topology(s, &cfg);
+            assert_eq!(with.topology, plain.topology);
+            assert_eq!(with.violation.to_bits(), plain.violation.to_bits());
+            assert_eq!(with.verdict, plain.verdict);
+            assert_eq!(with.iterations, plain.iterations);
         }
     }
 

@@ -15,7 +15,7 @@
 use crate::blueprint::constraints::{
     ConstraintRef, ConstraintSystem, TransformedHt, TransformedTopology,
 };
-use crate::blueprint::residual::ResidualTracker;
+use crate::blueprint::residual::{ResidualTracker, TrackerBuffers};
 use crate::error::BluError;
 use crate::runtime::deadline::{Deadline, DeadlineToken};
 use blu_sim::clientset::ClientSet;
@@ -498,18 +498,70 @@ impl<'t, 'a> Repairer<'t, 'a> {
     }
 }
 
+/// Reusable working memory for one inference worker: the residual
+/// tracker's flat buffers plus the weight-refinement arrays and
+/// coverage table. One scratch serves any number of successive cells
+/// ([`infer_topology_with`] rebinds it to each cell's constraint
+/// system), so a batch shard allocates once instead of per cell.
+/// Results are **bit-identical** to the scratch-free reference
+/// entry points — only the allocations and the refinement kernel's
+/// memory layout differ, never the floating-point operation order.
+#[derive(Debug, Default)]
+pub struct InferScratch {
+    tracker: TrackerBuffers,
+    refine: RefineScratch,
+}
+
+/// Reusable buffers of [`refine_weights_with`]: the flattened
+/// constraint target list, the weight vector, the gradient, and the
+/// constraint × terminal coverage table.
+#[derive(Debug, Default)]
+struct RefineScratch {
+    constraints: Vec<(ConstraintRef, f64)>,
+    q: Vec<f64>,
+    grad: Vec<f64>,
+    covers: Vec<bool>,
+}
+
 /// Local polish: single-edge toggles on the inferred terminals,
 /// accepted whenever they reduce total violation, interleaved with
 /// weight re-fits. The strict exact-edge-set metric is most often
 /// lost to exactly one wrong edge; this pass repairs those directly.
 pub fn polish(sys: &ConstraintSystem, topo: &mut TransformedTopology, passes: usize) {
     let mut tracker = ResidualTracker::new(sys);
-    polish_with(&mut tracker, topo, passes);
+    polish_plain(&mut tracker, topo, passes);
 }
 
-/// [`polish`] against a caller-provided tracker (buffer reuse across
-/// restarts of [`infer_topology`]).
-fn polish_with(tracker: &mut ResidualTracker<'_>, topo: &mut TransformedTopology, passes: usize) {
+/// [`polish`] against a caller-provided tracker, re-fitting weights
+/// through the plain [`refine_weights`] — the reference path of
+/// [`infer_topology`].
+fn polish_plain(tracker: &mut ResidualTracker<'_>, topo: &mut TransformedTopology, passes: usize) {
+    polish_impl(tracker, topo, passes, &mut |sys, topo| {
+        refine_weights(sys, topo)
+    });
+}
+
+/// [`polish`] against a caller-provided tracker and refinement
+/// scratch — the fast path of [`infer_topology_with`].
+fn polish_with(
+    tracker: &mut ResidualTracker<'_>,
+    topo: &mut TransformedTopology,
+    passes: usize,
+    refine: &mut RefineScratch,
+) {
+    polish_impl(tracker, topo, passes, &mut |sys, topo| {
+        refine_weights_with(sys, topo, refine)
+    });
+}
+
+/// The shared polish loop, parameterized over the weight re-fit so
+/// the reference and scratch paths drive identical toggle sequences.
+fn polish_impl(
+    tracker: &mut ResidualTracker<'_>,
+    topo: &mut TransformedTopology,
+    passes: usize,
+    refine: &mut dyn FnMut(&ConstraintSystem, &mut TransformedTopology),
+) {
     let sys = tracker.sys();
     for _ in 0..passes {
         let mut improved = false;
@@ -536,7 +588,7 @@ fn polish_with(tracker: &mut ResidualTracker<'_>, topo: &mut TransformedTopology
             }
         }
         *topo = r.topo;
-        refine_weights(sys, topo);
+        refine(sys, topo);
         if !improved {
             break;
         }
@@ -547,6 +599,10 @@ fn polish_with(tracker: &mut ResidualTracker<'_>, topo: &mut TransformedTopology
 /// the edge structure held fixed (projected gradient on the linear
 /// system of Eqn. 6). Cleans up weight error left by the
 /// combinatorial repair.
+///
+/// This is the plain reference implementation;
+/// [`refine_weights_with`] is the scratch-backed fast path that
+/// produces bit-identical weights.
 pub fn refine_weights(sys: &ConstraintSystem, topo: &mut TransformedTopology) {
     let h = topo.hts.len();
     if h == 0 {
@@ -611,12 +667,100 @@ pub fn refine_weights(sys: &ConstraintSystem, topo: &mut TransformedTopology) {
     topo.prune(MIN_WEIGHT);
 }
 
+/// [`refine_weights`] against caller-provided scratch. The coverage
+/// table (which terminal contributes to which constraint) is filled
+/// once up front — the edge structure is held fixed here, so the 400
+/// gradient iterations read it instead of re-testing bitsets — and
+/// every buffer is recycled across calls. Iteration order (constraints
+/// canonical, terminals ascending) matches [`refine_weights`]'s
+/// historical loop exactly, so the refined weights are bit-identical.
+fn refine_weights_with(
+    sys: &ConstraintSystem,
+    topo: &mut TransformedTopology,
+    scratch: &mut RefineScratch,
+) {
+    let h = topo.hts.len();
+    if h == 0 {
+        return;
+    }
+    // Rows: every constraint; columns: HTs. Entry 1 if HT contributes.
+    let contributes = |c: ConstraintRef, ht: &TransformedHt| -> bool {
+        match c {
+            ConstraintRef::Individual(i) => ht.edges.contains(i),
+            ConstraintRef::Pair(i, j) => ht.edges.contains(i) && ht.edges.contains(j),
+            ConstraintRef::Triple(t) => {
+                let (i, j, k) = sys.triples[t].clients;
+                ht.edges.contains(i) && ht.edges.contains(j) && ht.edges.contains(k)
+            }
+        }
+    };
+    let constraints = &mut scratch.constraints;
+    constraints.clear();
+    constraints.extend(sys.all_constraints().map(|c| {
+        let target = match c {
+            ConstraintRef::Individual(i) => sys.individual[i],
+            ConstraintRef::Pair(i, j) => sys.pair[pair_index(sys.n, i, j)],
+            ConstraintRef::Triple(t) => sys.triples[t].target,
+        };
+        (c, target)
+    }));
+    let covers = &mut scratch.covers;
+    covers.clear();
+    for &(c, _) in constraints.iter() {
+        covers.extend(topo.hts.iter().map(|ht| contributes(c, ht)));
+    }
+    let q = &mut scratch.q;
+    q.clear();
+    q.extend(topo.hts.iter().map(|ht| ht.q_t));
+    // Lipschitz-safe step: 1 / (max column count × rows touched).
+    let step = 1.0 / (constraints.len() as f64).max(1.0);
+    // One gradient buffer for all 400 iterations.
+    let grad = &mut scratch.grad;
+    grad.clear();
+    grad.resize(h, 0.0);
+    for _ in 0..400 {
+        grad.iter_mut().for_each(|g| *g = 0.0);
+        for (row, &(_, target)) in constraints.iter().enumerate() {
+            let cover = &covers[row * h..(row + 1) * h];
+            let mut contrib = 0.0;
+            for k in 0..h {
+                if cover[k] {
+                    contrib += q[k];
+                }
+            }
+            let r = contrib - target;
+            for k in 0..h {
+                if cover[k] {
+                    grad[k] += 2.0 * r;
+                }
+            }
+        }
+        let mut moved = 0.0;
+        for k in 0..h {
+            let new = (q[k] - step * grad[k]).max(0.0);
+            moved += (new - q[k]).abs();
+            q[k] = new;
+        }
+        if moved < 1e-10 {
+            break;
+        }
+    }
+    for (k, ht) in topo.hts.iter_mut().enumerate() {
+        ht.q_t = q[k];
+    }
+    topo.prune(MIN_WEIGHT);
+}
+
 /// Full inference: multi-point initialization (see
 /// [`crate::blueprint::init`]), repair from each start, pick the
 /// topology with the smallest violation, breaking ties toward fewer
 /// hidden terminals; optionally refine weights. One
 /// [`ResidualTracker`] is allocated for the whole run and reset per
 /// restart.
+///
+/// This is the plain reference entry point; batch workers use
+/// [`infer_topology_with`], which returns bit-identical results from
+/// recycled working memory.
 pub fn infer_topology(sys: &ConstraintSystem, config: &InferenceConfig) -> InferenceResult {
     let starts = crate::blueprint::init::starting_topologies(sys, config.random_restarts);
     let restarts = starts.len();
@@ -632,7 +776,7 @@ pub fn infer_topology(sys: &ConstraintSystem, config: &InferenceConfig) -> Infer
         // the anytime contract is "best repaired state so far, now".
         if config.refine_weights && v > config.epsilon && !token.expired() {
             refine_weights(sys, &mut topo);
-            polish_with(&mut tracker, &mut topo, 6);
+            polish_plain(&mut tracker, &mut topo, 6);
             v = sys.total_violation(&topo);
         }
         let better = match &best {
@@ -654,6 +798,73 @@ pub fn infer_topology(sys: &ConstraintSystem, config: &InferenceConfig) -> Infer
             break;
         }
     }
+    // `starting_topologies` always yields at least the empty start,
+    // but a pathological constraint system must degrade, not panic.
+    let (topo, violation) =
+        best.unwrap_or_else(|| (TransformedTopology { hts: Vec::new() }, f64::INFINITY));
+    let (residual_fraction, verdict) = classify(sys, violation, config);
+    InferenceResult {
+        topology: topo.to_topology(sys.n).canonicalize(),
+        violation,
+        iterations: total_iters,
+        restarts,
+        residual_fraction,
+        verdict,
+        completed: !token.expired(),
+        overshoot: token.overshoot(),
+    }
+}
+
+/// [`infer_topology`] against caller-provided scratch: the tracker's
+/// flat buffers are rebound to this cell's constraint system instead
+/// of allocated, and weight refinement runs its coverage-table kernel
+/// ([`refine_weights_with`]) from recycled arrays — so a worker
+/// blue-printing many cells in a row pays the allocations once and
+/// skips the per-iteration bitset re-tests. Bit-identical to
+/// [`infer_topology`] (pinned by the batch differential tests).
+pub fn infer_topology_with(
+    sys: &ConstraintSystem,
+    config: &InferenceConfig,
+    scratch: &mut InferScratch,
+) -> InferenceResult {
+    let starts = crate::blueprint::init::starting_topologies(sys, config.random_restarts);
+    let restarts = starts.len();
+    let mut tracker = ResidualTracker::rebind(sys, std::mem::take(&mut scratch.tracker));
+    let mut best: Option<(TransformedTopology, f64)> = None;
+    let mut total_iters = 0;
+    let mut token = config.deadline.token();
+    for start in starts {
+        let repairer = Repairer::new(&mut tracker, start);
+        let (mut topo, mut v, iters) = repairer.run(config.max_iters, config.epsilon, &mut token);
+        total_iters += iters;
+        // Skip the (unbudgeted) refinement pass once out of budget:
+        // the anytime contract is "best repaired state so far, now".
+        if config.refine_weights && v > config.epsilon && !token.expired() {
+            refine_weights_with(sys, &mut topo, &mut scratch.refine);
+            polish_with(&mut tracker, &mut topo, 6, &mut scratch.refine);
+            v = sys.total_violation(&topo);
+        }
+        let better = match &best {
+            None => true,
+            Some((bt, bv)) => {
+                // Smallest violation wins; near-ties go to fewer HTs.
+                v < bv - config.epsilon
+                    || ((v - bv).abs() <= config.epsilon && topo.hts.len() < bt.hts.len())
+            }
+        };
+        if better {
+            let stop = v < config.epsilon;
+            best = Some((topo, v));
+            if stop {
+                break;
+            }
+        }
+        if token.expired() {
+            break;
+        }
+    }
+    // Hand the flat buffers back for the next cell on this scratch.
+    scratch.tracker = tracker.into_buffers();
     // `starting_topologies` always yields at least the empty start,
     // but a pathological constraint system must degrade, not panic.
     let (topo, violation) =

@@ -27,9 +27,11 @@ pub mod transform;
 pub use accuracy::topology_accuracy;
 pub use batch::{infer_batch, infer_batch_sequential, infer_batch_with};
 pub use constraints::ConstraintSystem;
-pub use infer::{infer_topology, InferenceConfig, InferenceResult};
+pub use infer::{
+    infer_topology, infer_topology_with, InferScratch, InferenceConfig, InferenceResult,
+};
 pub use mcmc::{infer_mcmc, infer_mcmc_result, McmcConfig};
-pub use residual::ResidualTracker;
+pub use residual::{ResidualTracker, TrackerBuffers};
 
 /// Which inference engine turns a constraint system into a topology.
 ///

@@ -62,6 +62,19 @@ fn for_each_pair(edges: ClientSet, mut f: impl FnMut(usize, usize)) {
     }
 }
 
+/// The owned flat buffers of a [`ResidualTracker`], detached from any
+/// constraint system so they can be recycled across cells of a batch
+/// (see [`ResidualTracker::rebind`]). A default value is simply empty
+/// buffers; rebinding grows them to the target system's shape and
+/// they stay at high-water-mark capacity from then on.
+#[derive(Debug, Clone, Default)]
+pub struct TrackerBuffers {
+    ind: Vec<f64>,
+    pair: Vec<f64>,
+    triple: Vec<f64>,
+    triple_masks: Vec<ClientSet>,
+}
+
 /// Residuals of a candidate topology against a constraint system,
 /// maintained incrementally under topology edits.
 #[derive(Debug, Clone)]
@@ -82,19 +95,43 @@ impl<'a> ResidualTracker<'a> {
     /// Tracker for the **empty** topology: every residual starts at
     /// `−target`.
     pub fn new(sys: &'a ConstraintSystem) -> Self {
+        Self::rebind(sys, TrackerBuffers::default())
+    }
+
+    /// Tracker for the empty topology of `sys`, recycling the flat
+    /// buffers of a previous tracker (possibly bound to a *different*
+    /// system — the buffers are cleared and refilled to `sys`'s
+    /// shape). The residual values are identical to
+    /// [`new`][Self::new]; only the allocation is reused.
+    pub fn rebind(sys: &'a ConstraintSystem, mut bufs: TrackerBuffers) -> Self {
+        bufs.ind.clear();
+        bufs.ind.extend(sys.individual.iter().map(|t| -t));
+        bufs.pair.clear();
+        bufs.pair.extend(sys.pair.iter().map(|t| -t));
+        bufs.triple.clear();
+        bufs.triple.extend(sys.triples.iter().map(|t| -t.target));
+        bufs.triple_masks.clear();
+        bufs.triple_masks.extend(sys.triples.iter().map(|t| {
+            let (i, j, k) = t.clients;
+            ClientSet::from_iter([i, j, k])
+        }));
         ResidualTracker {
             sys,
-            ind: sys.individual.iter().map(|t| -t).collect(),
-            pair: sys.pair.iter().map(|t| -t).collect(),
-            triple: sys.triples.iter().map(|t| -t.target).collect(),
-            triple_masks: sys
-                .triples
-                .iter()
-                .map(|t| {
-                    let (i, j, k) = t.clients;
-                    ClientSet::from_iter([i, j, k])
-                })
-                .collect(),
+            ind: bufs.ind,
+            pair: bufs.pair,
+            triple: bufs.triple,
+            triple_masks: bufs.triple_masks,
+        }
+    }
+
+    /// Detach the flat buffers for recycling into the next
+    /// [`rebind`][Self::rebind].
+    pub fn into_buffers(self) -> TrackerBuffers {
+        TrackerBuffers {
+            ind: self.ind,
+            pair: self.pair,
+            triple: self.triple,
+            triple_masks: self.triple_masks,
         }
     }
 

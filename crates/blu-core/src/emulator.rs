@@ -8,24 +8,22 @@
 //! produce fading losses, not blocking), PF averaging of delivered
 //! throughput, and the utilization/throughput accounting behind
 //! Figs. 10–13 and 15–18.
+//!
+//! The sub-frame loop itself lives in
+//! [`crate::engine::CellEngine`] — this module is the emulation
+//! facade over it: [`Emulator::run`] is a back-to-back engine
+//! segment, [`Emulator::run_contended`] the same segment in LBT
+//! [`AccessMode::Contended`] mode, and [`run_trials`] fans
+//! independent trials across the [`FleetEngine`].
 
+use crate::engine::{AccessMode, CellEngine, FleetEngine, NullObserver};
 use crate::error::BluError;
 use crate::measure::OutcomeEstimator;
 use crate::metrics::UplinkMetrics;
-use crate::sched::{mimo_penalty, MatrixRates, PfAverager, SchedInput, UlScheduler};
+use crate::sched::UlScheduler;
 use blu_phy::cell::CellConfig;
-use blu_phy::mcs::{Cqi, McsTable};
-use blu_phy::mimo::zf_sinrs;
-use blu_phy::outcome::{classify_rb, DecodeOutcome, RbObservation};
-use blu_sim::clientset::ClientSet;
-use blu_sim::power::Db;
 use blu_sim::rng::DetRng;
-use blu_sim::time::SubframeIndex;
 use blu_traces::schema::TestbedTrace;
-use std::collections::HashMap;
-
-/// In-flight HARQ processes of one TxOP burst, keyed by (client, RB).
-type HarqState = HashMap<(usize, usize), blu_phy::harq::HarqProcess>;
 
 /// Uplink traffic model (paper footnote 1: finite-buffer coupling is
 /// a "simple extension" to the scheduler — realized here by zeroing
@@ -111,303 +109,32 @@ pub struct EmulationReport {
     pub wall_clock: Option<blu_sim::time::Micros>,
 }
 
-/// Deterministic per-(client, RB, block) frequency-selectivity jitter
-/// in dB, zero-mean uniform in ±`amp`.
-fn rb_jitter(seed: u64, ue: usize, rb: usize, block: u64, amp: f64) -> f64 {
-    if amp == 0.0 {
-        return 0.0;
-    }
-    let key = (ue as u64)
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add((rb as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
-        .wrapping_add(block.wrapping_mul(0x94D0_49BB_1331_11EB))
-        .wrapping_add(seed);
-    let mut rng = DetRng::seed_from_u64(key);
-    rng.range_f64(-amp, amp)
-}
-
-/// The emulator: owns the PF state and drives a scheduler over a
+/// The emulator: the classic facade over one [`CellEngine`]. Owns its
+/// engine (and therefore the PF state) and drives a scheduler over a
 /// trace.
 pub struct Emulator<'a> {
-    trace: &'a TestbedTrace,
-    config: EmulationConfig,
-    mcs: McsTable,
-    averager: PfAverager,
-    /// Per-client buffered bits (finite-buffer mode only).
-    queues: Vec<f64>,
-    /// Arrival RNG (finite-buffer mode only).
-    traffic_rng: DetRng,
+    engine: CellEngine<'a>,
 }
 
 impl<'a> Emulator<'a> {
     /// Create an emulator; validates the trace against the cell.
     pub fn new(trace: &'a TestbedTrace, config: EmulationConfig) -> Result<Self, BluError> {
-        trace.validate().map_err(BluError::InvalidTrace)?;
-        config.cell.validate()?;
-        if trace.csi.n_antennas < config.cell.m_antennas {
-            return Err(BluError::InvalidConfig(format!(
-                "trace CSI has {} antennas but the cell needs {}",
-                trace.csi.n_antennas, config.cell.m_antennas
-            )));
-        }
-        let n = trace.ground_truth.n_clients;
         Ok(Emulator {
-            trace,
-            averager: PfAverager::new(n, config.pf_alpha),
-            mcs: McsTable::release10(),
-            queues: vec![0.0; n],
-            traffic_rng: DetRng::seed_from_u64(config.seed ^ 0x007A_FF1C),
-            config,
+            engine: CellEngine::new(trace, config)?,
         })
     }
 
     /// The PF throughput averages accumulated so far (one per
     /// client).
     pub fn pf_averages(&self) -> &[f64] {
-        &self.averager.avg
+        self.engine.pf_averages()
     }
 
     /// Seed the PF averages — used by segmented runs to carry
     /// fairness state from one emulator segment into the next.
     /// Ignores a slice of the wrong length.
     pub fn seed_pf_averages(&mut self, avg: &[f64]) {
-        if avg.len() == self.averager.avg.len() {
-            self.averager.avg.copy_from_slice(avg);
-        }
-    }
-
-    /// Advance the traffic model by one sub-frame (1 ms): new arrivals
-    /// land in the queues. No-op when backlogged.
-    fn traffic_tick(&mut self) {
-        if let TrafficModel::Poisson {
-            bursts_per_sec,
-            burst_bits,
-        } = self.config.traffic
-        {
-            let p_arrival = (bursts_per_sec / 1_000.0).min(1.0);
-            for q in self.queues.iter_mut() {
-                if self.traffic_rng.chance(p_arrival) {
-                    *q += burst_bits;
-                }
-            }
-        }
-    }
-
-    /// Whether a client currently has data to send.
-    fn has_data(&self, ue: usize) -> bool {
-        matches!(self.config.traffic, TrafficModel::Backlogged) || self.queues[ue] > 0.0
-    }
-
-    /// Drain a client's queue by delivered bits.
-    fn drain(&mut self, ue: usize, bits: f64) {
-        if !matches!(self.config.traffic, TrafficModel::Backlogged) {
-            self.queues[ue] = (self.queues[ue] - bits).max(0.0);
-        }
-    }
-
-    /// Scalar channel power gain of a client at a sub-frame (average
-    /// over the eNB antennas, mean ≈ 1).
-    fn channel_gain(&self, ue: usize, sf: SubframeIndex) -> f64 {
-        let h = self.trace.csi.channel(ue, sf);
-        let m = self.config.cell.m_antennas;
-        h.iter().take(m).map(|c| c.norm_sq()).sum::<f64>() / m as f64
-    }
-
-    /// True single-stream SINR (dB) of a client on an RB at a
-    /// sub-frame.
-    fn true_sinr_db(&self, ue: usize, rb: usize, sf: SubframeIndex) -> f64 {
-        let block = sf.0 / self.trace.csi.coherence_subframes;
-        self.trace.mean_snr_db[ue]
-            + 10.0 * self.channel_gain(ue, sf).max(1e-9).log10()
-            + rb_jitter(self.config.seed, ue, rb, block, self.config.rb_jitter_db)
-    }
-
-    /// Build the scheduler's grant-time rate matrix at a sub-frame.
-    /// Clients with empty buffers get rate 0 (footnote-1 coupling:
-    /// the scheduler simply never grants them).
-    fn rate_matrix(&self, sf: SubframeIndex) -> MatrixRates {
-        let n = self.trace.ground_truth.n_clients;
-        let n_rbs = self.config.cell.numerology.n_rbs;
-        MatrixRates::build(n, n_rbs, |ue, rb| {
-            if !self.has_data(ue) {
-                return 0.0;
-            }
-            let est = self.true_sinr_db(ue, rb, sf) - self.config.mcs_margin_db;
-            self.mcs
-                .rate_for_sinr(Db(est), &self.config.cell.numerology)
-        })
-    }
-
-    /// Grant-time MCS for a client on an RB given the group size the
-    /// scheduler built (applies the expected ZF penalty).
-    fn grant_cqi(&self, ue: usize, rb: usize, sf: SubframeIndex, group_size: usize) -> Cqi {
-        let m = self.config.cell.m_antennas;
-        let expected_streams = group_size.min(m);
-        let pen = mimo_penalty(expected_streams, m).max(1e-3);
-        let est = self.true_sinr_db(ue, rb, sf) - self.config.mcs_margin_db + 10.0 * pen.log10();
-        self.mcs.cqi_for_sinr(Db(est))
-    }
-
-    /// Decode one RB at one sub-frame: who transmitted, ZF SINRs,
-    /// per-client outcomes. `harq` holds the burst's in-flight
-    /// processes keyed by (client, RB); pass `None` to disable.
-    fn decode_rb(
-        &self,
-        rb: usize,
-        sf: SubframeIndex,
-        group: ClientSet,
-        accessible: ClientSet,
-        grant_sf: SubframeIndex,
-        mut harq: Option<&mut HarqState>,
-    ) -> RbObservation {
-        let m = self.config.cell.m_antennas;
-        // The cyclic-shift budget must accommodate the whole group
-        // (guaranteed by CellConfig::validate's f·M ≤ 8 cap).
-        debug_assert!(
-            blu_phy::pilot::PilotAssignment::for_group(group).is_some(),
-            "group exceeds orthogonal pilot budget"
-        );
-        let transmitting = group.intersection(accessible);
-        // DMRS pilot detection: cyclic shifts keep over-scheduled
-        // pilots orthogonal, so each pilot's SINR is its single-stream
-        // SNR (no inter-stream interference); detection fails only in
-        // a very deep fade (below the −10 dB correlation floor).
-        let pilots = blu_phy::pilot::detect_pilots(transmitting, |ue| {
-            Db(self.trace.mean_snr_db[ue] + 10.0 * self.channel_gain(ue, sf).max(1e-9).log10())
-        });
-        let transmitting = pilots.detected;
-        if transmitting.len() > m {
-            // SISO NOMA: a 2-stream pile-up may still be separable by
-            // successive interference cancellation.
-            if self.config.noma_sic && m == 1 && transmitting.len() == 2 {
-                return self.decode_rb_noma(rb, sf, group, transmitting, grant_sf);
-            }
-            return classify_rb(group, transmitting, m, |_| None);
-        }
-        // Zero-forcing decode of ≤ M streams.
-        let members: Vec<usize> = transmitting.iter().collect();
-        let block = sf.0 / self.trace.csi.coherence_subframes;
-        let channels: Vec<Vec<blu_sim::fading::Complex>> = members
-            .iter()
-            .map(|&ue| self.trace.csi.channel(ue, sf)[..m].to_vec())
-            .collect();
-        let powers: Vec<f64> = members
-            .iter()
-            .map(|&ue| {
-                let jit = rb_jitter(self.config.seed, ue, rb, block, self.config.rb_jitter_db);
-                10f64.powf((self.trace.mean_snr_db[ue] + jit) / 10.0)
-            })
-            .collect();
-        let sinrs = zf_sinrs(&channels, &powers, 1.0);
-        let group_size = group.len();
-        // Pre-compute per-transmitter decode results (HARQ mutates
-        // state, so this cannot live in the classify closure).
-        let mut results: Vec<(usize, Option<f64>)> = Vec::with_capacity(members.len());
-        for (idx, &ue) in members.iter().enumerate() {
-            let cqi = self.grant_cqi(ue, rb, grant_sf, group_size);
-            let realized_linear = match &sinrs {
-                Some(s) => s[idx].max(0.0),
-                None => 0.0, // rank-deficient channel: no usable energy
-            };
-            let bits = self.mcs.bits_per_rb(cqi, &self.config.cell.numerology);
-            let decoded = if !cqi.is_usable() {
-                false
-            } else if self
-                .mcs
-                .decodes(cqi, Db(10.0 * realized_linear.max(1e-12).log10()))
-            {
-                // Clean first-shot decode; drop any stale process.
-                if let Some(h) = harq.as_deref_mut() {
-                    h.remove(&(ue, rb));
-                }
-                true
-            } else if let Some(h) = harq.as_deref_mut() {
-                // Fading loss: soft-combine with the burst's pending
-                // process (or open one).
-                use blu_phy::harq::{HarqOutcome, HarqProcess};
-                match h.get_mut(&(ue, rb)) {
-                    Some(p) => match p.receive_retransmission(realized_linear, &self.mcs) {
-                        HarqOutcome::Decoded => {
-                            h.remove(&(ue, rb));
-                            true
-                        }
-                        HarqOutcome::Exhausted => {
-                            h.remove(&(ue, rb));
-                            false
-                        }
-                        HarqOutcome::Pending => false,
-                    },
-                    None => {
-                        h.insert(
-                            (ue, rb),
-                            HarqProcess::new(cqi, realized_linear, self.config.harq_max_retx),
-                        );
-                        false
-                    }
-                }
-            } else {
-                false // fading loss, HARQ disabled
-            };
-            results.push((ue, if decoded { Some(bits) } else { None }));
-        }
-        classify_rb(group, transmitting, m, |ue| {
-            results
-                .iter()
-                .find(|&&(u, _)| u == ue)
-                .and_then(|&(_, r)| r)
-        })
-    }
-
-    /// SIC decode of exactly two superposed SISO streams: outcomes are
-    /// `Success` for decoded streams and `Collision` for the rest.
-    fn decode_rb_noma(
-        &self,
-        rb: usize,
-        sf: SubframeIndex,
-        group: ClientSet,
-        transmitting: ClientSet,
-        grant_sf: SubframeIndex,
-    ) -> RbObservation {
-        let members: Vec<usize> = transmitting.iter().collect();
-        let block = sf.0 / self.trace.csi.coherence_subframes;
-        let powers: Vec<f64> = members
-            .iter()
-            .map(|&ue| {
-                let jit = rb_jitter(self.config.seed, ue, rb, block, self.config.rb_jitter_db);
-                10f64.powf((self.trace.mean_snr_db[ue] + jit) / 10.0)
-                    * self.channel_gain(ue, sf).max(1e-9)
-            })
-            .collect();
-        let group_size = group.len();
-        let decoded = blu_phy::noma::sic_decode(&powers, 1.0, |idx, sinr| {
-            let ue = members[idx];
-            let cqi = self.grant_cqi(ue, rb, grant_sf, group_size);
-            cqi.is_usable() && self.mcs.decodes(cqi, Db(10.0 * sinr.max(1e-12).log10()))
-        });
-        let outcomes = group
-            .iter()
-            .map(|ue| {
-                let outcome = if !transmitting.contains(ue) {
-                    DecodeOutcome::Blocked
-                } else if let Some(idx) = members.iter().position(|&u| u == ue) {
-                    if decoded.contains(&idx) {
-                        let cqi = self.grant_cqi(ue, rb, grant_sf, group_size);
-                        DecodeOutcome::Success {
-                            bits: self.mcs.bits_per_rb(cqi, &self.config.cell.numerology),
-                        }
-                    } else {
-                        DecodeOutcome::Collision
-                    }
-                } else {
-                    DecodeOutcome::Collision
-                };
-                (ue, outcome)
-            })
-            .collect();
-        RbObservation {
-            scheduled: group,
-            outcomes,
-        }
+        self.engine.seed_pf_averages(avg)
     }
 
     /// Run the emulation. `estimator`, when provided, receives every
@@ -416,111 +143,14 @@ impl<'a> Emulator<'a> {
     pub fn run(
         &mut self,
         scheduler: &mut dyn UlScheduler,
-        mut estimator: Option<&mut OutcomeEstimator>,
+        estimator: Option<&mut OutcomeEstimator>,
     ) -> EmulationReport {
-        let n = self.trace.ground_truth.n_clients;
-        let n_rbs = self.config.cell.numerology.n_rbs;
-        let mut metrics = UplinkMetrics::new(n);
-        let mut sf = SubframeIndex(self.config.start_subframe);
-        for _ in 0..self.config.n_txops {
-            // DL part of the TxOP (grants go out here); traffic keeps
-            // arriving while the eNB transmits.
-            for _ in 0..self.config.cell.txop.dl_subframes {
-                self.traffic_tick();
-            }
-            sf = sf.advance(self.config.cell.txop.dl_subframes);
-            let grant_sf = sf;
-            // One schedule per TxOP, reused over the UL burst (the
-            // paper's 3-sub-frame grants).
-            let rates = self.rate_matrix(grant_sf);
-            let input = SchedInput {
-                n_clients: n,
-                n_rbs,
-                m_antennas: self.config.cell.m_antennas,
-                k_max: self.config.cell.max_ues_per_subframe,
-                max_group: self.config.cell.max_group_size(),
-                rates: &rates,
-                avg_tput: &self.averager.avg,
-            };
-            let schedule = scheduler.schedule(&input);
-            let mut harq: Option<HarqState> = if self.config.harq_max_retx > 0 {
-                Some(HashMap::new())
-            } else {
-                None
-            };
-            for _ in 0..self.config.cell.txop.ul_subframes {
-                self.traffic_tick();
-                let accessible = self.trace.access.at(sf);
-                let mut delivered = vec![0.0; n];
-                // Transport blocks only carry real payload: cap each
-                // client's deliverable bits at its queue contents
-                // (backlogged mode: unlimited).
-                let mut sendable: Vec<f64> = (0..n)
-                    .map(|ue| {
-                        if matches!(self.config.traffic, TrafficModel::Backlogged) {
-                            f64::INFINITY
-                        } else {
-                            self.queues[ue]
-                        }
-                    })
-                    .collect();
-                let mut observations = Vec::with_capacity(n_rbs);
-                let mut all_rbs_utilized = true;
-                for rb in 0..n_rbs {
-                    let group = schedule.group(rb);
-                    if group.is_empty() {
-                        all_rbs_utilized = false;
-                        continue;
-                    }
-                    metrics.rbs_scheduled += 1;
-                    let obs = self.decode_rb(rb, sf, group, accessible, grant_sf, harq.as_mut());
-                    let bits = obs.delivered_bits();
-                    if bits > 0.0 {
-                        metrics.rbs_utilized += 1;
-                    } else {
-                        all_rbs_utilized = false;
-                        if obs.collided() {
-                            metrics.rbs_collided += 1;
-                        } else if obs.transmitters().is_empty() {
-                            metrics.rbs_blocked += 1;
-                        } else {
-                            metrics.rbs_faded += 1;
-                        }
-                    }
-                    let mut credited_on_rb = 0.0;
-                    for &(ue, outcome) in &obs.outcomes {
-                        if let DecodeOutcome::Success { bits } = outcome {
-                            let credited = bits.min(sendable[ue]);
-                            sendable[ue] -= credited;
-                            delivered[ue] += credited;
-                            metrics.bits_per_client[ue] += credited;
-                            credited_on_rb += credited;
-                        }
-                    }
-                    metrics.bits_delivered += credited_on_rb;
-                    observations.push(obs);
-                }
-                metrics.subframes += 1;
-                if all_rbs_utilized && !observations.is_empty() {
-                    metrics.fully_utilized_subframes += 1;
-                }
-                if let Some(est) = estimator.as_deref_mut() {
-                    est.record_subframe(&observations);
-                }
-                for (ue, &bits) in delivered.iter().enumerate() {
-                    if bits > 0.0 {
-                        self.drain(ue, bits);
-                    }
-                }
-                self.averager.update(&delivered);
-                sf = sf.next();
-            }
-        }
-        EmulationReport {
-            scheduler: scheduler.name(),
-            metrics,
-            wall_clock: None,
-        }
+        self.engine.run_segment(
+            scheduler,
+            estimator,
+            AccessMode::BackToBack,
+            &mut NullObserver,
+        )
     }
 
     /// Run with **LBT contention**: instead of back-to-back TxOPs,
@@ -533,82 +163,19 @@ impl<'a> Emulator<'a> {
     pub fn run_contended(
         &mut self,
         scheduler: &mut dyn UlScheduler,
-        mut estimator: Option<&mut OutcomeEstimator>,
+        estimator: Option<&mut OutcomeEstimator>,
         enb_busy: &blu_sim::medium::ActivityTimeline,
         lbt_rng: DetRng,
     ) -> EmulationReport {
-        use blu_phy::laa::{Lbt, LbtConfig};
-        use blu_sim::time::{Micros, SUBFRAME_US};
-        let n = self.trace.ground_truth.n_clients;
-        let n_rbs = self.config.cell.numerology.n_rbs;
-        let mut metrics = UplinkMetrics::new(n);
-        let mut lbt = Lbt::new(LbtConfig::default(), lbt_rng);
-        let mut now = Micros::ZERO;
-        for _ in 0..self.config.n_txops {
-            // Win the channel, then align to the next sub-frame
-            // boundary (LTE transmissions start on boundaries; the
-            // reservation-signal gap is charged to the TxOP).
-            let acquired = lbt.acquire(enb_busy, now);
-            let start_sf = acquired.as_u64().div_ceil(SUBFRAME_US);
-            let mut sf = SubframeIndex(start_sf);
-            sf = sf.advance(self.config.cell.txop.dl_subframes);
-            let grant_sf = sf;
-            let rates = self.rate_matrix(grant_sf);
-            let input = SchedInput {
-                n_clients: n,
-                n_rbs,
-                m_antennas: self.config.cell.m_antennas,
-                k_max: self.config.cell.max_ues_per_subframe,
-                max_group: self.config.cell.max_group_size(),
-                rates: &rates,
-                avg_tput: &self.averager.avg,
-            };
-            let schedule = scheduler.schedule(&input);
-            for _ in 0..self.config.cell.txop.ul_subframes {
-                let accessible = self.trace.access.at(sf);
-                let mut delivered = vec![0.0; n];
-                let mut observations = Vec::with_capacity(n_rbs);
-                for rb in 0..n_rbs {
-                    let group = schedule.group(rb);
-                    if group.is_empty() {
-                        continue;
-                    }
-                    metrics.rbs_scheduled += 1;
-                    let obs = self.decode_rb(rb, sf, group, accessible, grant_sf, None);
-                    let bits = obs.delivered_bits();
-                    if bits > 0.0 {
-                        metrics.rbs_utilized += 1;
-                    } else if obs.collided() {
-                        metrics.rbs_collided += 1;
-                    } else if obs.transmitters().is_empty() {
-                        metrics.rbs_blocked += 1;
-                    } else {
-                        metrics.rbs_faded += 1;
-                    }
-                    for &(ue, outcome) in &obs.outcomes {
-                        if let blu_phy::outcome::DecodeOutcome::Success { bits } = outcome {
-                            delivered[ue] += bits;
-                            metrics.bits_per_client[ue] += bits;
-                        }
-                    }
-                    metrics.bits_delivered += bits;
-                    observations.push(obs);
-                }
-                metrics.subframes += 1;
-                if let Some(est) = estimator.as_deref_mut() {
-                    est.record_subframe(&observations);
-                }
-                self.averager.update(&delivered);
-                sf = sf.next();
-            }
-            now = sf.start();
-            lbt.reset_cw();
-        }
-        EmulationReport {
-            scheduler: scheduler.name(),
-            metrics,
-            wall_clock: Some(now),
-        }
+        self.engine.run_segment(
+            scheduler,
+            estimator,
+            AccessMode::Contended {
+                busy: enb_busy,
+                lbt_rng,
+            },
+            &mut NullObserver,
+        )
     }
 }
 
@@ -620,9 +187,9 @@ impl<'a> Emulator<'a> {
 /// nothing mutable — only the trace and whatever `Send + Sync` state
 /// the factories capture (typically one [`AccessDistribution`]
 /// provider, whose bounded memo cache is then warmed by all workers).
-/// The rayon shim's ordered reduction makes the result vector
-/// byte-identical to running the same trials in a sequential loop —
-/// the property `blu-bench`'s differential tests pin down.
+/// The [`FleetEngine`]'s ordered sharded reduction makes the result
+/// vector byte-identical to running the same trials in a sequential
+/// loop — the property `blu-bench`'s differential tests pin down.
 ///
 /// [`AccessDistribution`]: crate::joint::AccessDistribution
 #[allow(clippy::needless_lifetimes)] // `'a` names the trace borrow the boxed schedulers may hold
@@ -636,15 +203,15 @@ where
     C: Fn(usize) -> EmulationConfig + Sync,
     S: Fn(usize) -> Box<dyn UlScheduler + 'a> + Sync,
 {
-    use rayon::prelude::*;
-    (0..n_trials)
-        .into_par_iter()
-        .map(|t| {
+    FleetEngine::run(
+        (0..n_trials).collect(),
+        || (),
+        |_, t| -> Result<EmulationReport, BluError> {
             let mut emu = Emulator::new(trace, config_for(t))?;
             let mut sched = scheduler_for(t);
             Ok(emu.run(sched.as_mut(), None))
-        })
-        .collect()
+        },
+    )
 }
 
 #[cfg(test)]

@@ -1,0 +1,357 @@
+//! Shared state the stage pipeline runs over.
+//!
+//! [`CellContext`] borrows the immutable inputs of one cell's run
+//! (trace, fault script, configs) and owns references to the mutable
+//! loop state, all of which lives in [`CellSnapshot`] — the
+//! engine-level, serializable record of everything that must survive
+//! a process restart for a resumed run to be bit-identical. The
+//! snapshot (historically `RobustSnapshot`, still re-exported under
+//! that name with an unchanged serde layout), the orchestrator state
+//! machine, the drift monitor, the circuit breaker, and the
+//! checkpoint policy are engine-level concerns here: any staged
+//! composition gets checkpoint/restore and breaker gating for free,
+//! not just the robust loop.
+
+use crate::blueprint::infer::InferenceVerdict;
+use crate::blueprint::{InferenceBackend, InferenceConfig, InferenceResult};
+use crate::emulator::{EmulationConfig, EmulationReport};
+use crate::measure::OutcomeEstimator;
+use crate::metrics::UplinkMetrics;
+use crate::runtime::breaker::{BreakerConfig, CircuitBreaker};
+use blu_sim::faults::{FaultScript, ObservationChannel};
+use blu_sim::rng::DetRng;
+use blu_traces::schema::TestbedTrace;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// Where a staged cell run currently is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OrchestratorState {
+    /// Initial full-length measurement phase.
+    Measuring,
+    /// Speculating on a blue-print whose drift score is below
+    /// threshold.
+    Confident,
+    /// Drift detected; about to re-measure.
+    Drifting,
+    /// Shortened re-measurement phase (§3.7).
+    Remeasuring,
+    /// Blue-print unusable — scheduling with plain PF.
+    Fallback,
+}
+
+impl std::fmt::Display for OrchestratorState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            OrchestratorState::Measuring => "measuring",
+            OrchestratorState::Confident => "confident",
+            OrchestratorState::Drifting => "drifting",
+            OrchestratorState::Remeasuring => "re-measuring",
+            OrchestratorState::Fallback => "fallback",
+        })
+    }
+}
+
+/// Per-client mispredict tracker: an EWMA of the signed difference
+/// between each observed CCA outcome (1 = accessed) and the
+/// blue-print's predicted access probability. Under a correct
+/// blue-print every per-client EWMA hovers around zero; a terminal
+/// appearing, disappearing or drifting pulls its victims' EWMAs away
+/// in either direction, so the score is the **maximum absolute**
+/// per-client deviation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DriftMonitor {
+    alpha: f64,
+    dev: Vec<f64>,
+    samples: u64,
+}
+
+impl DriftMonitor {
+    /// New monitor over `n` clients with EWMA weight `alpha`.
+    pub fn new(alpha: f64, n: usize) -> Self {
+        DriftMonitor {
+            alpha: alpha.clamp(0.0, 1.0),
+            dev: vec![0.0; n],
+            samples: 0,
+        }
+    }
+
+    /// Feed one observed outcome for client `ue` against the
+    /// blue-print's predicted access probability.
+    pub fn observe(&mut self, ue: usize, accessed: bool, predicted: f64) {
+        if ue >= self.dev.len() {
+            return;
+        }
+        let p = if predicted.is_finite() {
+            predicted.clamp(0.0, 1.0)
+        } else {
+            0.5
+        };
+        let x = if accessed { 1.0 } else { 0.0 };
+        self.dev[ue] += self.alpha * ((x - p) - self.dev[ue]);
+        self.samples += 1;
+    }
+
+    /// Current drift score: the largest per-client |EWMA| deviation.
+    pub fn score(&self) -> f64 {
+        self.dev.iter().fold(0.0_f64, |m, d| m.max(d.abs()))
+    }
+
+    /// Observations consumed since the last reset.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Forget everything (called after re-blue-printing).
+    pub fn reset(&mut self) {
+        self.dev.iter_mut().for_each(|d| *d = 0.0);
+        self.samples = 0;
+    }
+}
+
+/// Where and how often the loop persists its state.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Directory holding the per-cell snapshot files
+    /// (`cell-<index>.json`).
+    pub dir: PathBuf,
+    /// Save whenever the cursor has advanced this many sub-frames
+    /// since the last save (0 = only at clean shutdown). A final
+    /// save always happens when the run completes.
+    pub every_subframes: u64,
+    /// Resume from an existing snapshot in `dir` if one is present
+    /// (a fresh run starts when the file is absent).
+    pub resume: bool,
+}
+
+/// One state-machine transition, for post-mortem inspection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateTransition {
+    /// Trace sub-frame at which the state was entered.
+    pub at_subframe: u64,
+    /// The state entered.
+    pub state: OrchestratorState,
+}
+
+/// The complete mutable state of one cell's staged run — everything
+/// that must survive a process restart for the resumed run to be
+/// bit-identical to an uninterrupted one. Persisted via
+/// [`crate::runtime::checkpoint`]; the serde layout is the v1 robust
+/// checkpoint schema, unchanged by the engine extraction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellSnapshot {
+    /// Clients in the capture (resume-mismatch guard).
+    pub n_clients: u64,
+    /// Sub-frames in the capture (resume-mismatch guard).
+    pub trace_len: u64,
+    /// Seed the run started with (resume-mismatch guard: a different
+    /// seed means different RNG streams).
+    pub config_seed: u64,
+    /// Trace cursor, in sub-frames.
+    pub cursor: u64,
+    /// Current machine state.
+    pub state: OrchestratorState,
+    /// Whether the run has consumed the trace.
+    pub done: bool,
+    /// Accumulated access statistics.
+    pub est: OutcomeEstimator,
+    /// Observation-fault channel (carries its RNG).
+    pub chan: ObservationChannel,
+    /// RNG stream feeding scripted constraint poisoning.
+    pub poison_rng: DetRng,
+    /// Drift monitor EWMAs.
+    pub drift: DriftMonitor,
+    /// Per-cell circuit breaker (state, backoff, jitter RNG,
+    /// transition history).
+    pub breaker: CircuitBreaker,
+    /// Merged scheduling metrics so far.
+    pub metrics: UplinkMetrics,
+    /// State history so far.
+    pub transitions: Vec<StateTransition>,
+    /// Inference verdicts so far.
+    pub verdicts: Vec<InferenceVerdict>,
+    /// Blue-print currently in force.
+    pub blueprint: Option<InferenceResult>,
+    /// PF average-rate state carried across engine segments.
+    pub pf_avg: Option<Vec<f64>>,
+    /// Sub-frames spent measuring so far.
+    pub measurement_subframes: u64,
+    /// Re-measurement phases so far.
+    pub n_remeasurements: u32,
+    /// TxOPs spent speculating so far.
+    pub speculative_txops: u64,
+    /// TxOPs spent in PF fallback so far.
+    pub fallback_txops: u64,
+    /// TxOPs of fallback probation remaining.
+    pub probation_left: u64,
+    /// Largest drift score seen so far.
+    pub peak_drift: f64,
+    /// Wall-clock inference time so far (timing only — excluded from
+    /// the determinism contract and therefore from snapshot
+    /// equality-based determinism tests).
+    pub inference_micros: u64,
+    /// Contained inference panics so far.
+    pub inference_panics: u32,
+    /// Deadline-bounded inferences that returned incomplete so far.
+    pub deadline_misses: u32,
+    /// Constraint targets quarantined so far.
+    pub quarantined_constraints: u64,
+}
+
+impl CellSnapshot {
+    /// Fresh pre-run state for a cell of `n` clients over a trace of
+    /// `trace_len` sub-frames. All RNG streams (observation channel,
+    /// poison source, breaker jitter) derive from `seed`.
+    pub fn fresh(
+        n: usize,
+        trace_len: u64,
+        seed: u64,
+        drift_alpha: f64,
+        breaker: BreakerConfig,
+    ) -> Self {
+        CellSnapshot {
+            n_clients: n as u64,
+            trace_len,
+            config_seed: seed,
+            cursor: 0,
+            state: OrchestratorState::Measuring,
+            done: false,
+            est: OutcomeEstimator::new(n),
+            chan: ObservationChannel::new(DetRng::seed_from_u64(seed ^ 0x0B5E_7ACE)),
+            poison_rng: DetRng::seed_from_u64(seed ^ 0x7015_0A11),
+            drift: DriftMonitor::new(drift_alpha, n),
+            breaker: CircuitBreaker::new(breaker, seed),
+            metrics: UplinkMetrics::new(n),
+            transitions: vec![StateTransition {
+                at_subframe: 0,
+                state: OrchestratorState::Measuring,
+            }],
+            verdicts: Vec::new(),
+            blueprint: None,
+            pf_avg: None,
+            measurement_subframes: 0,
+            n_remeasurements: 0,
+            speculative_txops: 0,
+            fallback_txops: 0,
+            probation_left: 0,
+            peak_drift: 0.0,
+            inference_micros: 0,
+            inference_panics: 0,
+            deadline_misses: 0,
+            quarantined_constraints: 0,
+        }
+    }
+
+    /// Enter a state, recording the transition at the current cursor.
+    pub fn enter(&mut self, next: OrchestratorState) {
+        self.state = next;
+        self.transitions.push(StateTransition {
+            at_subframe: self.cursor,
+            state: next,
+        });
+    }
+}
+
+/// Fixed per-run geometry derived from the trace and the cell config.
+#[derive(Debug, Clone, Copy)]
+pub struct CellGeometry {
+    /// Clients in the trace.
+    pub n: usize,
+    /// Sub-frames in the trace.
+    pub trace_len: u64,
+    /// Sub-frames per TxOP (DL + UL).
+    pub per_txop: u64,
+    /// DL sub-frames per TxOP.
+    pub dl: u64,
+    /// UL sub-frames per TxOP.
+    pub ul: u64,
+    /// Measurement-plan `K` (max clients schedulable per sub-frame).
+    pub k_max: usize,
+}
+
+impl CellGeometry {
+    /// Derive the geometry from a trace and the cell config.
+    pub fn derive(trace: &TestbedTrace, emulation: &EmulationConfig) -> Self {
+        CellGeometry {
+            n: trace.ground_truth.n_clients,
+            trace_len: trace.access.len() as u64,
+            per_txop: emulation.cell.txop.total_subframes(),
+            dl: emulation.cell.txop.dl_subframes,
+            ul: emulation.cell.txop.ul_subframes,
+            k_max: emulation.cell.max_ues_per_subframe,
+        }
+    }
+}
+
+/// Which scheduler the transmit stage instantiates, decided by
+/// [`GenerateStage`](crate::engine::GenerateStage).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerSpec {
+    /// Plain proportional fair (needs no topology knowledge).
+    #[default]
+    Pf,
+    /// BLU's speculative scheduler over the blue-print in force.
+    Speculative,
+}
+
+/// One transmit segment's window, decided by
+/// [`ScheduleStage`](crate::engine::ScheduleStage).
+#[derive(Debug, Clone, Copy)]
+pub struct SegmentPlan {
+    /// TxOPs to run.
+    pub txops: u64,
+    /// Trace sub-frame the segment starts at.
+    pub start_subframe: u64,
+}
+
+/// Everything a stage pipeline reads and writes: borrowed immutable
+/// inputs, the mutable [`CellSnapshot`], and the inter-stage slots
+/// (scheduler spec, segment plan, last transmit report).
+pub struct CellContext<'a, 's> {
+    /// The captured air being replayed.
+    pub trace: &'a TestbedTrace,
+    /// Scripted faults (`None` = clean observation/runtime path).
+    pub script: Option<&'a FaultScript>,
+    /// Cell/emulation parameters (borrowed — never cloned per
+    /// segment).
+    pub emulation: &'a EmulationConfig,
+    /// Inference parameters.
+    pub inference: &'a InferenceConfig,
+    /// Inference engine.
+    pub backend: &'a InferenceBackend,
+    /// Fixed run geometry.
+    pub geom: CellGeometry,
+    /// The mutable, checkpointable loop state.
+    pub snap: &'s mut CellSnapshot,
+    /// Slot written by the schedule stage, consumed by transmit.
+    pub segment: Option<SegmentPlan>,
+    /// Slot written by the generate stage, consumed by transmit.
+    pub spec: SchedulerSpec,
+    /// Report of the last transmit segment.
+    pub last_report: Option<EmulationReport>,
+}
+
+impl<'a, 's> CellContext<'a, 's> {
+    /// Assemble a context over borrowed inputs and snapshot.
+    pub fn new(
+        trace: &'a TestbedTrace,
+        script: Option<&'a FaultScript>,
+        emulation: &'a EmulationConfig,
+        inference: &'a InferenceConfig,
+        backend: &'a InferenceBackend,
+        snap: &'s mut CellSnapshot,
+    ) -> Self {
+        CellContext {
+            trace,
+            script,
+            emulation,
+            inference,
+            backend,
+            geom: CellGeometry::derive(trace, emulation),
+            snap,
+            segment: None,
+            spec: SchedulerSpec::default(),
+            last_report: None,
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Sharded fleet execution with per-shard scratch state.
+//!
+//! [`FleetEngine`] fans a work list across a chunked
+//! [`std::thread::scope`] pool using **exactly** the vendored rayon
+//! shim's placement math — `min(RAYON_NUM_THREADS |
+//! available_parallelism, items)` workers, balanced contiguous
+//! chunks, joined in spawn order — so anything previously routed
+//! through `par_iter().map(..)` produces byte-identical, input-ordered
+//! results when routed through here instead.
+//!
+//! What the shim cannot express (and the reason this exists) is
+//! *per-shard state*: each worker builds one scratch value with
+//! `init()` and threads it through every item of its chunk. Callers
+//! whose per-item work is allocation-heavy — batch blueprint
+//! inference re-allocating residual trackers per cell — amortize
+//! those allocations across the shard instead of paying them per
+//! item. With `St = ()` the engine degenerates to the shim's plain
+//! ordered map.
+
+/// Number of worker shards for `n_items` items — the vendored rayon
+/// shim's `threads_for`, verbatim, so placement (and therefore
+/// per-shard scratch reuse boundaries) matches `par_iter` exactly.
+fn shards_for(n_items: usize) -> usize {
+    let hw = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    hw.min(n_items).max(1)
+}
+
+/// The sharded fleet executor. Stateless; its methods are associated
+/// functions so call sites read `FleetEngine::run(..)`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FleetEngine;
+
+impl FleetEngine {
+    /// Map `f` over `items` across balanced contiguous shards,
+    /// returning results in input order. Each shard calls `init()`
+    /// once and passes the resulting scratch to every `f` call of its
+    /// chunk.
+    ///
+    /// Determinism contract: shard boundaries depend only on
+    /// `(items.len(), worker count)`, shards are joined in spawn
+    /// order, and a single-worker run degenerates to a plain
+    /// sequential loop — so a pure, deterministic `f` yields
+    /// bit-identical output at any parallelism level.
+    pub fn run<T, R, St, I, F>(items: Vec<T>, init: I, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        I: Fn() -> St + Sync,
+        F: Fn(&mut St, T) -> R + Sync,
+    {
+        let n = items.len();
+        let shards = shards_for(n);
+        if shards <= 1 {
+            let mut scratch = init();
+            return items.into_iter().map(|x| f(&mut scratch, x)).collect();
+        }
+        // Balanced contiguous chunks: sizes differ by at most one, and
+        // boundaries depend only on (n, shards) — never on timing.
+        let base = n / shards;
+        let extra = n % shards;
+        let mut it = items.into_iter();
+        let chunks: Vec<Vec<T>> = (0..shards)
+            .map(|i| {
+                let len = base + usize::from(i < extra);
+                it.by_ref().take(len).collect()
+            })
+            .collect();
+        let init = &init;
+        let f = &f;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    s.spawn(move || {
+                        let mut scratch = init();
+                        chunk
+                            .into_iter()
+                            .map(|x| f(&mut scratch, x))
+                            .collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            let mut out = Vec::with_capacity(n);
+            for h in handles {
+                // Join in spawn order — the ordered reduction.
+                out.extend(h.join().expect("fleet shard panicked"));
+            }
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let got = FleetEngine::run((0..1_000u64).collect(), || (), |_, x| x * 3);
+        let want: Vec<u64> = (0..1_000u64).map(|x| x * 3).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn shard_scratch_is_reused_within_a_shard() {
+        // Scratch counts the items its shard has seen; every shard
+        // must see a contiguous run starting at 1.
+        let counts = FleetEngine::run(
+            (0..64usize).collect(),
+            || 0usize,
+            |seen, _| {
+                *seen += 1;
+                *seen
+            },
+        );
+        assert_eq!(counts.len(), 64);
+        assert_eq!(counts[0], 1, "first item of the first shard");
+        // Counts only ever step by 1 or reset to 1 at a shard start.
+        for w in counts.windows(2) {
+            assert!(w[1] == w[0] + 1 || w[1] == 1);
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u8> = FleetEngine::run(Vec::<u8>::new(), || (), |_, x| x);
+        assert!(empty.is_empty());
+        let one = FleetEngine::run(vec![7u8], || (), |_, x| x + 1);
+        assert_eq!(one, vec![8]);
+    }
+}

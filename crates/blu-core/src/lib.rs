@@ -24,11 +24,14 @@
 //!   expected marginal PF utility under the joint access
 //!   distribution. SISO and MU-MIMO.
 //!
-//! [`emulator`] replays captured traces through a scheduler at
-//! sub-frame granularity (CCA, pilots, ZF decoding, PF averaging) and
-//! produces the utilization/throughput metrics of the paper's
-//! evaluation; [`orchestrator`] runs the full two-phase BLU loop of
-//! Fig. 9 (measure → blue-print → speculate).
+//! [`engine`] owns the one per-subframe loop (CCA, pilots, ZF
+//! decoding, PF averaging) and the staged measure → infer → generate
+//! → schedule → transmit pipeline every orchestration layer composes:
+//! [`emulator`] replays captured traces through a scheduler,
+//! [`orchestrator`] runs the full two-phase BLU loop of Fig. 9
+//! (measure → blue-print → speculate), and [`robust`] runs the
+//! degraded-mode state machine — all through the same
+//! [`engine::CellEngine`].
 //!
 //! ## End to end, in a dozen lines
 //!
@@ -58,6 +61,7 @@
 pub mod blueprint;
 pub mod downlink;
 pub mod emulator;
+pub mod engine;
 pub mod error;
 pub mod joint;
 pub mod measure;
@@ -69,6 +73,7 @@ pub mod sched;
 
 pub use blueprint::infer::{InferenceConfig, InferenceResult, InferenceVerdict};
 pub use emulator::{EmulationConfig, EmulationReport};
+pub use engine::{CellEngine, FleetEngine, NullObserver, SubframeObserver};
 pub use error::BluError;
 pub use joint::AccessDistribution;
 pub use orchestrator::{BluConfig, BluRunReport};

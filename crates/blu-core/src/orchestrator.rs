@@ -9,18 +9,26 @@
 //! inferred blue-print for `L >> t_max` sub-frames. Outcomes observed
 //! during phase 2 keep feeding the estimator, which is why subsequent
 //! measurement phases are shorter than the first (§3.7).
+//!
+//! [`run_blu`] is a single composition of the engine's five stages —
+//! measure → infer → generate → schedule → transmit — over one fresh
+//! [`CellSnapshot`]: the two-phase loop *is* the pipeline, run once.
 
 use crate::blueprint::accuracy::{topology_accuracy, AccuracyReport};
 use crate::blueprint::{
     infer_topology, ConstraintSystem, InferenceBackend, InferenceConfig, InferenceResult,
 };
-use crate::emulator::{EmulationConfig, EmulationReport, Emulator};
+use crate::emulator::{EmulationConfig, EmulationReport};
+use crate::engine::stages::run_measure_plan;
+use crate::engine::{
+    AccessMode, CellContext, CellEngine, CellSnapshot, GenerateStage, InferStage, MeasureFidelity,
+    MeasureStage, NullObserver, SchedulePolicy, ScheduleStage, TransmitFeed, TransmitStage,
+};
 use crate::error::BluError;
 use crate::joint::TopologyAccess;
 use crate::measure::{measurement_schedule, OutcomeEstimator};
+use crate::runtime::breaker::BreakerConfig;
 use crate::sched::SpeculativeScheduler;
-use blu_sim::time::SubframeIndex;
-use blu_sim::topology::InterferenceTopology;
 use blu_traces::schema::TestbedTrace;
 
 /// Configuration of a two-phase BLU run.
@@ -83,19 +91,15 @@ pub fn run_measurement_phase(
         });
     }
     let mut est = OutcomeEstimator::new(n);
-    for (sf, &scheduled) in plan.subframes.iter().enumerate() {
-        let accessible = trace.access.at(SubframeIndex(sf as u64));
-        // Scheduled clients that pass CCA transmit; the estimator's
-        // stats object records observed vs accessed directly (the
-        // full-fidelity pilot path is exercised by the emulator).
-        est.stats_mut()
-            .record(scheduled, accessible.intersection(scheduled));
-    }
+    // Scheduled clients that pass CCA transmit; the estimator's stats
+    // object records observed vs accessed directly (the full-fidelity
+    // pilot path is exercised by the engine).
+    run_measure_plan(trace, &plan, 0, &mut est, None);
     Ok((est, plan.t_max()))
 }
 
 /// Run the measurement phase at **full fidelity**: the Algorithm-1
-/// plan is executed through the emulator (grants, CCA, pilots, ZF
+/// plan is executed through the cell engine (grants, CCA, pilots, ZF
 /// decode), and the estimator is fed by the pilot-classified
 /// outcomes. One TxOP carries one planned client set over its whole
 /// UL burst (grants are per-burst), so the phase consumes
@@ -119,10 +123,14 @@ pub fn run_measurement_phase_full(
     }
     let mut est = OutcomeEstimator::new(n);
     let mut scheduler = crate::sched::MeasurementScheduler::new(&plan)?;
-    let mut cfg = emulation.clone();
-    cfg.n_txops = plan.t_max();
-    let mut emulator = Emulator::new(trace, cfg)?;
-    emulator.run(&mut scheduler, Some(&mut est));
+    let mut engine =
+        CellEngine::with_config(trace, emulation)?.segment(plan.t_max(), emulation.start_subframe);
+    engine.run_segment(
+        &mut scheduler,
+        Some(&mut est),
+        AccessMode::BackToBack,
+        &mut NullObserver,
+    );
     Ok((est, plan.t_max() * emulation.cell.txop.ul_subframes))
 }
 
@@ -165,28 +173,69 @@ pub fn blueprint_batch_from_measurements(
     crate::blueprint::batch::infer_batch(&systems, config)
 }
 
-/// Run the complete two-phase loop on a trace.
+/// Run the complete two-phase loop on a trace: one pass of the
+/// engine's full five-stage pipeline over a fresh snapshot.
 pub fn run_blu(trace: &TestbedTrace, config: &BluConfig) -> Result<BluRunReport, BluError> {
+    let n = trace.ground_truth.n_clients;
     let k = config.emulation.cell.max_ues_per_subframe;
-    let (mut est, t_max) = run_measurement_phase(trace, k, config.t_samples)?;
-    let inference = blueprint_from_measurements(&est, &config.inference);
-    let inferred: InterferenceTopology = inference.topology.clone();
-    let accuracy = topology_accuracy(&trace.ground_truth, &inferred);
-
-    let access = TopologyAccess::new(&inferred);
-    let mut scheduler = SpeculativeScheduler::new(&access);
-    let mut emulator = Emulator::new(trace, config.emulation.clone())?;
+    let backend = InferenceBackend::default();
+    // The vanilla loop has no fault script, drift gate or breaker —
+    // the snapshot is just the pipeline's working state.
+    let mut snap = CellSnapshot::fresh(
+        n,
+        trace.access.len() as u64,
+        0,
+        0.0,
+        BreakerConfig::default(),
+    );
+    let mut ctx = CellContext::new(
+        trace,
+        None,
+        &config.emulation,
+        &config.inference,
+        &backend,
+        &mut snap,
+    );
+    let mut measure = MeasureStage {
+        t_samples: config.t_samples,
+        fidelity: MeasureFidelity::Strict {
+            what: "measurement phase",
+        },
+    };
+    let mut infer = InferStage { gate: None };
+    let mut generate = GenerateStage;
+    let mut schedule = ScheduleStage {
+        policy: SchedulePolicy::FullRun,
+    };
     // Phase-2 outcomes keep feeding the estimator (future phases
     // start warm, §3.7).
-    let speculative = emulator.run(&mut scheduler, Some(&mut est));
-
-    let floor = crate::measure::min_subframes(
-        trace.ground_truth.n_clients,
-        k.min(trace.ground_truth.n_clients),
-        config.t_samples,
+    let mut transmit = TransmitStage {
+        feed: TransmitFeed::Estimator,
+    };
+    crate::engine::run_pipeline(
+        &mut ctx,
+        &mut [
+            &mut measure,
+            &mut infer,
+            &mut generate,
+            &mut schedule,
+            &mut transmit,
+        ],
+        &mut NullObserver,
     )?;
+    let speculative = ctx
+        .last_report
+        .take()
+        .expect("a full-run pipeline always transmits");
+    drop(ctx);
+    let inference = snap
+        .blueprint
+        .take()
+        .expect("ungated inference always installs a blueprint");
+    let accuracy = topology_accuracy(&trace.ground_truth, &inference.topology);
+    let floor = crate::measure::min_subframes(n, k.min(n), config.t_samples)?;
     Ok(BluRunReport {
-        measurement_subframes: t_max,
+        measurement_subframes: snap.measurement_subframes,
         measurement_floor: floor,
         inference,
         accuracy,
@@ -230,8 +279,13 @@ pub fn run_blu_stale(
         .map(|trace| {
             let access = TopologyAccess::new(&inferred);
             let mut scheduler = SpeculativeScheduler::new(&access);
-            let mut emulator = Emulator::new(trace, config.emulation.clone())?;
-            let speculative = emulator.run(&mut scheduler, None);
+            let mut engine = CellEngine::with_config(trace, &config.emulation)?;
+            let speculative = engine.run_segment(
+                &mut scheduler,
+                None,
+                AccessMode::BackToBack,
+                &mut NullObserver,
+            );
             Ok(BluRunReport {
                 measurement_subframes: t_max,
                 measurement_floor: floor,
@@ -246,6 +300,7 @@ pub fn run_blu_stale(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::emulator::Emulator;
     use crate::sched::PfScheduler;
     use blu_phy::cell::CellConfig;
     use blu_sim::time::Micros;
@@ -420,7 +475,7 @@ mod full_fidelity_tests {
     use blu_sim::time::Micros;
     use blu_traces::capture::{capture_synthetic, CaptureConfig};
 
-    /// The full-fidelity path (emulator + pilots) must agree with the
+    /// The full-fidelity path (engine + pilots) must agree with the
     /// stats-level shortcut on the measured probabilities.
     #[test]
     fn full_fidelity_matches_stats_shortcut() {

@@ -22,173 +22,74 @@
 //! Drifting → Remeasuring (shortened phase, estimator decayed, §3.7)
 //! ```
 //!
-//! * **Measuring / Remeasuring** — run the Algorithm-1 plan against
-//!   the trace, feeding the estimator through the observation-fault
-//!   channel. Re-measurements are shorter (`remeasure_t_samples`) and
-//!   the estimator is first *decayed* so fresh post-drift samples
-//!   outweigh stale history (staleness windowing).
-//! * **Confident** — speculative scheduling on the inferred
-//!   blue-print, in segments of `check_interval_txops`; after each
-//!   segment every client's observed CCA outcome updates a per-client
-//!   mispredict EWMA against the blue-print's predicted access
-//!   probability.
-//! * **Drifting** — the EWMA crossed `drift_threshold`: the
-//!   blue-print no longer describes the air. Recorded for
-//!   observability, then immediately re-measure.
-//! * **Fallback** — the inference verdict was
-//!   [`InferenceVerdict::Degraded`] (or confidence fell below
-//!   `confidence_floor`, or inference itself panicked): scheduling
-//!   proceeds with plain proportional fair, which needs no topology
-//!   knowledge, until a probation period expires **and** the per-cell
-//!   [`CircuitBreaker`] allows a retry — repeated failures back off
-//!   exponentially instead of burning a re-measurement phase on every
-//!   probation cycle.
+//! Every arm is a thin composition of engine stages over the cell's
+//! [`CellContext`]:
+//!
+//! * **Measuring / Remeasuring** — `[MeasureStage, InferStage]` with
+//!   the fault-channel fidelity and the verdict gate: the Algorithm-1
+//!   plan feeds the estimator through the observation-fault channel,
+//!   and inference runs guarded (poison quarantine, stall repetition,
+//!   panic containment) with its verdict routed into
+//!   Confident/Fallback behind the breaker. Re-measurements are
+//!   shorter (`remeasure_t_samples`) and the estimator is first
+//!   *decayed* so fresh post-drift samples outweigh stale history.
+//! * **Confident / Fallback** — `[GenerateStage, ScheduleStage,
+//!   TransmitStage]`: the blueprint (or its absence) picks the
+//!   scheduler, the windowed policy clips a `check_interval_txops`
+//!   segment to the remaining trace, and the transmit stage drives
+//!   the [`CellEngine`](crate::engine::CellEngine) with the
+//!   fault-tap observer feeding estimator and drift monitor per
+//!   decoded sub-frame. The *policy* that reads the drift score (or
+//!   the probation/breaker countdown) afterwards stays here.
+//! * **Drifting** — transitional: decay stale statistics, go
+//!   straight into the shortened re-measurement.
 //!
 //! ## Resilience runtime (see [`crate::runtime`])
 //!
-//! Every inference call runs guarded: scripted runtime faults
+//! Every inference call runs guarded inside
+//! [`InferStage`]: scripted runtime faults
 //! ([`blu_sim::faults::FaultKind::InferenceStall`], `InferencePanic`,
 //! `StatPoison`) stall it, panic it, or corrupt its constraint
-//! targets; poisoned targets are quarantined by
-//! [`ConstraintSystem::sanitize`] before the solver sees them, and a
-//! panic is contained at the call boundary as
+//! targets; poisoned targets are quarantined before the solver sees
+//! them, and a panic is contained at the call boundary as
 //! [`BluError::Panicked`] — it routes to fallback like any other
 //! failed inference and never crosses the cell boundary.
 //!
 //! The whole mutable loop state lives in a serializable
-//! [`RobustSnapshot`]; with a [`CheckpointPolicy`] configured, the
+//! [`RobustSnapshot`] (the engine's
+//! [`CellSnapshot`](crate::engine::CellSnapshot), re-exported under
+//! its historical name); with a [`CheckpointPolicy`] configured, the
 //! loop atomically persists it on an interval and at clean shutdown,
 //! and a later run can resume **bit-identically** from the snapshot
 //! (all RNG streams — observation channel, poison source, breaker
 //! jitter — are part of it).
 //!
-//! PF fairness state is carried across segments
-//! ([`Emulator::seed_pf_averages`]), and measurement overhead is
-//! charged against throughput in
+//! PF fairness state is carried across segments by the transmit
+//! stage, and measurement overhead is charged against throughput in
 //! [`RobustRunReport::effective_throughput_mbps`] — the number a
 //! deployment would actually see.
 
-use crate::blueprint::constraints::ConstraintSystem;
 use crate::blueprint::infer::InferenceVerdict;
-use crate::blueprint::{InferenceBackend, InferenceResult};
-use crate::emulator::Emulator;
+use crate::blueprint::InferenceBackend;
+use crate::engine::{
+    CellContext, CellGeometry, FleetEngine, GenerateStage, InferGate, InferStage, MeasureFidelity,
+    MeasureStage, NullObserver, SchedulePolicy, ScheduleStage, StageFlow, TransmitFeed,
+    TransmitStage,
+};
 use crate::error::BluError;
-use crate::joint::TopologyAccess;
-use crate::measure::{measurement_schedule, OutcomeEstimator};
+use crate::measure::measurement_schedule;
 use crate::metrics::UplinkMetrics;
 use crate::orchestrator::BluConfig;
-use crate::runtime::breaker::{BreakerConfig, BreakerPoll, BreakerTransition, CircuitBreaker};
+use crate::runtime::breaker::{BreakerConfig, BreakerPoll, BreakerTransition};
 use crate::runtime::checkpoint::{load_robust_checkpoint, save_robust_checkpoint};
 use crate::runtime::panic_message;
-use crate::sched::{PfScheduler, SpeculativeScheduler};
-use blu_sim::clientset::ClientSet;
-use blu_sim::faults::ObservationChannel;
-use blu_sim::rng::DetRng;
-use blu_sim::time::SubframeIndex;
 use blu_traces::faults::FaultyCapture;
-use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::PathBuf;
 
-/// Where the robust orchestrator currently is.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum OrchestratorState {
-    /// Initial full-length measurement phase.
-    Measuring,
-    /// Speculating on a blue-print whose drift score is below
-    /// threshold.
-    Confident,
-    /// Drift detected; about to re-measure.
-    Drifting,
-    /// Shortened re-measurement phase (§3.7).
-    Remeasuring,
-    /// Blue-print unusable — scheduling with plain PF.
-    Fallback,
-}
-
-impl std::fmt::Display for OrchestratorState {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(match self {
-            OrchestratorState::Measuring => "measuring",
-            OrchestratorState::Confident => "confident",
-            OrchestratorState::Drifting => "drifting",
-            OrchestratorState::Remeasuring => "re-measuring",
-            OrchestratorState::Fallback => "fallback",
-        })
-    }
-}
-
-/// Per-client mispredict tracker: an EWMA of the signed difference
-/// between each observed CCA outcome (1 = accessed) and the
-/// blue-print's predicted access probability. Under a correct
-/// blue-print every per-client EWMA hovers around zero; a terminal
-/// appearing, disappearing or drifting pulls its victims' EWMAs away
-/// in either direction, so the score is the **maximum absolute**
-/// per-client deviation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct DriftMonitor {
-    alpha: f64,
-    dev: Vec<f64>,
-    samples: u64,
-}
-
-impl DriftMonitor {
-    /// New monitor over `n` clients with EWMA weight `alpha`.
-    pub fn new(alpha: f64, n: usize) -> Self {
-        DriftMonitor {
-            alpha: alpha.clamp(0.0, 1.0),
-            dev: vec![0.0; n],
-            samples: 0,
-        }
-    }
-
-    /// Feed one observed outcome for client `ue` against the
-    /// blue-print's predicted access probability.
-    pub fn observe(&mut self, ue: usize, accessed: bool, predicted: f64) {
-        if ue >= self.dev.len() {
-            return;
-        }
-        let p = if predicted.is_finite() {
-            predicted.clamp(0.0, 1.0)
-        } else {
-            0.5
-        };
-        let x = if accessed { 1.0 } else { 0.0 };
-        self.dev[ue] += self.alpha * ((x - p) - self.dev[ue]);
-        self.samples += 1;
-    }
-
-    /// Current drift score: the largest per-client |EWMA| deviation.
-    pub fn score(&self) -> f64 {
-        self.dev.iter().fold(0.0_f64, |m, d| m.max(d.abs()))
-    }
-
-    /// Observations consumed since the last reset.
-    pub fn samples(&self) -> u64 {
-        self.samples
-    }
-
-    /// Forget everything (called after re-blue-printing).
-    pub fn reset(&mut self) {
-        self.dev.iter_mut().for_each(|d| *d = 0.0);
-        self.samples = 0;
-    }
-}
-
-/// Where and how often the loop persists its state.
-#[derive(Debug, Clone)]
-pub struct CheckpointPolicy {
-    /// Directory holding the per-cell snapshot files
-    /// (`cell-<index>.json`).
-    pub dir: PathBuf,
-    /// Save whenever the cursor has advanced this many sub-frames
-    /// since the last save (0 = only at clean shutdown). A final
-    /// save always happens when the run completes.
-    pub every_subframes: u64,
-    /// Resume from an existing snapshot in `dir` if one is present
-    /// (a fresh run starts when the file is absent).
-    pub resume: bool,
-}
+pub use crate::engine::context::CellSnapshot as RobustSnapshot;
+pub use crate::engine::context::{
+    CheckpointPolicy, DriftMonitor, OrchestratorState, StateTransition,
+};
 
 /// Configuration of the robust loop.
 #[derive(Debug, Clone)]
@@ -213,7 +114,8 @@ pub struct RobustConfig {
     /// TxOPs spent in PF fallback before measurement is retried.
     pub fallback_probation_txops: u64,
     /// Estimator count-retention factor applied before each
-    /// re-measurement (see [`OutcomeEstimator::decay`]).
+    /// re-measurement (see
+    /// [`OutcomeEstimator::decay`](crate::measure::OutcomeEstimator::decay)).
     pub estimator_keep: f64,
     /// Seed of the observation-fault channel RNG (the poison and
     /// breaker-jitter streams are derived from it).
@@ -264,15 +166,6 @@ impl RobustConfig {
     }
 }
 
-/// One state-machine transition, for post-mortem inspection.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub struct StateTransition {
-    /// Trace sub-frame at which the state was entered.
-    pub at_subframe: u64,
-    /// The state entered.
-    pub state: OrchestratorState,
-}
-
 /// Everything a robust run produces.
 #[derive(Debug, Clone)]
 pub struct RobustRunReport {
@@ -308,7 +201,8 @@ pub struct RobustRunReport {
     /// (returned a best-so-far blueprint with `completed = false`).
     pub deadline_misses: u32,
     /// Constraint targets quarantined by
-    /// [`ConstraintSystem::sanitize`] before inference.
+    /// [`ConstraintSystem::sanitize`](crate::blueprint::ConstraintSystem::sanitize)
+    /// before inference.
     pub quarantined_constraints: u64,
 }
 
@@ -335,83 +229,15 @@ impl RobustRunReport {
     }
 }
 
-/// The complete mutable state of one cell's robust loop — everything
-/// that must survive a process restart for the resumed run to be
-/// bit-identical to an uninterrupted one. Persisted via
-/// [`crate::runtime::checkpoint`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct RobustSnapshot {
-    /// Clients in the capture (resume-mismatch guard).
-    pub n_clients: u64,
-    /// Sub-frames in the capture (resume-mismatch guard).
-    pub trace_len: u64,
-    /// `RobustConfig::seed` the run started with (resume-mismatch
-    /// guard: a different seed means different RNG streams).
-    pub config_seed: u64,
-    /// Trace cursor, in sub-frames.
-    pub cursor: u64,
-    /// Current machine state.
-    pub state: OrchestratorState,
-    /// Whether the run has consumed the trace.
-    pub done: bool,
-    /// Accumulated access statistics.
-    pub est: OutcomeEstimator,
-    /// Observation-fault channel (carries its RNG).
-    pub chan: ObservationChannel,
-    /// RNG stream feeding scripted constraint poisoning.
-    pub poison_rng: DetRng,
-    /// Drift monitor EWMAs.
-    pub drift: DriftMonitor,
-    /// Per-cell circuit breaker (state, backoff, jitter RNG,
-    /// transition history).
-    pub breaker: CircuitBreaker,
-    /// Merged scheduling metrics so far.
-    pub metrics: UplinkMetrics,
-    /// State history so far.
-    pub transitions: Vec<StateTransition>,
-    /// Inference verdicts so far.
-    pub verdicts: Vec<InferenceVerdict>,
-    /// Blue-print currently in force.
-    pub blueprint: Option<InferenceResult>,
-    /// PF average-rate state carried across emulator segments.
-    pub pf_avg: Option<Vec<f64>>,
-    /// Sub-frames spent measuring so far.
-    pub measurement_subframes: u64,
-    /// Re-measurement phases so far.
-    pub n_remeasurements: u32,
-    /// TxOPs spent speculating so far.
-    pub speculative_txops: u64,
-    /// TxOPs spent in PF fallback so far.
-    pub fallback_txops: u64,
-    /// TxOPs of fallback probation remaining.
-    pub probation_left: u64,
-    /// Largest drift score seen so far.
-    pub peak_drift: f64,
-    /// Wall-clock inference time so far (timing only — excluded from
-    /// the determinism contract and therefore from snapshot
-    /// equality-based determinism tests).
-    pub inference_micros: u64,
-    /// Contained inference panics so far.
-    pub inference_panics: u32,
-    /// Deadline-bounded inferences that returned incomplete so far.
-    pub deadline_misses: u32,
-    /// Constraint targets quarantined so far.
-    pub quarantined_constraints: u64,
-}
-
-/// One cell's robust loop, decomposed into resumable steps. Public
-/// API stays [`run_blu_robust`]/[`run_robust_fleet`]; the driver
-/// exists so checkpointing can interleave with stepping and so tests
-/// can kill and resume a run mid-flight.
+/// One cell's robust loop, decomposed into resumable steps: a thin
+/// state-machine driver over the engine's stage pipeline. Public API
+/// stays [`run_blu_robust`]/[`run_robust_fleet`]; the driver exists so
+/// checkpointing can interleave with stepping and so tests can kill
+/// and resume a run mid-flight.
 pub(crate) struct RobustDriver<'a> {
     capture: &'a FaultyCapture,
     config: &'a RobustConfig,
-    n: usize,
-    trace_len: u64,
-    per_txop: u64,
-    dl: u64,
-    ul: u64,
-    k_max: usize,
+    geom: CellGeometry,
     pub(crate) snap: RobustSnapshot,
 }
 
@@ -442,37 +268,13 @@ impl<'a> RobustDriver<'a> {
             }
         }
 
-        let snap = RobustSnapshot {
-            n_clients: n as u64,
+        let snap = RobustSnapshot::fresh(
+            n,
             trace_len,
-            config_seed: config.seed,
-            cursor: 0,
-            state: OrchestratorState::Measuring,
-            done: false,
-            est: OutcomeEstimator::new(n),
-            chan: ObservationChannel::new(DetRng::seed_from_u64(config.seed ^ 0x0B5E_7ACE)),
-            poison_rng: DetRng::seed_from_u64(config.seed ^ 0x7015_0A11),
-            drift: DriftMonitor::new(config.drift_alpha, n),
-            breaker: CircuitBreaker::new(config.breaker, config.seed),
-            metrics: UplinkMetrics::new(n),
-            transitions: vec![StateTransition {
-                at_subframe: 0,
-                state: OrchestratorState::Measuring,
-            }],
-            verdicts: Vec::new(),
-            blueprint: None,
-            pf_avg: None,
-            measurement_subframes: 0,
-            n_remeasurements: 0,
-            speculative_txops: 0,
-            fallback_txops: 0,
-            probation_left: 0,
-            peak_drift: 0.0,
-            inference_micros: 0,
-            inference_panics: 0,
-            deadline_misses: 0,
-            quarantined_constraints: 0,
-        };
+            config.seed,
+            config.drift_alpha,
+            config.breaker,
+        );
         Ok(RobustDriver::with_snapshot(capture, config, snap))
     }
 
@@ -509,69 +311,12 @@ impl<'a> RobustDriver<'a> {
         config: &'a RobustConfig,
         snap: RobustSnapshot,
     ) -> Self {
-        let n = capture.trace.ground_truth.n_clients;
         RobustDriver {
             capture,
             config,
-            n,
-            trace_len: capture.trace.access.len() as u64,
-            per_txop: config.blu.emulation.cell.txop.total_subframes(),
-            dl: config.blu.emulation.cell.txop.dl_subframes,
-            ul: config.blu.emulation.cell.txop.ul_subframes,
-            k_max: config.blu.emulation.cell.max_ues_per_subframe,
+            geom: CellGeometry::derive(&capture.trace, &config.blu.emulation),
             snap,
         }
-    }
-
-    fn enter(&mut self, next: OrchestratorState) {
-        self.snap.state = next;
-        self.snap.transitions.push(StateTransition {
-            at_subframe: self.snap.cursor,
-            state: next,
-        });
-    }
-
-    /// Run inference under the resilience guards: scripted poisoning
-    /// is injected and quarantined, scripted stalls repeat the solve,
-    /// and a panic (scripted or genuine) is contained at this
-    /// boundary.
-    fn guarded_blueprint(&mut self) -> Result<InferenceResult, BluError> {
-        let rt = self.capture.script.runtime_state_at(self.snap.cursor);
-        let mut sys = ConstraintSystem::from_measurements(self.snap.est.stats());
-        if rt.poison_rate > 0.0 {
-            for t in sys.individual.iter_mut().chain(sys.pair.iter_mut()) {
-                if self.snap.poison_rng.chance(rt.poison_rate) {
-                    *t = f64::NAN;
-                }
-            }
-            for tr in sys.triples.iter_mut() {
-                if self.snap.poison_rng.chance(rt.poison_rate) {
-                    tr.target = f64::NAN;
-                }
-            }
-        }
-        self.snap.quarantined_constraints += sys.sanitize() as u64;
-
-        let reps = rt.stall_factor.max(1);
-        let inject_panic = rt.panic;
-        let backend = &self.config.backend;
-        let icfg = &self.config.blu.inference;
-        let t0 = std::time::Instant::now();
-        let outcome = catch_unwind(AssertUnwindSafe(|| {
-            if inject_panic {
-                panic!("injected inference panic");
-            }
-            let mut result = backend.infer(&sys, icfg);
-            // A scripted stall models a slow solver by repeating the
-            // (deterministic) solve; the last result is returned.
-            for _ in 1..reps {
-                result = backend.infer(&sys, icfg);
-            }
-            result
-        }))
-        .map_err(|p| BluError::Panicked(panic_message(p.as_ref())));
-        self.snap.inference_micros += t0.elapsed().as_micros() as u64;
-        outcome
     }
 
     /// Execute one state-machine arm. Returns `Ok(false)` once the
@@ -587,126 +332,77 @@ impl<'a> RobustDriver<'a> {
                 } else {
                     self.config.remeasure_t_samples
                 };
-                let plan = measurement_schedule(self.n, self.k_max, t)?;
-                if self.snap.cursor + plan.t_max() > self.trace_len {
-                    self.snap.done = true;
+                let mut ctx = CellContext::new(
+                    &self.capture.trace,
+                    Some(&self.capture.script),
+                    &self.config.blu.emulation,
+                    &self.config.blu.inference,
+                    &self.config.backend,
+                    &mut self.snap,
+                );
+                let mut measure = MeasureStage {
+                    t_samples: t,
+                    fidelity: MeasureFidelity::FaultChannel,
+                };
+                let mut infer = InferStage {
+                    gate: Some(InferGate {
+                        confidence_floor: self.config.confidence_floor,
+                        fallback_probation_txops: self.config.fallback_probation_txops,
+                    }),
+                };
+                let flow = crate::engine::run_pipeline(
+                    &mut ctx,
+                    &mut [&mut measure, &mut infer],
+                    &mut NullObserver,
+                )?;
+                if flow == StageFlow::Halt {
                     return Ok(false);
-                }
-                let trace = &self.capture.trace;
-                for (i, &scheduled) in plan.subframes.iter().enumerate() {
-                    let sf = self.snap.cursor + i as u64;
-                    let accessible = trace.access.at(SubframeIndex(sf));
-                    let obs_state = self.capture.script.obs_state_at(sf);
-                    if let Some((obs, acc)) = self.snap.chan.corrupt(
-                        obs_state,
-                        scheduled,
-                        accessible.intersection(scheduled),
-                    ) {
-                        self.snap.est.stats_mut().record(obs, acc);
-                    }
-                }
-                self.snap.cursor += plan.t_max();
-                self.snap.measurement_subframes += plan.t_max();
-
-                match self.guarded_blueprint() {
-                    Ok(result) => {
-                        if !result.completed {
-                            self.snap.deadline_misses += 1;
-                        }
-                        self.snap.verdicts.push(result.verdict);
-                        let usable = result.verdict != InferenceVerdict::Degraded
-                            && result.confidence() >= self.config.confidence_floor;
-                        if usable {
-                            self.snap.breaker.record_success(self.snap.cursor);
-                            self.snap.blueprint = Some(result);
-                            self.snap.drift.reset();
-                            self.enter(OrchestratorState::Confident);
-                        } else {
-                            self.snap.breaker.record_failure(self.snap.cursor);
-                            self.snap.blueprint = None;
-                            self.snap.probation_left = self.config.fallback_probation_txops;
-                            self.enter(OrchestratorState::Fallback);
-                        }
-                    }
-                    Err(e) => {
-                        if matches!(e, BluError::Panicked(_)) {
-                            self.snap.inference_panics += 1;
-                        }
-                        self.snap.verdicts.push(InferenceVerdict::Degraded);
-                        self.snap.breaker.record_failure(self.snap.cursor);
-                        self.snap.blueprint = None;
-                        self.snap.probation_left = self.config.fallback_probation_txops;
-                        self.enter(OrchestratorState::Fallback);
-                    }
                 }
             }
             OrchestratorState::Confident | OrchestratorState::Fallback => {
-                let room = (self.trace_len - self.snap.cursor) / self.per_txop;
-                let txops = self.config.check_interval_txops.min(room);
-                if txops == 0 {
-                    self.snap.done = true;
+                let was_confident = self.snap.state == OrchestratorState::Confident;
+                let mut ctx = CellContext::new(
+                    &self.capture.trace,
+                    Some(&self.capture.script),
+                    &self.config.blu.emulation,
+                    &self.config.blu.inference,
+                    &self.config.backend,
+                    &mut self.snap,
+                );
+                let mut generate = GenerateStage;
+                let mut schedule = ScheduleStage {
+                    policy: SchedulePolicy::Windowed {
+                        check_interval_txops: self.config.check_interval_txops,
+                    },
+                };
+                let mut transmit = TransmitStage {
+                    feed: TransmitFeed::FaultTap,
+                };
+                let flow = crate::engine::run_pipeline(
+                    &mut ctx,
+                    &mut [&mut generate, &mut schedule, &mut transmit],
+                    &mut NullObserver,
+                )?;
+                if flow == StageFlow::Halt {
                     return Ok(false);
                 }
-                let trace = &self.capture.trace;
-                let mut cfg = self.config.blu.emulation.clone();
-                cfg.n_txops = txops;
-                cfg.start_subframe = self.snap.cursor;
-                let mut emu = Emulator::new(trace, cfg)?;
-                if let Some(avg) = &self.snap.pf_avg {
-                    emu.seed_pf_averages(avg);
-                }
-                let seg = if self.snap.state == OrchestratorState::Confident {
-                    let result = self
-                        .snap
-                        .blueprint
-                        .as_ref()
-                        .expect("Confident implies a blueprint");
-                    let access = TopologyAccess::new(&result.topology);
-                    let mut sched = SpeculativeScheduler::new(&access);
-                    emu.run(&mut sched, None)
-                } else {
-                    emu.run(&mut PfScheduler, None)
-                };
-                self.snap.pf_avg = Some(emu.pf_averages().to_vec());
-                self.snap.metrics.merge(&seg.metrics);
+                let txops = ctx
+                    .segment
+                    .expect("windowed transmit planned a segment")
+                    .txops;
+                drop(ctx);
 
-                // Observed CCA outcomes keep feeding the estimator
-                // (warm re-measurements, §3.7) and — when a blue-print
-                // is in force — the drift monitor. Only UL sub-frames
-                // are observable: the eNB transmits during DL.
-                for t_i in 0..txops {
-                    for u in 0..self.ul {
-                        let sf = self.snap.cursor + t_i * self.per_txop + self.dl + u;
-                        let accessible = trace.access.at(SubframeIndex(sf));
-                        let obs_state = self.capture.script.obs_state_at(sf);
-                        let all = ClientSet::all(self.n);
-                        if let Some((obs, acc)) = self.snap.chan.corrupt(obs_state, all, accessible)
-                        {
-                            self.snap.est.stats_mut().record(obs, acc);
-                            if let Some(result) = &self.snap.blueprint {
-                                for ue in obs.iter() {
-                                    self.snap.drift.observe(
-                                        ue,
-                                        acc.contains(ue),
-                                        result.topology.p_individual(ue),
-                                    );
-                                }
-                            }
-                        }
-                    }
-                }
-                self.snap.cursor += txops * self.per_txop;
-
-                if self.snap.state == OrchestratorState::Confident {
-                    self.snap.speculative_txops += txops;
+                // Post-segment policy: the stages carried the
+                // mechanism; the drift gate and the probation/breaker
+                // countdown are the robust loop's own decisions.
+                if was_confident {
                     self.snap.peak_drift = self.snap.peak_drift.max(self.snap.drift.score());
                     if self.snap.drift.samples() >= self.config.min_drift_samples
                         && self.snap.drift.score() > self.config.drift_threshold
                     {
-                        self.enter(OrchestratorState::Drifting);
+                        self.snap.enter(OrchestratorState::Drifting);
                     }
                 } else {
-                    self.snap.fallback_txops += txops;
                     self.snap.probation_left = self.snap.probation_left.saturating_sub(txops);
                     if self.snap.probation_left == 0 {
                         // Probation over — but a tripped breaker gates
@@ -715,12 +411,13 @@ impl<'a> RobustDriver<'a> {
                         // transition until the breaker half-opens.
                         match self.snap.breaker.poll(self.snap.cursor) {
                             BreakerPoll::Wait(wait_subframes) => {
-                                self.snap.probation_left = (wait_subframes / self.per_txop).max(1);
+                                self.snap.probation_left =
+                                    (wait_subframes / self.geom.per_txop).max(1);
                             }
                             BreakerPoll::Allow => {
                                 self.snap.est.decay(self.config.estimator_keep);
                                 self.snap.n_remeasurements += 1;
-                                self.enter(OrchestratorState::Remeasuring);
+                                self.snap.enter(OrchestratorState::Remeasuring);
                             }
                         }
                     }
@@ -731,7 +428,7 @@ impl<'a> RobustDriver<'a> {
                 // straight into the shortened re-measurement.
                 self.snap.est.decay(self.config.estimator_keep);
                 self.snap.n_remeasurements += 1;
-                self.enter(OrchestratorState::Remeasuring);
+                self.snap.enter(OrchestratorState::Remeasuring);
             }
         }
         Ok(true)
@@ -821,16 +518,16 @@ pub fn run_blu_robust_cell(
 }
 
 /// Run the robust loop over a fleet of captures (one per cell) in
-/// parallel across the worker pool.
+/// parallel across the sharded [`FleetEngine`].
 ///
 /// Each cell's run is an independent pure function of its capture and
-/// the shared config, and the rayon shim joins workers in spawn
+/// the shared config, and the fleet engine joins shards in spawn
 /// order, so the reports come back **in input order** and — apart
 /// from the wall-clock [`RobustRunReport::inference_micros`] field —
 /// identical to [`run_robust_fleet_sequential`].
 ///
 /// **Isolation contract:** any panic inside a cell's run is contained
-/// inside that cell's worker closure (the rayon shim would otherwise
+/// inside that cell's closure (the fleet engine would otherwise
 /// abort the whole join) and surfaces as that cell's
 /// [`BluError::Panicked`]; the other cells' reports are exactly what
 /// they would have been without the faulty neighbour.
@@ -838,15 +535,15 @@ pub fn run_robust_fleet(
     captures: &[FaultyCapture],
     config: &RobustConfig,
 ) -> Vec<Result<RobustRunReport, BluError>> {
-    use rayon::prelude::*;
     let indexed: Vec<(usize, &FaultyCapture)> = captures.iter().enumerate().collect();
-    indexed
-        .par_iter()
-        .map(|&(cell, cap)| {
+    FleetEngine::run(
+        indexed,
+        || (),
+        |_, (cell, cap)| {
             catch_unwind(AssertUnwindSafe(|| run_blu_robust_cell(cap, config, cell)))
                 .unwrap_or_else(|p| Err(BluError::Panicked(panic_message(p.as_ref()))))
-        })
-        .collect()
+        },
+    )
 }
 
 /// Sequential reference for [`run_robust_fleet`] — kept alive for
@@ -1270,6 +967,108 @@ mod tests {
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// Kill-and-resume pinned against the pre-refactor golden: the
+    /// resumed run of the `robust_ht_appear_seed12` scenario must
+    /// reproduce the digest recorded by the standalone-loop
+    /// implementation in `tests/data/engine_golden_v1.json` — resume
+    /// is not merely self-consistent, it is bit-identical to the
+    /// pre-engine numbers.
+    #[test]
+    fn kill_and_resume_matches_pre_refactor_golden() {
+        /// Order-sensitive bit-pattern fold (duplicated from the
+        /// engine differential test, which cannot reach the private
+        /// driver).
+        fn fold_bits(xs: &[f64]) -> u64 {
+            xs.iter().fold(0x9E37_79B9_7F4A_7C15u64, |h, x| {
+                h.rotate_left(7) ^ x.to_bits()
+            })
+        }
+        fn digest_metrics(m: &UplinkMetrics) -> String {
+            format!(
+                "sf={} sch={} ut={} col={} blk={} fad={} full={} bits={:016x} pc={:016x}",
+                m.subframes,
+                m.rbs_scheduled,
+                m.rbs_utilized,
+                m.rbs_collided,
+                m.rbs_blocked,
+                m.rbs_faded,
+                m.fully_utilized_subframes,
+                m.bits_delivered.to_bits(),
+                fold_bits(&m.bits_per_client),
+            )
+        }
+        fn digest_robust(r: &RobustRunReport) -> String {
+            let trans_fold = r.transitions.iter().fold(0u64, |h, t| {
+                h.rotate_left(5) ^ t.at_subframe ^ ((t.state as u64) << 56)
+            });
+            let verdict_fold = r
+                .verdicts
+                .iter()
+                .fold(0u64, |h, v| h.rotate_left(3) ^ (*v as u64 + 1));
+            format!(
+                "meas={} remeas={} spec={} fb={} trans={}x{:016x} verdicts={}x{:016x} conf={:016x} \
+                 drift={:016x} brk={} panics={} ddl={} quar={} metrics=[{}]",
+                r.measurement_subframes,
+                r.n_remeasurements,
+                r.speculative_txops,
+                r.fallback_txops,
+                r.transitions.len(),
+                trans_fold,
+                r.verdicts.len(),
+                verdict_fold,
+                r.final_confidence.to_bits(),
+                r.peak_drift.to_bits(),
+                r.breaker_transitions.len(),
+                r.inference_panics,
+                r.deadline_misses,
+                r.quarantined_constraints,
+                digest_metrics(&r.metrics),
+            )
+        }
+
+        // The exact scenario pinned as `robust_ht_appear_seed12`.
+        let script = FaultScript::new(vec![FaultEvent {
+            at_subframe: 20_000,
+            kind: FaultKind::HtAppear {
+                q: 0.6,
+                edges: ClientSet::from_iter([0, 1, 2, 3]),
+            },
+        }]);
+        let cap = capture(script, 90, 12);
+        let mut cell = CellConfig::testbed_siso();
+        cell.numerology.n_rbs = 10;
+        let mut emu = crate::emulator::EmulationConfig::new(cell);
+        emu.n_txops = 40;
+        let cfg = RobustConfig::new(BluConfig::new(emu));
+
+        // Kill after five steps, resume through serialized bytes.
+        let mut first = RobustDriver::new(&cap, &cfg).unwrap();
+        for _ in 0..5 {
+            assert!(first.step().unwrap());
+        }
+        let dir = std::env::temp_dir().join(format!("blu-ckpt-golden-{}", std::process::id()));
+        let path = dir.join("cell-0.json");
+        save_robust_checkpoint(&path, &first.snap).unwrap();
+        drop(first);
+        let snap = load_robust_checkpoint(&path).unwrap();
+        let mut resumed = RobustDriver::resume(&cap, &cfg, snap).unwrap();
+        while resumed.step().unwrap() {}
+        let report = resumed.into_report();
+        std::fs::remove_dir_all(&dir).ok();
+
+        let golden_path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/data/engine_golden_v1.json"
+        );
+        let golden: std::collections::BTreeMap<String, String> =
+            serde_json::from_str(&std::fs::read_to_string(golden_path).unwrap()).unwrap();
+        assert_eq!(
+            &digest_robust(&report),
+            golden.get("robust_ht_appear_seed12").unwrap(),
+            "kill-and-resume diverged from the pre-refactor robust run"
+        );
+    }
+
     #[test]
     fn checkpointing_run_matches_plain_run_and_resumes_completed() {
         let cap = capture(FaultScript::none(), 60, 51);
@@ -1319,7 +1118,7 @@ mod tests {
     }
 
     // ------------------------------------------------------------------
-    // Checkpoint format stability (satellite d).
+    // Checkpoint format stability.
     // ------------------------------------------------------------------
 
     /// A deterministic snapshot: the fresh pre-step state contains no
@@ -1349,7 +1148,9 @@ mod tests {
     /// format changed — bump [`CHECKPOINT_VERSION`] (and regenerate
     /// the golden file with `BLU_REGEN_GOLDEN=1 cargo test -p
     /// blu-core checkpoint_golden`) rather than silently breaking old
-    /// snapshots.
+    /// snapshots. The engine extraction renamed the Rust type to
+    /// `CellSnapshot`; serde encodes field names only, so the v1
+    /// bytes are untouched — which is exactly what this pin proves.
     #[test]
     fn checkpoint_golden_file_round_trips() {
         let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/checkpoint_v1.json");
