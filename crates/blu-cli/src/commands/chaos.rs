@@ -1,0 +1,164 @@
+//! `blu chaos` — compile a deterministic fleet-scale fault storm,
+//! run the supervised fleet through it, and check the recovery
+//! invariants.
+//!
+//! The storm is compiled by [`blu_harness::chaos::ChaosPlan`] from a
+//! seed and a handful of fractions, so the same command line always
+//! reproduces the same faults. The run is scored against a fault-free
+//! golden fleet; any violated invariant is printed and the command
+//! exits nonzero.
+//!
+//! ```text
+//! blu chaos --cells 6 --seconds 60 --seed 7 \
+//!     --crash-frac 0.34 --torn-frac 0.5 --poison-frac 0.05
+//! ```
+
+use crate::args::Flags;
+use blu_core::orchestrator::BluConfig;
+use blu_core::robust::{CheckpointPolicy, RobustConfig};
+use blu_core::runtime::supervisor::{CellHealth, SupervisorConfig};
+use blu_core::EmulationConfig;
+use blu_harness::chaos::{run_chaos, verify_invariants, ChaosConfig, ChaosPlan};
+use blu_phy::cell::CellConfig;
+use std::path::PathBuf;
+
+const HELP: &str = "blu chaos — deterministic fault storm against the supervised fleet
+
+STORM SHAPE:
+    --cells <n>        fleet size (default 6)
+    --seconds <s>      capture duration per cell (default 60)
+    --seed <u64>       master seed: cell selection, fault placement
+                       and captures all derive from it (default 7)
+    --crash-frac <f>   fraction of cells whose task crashes (default 0.34)
+    --crashes <n>      crashes per crash-faulted cell (default 1)
+    --crash-at <sf>    subframe of the first crash (default 30000)
+    --crash-gap <sf>   spacing between a cell's crashes (default 4000)
+    --stall-frac <f>   fraction of cells with a correlated inference
+                       stall (default 0)
+    --stall-factor <n> stall wall-clock multiplier (default 4)
+    --poison-frac <f>  fraction of cells with NaN-poisoned
+                       observations (default 0.05)
+    --poison-rate <f>  per-constraint poison probability (default 0.25)
+    --torn-frac <f>    fraction of crash-faulted cells whose
+                       checkpoints are torn on every save (default 0.5)
+
+RUNTIME:
+    --rbs <n>              resource blocks per cell (default 10)
+    --checkpoint-dir <dir> where cell checkpoints + supervisor
+                           sidecars live (default: a throwaway
+                           directory under the system temp dir)
+    --checkpoint-every <sf> checkpoint cadence (default 2000)
+    --max-restarts <n>     restarts before quarantine (default 3)
+
+Exits nonzero if any recovery invariant is violated.";
+
+/// Run the subcommand.
+pub fn run(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["help"])?;
+    if flags.has("help") {
+        println!("{HELP}");
+        return Ok(());
+    }
+
+    let chaos_config = ChaosConfig {
+        n_cells: flags.get_or("cells", 6usize)?,
+        seconds: flags.get_or("seconds", 60u64)?,
+        seed: flags.get_or("seed", 7u64)?,
+        crash_fraction: flags.get_or("crash-frac", 0.34f64)?,
+        crashes_per_cell: flags.get_or("crashes", 1u32)?,
+        crash_start_subframe: flags.get_or("crash-at", 30_000u64)?,
+        crash_spacing_subframes: flags.get_or("crash-gap", 4_000u64)?,
+        stall_fraction: flags.get_or("stall-frac", 0.0f64)?,
+        stall_factor: flags.get_or("stall-factor", 4u32)?,
+        stall_at_subframe: flags.get_or("stall-at", 10_000u64)?,
+        poison_fraction: flags.get_or("poison-frac", 0.05f64)?,
+        poison_rate: flags.get_or("poison-rate", 0.25f64)?,
+        poison_at_subframe: flags.get_or("poison-at", 0u64)?,
+        torn_fraction: flags.get_or("torn-frac", 0.5f64)?,
+    };
+    let plan = ChaosPlan::compile(chaos_config).map_err(|e| e.to_string())?;
+    println!("plan: {}", plan.describe());
+
+    let mut cell = CellConfig::testbed_siso();
+    cell.numerology.n_rbs = flags.get_or("rbs", 10usize)?;
+    let mut config = RobustConfig::new(BluConfig::new(EmulationConfig::new(cell)));
+    let (dir, throwaway) = match flags.get("checkpoint-dir") {
+        Some(d) => (PathBuf::from(d), false),
+        None => (
+            std::env::temp_dir().join(format!("blu-chaos-{}", std::process::id())),
+            true,
+        ),
+    };
+    config.checkpoint = Some(CheckpointPolicy {
+        dir: dir.clone(),
+        every_subframes: flags.get_or("checkpoint-every", 2_000u64)?,
+        resume: false,
+    });
+    let sup = SupervisorConfig {
+        max_restarts: flags.get_or("max-restarts", 3u32)?,
+        ..SupervisorConfig::default()
+    };
+
+    super::quiet_injected_panics();
+    let result = run_chaos(&plan, &config, &sup).map_err(|e| e.to_string())?;
+    if throwaway {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    let health = &result.outcome.health;
+    println!(
+        "\nfleet: {} round(s), {} checkpoint(s) torn, {} restart(s), {} quarantined",
+        health.rounds,
+        result.tears,
+        health.total_restarts(),
+        health.quarantined()
+    );
+    println!("\n cell  faults      health       restarts  crashes  notes");
+    for (i, h) in health.cells.iter().enumerate() {
+        let mut faults = String::new();
+        for (set, tag) in [
+            (&plan.crash_cells, 'C'),
+            (&plan.stall_cells, 'S'),
+            (&plan.poison_cells, 'P'),
+            (&plan.torn_cells, 'T'),
+        ] {
+            faults.push(if set.contains(&i) { tag } else { '-' });
+        }
+        let notes = if h.restart_sources.is_empty() {
+            String::new()
+        } else {
+            format!("{:?}", h.restart_sources)
+        };
+        println!(
+            "  {i:>3}  {faults:<10}  {:<11}  {:>8}  {:>7}  {notes}",
+            format!("{:?}", h.final_health),
+            h.restarts,
+            h.crashes_observed
+        );
+    }
+    let quarantined: Vec<usize> = health
+        .cells
+        .iter()
+        .enumerate()
+        .filter(|(_, h)| h.final_health == CellHealth::Quarantined)
+        .map(|(i, _)| i)
+        .collect();
+    if !quarantined.is_empty() {
+        println!("\nquarantined to static PF: {quarantined:?}");
+    }
+
+    let violations = verify_invariants(&plan, &result);
+    if violations.is_empty() {
+        println!("\nall recovery invariants held");
+        Ok(())
+    } else {
+        println!();
+        for v in &violations {
+            println!("VIOLATION: {v}");
+        }
+        Err(format!(
+            "{} recovery invariant(s) violated",
+            violations.len()
+        ))
+    }
+}

@@ -1,8 +1,35 @@
 //! Subcommand implementations.
 
+pub mod chaos;
 pub mod eval;
 pub mod generate;
 pub mod infer;
 pub mod inspect;
 pub mod plan;
 pub mod robust;
+
+/// Silence the default panic hook for scripted fault-injection
+/// panics (payloads mentioning "injected"): the robust runtime
+/// catches them and converts them into fallbacks or restarts, so the
+/// default hook's message-plus-backtrace would only shout over the
+/// command output. Any other panic still reaches the previous hook.
+/// Installed for the rest of the process — fine in a one-command
+/// binary.
+pub(crate) fn quiet_injected_panics() {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let payload = info.payload();
+        let injected = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.contains("injected"))
+            .or_else(|| {
+                payload
+                    .downcast_ref::<String>()
+                    .map(|s| s.contains("injected"))
+            })
+            .unwrap_or(false);
+        if !injected {
+            prev(info);
+        }
+    }));
+}

@@ -18,6 +18,7 @@ use crate::args::Flags;
 use blu_core::blueprint::{InferenceBackend, McmcConfig};
 use blu_core::orchestrator::BluConfig;
 use blu_core::robust::{run_blu_robust, CheckpointPolicy, RobustConfig};
+use blu_core::runtime::supervisor::{run_supervised_fleet, CellHealthReport, SupervisorConfig};
 use blu_core::runtime::Deadline;
 use blu_core::EmulationConfig;
 use blu_phy::cell::CellConfig;
@@ -43,6 +44,17 @@ OPTIONS:
     --deadline-steps <n>  anytime inference: cap each blue-printing
                       pass at n work units, speculate on best-so-far
 
+SUPERVISION:
+    --supervise               run under the fleet supervisor: crashes
+                              and stalls restart the cell from its
+                              latest checkpoint (or quarantine it to
+                              PF once the retry budget is spent)
+    --max-restarts <n>        restarts before quarantine (default 3)
+    --stall-threshold <n>     consecutive silent steps before the
+                              watchdog fires (default 6)
+    --stall-factor-limit <n>  scripted stall factor treated as a hard
+                              stall while measuring (default 8)
+
 CRASH RECOVERY:
     --checkpoint-dir <dir>    persist orchestrator snapshots to
                               <dir>/cell-0.json (atomic temp+rename)
@@ -67,6 +79,8 @@ FAULT SCRIPT:
                                      routed to PF fallback) onward
       poison@SF rate=R               constraint targets NaN-poisoned
                                      at rate R (quarantined) onward
+      crash@SF                       the whole cell task crashes once
+                                     at SF (needs --supervise)
 
     example:
       --faults \"appear@20000 q=0.6 edges=0,1,2,3; misclassify@0 rate=0.05\"";
@@ -139,11 +153,15 @@ fn parse_event(spec: &str) -> Result<FaultEvent, String> {
         "drop" => FaultKind::DropRate {
             rate: f64_of("rate")?,
         },
-        "stall" => FaultKind::InferenceStall {
-            factor: need("factor")?
+        "stall" => {
+            let factor: u32 = need("factor")?
                 .parse()
-                .map_err(|_| format!("`{kind}@{at}`: bad factor"))?,
-        },
+                .map_err(|_| format!("`{kind}@{at}`: bad factor"))?;
+            if factor < 1 {
+                return Err(format!("`{kind}@{at}`: factor must be >= 1, got {factor}"));
+            }
+            FaultKind::InferenceStall { factor }
+        }
         "panic" => FaultKind::InferencePanic {
             active: match need("active")? {
                 "1" | "true" => true,
@@ -151,9 +169,19 @@ fn parse_event(spec: &str) -> Result<FaultEvent, String> {
                 bad => return Err(format!("`{kind}@{at}`: bad active `{bad}` (want 1|0)")),
             },
         },
-        "poison" => FaultKind::StatPoison {
-            rate: f64_of("rate")?,
-        },
+        "poison" => {
+            // "nan".parse::<f64>() succeeds, so an explicit range +
+            // finiteness check is the only thing standing between the
+            // command line and a NaN poison rate.
+            let rate = f64_of("rate")?;
+            if !rate.is_finite() || !(0.0..=1.0).contains(&rate) {
+                return Err(format!(
+                    "`{kind}@{at}`: rate must be finite in [0, 1], got {rate}"
+                ));
+            }
+            FaultKind::StatPoison { rate }
+        }
+        "crash" => FaultKind::CellCrash,
         other => return Err(format!("unknown fault kind `{other}`")),
     };
     Ok(FaultEvent { at_subframe, kind })
@@ -172,7 +200,7 @@ pub fn parse_fault_script(spec: &str) -> Result<FaultScript, String> {
 
 /// Run the subcommand.
 pub fn run(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &["help", "resume"])?;
+    let flags = Flags::parse(args, &["help", "resume", "supervise"])?;
     if flags.has("help") {
         println!("{HELP}");
         return Ok(());
@@ -181,6 +209,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
         Some(spec) => parse_fault_script(spec)?,
         None => FaultScript::none(),
     };
+    if script.has_crash_faults() && !flags.has("supervise") {
+        return Err("crash@ faults escape the unsupervised loop; add --supervise".into());
+    }
     let cfg = CaptureConfig {
         n_ues: flags.get_or("ues", 6usize)?,
         n_hts: flags.get_or("hts", 8usize)?,
@@ -224,7 +255,28 @@ pub fn run(args: &[String]) -> Result<(), String> {
             seed,
         };
     }
-    let report = run_blu_robust(&cap, &config).map_err(|e| e.to_string())?;
+    super::quiet_injected_panics();
+    let (report, health): (_, Option<CellHealthReport>) = if flags.has("supervise") {
+        let sup = SupervisorConfig {
+            max_restarts: flags.get_or("max-restarts", 3u32)?,
+            stall_threshold_steps: flags.get_or("stall-threshold", 6u32)?,
+            stall_factor_limit: flags.get_or("stall-factor-limit", 8u32)?,
+            ..SupervisorConfig::default()
+        };
+        let mut outcome = run_supervised_fleet(std::slice::from_ref(&cap), &config, &sup)
+            .map_err(|e| e.to_string())?;
+        let report = outcome
+            .reports
+            .pop()
+            .ok_or("supervised run lost its cell")?;
+        let health = outcome.health.cells.pop();
+        (report, health)
+    } else {
+        (
+            run_blu_robust(&cap, &config).map_err(|e| e.to_string())?,
+            None,
+        )
+    };
 
     println!(
         "{} sub-frames, {} fault event(s), {} epoch(s)",
@@ -272,6 +324,27 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "resilience: {} contained panic(s), {} deadline miss(es), {} constraint(s) quarantined",
             report.inference_panics, report.deadline_misses, report.quarantined_constraints
         );
+    }
+    if let Some(h) = &health {
+        println!(
+            "\nsupervision: final health {:?} | {} restart(s) | {} crash(es) observed",
+            h.final_health, h.restarts, h.crashes_observed
+        );
+        if !h.restart_sources.is_empty() {
+            println!("  restored from: {:?}", h.restart_sources);
+        }
+        if let Some(err) = &h.last_error {
+            println!("  last contained failure: {err}");
+        }
+        if !h.transitions.is_empty() {
+            println!("  health timeline:");
+            for t in &h.transitions {
+                println!(
+                    "    sf {:>8}  {:?} -> {:?} ({:?})",
+                    t.at_subframe, t.from, t.to, t.cause
+                );
+            }
+        }
     }
     if let Some(policy) = &config.checkpoint {
         println!(
@@ -333,6 +406,30 @@ mod tests {
         ));
         assert!(parse_fault_script("panic@0 active=maybe").is_err());
         assert!(parse_fault_script("stall@0").is_err()); // missing factor
+    }
+
+    #[test]
+    fn dsl_crash_parses_bare() {
+        let s = parse_fault_script("crash@30000").unwrap();
+        assert!(matches!(s.events[0].kind, FaultKind::CellCrash));
+        assert!(s.has_crash_faults());
+        assert_eq!(s.crash_subframes(), vec![30_000]);
+    }
+
+    #[test]
+    fn dsl_rejects_degenerate_runtime_faults_at_parse_time() {
+        // A zero stall factor would divide the runtime's pacing.
+        let err = parse_fault_script("stall@0 factor=0").unwrap_err();
+        assert!(err.contains("factor must be >= 1"), "{err}");
+        // "nan" and "inf" parse as f64 — the validator must catch them.
+        for bad in ["nan", "inf", "-0.5", "1.5"] {
+            let err = parse_fault_script(&format!("poison@0 rate={bad}")).unwrap_err();
+            assert!(err.contains("finite in [0, 1]"), "rate={bad}: {err}");
+        }
+        // Boundary rates stay valid.
+        assert!(parse_fault_script("poison@0 rate=0").is_ok());
+        assert!(parse_fault_script("poison@0 rate=1").is_ok());
+        assert!(parse_fault_script("stall@0 factor=1").is_ok());
     }
 
     #[test]

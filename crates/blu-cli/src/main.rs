@@ -7,6 +7,7 @@
 //! blu eval trace.json --scheduler blu --txops 500
 //! blu plan --clients 20 --k 8 --t 50
 //! blu robust --seconds 90 --faults "appear@20000 q=0.6 edges=0,1,2,3"
+//! blu chaos --cells 6 --crash-frac 0.34 --torn-frac 0.5 --poison-frac 0.05
 //! ```
 //!
 //! Every subcommand works on the JSON trace format of `blu-traces`
@@ -31,6 +32,7 @@ COMMANDS:
     eval       Replay a trace through a scheduler and report metrics
     plan       Print an Algorithm-1 measurement plan
     robust     Run the degraded-mode orchestrator under scripted faults
+    chaos      Storm the supervised fleet and check recovery invariants
     help       Show this message
 
 Run `blu <COMMAND> --help` for per-command options."
@@ -49,6 +51,7 @@ fn main() -> ExitCode {
         "eval" => commands::eval::run(rest),
         "plan" => commands::plan::run(rest),
         "robust" => commands::robust::run(rest),
+        "chaos" => commands::chaos::run(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

@@ -48,7 +48,7 @@ pub use context::{
     SchedulerSpec, SegmentPlan, StateTransition,
 };
 pub use fleet::FleetEngine;
-pub use observer::{NullObserver, SubframeObserver, SubframeView};
+pub use observer::{HeartbeatCounter, NullObserver, SubframeObserver, SubframeView};
 pub use stages::{
     run_pipeline, GenerateStage, InferGate, InferStage, MeasureFidelity, MeasureStage,
     SchedulePolicy, ScheduleStage, Stage, StageFlow, StageKind, TransmitFeed, TransmitStage,

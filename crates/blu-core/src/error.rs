@@ -51,7 +51,12 @@ pub enum BluError {
     },
     /// A worker panicked and the panic was contained at an isolation
     /// boundary (per-cell `catch_unwind` in batch/fleet inference).
-    /// Carries the stringified panic payload.
+    /// Carries the rendered panic payload: non-string payloads are
+    /// recorded as the typed
+    /// [`NON_STRING_PANIC_PAYLOAD`](crate::runtime::NON_STRING_PANIC_PAYLOAD)
+    /// marker, and oversized payloads are truncated to
+    /// [`PANIC_MESSAGE_MAX_LEN`](crate::runtime::PANIC_MESSAGE_MAX_LEN)
+    /// bytes (see [`panic_message`](crate::runtime::panic_message)).
     Panicked(String),
     /// A checkpoint could not be written or read (I/O or corrupt
     /// serialization).

@@ -81,3 +81,7 @@ pub use robust::{
     run_blu_robust, run_robust_fleet, CheckpointPolicy, OrchestratorState, RobustConfig,
     RobustRunReport, RobustSnapshot,
 };
+pub use runtime::supervisor::{
+    run_supervised_fleet, run_supervised_fleet_with_hook, CellHealth, CellSupervisor,
+    FleetHealthReport, SheddingPolicy, SupervisedFleetOutcome, SupervisorConfig, SupervisorHook,
+};

@@ -322,6 +322,15 @@ impl<'a> RobustDriver<'a> {
     /// Execute one state-machine arm. Returns `Ok(false)` once the
     /// trace is exhausted (the run is complete).
     pub(crate) fn step(&mut self) -> Result<bool, BluError> {
+        self.step_with(&mut NullObserver)
+    }
+
+    /// [`Self::step`] with an observer tapped into the stage pipeline
+    /// — the supervisor's watchdog heartbeat source.
+    pub(crate) fn step_with(
+        &mut self,
+        observer: &mut dyn crate::engine::SubframeObserver,
+    ) -> Result<bool, BluError> {
         if self.snap.done {
             return Ok(false);
         }
@@ -353,7 +362,7 @@ impl<'a> RobustDriver<'a> {
                 let flow = crate::engine::run_pipeline(
                     &mut ctx,
                     &mut [&mut measure, &mut infer],
-                    &mut NullObserver,
+                    observer,
                 )?;
                 if flow == StageFlow::Halt {
                     return Ok(false);
@@ -381,7 +390,7 @@ impl<'a> RobustDriver<'a> {
                 let flow = crate::engine::run_pipeline(
                     &mut ctx,
                     &mut [&mut generate, &mut schedule, &mut transmit],
-                    &mut NullObserver,
+                    observer,
                 )?;
                 if flow == StageFlow::Halt {
                     return Ok(false);
@@ -432,6 +441,42 @@ impl<'a> RobustDriver<'a> {
             }
         }
         Ok(true)
+    }
+
+    /// Drain one PF-only segment, ignoring the state machine: the arm
+    /// the supervisor runs for quarantined or load-shed cells. No
+    /// blueprint generation, no inference, no drift/probation policy —
+    /// just a windowed PF segment through the fault tap, so the cell
+    /// keeps serving traffic (counted as fallback TxOPs) and the
+    /// cursor provably advances until the trace is exhausted.
+    pub(crate) fn step_shed(&mut self) -> Result<bool, BluError> {
+        if self.snap.done {
+            return Ok(false);
+        }
+        let mut ctx = CellContext::new(
+            &self.capture.trace,
+            Some(&self.capture.script),
+            &self.config.blu.emulation,
+            &self.config.blu.inference,
+            &self.config.backend,
+            &mut self.snap,
+        );
+        // Leave ctx.spec at its PF default: a blueprint may survive in
+        // the snapshot, but a shed cell must not speculate on it.
+        let mut schedule = ScheduleStage {
+            policy: SchedulePolicy::Windowed {
+                check_interval_txops: self.config.check_interval_txops,
+            },
+        };
+        let mut transmit = TransmitStage {
+            feed: TransmitFeed::FaultTap,
+        };
+        let flow = crate::engine::run_pipeline(
+            &mut ctx,
+            &mut [&mut schedule, &mut transmit],
+            &mut NullObserver,
+        )?;
+        Ok(flow != StageFlow::Halt)
     }
 
     /// Finish: fold the snapshot into the public report.

@@ -10,9 +10,14 @@
 //! ## Durability
 //!
 //! Saves are atomic at the filesystem level: the JSON is written to a
-//! `<file>.tmp` sibling and then `rename`d over the target, so a
-//! crash mid-write leaves either the previous complete checkpoint or
-//! a stray temp file — never a torn snapshot at the load path.
+//! `<file>.tmp` sibling, fsynced, and then `rename`d over the target,
+//! so a crash mid-write leaves either the previous complete
+//! checkpoint or a stray temp file — never a torn snapshot at the
+//! load path. On Unix the parent directory is fsynced after the
+//! rename as well: without it the rename lives only in the directory
+//! page cache, and a power loss could roll the directory entry back
+//! to the old (or no) checkpoint even though the data blocks hit
+//! disk.
 //!
 //! ## Versioning
 //!
@@ -50,7 +55,9 @@ fn io_err(what: &str, path: &Path, e: impl std::fmt::Display) -> BluError {
 
 /// Atomically write `snapshot` (wrapped in the current format
 /// version) to `path`: serialize, write to a `.tmp` sibling, fsync,
-/// rename into place.
+/// rename into place, then fsync the parent directory so the rename
+/// itself is durable (Unix only; other platforms have no portable
+/// directory-sync primitive).
 pub fn save_robust_checkpoint(path: &Path, snapshot: &RobustSnapshot) -> Result<(), BluError> {
     let doc = RobustCheckpoint {
         version: CHECKPOINT_VERSION,
@@ -71,6 +78,28 @@ pub fn save_robust_checkpoint(path: &Path, snapshot: &RobustSnapshot) -> Result<
         f.sync_all().map_err(|e| io_err("syncing", &tmp, e))?;
     }
     fs::rename(&tmp, path).map_err(|e| io_err("renaming into place", path, e))?;
+    sync_parent_dir(path)?;
+    Ok(())
+}
+
+/// Fsync the directory containing `path` so the rename that installed
+/// the checkpoint survives a power loss. A relative path with no
+/// parent component syncs the current directory.
+#[cfg(unix)]
+fn sync_parent_dir(path: &Path) -> Result<(), BluError> {
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    let handle = fs::File::open(dir).map_err(|e| io_err("opening directory of", path, e))?;
+    handle
+        .sync_all()
+        .map_err(|e| io_err("syncing directory of", path, e))?;
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn sync_parent_dir(_path: &Path) -> Result<(), BluError> {
     Ok(())
 }
 
@@ -94,4 +123,54 @@ pub fn load_robust_checkpoint(path: &Path) -> Result<RobustSnapshot, BluError> {
     let doc: RobustCheckpoint =
         serde_json::from_value(&value).map_err(|e| io_err("decoding", path, e))?;
     Ok(doc.snapshot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::breaker::BreakerConfig;
+
+    fn scratch_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("blu-ckpt-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_then_reopen_round_trips_durably() {
+        let dir = scratch_dir("reopen");
+        let path = dir.join("nested").join("cell-0.json");
+        let mut snap = RobustSnapshot::fresh(4, 10_000, 0xFEED, 0.01, BreakerConfig::default());
+        snap.cursor = 1234;
+
+        save_robust_checkpoint(&path, &snap).unwrap();
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "temp sibling must be renamed away, not left behind"
+        );
+        // Drop every in-memory handle and reopen from the path alone —
+        // the only state that survives a crash.
+        let reloaded = load_robust_checkpoint(&path).unwrap();
+        assert_eq!(reloaded, snap);
+
+        // Overwrite with new state: the rename must replace, and the
+        // directory fsync must not error on the second pass either.
+        snap.cursor = 5678;
+        save_robust_checkpoint(&path, &snap).unwrap();
+        assert_eq!(load_robust_checkpoint(&path).unwrap().cursor, 5678);
+
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn relative_path_without_parent_saves_in_cwd_sync() {
+        // `sync_parent_dir` must handle a bare filename (empty parent)
+        // by syncing ".", not by erroring out.
+        let snap = RobustSnapshot::fresh(2, 1_000, 7, 0.01, BreakerConfig::default());
+        let name = format!("blu-ckpt-bare-{}.json", std::process::id());
+        let path = Path::new(&name);
+        save_robust_checkpoint(path, &snap).unwrap();
+        assert_eq!(load_robust_checkpoint(path).unwrap(), snap);
+        let _ = fs::remove_file(path);
+    }
 }

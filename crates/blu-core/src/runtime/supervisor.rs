@@ -1,0 +1,1648 @@
+//! Fleet supervision: restart-from-checkpoint, quarantine, and load
+//! shedding over the sharded fleet engine.
+//!
+//! The resilience runtime gave every cell its own primitives —
+//! circuit breakers, versioned checkpoints, panic containment — and
+//! the staged engine gave every cell an observer seam. But nothing
+//! owned fleet-level health: a panicking or stalling cell simply
+//! returned [`BluError::Panicked`] to the caller, and overload had no
+//! graceful-degradation path. This module supplies that layer.
+//!
+//! ## Per-cell health machine
+//!
+//! [`CellSupervisor`] is a pure (no I/O, fully deterministic) state
+//! machine driven by watchdog evidence from each supervised step:
+//!
+//! ```text
+//!   Healthy ◄────────────► Degraded        breaker open / recovered
+//!      │                      │
+//!      │  panic / stall / error
+//!      ▼                      ▼
+//!   Restarting ───────────► Healthy        restore + backoff elapsed
+//!      │     ▲    │
+//!      │     └────┘  repeated failure (retry budget left)
+//!      │  retry budget exhausted
+//!      ▼
+//!   Quarantined                            absorbing: static PF
+//! ```
+//!
+//! A failure (contained panic, hard inference stall, or a typed step
+//! error) triggers a restart: the cell's state is restored from its
+//! latest on-disk checkpoint if one loads cleanly, else from the last
+//! known-good in-memory snapshot, else from scratch — and the cell
+//! idles through a capped, exponentially backed-off, deterministically
+//! jittered number of rounds (the circuit breaker's escalation
+//! formula, re-used round-clocked) before stepping again. A cell that
+//! exhausts its restart budget is quarantined: it keeps serving
+//! traffic as a static PF scheduler (via the robust driver's shed
+//! arm) so the fleet keeps running, but never re-enters inference.
+//!
+//! ## Watchdog semantics
+//!
+//! Liveness is measured with a [`HeartbeatCounter`] tapped into the
+//! stage pipeline: a step that produces zero beats did no engine work
+//! and counts as *silent*; [`SupervisorConfig::stall_threshold_steps`]
+//! consecutive silent steps fail the cell. A *hard stall* — the
+//! scripted inference stall factor at the cell's cursor reaching
+//! [`SupervisorConfig::stall_factor_limit`] while the cell is in a
+//! measuring state — fails the step immediately: an inference running
+//! at ≥ `limit ×` its time budget is indistinguishable from a hang.
+//!
+//! ## Load shedding
+//!
+//! With a [`SheddingPolicy`] configured, the supervisor computes a
+//! fleet *pressure* each round: the sum, over cells actively in (or
+//! entering) inference, of their scripted stall factor — a healthy
+//! inferring cell contributes 1, a cell stalling at 10× contributes
+//! 10, cells that are speculating, shed, quarantined or waiting out a
+//! backoff contribute 0. While pressure exceeds the high watermark,
+//! the lowest-priority contributing cell is shed to PF fallback; once
+//! pressure is at or below the low watermark, one shed cell (highest
+//! priority first) is re-admitted per round. Every transition is
+//! recorded as a [`ShedEvent`] in the [`FleetHealthReport`].
+//!
+//! ## Determinism and resume
+//!
+//! Everything here is clocked in rounds and subframes — never wall
+//! time — and all randomness (restart jitter) comes from seeded
+//! [`DetRng`] streams derived per cell, so a supervised run is a pure
+//! function of its inputs. Supervisor state (health, retry budget,
+//! fired crash injections, backoff progress) persists in a sidecar
+//! file next to each cell checkpoint, so killing and restarting the
+//! whole supervised fleet resumes bit-identically.
+
+use crate::engine::{FleetEngine, HeartbeatCounter};
+use crate::error::BluError;
+use crate::robust::{
+    OrchestratorState, RobustConfig, RobustDriver, RobustRunReport, RobustSnapshot,
+};
+use crate::runtime::breaker::BreakerState;
+use crate::runtime::checkpoint::{load_robust_checkpoint, save_robust_checkpoint};
+use crate::runtime::panic_message;
+use blu_sim::rng::DetRng;
+use blu_traces::faults::FaultyCapture;
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// Sidecar-format version written and required by this build.
+pub const SUPERVISOR_SIDECAR_VERSION: u32 = 1;
+
+/// A supervised cell's health, as seen by the fleet supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CellHealth {
+    /// Stepping normally.
+    Healthy,
+    /// Stepping, but its circuit breaker is open (inference parked).
+    Degraded,
+    /// Failed; restored from a snapshot and waiting out its backoff.
+    Restarting,
+    /// Retry budget exhausted: permanently parked on static PF.
+    Quarantined,
+}
+
+/// Why a health transition happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HealthCause {
+    /// A panic escaped the cell's step and was caught by the
+    /// supervisor.
+    Panic,
+    /// The stall watchdog fired (silent steps or a hard stall).
+    Stall,
+    /// The step returned a typed [`BluError`].
+    Error,
+    /// The cell's circuit breaker opened.
+    BreakerOpen,
+    /// The cell's circuit breaker left the open state.
+    BreakerRecovered,
+    /// The post-restore backoff elapsed; the cell steps again.
+    RestartComplete,
+    /// The restart budget ran out; the cell is quarantined.
+    RetryBudgetExhausted,
+}
+
+/// The failure classes the supervisor reacts to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureKind {
+    /// A panic escaped the step.
+    Panic,
+    /// The stall watchdog fired.
+    Stall,
+    /// The step returned an error.
+    Error,
+}
+
+impl FailureKind {
+    fn cause(self) -> HealthCause {
+        match self {
+            FailureKind::Panic => HealthCause::Panic,
+            FailureKind::Stall => HealthCause::Stall,
+            FailureKind::Error => HealthCause::Error,
+        }
+    }
+}
+
+/// One recorded health transition (`at_subframe` is the cell's trace
+/// cursor — stable across kill/resume, unlike round numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthTransition {
+    /// Cell cursor when the transition happened.
+    pub at_subframe: u64,
+    /// State left.
+    pub from: CellHealth,
+    /// State entered.
+    pub to: CellHealth,
+    /// What drove it.
+    pub cause: HealthCause,
+}
+
+/// Verdict of [`CellSupervisor::on_failure`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartDecision {
+    /// Restore from a snapshot and retry (`attempt` counts from 1).
+    Restart {
+        /// Which restart this is (1-based, monotone per cell).
+        attempt: u32,
+    },
+    /// Budget exhausted (or already quarantined): park on PF forever.
+    Quarantine,
+}
+
+/// Where a restart's state came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RestartSource {
+    /// The latest on-disk checkpoint loaded and validated cleanly.
+    DiskCheckpoint,
+    /// Disk was absent/torn; the last in-memory known-good snapshot.
+    MemorySnapshot,
+    /// No snapshot survived; the cell restarted from scratch.
+    Fresh,
+}
+
+/// The pure per-cell health state machine. Holds no I/O and no
+/// references — the fleet loop feeds it watchdog evidence and obeys
+/// its decisions, which is what makes it property-testable in
+/// isolation.
+#[derive(Debug, Clone)]
+pub struct CellSupervisor {
+    health: CellHealth,
+    restarts_used: u32,
+    max_restarts: u32,
+    silent_steps: u32,
+    stall_threshold_steps: u32,
+    transitions: Vec<HealthTransition>,
+}
+
+impl CellSupervisor {
+    /// A healthy supervisor with the config's retry budget and
+    /// watchdog threshold.
+    pub fn new(config: &SupervisorConfig) -> Self {
+        CellSupervisor {
+            health: CellHealth::Healthy,
+            restarts_used: 0,
+            max_restarts: config.max_restarts,
+            silent_steps: 0,
+            stall_threshold_steps: config.stall_threshold_steps,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// Current health.
+    pub fn health(&self) -> CellHealth {
+        self.health
+    }
+
+    /// Restarts consumed so far (monotone within a run).
+    pub fn restarts_used(&self) -> u32 {
+        self.restarts_used
+    }
+
+    /// All recorded transitions, in order.
+    pub fn transitions(&self) -> &[HealthTransition] {
+        &self.transitions
+    }
+
+    fn transition(&mut self, at_subframe: u64, to: CellHealth, cause: HealthCause) {
+        self.transitions.push(HealthTransition {
+            at_subframe,
+            from: self.health,
+            to,
+            cause,
+        });
+        self.health = to;
+    }
+
+    /// Feed the cell's breaker position: toggles Healthy ↔ Degraded.
+    /// Ignored while Restarting or Quarantined — those states outrank
+    /// breaker telemetry.
+    pub fn note_breaker(&mut self, at_subframe: u64, open: bool) {
+        match (self.health, open) {
+            (CellHealth::Healthy, true) => {
+                self.transition(at_subframe, CellHealth::Degraded, HealthCause::BreakerOpen);
+            }
+            (CellHealth::Degraded, false) => {
+                self.transition(
+                    at_subframe,
+                    CellHealth::Healthy,
+                    HealthCause::BreakerRecovered,
+                );
+            }
+            _ => {}
+        }
+    }
+
+    /// Feed one step's watchdog evidence. `heartbeats` is the step's
+    /// beat count; `hard_stalled` means the step ran inference at or
+    /// beyond the stall-factor limit. Returns the failure the fleet
+    /// loop must act on, if any.
+    pub fn note_step(
+        &mut self,
+        _at_subframe: u64,
+        heartbeats: u64,
+        hard_stalled: bool,
+    ) -> Option<FailureKind> {
+        if hard_stalled {
+            self.silent_steps = 0;
+            return Some(FailureKind::Stall);
+        }
+        if heartbeats == 0 {
+            self.silent_steps += 1;
+            if self.silent_steps >= self.stall_threshold_steps {
+                self.silent_steps = 0;
+                return Some(FailureKind::Stall);
+            }
+        } else {
+            self.silent_steps = 0;
+        }
+        None
+    }
+
+    /// Decide what to do about a failure. Quarantined is absorbing;
+    /// otherwise the retry budget either grants another restart or
+    /// quarantines the cell.
+    pub fn on_failure(&mut self, at_subframe: u64, kind: FailureKind) -> RestartDecision {
+        if self.health == CellHealth::Quarantined {
+            return RestartDecision::Quarantine;
+        }
+        if self.restarts_used >= self.max_restarts {
+            self.transition(
+                at_subframe,
+                CellHealth::Quarantined,
+                HealthCause::RetryBudgetExhausted,
+            );
+            return RestartDecision::Quarantine;
+        }
+        self.restarts_used += 1;
+        self.silent_steps = 0;
+        self.transition(at_subframe, CellHealth::Restarting, kind.cause());
+        RestartDecision::Restart {
+            attempt: self.restarts_used,
+        }
+    }
+
+    /// The restored cell's backoff elapsed: Restarting → Healthy.
+    pub fn restart_complete(&mut self, at_subframe: u64) {
+        if self.health == CellHealth::Restarting {
+            self.transition(
+                at_subframe,
+                CellHealth::Healthy,
+                HealthCause::RestartComplete,
+            );
+        }
+    }
+
+    /// Reinstall persisted machine state (sidecar resume). The retry
+    /// budget and watchdog threshold stay as configured.
+    pub fn restore_state(
+        &mut self,
+        health: CellHealth,
+        restarts_used: u32,
+        silent_steps: u32,
+        transitions: Vec<HealthTransition>,
+    ) {
+        self.health = health;
+        self.restarts_used = restarts_used;
+        self.silent_steps = silent_steps;
+        self.transitions = transitions;
+    }
+}
+
+/// Restart backoff tuning, clocked in fleet rounds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RestartBackoffConfig {
+    /// Rounds idled after the first restart.
+    pub base_rounds: u64,
+    /// Backoff ceiling, in rounds.
+    pub max_rounds: u64,
+    /// Jitter as a fraction of the backoff (the breaker's formula:
+    /// actual wait is `backoff * (1 ± jitter_frac)`).
+    pub jitter_frac: f64,
+}
+
+impl Default for RestartBackoffConfig {
+    fn default() -> Self {
+        RestartBackoffConfig {
+            base_rounds: 2,
+            max_rounds: 16,
+            jitter_frac: 0.1,
+        }
+    }
+}
+
+impl RestartBackoffConfig {
+    /// Reject configurations that would wedge the restart schedule.
+    pub fn validate(&self) -> Result<(), BluError> {
+        if self.base_rounds == 0 {
+            return Err(BluError::InvalidConfig(
+                "restart backoff base_rounds must be > 0".into(),
+            ));
+        }
+        if self.max_rounds < self.base_rounds {
+            return Err(BluError::InvalidConfig(
+                "restart backoff max_rounds must be >= base_rounds".into(),
+            ));
+        }
+        if !self.jitter_frac.is_finite() || !(0.0..1.0).contains(&self.jitter_frac) {
+            return Err(BluError::InvalidConfig(
+                "restart backoff jitter_frac must be finite in [0, 1)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Capped exponential backoff with deterministic jitter — the circuit
+/// breaker's escalation formula, re-clocked in fleet rounds and fed
+/// by a per-cell derived RNG stream.
+#[derive(Debug, Clone)]
+struct RestartBackoff {
+    config: RestartBackoffConfig,
+    rng: DetRng,
+    attempts: u32,
+}
+
+impl RestartBackoff {
+    fn new(config: RestartBackoffConfig, rng: DetRng) -> Self {
+        RestartBackoff {
+            config,
+            rng,
+            attempts: 0,
+        }
+    }
+
+    /// Rebuild a backoff that has already granted `attempts` waits:
+    /// replaying the draws keeps the jitter stream bit-identical
+    /// across kill/resume.
+    fn replayed(config: RestartBackoffConfig, rng: DetRng, attempts: u32) -> Self {
+        let mut b = RestartBackoff::new(config, rng);
+        for _ in 0..attempts {
+            b.next_wait_rounds();
+        }
+        b
+    }
+
+    fn attempts(&self) -> u32 {
+        self.attempts
+    }
+
+    /// Rounds to idle before the next step attempt. Mirrors
+    /// [`CircuitBreaker`](crate::runtime::breaker::CircuitBreaker):
+    /// `base * 2^(attempts-1)`, saturating, capped, ±jitter, min 1.
+    fn next_wait_rounds(&mut self) -> u64 {
+        self.attempts = self.attempts.saturating_add(1);
+        let exp = (self.attempts - 1).min(32);
+        let backoff = self
+            .config
+            .base_rounds
+            .saturating_mul(1u64 << exp)
+            .min(self.config.max_rounds);
+        let factor = 1.0 + self.config.jitter_frac * (2.0 * self.rng.f64() - 1.0);
+        ((backoff as f64 * factor) as u64).max(1)
+    }
+}
+
+/// Fleet-wide admission/shedding policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SheddingPolicy {
+    /// Shed cells while fleet pressure exceeds this.
+    pub high_watermark: f64,
+    /// Re-admit (one cell per round) once pressure is at or below
+    /// this.
+    pub low_watermark: f64,
+    /// Per-cell priorities (higher = more important = shed last,
+    /// re-admitted first). Empty = all equal; otherwise must have one
+    /// entry per cell.
+    pub priorities: Vec<u32>,
+}
+
+impl SheddingPolicy {
+    fn priority(&self, cell: usize) -> u32 {
+        self.priorities.get(cell).copied().unwrap_or(0)
+    }
+
+    /// Reject watermarks that could never admit or never shed.
+    pub fn validate(&self, n_cells: usize) -> Result<(), BluError> {
+        if !self.high_watermark.is_finite()
+            || !self.low_watermark.is_finite()
+            || self.high_watermark <= 0.0
+            || self.low_watermark < 0.0
+        {
+            return Err(BluError::InvalidConfig(
+                "shedding watermarks must be finite and positive".into(),
+            ));
+        }
+        if self.low_watermark > self.high_watermark {
+            return Err(BluError::InvalidConfig(
+                "shedding low_watermark must not exceed high_watermark".into(),
+            ));
+        }
+        if !self.priorities.is_empty() && self.priorities.len() != n_cells {
+            return Err(BluError::InvalidConfig(format!(
+                "shedding priorities has {} entries for {} cells",
+                self.priorities.len(),
+                n_cells
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// What happened to a shed/readmitted cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedAction {
+    /// Demoted to PF fallback under pressure.
+    Shed,
+    /// Re-admitted to normal stepping.
+    Readmit,
+}
+
+/// One admission-control decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShedEvent {
+    /// Fleet round of the decision.
+    pub round: u64,
+    /// Cell index.
+    pub cell: usize,
+    /// Shed or readmit.
+    pub action: ShedAction,
+    /// Fleet pressure right after the decision took effect.
+    pub pressure: f64,
+}
+
+/// Supervision tuning.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Restarts granted per cell before quarantine.
+    pub max_restarts: u32,
+    /// Consecutive zero-heartbeat steps that count as a stall.
+    pub stall_threshold_steps: u32,
+    /// Scripted inference stall factor at which a measuring step is
+    /// treated as hung (hard stall) and failed immediately.
+    pub stall_factor_limit: u32,
+    /// Post-restore idle schedule.
+    pub backoff: RestartBackoffConfig,
+    /// Optional admission control (None = never shed).
+    pub shedding: Option<SheddingPolicy>,
+    /// Stop gracefully after this many rounds, persisting all state
+    /// (None = run to completion). The kill half of kill/resume.
+    pub max_rounds: Option<u64>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            max_restarts: 3,
+            stall_threshold_steps: 6,
+            stall_factor_limit: 8,
+            backoff: RestartBackoffConfig::default(),
+            shedding: None,
+            max_rounds: None,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Up-front validation (watchdog, backoff, shedding).
+    pub fn validate(&self, n_cells: usize) -> Result<(), BluError> {
+        if self.stall_threshold_steps == 0 {
+            return Err(BluError::InvalidConfig(
+                "supervisor stall_threshold_steps must be > 0".into(),
+            ));
+        }
+        if self.stall_factor_limit < 2 {
+            return Err(BluError::InvalidConfig(
+                "supervisor stall_factor_limit must be >= 2 (1 is healthy)".into(),
+            ));
+        }
+        self.backoff.validate()?;
+        if let Some(shed) = &self.shedding {
+            shed.validate(n_cells)?;
+        }
+        Ok(())
+    }
+}
+
+/// Hooks into the supervised fleet loop — the chaos harness's seam
+/// for tearing checkpoints and auditing transitions. All methods
+/// default to no-ops and run on the sequential coordinator, never
+/// inside the parallel step.
+pub trait SupervisorHook {
+    /// A cell checkpoint (and its sidecar) was just persisted.
+    fn after_checkpoint_save(&mut self, _cell: usize, _path: &Path, _round: u64) {}
+
+    /// A cell recorded a health transition.
+    fn on_transition(&mut self, _cell: usize, _transition: &HealthTransition) {}
+}
+
+/// The do-nothing hook.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullHook;
+
+impl SupervisorHook for NullHook {}
+
+/// Per-cell health outcome of a supervised run.
+#[derive(Debug, Clone)]
+pub struct CellHealthReport {
+    /// Health at the end of the run.
+    pub final_health: CellHealth,
+    /// Restarts consumed.
+    pub restarts: u32,
+    /// Where each restore's state came from, in order (includes the
+    /// consistency restore performed on quarantine entry).
+    pub restart_sources: Vec<RestartSource>,
+    /// Every health transition, in order.
+    pub transitions: Vec<HealthTransition>,
+    /// Rounds this cell spent shed to PF fallback.
+    pub shed_rounds: u64,
+    /// Panics the supervisor caught escaping this cell's steps.
+    pub crashes_observed: u64,
+    /// Message of the last caught panic or step error, if any
+    /// (already bounded by [`panic_message`]).
+    pub last_error: Option<String>,
+}
+
+/// Fleet-level outcome of a supervised run.
+#[derive(Debug, Clone)]
+pub struct FleetHealthReport {
+    /// Per-cell health, in input order.
+    pub cells: Vec<CellHealthReport>,
+    /// Every admission-control decision, in order.
+    pub shed_events: Vec<ShedEvent>,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Largest fleet pressure observed (0 when shedding is off).
+    pub peak_pressure: f64,
+    /// Whether every cell ran its trace to completion (false only
+    /// under [`SupervisorConfig::max_rounds`]).
+    pub completed: bool,
+}
+
+impl FleetHealthReport {
+    /// Cells that ended quarantined.
+    pub fn quarantined(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.final_health == CellHealth::Quarantined)
+            .count()
+    }
+
+    /// Total restarts across the fleet.
+    pub fn total_restarts(&self) -> u64 {
+        self.cells.iter().map(|c| u64::from(c.restarts)).sum()
+    }
+}
+
+/// Everything a supervised fleet run produces.
+#[derive(Debug, Clone)]
+pub struct SupervisedFleetOutcome {
+    /// Per-cell robust reports, in input order. Always present: a
+    /// supervised cell that cannot be healed is quarantined and
+    /// reported, never dropped.
+    pub reports: Vec<RobustRunReport>,
+    /// The fleet health ledger.
+    pub health: FleetHealthReport,
+}
+
+/// Supervisor state persisted next to each cell checkpoint
+/// (`cell-<i>.sup.json`), so kill/resume restores health, retry
+/// budget and crash-injection progress along with the snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SupervisorSidecar {
+    version: u32,
+    health: CellHealth,
+    restarts_used: u32,
+    silent_steps: u32,
+    crashes_fired: u64,
+    crashes_observed: u64,
+    backoff_attempts: u32,
+    backoff_rounds_left: u64,
+    shed: bool,
+    shed_rounds: u64,
+    transitions: Vec<HealthTransition>,
+    restart_sources: Vec<RestartSource>,
+    last_error: Option<String>,
+}
+
+/// Result of one cell's parallel step, settled sequentially.
+enum StepOutcome {
+    /// Nothing ran (finished, or idling through a backoff).
+    Idle,
+    /// The step ran to a verdict.
+    Progress {
+        more: bool,
+        heartbeats: u64,
+        hard_stalled: bool,
+    },
+    /// A panic escaped the step and was caught.
+    Panicked(String),
+    /// The step returned a typed error.
+    Failed(String),
+}
+
+struct SupCell<'a> {
+    cell: usize,
+    capture: &'a FaultyCapture,
+    config: &'a RobustConfig,
+    driver: RobustDriver<'a>,
+    sup: CellSupervisor,
+    backoff: RestartBackoff,
+    backoff_rounds_left: u64,
+    crash_sfs: Vec<u64>,
+    crashes_fired: usize,
+    crashes_observed: u64,
+    shed: bool,
+    shed_rounds: u64,
+    restart_sources: Vec<RestartSource>,
+    last_good: Option<RobustSnapshot>,
+    last_error: Option<String>,
+    outcome: StepOutcome,
+    finished: bool,
+    final_saved: bool,
+    ckpt_path: Option<PathBuf>,
+    sidecar_path: Option<PathBuf>,
+    every_subframes: u64,
+    last_saved: u64,
+    emitted_transitions: usize,
+    stall_factor_limit: u32,
+}
+
+impl<'a> SupCell<'a> {
+    fn create(
+        cell: usize,
+        capture: &'a FaultyCapture,
+        config: &'a RobustConfig,
+        sup_cfg: &SupervisorConfig,
+    ) -> Result<Self, BluError> {
+        let ckpt = config.checkpoint.as_ref();
+        let ckpt_path = ckpt.map(|p| p.dir.join(format!("cell-{cell}.json")));
+        let sidecar_path = ckpt.map(|p| p.dir.join(format!("cell-{cell}.sup.json")));
+        let every_subframes = ckpt.map(|p| p.every_subframes).unwrap_or(0);
+        let resume = ckpt.map(|p| p.resume).unwrap_or(false);
+        let crash_sfs = capture.script.crash_subframes();
+        let backoff_rng =
+            DetRng::seed_from_u64(config.seed).derive_indexed("restart-backoff", cell as u64);
+
+        let mut c = SupCell {
+            cell,
+            capture,
+            config,
+            driver: RobustDriver::new(capture, config)?,
+            sup: CellSupervisor::new(sup_cfg),
+            backoff: RestartBackoff::new(sup_cfg.backoff, backoff_rng.clone()),
+            backoff_rounds_left: 0,
+            crash_sfs,
+            crashes_fired: 0,
+            crashes_observed: 0,
+            shed: false,
+            shed_rounds: 0,
+            restart_sources: Vec::new(),
+            last_good: None,
+            last_error: None,
+            outcome: StepOutcome::Idle,
+            finished: false,
+            final_saved: false,
+            ckpt_path,
+            sidecar_path,
+            every_subframes,
+            last_saved: 0,
+            emitted_transitions: 0,
+            stall_factor_limit: sup_cfg.stall_factor_limit,
+        };
+
+        if resume {
+            if let Some(path) = c.ckpt_path.clone() {
+                if path.exists() {
+                    let snap = load_robust_checkpoint(&path)?;
+                    c.driver = RobustDriver::resume(capture, config, snap)?;
+                    c.last_saved = c.driver.snap.cursor;
+                    match c.load_sidecar()? {
+                        Some(side) => {
+                            c.sup.restore_state(
+                                side.health,
+                                side.restarts_used,
+                                side.silent_steps,
+                                side.transitions,
+                            );
+                            c.backoff = RestartBackoff::replayed(
+                                sup_cfg.backoff,
+                                backoff_rng,
+                                side.backoff_attempts,
+                            );
+                            c.backoff_rounds_left = side.backoff_rounds_left;
+                            c.crashes_fired =
+                                usize::try_from(side.crashes_fired).unwrap_or(c.crash_sfs.len());
+                            c.crashes_observed = side.crashes_observed;
+                            c.shed = side.shed;
+                            c.shed_rounds = side.shed_rounds;
+                            c.restart_sources = side.restart_sources;
+                            c.last_error = side.last_error;
+                            c.emitted_transitions = c.sup.transitions().len();
+                        }
+                        None => {
+                            // Snapshot without a sidecar (e.g. a run
+                            // checkpointed by the unsupervised loop):
+                            // crash events strictly behind the cursor
+                            // must not refire on replay.
+                            let cursor = c.driver.snap.cursor;
+                            c.crashes_fired = c.crash_sfs.iter().filter(|s| **s < cursor).count();
+                        }
+                    }
+                }
+            }
+        }
+        Ok(c)
+    }
+
+    fn load_sidecar(&self) -> Result<Option<SupervisorSidecar>, BluError> {
+        let Some(path) = &self.sidecar_path else {
+            return Ok(None);
+        };
+        if !path.exists() {
+            return Ok(None);
+        }
+        let text = fs::read_to_string(path)
+            .map_err(|e| BluError::Checkpoint(format!("reading {}: {e}", path.display())))?;
+        let side: SupervisorSidecar = serde_json::from_str(&text)
+            .map_err(|e| BluError::Checkpoint(format!("decoding {}: {e}", path.display())))?;
+        if side.version != SUPERVISOR_SIDECAR_VERSION {
+            return Err(BluError::Checkpoint(format!(
+                "supervisor sidecar {} has version {}, this build requires {}",
+                path.display(),
+                side.version,
+                SUPERVISOR_SIDECAR_VERSION
+            )));
+        }
+        Ok(Some(side))
+    }
+
+    fn save_sidecar(&self) -> Result<(), BluError> {
+        let Some(path) = &self.sidecar_path else {
+            return Ok(());
+        };
+        let side = SupervisorSidecar {
+            version: SUPERVISOR_SIDECAR_VERSION,
+            health: self.sup.health(),
+            restarts_used: self.sup.restarts_used(),
+            silent_steps: self.sup.silent_steps,
+            crashes_fired: self.crashes_fired as u64,
+            crashes_observed: self.crashes_observed,
+            backoff_attempts: self.backoff.attempts(),
+            backoff_rounds_left: self.backoff_rounds_left,
+            shed: self.shed,
+            shed_rounds: self.shed_rounds,
+            transitions: self.sup.transitions().to_vec(),
+            restart_sources: self.restart_sources.clone(),
+            last_error: self.last_error.clone(),
+        };
+        let json = serde_json::to_string_pretty(&side)
+            .map_err(|e| BluError::Checkpoint(format!("serializing {}: {e}", path.display())))?;
+        let tmp = path.with_extension("tmp");
+        {
+            use std::io::Write;
+            let mut f = fs::File::create(&tmp)
+                .map_err(|e| BluError::Checkpoint(format!("creating {}: {e}", tmp.display())))?;
+            f.write_all(json.as_bytes())
+                .map_err(|e| BluError::Checkpoint(format!("writing {}: {e}", tmp.display())))?;
+            f.sync_all()
+                .map_err(|e| BluError::Checkpoint(format!("syncing {}: {e}", tmp.display())))?;
+        }
+        fs::rename(&tmp, path)
+            .map_err(|e| BluError::Checkpoint(format!("renaming {}: {e}", path.display())))?;
+        Ok(())
+    }
+
+    /// Sequential pre-round bookkeeping: tick the backoff clock and
+    /// complete a pending restart when it elapses.
+    fn pre_round(&mut self) {
+        if self.finished || self.backoff_rounds_left == 0 {
+            return;
+        }
+        self.backoff_rounds_left -= 1;
+        if self.backoff_rounds_left == 0 {
+            self.sup.restart_complete(self.driver.snap.cursor);
+        }
+    }
+
+    /// This cell's contribution to fleet pressure (see module docs).
+    fn current_load(&self) -> f64 {
+        if self.finished
+            || self.shed
+            || self.backoff_rounds_left > 0
+            || self.sup.health() == CellHealth::Quarantined
+            || self.driver.snap.done
+        {
+            return 0.0;
+        }
+        match self.driver.snap.state {
+            OrchestratorState::Measuring
+            | OrchestratorState::Remeasuring
+            | OrchestratorState::Drifting => f64::from(
+                self.capture
+                    .script
+                    .runtime_state_at(self.driver.snap.cursor)
+                    .stall_factor,
+            ),
+            _ => 0.0,
+        }
+    }
+
+    /// The parallel half of a round: step (or idle) and stash the
+    /// outcome for the sequential coordinator. Every panic is caught
+    /// here — inside the fleet closure — so a crashing cell can never
+    /// abort the shard join.
+    fn parallel_step(&mut self) {
+        self.outcome = self.compute_step();
+    }
+
+    fn compute_step(&mut self) -> StepOutcome {
+        if self.finished || self.backoff_rounds_left > 0 {
+            return StepOutcome::Idle;
+        }
+        if self.sup.health() == CellHealth::Quarantined || self.shed {
+            // PF-only drain: no inference, guaranteed cursor progress.
+            return match catch_unwind(AssertUnwindSafe(|| self.driver.step_shed())) {
+                Ok(Ok(more)) => StepOutcome::Progress {
+                    more,
+                    heartbeats: 1,
+                    hard_stalled: false,
+                },
+                Ok(Err(e)) => StepOutcome::Failed(e.to_string()),
+                Err(p) => StepOutcome::Panicked(panic_message(p.as_ref())),
+            };
+        }
+        let cursor = self.driver.snap.cursor;
+        // Scripted cell crashes are one-shot: marked fired *before*
+        // the panic, so a restore-and-replay does not refire them.
+        let inject = self.crashes_fired < self.crash_sfs.len()
+            && cursor >= self.crash_sfs[self.crashes_fired];
+        if inject {
+            self.crashes_fired += 1;
+        }
+        let measuring = matches!(
+            self.driver.snap.state,
+            OrchestratorState::Measuring | OrchestratorState::Remeasuring
+        );
+        let hard_stalled = measuring
+            && self.capture.script.runtime_state_at(cursor).stall_factor >= self.stall_factor_limit;
+        // The pre-step state is the in-memory restore point: a restart
+        // must redo the failed attempt (a panic leaves the snapshot
+        // torn; a hard-stalled step must not keep its result), never
+        // resume past it.
+        self.last_good = Some(self.driver.snap.clone());
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if inject {
+                panic!("injected cell crash at subframe {cursor}");
+            }
+            let mut beats = HeartbeatCounter::default();
+            self.driver
+                .step_with(&mut beats)
+                .map(|more| (more, beats.beats()))
+        }));
+        match result {
+            Ok(Ok((more, heartbeats))) => StepOutcome::Progress {
+                more,
+                heartbeats,
+                hard_stalled,
+            },
+            Ok(Err(e)) => StepOutcome::Failed(e.to_string()),
+            Err(p) => StepOutcome::Panicked(panic_message(p.as_ref())),
+        }
+    }
+
+    /// The sequential half of a round: drive the health machine from
+    /// the stashed outcome and perform any restore it decides on.
+    fn settle(&mut self) {
+        match std::mem::replace(&mut self.outcome, StepOutcome::Idle) {
+            StepOutcome::Idle => {}
+            StepOutcome::Progress {
+                more,
+                heartbeats,
+                hard_stalled,
+            } => {
+                if !more {
+                    self.finished = true;
+                } else if self.sup.health() != CellHealth::Quarantined && !self.shed {
+                    let cursor = self.driver.snap.cursor;
+                    let open = self.driver.snap.breaker.state() == BreakerState::Open;
+                    self.sup.note_breaker(cursor, open);
+                    if let Some(kind) = self.sup.note_step(cursor, heartbeats, hard_stalled) {
+                        self.fail(kind);
+                    }
+                }
+            }
+            StepOutcome::Panicked(msg) => {
+                self.crashes_observed += 1;
+                self.last_error = Some(msg);
+                self.fail(FailureKind::Panic);
+            }
+            StepOutcome::Failed(msg) => {
+                self.last_error = Some(msg);
+                self.fail(FailureKind::Error);
+            }
+        }
+    }
+
+    fn fail(&mut self, kind: FailureKind) {
+        let was_quarantined = self.sup.health() == CellHealth::Quarantined;
+        let cursor = self.driver.snap.cursor;
+        match self.sup.on_failure(cursor, kind) {
+            RestartDecision::Restart { .. } => {
+                let source = self.restore();
+                self.restart_sources.push(source);
+                self.backoff_rounds_left = self.backoff.next_wait_rounds();
+            }
+            RestartDecision::Quarantine => {
+                if was_quarantined {
+                    // A quarantined cell failing its PF drain has no
+                    // further fallback: freeze it rather than livelock.
+                    self.finished = true;
+                } else {
+                    // Entering quarantine: restore once so the PF tail
+                    // runs from a consistent (not mid-panic) snapshot.
+                    let source = self.restore();
+                    self.restart_sources.push(source);
+                }
+            }
+        }
+    }
+
+    /// Disk checkpoint first, then the in-memory known-good snapshot,
+    /// then from scratch. A torn or version-skewed disk checkpoint
+    /// simply falls through — restore never propagates an error.
+    fn restore(&mut self) -> RestartSource {
+        if let Some(path) = &self.ckpt_path {
+            if let Ok(snap) = load_robust_checkpoint(path) {
+                if let Ok(d) = RobustDriver::resume(self.capture, self.config, snap) {
+                    self.driver = d;
+                    return RestartSource::DiskCheckpoint;
+                }
+            }
+        }
+        if let Some(snap) = self.last_good.clone() {
+            if let Ok(d) = RobustDriver::resume(self.capture, self.config, snap) {
+                self.driver = d;
+                return RestartSource::MemorySnapshot;
+            }
+        }
+        match RobustDriver::new(self.capture, self.config) {
+            Ok(d) => self.driver = d,
+            // Creation was validated at fleet start; if it fails now
+            // the cell is unservable — freeze it with what it has.
+            Err(_) => self.finished = true,
+        }
+        RestartSource::Fresh
+    }
+
+    fn flush_transitions(&mut self, hook: &mut dyn SupervisorHook) {
+        let transitions = self.sup.transitions();
+        for t in &transitions[self.emitted_transitions..] {
+            hook.on_transition(self.cell, t);
+        }
+        self.emitted_transitions = transitions.len();
+    }
+
+    fn persist(
+        &mut self,
+        round: u64,
+        force: bool,
+        hook: &mut dyn SupervisorHook,
+    ) -> Result<(), BluError> {
+        let Some(path) = self.ckpt_path.clone() else {
+            return Ok(());
+        };
+        if self.finished && self.final_saved {
+            return Ok(());
+        }
+        // Grid semantics, not delta-since-last-save: a save fires
+        // when the cursor crosses a multiple of `every_subframes`, so
+        // the set of on-disk restore points is a pure function of the
+        // step sequence — a killed-and-resumed fleet re-creates the
+        // exact checkpoints (and therefore the exact restore cursors)
+        // of an uninterrupted one.
+        let interval_due = self.every_subframes > 0
+            && self.driver.snap.cursor / self.every_subframes
+                != self.last_saved / self.every_subframes;
+        if !(interval_due || self.finished || force) {
+            return Ok(());
+        }
+        save_robust_checkpoint(&path, &self.driver.snap)?;
+        self.last_saved = self.driver.snap.cursor;
+        self.save_sidecar()?;
+        hook.after_checkpoint_save(self.cell, &path, round);
+        if self.finished {
+            self.final_saved = true;
+        }
+        Ok(())
+    }
+
+    fn into_parts(self) -> (RobustRunReport, CellHealthReport) {
+        let health = CellHealthReport {
+            final_health: self.sup.health(),
+            restarts: self.sup.restarts_used(),
+            restart_sources: self.restart_sources,
+            transitions: self.sup.transitions.clone(),
+            shed_rounds: self.shed_rounds,
+            crashes_observed: self.crashes_observed,
+            last_error: self.last_error,
+        };
+        (self.driver.into_report(), health)
+    }
+}
+
+fn apply_shedding(
+    cells: &mut [SupCell<'_>],
+    policy: &SheddingPolicy,
+    round: u64,
+    events: &mut Vec<ShedEvent>,
+    peak_pressure: &mut f64,
+) {
+    let loads: Vec<f64> = cells.iter().map(SupCell::current_load).collect();
+    let mut pressure: f64 = loads.iter().sum();
+    *peak_pressure = peak_pressure.max(pressure);
+    let mut newly_shed = vec![false; cells.len()];
+    // Shed: lowest priority first, highest index on ties.
+    while pressure > policy.high_watermark {
+        let mut pick: Option<usize> = None;
+        for (i, cell) in cells.iter().enumerate() {
+            if cell.shed || loads[i] <= 0.0 {
+                continue;
+            }
+            pick = Some(match pick {
+                None => i,
+                Some(p) => {
+                    let (pp, pi) = (policy.priority(p), policy.priority(i));
+                    if pi < pp || (pi == pp && i > p) {
+                        i
+                    } else {
+                        p
+                    }
+                }
+            });
+        }
+        let Some(i) = pick else { break };
+        cells[i].shed = true;
+        newly_shed[i] = true;
+        pressure -= loads[i];
+        events.push(ShedEvent {
+            round,
+            cell: i,
+            action: ShedAction::Shed,
+            pressure,
+        });
+    }
+    // Readmit one per round: highest priority first, lowest index on
+    // ties. Cells shed *this* round are not candidates — a
+    // shed-and-readmit in one round would be admission-control noise.
+    if pressure <= policy.low_watermark {
+        let mut pick: Option<usize> = None;
+        for (i, cell) in cells.iter().enumerate() {
+            if !cell.shed || newly_shed[i] || cell.finished {
+                continue;
+            }
+            pick = Some(match pick {
+                None => i,
+                Some(p) => {
+                    let (pp, pi) = (policy.priority(p), policy.priority(i));
+                    if pi > pp || (pi == pp && i < p) {
+                        i
+                    } else {
+                        p
+                    }
+                }
+            });
+        }
+        if let Some(i) = pick {
+            cells[i].shed = false;
+            events.push(ShedEvent {
+                round,
+                cell: i,
+                action: ShedAction::Readmit,
+                pressure,
+            });
+        }
+    }
+}
+
+/// Run a supervised fleet with the default (no-op) hook.
+///
+/// See [`run_supervised_fleet_with_hook`].
+pub fn run_supervised_fleet(
+    captures: &[FaultyCapture],
+    config: &RobustConfig,
+    sup: &SupervisorConfig,
+) -> Result<SupervisedFleetOutcome, BluError> {
+    run_supervised_fleet_with_hook(captures, config, sup, &mut NullHook)
+}
+
+/// Run the robust loop over a fleet of captures under supervision:
+/// panics, stalls and step errors are healed by restart-from-snapshot
+/// under a capped backoff budget, unhealable cells are quarantined to
+/// static PF, and (with a [`SheddingPolicy`]) overload sheds
+/// lowest-priority cells until pressure drops.
+///
+/// The fleet advances in rounds: every live cell executes one
+/// state-machine step in parallel across the
+/// [`FleetEngine`](crate::engine::FleetEngine) shards, then a
+/// sequential coordinator (in cell order, so the run is deterministic
+/// at any parallelism level) settles health transitions, restores
+/// failed cells and persists checkpoints with their supervisor
+/// sidecars. Unlike [`crate::robust::run_robust_fleet`], the returned
+/// reports are always complete — a cell that cannot be healed is
+/// quarantined and keeps serving PF until its trace ends.
+///
+/// This function never panics on cell failures (every step runs
+/// inside `catch_unwind`); it returns `Err` only for invalid
+/// configuration, unusable captures, or checkpoint I/O failures.
+pub fn run_supervised_fleet_with_hook(
+    captures: &[FaultyCapture],
+    config: &RobustConfig,
+    sup: &SupervisorConfig,
+    hook: &mut dyn SupervisorHook,
+) -> Result<SupervisedFleetOutcome, BluError> {
+    sup.validate(captures.len())?;
+    config.validate()?;
+    let mut cells: Vec<SupCell<'_>> = captures
+        .iter()
+        .enumerate()
+        .map(|(i, cap)| SupCell::create(i, cap, config, sup))
+        .collect::<Result<_, _>>()?;
+
+    let mut shed_events: Vec<ShedEvent> = Vec::new();
+    let mut peak_pressure = 0.0f64;
+    let mut round: u64 = 0;
+    loop {
+        if cells.iter().all(|c| c.finished) {
+            break;
+        }
+        if let Some(max) = sup.max_rounds {
+            if round >= max {
+                break;
+            }
+        }
+        for cell in cells.iter_mut() {
+            cell.pre_round();
+        }
+        if let Some(policy) = &sup.shedding {
+            apply_shedding(
+                &mut cells,
+                policy,
+                round,
+                &mut shed_events,
+                &mut peak_pressure,
+            );
+        }
+        for cell in cells.iter_mut() {
+            if cell.shed && !cell.finished {
+                cell.shed_rounds += 1;
+            }
+        }
+        let refs: Vec<&mut SupCell<'_>> = cells.iter_mut().collect();
+        FleetEngine::run(refs, || (), |_, cell| cell.parallel_step());
+        for cell in cells.iter_mut() {
+            cell.settle();
+            cell.flush_transitions(hook);
+            cell.persist(round, false, hook)?;
+        }
+        round += 1;
+    }
+    let completed = cells.iter().all(|c| c.finished);
+    // Graceful stop (max_rounds) persists everything so a later run
+    // resumes bit-identically; completed cells already saved.
+    for cell in cells.iter_mut() {
+        if !cell.finished {
+            cell.persist(round, true, hook)?;
+        }
+    }
+
+    let mut reports = Vec::with_capacity(cells.len());
+    let mut health_cells = Vec::with_capacity(cells.len());
+    for cell in cells {
+        let (report, health) = cell.into_parts();
+        reports.push(report);
+        health_cells.push(health);
+    }
+    Ok(SupervisedFleetOutcome {
+        reports,
+        health: FleetHealthReport {
+            cells: health_cells,
+            shed_events,
+            rounds: round,
+            peak_pressure,
+            completed,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::orchestrator::BluConfig;
+    use crate::robust::run_robust_fleet;
+    use blu_phy::cell::CellConfig;
+    use blu_sim::faults::{FaultEvent, FaultKind, FaultScript};
+    use blu_sim::time::Micros;
+    use blu_traces::capture::CaptureConfig;
+    use blu_traces::faults::capture_with_faults;
+
+    fn capture(script: FaultScript, secs: u64, seed: u64) -> FaultyCapture {
+        capture_with_faults(
+            &CaptureConfig {
+                duration: Micros::from_secs(secs),
+                q_range: (0.25, 0.55),
+                ..CaptureConfig::testbed_default()
+            },
+            &script,
+            seed,
+        )
+        .unwrap()
+    }
+
+    fn quick_config() -> RobustConfig {
+        let mut cell = CellConfig::testbed_siso();
+        cell.numerology.n_rbs = 10;
+        let emu = crate::emulator::EmulationConfig::new(cell);
+        RobustConfig::new(BluConfig::new(emu))
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("blu-sup-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Reports compared field by field, excluding wall-clock timing.
+    fn assert_reports_identical(a: &RobustRunReport, b: &RobustRunReport) {
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.transitions, b.transitions);
+        assert_eq!(a.verdicts, b.verdicts);
+        assert_eq!(a.measurement_subframes, b.measurement_subframes);
+        assert_eq!(a.n_remeasurements, b.n_remeasurements);
+        assert_eq!(a.speculative_txops, b.speculative_txops);
+        assert_eq!(a.fallback_txops, b.fallback_txops);
+        assert_eq!(a.final_confidence.to_bits(), b.final_confidence.to_bits());
+        assert_eq!(a.peak_drift.to_bits(), b.peak_drift.to_bits());
+        assert_eq!(a.breaker_transitions, b.breaker_transitions);
+        assert_eq!(a.inference_panics, b.inference_panics);
+        assert_eq!(a.deadline_misses, b.deadline_misses);
+        assert_eq!(a.quarantined_constraints, b.quarantined_constraints);
+    }
+
+    // ---- pure state machine ----
+
+    #[test]
+    fn breaker_telemetry_toggles_healthy_degraded() {
+        let mut m = CellSupervisor::new(&SupervisorConfig::default());
+        m.note_breaker(10, false);
+        assert_eq!(m.health(), CellHealth::Healthy);
+        assert!(m.transitions().is_empty(), "no-change polls record nothing");
+        m.note_breaker(20, true);
+        assert_eq!(m.health(), CellHealth::Degraded);
+        m.note_breaker(30, true);
+        assert_eq!(m.transitions().len(), 1, "repeated open is not re-recorded");
+        m.note_breaker(40, false);
+        assert_eq!(m.health(), CellHealth::Healthy);
+        assert_eq!(
+            m.transitions()
+                .iter()
+                .map(|t| (t.from, t.to, t.cause))
+                .collect::<Vec<_>>(),
+            vec![
+                (
+                    CellHealth::Healthy,
+                    CellHealth::Degraded,
+                    HealthCause::BreakerOpen
+                ),
+                (
+                    CellHealth::Degraded,
+                    CellHealth::Healthy,
+                    HealthCause::BreakerRecovered
+                ),
+            ]
+        );
+    }
+
+    #[test]
+    fn watchdog_fires_on_silence_and_hard_stall() {
+        let cfg = SupervisorConfig {
+            stall_threshold_steps: 3,
+            ..Default::default()
+        };
+        let mut m = CellSupervisor::new(&cfg);
+        assert_eq!(m.note_step(0, 0, false), None);
+        assert_eq!(m.note_step(1, 5, false), None, "beats reset the counter");
+        assert_eq!(m.note_step(2, 0, false), None);
+        assert_eq!(m.note_step(3, 0, false), None);
+        assert_eq!(m.note_step(4, 0, false), Some(FailureKind::Stall));
+        // A hard stall fails immediately, regardless of beats.
+        assert_eq!(m.note_step(5, 100, true), Some(FailureKind::Stall));
+    }
+
+    #[test]
+    fn retry_budget_is_monotone_and_quarantine_absorbing() {
+        let cfg = SupervisorConfig {
+            max_restarts: 2,
+            ..Default::default()
+        };
+        let mut m = CellSupervisor::new(&cfg);
+        assert_eq!(
+            m.on_failure(100, FailureKind::Panic),
+            RestartDecision::Restart { attempt: 1 }
+        );
+        assert_eq!(m.health(), CellHealth::Restarting);
+        m.restart_complete(150);
+        assert_eq!(m.health(), CellHealth::Healthy);
+        assert_eq!(
+            m.on_failure(200, FailureKind::Stall),
+            RestartDecision::Restart { attempt: 2 }
+        );
+        assert_eq!(
+            m.on_failure(300, FailureKind::Error),
+            RestartDecision::Quarantine
+        );
+        assert_eq!(m.health(), CellHealth::Quarantined);
+        assert_eq!(m.restarts_used(), 2);
+        // Absorbing: further failures change nothing, restart_complete
+        // cannot resurrect.
+        let n = m.transitions().len();
+        assert_eq!(
+            m.on_failure(400, FailureKind::Panic),
+            RestartDecision::Quarantine
+        );
+        m.restart_complete(500);
+        assert_eq!(m.health(), CellHealth::Quarantined);
+        assert_eq!(m.transitions().len(), n);
+    }
+
+    // ---- backoff ----
+
+    #[test]
+    fn backoff_escalates_caps_and_replays_deterministically() {
+        let cfg = RestartBackoffConfig::default();
+        let rng = DetRng::seed_from_u64(9).derive_indexed("restart-backoff", 0);
+        let mut a = RestartBackoff::new(cfg, rng.clone());
+        let waits: Vec<u64> = (0..8).map(|_| a.next_wait_rounds()).collect();
+        assert!(waits.iter().all(|w| *w >= 1));
+        let cap = (cfg.max_rounds as f64 * (1.0 + cfg.jitter_frac)) as u64 + 1;
+        assert!(waits.iter().all(|w| *w <= cap), "{waits:?} exceeds cap");
+        assert!(
+            waits[3] > waits[0],
+            "backoff must escalate: {:?}",
+            &waits[..4]
+        );
+        // Replaying 5 attempts reproduces the tail of the stream.
+        let mut b = RestartBackoff::replayed(cfg, rng, 5);
+        assert_eq!(b.next_wait_rounds(), waits[5]);
+        assert_eq!(b.next_wait_rounds(), waits[6]);
+    }
+
+    // ---- end to end ----
+
+    #[test]
+    fn supervised_clean_fleet_matches_unsupervised() {
+        let caps = vec![
+            capture(FaultScript::none(), 60, 21),
+            capture(FaultScript::none(), 60, 22),
+        ];
+        let config = quick_config();
+        let golden = run_robust_fleet(&caps, &config);
+        let out = run_supervised_fleet(&caps, &config, &SupervisorConfig::default()).unwrap();
+        assert!(out.health.completed);
+        assert_eq!(out.reports.len(), 2);
+        for (got, want) in out.reports.iter().zip(&golden) {
+            assert_reports_identical(got, want.as_ref().unwrap());
+        }
+        for cell in &out.health.cells {
+            assert_eq!(cell.final_health, CellHealth::Healthy);
+            assert_eq!(cell.restarts, 0);
+            assert_eq!(cell.crashes_observed, 0);
+            assert!(cell.transitions.is_empty());
+        }
+        assert!(out.health.shed_events.is_empty());
+    }
+
+    #[test]
+    fn crash_restarts_from_checkpoint_bit_identically() {
+        let clean = capture(FaultScript::none(), 60, 31);
+        let golden = crate::robust::run_blu_robust(&clean, &quick_config()).unwrap();
+
+        // Same trace seed, but the cell task crashes mid-run. The
+        // crash is runtime-only, so the capture itself is identical.
+        let crashing = capture(
+            FaultScript::new(vec![FaultEvent {
+                at_subframe: 30_000,
+                kind: FaultKind::CellCrash,
+            }]),
+            60,
+            31,
+        );
+        let dir = scratch_dir("crash");
+        let mut config = quick_config();
+        config.checkpoint = Some(crate::robust::CheckpointPolicy {
+            dir: dir.clone(),
+            every_subframes: 2_000,
+            resume: false,
+        });
+        let out = run_supervised_fleet(
+            std::slice::from_ref(&crashing),
+            &config,
+            &SupervisorConfig::default(),
+        )
+        .unwrap();
+        assert!(out.health.completed);
+        let health = &out.health.cells[0];
+        assert_eq!(health.crashes_observed, 1);
+        assert_eq!(health.restarts, 1);
+        assert_eq!(health.restart_sources, vec![RestartSource::DiskCheckpoint]);
+        assert_eq!(health.final_health, CellHealth::Healthy);
+        assert!(health
+            .last_error
+            .as_deref()
+            .unwrap()
+            .contains("injected cell crash"));
+        // Restored-and-replayed: the report is bit-identical to the
+        // crash-free golden.
+        assert_reports_identical(&out.reports[0], &golden);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persistent_hard_stall_exhausts_budget_and_quarantines() {
+        let stalled = capture(
+            FaultScript::new(vec![FaultEvent {
+                at_subframe: 0,
+                kind: FaultKind::InferenceStall { factor: 10 },
+            }]),
+            60,
+            41,
+        );
+        let sup = SupervisorConfig {
+            max_restarts: 2,
+            ..Default::default()
+        };
+        let out =
+            run_supervised_fleet(std::slice::from_ref(&stalled), &quick_config(), &sup).unwrap();
+        assert!(out.health.completed, "quarantined cells still terminate");
+        let health = &out.health.cells[0];
+        assert_eq!(health.final_health, CellHealth::Quarantined);
+        assert_eq!(health.restarts, 2);
+        assert_eq!(out.health.quarantined(), 1);
+        // The PF tail served traffic: the report exists and counts
+        // fallback TxOPs, with zero speculation.
+        assert!(out.reports[0].fallback_txops > 0);
+        assert_eq!(out.reports[0].speculative_txops, 0);
+    }
+
+    #[test]
+    fn kill_and_resume_is_bit_identical() {
+        let script = FaultScript::new(vec![FaultEvent {
+            at_subframe: 30_000,
+            kind: FaultKind::CellCrash,
+        }]);
+        let cap = capture(script, 60, 51);
+        let sup = SupervisorConfig::default();
+
+        let run = |dir: &Path, max_rounds: Option<u64>| {
+            let mut config = quick_config();
+            config.checkpoint = Some(crate::robust::CheckpointPolicy {
+                dir: dir.to_path_buf(),
+                every_subframes: 2_000,
+                resume: true,
+            });
+            let sup = SupervisorConfig {
+                max_rounds,
+                ..sup.clone()
+            };
+            run_supervised_fleet(std::slice::from_ref(&cap), &config, &sup).unwrap()
+        };
+
+        let dir_a = scratch_dir("resume-a");
+        let uninterrupted = run(&dir_a, None);
+        assert!(uninterrupted.health.completed);
+
+        // Kill after 3 rounds (mid-run), then restart the whole fleet.
+        let dir_b = scratch_dir("resume-b");
+        let partial = run(&dir_b, Some(3));
+        assert!(!partial.health.completed);
+        let resumed = run(&dir_b, None);
+        assert!(resumed.health.completed);
+
+        assert_reports_identical(&resumed.reports[0], &uninterrupted.reports[0]);
+        let a = &uninterrupted.health.cells[0];
+        let b = &resumed.health.cells[0];
+        assert_eq!(a.final_health, b.final_health);
+        assert_eq!(a.transitions, b.transitions);
+        assert_eq!(a.restarts, b.restarts);
+        assert_eq!(a.restart_sources, b.restart_sources);
+        assert_eq!(a.crashes_observed, b.crashes_observed);
+        let _ = fs::remove_dir_all(&dir_a);
+        let _ = fs::remove_dir_all(&dir_b);
+    }
+
+    #[test]
+    fn overload_sheds_lowest_priority_and_readmits() {
+        // Cell 1 stalls at 4x from the start: pressure 1 + 4 = 5
+        // exceeds the high watermark, and priorities protect cell 0.
+        // The stall stays below the hard-stall limit so the watchdog
+        // does not fire — this is pure admission control.
+        let caps = vec![
+            capture(FaultScript::none(), 60, 61),
+            capture(
+                FaultScript::new(vec![FaultEvent {
+                    at_subframe: 0,
+                    kind: FaultKind::InferenceStall { factor: 4 },
+                }]),
+                60,
+                62,
+            ),
+        ];
+        let sup = SupervisorConfig {
+            shedding: Some(SheddingPolicy {
+                high_watermark: 3.0,
+                low_watermark: 0.5,
+                priorities: vec![1, 0],
+            }),
+            ..Default::default()
+        };
+        let out = run_supervised_fleet(&caps, &quick_config(), &sup).unwrap();
+        assert!(out.health.completed);
+        assert!(out.health.peak_pressure >= 5.0);
+        let first = out.health.shed_events.first().expect("overload must shed");
+        assert_eq!((first.cell, first.action), (1, ShedAction::Shed));
+        assert!(out.health.cells[1].shed_rounds > 0);
+        assert_eq!(
+            out.health.cells[0].shed_rounds, 0,
+            "high priority protected"
+        );
+        // Once cell 0 leaves measurement the pressure drops and the
+        // shed cell is re-admitted.
+        assert!(out
+            .health
+            .shed_events
+            .iter()
+            .any(|e| e.action == ShedAction::Readmit && e.cell == 1));
+        // Shed rounds served PF instead of going dark.
+        assert!(out.reports[1].fallback_txops > 0);
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_knobs() {
+        let n = 2;
+        for bad in [
+            SupervisorConfig {
+                stall_threshold_steps: 0,
+                ..Default::default()
+            },
+            SupervisorConfig {
+                stall_factor_limit: 1,
+                ..Default::default()
+            },
+            SupervisorConfig {
+                backoff: RestartBackoffConfig {
+                    base_rounds: 0,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            SupervisorConfig {
+                shedding: Some(SheddingPolicy {
+                    high_watermark: 1.0,
+                    low_watermark: 2.0,
+                    priorities: vec![],
+                }),
+                ..Default::default()
+            },
+            SupervisorConfig {
+                shedding: Some(SheddingPolicy {
+                    high_watermark: 2.0,
+                    low_watermark: 1.0,
+                    priorities: vec![1],
+                }),
+                ..Default::default()
+            },
+        ] {
+            assert!(bad.validate(n).is_err(), "{bad:?} should be rejected");
+        }
+        assert!(SupervisorConfig::default().validate(n).is_ok());
+    }
+}

@@ -5,9 +5,13 @@
 //! `[[test]]` paths), so they can exercise the whole workspace public
 //! API exactly as a downstream user would. The library itself only
 //! re-exports the workspace crates for convenient `use` lines in
-//! those binaries.
+//! those binaries — plus [`chaos`], the deterministic fleet-scale
+//! fault-schedule compiler and invariant checker used by the chaos
+//! integration suite and the `blu chaos` subcommand.
 
 #![forbid(unsafe_code)]
+
+pub mod chaos;
 
 pub use blu_core;
 pub use blu_phy;

@@ -99,6 +99,16 @@ pub enum FaultKind {
         /// Per-constraint poison probability in `[0, 1]`.
         rate: f64,
     },
+    /// The whole cell task crashes (panics between orchestrator
+    /// steps), losing its in-memory state. Unlike
+    /// [`FaultKind::InferencePanic`] — which is contained *inside* the
+    /// guarded inference call and routed to PF fallback — a crash
+    /// escapes the cell's step entirely and is visible only to a
+    /// supervision layer, which must restart the cell from its latest
+    /// checkpoint. One-shot: fires the first time the cell's cursor
+    /// reaches `at_subframe`; an event scheduled past the end of the
+    /// trace never fires.
+    CellCrash,
 }
 
 impl FaultKind {
@@ -259,6 +269,7 @@ impl FaultScript {
                 }
                 FaultKind::InferencePanic { .. } => {}
                 FaultKind::StatPoison { rate } => check_probability("stat poison rate", rate)?,
+                FaultKind::CellCrash => {}
             }
         }
         Ok(())
@@ -341,6 +352,24 @@ impl FaultScript {
             )
         })
     }
+
+    /// The subframes at which [`FaultKind::CellCrash`] events fire,
+    /// ascending. Duplicates are kept — each event is one crash, so a
+    /// crash *storm* is simply several events.
+    pub fn crash_subframes(&self) -> Vec<u64> {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::CellCrash))
+            .map(|e| e.at_subframe)
+            .collect()
+    }
+
+    /// Whether the script ever crashes the cell task itself.
+    pub fn has_crash_faults(&self) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::CellCrash))
+    }
 }
 
 fn check_probability(what: &'static str, p: f64) -> Result<(), SimError> {
@@ -410,7 +439,8 @@ pub fn apply_topology_fault(
         | FaultKind::DropRate { .. }
         | FaultKind::InferenceStall { .. }
         | FaultKind::InferencePanic { .. }
-        | FaultKind::StatPoison { .. } => Ok(false),
+        | FaultKind::StatPoison { .. }
+        | FaultKind::CellCrash => Ok(false),
     }
 }
 
@@ -740,6 +770,43 @@ mod tests {
             kind: FaultKind::StatPoison { rate: f64::NAN },
         }]);
         assert!(bad_poison.validate(4, 2).is_err());
+    }
+
+    #[test]
+    fn cell_crash_is_non_topological_and_enumerable() {
+        let script = FaultScript::new(vec![
+            FaultEvent {
+                at_subframe: 9_000,
+                kind: FaultKind::CellCrash,
+            },
+            FaultEvent {
+                at_subframe: 3_000,
+                kind: FaultKind::CellCrash,
+            },
+            FaultEvent {
+                at_subframe: 100,
+                kind: FaultKind::MisclassifyRate { rate: 0.05 },
+            },
+        ]);
+        assert_eq!(script.validate(4, 2), Ok(()));
+        assert!(script.has_crash_faults());
+        assert_eq!(script.crash_subframes(), vec![3_000, 9_000]);
+        // A crash never perturbs the captured air or the runtime
+        // fault knobs — it is strictly a process-level event.
+        assert!(!FaultKind::CellCrash.is_topological());
+        assert!(script.topology_event_subframes().is_empty());
+        assert!(!script.runtime_state_at(10_000).is_faulty());
+        let mut topo = base_topo();
+        let before = topo.clone();
+        assert!(!apply_topology_fault(&mut topo, &FaultKind::CellCrash).unwrap());
+        assert_eq!(topo, before);
+        // And it round-trips through serde like every other kind.
+        let json = serde_json::to_string(&script).unwrap();
+        let back: FaultScript = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, script);
+
+        assert!(!FaultScript::none().has_crash_faults());
+        assert!(FaultScript::none().crash_subframes().is_empty());
     }
 
     #[test]

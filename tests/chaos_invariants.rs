@@ -1,0 +1,138 @@
+//! Chaos-harness invariant suite: fixed-seed fleet-scale storms
+//! compiled by [`blu_harness::chaos`], checked against the recovery
+//! contract.
+//!
+//! Two scenarios:
+//!
+//! * a **crash storm with torn checkpoints and poisoned
+//!   observations** — the supervised fleet must terminate, heal or
+//!   quarantine every faulted cell, keep non-faulted cells
+//!   byte-identical to their fault-free goldens, and contain every
+//!   panic;
+//! * a **kill-and-restart** of the whole supervised fleet mid-storm —
+//!   resuming from checkpoints must reproduce the uninterrupted run
+//!   bit for bit. This scenario deliberately runs *without* torn
+//!   checkpoints: tearing the checkpoint files and then killing the
+//!   process genuinely loses data, and no supervisor can promise
+//!   bit-identity across that.
+
+use blu_core::robust::{CheckpointPolicy, RobustConfig};
+use blu_core::runtime::supervisor::{run_supervised_fleet, SupervisorConfig};
+use blu_core::{BluConfig, EmulationConfig};
+use blu_harness::chaos::{run_chaos, verify_invariants, ChaosConfig, ChaosPlan};
+use blu_phy::cell::CellConfig;
+use std::path::PathBuf;
+
+fn quick_config(dir: Option<PathBuf>, resume: bool) -> RobustConfig {
+    let mut cell = CellConfig::testbed_siso();
+    cell.numerology.n_rbs = 10;
+    let mut config = RobustConfig::new(BluConfig::new(EmulationConfig::new(cell)));
+    config.checkpoint = dir.map(|dir| CheckpointPolicy {
+        dir,
+        every_subframes: 2_000,
+        resume,
+    });
+    config
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("blu-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Crash storm + torn checkpoints + 5% poisoned observations: every
+/// recovery invariant holds at a fixed seed.
+#[test]
+fn scripted_storm_with_torn_checkpoints_recovers() {
+    let plan = ChaosPlan::compile(ChaosConfig {
+        n_cells: 4,
+        seconds: 60,
+        seed: 0xB10C_5E3D,
+        crash_fraction: 0.5,
+        poison_fraction: 0.05,
+        poison_rate: 0.25,
+        torn_fraction: 0.5,
+        ..ChaosConfig::default()
+    })
+    .expect("plan compiles");
+    assert_eq!(plan.crash_cells.len(), 2, "storm hits half the fleet");
+    assert_eq!(plan.torn_cells.len(), 1, "one crash cell loses its disk");
+    assert_eq!(plan.poison_cells.len(), 1, "5% of 4 cells rounds up to 1");
+
+    let dir = scratch_dir("storm");
+    let config = quick_config(Some(dir.clone()), false);
+    // A panic escaping run_chaos would fail this unwrap: the run
+    // completing at all is the zero-propagated-panics invariant.
+    let result = run_chaos(&plan, &config, &SupervisorConfig::default()).expect("storm run");
+
+    let violations = verify_invariants(&plan, &result);
+    assert!(
+        violations.is_empty(),
+        "recovery contract violated:\n  {}",
+        violations.join("\n  ")
+    );
+    assert!(result.outcome.health.completed);
+    assert!(
+        result.tears > 0,
+        "the torn-checkpoint hook never saw a save for its cell"
+    );
+    for &cell in &plan.crash_cells {
+        let health = &result.outcome.health.cells[cell];
+        assert!(health.crashes_observed >= 1, "cell {cell} never crashed");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Killing the whole supervised fleet mid-storm and restarting it
+/// from checkpoints reproduces the uninterrupted run bit for bit.
+#[test]
+fn chaos_kill_and_restart_resumes_bit_identically() {
+    let plan = ChaosPlan::compile(ChaosConfig {
+        n_cells: 3,
+        seconds: 60,
+        seed: 0xDEAD_0121,
+        crash_fraction: 0.5,
+        poison_fraction: 0.0,
+        torn_fraction: 0.0,
+        ..ChaosConfig::default()
+    })
+    .expect("plan compiles");
+    let captures = plan.captures().expect("captures");
+    let sup = SupervisorConfig::default();
+
+    // Uninterrupted reference run.
+    let dir_a = scratch_dir("resume-a");
+    let golden = run_supervised_fleet(&captures, &quick_config(Some(dir_a.clone()), false), &sup)
+        .expect("uninterrupted run");
+
+    // Kill after 3 rounds, then restart the whole fleet from disk.
+    let dir_b = scratch_dir("resume-b");
+    let mut truncated = sup.clone();
+    truncated.max_rounds = Some(3);
+    let partial = run_supervised_fleet(
+        &captures,
+        &quick_config(Some(dir_b.clone()), false),
+        &truncated,
+    )
+    .expect("truncated run");
+    assert!(!partial.health.completed, "3 rounds must not finish 60s");
+    let resumed = run_supervised_fleet(&captures, &quick_config(Some(dir_b.clone()), true), &sup)
+        .expect("resumed run");
+
+    assert!(resumed.health.completed);
+    for cell in 0..plan.config.n_cells {
+        assert!(
+            blu_harness::chaos::reports_equivalent(&resumed.reports[cell], &golden.reports[cell]),
+            "cell {cell} report diverged after kill-and-restart"
+        );
+        let a = &golden.health.cells[cell];
+        let b = &resumed.health.cells[cell];
+        assert_eq!(a.transitions, b.transitions, "cell {cell} health ledger");
+        assert_eq!(a.restart_sources, b.restart_sources, "cell {cell} restores");
+        assert_eq!(a.final_health, b.final_health, "cell {cell} final health");
+        assert_eq!(a.last_error, b.last_error, "cell {cell} last error");
+    }
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
