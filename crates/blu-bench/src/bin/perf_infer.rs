@@ -6,8 +6,9 @@
 //!
 //! * **single-run latency** — mean wall-clock of one blue-printing
 //!   pass (measurement statistics → inferred topology), on the same
-//!   scenario and estimator `perf_sched` uses so the two files stay
-//!   comparable;
+//!   scenario, estimator, and backend + scratch entry point
+//!   ([`blueprint_from_measurements_with`]) `perf_sched` uses, so
+//!   the two files report the same code path and must agree;
 //! * **MCMC proposals/sec** — the incremental delta-energy chain
 //!   ([`infer_mcmc`]) versus the pre-fast-path reference that clones
 //!   the state and recomputes the full energy every proposal
@@ -26,9 +27,9 @@ use blu_bench::runners::topology_with_hts_per_ue;
 use blu_bench::{ExpArgs, Table};
 use blu_core::blueprint::batch::{infer_batch, infer_batch_sequential};
 use blu_core::blueprint::mcmc::{infer_mcmc, infer_mcmc_scratch, McmcConfig};
-use blu_core::blueprint::{ConstraintSystem, InferenceBackend, InferenceConfig};
+use blu_core::blueprint::{ConstraintSystem, InferScratch, InferenceBackend, InferenceConfig};
 use blu_core::measure::OutcomeEstimator;
-use blu_core::orchestrator::blueprint_from_measurements;
+use blu_core::orchestrator::blueprint_from_measurements_with;
 use blu_sim::rng::DetRng;
 use blu_sim::time::Micros;
 use blu_sim::topology::InterferenceTopology;
@@ -94,11 +95,15 @@ fn main() {
     let inference_runs = args.scaled(20, 3);
     let mut est = OutcomeEstimator::new(trace.ground_truth.n_clients);
     *est.stats_mut() = blu_traces::stats::EmpiricalAccess::from_trace(&trace.access);
+    let backend = InferenceBackend::default();
+    let mut inf_scratch = InferScratch::default();
     let (_, inf_secs) = time_secs(|| {
         for _ in 0..inference_runs {
-            std::hint::black_box(blueprint_from_measurements(
+            std::hint::black_box(blueprint_from_measurements_with(
                 &est,
                 &InferenceConfig::default(),
+                &backend,
+                &mut inf_scratch,
             ));
         }
     });

@@ -11,19 +11,23 @@
 //!   (per-query vector clone + exhaustive candidate loop), with the
 //!   measured speedup;
 //! * **inference latency** — mean wall-clock of one blue-printing
-//!   pass (measurement statistics → inferred topology).
+//!   pass (measurement statistics → inferred topology), routed
+//!   through the same backend + scratch entry point
+//!   ([`blueprint_from_measurements_with`]) `perf_infer` times, so
+//!   `BENCH_sched.json` and `BENCH_infer.json` report the same code
+//!   path and must agree.
 //!
 //! `--quick` shrinks every loop for CI smoke runs; the JSON is
 //! written either way.
 
 use blu_bench::runners::topology_with_hts_per_ue;
 use blu_bench::{ExpArgs, Table};
-use blu_core::blueprint::InferenceConfig;
+use blu_core::blueprint::{InferScratch, InferenceBackend, InferenceConfig};
 use blu_core::emulator::{EmulationConfig, Emulator};
 use blu_core::error::BluError;
 use blu_core::joint::{AccessDistribution, TopologyAccess};
 use blu_core::measure::OutcomeEstimator;
-use blu_core::orchestrator::blueprint_from_measurements;
+use blu_core::orchestrator::blueprint_from_measurements_with;
 use blu_core::sched::{MatrixRates, PfScheduler, SchedInput, SpeculativeScheduler, UlScheduler};
 use blu_phy::cell::CellConfig;
 use blu_sim::clientset::ClientSet;
@@ -55,8 +59,12 @@ struct BenchSched {
     seed: u64,
     // Emulator replays (4 UEs / 6 HTs testbed trace, SISO cell).
     emu_n_txops: u64,
+    emu_rounds: u64,
     pf_subframes_per_sec: f64,
     blu_subframes_per_sec: f64,
+    /// Mean wall-clock of one emulated BLU sub-frame, in nanoseconds
+    /// (`1e9 / blu_subframes_per_sec`) — the CI floor metric.
+    subframe_ns: f64,
     // Raw scheduler throughput (10 UEs / 8 HTs, MU-MIMO cell).
     sched_iters: u64,
     hot_schedules_per_sec: f64,
@@ -133,15 +141,30 @@ fn main() {
         args.seed + 7,
     );
     let cell = CellConfig::testbed_siso();
-    let emu_n_txops = args.scaled(400, 30);
-    let pf_sps = emu_rate(&trace, &cell, emu_n_txops, &mut PfScheduler);
+    // Long enough that the per-subframe figure (and the blu-vs-pf
+    // ratio CI asserts on) is dominated by steady-state work, not
+    // timer granularity or first-touch faults — in quick mode too,
+    // since CI runs the floor assertions against the quick JSON.
+    let emu_n_txops = args.scaled(2_000, 300);
     let access = TopologyAccess::new(&trace.ground_truth);
-    let blu_sps = emu_rate(
-        &trace,
-        &cell,
-        emu_n_txops,
-        &mut SpeculativeScheduler::new(&access),
-    );
+    // Alternating best-of-rounds: both replays are deterministic, so
+    // timing noise is one-sided (interference only ever slows a
+    // pass). Interleaving PF and BLU passes cancels frequency drift
+    // between them, and the per-path maximum rate rejects one-sided
+    // slowdowns instead of averaging them into the blu/pf ratio CI
+    // asserts on — same discipline as perf_infer's batch timing.
+    let emu_rounds = args.scaled(5, 3);
+    let mut pf_sps = 0.0f64;
+    let mut blu_sps = 0.0f64;
+    for _ in 0..emu_rounds {
+        pf_sps = pf_sps.max(emu_rate(&trace, &cell, emu_n_txops, &mut PfScheduler));
+        blu_sps = blu_sps.max(emu_rate(
+            &trace,
+            &cell,
+            emu_n_txops,
+            &mut SpeculativeScheduler::new(&access),
+        ));
+    }
 
     // Raw scheduler throughput: hot path vs pre-overhaul baseline on
     // a denser cell where the 2^w expectations actually bite.
@@ -163,15 +186,21 @@ fn main() {
         sched_iters,
     );
 
-    // Blue-printing latency from full-trace statistics.
+    // Blue-printing latency from full-trace statistics, through the
+    // same backend + scratch path perf_infer times (the two JSON
+    // files must agree; CI cross-checks them).
     let inference_runs = args.scaled(20, 3);
     let mut est = OutcomeEstimator::new(trace.ground_truth.n_clients);
     *est.stats_mut() = blu_traces::stats::EmpiricalAccess::from_trace(&trace.access);
+    let backend = InferenceBackend::default();
+    let mut inf_scratch = InferScratch::default();
     let (_, inf_secs) = time_secs(|| {
         for _ in 0..inference_runs {
-            std::hint::black_box(blueprint_from_measurements(
+            std::hint::black_box(blueprint_from_measurements_with(
                 &est,
                 &InferenceConfig::default(),
+                &backend,
+                &mut inf_scratch,
             ));
         }
     });
@@ -180,8 +209,10 @@ fn main() {
         quick: args.quick,
         seed: args.seed,
         emu_n_txops,
+        emu_rounds,
         pf_subframes_per_sec: pf_sps,
         blu_subframes_per_sec: blu_sps,
+        subframe_ns: 1e9 / blu_sps.max(1e-9),
         sched_iters,
         hot_schedules_per_sec: hot,
         baseline_schedules_per_sec: baseline,
@@ -198,6 +229,10 @@ fn main() {
     table.row(vec![
         "BLU subframes/sec".into(),
         format!("{:.0}", out.blu_subframes_per_sec),
+    ]);
+    table.row(vec![
+        "BLU subframe".into(),
+        format!("{:.0} ns", out.subframe_ns),
     ]);
     table.row(vec![
         "hot schedules/sec".into(),

@@ -66,4 +66,22 @@ impl InferenceBackend {
             } => mcmc::infer_mcmc_result(sys, mcmc_config, *seed, config),
         }
     }
+
+    /// [`InferenceBackend::infer`] against caller-provided scratch:
+    /// the gradient backend runs through [`infer_topology_with`] so
+    /// its tracker/refinement buffers are recycled across calls; the
+    /// MCMC chain keeps its own state and takes the plain path.
+    /// Bit-identical to [`InferenceBackend::infer`] (pinned by the
+    /// batch and orchestrator differential tests).
+    pub fn infer_with(
+        &self,
+        sys: &ConstraintSystem,
+        config: &InferenceConfig,
+        scratch: &mut InferScratch,
+    ) -> InferenceResult {
+        match self {
+            InferenceBackend::Gradient => infer::infer_topology_with(sys, config, scratch),
+            other => other.infer(sys, config),
+        }
+    }
 }

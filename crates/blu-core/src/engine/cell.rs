@@ -17,6 +17,7 @@
 //! segments per trace — never clone the config on the hot path.
 
 use crate::emulator::{EmulationConfig, EmulationReport, TrafficModel};
+use crate::engine::hot::{BlockCache, CellHotState, EngineArena, RbScratch};
 use crate::engine::observer::{SubframeObserver, SubframeView};
 use crate::error::BluError;
 use crate::measure::OutcomeEstimator;
@@ -24,8 +25,8 @@ use crate::metrics::UplinkMetrics;
 use crate::sched::{mimo_penalty, MatrixRates, PfAverager, SchedInput, UlScheduler};
 use blu_phy::laa::{Lbt, LbtConfig};
 use blu_phy::mcs::{Cqi, McsTable};
-use blu_phy::mimo::zf_sinrs;
-use blu_phy::outcome::{classify_rb, DecodeOutcome, RbObservation};
+use blu_phy::mimo::zf_sinrs_into;
+use blu_phy::outcome::{classify_rb_into, DecodeOutcome, RbObservation};
 use blu_sim::clientset::ClientSet;
 use blu_sim::medium::ActivityTimeline;
 use blu_sim::power::Db;
@@ -33,10 +34,6 @@ use blu_sim::rng::DetRng;
 use blu_sim::time::{Micros, SubframeIndex, SUBFRAME_US};
 use blu_traces::schema::TestbedTrace;
 use std::borrow::Cow;
-use std::collections::HashMap;
-
-/// In-flight HARQ processes of one TxOP burst, keyed by (client, RB).
-pub(crate) type HarqState = HashMap<(usize, usize), blu_phy::harq::HarqProcess>;
 
 /// How the engine acquires TxOPs for a segment.
 pub enum AccessMode<'m> {
@@ -80,11 +77,19 @@ pub struct CellEngine<'a> {
     /// `config.start_subframe`).
     start_subframe: u64,
     mcs: McsTable,
+    /// Per-CQI decode floors in linear SINR, exact against `decodes`
+    /// fed the `10·log10(max(·, 1e-12))` conversion (see
+    /// [`McsTable::linear_decode_floors`]) — the hot decode compares
+    /// in the linear domain and skips a `log10` per member.
+    dec_floor_mw: Vec<f64>,
     averager: PfAverager,
     /// Per-client buffered bits (finite-buffer mode only).
     queues: Vec<f64>,
     /// Arrival RNG (finite-buffer mode only).
     traffic_rng: DetRng,
+    /// SoA hot state: coherence-block caches and every per-subframe
+    /// buffer the loop recycles (see [`crate::engine::hot`]).
+    hot: CellHotState,
 }
 
 impl<'a> CellEngine<'a> {
@@ -113,16 +118,48 @@ impl<'a> CellEngine<'a> {
             )));
         }
         let n = trace.ground_truth.n_clients;
+        let mcs = McsTable::release10();
+        let dec_floor_mw = mcs.linear_decode_floors();
         Ok(CellEngine {
             trace,
             averager: PfAverager::new(n, config.pf_alpha),
-            mcs: McsTable::release10(),
+            mcs,
+            dec_floor_mw,
             queues: vec![0.0; n],
             traffic_rng: DetRng::seed_from_u64(config.seed ^ 0x007A_FF1C),
             n_txops: config.n_txops,
             start_subframe: config.start_subframe,
+            hot: CellHotState::default(),
             config,
         })
+    }
+
+    /// Install hot-state buffers recycled from a fleet arena. The
+    /// block caches are invalidated (they belong to whatever cell used
+    /// the arena last) but every buffer keeps its capacity.
+    pub(crate) fn adopt_hot(&mut self, mut hot: CellHotState) {
+        hot.invalidate();
+        self.hot = hot;
+    }
+
+    /// Hand the hot-state buffers back (to be returned to an arena).
+    pub(crate) fn take_hot(&mut self) -> CellHotState {
+        std::mem::take(&mut self.hot)
+    }
+
+    /// Adopt the recycled hot-state buffers of a fleet shard's
+    /// [`EngineArena`]: the arena is emptied into this engine, block
+    /// caches invalidated (they belong to whatever cell ran last),
+    /// buffer capacities kept. Pair with
+    /// [`CellEngine::yield_arena`] after the segment so the next cell
+    /// on the shard inherits the buffers.
+    pub fn adopt_arena(&mut self, arena: &mut EngineArena) {
+        self.adopt_hot(std::mem::take(&mut arena.hot));
+    }
+
+    /// Return the hot-state buffers to a fleet shard's arena.
+    pub fn yield_arena(&mut self, arena: &mut EngineArena) {
+        arena.hot = self.take_hot();
     }
 
     /// Override the segment window (TxOP count and starting
@@ -194,20 +231,84 @@ impl<'a> CellEngine<'a> {
             + rb_jitter(self.config.seed, ue, rb, block, self.config.rb_jitter_db)
     }
 
-    /// Build the scheduler's grant-time rate matrix at a sub-frame.
-    /// Clients with empty buffers get rate 0 (footnote-1 coupling:
-    /// the scheduler simply never grants them).
-    fn rate_matrix(&self, sf: SubframeIndex) -> MatrixRates {
+    /// Locate the SoA block cache covering a sub-frame, filling a
+    /// slot on miss. Returns the slot *index* so the decode path can
+    /// borrow the current and the grant block simultaneously; two
+    /// slots suffice because those are the only blocks live at once.
+    fn block_slot(&self, s: &mut RbScratch, sf: SubframeIndex) -> usize {
+        let raw = sf.0 / self.trace.csi.coherence_subframes;
+        if s.blocks[0].block == raw {
+            s.mru = 0;
+            return 0;
+        }
+        if s.blocks[1].block == raw {
+            s.mru = 1;
+            return 1;
+        }
+        let slot = 1 - s.mru;
+        self.fill_block(&mut s.blocks[slot], &s.pen_db, raw, sf);
+        s.mru = slot;
+        slot
+    }
+
+    /// Recompute one block's SoA lanes. Every expression replays the
+    /// retired per-call path's float operations in the same order —
+    /// `(mean + 10·log10(gain.max(1e-9))) + jitter` then `− margin` —
+    /// so cached values are bit-identical to what the loop used to
+    /// compute inline (the engine-differential goldens pin this). The
+    /// grant-time CQI/bits lanes fold the per-stream-count ZF penalty
+    /// (`pen_db`, from [`RbScratch::ensure_pen_db`]) into the table
+    /// lookup once per block instead of once per decoded member.
+    fn fill_block(
+        &self,
+        cache: &mut BlockCache,
+        pen_db: &[f64],
+        raw_block: u64,
+        sf: SubframeIndex,
+    ) {
         let n = self.trace.ground_truth.n_clients;
         let n_rbs = self.config.cell.numerology.n_rbs;
-        MatrixRates::build(n, n_rbs, |ue, rb| {
-            if !self.has_data(ue) {
-                return 0.0;
+        let m = self.config.cell.m_antennas;
+        debug_assert_eq!(pen_db.len(), m + 1, "ensure_pen_db must run first");
+        cache.block = raw_block;
+        cache.pilot_ok = ClientSet::EMPTY;
+        cache.power_mw.clear();
+        cache.est_db.clear();
+        cache.rate.clear();
+        cache.cqi.clear();
+        cache.bits.clear();
+        for ue in 0..n {
+            let gain = self.channel_gain(ue, sf);
+            let snr_base = self.trace.mean_snr_db[ue] + 10.0 * gain.max(1e-9).log10();
+            if snr_base >= blu_phy::pilot::PILOT_DETECT_SINR_DB {
+                cache.pilot_ok.insert(ue);
             }
-            let est = self.true_sinr_db(ue, rb, sf) - self.config.mcs_margin_db;
-            self.mcs
-                .rate_for_sinr(Db(est), &self.config.cell.numerology)
-        })
+            for rb in 0..n_rbs {
+                let jit = rb_jitter(
+                    self.config.seed,
+                    ue,
+                    rb,
+                    raw_block,
+                    self.config.rb_jitter_db,
+                );
+                cache
+                    .power_mw
+                    .push(10f64.powf((self.trace.mean_snr_db[ue] + jit) / 10.0));
+                let est = snr_base + jit - self.config.mcs_margin_db;
+                cache.est_db.push(est);
+                cache.rate.push(
+                    self.mcs
+                        .rate_for_sinr(Db(est), &self.config.cell.numerology),
+                );
+                for &pen in &pen_db[1..=m] {
+                    let cqi = self.mcs.cqi_for_sinr(Db(est + pen));
+                    cache.cqi.push(cqi);
+                    cache
+                        .bits
+                        .push(self.mcs.bits_per_rb(cqi, &self.config.cell.numerology));
+                }
+            }
+        }
     }
 
     /// Grant-time MCS for a client on an RB given the group size the
@@ -220,19 +321,25 @@ impl<'a> CellEngine<'a> {
         self.mcs.cqi_for_sinr(Db(est))
     }
 
-    /// Decode one RB at one sub-frame: who transmitted, ZF SINRs,
-    /// per-client outcomes. `harq` holds the burst's in-flight
-    /// processes keyed by (client, RB); pass `None` to disable.
-    fn decode_rb(
+    /// Decode one RB at one sub-frame into a recycled observation:
+    /// who transmitted, batched ZF SINRs from the arena kernel,
+    /// per-client outcomes. With `use_harq`, the burst's in-flight
+    /// processes (keyed by (client, RB)) live in the scratch and
+    /// soft-combine across retransmissions.
+    #[allow(clippy::too_many_arguments)]
+    fn decode_rb_into(
         &self,
+        s: &mut RbScratch,
         rb: usize,
         sf: SubframeIndex,
         group: ClientSet,
         accessible: ClientSet,
         grant_sf: SubframeIndex,
-        mut harq: Option<&mut HarqState>,
-    ) -> RbObservation {
+        use_harq: bool,
+        out: &mut RbObservation,
+    ) {
         let m = self.config.cell.m_antennas;
+        let n_rbs = self.config.cell.numerology.n_rbs;
         // The cyclic-shift budget must accommodate the whole group
         // (guaranteed by CellConfig::validate's f·M ≤ 8 cap).
         debug_assert!(
@@ -240,80 +347,108 @@ impl<'a> CellEngine<'a> {
             "group exceeds orthogonal pilot budget"
         );
         let transmitting = group.intersection(accessible);
+        let slot_sf = self.block_slot(s, sf);
+        let slot_grant = self.block_slot(s, grant_sf);
         // DMRS pilot detection: cyclic shifts keep over-scheduled
         // pilots orthogonal, so each pilot's SINR is its single-stream
         // SNR (no inter-stream interference); detection fails only in
-        // a very deep fade (below the −10 dB correlation floor).
-        let pilots = blu_phy::pilot::detect_pilots(transmitting, |ue| {
-            Db(self.trace.mean_snr_db[ue] + 10.0 * self.channel_gain(ue, sf).max(1e-9).log10())
-        });
+        // a very deep fade (below the −10 dB correlation floor). The
+        // floor comparison is block-constant, so it collapses to an
+        // intersection with the cached detectable set.
+        let pilots = blu_phy::pilot::detect_pilots_cached(transmitting, s.blocks[slot_sf].pilot_ok);
         let transmitting = pilots.detected;
         if transmitting.len() > m {
             // SISO NOMA: a 2-stream pile-up may still be separable by
-            // successive interference cancellation.
+            // successive interference cancellation (rare path — kept
+            // on the reference implementation).
             if self.config.noma_sic && m == 1 && transmitting.len() == 2 {
-                return self.decode_rb_noma(rb, sf, group, transmitting, grant_sf);
+                *out = self.decode_rb_noma(rb, sf, group, transmitting, grant_sf);
+                return;
             }
-            return classify_rb(group, transmitting, m, |_| None);
+            classify_rb_into(group, transmitting, m, |_| None, out);
+            return;
         }
-        // Zero-forcing decode of ≤ M streams.
-        let members: Vec<usize> = transmitting.iter().collect();
-        let block = sf.0 / self.trace.csi.coherence_subframes;
-        let channels: Vec<Vec<blu_sim::fading::Complex>> = members
-            .iter()
-            .map(|&ue| self.trace.csi.channel(ue, sf)[..m].to_vec())
-            .collect();
-        let powers: Vec<f64> = members
-            .iter()
-            .map(|&ue| {
-                let jit = rb_jitter(self.config.seed, ue, rb, block, self.config.rb_jitter_db);
-                10f64.powf((self.trace.mean_snr_db[ue] + jit) / 10.0)
-            })
-            .collect();
-        let sinrs = zf_sinrs(&channels, &powers, 1.0);
+        // Zero-forcing decode of ≤ M streams through the batched
+        // arena kernel (bit-identical to the `zf_sinrs` reference).
+        let RbScratch {
+            blocks,
+            members,
+            powers,
+            zf,
+            zf_out,
+            results,
+            harq,
+            ..
+        } = s;
+        members.clear();
+        members.extend(transmitting.iter());
+        let decode_block = &blocks[slot_sf];
+        powers.clear();
+        for &ue in members.iter() {
+            powers.push(decode_block.power_mw[ue * n_rbs + rb]);
+        }
+        let trace = self.trace;
+        let separable = zf_sinrs_into(
+            |i| &trace.csi.channel(members[i], sf)[..m],
+            members.len(),
+            m,
+            powers,
+            1.0,
+            zf,
+            zf_out,
+        );
         let group_size = group.len();
+        let expected_streams = group_size.min(m);
+        let grant_block = &blocks[slot_grant];
         // Pre-compute per-transmitter decode results (HARQ mutates
-        // state, so this cannot live in the classify closure).
-        let mut results: Vec<(usize, Option<f64>)> = Vec::with_capacity(members.len());
+        // state, so this cannot live in the classify closure). The
+        // grant MCS comes straight from the block cache's CQI/bits
+        // lanes — the penalty for `expected_streams` was folded in at
+        // block-fill time.
+        results.clear();
         for (idx, &ue) in members.iter().enumerate() {
-            let cqi = self.grant_cqi(ue, rb, grant_sf, group_size);
-            let realized_linear = match &sinrs {
-                Some(s) => s[idx].max(0.0),
-                None => 0.0, // rank-deficient channel: no usable energy
+            let lane = (ue * n_rbs + rb) * m + (expected_streams - 1);
+            let cqi = grant_block.cqi[lane];
+            let realized_linear = if separable {
+                zf_out[idx].max(0.0)
+            } else {
+                0.0 // rank-deficient channel: no usable energy
             };
-            let bits = self.mcs.bits_per_rb(cqi, &self.config.cell.numerology);
+            let bits = grant_block.bits[lane];
             let decoded = if !cqi.is_usable() {
                 false
-            } else if self
-                .mcs
-                .decodes(cqi, Db(10.0 * realized_linear.max(1e-12).log10()))
-            {
+            } else if realized_linear >= self.dec_floor_mw[usize::from(cqi.0) - 1] {
                 // Clean first-shot decode; drop any stale process.
-                if let Some(h) = harq.as_deref_mut() {
-                    h.remove(&(ue, rb));
+                if use_harq {
+                    *harq.slot_mut(ue, rb) = None;
                 }
                 true
-            } else if let Some(h) = harq.as_deref_mut() {
+            } else if use_harq {
                 // Fading loss: soft-combine with the burst's pending
                 // process (or open one).
                 use blu_phy::harq::{HarqOutcome, HarqProcess};
-                match h.get_mut(&(ue, rb)) {
-                    Some(p) => match p.receive_retransmission(realized_linear, &self.mcs) {
-                        HarqOutcome::Decoded => {
-                            h.remove(&(ue, rb));
-                            true
+                let slot = harq.slot_mut(ue, rb);
+                match slot {
+                    Some(p) => {
+                        let outcome = p.receive_retransmission(realized_linear, &self.mcs);
+                        match outcome {
+                            HarqOutcome::Decoded => {
+                                *slot = None;
+                                true
+                            }
+                            HarqOutcome::Exhausted => {
+                                *slot = None;
+                                false
+                            }
+                            HarqOutcome::Pending => false,
                         }
-                        HarqOutcome::Exhausted => {
-                            h.remove(&(ue, rb));
-                            false
-                        }
-                        HarqOutcome::Pending => false,
-                    },
+                    }
                     None => {
-                        h.insert(
-                            (ue, rb),
-                            HarqProcess::new(cqi, realized_linear, self.config.harq_max_retx),
-                        );
+                        *slot = Some(HarqProcess::new(
+                            cqi,
+                            realized_linear,
+                            self.config.harq_max_retx,
+                        ));
                         false
                     }
                 }
@@ -322,12 +457,18 @@ impl<'a> CellEngine<'a> {
             };
             results.push((ue, if decoded { Some(bits) } else { None }));
         }
-        classify_rb(group, transmitting, m, |ue| {
-            results
-                .iter()
-                .find(|&&(u, _)| u == ue)
-                .and_then(|&(_, r)| r)
-        })
+        classify_rb_into(
+            group,
+            transmitting,
+            m,
+            |ue| {
+                results
+                    .iter()
+                    .find(|&&(u, _)| u == ue)
+                    .and_then(|&(_, r)| r)
+            },
+            out,
+        );
     }
 
     /// SIC decode of exactly two superposed SISO streams: outcomes are
@@ -408,6 +549,12 @@ impl<'a> CellEngine<'a> {
         let n = self.trace.ground_truth.n_clients;
         let n_rbs = self.config.cell.numerology.n_rbs;
         let mut metrics = UplinkMetrics::new(n);
+        // The SoA hot state moves out of `self` for the segment so the
+        // loop can borrow its lanes while mutating the engine's own
+        // state (queues, averager, RNGs).
+        let mut hot = std::mem::take(&mut self.hot);
+        hot.rb.ensure_pen_db(self.config.cell.m_antennas);
+        hot.rb.harq.ensure(n, n_rbs);
         let mut lbt_state = match mode {
             AccessMode::Contended { busy, lbt_rng } => {
                 Some((Lbt::new(LbtConfig::default(), lbt_rng), busy))
@@ -415,6 +562,7 @@ impl<'a> CellEngine<'a> {
             AccessMode::BackToBack => None,
         };
         let contended = lbt_state.is_some();
+        let use_harq = !contended && self.config.harq_max_retx > 0;
         let mut now = Micros::ZERO;
         let mut sf = SubframeIndex(self.start_subframe);
         for txop in 0..self.n_txops {
@@ -435,8 +583,21 @@ impl<'a> CellEngine<'a> {
             let grant_sf = sf;
             observer.on_txop_start(txop, grant_sf);
             // One schedule per TxOP, reused over the UL burst (the
-            // paper's 3-sub-frame grants).
-            let rates = self.rate_matrix(grant_sf);
+            // paper's 3-sub-frame grants). Grant-time rates come from
+            // the grant block's cached SoA lane, gated per TxOP by
+            // queue occupancy (footnote-1 coupling: clients with empty
+            // buffers get rate 0 and are simply never granted).
+            let slot_grant = self.block_slot(&mut hot.rb, grant_sf);
+            let rates = {
+                let grant_block = &hot.rb.blocks[slot_grant];
+                MatrixRates::build(n, n_rbs, |ue, rb| {
+                    if self.has_data(ue) {
+                        grant_block.rate[ue * n_rbs + rb]
+                    } else {
+                        0.0
+                    }
+                })
+            };
             let input = SchedInput {
                 n_clients: n,
                 n_rbs,
@@ -447,35 +608,31 @@ impl<'a> CellEngine<'a> {
                 avg_tput: &self.averager.avg,
             };
             let schedule = scheduler.schedule(&input);
-            let mut harq: Option<HarqState> = if !contended && self.config.harq_max_retx > 0 {
-                Some(HashMap::new())
-            } else {
-                None
-            };
+            hot.rb.harq.clear();
             for _ in 0..self.config.cell.txop.ul_subframes {
                 if !contended {
                     self.traffic_tick();
                 }
                 let accessible = self.trace.access.at(sf);
-                let mut delivered = vec![0.0; n];
+                hot.delivered.clear();
+                hot.delivered.resize(n, 0.0);
                 // Transport blocks only carry real payload: cap each
                 // client's deliverable bits at its queue contents
                 // (backlogged mode: unlimited). Contended runs credit
                 // raw decoded bits and skip the finite-buffer cap.
-                let mut sendable: Vec<f64> = if contended {
-                    Vec::new()
-                } else {
-                    (0..n)
-                        .map(|ue| {
+                hot.sendable.clear();
+                if !contended {
+                    for ue in 0..n {
+                        hot.sendable.push(
                             if matches!(self.config.traffic, TrafficModel::Backlogged) {
                                 f64::INFINITY
                             } else {
                                 self.queues[ue]
-                            }
-                        })
-                        .collect()
-                };
-                let mut observations = Vec::with_capacity(n_rbs);
+                            },
+                        );
+                    }
+                }
+                hot.n_obs = 0;
                 let mut all_rbs_utilized = true;
                 for rb in 0..n_rbs {
                     let group = schedule.group(rb);
@@ -484,8 +641,47 @@ impl<'a> CellEngine<'a> {
                         continue;
                     }
                     metrics.rbs_scheduled += 1;
-                    let obs = self.decode_rb(rb, sf, group, accessible, grant_sf, harq.as_mut());
-                    let bits = obs.delivered_bits();
+                    let obs_i = hot.next_obs_index();
+                    self.decode_rb_into(
+                        &mut hot.rb,
+                        rb,
+                        sf,
+                        group,
+                        accessible,
+                        grant_sf,
+                        use_harq,
+                        &mut hot.observations[obs_i],
+                    );
+                    let obs = &hot.observations[obs_i];
+                    // Single pass over the outcomes: the raw
+                    // delivered-bits sum (same ascending-client add
+                    // order as `RbObservation::delivered_bits` — the
+                    // skipped non-`Success` terms contribute exact
+                    // zeros) fused with per-client crediting.
+                    let mut bits = 0.0;
+                    if contended {
+                        for &(ue, outcome) in &obs.outcomes {
+                            if let DecodeOutcome::Success { bits: b } = outcome {
+                                bits += b;
+                                hot.delivered[ue] += b;
+                                metrics.bits_per_client[ue] += b;
+                            }
+                        }
+                        metrics.bits_delivered += bits;
+                    } else {
+                        let mut credited_on_rb = 0.0;
+                        for &(ue, outcome) in &obs.outcomes {
+                            if let DecodeOutcome::Success { bits: b } = outcome {
+                                bits += b;
+                                let credited = b.min(hot.sendable[ue]);
+                                hot.sendable[ue] -= credited;
+                                hot.delivered[ue] += credited;
+                                metrics.bits_per_client[ue] += credited;
+                                credited_on_rb += credited;
+                            }
+                        }
+                        metrics.bits_delivered += credited_on_rb;
+                    }
                     if bits > 0.0 {
                         metrics.rbs_utilized += 1;
                     } else {
@@ -498,49 +694,28 @@ impl<'a> CellEngine<'a> {
                             metrics.rbs_faded += 1;
                         }
                     }
-                    if contended {
-                        for &(ue, outcome) in &obs.outcomes {
-                            if let DecodeOutcome::Success { bits } = outcome {
-                                delivered[ue] += bits;
-                                metrics.bits_per_client[ue] += bits;
-                            }
-                        }
-                        metrics.bits_delivered += bits;
-                    } else {
-                        let mut credited_on_rb = 0.0;
-                        for &(ue, outcome) in &obs.outcomes {
-                            if let DecodeOutcome::Success { bits } = outcome {
-                                let credited = bits.min(sendable[ue]);
-                                sendable[ue] -= credited;
-                                delivered[ue] += credited;
-                                metrics.bits_per_client[ue] += credited;
-                                credited_on_rb += credited;
-                            }
-                        }
-                        metrics.bits_delivered += credited_on_rb;
-                    }
-                    observations.push(obs);
                 }
                 metrics.subframes += 1;
-                if !contended && all_rbs_utilized && !observations.is_empty() {
+                if !contended && all_rbs_utilized && hot.n_obs > 0 {
                     metrics.fully_utilized_subframes += 1;
                 }
                 if let Some(est) = estimator.as_deref_mut() {
-                    est.record_subframe(&observations);
+                    est.record_subframe(&hot.observations[..hot.n_obs]);
                 }
                 observer.on_subframe(&SubframeView {
                     sf,
-                    observations: &observations,
-                    delivered: &delivered,
+                    observations: &hot.observations[..hot.n_obs],
+                    delivered: &hot.delivered,
                 });
                 if !contended {
-                    for (ue, &bits) in delivered.iter().enumerate() {
+                    for ue in 0..n {
+                        let bits = hot.delivered[ue];
                         if bits > 0.0 {
                             self.drain(ue, bits);
                         }
                     }
                 }
-                self.averager.update(&delivered);
+                self.averager.update(&hot.delivered);
                 sf = sf.next();
             }
             if let Some((lbt, _)) = lbt_state.as_mut() {
@@ -548,6 +723,7 @@ impl<'a> CellEngine<'a> {
                 lbt.reset_cw();
             }
         }
+        self.hot = hot;
         EmulationReport {
             scheduler: scheduler.name(),
             metrics,

@@ -329,6 +329,12 @@ pub struct CellContext<'a, 's> {
     pub spec: SchedulerSpec,
     /// Report of the last transmit segment.
     pub last_report: Option<EmulationReport>,
+    /// Recycled engine hot-state buffers (one arena per fleet shard
+    /// or per driver): when set, the transmit stage adopts them into
+    /// its segment engine and yields them back afterwards, so
+    /// repeated segments allocate nothing per sub-frame. `None` keeps
+    /// the stage self-contained (fresh buffers per segment).
+    pub arena: Option<&'s mut super::hot::EngineArena>,
 }
 
 impl<'a, 's> CellContext<'a, 's> {
@@ -352,6 +358,14 @@ impl<'a, 's> CellContext<'a, 's> {
             segment: None,
             spec: SchedulerSpec::default(),
             last_report: None,
+            arena: None,
         }
+    }
+
+    /// Attach a recycled hot-state arena (builder style; see the
+    /// `arena` field).
+    pub fn with_arena(mut self, arena: &'s mut super::hot::EngineArena) -> Self {
+        self.arena = Some(arena);
+        self
     }
 }

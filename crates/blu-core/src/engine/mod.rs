@@ -39,6 +39,7 @@
 pub mod cell;
 pub mod context;
 pub mod fleet;
+pub mod hot;
 pub mod observer;
 pub mod stages;
 
@@ -48,6 +49,7 @@ pub use context::{
     SchedulerSpec, SegmentPlan, StateTransition,
 };
 pub use fleet::FleetEngine;
+pub use hot::EngineArena;
 pub use observer::{HeartbeatCounter, NullObserver, SubframeObserver, SubframeView};
 pub use stages::{
     run_pipeline, GenerateStage, InferGate, InferStage, MeasureFidelity, MeasureStage,

@@ -73,9 +73,11 @@ pub trait Stage {
     ) -> Result<StageFlow, BluError>;
 }
 
-/// Drive an ordered stage composition over a context. Panics if the
-/// stages are not in non-decreasing [`StageKind`] order — the
-/// composition itself is a programming error, never a data error.
+/// Drive an ordered stage composition over a context. A composition
+/// whose stages are not in non-decreasing [`StageKind`] order is
+/// rejected with [`BluError::StageInvariant`] at the first offending
+/// stage — a typed error rather than a panic, so a fleet running many
+/// compositions degrades per cell instead of aborting the join.
 pub fn run_pipeline(
     ctx: &mut CellContext<'_, '_>,
     stages: &mut [&mut dyn Stage],
@@ -85,10 +87,11 @@ pub fn run_pipeline(
     for stage in stages.iter_mut() {
         let kind = stage.kind();
         if let Some(p) = prev {
-            assert!(
-                kind >= p,
-                "stage pipeline out of order: {kind:?} cannot follow {p:?}"
-            );
+            if kind < p {
+                return Err(BluError::StageInvariant(format!(
+                    "stage pipeline out of order: {kind:?} cannot follow {p:?}"
+                )));
+            }
         }
         prev = Some(kind);
         observer.on_stage(kind);
@@ -194,9 +197,11 @@ impl Stage for MeasureStage {
         let channel = match self.fidelity {
             MeasureFidelity::Strict { .. } => None,
             MeasureFidelity::FaultChannel => {
-                let script = ctx
-                    .script
-                    .expect("fault-channel measurement requires a fault script");
+                let script = ctx.script.ok_or_else(|| {
+                    BluError::StageInvariant(
+                        "fault-channel measurement requires a fault script".into(),
+                    )
+                })?;
                 Some((chan, script))
             }
         };
@@ -508,11 +513,19 @@ impl Stage for TransmitStage {
         ctx: &mut CellContext<'_, '_>,
         observer: &mut dyn SubframeObserver,
     ) -> Result<StageFlow, BluError> {
-        let plan = ctx
-            .segment
-            .expect("schedule stage must plan a segment before transmit");
+        let plan = ctx.segment.ok_or_else(|| {
+            BluError::StageInvariant("schedule stage must plan a segment before transmit".into())
+        })?;
+        if ctx.spec == SchedulerSpec::Speculative && ctx.snap.blueprint.is_none() {
+            return Err(BluError::StageInvariant(
+                "speculative transmit requires a blueprint in force".into(),
+            ));
+        }
         let mut engine = CellEngine::with_config(ctx.trace, ctx.emulation)?
             .segment(plan.txops, plan.start_subframe);
+        if let Some(arena) = ctx.arena.as_mut() {
+            engine.adopt_arena(arena);
+        }
         if let Some(avg) = &ctx.snap.pf_avg {
             engine.seed_pf_averages(avg);
         }
@@ -533,7 +546,8 @@ impl Stage for TransmitStage {
                        observer: &mut dyn SubframeObserver| {
                 match spec {
                     SchedulerSpec::Speculative => {
-                        let result = blueprint.as_ref().expect("Confident implies a blueprint");
+                        // Checked above: Speculative implies a blueprint.
+                        let result = blueprint.as_ref().expect("checked before engine build");
                         let access = TopologyAccess::new(&result.topology);
                         let mut sched = SpeculativeScheduler::new(&access);
                         engine.run_segment(&mut sched, estimator, AccessMode::BackToBack, observer)
@@ -550,9 +564,11 @@ impl Stage for TransmitStage {
                 TransmitFeed::None => run(&mut engine, None, observer),
                 TransmitFeed::Estimator => run(&mut engine, Some(est), observer),
                 TransmitFeed::FaultTap => {
-                    let script = ctx
-                        .script
-                        .expect("fault-tap transmit requires a fault script");
+                    let script = ctx.script.ok_or_else(|| {
+                        BluError::StageInvariant(
+                            "fault-tap transmit requires a fault script".into(),
+                        )
+                    })?;
                     let mut tap = DriftTap {
                         trace: ctx.trace,
                         script,
@@ -567,6 +583,9 @@ impl Stage for TransmitStage {
                 }
             }
         };
+        if let Some(arena) = ctx.arena.as_mut() {
+            engine.yield_arena(arena);
+        }
         ctx.snap.pf_avg = Some(engine.pf_averages().to_vec());
         ctx.snap.metrics.merge(&report.metrics);
         ctx.snap.cursor += plan.txops * ctx.geom.per_txop;
@@ -582,6 +601,14 @@ impl Stage for TransmitStage {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::blueprint::InferenceConfig;
+    use crate::emulator::EmulationConfig;
+    use crate::engine::CellSnapshot;
+    use crate::runtime::breaker::BreakerConfig;
+    use blu_phy::cell::CellConfig;
+    use blu_sim::time::Micros;
+    use blu_traces::capture::{capture_synthetic, CaptureConfig};
+    use blu_traces::schema::TestbedTrace;
 
     #[test]
     fn stage_kinds_order_matches_pipeline() {
@@ -589,5 +616,87 @@ mod tests {
         assert!(StageKind::Infer < StageKind::Generate);
         assert!(StageKind::Generate < StageKind::Schedule);
         assert!(StageKind::Schedule < StageKind::Transmit);
+    }
+
+    fn quick_trace() -> TestbedTrace {
+        capture_synthetic(
+            &CaptureConfig {
+                duration: Micros::from_secs(10),
+                ..CaptureConfig::testbed_default()
+            },
+            11,
+        )
+    }
+
+    fn quick_ctx<'t, 's>(
+        trace: &'t TestbedTrace,
+        emulation: &'t EmulationConfig,
+        inference: &'t InferenceConfig,
+        backend: &'t crate::blueprint::InferenceBackend,
+        snap: &'s mut CellSnapshot,
+    ) -> CellContext<'t, 's> {
+        CellContext::new(trace, None, emulation, inference, backend, snap)
+    }
+
+    #[test]
+    fn out_of_order_composition_is_a_typed_error() {
+        let trace = quick_trace();
+        let emulation = EmulationConfig::new(CellConfig::testbed_siso());
+        let inference = InferenceConfig::default();
+        let backend = crate::blueprint::InferenceBackend::default();
+        let mut snap = CellSnapshot::fresh(
+            trace.ground_truth.n_clients,
+            trace.access.len() as u64,
+            0,
+            0.0,
+            BreakerConfig::default(),
+        );
+        let mut ctx = quick_ctx(&trace, &emulation, &inference, &backend, &mut snap);
+        // Generate before Measure is out of order; the pipeline must
+        // reject it as a value, not an abort.
+        let mut generate = GenerateStage;
+        let mut measure = MeasureStage {
+            t_samples: 5,
+            fidelity: MeasureFidelity::Strict { what: "test" },
+        };
+        let err = run_pipeline(
+            &mut ctx,
+            &mut [&mut generate, &mut measure],
+            &mut crate::engine::NullObserver,
+        )
+        .expect_err("out-of-order composition must fail");
+        assert!(
+            matches!(&err, BluError::StageInvariant(msg) if msg.contains("out of order")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn transmit_without_planned_segment_is_a_typed_error() {
+        let trace = quick_trace();
+        let emulation = EmulationConfig::new(CellConfig::testbed_siso());
+        let inference = InferenceConfig::default();
+        let backend = crate::blueprint::InferenceBackend::default();
+        let mut snap = CellSnapshot::fresh(
+            trace.ground_truth.n_clients,
+            trace.access.len() as u64,
+            0,
+            0.0,
+            BreakerConfig::default(),
+        );
+        let mut ctx = quick_ctx(&trace, &emulation, &inference, &backend, &mut snap);
+        let mut transmit = TransmitStage {
+            feed: TransmitFeed::None,
+        };
+        let err = run_pipeline(
+            &mut ctx,
+            &mut [&mut transmit],
+            &mut crate::engine::NullObserver,
+        )
+        .expect_err("transmit with no planned segment must fail");
+        assert!(
+            matches!(&err, BluError::StageInvariant(msg) if msg.contains("segment")),
+            "{err:?}"
+        );
     }
 }

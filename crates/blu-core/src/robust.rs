@@ -72,9 +72,9 @@
 use crate::blueprint::infer::InferenceVerdict;
 use crate::blueprint::InferenceBackend;
 use crate::engine::{
-    CellContext, CellGeometry, FleetEngine, GenerateStage, InferGate, InferStage, MeasureFidelity,
-    MeasureStage, NullObserver, SchedulePolicy, ScheduleStage, StageFlow, TransmitFeed,
-    TransmitStage,
+    CellContext, CellGeometry, EngineArena, FleetEngine, GenerateStage, InferGate, InferStage,
+    MeasureFidelity, MeasureStage, NullObserver, SchedulePolicy, ScheduleStage, StageFlow,
+    TransmitFeed, TransmitStage,
 };
 use crate::error::BluError;
 use crate::measure::measurement_schedule;
@@ -239,6 +239,11 @@ pub(crate) struct RobustDriver<'a> {
     config: &'a RobustConfig,
     geom: CellGeometry,
     pub(crate) snap: RobustSnapshot,
+    /// Recycled engine hot-state buffers, adopted by every transmit
+    /// segment this driver runs (and swappable with a fleet shard's
+    /// arena so cells sharing a shard share buffers). Not part of the
+    /// checkpointable snapshot — it is pure cache.
+    pub(crate) arena: EngineArena,
 }
 
 impl<'a> RobustDriver<'a> {
@@ -316,6 +321,7 @@ impl<'a> RobustDriver<'a> {
             config,
             geom: CellGeometry::derive(&capture.trace, &config.blu.emulation),
             snap,
+            arena: EngineArena::new(),
         }
     }
 
@@ -377,7 +383,8 @@ impl<'a> RobustDriver<'a> {
                     &self.config.blu.inference,
                     &self.config.backend,
                     &mut self.snap,
-                );
+                )
+                .with_arena(&mut self.arena);
                 let mut generate = GenerateStage;
                 let mut schedule = ScheduleStage {
                     policy: SchedulePolicy::Windowed {
@@ -460,7 +467,8 @@ impl<'a> RobustDriver<'a> {
             &self.config.blu.inference,
             &self.config.backend,
             &mut self.snap,
-        );
+        )
+        .with_arena(&mut self.arena);
         // Leave ctx.spec at its PF default: a blueprint may survive in
         // the snapshot, but a shed cell must not speculate on it.
         let mut schedule = ScheduleStage {
@@ -531,6 +539,21 @@ pub fn run_blu_robust_cell(
     config: &RobustConfig,
     cell: usize,
 ) -> Result<RobustRunReport, BluError> {
+    run_blu_robust_cell_in(capture, config, cell, &mut EngineArena::new())
+}
+
+/// [`run_blu_robust_cell`] with caller-provided recycled engine
+/// buffers: the driver runs its transmit segments out of `arena` and
+/// hands the buffers back on completion, so a fleet shard's cells
+/// share one allocation pool and steady-state segments allocate
+/// nothing per sub-frame. On an error path the arena may come back
+/// empty (capacities lost, correctness unaffected).
+pub fn run_blu_robust_cell_in(
+    capture: &FaultyCapture,
+    config: &RobustConfig,
+    cell: usize,
+    arena: &mut EngineArena,
+) -> Result<RobustRunReport, BluError> {
     let ckpt_path = config
         .checkpoint
         .as_ref()
@@ -542,6 +565,7 @@ pub fn run_blu_robust_cell(
         }
         _ => RobustDriver::new(capture, config)?,
     };
+    std::mem::swap(&mut driver.arena, arena);
     let mut last_saved = driver.snap.cursor;
     loop {
         let more = driver.step()?;
@@ -559,6 +583,7 @@ pub fn run_blu_robust_cell(
             break;
         }
     }
+    std::mem::swap(&mut driver.arena, arena);
     Ok(driver.into_report())
 }
 
@@ -581,14 +606,12 @@ pub fn run_robust_fleet(
     config: &RobustConfig,
 ) -> Vec<Result<RobustRunReport, BluError>> {
     let indexed: Vec<(usize, &FaultyCapture)> = captures.iter().enumerate().collect();
-    FleetEngine::run(
-        indexed,
-        || (),
-        |_, (cell, cap)| {
-            catch_unwind(AssertUnwindSafe(|| run_blu_robust_cell(cap, config, cell)))
-                .unwrap_or_else(|p| Err(BluError::Panicked(panic_message(p.as_ref()))))
-        },
-    )
+    FleetEngine::run_isolated(indexed, EngineArena::new, |arena, (cell, cap)| {
+        run_blu_robust_cell_in(cap, config, cell, arena)
+    })
+    .into_iter()
+    .map(|r| r.and_then(|inner| inner))
+    .collect()
 }
 
 /// Sequential reference for [`run_robust_fleet`] — kept alive for

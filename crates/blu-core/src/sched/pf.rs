@@ -12,16 +12,34 @@ use super::{mimo_penalty, SchedInput, UlScheduler};
 use blu_phy::grant::RbSchedule;
 use blu_sim::clientset::ClientSet;
 
+/// Reusable buffers for [`PfScheduler::best_group_for_rb_with`]:
+/// the descending-weight candidate list and the budget-filtered
+/// prefix chain, hoisted out of the per-RB loop so steady-state
+/// scheduling allocates nothing. One instance per scheduling context
+/// (the speculative scheduler's PF fallback owns one; the shared RB
+/// loop keeps one per call, reused across its RBs).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PfScratch {
+    weighted: Vec<(usize, f64)>,
+    chain: Vec<(usize, f64)>,
+}
+
 /// The PF scheduler (stateless between sub-frames; `R_i` lives in the
 /// caller's [`super::PfAverager`]).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct PfScheduler;
 
 impl PfScheduler {
-    /// Pick the best group for one RB: walk clients in descending
-    /// weight order, skipping new clients once the cell-wide
-    /// `K`-distinct budget is exhausted, and keep the prefix size
-    /// with the best ZF-penalized utility.
+    /// Reference implementation of the per-RB group builder: walk
+    /// clients in descending weight order, skipping new clients once
+    /// the cell-wide `K`-distinct budget is exhausted, and keep the
+    /// prefix size with the best ZF-penalized utility.
+    ///
+    /// Allocates its working vectors per call; kept verbatim both as
+    /// the baseline schedulers' deployed path and as the
+    /// differential-test oracle for the scratch-hoisted variant
+    /// ([`PfScheduler::best_group_for_rb_with`]) that BLU's fallback
+    /// uses.
     pub(crate) fn best_group_for_rb(
         input: &SchedInput<'_>,
         rb: usize,
@@ -60,8 +78,60 @@ impl PfScheduler {
         best
     }
 
+    /// [`PfScheduler::best_group_for_rb`] on caller-provided scratch:
+    /// identical comparisons in identical order (the sort stays
+    /// *stable*, so equal weights keep ascending-client order), hence
+    /// bit-identical output — pinned by the differential test below.
+    pub(crate) fn best_group_for_rb_with(
+        input: &SchedInput<'_>,
+        rb: usize,
+        used: ClientSet,
+        cap: usize,
+        weight_of: &dyn Fn(usize, usize) -> f64,
+        scratch: &mut PfScratch,
+    ) -> (ClientSet, f64) {
+        let PfScratch { weighted, chain } = scratch;
+        weighted.clear();
+        weighted.extend(
+            (0..input.n_clients)
+                .map(|ue| (ue, weight_of(ue, rb)))
+                .filter(|&(_, w)| w > 0.0),
+        );
+        weighted.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let mut budget = input.k_max.saturating_sub(used.len());
+        chain.clear();
+        for &(ue, w) in weighted.iter() {
+            if chain.len() >= cap {
+                break;
+            }
+            if used.contains(ue) {
+                chain.push((ue, w));
+            } else if budget > 0 {
+                budget -= 1;
+                chain.push((ue, w));
+            }
+        }
+        let mut best = (ClientSet::EMPTY, 0.0);
+        let mut prefix = 0.0;
+        for (s, &(_, w)) in chain.iter().enumerate() {
+            prefix += w;
+            let util = prefix * mimo_penalty(s + 1, input.m_antennas);
+            if util > best.1 {
+                best = (chain[..=s].iter().map(|&(ue, _)| ue).collect(), util);
+            }
+        }
+        best
+    }
+
     /// Shared RB loop for PF-style schedulers: fill every RB,
     /// enforcing the K-distinct-clients constraint.
+    ///
+    /// Deliberately runs the *reference* group builder: PF and the
+    /// access-aware scheduler are the paper's baselines, and the perf
+    /// telemetry (`BENCH_sched.json`, CI floor) measures BLU's
+    /// speculative path against the baseline as deployed. Only BLU's
+    /// own hot path (including its PF fallback) uses the
+    /// scratch-hoisted variant.
     pub(crate) fn schedule_with_weights(
         input: &SchedInput<'_>,
         cap: usize,
@@ -186,6 +256,66 @@ mod tests {
         let sched = PfScheduler.schedule(&input);
         assert!(sched.scheduled_clients().len() <= 2);
         assert_eq!(sched.occupied_rbs(), 4, "all RBs still filled");
+    }
+
+    #[test]
+    fn scratch_variant_bit_identical_to_reference() {
+        // The hot paths run the scratch-hoisted builder; the
+        // allocating reference stays as the oracle. Random geometries,
+        // shared scratch reused across every case (stale contents must
+        // never leak into a result).
+        use blu_sim::rng::DetRng;
+        let mut rng = DetRng::seed_from_u64(0x9F5C);
+        let mut scratch = PfScratch::default();
+        for case in 0..200 {
+            let n = 1 + rng.below(12);
+            let n_rbs = 1 + rng.below(6);
+            let m = 1 + rng.below(4);
+            let k = 1 + rng.below(n + 2);
+            // Duplicate weights often, so stable-sort tie handling is
+            // actually exercised; sprinkle zeros for the filter.
+            let vals: Vec<f64> = (0..4).map(|_| rng.range_f64(0.0, 50.0)).collect();
+            let w: Vec<Vec<f64>> = (0..n)
+                .map(|_| {
+                    (0..n_rbs)
+                        .map(|_| {
+                            if rng.chance(0.2) {
+                                0.0
+                            } else {
+                                vals[rng.below(4)]
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let rates = MatrixRates::build(n, n_rbs, |ue, rb| w[ue][rb]);
+            let avg = vec![1.0; n];
+            let input = SchedInput {
+                n_clients: n,
+                n_rbs,
+                m_antennas: m,
+                k_max: k,
+                max_group: m,
+                rates: &rates,
+                avg_tput: &avg,
+            };
+            let mut used = ClientSet::EMPTY;
+            for rb in 0..n_rbs {
+                let weight = |ue: usize, rb: usize| input.weight(ue, rb);
+                let (g_ref, u_ref) = PfScheduler::best_group_for_rb(&input, rb, used, m, &weight);
+                let (g_hot, u_hot) =
+                    PfScheduler::best_group_for_rb_with(&input, rb, used, m, &weight, &mut scratch);
+                assert_eq!(g_ref, g_hot, "case {case} rb {rb}");
+                assert_eq!(
+                    u_ref.to_bits(),
+                    u_hot.to_bits(),
+                    "case {case} rb {rb}: utilities diverged"
+                );
+                for ue in g_ref.iter() {
+                    used.insert(ue);
+                }
+            }
+        }
     }
 
     #[test]

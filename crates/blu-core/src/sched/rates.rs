@@ -5,6 +5,14 @@
 pub trait RateMap {
     /// Rate of client `ue` on RB `rb`.
     fn rate(&self, ue: usize, rb: usize) -> f64;
+
+    /// Dense-matrix downcast, so hot paths that loop over many
+    /// (client, RB) pairs can read rates through a concrete type
+    /// (inlined load) instead of a virtual call per lookup. Values are
+    /// identical either way; this only removes dispatch.
+    fn as_matrix(&self) -> Option<&MatrixRates> {
+        None
+    }
 }
 
 /// Dense rate matrix.
@@ -41,6 +49,10 @@ impl MatrixRates {
 impl RateMap for MatrixRates {
     fn rate(&self, ue: usize, rb: usize) -> f64 {
         self.data[ue * self.n_rbs + rb]
+    }
+
+    fn as_matrix(&self) -> Option<&MatrixRates> {
+        Some(self)
     }
 }
 

@@ -136,6 +136,44 @@ impl McsTable {
     pub fn decodes(&self, cqi: Cqi, sinr: Db) -> bool {
         cqi.is_usable() && sinr.0 >= self.rows[usize::from(cqi.0) - 1].min_sinr_db
     }
+
+    /// Per-CQI decode thresholds in the *linear* SINR domain, exact
+    /// with respect to [`McsTable::decodes`] fed the conventional
+    /// `Db(10·log10(linear.max(1e-12)))` conversion: entry `c − 1` is
+    /// the smallest non-negative `f64` whose dB conversion clears CQI
+    /// `c`'s `min_sinr_db`. Hot decode loops compare `linear ≥
+    /// floor[c − 1]` and skip the `log10` per decode while reproducing
+    /// the dB comparison bit-for-bit — guaranteed by binary-searching
+    /// the `f64` bit space (the conversion is monotone; the
+    /// `linear_floors_*` tests sweep the ULP neighbourhood of every
+    /// threshold to pin the equivalence).
+    pub fn linear_decode_floors(&self) -> Vec<f64> {
+        self.rows
+            .iter()
+            .map(|row| {
+                let t = row.min_sinr_db;
+                let clears = |r: f64| 10.0 * (r.max(1e-12)).log10() >= t;
+                if clears(0.0) {
+                    return 0.0;
+                }
+                // Non-negative f64 bit patterns order like the values
+                // they encode, so this is a partition-point search for
+                // the first value that clears the threshold.
+                let mut lo = 0u64;
+                let mut hi = 1e300f64.to_bits();
+                debug_assert!(clears(f64::from_bits(hi)));
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    if clears(f64::from_bits(mid)) {
+                        hi = mid;
+                    } else {
+                        lo = mid + 1;
+                    }
+                }
+                f64::from_bits(lo)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -203,5 +241,48 @@ mod tests {
     fn min_sinr_matches_rows() {
         let t = McsTable::release10();
         assert_eq!(t.min_sinr(Cqi(7)), Db(5.9));
+    }
+
+    #[test]
+    fn linear_floors_match_db_decodes_at_ulp_boundaries() {
+        let t = McsTable::release10();
+        let floors = t.linear_decode_floors();
+        for (i, row) in t.rows().iter().enumerate() {
+            let floor = floors[i];
+            let via_db = |r: f64| t.decodes(row.cqi, Db(10.0 * (r.max(1e-12)).log10()));
+            // Sweep the ULP neighbourhood of the threshold: the linear
+            // compare must agree with the dB path on every single f64.
+            let fb = floor.to_bits();
+            for b in fb.saturating_sub(4096)..=fb.saturating_add(4096) {
+                let r = f64::from_bits(b);
+                assert_eq!(r >= floor, via_db(r), "cqi {:?} r {r:e}", row.cqi);
+            }
+            assert!(via_db(floor));
+            if floor > 0.0 {
+                assert!(!via_db(f64::from_bits(fb - 1)));
+                assert!(!via_db(0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn linear_floors_match_db_decodes_random() {
+        use blu_sim::rng::DetRng;
+        let t = McsTable::release10();
+        let floors = t.linear_decode_floors();
+        let mut rng = DetRng::seed_from_u64(0xDEC0);
+        for _ in 0..100_000 {
+            // Log-uniform over the full span the engine can produce,
+            // plus the sub-floor clamp region.
+            let r = 10f64.powf(rng.range_f64(-15.0, 3.0));
+            for (i, row) in t.rows().iter().enumerate() {
+                assert_eq!(
+                    r >= floors[i],
+                    t.decodes(row.cqi, Db(10.0 * (r.max(1e-12)).log10())),
+                    "cqi {:?} r {r:e}",
+                    row.cqi
+                );
+            }
+        }
     }
 }

@@ -210,6 +210,177 @@ pub fn zf_sinrs(
     )
 }
 
+/// Reusable buffers for the batched ZF kernel: the stream matrix
+/// `A`, the Gram matrix and its inverse live here across calls, so a
+/// subframe loop decoding thousands of RBs allocates nothing after
+/// the first group of each size. One scratch per engine (or per
+/// fleet shard, via the engine arena) is the intended ownership.
+#[derive(Debug, Clone, Default)]
+pub struct ZfScratch {
+    /// `A = [√p₁·h₁ … √p_S·h_S]` (`M × S`, row-major).
+    a: Vec<Complex>,
+    /// Gram matrix `AᴴA` (`S × S`), consumed in place by the
+    /// Gauss–Jordan elimination.
+    g: Vec<Complex>,
+    /// Inverse of the Gram matrix (`S × S`).
+    inv: Vec<Complex>,
+}
+
+/// Batched, allocation-free twin of [`zf_sinrs`]: post-ZF SINRs for
+/// `n_streams ≤ m_antennas` concurrent streams, written into `out`.
+///
+/// `channel(i)` returns stream `i`'s unit-power channel vector
+/// (length `m_antennas`); powers and noise are as in [`zf_sinrs`].
+/// Returns `false` (and leaves `out` empty) when the streams cannot
+/// be separated — more streams than antennas or a numerically
+/// rank-deficient Gram matrix — exactly the reference's `None`.
+///
+/// **Differential contract:** this kernel replays the reference
+/// pipeline (`from_columns → hermitian → mul → inverse`) operation
+/// for operation on the scratch buffers — same accumulation order,
+/// same pivot selection (ties keep the later row, as
+/// `Iterator::max_by` does), same singular threshold — so for finite
+/// inputs its output is **bit-identical** to [`zf_sinrs`]. The
+/// reference stays alive as the oracle; the unit tests below pin the
+/// equivalence across random geometries.
+pub fn zf_sinrs_into<'c>(
+    channel: impl Fn(usize) -> &'c [Complex],
+    n_streams: usize,
+    m_antennas: usize,
+    rx_powers_mw: &[f64],
+    noise_mw: f64,
+    scratch: &mut ZfScratch,
+    out: &mut Vec<f64>,
+) -> bool {
+    let s = n_streams;
+    assert_eq!(s, rx_powers_mw.len());
+    assert!(noise_mw > 0.0, "noise power must be positive");
+    out.clear();
+    if s == 0 {
+        return true;
+    }
+    let m = m_antennas;
+    if s > m {
+        return false; // under-determined: collision
+    }
+    if s == 1 {
+        // Single-stream unrolling — the dominant decode shape (every
+        // SISO RB, and any RB where only one granted client won
+        // access). Replays the general path's float operations on the
+        // 1×1 system exactly: same column scaling, same
+        // conjugate-times-self Gram accumulation with the zero skip,
+        // same pivot test and `1·G⁻¹` rounding — so the SINR is
+        // bit-identical to the matrix path (and to `zf_sinrs`), with
+        // none of the buffer traffic.
+        let p = rx_powers_mw[0];
+        assert!(p >= 0.0);
+        let amp = p.sqrt();
+        let h = channel(0);
+        debug_assert_eq!(h.len(), m);
+        let mut g = Complex::ZERO;
+        for &hv in h.iter() {
+            let a = hv.scale(amp);
+            let ac = a.conj();
+            if ac == Complex::ZERO {
+                continue;
+            }
+            g += ac * a;
+        }
+        if g.norm_sq() < 1e-24 {
+            return false; // singular
+        }
+        let pivot_inv = g.inv();
+        let inv00 = Complex::ONE * pivot_inv;
+        let noise_amp = inv00.re.max(1e-30);
+        out.push(1.0 / (noise_mw * noise_amp));
+        return true;
+    }
+    // A = [√p₁·h₁ … √p_S·h_S], column j scaled exactly as the
+    // reference builds its column vectors.
+    scratch.a.clear();
+    scratch.a.resize(m * s, Complex::ZERO);
+    for (j, &p) in rx_powers_mw.iter().enumerate() {
+        assert!(p >= 0.0);
+        let amp = p.sqrt();
+        let h = channel(j);
+        debug_assert_eq!(h.len(), m);
+        for (i, &hv) in h.iter().enumerate() {
+            scratch.a[i * s + j] = hv.scale(amp);
+        }
+    }
+    // gram = Aᴴ·A with CMat::mul's (i, k, j) accumulation order and
+    // its zero-skip on the left factor — Aᴴ[(i,k)] = A[(k,i)]*.
+    scratch.g.clear();
+    scratch.g.resize(s * s, Complex::ZERO);
+    for i in 0..s {
+        for k in 0..m {
+            let a = scratch.a[k * s + i].conj();
+            if a == Complex::ZERO {
+                continue;
+            }
+            for j in 0..s {
+                scratch.g[i * s + j] += a * scratch.a[k * s + j];
+            }
+        }
+    }
+    // Gauss–Jordan with partial pivoting, replicated from
+    // CMat::inverse on the scratch buffers.
+    let g = &mut scratch.g;
+    let inv = &mut scratch.inv;
+    inv.clear();
+    inv.resize(s * s, Complex::ZERO);
+    for i in 0..s {
+        inv[i * s + i] = Complex::ONE;
+    }
+    for col in 0..s {
+        // Partial pivot: largest magnitude in this column; `>=` keeps
+        // the later of equal rows, matching `max_by` tie-breaking.
+        let mut pivot_row = col;
+        let mut best = g[col * s + col].norm_sq();
+        for r in (col + 1)..s {
+            let v = g[r * s + col].norm_sq();
+            if v >= best {
+                best = v;
+                pivot_row = r;
+            }
+        }
+        if best < 1e-24 {
+            return false; // singular
+        }
+        if pivot_row != col {
+            for j in 0..s {
+                g.swap(pivot_row * s + j, col * s + j);
+                inv.swap(pivot_row * s + j, col * s + j);
+            }
+        }
+        let pivot_inv = g[col * s + col].inv();
+        for j in 0..s {
+            g[col * s + j] = g[col * s + j] * pivot_inv;
+            inv[col * s + j] = inv[col * s + j] * pivot_inv;
+        }
+        for r in 0..s {
+            if r == col {
+                continue;
+            }
+            let f = g[r * s + col];
+            if f == Complex::ZERO {
+                continue;
+            }
+            for j in 0..s {
+                let aj = g[col * s + j];
+                let ij = inv[col * s + j];
+                g[r * s + j] = g[r * s + j] - f * aj;
+                inv[r * s + j] = inv[r * s + j] - f * ij;
+            }
+        }
+    }
+    for i in 0..s {
+        let noise_amp = inv[i * s + i].re.max(1e-30);
+        out.push(1.0 / (noise_mw * noise_amp));
+    }
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +388,112 @@ mod tests {
 
     fn c(re: f64, im: f64) -> Complex {
         Complex::new(re, im)
+    }
+
+    /// Drive both kernels on the same input and demand bit-identity.
+    fn assert_kernels_agree(channels: &[Vec<Complex>], powers: &[f64], noise: f64) {
+        let want = zf_sinrs(channels, powers, noise);
+        let mut scratch = ZfScratch::default();
+        let mut out = Vec::new();
+        let m = channels.first().map_or(0, |h| h.len());
+        let ok = zf_sinrs_into(
+            |i| channels[i].as_slice(),
+            channels.len(),
+            m,
+            powers,
+            noise,
+            &mut scratch,
+            &mut out,
+        );
+        match want {
+            Some(ref w) => {
+                assert!(ok, "batched kernel rejected a separable group");
+                assert_eq!(w.len(), out.len());
+                for (a, b) in w.iter().zip(&out) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "SINR bits diverged");
+                }
+            }
+            None => assert!(!ok, "batched kernel accepted an inseparable group"),
+        }
+    }
+
+    #[test]
+    fn batched_kernel_bit_identical_on_random_geometries() {
+        // 200 random cases per antenna count, spanning every stream
+        // count the engine can produce (s ≤ m plus the s > m
+        // rejection path) and degenerate near-singular geometries.
+        for m in [1usize, 2, 4] {
+            let mut rng = DetRng::seed_from_u64(0xB10C + m as u64);
+            for case in 0..200 {
+                let s = 1 + rng.below(m + 1); // occasionally s = m + 1 > m
+                let mut channels = Vec::with_capacity(s);
+                for _ in 0..s {
+                    let mut h = Vec::with_capacity(m);
+                    for _ in 0..m {
+                        h.push(c(rng.gaussian(), rng.gaussian()));
+                    }
+                    channels.push(h);
+                }
+                // Every third case duplicates a column: rank-deficient
+                // Gram, exercising the singular early-out on both sides.
+                if case % 3 == 0 && s >= 2 {
+                    channels[1] = channels[0].clone();
+                }
+                let powers: Vec<f64> = (0..s).map(|_| rng.range_f64(1e-9, 2.0)).collect();
+                let noise = rng.range_f64(1e-6, 1e-2);
+                assert_kernels_agree(&channels, &powers, noise);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_kernel_scratch_reuse_is_stateless() {
+        // Interleave groups of different sizes through ONE scratch and
+        // compare against fresh-scratch runs: leftover buffer contents
+        // must never leak into a later result.
+        let mut rng = DetRng::seed_from_u64(0xA11A);
+        let mut shared = ZfScratch::default();
+        for _ in 0..50 {
+            let m = 1 + rng.below(4);
+            let s = 1 + rng.below(m);
+            let channels: Vec<Vec<Complex>> = (0..s)
+                .map(|_| (0..m).map(|_| c(rng.gaussian(), rng.gaussian())).collect())
+                .collect();
+            let powers: Vec<f64> = (0..s).map(|_| rng.range_f64(0.1, 2.0)).collect();
+            let mut out_shared = Vec::new();
+            let ok_shared = zf_sinrs_into(
+                |i| channels[i].as_slice(),
+                s,
+                m,
+                &powers,
+                1.0,
+                &mut shared,
+                &mut out_shared,
+            );
+            let mut fresh = ZfScratch::default();
+            let mut out_fresh = Vec::new();
+            let ok_fresh = zf_sinrs_into(
+                |i| channels[i].as_slice(),
+                s,
+                m,
+                &powers,
+                1.0,
+                &mut fresh,
+                &mut out_fresh,
+            );
+            assert_eq!(ok_shared, ok_fresh);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&out_shared), bits(&out_fresh));
+        }
+    }
+
+    #[test]
+    fn batched_kernel_empty_group() {
+        let mut scratch = ZfScratch::default();
+        let mut out = vec![1.0, 2.0];
+        let ok = zf_sinrs_into(|_| &[][..], 0, 2, &[], 1.0, &mut scratch, &mut out);
+        assert!(ok);
+        assert!(out.is_empty());
     }
 
     #[test]

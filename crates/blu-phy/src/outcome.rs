@@ -96,29 +96,43 @@ pub fn classify_rb(
     m_antennas: usize,
     decode: impl Fn(usize) -> Option<f64>,
 ) -> RbObservation {
+    let mut out = RbObservation {
+        scheduled: ClientSet::EMPTY,
+        outcomes: Vec::new(),
+    };
+    classify_rb_into(scheduled, pilots_detected, m_antennas, decode, &mut out);
+    out
+}
+
+/// [`classify_rb`] writing into an existing observation, reusing its
+/// `outcomes` buffer. The subframe loop classifies one RB per grant
+/// per subframe; recycling the observation makes that path
+/// allocation-free once the buffers have grown to steady state.
+pub fn classify_rb_into(
+    scheduled: ClientSet,
+    pilots_detected: ClientSet,
+    m_antennas: usize,
+    decode: impl Fn(usize) -> Option<f64>,
+    out: &mut RbObservation,
+) {
     debug_assert!(pilots_detected.is_subset_of(scheduled));
     let n_tx = pilots_detected.len();
-    let outcomes = scheduled
-        .iter()
-        .map(|ue| {
-            let outcome = if !pilots_detected.contains(ue) {
-                DecodeOutcome::Blocked
-            } else if n_tx > m_antennas {
-                // Orthogonal pilots still resolve, so the eNB *knows*
-                // this was an over-scheduling collision (paper §3.3).
-                DecodeOutcome::Collision
-            } else {
-                match decode(ue) {
-                    Some(bits) => DecodeOutcome::Success { bits },
-                    None => DecodeOutcome::Fading,
-                }
-            };
-            (ue, outcome)
-        })
-        .collect();
-    RbObservation {
-        scheduled,
-        outcomes,
+    out.scheduled = scheduled;
+    out.outcomes.clear();
+    for ue in scheduled.iter() {
+        let outcome = if !pilots_detected.contains(ue) {
+            DecodeOutcome::Blocked
+        } else if n_tx > m_antennas {
+            // Orthogonal pilots still resolve, so the eNB *knows*
+            // this was an over-scheduling collision (paper §3.3).
+            DecodeOutcome::Collision
+        } else {
+            match decode(ue) {
+                Some(bits) => DecodeOutcome::Success { bits },
+                None => DecodeOutcome::Fading,
+            }
+        };
+        out.outcomes.push((ue, outcome));
     }
 }
 

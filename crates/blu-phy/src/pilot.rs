@@ -86,6 +86,19 @@ pub fn detect_pilots(transmitted: ClientSet, pilot_sinr: impl Fn(usize) -> Db) -
     PilotReport { detected }
 }
 
+/// [`detect_pilots`] with the per-client floor comparison hoisted out
+/// of the subframe loop: `detectable` is the precomputed set of
+/// clients whose pilot-domain SINR clears [`PILOT_DETECT_SINR_DB`].
+/// Pilot SINR depends only on the CSI coherence block, so the engine
+/// computes `detectable` once per block and detection collapses to a
+/// set intersection. Equivalent to the reference for any `pilot_sinr`
+/// consistent with `detectable`.
+pub fn detect_pilots_cached(transmitted: ClientSet, detectable: ClientSet) -> PilotReport {
+    PilotReport {
+        detected: transmitted.intersection(detectable),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
