@@ -25,9 +25,13 @@
 
 use blu_bench::runners::topology_with_hts_per_ue;
 use blu_bench::{ExpArgs, Table};
-use blu_core::blueprint::batch::{infer_batch, infer_batch_sequential};
+use blu_core::blueprint::batch::{
+    infer_batch, infer_batch_cached, infer_batch_sequential, infer_batch_with,
+};
 use blu_core::blueprint::mcmc::{infer_mcmc, infer_mcmc_scratch, McmcConfig};
-use blu_core::blueprint::{ConstraintSystem, InferScratch, InferenceBackend, InferenceConfig};
+use blu_core::blueprint::{
+    ConstraintSystem, FleetBlueprintCache, InferScratch, InferenceBackend, InferenceConfig,
+};
 use blu_core::measure::OutcomeEstimator;
 use blu_core::orchestrator::blueprint_from_measurements_with;
 use blu_sim::rng::DetRng;
@@ -58,6 +62,18 @@ struct BenchInfer {
     batch_cells_per_sec: f64,
     sequential_cells_per_sec: f64,
     batch_speedup: f64,
+    // Fleet blueprint cache on a repeat-topology fleet (16 cells, 4
+    // distinct topology classes): cached vs cold-cache batch
+    // throughput, plus the fraction of solves the cache absorbed.
+    fleet_cells: u64,
+    fleet_classes: u64,
+    fleet_cached_cells_per_sec: f64,
+    fleet_cold_cells_per_sec: f64,
+    fleet_cache_speedup: f64,
+    fleet_infer_work_saved: f64,
+    fleet_cache_hits: u64,
+    fleet_cache_delayed_hits: u64,
+    fleet_cache_misses: u64,
 }
 
 fn time_secs<R>(f: impl FnOnce() -> R) -> (R, f64) {
@@ -175,6 +191,69 @@ fn main() {
     let par_cps = batch_cells as f64 / par_secs.max(1e-9);
     let seq_cps = batch_cells as f64 / seq_secs.max(1e-9);
 
+    // Fleet blueprint cache on the ISSUE-8 acceptance workload: a
+    // 16-cell fleet drawn from 4 distinct topology classes (each
+    // class repeated 4×), the clustering stochastic-geometry models
+    // predict at fleet scale. Fixed size even under --quick so the
+    // `fleet_infer_work_saved` floor is the same quantity everywhere.
+    let fleet_cells: u64 = 16;
+    let fleet_classes: u64 = 4;
+    let class_systems: Vec<ConstraintSystem> = (0..fleet_classes)
+        .map(|c| {
+            let mut rng = DetRng::seed_from_u64(args.seed + 300 + c);
+            let t = InterferenceTopology::random(8, 6, (0.15, 0.6), 0.4, &mut rng);
+            ConstraintSystem::from_topology(&t)
+        })
+        .collect();
+    let fleet_systems: Vec<ConstraintSystem> = (0..fleet_cells)
+        .map(|i| class_systems[(i % fleet_classes) as usize].clone())
+        .collect();
+    let fleet_backend = InferenceBackend::Gradient;
+    // Warm-up + in-bench determinism check: cached results must equal
+    // the cache-free batch bit for bit.
+    let cold_reference = infer_batch_with(&fleet_systems, &icfg, &fleet_backend);
+    {
+        let warm_cache = FleetBlueprintCache::new(64);
+        let cached_reference =
+            infer_batch_cached(&fleet_systems, &icfg, &fleet_backend, &warm_cache);
+        for (a, b) in cached_reference.iter().zip(&cold_reference) {
+            let (a, b) = (a.as_ref().expect("cached"), b.as_ref().expect("cold"));
+            assert_eq!(a.topology, b.topology, "cached fleet result diverged");
+            assert!(
+                a.violation.to_bits() == b.violation.to_bits()
+                    && a.iterations == b.iterations
+                    && a.verdict == b.verdict,
+                "cached fleet result diverged"
+            );
+        }
+    }
+    // Alternating min-of-rounds, fresh cache per cached round so each
+    // timed pass does the same deterministic work: `fleet_classes`
+    // solves plus `fleet_cells - fleet_classes` (possibly delayed)
+    // hits.
+    let mut cached_secs = f64::INFINITY;
+    let mut cold_secs = f64::INFINITY;
+    let mut fleet_stats = blu_core::blueprint::FleetCacheStats::default();
+    for _ in 0..batch_rounds {
+        let round_cache = FleetBlueprintCache::new(64);
+        let (_, c) = time_secs(|| {
+            std::hint::black_box(infer_batch_cached(
+                &fleet_systems,
+                &icfg,
+                &fleet_backend,
+                &round_cache,
+            ))
+        });
+        let (_, u) = time_secs(|| {
+            std::hint::black_box(infer_batch_with(&fleet_systems, &icfg, &fleet_backend))
+        });
+        cached_secs = cached_secs.min(c);
+        cold_secs = cold_secs.min(u);
+        fleet_stats = round_cache.stats();
+    }
+    let fleet_cached_cps = fleet_cells as f64 / cached_secs.max(1e-9);
+    let fleet_cold_cps = fleet_cells as f64 / cold_secs.max(1e-9);
+
     let out = BenchInfer {
         quick: args.quick,
         seed: args.seed,
@@ -190,6 +269,15 @@ fn main() {
         batch_cells_per_sec: par_cps,
         sequential_cells_per_sec: seq_cps,
         batch_speedup: par_cps / seq_cps.max(1e-9),
+        fleet_cells,
+        fleet_classes,
+        fleet_cached_cells_per_sec: fleet_cached_cps,
+        fleet_cold_cells_per_sec: fleet_cold_cps,
+        fleet_cache_speedup: fleet_cached_cps / fleet_cold_cps.max(1e-9),
+        fleet_infer_work_saved: fleet_stats.work_saved(),
+        fleet_cache_hits: fleet_stats.hits,
+        fleet_cache_delayed_hits: fleet_stats.delayed_hits,
+        fleet_cache_misses: fleet_stats.misses,
     };
 
     let mut table = Table::new(
@@ -223,6 +311,22 @@ fn main() {
     table.row(vec![
         "batch speedup".into(),
         format!("{:.2}x", out.batch_speedup),
+    ]);
+    table.row(vec![
+        "fleet cached cells/sec".into(),
+        format!("{:.1}", out.fleet_cached_cells_per_sec),
+    ]);
+    table.row(vec![
+        "fleet cold cells/sec".into(),
+        format!("{:.1}", out.fleet_cold_cells_per_sec),
+    ]);
+    table.row(vec![
+        "fleet cache speedup".into(),
+        format!("{:.2}x", out.fleet_cache_speedup),
+    ]);
+    table.row(vec![
+        "fleet infer work saved".into(),
+        format!("{:.2}", out.fleet_infer_work_saved),
     ]);
     table.print();
 

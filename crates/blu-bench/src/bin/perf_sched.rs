@@ -70,6 +70,14 @@ struct BenchSched {
     hot_schedules_per_sec: f64,
     baseline_schedules_per_sec: f64,
     sched_speedup: f64,
+    // Distribution-cache counters of the emulator's shared provider:
+    // each replay round constructs a fresh scheduler (fresh private
+    // memo), so these count how much pattern-distribution work the
+    // shared bounded LRU absorbs across scheduler instances — the
+    // fleet sharing pattern.
+    sched_cache_hits: u64,
+    sched_cache_misses: u64,
+    sched_cache_hit_rate: f64,
     // Blue-printing (measurement stats -> topology).
     inference_runs: u64,
     inference_latency_ms: f64,
@@ -165,6 +173,10 @@ fn main() {
             &mut SpeculativeScheduler::new(&access),
         ));
     }
+    // Counters of the provider shared by every BLU replay round: each
+    // round's scheduler starts with a cold private memo, so round 2+
+    // traffic is served by the shared DistributionCache.
+    let sched_cache = access.cache_stats();
 
     // Raw scheduler throughput: hot path vs pre-overhaul baseline on
     // a denser cell where the 2^w expectations actually bite.
@@ -217,6 +229,9 @@ fn main() {
         hot_schedules_per_sec: hot,
         baseline_schedules_per_sec: baseline,
         sched_speedup: hot / baseline.max(1e-9),
+        sched_cache_hits: sched_cache.hits,
+        sched_cache_misses: sched_cache.misses,
+        sched_cache_hit_rate: sched_cache.hit_rate(),
         inference_runs,
         inference_latency_ms: 1e3 * inf_secs / inference_runs.max(1) as f64,
     };
@@ -245,6 +260,15 @@ fn main() {
     table.row(vec![
         "sched speedup".into(),
         format!("{:.2}x", out.sched_speedup),
+    ]);
+    table.row(vec![
+        "sched cache hit rate".into(),
+        format!(
+            "{:.3} ({} hits / {} lookups)",
+            out.sched_cache_hit_rate,
+            out.sched_cache_hits,
+            out.sched_cache_hits + out.sched_cache_misses
+        ),
     ]);
     table.row(vec![
         "inference latency".into(),

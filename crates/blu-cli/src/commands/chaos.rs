@@ -14,11 +14,14 @@
 //! ```
 
 use crate::args::Flags;
+use blu_core::blueprint::FleetBlueprintCache;
 use blu_core::orchestrator::BluConfig;
 use blu_core::robust::{CheckpointPolicy, RobustConfig};
 use blu_core::runtime::supervisor::{CellHealth, SupervisorConfig};
 use blu_core::EmulationConfig;
-use blu_harness::chaos::{run_chaos, verify_invariants, ChaosConfig, ChaosPlan};
+use blu_harness::chaos::{
+    run_chaos, verify_cache_transparency, verify_invariants, ChaosConfig, ChaosPlan,
+};
 use blu_phy::cell::CellConfig;
 use std::path::PathBuf;
 
@@ -49,8 +52,15 @@ RUNTIME:
                            directory under the system temp dir)
     --checkpoint-every <sf> checkpoint cadence (default 2000)
     --max-restarts <n>     restarts before quarantine (default 3)
+    --fleet-cache-capacity <n>  share blue-printing results fleet-wide
+                           through the fleet blueprint cache
+                           (n entries; 0 = off, the default). The
+                           storm then runs twice — cached and
+                           uncached — and the two outcomes must be
+                           indistinguishable outside wall-clock
 
-Exits nonzero if any recovery invariant is violated.";
+Exits nonzero if any recovery invariant is violated (or, with the
+fleet cache on, if caching changed any observable outcome).";
 
 /// Run the subcommand.
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -99,8 +109,47 @@ pub fn run(args: &[String]) -> Result<(), String> {
         ..SupervisorConfig::default()
     };
 
+    let fleet_cache = match flags.get_or("fleet-cache-capacity", 0usize)? {
+        0 => None,
+        cap => {
+            let cache = std::sync::Arc::new(FleetBlueprintCache::new(cap));
+            config.fleet_cache = Some(std::sync::Arc::clone(&cache));
+            Some(cache)
+        }
+    };
+
     super::quiet_injected_panics();
     let result = run_chaos(&plan, &config, &sup).map_err(|e| e.to_string())?;
+
+    // With the cache on, replay the identical storm uncached (into a
+    // sibling checkpoint dir so the runs cannot collide on disk) and
+    // demand the outcomes match outside wall-clock.
+    let mut transparency = Vec::new();
+    if let Some(cache) = &fleet_cache {
+        let mut uncached_config = config.clone();
+        uncached_config.fleet_cache = None;
+        let uncached_dir = dir.with_file_name(format!(
+            "{}-uncached",
+            dir.file_name().and_then(|n| n.to_str()).unwrap_or("chaos")
+        ));
+        if let Some(policy) = &mut uncached_config.checkpoint {
+            policy.dir = uncached_dir.clone();
+        }
+        let uncached = run_chaos(&plan, &uncached_config, &sup).map_err(|e| e.to_string())?;
+        let _ = std::fs::remove_dir_all(&uncached_dir);
+        transparency = verify_cache_transparency(&result, &uncached);
+        let s = cache.stats();
+        println!(
+            "\nfleet cache: {} hit(s), {} delayed hit(s), {} miss(es), {} bypass(es), \
+             {} eviction(s) | work saved: {:.1}%",
+            s.hits,
+            s.delayed_hits,
+            s.misses,
+            s.bypasses,
+            s.evictions,
+            100.0 * s.work_saved()
+        );
+    }
     if throwaway {
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -147,9 +196,14 @@ pub fn run(args: &[String]) -> Result<(), String> {
         println!("\nquarantined to static PF: {quarantined:?}");
     }
 
-    let violations = verify_invariants(&plan, &result);
+    let mut violations = verify_invariants(&plan, &result);
+    violations.extend(transparency);
     if violations.is_empty() {
-        println!("\nall recovery invariants held");
+        if fleet_cache.is_some() {
+            println!("\nall recovery invariants held; caching changed no observable outcome");
+        } else {
+            println!("\nall recovery invariants held");
+        }
         Ok(())
     } else {
         println!();

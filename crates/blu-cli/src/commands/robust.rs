@@ -15,7 +15,7 @@
 //! ```
 
 use crate::args::Flags;
-use blu_core::blueprint::{InferenceBackend, McmcConfig};
+use blu_core::blueprint::{FleetBlueprintCache, InferenceBackend, McmcConfig};
 use blu_core::orchestrator::BluConfig;
 use blu_core::robust::{run_blu_robust, CheckpointPolicy, RobustConfig};
 use blu_core::runtime::supervisor::{run_supervised_fleet, CellHealthReport, SupervisorConfig};
@@ -43,6 +43,10 @@ OPTIONS:
     --t-end <f>       MCMC end temperature (default 0.005)
     --deadline-steps <n>  anytime inference: cap each blue-printing
                       pass at n work units, speculate on best-so-far
+    --fleet-cache-capacity <n>  share blue-printing results through
+                      the fleet blueprint cache (n entries; 0 = off,
+                      the default). Hits are byte-identical to a
+                      fresh solve; counters print at end of run
 
 SUPERVISION:
     --supervise               run under the fleet supervisor: crashes
@@ -244,6 +248,14 @@ pub fn run(args: &[String]) -> Result<(), String> {
             resume: flags.has("resume"),
         });
     }
+    let fleet_cache = match flags.get_or("fleet-cache-capacity", 0usize)? {
+        0 => None,
+        cap => {
+            let cache = std::sync::Arc::new(FleetBlueprintCache::new(cap));
+            config.fleet_cache = Some(std::sync::Arc::clone(&cache));
+            Some(cache)
+        }
+    };
     if flags.get("mcmc-steps").is_some() {
         config.backend = InferenceBackend::Mcmc {
             config: McmcConfig {
@@ -345,6 +357,19 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 );
             }
         }
+    }
+    if let Some(cache) = &fleet_cache {
+        let s = cache.stats();
+        println!(
+            "\nfleet cache: {} hit(s), {} delayed hit(s), {} miss(es), {} bypass(es), \
+             {} eviction(s) | work saved: {:.1}%",
+            s.hits,
+            s.delayed_hits,
+            s.misses,
+            s.bypasses,
+            s.evictions,
+            100.0 * s.work_saved()
+        );
     }
     if let Some(policy) = &config.checkpoint {
         println!(

@@ -33,6 +33,7 @@
 //! tests below pin this.
 
 use crate::blueprint::constraints::ConstraintSystem;
+use crate::blueprint::fleetcache::{FleetBlueprintCache, TopologySignature};
 use crate::blueprint::infer::{
     infer_topology_with, InferScratch, InferenceConfig, InferenceResult,
 };
@@ -95,6 +96,35 @@ pub fn infer_batch_with(
     let items: Vec<&ConstraintSystem> = systems.iter().collect();
     FleetEngine::run(items, InferScratch::default, |scratch, sys| {
         guarded_infer_scratch(sys, config, backend, scratch)
+    })
+}
+
+/// [`infer_batch_with`] consulting a shared [`FleetBlueprintCache`]
+/// before solving: each shard computes the cell's
+/// [`TopologySignature`] and asks the cache, so repeated topology
+/// classes across the batch are solved once and shared. A cell whose
+/// signature is already in flight on another shard parks on the entry
+/// (a *delayed hit*) instead of duplicating the solve. Results stay
+/// in input order, and every served hit is byte-identical to what the
+/// cell's own fresh solve would have produced (see
+/// [`fleetcache`](crate::blueprint::fleetcache) for the contract).
+pub fn infer_batch_cached(
+    systems: &[ConstraintSystem],
+    config: &InferenceConfig,
+    backend: &InferenceBackend,
+    cache: &FleetBlueprintCache,
+) -> Vec<Result<InferenceResult, BluError>> {
+    if let Err(e) = config.validate() {
+        return systems.iter().map(|_| Err(e.clone())).collect();
+    }
+    let items: Vec<&ConstraintSystem> = systems.iter().collect();
+    FleetEngine::run(items, InferScratch::default, |scratch, sys| {
+        let sig = TopologySignature::new(sys, config, backend);
+        cache
+            .get_or_solve(&sig, || {
+                guarded_infer_scratch(sys, config, backend, scratch)
+            })
+            .map(|(result, _)| result)
     })
 }
 
@@ -197,6 +227,32 @@ mod tests {
             assert_eq!(with.verdict, plain.verdict);
             assert_eq!(with.iterations, plain.iterations);
         }
+    }
+
+    /// The cached front end must be byte-identical to the cache-free
+    /// batch — including on a workload with repeated topology classes,
+    /// where all repeats are served from one solve.
+    #[test]
+    fn cached_batch_matches_uncached_and_saves_work() {
+        let distinct = systems(4);
+        // 12 cells, 4 distinct classes, each class repeated 3×.
+        let repeated: Vec<ConstraintSystem> = (0..12).map(|i| distinct[i % 4].clone()).collect();
+        let cfg = InferenceConfig::default();
+        let backend = InferenceBackend::Gradient;
+        let cache = FleetBlueprintCache::new(64);
+        let cached = infer_batch_cached(&repeated, &cfg, &backend, &cache);
+        let plain = infer_batch_with(&repeated, &cfg, &backend);
+        for (a, b) in cached.iter().zip(&plain) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.topology, b.topology, "cached result diverged");
+            assert_eq!(a.violation.to_bits(), b.violation.to_bits());
+            assert_eq!(a.verdict, b.verdict);
+            assert_eq!(a.iterations, b.iterations);
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 4, "one solve per distinct class");
+        assert_eq!(s.hits + s.delayed_hits, 8, "every repeat served from cache");
+        assert!(s.work_saved() >= 0.5);
     }
 
     #[test]

@@ -18,6 +18,7 @@
 pub mod accuracy;
 pub mod batch;
 pub mod constraints;
+pub mod fleetcache;
 pub mod infer;
 pub mod init;
 pub mod mcmc;
@@ -25,8 +26,12 @@ pub mod residual;
 pub mod transform;
 
 pub use accuracy::topology_accuracy;
-pub use batch::{infer_batch, infer_batch_sequential, infer_batch_with};
+pub use batch::{infer_batch, infer_batch_cached, infer_batch_sequential, infer_batch_with};
 pub use constraints::ConstraintSystem;
+pub use fleetcache::{
+    FleetBlueprintCache, FleetCacheEvent, FleetCacheStats, TopologySignature,
+    DEFAULT_FLEET_CACHE_CAPACITY,
+};
 pub use infer::{
     infer_topology, infer_topology_with, InferScratch, InferenceConfig, InferenceResult,
 };

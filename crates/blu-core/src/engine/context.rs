@@ -335,6 +335,11 @@ pub struct CellContext<'a, 's> {
     /// repeated segments allocate nothing per sub-frame. `None` keeps
     /// the stage self-contained (fresh buffers per segment).
     pub arena: Option<&'s mut super::hot::EngineArena>,
+    /// Shared fleet blueprint cache: when set, the infer stage
+    /// consults it (single-flight per canonical topology signature)
+    /// before solving. `None` keeps inference self-contained,
+    /// bit-identical to the pre-cache engine.
+    pub fleet_cache: Option<&'a crate::blueprint::fleetcache::FleetBlueprintCache>,
 }
 
 impl<'a, 's> CellContext<'a, 's> {
@@ -359,6 +364,7 @@ impl<'a, 's> CellContext<'a, 's> {
             spec: SchedulerSpec::default(),
             last_report: None,
             arena: None,
+            fleet_cache: None,
         }
     }
 
@@ -366,6 +372,16 @@ impl<'a, 's> CellContext<'a, 's> {
     /// `arena` field).
     pub fn with_arena(mut self, arena: &'s mut super::hot::EngineArena) -> Self {
         self.arena = Some(arena);
+        self
+    }
+
+    /// Attach a shared fleet blueprint cache (builder style; see the
+    /// `fleet_cache` field).
+    pub fn with_fleet_cache(
+        mut self,
+        cache: &'a crate::blueprint::fleetcache::FleetBlueprintCache,
+    ) -> Self {
+        self.fleet_cache = Some(cache);
         self
     }
 }

@@ -14,6 +14,7 @@
 //! state. That one-way contract is what lets the differential tests
 //! pin the engine bit-identical with and without observers attached.
 
+use crate::blueprint::fleetcache::FleetCacheEvent;
 use crate::blueprint::infer::InferenceVerdict;
 use crate::engine::context::OrchestratorState;
 use crate::engine::stages::StageKind;
@@ -46,6 +47,10 @@ pub trait SubframeObserver {
     /// An inference attempt finished (`completed = false` means the
     /// deadline budget ran out — a best-so-far blueprint).
     fn on_infer(&mut self, _verdict: InferenceVerdict, _completed: bool) {}
+
+    /// The fleet blueprint cache resolved an inference lookup (only
+    /// fired when a cache handle is attached to the cell context).
+    fn on_fleet_cache(&mut self, _event: FleetCacheEvent) {}
 
     /// The cell's state machine entered a new state.
     fn on_state_change(&mut self, _at_subframe: u64, _state: OrchestratorState) {}

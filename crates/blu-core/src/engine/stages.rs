@@ -17,6 +17,7 @@
 //! breaker decisions for itself.
 
 use crate::blueprint::constraints::ConstraintSystem;
+use crate::blueprint::fleetcache::{FleetCacheEvent, TopologySignature};
 use crate::blueprint::infer::InferenceVerdict;
 use crate::blueprint::InferenceResult;
 use crate::engine::cell::{AccessMode, CellEngine};
@@ -246,7 +247,7 @@ impl InferStage {
     fn guarded_blueprint(
         &self,
         ctx: &mut CellContext<'_, '_>,
-    ) -> Result<InferenceResult, BluError> {
+    ) -> Result<(InferenceResult, Vec<FleetCacheEvent>), BluError> {
         let rt = ctx
             .script
             .map(|s| s.runtime_state_at(ctx.snap.cursor))
@@ -270,18 +271,34 @@ impl InferStage {
         let inject_panic = rt.panic;
         let backend = ctx.backend;
         let icfg = ctx.inference;
+        let cache = ctx.fleet_cache;
         let t0 = std::time::Instant::now();
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             if inject_panic {
                 panic!("injected inference panic");
             }
-            let mut result = backend.infer(&sys, icfg);
+            // Signature over the sanitized system — the one actually
+            // solved — so poisoned-then-quarantined cells key on what
+            // the solver saw.
+            let sig = cache.map(|_| TopologySignature::new(&sys, icfg, backend));
+            let mut events = Vec::new();
+            let mut solve_once = || match (cache, &sig) {
+                (Some(c), Some(sig)) => {
+                    let (result, ev) = c.get_or_solve_infallible(sig, || backend.infer(&sys, icfg));
+                    events.push(ev);
+                    result
+                }
+                _ => backend.infer(&sys, icfg),
+            };
+            let mut result = solve_once();
             // A scripted stall models a slow solver by repeating the
             // (deterministic) solve; the last result is returned.
+            // Under the cache the repeats are hits on the entry the
+            // first solve just published — same result, no extra work.
             for _ in 1..reps {
-                result = backend.infer(&sys, icfg);
+                result = solve_once();
             }
-            result
+            (result, events)
         }))
         .map_err(|p| BluError::Panicked(panic_message(p.as_ref())));
         ctx.snap.inference_micros += t0.elapsed().as_micros() as u64;
@@ -303,13 +320,25 @@ impl Stage for InferStage {
             // Unconditional path: the measured constraint system goes
             // straight to the backend and the result is the blueprint.
             let sys = ConstraintSystem::from_measurements(ctx.snap.est.stats());
-            let result = ctx.backend.infer(&sys, ctx.inference);
+            let result = match ctx.fleet_cache {
+                Some(cache) => {
+                    let sig = TopologySignature::new(&sys, ctx.inference, ctx.backend);
+                    let (result, event) = cache
+                        .get_or_solve_infallible(&sig, || ctx.backend.infer(&sys, ctx.inference));
+                    observer.on_fleet_cache(event);
+                    result
+                }
+                None => ctx.backend.infer(&sys, ctx.inference),
+            };
             observer.on_infer(result.verdict, result.completed);
             ctx.snap.blueprint = Some(result);
             return Ok(StageFlow::Continue);
         };
         match self.guarded_blueprint(ctx) {
-            Ok(result) => {
+            Ok((result, cache_events)) => {
+                for event in cache_events {
+                    observer.on_fleet_cache(event);
+                }
                 if !result.completed {
                     ctx.snap.deadline_misses += 1;
                 }
@@ -496,6 +525,10 @@ impl SubframeObserver for DriftTap<'_> {
 
     fn on_infer(&mut self, verdict: InferenceVerdict, completed: bool) {
         self.inner.on_infer(verdict, completed);
+    }
+
+    fn on_fleet_cache(&mut self, event: crate::blueprint::fleetcache::FleetCacheEvent) {
+        self.inner.on_fleet_cache(event);
     }
 
     fn on_state_change(&mut self, at_subframe: u64, state: OrchestratorState) {

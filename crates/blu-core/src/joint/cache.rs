@@ -10,14 +10,17 @@
 //! [`DistributionCache`] fixes both: distributions are stored once as
 //! immutable shared slices (`Arc<[f64]>`) and handed out by refcount
 //! bump, and the cache is **bounded** with deterministic LRU
-//! eviction. Recency is a monotone tick; on overflow the entry with
-//! the smallest tick (oldest use) is evicted, ties broken by smaller
-//! key — a total order, so eviction is reproducible run to run. The
-//! interior `Mutex` (instead of `RefCell`) is what lets providers be
-//! `Send + Sync` and shared across the parallel trial fan-out.
+//! eviction. The recency/eviction machinery itself lives in the
+//! shared [`LruCore`](crate::runtime::lru::LruCore) (the fleet
+//! blueprint cache runs on the same core); this wrapper contributes
+//! the `Arc<[f64]>` value type and the interior `Mutex` (instead of
+//! `RefCell`) that lets providers be `Send + Sync` and shared across
+//! the parallel trial fan-out. The extraction is pinned bit-identical
+//! to the pre-extraction hand-rolled implementation by the
+//! differential test below.
 
+use crate::runtime::lru::{CacheStats, LruCore};
 use parking_lot::Mutex;
-use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Default number of distinct client sets kept resident. The greedy
@@ -26,20 +29,10 @@ use std::sync::Arc;
 /// pathological query streams evict instead of growing.
 pub const DEFAULT_CACHE_CAPACITY: usize = 1024;
 
-struct Entry {
-    dist: Arc<[f64]>,
-    last_used: u64,
-}
-
-struct Inner {
-    map: HashMap<u128, Entry>,
-    tick: u64,
-}
-
 /// A bounded LRU-style cache from client-set bitmasks to shared
 /// pattern-distribution slices.
 pub struct DistributionCache {
-    inner: Mutex<Inner>,
+    inner: Mutex<LruCore<Arc<[f64]>>>,
     capacity: usize,
 }
 
@@ -57,10 +50,7 @@ impl DistributionCache {
     /// (`capacity` is clamped to at least 1).
     pub fn new(capacity: usize) -> Self {
         DistributionCache {
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                tick: 0,
-            }),
+            inner: Mutex::new(LruCore::new(capacity)),
             capacity: capacity.max(1),
         }
     }
@@ -72,12 +62,17 @@ impl DistributionCache {
 
     /// Number of distributions currently resident.
     pub fn len(&self) -> usize {
-        self.inner.lock().map.len()
+        self.inner.lock().len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Hit/miss/eviction counters, snapshotted under one short lock.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().stats()
     }
 
     /// Fetch the distribution for `key`, computing and inserting it on
@@ -89,34 +84,7 @@ impl DistributionCache {
         key: u128,
         compute: impl FnOnce() -> Result<Arc<[f64]>, E>,
     ) -> Result<Arc<[f64]>, E> {
-        let mut inner = self.inner.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
-        if let Some(e) = inner.map.get_mut(&key) {
-            e.last_used = tick;
-            return Ok(e.dist.clone());
-        }
-        let dist = compute()?;
-        if inner.map.len() >= self.capacity {
-            // Deterministic LRU: smallest (last_used, key) goes. Ticks
-            // are unique, so the key tie-break is belt-and-braces.
-            if let Some(&victim) = inner
-                .map
-                .iter()
-                .min_by_key(|(k, e)| (e.last_used, *k))
-                .map(|(k, _)| k)
-            {
-                inner.map.remove(&victim);
-            }
-        }
-        inner.map.insert(
-            key,
-            Entry {
-                dist: dist.clone(),
-                last_used: tick,
-            },
-        );
-        Ok(dist)
+        self.inner.lock().get_or_insert_with(key, compute)
     }
 }
 
@@ -205,5 +173,151 @@ mod tests {
             }
         });
         assert!(c.len() <= 32);
+    }
+
+    #[test]
+    fn stats_snapshot_counts_hits_and_misses() {
+        let c = DistributionCache::new(2);
+        c.get_or_insert_with::<()>(1, || Ok(dist_of(1.0))).unwrap();
+        c.get_or_insert_with::<()>(1, || Ok(dist_of(1.0))).unwrap();
+        c.get_or_insert_with::<()>(2, || Ok(dist_of(2.0))).unwrap();
+        c.get_or_insert_with::<()>(3, || Ok(dist_of(3.0))).unwrap();
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 3, 1));
+        assert!((s.hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    // ------------------------------------------------------------------
+    // Differential pin: the shared-core rebuild must reproduce the
+    // pre-extraction hand-rolled implementation's eviction order
+    // exactly — same resident sets, same hit/miss outcome per call —
+    // over a long adversarial call sequence including failed computes.
+    // ------------------------------------------------------------------
+
+    /// Verbatim copy of the pre-extraction `DistributionCache`
+    /// internals (PR 2), kept as the differential reference.
+    mod reference {
+        use std::collections::HashMap;
+        use std::sync::Arc;
+
+        struct Entry {
+            dist: Arc<[f64]>,
+            last_used: u64,
+        }
+
+        pub struct RefCache {
+            map: HashMap<u128, Entry>,
+            tick: u64,
+            capacity: usize,
+        }
+
+        impl RefCache {
+            pub fn new(capacity: usize) -> Self {
+                RefCache {
+                    map: HashMap::new(),
+                    tick: 0,
+                    capacity: capacity.max(1),
+                }
+            }
+
+            pub fn resident(&self) -> Vec<u128> {
+                let mut keys: Vec<u128> = self.map.keys().copied().collect();
+                keys.sort_unstable();
+                keys
+            }
+
+            pub fn get_or_insert_with<E>(
+                &mut self,
+                key: u128,
+                compute: impl FnOnce() -> Result<Arc<[f64]>, E>,
+            ) -> Result<Arc<[f64]>, E> {
+                self.tick += 1;
+                let tick = self.tick;
+                if let Some(e) = self.map.get_mut(&key) {
+                    e.last_used = tick;
+                    return Ok(e.dist.clone());
+                }
+                let dist = compute()?;
+                if self.map.len() >= self.capacity {
+                    if let Some(&victim) = self
+                        .map
+                        .iter()
+                        .min_by_key(|(k, e)| (e.last_used, *k))
+                        .map(|(k, _)| k)
+                    {
+                        self.map.remove(&victim);
+                    }
+                }
+                self.map.insert(
+                    key,
+                    Entry {
+                        dist: dist.clone(),
+                        last_used: tick,
+                    },
+                );
+                Ok(dist)
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_matches_pre_extraction_eviction_order_exactly() {
+        // Deterministic pseudo-random op stream over a small key space
+        // so hits, misses, evictions and re-insertions all occur, plus
+        // periodic failed computes that consume ticks without
+        // inserting. Residency is never probed directly (a probe would
+        // perturb recency); instead every call records whether its
+        // compute closure ran. With 2 000 ops over 11 keys, any
+        // eviction-order divergence surfaces as a hit/miss divergence
+        // within a few steps, so per-call agreement pins the eviction
+        // order bit-identically.
+        let mut state = 0x9E37_79B9u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as u128
+        };
+        for capacity in [1usize, 2, 3, 7] {
+            let new = DistributionCache::new(capacity);
+            let mut old = reference::RefCache::new(capacity);
+            for step in 0..2_000u64 {
+                let key = next() % 11;
+                let fail = step % 13 == 5;
+                let new_computed = std::cell::Cell::new(false);
+                let old_computed = std::cell::Cell::new(false);
+                let n = new.get_or_insert_with(key, || {
+                    new_computed.set(true);
+                    if fail {
+                        Err("boom")
+                    } else {
+                        Ok(dist_of(key as f64))
+                    }
+                });
+                let o = old.get_or_insert_with(key, || {
+                    old_computed.set(true);
+                    if fail {
+                        Err("boom")
+                    } else {
+                        Ok(dist_of(key as f64))
+                    }
+                });
+                assert_eq!(
+                    n.is_ok(),
+                    o.is_ok(),
+                    "step {step} (cap {capacity}): outcome diverged"
+                );
+                assert_eq!(
+                    new_computed.get(),
+                    old_computed.get(),
+                    "step {step} (cap {capacity}): hit/miss diverged"
+                );
+                assert_eq!(
+                    new.len(),
+                    old.resident().len(),
+                    "step {step} (cap {capacity}): resident counts diverged"
+                );
+            }
+        }
     }
 }

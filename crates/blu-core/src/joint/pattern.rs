@@ -48,6 +48,11 @@ impl<'a> TopologyAccess<'a> {
         self.cache.len()
     }
 
+    /// Hit/miss/eviction counters of the memoization cache.
+    pub fn cache_stats(&self) -> crate::runtime::lru::CacheStats {
+        self.cache.stats()
+    }
+
     fn compute(&self, w: ClientSet) -> Arc<[f64]> {
         let members: Vec<usize> = w.iter().collect();
         let size = 1usize << members.len();
@@ -122,6 +127,11 @@ impl<'a> EmpiricalPatternAccess<'a> {
         self.cache.len()
     }
 
+    /// Hit/miss/eviction counters of the memoization cache.
+    pub fn cache_stats(&self) -> crate::runtime::lru::CacheStats {
+        self.cache.stats()
+    }
+
     fn compute(&self, w: ClientSet) -> Arc<[f64]> {
         let members: Vec<usize> = w.iter().collect();
         let size = 1usize << members.len();
@@ -188,6 +198,11 @@ impl IndependentAccess {
     /// cache capacity).
     pub fn cached_distributions(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Hit/miss/eviction counters of the memoization cache.
+    pub fn cache_stats(&self) -> crate::runtime::lru::CacheStats {
+        self.cache.stats()
     }
 
     fn compute(&self, w: ClientSet) -> Result<Arc<[f64]>, BluError> {

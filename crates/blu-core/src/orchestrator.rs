@@ -191,6 +191,31 @@ pub fn blueprint_batch_from_measurements(
     crate::blueprint::batch::infer_batch(&systems, config)
 }
 
+/// [`blueprint_batch_from_measurements`] consulting a shared
+/// [`FleetBlueprintCache`](crate::blueprint::FleetBlueprintCache)
+/// before sharding: cells whose measured constraint systems share a
+/// canonical topology signature are solved once and served to the
+/// rest (immediately, or as delayed hits while the solve is in
+/// flight). Every served result is byte-identical to what the cell's
+/// own fresh solve would produce; with a cold cache the output equals
+/// [`blueprint_batch_from_measurements`] exactly.
+pub fn blueprint_batch_from_measurements_cached(
+    ests: &[OutcomeEstimator],
+    config: &InferenceConfig,
+    cache: &crate::blueprint::FleetBlueprintCache,
+) -> Vec<Result<InferenceResult, crate::error::BluError>> {
+    let systems: Vec<ConstraintSystem> = ests
+        .iter()
+        .map(|est| ConstraintSystem::from_measurements(est.stats()))
+        .collect();
+    crate::blueprint::batch::infer_batch_cached(
+        &systems,
+        config,
+        &InferenceBackend::Gradient,
+        cache,
+    )
+}
+
 /// Run the complete two-phase loop on a trace: one pass of the
 /// engine's full five-stage pipeline over a fresh snapshot.
 pub fn run_blu(trace: &TestbedTrace, config: &BluConfig) -> Result<BluRunReport, BluError> {

@@ -127,6 +127,12 @@ pub struct RobustConfig {
     pub breaker: BreakerConfig,
     /// Optional checkpoint/restore policy (None = never persist).
     pub checkpoint: Option<CheckpointPolicy>,
+    /// Shared fleet blueprint cache consulted at every
+    /// (re-)blue-printing point (`None` = cache off, bit-identical to
+    /// the pre-cache loop). One `Arc` is shared by every cell of
+    /// `run_robust_fleet` and across supervised restarts, so repeated
+    /// topology classes and re-measurement storms are solved once.
+    pub fleet_cache: Option<std::sync::Arc<crate::blueprint::FleetBlueprintCache>>,
 }
 
 impl RobustConfig {
@@ -146,6 +152,7 @@ impl RobustConfig {
             backend: InferenceBackend::Gradient,
             breaker: BreakerConfig::default(),
             checkpoint: None,
+            fleet_cache: None,
         }
     }
 
@@ -355,6 +362,9 @@ impl<'a> RobustDriver<'a> {
                     &self.config.backend,
                     &mut self.snap,
                 );
+                if let Some(cache) = self.config.fleet_cache.as_deref() {
+                    ctx = ctx.with_fleet_cache(cache);
+                }
                 let mut measure = MeasureStage {
                     t_samples: t,
                     fidelity: MeasureFidelity::FaultChannel,

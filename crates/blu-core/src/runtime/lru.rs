@@ -1,0 +1,256 @@
+//! The deterministic bounded-LRU core shared by every cache in the
+//! workspace.
+//!
+//! PR 2's [`DistributionCache`](crate::joint::cache::DistributionCache)
+//! hand-rolled this machinery for pattern distributions; the fleet
+//! blueprint cache ([`crate::blueprint::fleetcache`]) needs the same
+//! bounded deterministic recency map over a different value type.
+//! [`LruCore`] is that shared core, extracted verbatim so the
+//! distribution cache's eviction order stays **bit-identical** to the
+//! pre-extraction implementation (pinned by a differential test in
+//! `joint::cache`):
+//!
+//! * recency is a monotone tick that advances on **every** lookup —
+//!   including lookups whose compute fails — so the eviction order is
+//!   a pure function of the call sequence, not of which computations
+//!   succeeded;
+//! * on overflow the entry with the smallest `(last_used, key)` is
+//!   evicted — a total order, so eviction is reproducible run to run;
+//! * hit/miss/eviction counters ride along and are exposed as a cheap
+//!   [`CacheStats`] snapshot.
+//!
+//! `LruCore` is single-threaded by design; callers wrap it in their
+//! own lock (the distribution cache's `Mutex`, the fleet cache's
+//! single-flight state) so the locking discipline stays with the
+//! cache that owns the concurrency story.
+
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Hit/miss/eviction counters of one cache, snapshotted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct CacheStats {
+    /// Lookups served from a resident entry.
+    pub hits: u64,
+    /// Lookups that had to compute (failed computes count: the tick
+    /// was consumed and the work was attempted).
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total lookups observed.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from cache (0 when none were made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.lookups();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct Slot<V> {
+    value: V,
+    last_used: u64,
+}
+
+/// A bounded map from `u128` keys to clonable values with
+/// deterministic LRU eviction. See the module docs for the exact
+/// recency/eviction contract.
+pub struct LruCore<V> {
+    map: HashMap<u128, Slot<V>>,
+    tick: u64,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl<V> LruCore<V> {
+    /// New core holding at most `capacity` entries (`capacity` is
+    /// clamped to at least 1).
+    pub fn new(capacity: usize) -> Self {
+        LruCore {
+            map: HashMap::new(),
+            tick: 0,
+            capacity: capacity.max(1),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of entries currently resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the core is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Evict the entry with the smallest `(last_used, key)`. Only
+    /// called when full, so an empty map is a no-op.
+    fn evict_one(&mut self) {
+        if let Some(&victim) = self
+            .map
+            .iter()
+            .min_by_key(|(k, e)| (e.last_used, *k))
+            .map(|(k, _)| k)
+        {
+            self.map.remove(&victim);
+            self.stats.evictions += 1;
+        }
+    }
+
+    /// Fetch the value for `key`, computing and inserting it on a
+    /// miss. Hits bump the entry's recency; misses evict the
+    /// least-recently-used entry first when the core is full. Errors
+    /// from `compute` are returned without touching the map — but the
+    /// recency tick is still consumed, preserving the pre-extraction
+    /// eviction order.
+    pub fn get_or_insert_with<E>(
+        &mut self,
+        key: u128,
+        compute: impl FnOnce() -> Result<V, E>,
+    ) -> Result<V, E>
+    where
+        V: Clone,
+    {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(e) = self.map.get_mut(&key) {
+            e.last_used = tick;
+            self.stats.hits += 1;
+            return Ok(e.value.clone());
+        }
+        self.stats.misses += 1;
+        let value = compute()?;
+        if self.map.len() >= self.capacity {
+            self.evict_one();
+        }
+        self.map.insert(
+            key,
+            Slot {
+                value: value.clone(),
+                last_used: tick,
+            },
+        );
+        Ok(value)
+    }
+
+    /// Look up `key` without computing: a hit bumps the entry's
+    /// recency and returns a clone; a miss consumes the tick and
+    /// returns `None`. Counters are **not** touched — split
+    /// lookup/publish callers (the fleet cache's single-flight
+    /// protocol) keep richer counters of their own.
+    pub fn peek_bump(&mut self, key: u128) -> Option<V>
+    where
+        V: Clone,
+    {
+        self.tick += 1;
+        let tick = self.tick;
+        let e = self.map.get_mut(&key)?;
+        e.last_used = tick;
+        Some(e.value.clone())
+    }
+
+    /// Insert (or overwrite) `key`, evicting the LRU entry first when
+    /// the core is full and `key` is not already resident. Counters
+    /// other than `evictions` are untouched (see [`Self::peek_bump`]).
+    pub fn insert(&mut self, key: u128, value: V) {
+        self.tick += 1;
+        let tick = self.tick;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            self.evict_one();
+        }
+        self.map.insert(
+            key,
+            Slot {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Eviction count (mirrored in [`Self::stats`]; split callers use
+    /// it directly).
+    pub fn evictions(&self) -> u64 {
+        self.stats.evictions
+    }
+}
+
+impl<V> std::fmt::Debug for LruCore<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LruCore")
+            .field("capacity", &self.capacity)
+            .field("len", &self.map.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_hits_misses_and_evictions() {
+        let mut c = LruCore::new(2);
+        c.get_or_insert_with::<()>(1, || Ok(1)).unwrap();
+        c.get_or_insert_with::<()>(1, || panic!("hit expected"))
+            .unwrap();
+        c.get_or_insert_with::<()>(2, || Ok(2)).unwrap();
+        c.get_or_insert_with::<()>(3, || Ok(3)).unwrap();
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 3, 1));
+        assert_eq!(s.lookups(), 4);
+        assert!((s.hit_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_compute_consumes_tick_and_counts_miss() {
+        let mut c = LruCore::new(2);
+        c.get_or_insert_with::<()>(1, || Ok(1)).unwrap(); // tick 1
+        assert!(c.get_or_insert_with(2, || Err("boom")).is_err()); // tick 2
+        c.get_or_insert_with::<()>(2, || Ok(2)).unwrap(); // tick 3
+        c.get_or_insert_with::<()>(3, || Ok(3)).unwrap(); // tick 4: evicts 1
+        assert!(c.peek_bump(1).is_none(), "1 must have been the victim");
+        assert_eq!(c.stats().misses, 4);
+    }
+
+    #[test]
+    fn peek_bump_and_insert_drive_recency_like_lookups() {
+        let mut c = LruCore::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.peek_bump(1), Some(10)); // 2 is now LRU
+        c.insert(3, 30);
+        assert_eq!(c.peek_bump(2), None, "2 must have been evicted");
+        assert_eq!(c.peek_bump(1), Some(10));
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn capacity_clamped_to_one() {
+        let mut c: LruCore<u32> = LruCore::new(0);
+        assert_eq!(c.capacity(), 1);
+        c.insert(1, 1);
+        c.insert(2, 2);
+        assert_eq!(c.len(), 1);
+    }
+}

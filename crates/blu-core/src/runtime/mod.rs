@@ -29,6 +29,7 @@
 pub mod breaker;
 pub mod checkpoint;
 pub mod deadline;
+pub mod lru;
 pub mod supervisor;
 
 /// Marker recorded when a panic payload is neither `&str` nor
@@ -72,6 +73,7 @@ pub use checkpoint::{
     load_robust_checkpoint, save_robust_checkpoint, RobustCheckpoint, CHECKPOINT_VERSION,
 };
 pub use deadline::{Deadline, DeadlineToken, DEADLINE_CHECK_EVERY};
+pub use lru::{CacheStats, LruCore};
 pub use supervisor::{
     run_supervised_fleet, run_supervised_fleet_with_hook, CellHealth, CellHealthReport,
     CellSupervisor, FailureKind, FleetHealthReport, HealthCause, HealthTransition, NullHook,

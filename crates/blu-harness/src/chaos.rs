@@ -466,6 +466,83 @@ pub fn verify_invariants(plan: &ChaosPlan, result: &ChaosRunResult) -> Vec<Strin
     violations
 }
 
+/// Check that the fleet blueprint cache is *transparent*: the same
+/// storm run with [`RobustConfig::fleet_cache`] enabled and disabled
+/// must produce outcomes that differ only in wall-clock. Compares
+/// every supervised report (via [`reports_equivalent`], which already
+/// excludes `inference_micros` and compares floats bit-exactly),
+/// every fault-free golden, and the per-cell health ledgers. Returns
+/// a human-readable violation list — empty means the cache was
+/// invisible.
+pub fn verify_cache_transparency(
+    cached: &ChaosRunResult,
+    uncached: &ChaosRunResult,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    if cached.outcome.reports.len() != uncached.outcome.reports.len() {
+        violations.push(format!(
+            "cached run produced {} reports, uncached {}",
+            cached.outcome.reports.len(),
+            uncached.outcome.reports.len()
+        ));
+        return violations;
+    }
+    if cached.goldens.len() != uncached.goldens.len() {
+        violations.push(format!(
+            "cached run produced {} goldens, uncached {}",
+            cached.goldens.len(),
+            uncached.goldens.len()
+        ));
+        return violations;
+    }
+    for (cell, (a, b)) in cached
+        .outcome
+        .reports
+        .iter()
+        .zip(&uncached.outcome.reports)
+        .enumerate()
+    {
+        if !reports_equivalent(a, b) {
+            violations.push(format!(
+                "cell {cell}: supervised report diverged between cached and uncached runs"
+            ));
+        }
+    }
+    for (cell, (a, b)) in cached.goldens.iter().zip(&uncached.goldens).enumerate() {
+        if !reports_equivalent(a, b) {
+            violations.push(format!(
+                "cell {cell}: fault-free golden diverged between cached and uncached runs"
+            ));
+        }
+    }
+    let (ha, hb) = (&cached.outcome.health, &uncached.outcome.health);
+    if ha.rounds != hb.rounds {
+        violations.push(format!(
+            "round counts diverged: cached {} vs uncached {}",
+            ha.rounds, hb.rounds
+        ));
+    }
+    if ha.completed != hb.completed {
+        violations.push(format!(
+            "completion diverged: cached {} vs uncached {}",
+            ha.completed, hb.completed
+        ));
+    }
+    for (cell, (a, b)) in ha.cells.iter().zip(&hb.cells).enumerate() {
+        if a.final_health != b.final_health
+            || a.restarts != b.restarts
+            || a.restart_sources != b.restart_sources
+            || a.transitions != b.transitions
+            || a.crashes_observed != b.crashes_observed
+        {
+            violations.push(format!(
+                "cell {cell}: health ledger diverged between cached and uncached runs"
+            ));
+        }
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -16,12 +16,16 @@
 //!   process genuinely loses data, and no supervisor can promise
 //!   bit-identity across that.
 
+use blu_core::blueprint::FleetBlueprintCache;
 use blu_core::robust::{CheckpointPolicy, RobustConfig};
 use blu_core::runtime::supervisor::{run_supervised_fleet, SupervisorConfig};
 use blu_core::{BluConfig, EmulationConfig};
-use blu_harness::chaos::{run_chaos, verify_invariants, ChaosConfig, ChaosPlan};
+use blu_harness::chaos::{
+    run_chaos, verify_cache_transparency, verify_invariants, ChaosConfig, ChaosPlan,
+};
 use blu_phy::cell::CellConfig;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 fn quick_config(dir: Option<PathBuf>, resume: bool) -> RobustConfig {
     let mut cell = CellConfig::testbed_siso();
@@ -82,6 +86,58 @@ fn scripted_storm_with_torn_checkpoints_recovers() {
         assert!(health.crashes_observed >= 1, "cell {cell} never crashed");
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The same storm run with the fleet blueprint cache on and off must
+/// be indistinguishable outside wall-clock: caching is a perf
+/// optimization, never an observable behavior change — even under
+/// crashes, poisoned observations and torn checkpoints.
+#[test]
+fn fleet_cache_is_transparent_under_a_storm() {
+    let plan = ChaosPlan::compile(ChaosConfig {
+        n_cells: 3,
+        seconds: 60,
+        seed: 0xCAC4ED,
+        crash_fraction: 0.34,
+        poison_fraction: 0.34,
+        poison_rate: 0.25,
+        torn_fraction: 0.5,
+        ..ChaosConfig::default()
+    })
+    .expect("plan compiles");
+
+    let dir_cached = scratch_dir("cache-on");
+    let cache = Arc::new(FleetBlueprintCache::new(64));
+    let mut cached_config = quick_config(Some(dir_cached.clone()), false);
+    cached_config.fleet_cache = Some(Arc::clone(&cache));
+    let cached =
+        run_chaos(&plan, &cached_config, &SupervisorConfig::default()).expect("cached storm run");
+
+    let dir_uncached = scratch_dir("cache-off");
+    let uncached_config = quick_config(Some(dir_uncached.clone()), false);
+    let uncached = run_chaos(&plan, &uncached_config, &SupervisorConfig::default())
+        .expect("uncached storm run");
+
+    let violations = verify_cache_transparency(&cached, &uncached);
+    assert!(
+        violations.is_empty(),
+        "cache transparency violated:\n  {}",
+        violations.join("\n  ")
+    );
+    // Both runs must also honor the recovery contract on their own.
+    let recovery = verify_invariants(&plan, &cached);
+    assert!(
+        recovery.is_empty(),
+        "cached run broke the recovery contract:\n  {}",
+        recovery.join("\n  ")
+    );
+    let stats = cache.stats();
+    assert!(
+        stats.hits + stats.delayed_hits > 0,
+        "the storm never repeated a topology, so the test proved nothing: {stats:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir_cached);
+    let _ = std::fs::remove_dir_all(&dir_uncached);
 }
 
 /// Killing the whole supervised fleet mid-storm and restarting it
