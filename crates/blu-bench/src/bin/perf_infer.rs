@@ -30,7 +30,8 @@ use blu_core::blueprint::batch::{
 };
 use blu_core::blueprint::mcmc::{infer_mcmc, infer_mcmc_scratch, McmcConfig};
 use blu_core::blueprint::{
-    ConstraintSystem, FleetBlueprintCache, InferScratch, InferenceBackend, InferenceConfig,
+    ConstraintSystem, FleetBlueprintCache, FleetCacheStats, InferScratch, InferenceBackend,
+    InferenceConfig, TopologySignature,
 };
 use blu_core::measure::OutcomeEstimator;
 use blu_core::orchestrator::blueprint_from_measurements_with;
@@ -71,9 +72,18 @@ struct BenchInfer {
     fleet_cold_cells_per_sec: f64,
     fleet_cache_speedup: f64,
     fleet_infer_work_saved: f64,
+    // Cache counters summed over the timed fleet rounds *and* the
+    // coalescing phase below, so the delayed-hit path shows up here.
+    // (`fleet_infer_work_saved` above stays a pure timed-rounds
+    // quantity: `fleet_cache_hits / fleet_cells` of one round.)
     fleet_cache_hits: u64,
     fleet_cache_delayed_hits: u64,
     fleet_cache_misses: u64,
+    // Coalescing phase: barrier-released racers on one signature of a
+    // fresh cache — exactly one owner solve, everyone else served
+    // from it, at least one parked in flight (a delayed hit).
+    coalesce_threads: u64,
+    coalesce_attempts: u64,
 }
 
 fn time_secs<R>(f: impl FnOnce() -> R) -> (R, f64) {
@@ -254,6 +264,57 @@ fn main() {
     let fleet_cached_cps = fleet_cells as f64 / cached_secs.max(1e-9);
     let fleet_cold_cps = fleet_cells as f64 / cold_secs.max(1e-9);
 
+    // Coalescing phase. The timed rounds above cannot guarantee a
+    // delayed hit: a shard often finishes a class's solve before the
+    // next same-class cell even computes its signature, so the
+    // in-flight parking path would go unexercised (and unreported).
+    // Drive it deliberately: barrier-release `coalesce_threads`
+    // racers on one signature of a fresh cache. Exactly one owns the
+    // miss; with the barrier in front of a multi-ms gradient solve
+    // the rest overwhelmingly park on the in-flight entry. Scheduler
+    // luck can still let a racer lose the barrier wake-up race past
+    // the whole solve, so retry until a delayed hit is observed
+    // (bounded; every attempt's counters are kept).
+    let coalesce_threads: u64 = 8;
+    let mut coalesce_attempts: u64 = 0;
+    let mut coalesce_stats = FleetCacheStats::default();
+    while coalesce_attempts < 16 {
+        coalesce_attempts += 1;
+        let cache = FleetBlueprintCache::new(4);
+        let sys = &class_systems[(coalesce_attempts % fleet_classes) as usize];
+        let sig = TopologySignature::new(sys, &icfg, &fleet_backend);
+        let barrier = std::sync::Barrier::new(coalesce_threads as usize);
+        std::thread::scope(|scope| {
+            for _ in 0..coalesce_threads {
+                let (barrier, cache, sig, backend, icfg) =
+                    (&barrier, &cache, &sig, &fleet_backend, &icfg);
+                scope.spawn(move || {
+                    barrier.wait();
+                    std::hint::black_box(
+                        cache.get_or_solve_infallible(sig, || backend.infer(sys, icfg)),
+                    );
+                });
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.misses, 1, "one racer owns the solve");
+        assert_eq!(
+            s.lookups(),
+            coalesce_threads,
+            "every racer is served exactly once"
+        );
+        coalesce_stats.hits += s.hits;
+        coalesce_stats.delayed_hits += s.delayed_hits;
+        coalesce_stats.misses += s.misses;
+        if coalesce_stats.delayed_hits > 0 {
+            break;
+        }
+    }
+    assert!(
+        coalesce_stats.delayed_hits > 0,
+        "no delayed hit in {coalesce_attempts} coalescing attempts"
+    );
+
     let out = BenchInfer {
         quick: args.quick,
         seed: args.seed,
@@ -275,9 +336,11 @@ fn main() {
         fleet_cold_cells_per_sec: fleet_cold_cps,
         fleet_cache_speedup: fleet_cached_cps / fleet_cold_cps.max(1e-9),
         fleet_infer_work_saved: fleet_stats.work_saved(),
-        fleet_cache_hits: fleet_stats.hits,
-        fleet_cache_delayed_hits: fleet_stats.delayed_hits,
-        fleet_cache_misses: fleet_stats.misses,
+        fleet_cache_hits: fleet_stats.hits + coalesce_stats.hits,
+        fleet_cache_delayed_hits: fleet_stats.delayed_hits + coalesce_stats.delayed_hits,
+        fleet_cache_misses: fleet_stats.misses + coalesce_stats.misses,
+        coalesce_threads,
+        coalesce_attempts,
     };
 
     let mut table = Table::new(
@@ -327,6 +390,13 @@ fn main() {
     table.row(vec![
         "fleet infer work saved".into(),
         format!("{:.2}", out.fleet_infer_work_saved),
+    ]);
+    table.row(vec![
+        "fleet cache delayed hits".into(),
+        format!(
+            "{} ({} racers, {} attempt(s))",
+            out.fleet_cache_delayed_hits, out.coalesce_threads, out.coalesce_attempts
+        ),
     ]);
     table.print();
 

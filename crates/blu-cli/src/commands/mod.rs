@@ -1,12 +1,14 @@
 //! Subcommand implementations.
 
 pub mod chaos;
+pub mod ctl;
 pub mod eval;
 pub mod generate;
 pub mod infer;
 pub mod inspect;
 pub mod plan;
 pub mod robust;
+pub mod serve;
 
 /// Silence the default panic hook for scripted fault-injection
 /// panics (payloads mentioning "injected"): the robust runtime

@@ -33,6 +33,8 @@ COMMANDS:
     plan       Print an Algorithm-1 measurement plan
     robust     Run the degraded-mode orchestrator under scripted faults
     chaos      Storm the supervised fleet and check recovery invariants
+    serve      Run the resident fleet daemon (wire protocol on TCP)
+    ctl        Control a running daemon: add/step/status/drain/shutdown
     help       Show this message
 
 Run `blu <COMMAND> --help` for per-command options."
@@ -52,6 +54,8 @@ fn main() -> ExitCode {
         "plan" => commands::plan::run(rest),
         "robust" => commands::robust::run(rest),
         "chaos" => commands::chaos::run(rest),
+        "serve" => commands::serve::run(rest),
+        "ctl" => commands::ctl::run(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())

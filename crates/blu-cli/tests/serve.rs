@@ -1,0 +1,175 @@
+//! End-to-end tests of `blu serve` + `blu ctl` as real processes:
+//! a full client session against the daemon, and the graceful-drain
+//! contract under a real SIGTERM — final versioned checkpoint, exit
+//! code 0, and a `--resume` run that replays bit-identically.
+
+#![cfg(unix)]
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn blu() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_blu"))
+}
+
+fn temp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("blu-serve-cli-{}-{name}", std::process::id()))
+}
+
+/// Start a daemon on an ephemeral port; returns the child and the
+/// address file it publishes.
+fn spawn_serve(dir: &PathBuf, resume: bool, tag: &str) -> (Child, PathBuf) {
+    let addr_file = temp(&format!("{tag}.addr"));
+    let _ = std::fs::remove_file(&addr_file);
+    let mut cmd = blu();
+    cmd.args(["serve", "--addr", "127.0.0.1:0", "--dir"])
+        .arg(dir)
+        .arg("--port-file")
+        .arg(&addr_file)
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit());
+    if resume {
+        cmd.arg("--resume");
+    }
+    let child = cmd.spawn().expect("spawn blu serve");
+    // Wait for the daemon to publish its bound address.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !addr_file.exists() {
+        assert!(Instant::now() < deadline, "daemon never published its addr");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    (child, addr_file)
+}
+
+fn ctl(addr_file: &PathBuf, args: &[&str]) -> Output {
+    let out = blu()
+        .args(["ctl", "--addr-file"])
+        .arg(addr_file)
+        .args(args)
+        .output()
+        .expect("run blu ctl");
+    assert!(
+        out.status.success(),
+        "ctl {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+fn digest(addr_file: &PathBuf) -> String {
+    String::from_utf8(ctl(addr_file, &["digest"]).stdout).unwrap()
+}
+
+fn add_two_cells(addr_file: &PathBuf) {
+    ctl(addr_file, &["add", "--seed", "91", "--seconds", "15"]);
+    ctl(addr_file, &["add", "--seed", "92", "--seconds", "15"]);
+}
+
+/// An uninterrupted golden session: admit, run to completion, digest.
+fn golden_run(tag: &str) -> String {
+    let dir = temp(&format!("{tag}-golden-dir"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (mut child, addr_file) = spawn_serve(&dir, false, &format!("{tag}-golden"));
+    add_two_cells(&addr_file);
+    ctl(&addr_file, &["step", "--rounds", "100000"]);
+    let golden = digest(&addr_file);
+    ctl(&addr_file, &["shutdown"]);
+    let status = child.wait().expect("wait for daemon");
+    assert!(status.success(), "golden daemon exited {status}");
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&addr_file);
+    golden
+}
+
+#[test]
+fn client_session_end_to_end() {
+    let dir = temp("session-dir");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (mut child, addr_file) = spawn_serve(&dir, false, "session");
+
+    let hello = String::from_utf8(ctl(&addr_file, &["hello"]).stdout).unwrap();
+    assert!(hello.contains("\"resumed_cells\": 0"), "{hello}");
+    add_two_cells(&addr_file);
+    ctl(&addr_file, &["step", "--rounds", "20"]);
+    let status = String::from_utf8(ctl(&addr_file, &["status"]).stdout).unwrap();
+    assert!(status.contains("\"Status\""), "{status}");
+    let metrics = String::from_utf8(ctl(&addr_file, &["metrics"]).stdout).unwrap();
+    assert!(
+        metrics.contains("blu_serve_admissions_total 2"),
+        "{metrics}"
+    );
+    assert!(metrics.contains("blu_serve_cells 2"), "{metrics}");
+    ctl(&addr_file, &["snapshot"]);
+    assert!(dir.join("cell-0.json").exists());
+    assert!(dir.join("cell-1.serve.json").exists());
+    ctl(&addr_file, &["shutdown"]);
+    assert!(child.wait().unwrap().success());
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&addr_file);
+}
+
+#[test]
+fn sigterm_mid_burst_drains_and_resume_replays_bit_identical() {
+    let golden = golden_run("sigterm");
+
+    // Interrupted run: SIGTERM lands while a long step burst is in
+    // flight.
+    let dir = temp("sigterm-dir");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (mut child, addr_file) = spawn_serve(&dir, false, "sigterm-kill");
+    add_two_cells(&addr_file);
+    ctl(&addr_file, &["step", "--rounds", "10"]);
+    // Fire the burst from a ctl child we do NOT wait on for success:
+    // the daemon may interrupt it or close the socket under it.
+    let mut burst = blu()
+        .args(["ctl", "--addr-file"])
+        .arg(&addr_file)
+        .args(["step", "--rounds", "100000"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn burst");
+    std::thread::sleep(Duration::from_millis(300));
+
+    let term = Command::new("kill")
+        .arg(child.id().to_string())
+        .status()
+        .expect("send SIGTERM");
+    assert!(term.success());
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("poll daemon") {
+            break status;
+        }
+        assert!(Instant::now() < deadline, "daemon ignored SIGTERM");
+        std::thread::sleep(Duration::from_millis(50));
+    };
+    assert!(status.success(), "SIGTERM drain must exit 0, got {status}");
+    let _ = burst.wait();
+
+    // The drain left a loadable fleet behind: versioned checkpoint and
+    // sidecar per cell.
+    for id in 0..2 {
+        assert!(dir.join(format!("cell-{id}.json")).exists(), "cell {id}");
+        assert!(dir.join(format!("cell-{id}.serve.json")).exists());
+    }
+
+    // Resume, run to completion: digests match the uninterrupted run.
+    let (mut child, addr_file) = spawn_serve(&dir, true, "sigterm-resume");
+    let hello = String::from_utf8(ctl(&addr_file, &["hello"]).stdout).unwrap();
+    assert!(hello.contains("\"resumed_cells\": 2"), "{hello}");
+    ctl(&addr_file, &["step", "--rounds", "100000"]);
+    ctl(
+        &addr_file,
+        &["wait-done", "--min-cells", "2", "--timeout-ms", "120000"],
+    );
+    let resumed = digest(&addr_file);
+    assert_eq!(resumed, golden, "resume must replay bit-identically");
+    ctl(&addr_file, &["shutdown"]);
+    assert!(child.wait().unwrap().success());
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(&addr_file);
+}

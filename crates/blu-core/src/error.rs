@@ -78,6 +78,12 @@ pub enum BluError {
         /// Version this build reads and writes.
         expected: u32,
     },
+    /// A wire-protocol frame was malformed, truncated, oversized, or
+    /// carried an undecodable payload. Every byte sequence a client
+    /// can send maps to either a decoded message or this variant —
+    /// never a panic and never an unbounded read (see
+    /// [`runtime::wire`](crate::runtime::wire)).
+    Wire(String),
 }
 
 impl fmt::Display for BluError {
@@ -112,6 +118,7 @@ impl fmt::Display for BluError {
                 f,
                 "checkpoint format version {found} incompatible with expected {expected}"
             ),
+            BluError::Wire(msg) => write!(f, "wire protocol error: {msg}"),
         }
     }
 }

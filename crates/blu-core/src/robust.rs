@@ -344,157 +344,20 @@ impl<'a> RobustDriver<'a> {
         &mut self,
         observer: &mut dyn crate::engine::SubframeObserver,
     ) -> Result<bool, BluError> {
-        if self.snap.done {
-            return Ok(false);
-        }
-        match self.snap.state {
-            OrchestratorState::Measuring | OrchestratorState::Remeasuring => {
-                let t = if self.snap.state == OrchestratorState::Measuring {
-                    self.config.blu.t_samples
-                } else {
-                    self.config.remeasure_t_samples
-                };
-                let mut ctx = CellContext::new(
-                    &self.capture.trace,
-                    Some(&self.capture.script),
-                    &self.config.blu.emulation,
-                    &self.config.blu.inference,
-                    &self.config.backend,
-                    &mut self.snap,
-                );
-                if let Some(cache) = self.config.fleet_cache.as_deref() {
-                    ctx = ctx.with_fleet_cache(cache);
-                }
-                let mut measure = MeasureStage {
-                    t_samples: t,
-                    fidelity: MeasureFidelity::FaultChannel,
-                };
-                let mut infer = InferStage {
-                    gate: Some(InferGate {
-                        confidence_floor: self.config.confidence_floor,
-                        fallback_probation_txops: self.config.fallback_probation_txops,
-                    }),
-                };
-                let flow = crate::engine::run_pipeline(
-                    &mut ctx,
-                    &mut [&mut measure, &mut infer],
-                    observer,
-                )?;
-                if flow == StageFlow::Halt {
-                    return Ok(false);
-                }
-            }
-            OrchestratorState::Confident | OrchestratorState::Fallback => {
-                let was_confident = self.snap.state == OrchestratorState::Confident;
-                let mut ctx = CellContext::new(
-                    &self.capture.trace,
-                    Some(&self.capture.script),
-                    &self.config.blu.emulation,
-                    &self.config.blu.inference,
-                    &self.config.backend,
-                    &mut self.snap,
-                )
-                .with_arena(&mut self.arena);
-                let mut generate = GenerateStage;
-                let mut schedule = ScheduleStage {
-                    policy: SchedulePolicy::Windowed {
-                        check_interval_txops: self.config.check_interval_txops,
-                    },
-                };
-                let mut transmit = TransmitStage {
-                    feed: TransmitFeed::FaultTap,
-                };
-                let flow = crate::engine::run_pipeline(
-                    &mut ctx,
-                    &mut [&mut generate, &mut schedule, &mut transmit],
-                    observer,
-                )?;
-                if flow == StageFlow::Halt {
-                    return Ok(false);
-                }
-                let txops = ctx
-                    .segment
-                    .expect("windowed transmit planned a segment")
-                    .txops;
-                drop(ctx);
-
-                // Post-segment policy: the stages carried the
-                // mechanism; the drift gate and the probation/breaker
-                // countdown are the robust loop's own decisions.
-                if was_confident {
-                    self.snap.peak_drift = self.snap.peak_drift.max(self.snap.drift.score());
-                    if self.snap.drift.samples() >= self.config.min_drift_samples
-                        && self.snap.drift.score() > self.config.drift_threshold
-                    {
-                        self.snap.enter(OrchestratorState::Drifting);
-                    }
-                } else {
-                    self.snap.probation_left = self.snap.probation_left.saturating_sub(txops);
-                    if self.snap.probation_left == 0 {
-                        // Probation over — but a tripped breaker gates
-                        // the (expensive) re-measurement retry behind
-                        // its backoff: stay in fallback without a
-                        // transition until the breaker half-opens.
-                        match self.snap.breaker.poll(self.snap.cursor) {
-                            BreakerPoll::Wait(wait_subframes) => {
-                                self.snap.probation_left =
-                                    (wait_subframes / self.geom.per_txop).max(1);
-                            }
-                            BreakerPoll::Allow => {
-                                self.snap.est.decay(self.config.estimator_keep);
-                                self.snap.n_remeasurements += 1;
-                                self.snap.enter(OrchestratorState::Remeasuring);
-                            }
-                        }
-                    }
-                }
-            }
-            OrchestratorState::Drifting => {
-                // Transitional: decay stale statistics and go
-                // straight into the shortened re-measurement.
-                self.snap.est.decay(self.config.estimator_keep);
-                self.snap.n_remeasurements += 1;
-                self.snap.enter(OrchestratorState::Remeasuring);
-            }
-        }
-        Ok(true)
+        step_cell_with(
+            self.capture,
+            self.config,
+            &self.geom,
+            &mut self.snap,
+            &mut self.arena,
+            observer,
+        )
     }
 
     /// Drain one PF-only segment, ignoring the state machine: the arm
-    /// the supervisor runs for quarantined or load-shed cells. No
-    /// blueprint generation, no inference, no drift/probation policy —
-    /// just a windowed PF segment through the fault tap, so the cell
-    /// keeps serving traffic (counted as fallback TxOPs) and the
-    /// cursor provably advances until the trace is exhausted.
+    /// the supervisor runs for quarantined or load-shed cells.
     pub(crate) fn step_shed(&mut self) -> Result<bool, BluError> {
-        if self.snap.done {
-            return Ok(false);
-        }
-        let mut ctx = CellContext::new(
-            &self.capture.trace,
-            Some(&self.capture.script),
-            &self.config.blu.emulation,
-            &self.config.blu.inference,
-            &self.config.backend,
-            &mut self.snap,
-        )
-        .with_arena(&mut self.arena);
-        // Leave ctx.spec at its PF default: a blueprint may survive in
-        // the snapshot, but a shed cell must not speculate on it.
-        let mut schedule = ScheduleStage {
-            policy: SchedulePolicy::Windowed {
-                check_interval_txops: self.config.check_interval_txops,
-            },
-        };
-        let mut transmit = TransmitStage {
-            feed: TransmitFeed::FaultTap,
-        };
-        let flow = crate::engine::run_pipeline(
-            &mut ctx,
-            &mut [&mut schedule, &mut transmit],
-            &mut NullObserver,
-        )?;
-        Ok(flow != StageFlow::Halt)
+        step_cell_shed(self.capture, self.config, &mut self.snap, &mut self.arena)
     }
 
     /// Finish: fold the snapshot into the public report.
@@ -521,6 +384,175 @@ impl<'a> RobustDriver<'a> {
             quarantined_constraints: snap.quarantined_constraints,
         }
     }
+}
+
+/// One state-machine step of the robust loop, over caller-held
+/// storage — the body of [`RobustDriver::step_with`], factored free so
+/// callers that *own* their capture and config (the `blu serve`
+/// daemon's resident cells, which cannot hold a borrowing driver
+/// across rounds) step through the identical code path as the batch
+/// entry points. Returns `Ok(false)` once the trace is exhausted.
+pub(crate) fn step_cell_with(
+    capture: &FaultyCapture,
+    config: &RobustConfig,
+    geom: &CellGeometry,
+    snap: &mut RobustSnapshot,
+    arena: &mut EngineArena,
+    observer: &mut dyn crate::engine::SubframeObserver,
+) -> Result<bool, BluError> {
+    if snap.done {
+        return Ok(false);
+    }
+    match snap.state {
+        OrchestratorState::Measuring | OrchestratorState::Remeasuring => {
+            let t = if snap.state == OrchestratorState::Measuring {
+                config.blu.t_samples
+            } else {
+                config.remeasure_t_samples
+            };
+            let mut ctx = CellContext::new(
+                &capture.trace,
+                Some(&capture.script),
+                &config.blu.emulation,
+                &config.blu.inference,
+                &config.backend,
+                snap,
+            );
+            if let Some(cache) = config.fleet_cache.as_deref() {
+                ctx = ctx.with_fleet_cache(cache);
+            }
+            let mut measure = MeasureStage {
+                t_samples: t,
+                fidelity: MeasureFidelity::FaultChannel,
+            };
+            let mut infer = InferStage {
+                gate: Some(InferGate {
+                    confidence_floor: config.confidence_floor,
+                    fallback_probation_txops: config.fallback_probation_txops,
+                }),
+            };
+            let flow =
+                crate::engine::run_pipeline(&mut ctx, &mut [&mut measure, &mut infer], observer)?;
+            if flow == StageFlow::Halt {
+                return Ok(false);
+            }
+        }
+        OrchestratorState::Confident | OrchestratorState::Fallback => {
+            let was_confident = snap.state == OrchestratorState::Confident;
+            let mut ctx = CellContext::new(
+                &capture.trace,
+                Some(&capture.script),
+                &config.blu.emulation,
+                &config.blu.inference,
+                &config.backend,
+                snap,
+            )
+            .with_arena(arena);
+            let mut generate = GenerateStage;
+            let mut schedule = ScheduleStage {
+                policy: SchedulePolicy::Windowed {
+                    check_interval_txops: config.check_interval_txops,
+                },
+            };
+            let mut transmit = TransmitStage {
+                feed: TransmitFeed::FaultTap,
+            };
+            let flow = crate::engine::run_pipeline(
+                &mut ctx,
+                &mut [&mut generate, &mut schedule, &mut transmit],
+                observer,
+            )?;
+            if flow == StageFlow::Halt {
+                return Ok(false);
+            }
+            let txops = ctx
+                .segment
+                .expect("windowed transmit planned a segment")
+                .txops;
+            drop(ctx);
+
+            // Post-segment policy: the stages carried the
+            // mechanism; the drift gate and the probation/breaker
+            // countdown are the robust loop's own decisions.
+            if was_confident {
+                snap.peak_drift = snap.peak_drift.max(snap.drift.score());
+                if snap.drift.samples() >= config.min_drift_samples
+                    && snap.drift.score() > config.drift_threshold
+                {
+                    snap.enter(OrchestratorState::Drifting);
+                }
+            } else {
+                snap.probation_left = snap.probation_left.saturating_sub(txops);
+                if snap.probation_left == 0 {
+                    // Probation over — but a tripped breaker gates
+                    // the (expensive) re-measurement retry behind
+                    // its backoff: stay in fallback without a
+                    // transition until the breaker half-opens.
+                    match snap.breaker.poll(snap.cursor) {
+                        BreakerPoll::Wait(wait_subframes) => {
+                            snap.probation_left = (wait_subframes / geom.per_txop).max(1);
+                        }
+                        BreakerPoll::Allow => {
+                            snap.est.decay(config.estimator_keep);
+                            snap.n_remeasurements += 1;
+                            snap.enter(OrchestratorState::Remeasuring);
+                        }
+                    }
+                }
+            }
+        }
+        OrchestratorState::Drifting => {
+            // Transitional: decay stale statistics and go
+            // straight into the shortened re-measurement.
+            snap.est.decay(config.estimator_keep);
+            snap.n_remeasurements += 1;
+            snap.enter(OrchestratorState::Remeasuring);
+        }
+    }
+    Ok(true)
+}
+
+/// Drain one PF-only segment, ignoring the state machine: the arm the
+/// supervisor (and the daemon's backpressure controller) runs for
+/// quarantined or load-shed cells. No blueprint generation, no
+/// inference, no drift/probation policy — just a windowed PF segment
+/// through the fault tap, so the cell keeps serving traffic (counted
+/// as fallback TxOPs) and the cursor provably advances until the
+/// trace is exhausted.
+pub(crate) fn step_cell_shed(
+    capture: &FaultyCapture,
+    config: &RobustConfig,
+    snap: &mut RobustSnapshot,
+    arena: &mut EngineArena,
+) -> Result<bool, BluError> {
+    if snap.done {
+        return Ok(false);
+    }
+    let mut ctx = CellContext::new(
+        &capture.trace,
+        Some(&capture.script),
+        &config.blu.emulation,
+        &config.blu.inference,
+        &config.backend,
+        snap,
+    )
+    .with_arena(arena);
+    // Leave ctx.spec at its PF default: a blueprint may survive in
+    // the snapshot, but a shed cell must not speculate on it.
+    let mut schedule = ScheduleStage {
+        policy: SchedulePolicy::Windowed {
+            check_interval_txops: config.check_interval_txops,
+        },
+    };
+    let mut transmit = TransmitStage {
+        feed: TransmitFeed::FaultTap,
+    };
+    let flow = crate::engine::run_pipeline(
+        &mut ctx,
+        &mut [&mut schedule, &mut transmit],
+        &mut NullObserver,
+    )?;
+    Ok(flow != StageFlow::Halt)
 }
 
 /// Run the robust loop over a fault-scripted capture until the trace

@@ -30,7 +30,9 @@ pub mod breaker;
 pub mod checkpoint;
 pub mod deadline;
 pub mod lru;
+pub mod service;
 pub mod supervisor;
+pub mod wire;
 
 /// Marker recorded when a panic payload is neither `&str` nor
 /// `String` (e.g. `panic_any(42)`): the payload cannot be rendered,
@@ -74,6 +76,7 @@ pub use checkpoint::{
 };
 pub use deadline::{Deadline, DeadlineToken, DEADLINE_CHECK_EVERY};
 pub use lru::{CacheStats, LruCore};
+pub use service::{capture_for_spec, snapshot_digest, BluService, ServiceConfig, ServiceHandle};
 pub use supervisor::{
     run_supervised_fleet, run_supervised_fleet_with_hook, CellHealth, CellHealthReport,
     CellSupervisor, FailureKind, FleetHealthReport, HealthCause, HealthTransition, NullHook,

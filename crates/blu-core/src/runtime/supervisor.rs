@@ -223,6 +223,12 @@ impl CellSupervisor {
         &self.transitions
     }
 
+    /// Consecutive silent steps currently accumulated toward the
+    /// stall watchdog (persisted in resume sidecars).
+    pub(crate) fn silent_steps(&self) -> u32 {
+        self.silent_steps
+    }
+
     fn transition(&mut self, at_subframe: u64, to: CellHealth, cause: HealthCause) {
         self.transitions.push(HealthTransition {
             at_subframe,
@@ -374,16 +380,18 @@ impl RestartBackoffConfig {
 
 /// Capped exponential backoff with deterministic jitter — the circuit
 /// breaker's escalation formula, re-clocked in fleet rounds and fed
-/// by a per-cell derived RNG stream.
+/// by a per-cell derived RNG stream. Crate-visible so the `blu serve`
+/// daemon's restart ladder escalates identically to the batch
+/// supervisor's.
 #[derive(Debug, Clone)]
-struct RestartBackoff {
+pub(crate) struct RestartBackoff {
     config: RestartBackoffConfig,
     rng: DetRng,
     attempts: u32,
 }
 
 impl RestartBackoff {
-    fn new(config: RestartBackoffConfig, rng: DetRng) -> Self {
+    pub(crate) fn new(config: RestartBackoffConfig, rng: DetRng) -> Self {
         RestartBackoff {
             config,
             rng,
@@ -394,7 +402,7 @@ impl RestartBackoff {
     /// Rebuild a backoff that has already granted `attempts` waits:
     /// replaying the draws keeps the jitter stream bit-identical
     /// across kill/resume.
-    fn replayed(config: RestartBackoffConfig, rng: DetRng, attempts: u32) -> Self {
+    pub(crate) fn replayed(config: RestartBackoffConfig, rng: DetRng, attempts: u32) -> Self {
         let mut b = RestartBackoff::new(config, rng);
         for _ in 0..attempts {
             b.next_wait_rounds();
@@ -402,14 +410,14 @@ impl RestartBackoff {
         b
     }
 
-    fn attempts(&self) -> u32 {
+    pub(crate) fn attempts(&self) -> u32 {
         self.attempts
     }
 
     /// Rounds to idle before the next step attempt. Mirrors
     /// [`CircuitBreaker`](crate::runtime::breaker::CircuitBreaker):
     /// `base * 2^(attempts-1)`, saturating, capped, ±jitter, min 1.
-    fn next_wait_rounds(&mut self) -> u64 {
+    pub(crate) fn next_wait_rounds(&mut self) -> u64 {
         self.attempts = self.attempts.saturating_add(1);
         let exp = (self.attempts - 1).min(32);
         let backoff = self
