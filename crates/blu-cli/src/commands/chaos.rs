@@ -44,9 +44,16 @@ STORM SHAPE:
     --poison-rate <f>  per-constraint poison probability (default 0.25)
     --torn-frac <f>    fraction of crash-faulted cells whose
                        checkpoints are torn on every save (default 0.5)
+    --churn-rate <hz>  Poisson topology-churn rate per cell (default 0
+                       = off; churn alters the captured air, so every
+                       cell counts as faulted)
+    --churn-at <sf>    subframe the churn window opens (default 20000)
 
 RUNTIME:
     --rbs <n>              resource blocks per cell (default 10)
+    --stream-window <sf>   run every cell in streaming mode with this
+                           observation-window capacity (0 = phased,
+                           the default)
     --checkpoint-dir <dir> where cell checkpoints + supervisor
                            sidecars live (default: a throwaway
                            directory under the system temp dir)
@@ -85,6 +92,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
         poison_rate: flags.get_or("poison-rate", 0.25f64)?,
         poison_at_subframe: flags.get_or("poison-at", 0u64)?,
         torn_fraction: flags.get_or("torn-frac", 0.5f64)?,
+        churn_rate_hz: flags.get_or("churn-rate", 0.0f64)?,
+        churn_start_subframe: flags.get_or("churn-at", 20_000u64)?,
     };
     let plan = ChaosPlan::compile(chaos_config).map_err(|e| e.to_string())?;
     println!("plan: {}", plan.describe());
@@ -92,6 +101,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let mut cell = CellConfig::testbed_siso();
     cell.numerology.n_rbs = flags.get_or("rbs", 10usize)?;
     let mut config = RobustConfig::new(BluConfig::new(EmulationConfig::new(cell)));
+    if let window @ 1.. = flags.get_or("stream-window", 0usize)? {
+        let streaming = blu_core::robust::StreamingConfig::new(window);
+        streaming.validate().map_err(|e| e.to_string())?;
+        config.streaming = Some(streaming);
+    }
     let (dir, throwaway) = match flags.get("checkpoint-dir") {
         Some(d) => (PathBuf::from(d), false),
         None => (

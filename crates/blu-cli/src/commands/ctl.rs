@@ -32,9 +32,14 @@ VERBS:
         [--priority <n>]           shed-last/readmit-first weight (default 0)
         [--stall-at <sf>]          scripted inference stall start
         [--stall-factor <n>]       stall wall-clock multiplier (default 4)
+        [--churn-rate <hz>]        Poisson topology churn rate (default 0 =
+                                   off; stored as integral milli-hertz)
+        [--window <sf>]            streaming observation-window capacity
+                                   (default 0 = phased loop)
     remove --cell <id>             final checkpoint, then retire the cell
     step --rounds <n>              advance the fleet n rounds
-    status                         full JSON status report
+    status                         full JSON status report, including each
+                                   streaming cell's window occupancy
     digest                         one `cell-<id> <fnv64>` line per cell
                                    (timing-normalized state digests)
     metrics                        Prometheus text counters
@@ -124,6 +129,14 @@ pub fn run(args: &[String]) -> Result<(), String> {
                     .transpose()
                     .map_err(|e: std::num::ParseIntError| format!("--stall-at: {e}"))?,
                 stall_factor: flags.get_or("stall-factor", 4u32)?,
+                churn_millihz: {
+                    let rate: f64 = flags.get_or("churn-rate", 0.0f64)?;
+                    if !rate.is_finite() || rate < 0.0 {
+                        return Err(format!("--churn-rate must be finite and >= 0, got {rate}"));
+                    }
+                    (rate * 1_000.0).round() as u64
+                },
+                stream_window: flags.get_or("window", 0u64)?,
             };
             report(&send(&addr, timeout_ms, &Request::AddCell { spec })?)
         }

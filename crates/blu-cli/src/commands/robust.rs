@@ -48,6 +48,21 @@ OPTIONS:
                       the default). Hits are byte-identical to a
                       fresh solve; counters print at end of run
 
+STREAMING (continuous churn absorption):
+    --stream          run the streaming online-inference loop: a
+                      sliding observation window feeds incremental
+                      blue-print refinement between sub-frames; full
+                      re-measurement demotes to the drift-monitor
+                      fallback arm
+    --window <sf>     observation-window capacity in sub-frame
+                      observations (default 2000; needs --stream)
+    --churn-rate <hz> overlay Poisson UE/HT topology churn on the
+                      capture at this total rate (default 0 = off;
+                      composes with --faults)
+    --churn-start <sf>  sub-frame the churn window opens at (default:
+                      one third of the trace)
+    --churn-seed <u64>  churn stream seed (default: derived from --seed)
+
 SUPERVISION:
     --supervise               run under the fleet supervisor: crashes
                               and stalls restart the cell from its
@@ -204,26 +219,57 @@ pub fn parse_fault_script(spec: &str) -> Result<FaultScript, String> {
 
 /// Run the subcommand.
 pub fn run(args: &[String]) -> Result<(), String> {
-    let flags = Flags::parse(args, &["help", "resume", "supervise"])?;
+    let flags = Flags::parse(args, &["help", "resume", "supervise", "stream"])?;
     if flags.has("help") {
         println!("{HELP}");
         return Ok(());
     }
-    let script = match flags.get("faults") {
+    let mut script = match flags.get("faults") {
         Some(spec) => parse_fault_script(spec)?,
         None => FaultScript::none(),
     };
     if script.has_crash_faults() && !flags.has("supervise") {
         return Err("crash@ faults escape the unsupervised loop; add --supervise".into());
     }
+    let seconds = flags.get_or("seconds", 60u64)?;
     let cfg = CaptureConfig {
         n_ues: flags.get_or("ues", 6usize)?,
         n_hts: flags.get_or("hts", 8usize)?,
-        duration: Micros::from_secs(flags.get_or("seconds", 60u64)?),
+        duration: Micros::from_secs(seconds),
         q_range: (0.25, 0.55),
         ..CaptureConfig::testbed_default()
     };
     let seed = flags.get_or("seed", 1u64)?;
+    let churn_rate: f64 = flags.get_or("churn-rate", 0.0f64)?;
+    if !churn_rate.is_finite() || churn_rate < 0.0 {
+        return Err(format!(
+            "--churn-rate must be finite and >= 0, got {churn_rate}"
+        ));
+    }
+    if churn_rate > 0.0 {
+        let total = seconds
+            .checked_mul(1_000)
+            .ok_or("--seconds too large for a sub-frame count")?;
+        let start = flags.get_or("churn-start", total / 3)?;
+        let duration = total.saturating_sub(start);
+        if duration == 0 {
+            return Err(format!(
+                "--churn-start {start} leaves no room in a {total} sub-frame trace"
+            ));
+        }
+        let churn_cfg =
+            blu_sim::churn::ChurnConfig::with_total_rate(cfg.n_ues, duration, churn_rate);
+        let churn_seed = flags.get_or("churn-seed", seed.wrapping_add(0xC0FF))?;
+        let churn = blu_sim::churn::generate_churn(&churn_cfg, cfg.n_hts, churn_seed)
+            .map_err(|e| e.to_string())?;
+        let mut events = script.events.clone();
+        events.extend(
+            blu_core::robust::compile_churn_script(&churn, start)
+                .map_err(|e| e.to_string())?
+                .events,
+        );
+        script = FaultScript::new(events);
+    }
     script
         .validate(cfg.n_ues, cfg.n_hts)
         .map_err(|e| e.to_string())?;
@@ -237,6 +283,13 @@ pub fn run(args: &[String]) -> Result<(), String> {
             .parse()
             .map_err(|_| format!("bad --deadline-steps `{budget}`"))?;
         config.blu.inference.deadline = Deadline::Steps(steps);
+    }
+    if flags.has("stream") {
+        let streaming = blu_core::robust::StreamingConfig::new(flags.get_or("window", 2_000usize)?);
+        streaming.validate().map_err(|e| e.to_string())?;
+        config.streaming = Some(streaming);
+    } else if flags.get("window").is_some() {
+        return Err("--window needs --stream".into());
     }
     if flags.has("resume") && flags.get("checkpoint-dir").is_none() {
         return Err("--resume needs --checkpoint-dir".into());
@@ -322,6 +375,17 @@ pub fn run(args: &[String]) -> Result<(), String> {
         report.effective_throughput_mbps(),
         report.measurement_subframes
     );
+    if config.streaming.is_some() {
+        println!(
+            "streaming: {} incremental refine(s) ({} installed) | {} fallback \
+             re-measurement(s) | {} churn event(s) applied | window occupancy {}",
+            report.stream_refines,
+            report.stream_refines_installed,
+            report.stream_fallback_remeasurements,
+            report.stream_churn_events,
+            report.stream_window_occupancy
+        );
+    }
     if !report.breaker_transitions.is_empty() {
         println!("\ncircuit breaker:");
         for t in &report.breaker_transitions {

@@ -52,6 +52,10 @@ FLEET:
     --seed <u64>           robust-loop seed (default 0xD1F7)
     --fleet-cache-capacity <n>  share blue-printing results through the
                            fleet blueprint cache (0 = off, the default)
+    --stream-window <sf>   run every cell in streaming mode with this
+                           observation-window capacity (0 = phased, the
+                           default; per-cell `blu ctl add --window` still
+                           overrides upward from phased)
 
 SIGINT/SIGTERM drain gracefully: admissions close, every cell persists
 a final checkpoint + sidecar, and the process exits 0. A later
@@ -98,6 +102,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
     robust.seed = flags.get_or("seed", robust.seed)?;
     if let cap @ 1.. = flags.get_or("fleet-cache-capacity", 0usize)? {
         robust.fleet_cache = Some(std::sync::Arc::new(FleetBlueprintCache::new(cap)));
+    }
+    if let window @ 1.. = flags.get_or("stream-window", 0usize)? {
+        let streaming = blu_core::robust::StreamingConfig::new(window);
+        streaming.validate().map_err(|e| e.to_string())?;
+        robust.streaming = Some(streaming);
     }
 
     let high = flags.get_or("high", f64::INFINITY)?;

@@ -882,6 +882,47 @@ pub fn infer_topology_with(
     }
 }
 
+/// Incremental warm-start refinement — the streaming counterpart of
+/// [`infer_topology_with`]. Instead of the full restart portfolio, a
+/// single [`Repairer`] runs from `start` (typically the serving
+/// blueprint lifted back into the log domain via
+/// [`TransformedTopology::from_topology`]) against a constraint
+/// system built from the current sliding observation window, then
+/// takes the usual weight-refinement/polish pass. Under a small
+/// [`Deadline::Steps`] budget this folds window deltas into the
+/// blueprint between sub-frame segments at a fraction of a full
+/// inference's cost; the verdict/confidence semantics are identical
+/// to the full path, so the orchestrator gates installation the same
+/// way.
+pub fn refine_topology_with(
+    sys: &ConstraintSystem,
+    config: &InferenceConfig,
+    start: TransformedTopology,
+    scratch: &mut InferScratch,
+) -> InferenceResult {
+    let mut tracker = ResidualTracker::rebind(sys, std::mem::take(&mut scratch.tracker));
+    let mut token = config.deadline.token();
+    let repairer = Repairer::new(&mut tracker, start);
+    let (mut topo, mut v, iterations) = repairer.run(config.max_iters, config.epsilon, &mut token);
+    if config.refine_weights && v > config.epsilon && !token.expired() {
+        refine_weights_with(sys, &mut topo, &mut scratch.refine);
+        polish_with(&mut tracker, &mut topo, 6, &mut scratch.refine);
+        v = sys.total_violation(&topo);
+    }
+    scratch.tracker = tracker.into_buffers();
+    let (residual_fraction, verdict) = classify(sys, v, config);
+    InferenceResult {
+        topology: topo.to_topology(sys.n).canonicalize(),
+        violation: v,
+        iterations,
+        restarts: 1,
+        residual_fraction,
+        verdict,
+        completed: !token.expired(),
+        overshoot: token.overshoot(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -900,6 +941,42 @@ mod tests {
                 })
                 .collect(),
         }
+    }
+
+    #[test]
+    fn warm_start_refine_keeps_a_correct_blueprint() {
+        // Refining from the truth against the truth's constraint
+        // system must converge immediately and keep the topology.
+        let t = topo(4, &[(0.4, &[0, 1]), (0.25, &[2]), (0.6, &[1, 2, 3])]);
+        let sys = ConstraintSystem::from_topology(&t);
+        let start = TransformedTopology::from_topology(&t);
+        let mut scratch = InferScratch::default();
+        let r = refine_topology_with(&sys, &InferenceConfig::default(), start, &mut scratch);
+        assert_eq!(r.verdict, InferenceVerdict::Converged);
+        assert_eq!(r.restarts, 1);
+        assert!(r.completed);
+        let acc = topology_accuracy(&t, &r.topology).exact_fraction();
+        assert!(acc > 0.99, "accuracy {acc}");
+    }
+
+    #[test]
+    fn warm_start_refine_tracks_a_perturbed_system() {
+        // The environment drifts (one HT's q changes): a warm start
+        // from the stale blueprint must recover the new truth in a
+        // single budgeted repair.
+        let old = topo(5, &[(0.4, &[0, 1]), (0.3, &[2, 3])]);
+        let new = topo(5, &[(0.4, &[0, 1]), (0.55, &[2, 3])]);
+        let sys = ConstraintSystem::from_topology(&new);
+        let start = TransformedTopology::from_topology(&old);
+        let mut scratch = InferScratch::default();
+        let config = InferenceConfig {
+            deadline: Deadline::Steps(200),
+            ..InferenceConfig::default()
+        };
+        let r = refine_topology_with(&sys, &config, start, &mut scratch);
+        assert_eq!(r.verdict, InferenceVerdict::Converged);
+        let acc = topology_accuracy(&new, &r.topology).exact_fraction();
+        assert!(acc > 0.99, "accuracy {acc}");
     }
 
     #[test]

@@ -33,10 +33,11 @@ pub use fleetcache::{
     DEFAULT_FLEET_CACHE_CAPACITY,
 };
 pub use infer::{
-    infer_topology, infer_topology_with, InferScratch, InferenceConfig, InferenceResult,
+    infer_topology, infer_topology_with, refine_topology_with, InferScratch, InferenceConfig,
+    InferenceResult,
 };
 pub use mcmc::{infer_mcmc, infer_mcmc_result, McmcConfig};
-pub use residual::{ResidualTracker, TrackerBuffers};
+pub use residual::{ObservationWindow, ResidualTracker, TrackerBuffers};
 
 /// Which inference engine turns a constraint system into a topology.
 ///

@@ -43,7 +43,9 @@
 
 use crate::blueprint::constraints::{ConstraintRef, ConstraintSystem};
 use blu_sim::clientset::ClientSet;
-use blu_traces::stats::pair_index;
+use blu_traces::stats::{pair_index, EmpiricalAccess};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 
 /// Visit every unordered pair `(i, j)`, `i < j`, of a bitset in
 /// lexicographic order without materializing a member list.
@@ -335,6 +337,135 @@ impl<'a> ResidualTracker<'a> {
     }
 }
 
+/// A bounded sliding window of per-subframe access observations with
+/// incrementally maintained [`EmpiricalAccess`] counters — the ingest
+/// path of streaming online inference.
+///
+/// Each entry is one sub-frame's `(observed, accessible)` client
+/// sets. Admitting a new sub-frame when the ring is full first
+/// *retires* the oldest entry by running
+/// [`EmpiricalAccess::unrecord`] — the exact integer inverse of
+/// [`EmpiricalAccess::record`] — so both directions are
+/// `O(touched clients²)` per sub-frame regardless of window size,
+/// and the running counters are **bit-identical** to recording only
+/// the retained ring contents from scratch (pinned by
+/// `tests/stream_window_proptest.rs`). The counters therefore track
+/// ground truth as it churns: observations from a pre-churn topology
+/// age out of the window instead of dominating the books forever.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObservationWindow {
+    capacity: usize,
+    ring: VecDeque<(ClientSet, ClientSet)>,
+    stats: EmpiricalAccess,
+}
+
+// Hand-rolled (the ring is a `VecDeque`, which the vendored serde has
+// no container impl for): the ring serializes as a plain sequence in
+// logical oldest-first order, so the on-disk form is canonical
+// regardless of where the ring's head sits in its backing buffer.
+impl Serialize for ObservationWindow {
+    fn to_value(&self) -> serde::Value {
+        let ring: Vec<(ClientSet, ClientSet)> = self.ring.iter().copied().collect();
+        serde::Value::Map(vec![
+            ("capacity".to_string(), self.capacity.to_value()),
+            ("ring".to_string(), ring.to_value()),
+            ("stats".to_string(), self.stats.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for ObservationWindow {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let map = v
+            .as_map()
+            .ok_or_else(|| serde::DeError::custom("ObservationWindow: expected map"))?;
+        let capacity: usize = serde::de_field(map, "capacity", "ObservationWindow")?;
+        let ring: Vec<(ClientSet, ClientSet)> = serde::de_field(map, "ring", "ObservationWindow")?;
+        let stats: EmpiricalAccess = serde::de_field(map, "stats", "ObservationWindow")?;
+        Ok(ObservationWindow {
+            capacity: capacity.max(1),
+            ring: ring.into(),
+            stats,
+        })
+    }
+}
+
+impl ObservationWindow {
+    /// Empty window over `n` clients retaining at most `capacity`
+    /// sub-frames (`capacity` is clamped to at least 1).
+    pub fn new(n: usize, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        ObservationWindow {
+            capacity,
+            ring: VecDeque::with_capacity(capacity),
+            stats: EmpiricalAccess::new(n),
+        }
+    }
+
+    /// Number of clients the window accumulates over.
+    pub fn n_clients(&self) -> usize {
+        self.stats.n
+    }
+
+    /// Maximum retained sub-frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Currently retained sub-frames.
+    pub fn occupancy(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the ring holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Admit one sub-frame, retiring the oldest if the ring is full.
+    pub fn admit(&mut self, observed: ClientSet, accessible: ClientSet) {
+        if self.ring.len() == self.capacity {
+            self.retire();
+        }
+        self.ring.push_back((observed, accessible));
+        self.stats.record(observed, accessible);
+    }
+
+    /// Retire the oldest retained sub-frame, if any.
+    pub fn retire(&mut self) -> Option<(ClientSet, ClientSet)> {
+        let (observed, accessible) = self.ring.pop_front()?;
+        self.stats.unrecord(observed, accessible);
+        Some((observed, accessible))
+    }
+
+    /// Drop every retained sub-frame and zero the counters.
+    pub fn clear(&mut self) {
+        self.ring.clear();
+        self.stats = EmpiricalAccess::new(self.stats.n);
+    }
+
+    /// The incrementally maintained counters over the retained ring.
+    pub fn stats(&self) -> &EmpiricalAccess {
+        &self.stats
+    }
+
+    /// The retained `(observed, accessible)` sub-frames, oldest
+    /// first (test/diagnostic access).
+    pub fn entries(&self) -> impl Iterator<Item = (ClientSet, ClientSet)> + '_ {
+        self.ring.iter().copied()
+    }
+
+    /// Counters recomputed from scratch over the retained ring —
+    /// the differential-test oracle for the incremental path.
+    pub fn scratch_stats(&self) -> EmpiricalAccess {
+        let mut stats = EmpiricalAccess::new(self.stats.n);
+        for &(observed, accessible) in &self.ring {
+            stats.record(observed, accessible);
+        }
+        stats
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,6 +578,51 @@ mod tests {
             assert_eq!(tracker.residual(c).to_bits(), fresh.residual(c).to_bits());
         }
         assert!((tracker.recompute_violation() - sys.target_mass()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_matches_scratch_recompute_after_wraparound() {
+        let n = 6;
+        let mut rng = DetRng::seed_from_u64(0x517D);
+        let mut window = ObservationWindow::new(n, 16);
+        for step in 0..200 {
+            let obs = ClientSet::from_iter((0..n).filter(|_| rng.chance(0.6)));
+            let acc = ClientSet::from_iter(obs.iter().filter(|_| rng.chance(0.5)));
+            window.admit(obs, acc);
+            assert!(window.occupancy() <= 16);
+            assert_eq!(
+                window.stats(),
+                &window.scratch_stats(),
+                "incremental counters diverged at step {step}"
+            );
+        }
+        assert_eq!(window.occupancy(), 16);
+    }
+
+    #[test]
+    fn window_retire_and_clear() {
+        let mut window = ObservationWindow::new(4, 8);
+        assert!(window.is_empty());
+        assert!(window.retire().is_none());
+        window.admit(ClientSet::all(4), ClientSet::singleton(1));
+        window.admit(ClientSet::all(4), ClientSet::all(4));
+        assert_eq!(window.occupancy(), 2);
+        let first = window.retire().unwrap();
+        assert_eq!(first, (ClientSet::all(4), ClientSet::singleton(1)));
+        assert_eq!(window.stats(), &window.scratch_stats());
+        window.clear();
+        assert!(window.is_empty());
+        assert_eq!(window.stats(), &EmpiricalAccess::new(4));
+    }
+
+    #[test]
+    fn window_round_trips_through_serde() {
+        let mut window = ObservationWindow::new(3, 4);
+        window.admit(ClientSet::all(3), ClientSet::singleton(0));
+        window.admit(ClientSet::from_iter([0, 2]), ClientSet::from_iter([0, 2]));
+        let json = serde_json::to_string(&window).unwrap();
+        let back: ObservationWindow = serde_json::from_str(&json).unwrap();
+        assert_eq!(window, back);
     }
 
     #[test]

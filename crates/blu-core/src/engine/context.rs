@@ -13,7 +13,7 @@
 //! not just the robust loop.
 
 use crate::blueprint::infer::InferenceVerdict;
-use crate::blueprint::{InferenceBackend, InferenceConfig, InferenceResult};
+use crate::blueprint::{InferenceBackend, InferenceConfig, InferenceResult, ObservationWindow};
 use crate::emulator::{EmulationConfig, EmulationReport};
 use crate::measure::OutcomeEstimator;
 use crate::metrics::UplinkMetrics;
@@ -109,6 +109,43 @@ impl DriftMonitor {
     }
 }
 
+/// Streaming-pipeline state carried inside the snapshot: the sliding
+/// observation window plus the streaming counters the daemon exports
+/// as `blu_stream_*`. Only present when the robust loop runs with
+/// streaming enabled — phased runs never materialize it, and the
+/// snapshot's hand-written serializer omits the field entirely when
+/// absent, so streaming-off checkpoints stay byte-identical to the
+/// v1 schema.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamState {
+    /// Bounded per-subframe observation ring with incrementally
+    /// maintained counters (the streaming ingest path).
+    pub window: ObservationWindow,
+    /// Incremental refines attempted so far.
+    pub refines: u64,
+    /// Refines whose blueprint passed the gate and was installed.
+    pub refines_installed: u64,
+    /// Drift-monitor fallback re-measurements scheduled despite
+    /// streaming (the demoted §3.7 arm).
+    pub fallback_remeasurements: u64,
+    /// Churn-driven topology events applied to the cell's books.
+    pub churn_events_applied: u64,
+}
+
+impl StreamState {
+    /// Fresh streaming state over `n` clients with a window retaining
+    /// at most `window_capacity` sub-frames.
+    pub fn new(n: usize, window_capacity: usize) -> Self {
+        StreamState {
+            window: ObservationWindow::new(n, window_capacity),
+            refines: 0,
+            refines_installed: 0,
+            fallback_remeasurements: 0,
+            churn_events_applied: 0,
+        }
+    }
+}
+
 /// Where and how often the loop persists its state.
 #[derive(Debug, Clone)]
 pub struct CheckpointPolicy {
@@ -138,7 +175,7 @@ pub struct StateTransition {
 /// bit-identical to an uninterrupted one. Persisted via
 /// [`crate::runtime::checkpoint`]; the serde layout is the v1 robust
 /// checkpoint schema, unchanged by the engine extraction.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct CellSnapshot {
     /// Clients in the capture (resume-mismatch guard).
     pub n_clients: u64,
@@ -196,6 +233,73 @@ pub struct CellSnapshot {
     pub deadline_misses: u32,
     /// Constraint targets quarantined so far.
     pub quarantined_constraints: u64,
+    /// Streaming-pipeline state (window + counters). `None` on every
+    /// phased run; the serializer omits the key entirely when absent
+    /// so v1 checkpoints round-trip byte-identically, and the
+    /// deserializer tolerates its absence, so v1 files still load.
+    pub stream: Option<StreamState>,
+}
+
+// Hand-rolled so the `stream` key is *omitted* (not `null`) when the
+// run is phased: the v1 checkpoint golden is a byte-level contract
+// and the derive would emit `"stream": null` into it. Field order
+// matches the declaration order the derive would use.
+impl Serialize for CellSnapshot {
+    fn to_value(&self) -> serde::Value {
+        let mut m: Vec<(String, serde::Value)> = vec![
+            ("n_clients".to_string(), self.n_clients.to_value()),
+            ("trace_len".to_string(), self.trace_len.to_value()),
+            ("config_seed".to_string(), self.config_seed.to_value()),
+            ("cursor".to_string(), self.cursor.to_value()),
+            ("state".to_string(), self.state.to_value()),
+            ("done".to_string(), self.done.to_value()),
+            ("est".to_string(), self.est.to_value()),
+            ("chan".to_string(), self.chan.to_value()),
+            ("poison_rng".to_string(), self.poison_rng.to_value()),
+            ("drift".to_string(), self.drift.to_value()),
+            ("breaker".to_string(), self.breaker.to_value()),
+            ("metrics".to_string(), self.metrics.to_value()),
+            ("transitions".to_string(), self.transitions.to_value()),
+            ("verdicts".to_string(), self.verdicts.to_value()),
+            ("blueprint".to_string(), self.blueprint.to_value()),
+            ("pf_avg".to_string(), self.pf_avg.to_value()),
+            (
+                "measurement_subframes".to_string(),
+                self.measurement_subframes.to_value(),
+            ),
+            (
+                "n_remeasurements".to_string(),
+                self.n_remeasurements.to_value(),
+            ),
+            (
+                "speculative_txops".to_string(),
+                self.speculative_txops.to_value(),
+            ),
+            ("fallback_txops".to_string(), self.fallback_txops.to_value()),
+            ("probation_left".to_string(), self.probation_left.to_value()),
+            ("peak_drift".to_string(), self.peak_drift.to_value()),
+            (
+                "inference_micros".to_string(),
+                self.inference_micros.to_value(),
+            ),
+            (
+                "inference_panics".to_string(),
+                self.inference_panics.to_value(),
+            ),
+            (
+                "deadline_misses".to_string(),
+                self.deadline_misses.to_value(),
+            ),
+            (
+                "quarantined_constraints".to_string(),
+                self.quarantined_constraints.to_value(),
+            ),
+        ];
+        if let Some(stream) = &self.stream {
+            m.push(("stream".to_string(), stream.to_value()));
+        }
+        serde::Value::Map(m)
+    }
 }
 
 impl CellSnapshot {
@@ -239,6 +343,7 @@ impl CellSnapshot {
             inference_panics: 0,
             deadline_misses: 0,
             quarantined_constraints: 0,
+            stream: None,
         }
     }
 

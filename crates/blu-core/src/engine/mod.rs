@@ -46,12 +46,13 @@ pub mod stages;
 pub use cell::{AccessMode, CellEngine};
 pub use context::{
     CellContext, CellGeometry, CellSnapshot, CheckpointPolicy, DriftMonitor, OrchestratorState,
-    SchedulerSpec, SegmentPlan, StateTransition,
+    SchedulerSpec, SegmentPlan, StateTransition, StreamState,
 };
 pub use fleet::FleetEngine;
 pub use hot::EngineArena;
-pub use observer::{HeartbeatCounter, NullObserver, SubframeObserver, SubframeView};
+pub use observer::{HeartbeatCounter, NullObserver, StreamEvent, SubframeObserver, SubframeView};
 pub use stages::{
     run_pipeline, GenerateStage, InferGate, InferStage, MeasureFidelity, MeasureStage,
-    SchedulePolicy, ScheduleStage, Stage, StageFlow, StageKind, TransmitFeed, TransmitStage,
+    SchedulePolicy, ScheduleStage, Stage, StageFlow, StageKind, StreamInferStage, TransmitFeed,
+    TransmitStage,
 };

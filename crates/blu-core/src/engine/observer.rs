@@ -32,6 +32,37 @@ pub struct SubframeView<'a> {
     pub delivered: &'a [f64],
 }
 
+/// One streaming-pipeline event, fired through
+/// [`SubframeObserver::on_stream`] by the streaming arm of the
+/// robust orchestrator. The variants mirror the `blu_stream_*`
+/// Prometheus counters the daemon exports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StreamEvent {
+    /// An incremental refine ran against the observation window.
+    /// `installed` is whether its blueprint passed the confidence
+    /// gate and replaced the serving blueprint.
+    Refine {
+        /// Whether the refined blueprint was installed.
+        installed: bool,
+    },
+    /// The drift-monitor fallback arm tripped: a full §3.7
+    /// re-measurement was scheduled despite streaming refines.
+    FallbackRemeasure,
+    /// Churn-driven topology events crossed during the last segment
+    /// were applied to the cell's books.
+    ChurnApplied {
+        /// Topology events applied.
+        count: u64,
+    },
+    /// Window occupancy after the last segment's ingest.
+    WindowOccupancy {
+        /// Retained sub-frames.
+        occupied: u64,
+        /// Ring capacity.
+        capacity: u64,
+    },
+}
+
 /// Observer of the engine's per-subframe sequencing. Every hook
 /// defaults to a no-op, so implementors override only what they tap.
 pub trait SubframeObserver {
@@ -54,6 +85,10 @@ pub trait SubframeObserver {
 
     /// The cell's state machine entered a new state.
     fn on_state_change(&mut self, _at_subframe: u64, _state: OrchestratorState) {}
+
+    /// A streaming-pipeline event (only fired when the robust loop
+    /// runs with streaming enabled).
+    fn on_stream(&mut self, _event: StreamEvent) {}
 }
 
 /// The do-nothing observer: the default for callers that only want

@@ -24,7 +24,7 @@ use crate::engine::cell::{AccessMode, CellEngine};
 use crate::engine::context::{
     CellContext, CellSnapshot, OrchestratorState, SchedulerSpec, SegmentPlan,
 };
-use crate::engine::observer::{SubframeObserver, SubframeView};
+use crate::engine::observer::{StreamEvent, SubframeObserver, SubframeView};
 use crate::error::BluError;
 use crate::joint::TopologyAccess;
 use crate::measure::{measurement_schedule, MeasurementPlan, OutcomeEstimator};
@@ -277,18 +277,22 @@ impl InferStage {
             if inject_panic {
                 panic!("injected inference panic");
             }
-            // Signature over the sanitized system — the one actually
-            // solved — so poisoned-then-quarantined cells key on what
-            // the solver saw.
-            let sig = cache.map(|_| TopologySignature::new(&sys, icfg, backend));
             let mut events = Vec::new();
-            let mut solve_once = || match (cache, &sig) {
-                (Some(c), Some(sig)) => {
-                    let (result, ev) = c.get_or_solve_infallible(sig, || backend.infer(&sys, icfg));
+            let mut solve_once = || match cache {
+                Some(c) => {
+                    // Signature recomputed at every solve from the
+                    // sanitized system actually being solved — never
+                    // captured once and reused — so a lookup after
+                    // churn-mutated statistics can only key on the
+                    // post-churn books. (Poisoned-then-quarantined
+                    // cells likewise key on what the solver saw.)
+                    let sig = TopologySignature::new(&sys, icfg, backend);
+                    let (result, ev) =
+                        c.get_or_solve_infallible(&sig, || backend.infer(&sys, icfg));
                     events.push(ev);
                     result
                 }
-                _ => backend.infer(&sys, icfg),
+                None => backend.infer(&sys, icfg),
             };
             let mut result = solve_once();
             // A scripted stall models a slow solver by repeating the
@@ -371,6 +375,115 @@ impl Stage for InferStage {
             }
         }
         observer.on_state_change(ctx.snap.cursor, ctx.snap.state);
+        Ok(StageFlow::Continue)
+    }
+}
+
+/// Incremental streaming inference: fold the sliding observation
+/// window's counters into a warm-started repair of the blueprint in
+/// force, between transmit segments, under a bounded step deadline.
+///
+/// This is the streaming half of the split [`InferStage`]: where the
+/// full stage re-measures and solves from scratch (§3.7), this stage
+/// reads only the snapshot's [`StreamState`] window — whose counters
+/// drift with ground truth as observations age out — and runs a
+/// single budgeted repair seeded from the current blueprint. A
+/// refined blueprint that passes the confidence gate replaces the one
+/// in force and resets the drift monitor; one that fails the gate is
+/// discarded and the cell keeps serving the old blueprint, leaving
+/// the drift monitor armed as the full-re-measurement fallback. The
+/// stage never consults the fleet cache (warm starts are cell-local)
+/// and never moves the state machine — streaming refines happen
+/// *inside* Confident.
+///
+/// [`StreamState`]: crate::engine::context::StreamState
+#[derive(Debug, Clone, Copy)]
+pub struct StreamInferStage {
+    /// Confidence floor a refined blueprint must clear to install
+    /// (same semantics as [`InferGate::confidence_floor`]).
+    pub confidence_floor: f64,
+    /// Step budget for the incremental repair (the PR 4 anytime
+    /// deadline, in solver steps).
+    pub refine_deadline_steps: u64,
+}
+
+impl Stage for StreamInferStage {
+    fn kind(&self) -> StageKind {
+        StageKind::Infer
+    }
+
+    fn run(
+        &mut self,
+        ctx: &mut CellContext<'_, '_>,
+        observer: &mut dyn SubframeObserver,
+    ) -> Result<StageFlow, BluError> {
+        let Some(stream) = ctx.snap.stream.as_ref() else {
+            return Err(BluError::StageInvariant(
+                "streaming infer requires stream state in the snapshot".into(),
+            ));
+        };
+        if stream.window.is_empty() {
+            return Ok(StageFlow::Continue);
+        }
+        let mut sys = ConstraintSystem::from_measurements(stream.window.stats());
+        ctx.snap.quarantined_constraints += sys.sanitize() as u64;
+        let start = match &ctx.snap.blueprint {
+            Some(result) => {
+                crate::blueprint::constraints::TransformedTopology::from_topology(&result.topology)
+            }
+            None => Default::default(),
+        };
+        let cfg = crate::blueprint::InferenceConfig {
+            deadline: crate::runtime::deadline::Deadline::Steps(self.refine_deadline_steps.max(1)),
+            ..*ctx.inference
+        };
+        let backend = ctx.backend;
+        let t0 = std::time::Instant::now();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut scratch = crate::blueprint::InferScratch::default();
+            let mut result =
+                crate::blueprint::infer::refine_topology_with(&sys, &cfg, start, &mut scratch);
+            // A warm start that did not converge is stuck in the old
+            // blueprint's basin (a churn event moved the truth): fall
+            // back to the restart portfolio over the same window
+            // statistics. Solver time only — streaming never spends
+            // measurement sub-frames.
+            if result.verdict != InferenceVerdict::Converged {
+                let full = backend.infer_with(&sys, &cfg, &mut scratch);
+                if full.violation < result.violation {
+                    result = full;
+                }
+            }
+            result
+        }));
+        ctx.snap.inference_micros += t0.elapsed().as_micros() as u64;
+        let stream = ctx.snap.stream.as_mut().expect("checked above");
+        stream.refines += 1;
+        match outcome {
+            Ok(result) => {
+                if !result.completed {
+                    ctx.snap.deadline_misses += 1;
+                }
+                observer.on_infer(result.verdict, result.completed);
+                ctx.snap.verdicts.push(result.verdict);
+                let installed = result.verdict != InferenceVerdict::Degraded
+                    && result.confidence() >= self.confidence_floor;
+                if installed {
+                    stream.refines_installed += 1;
+                    ctx.snap.blueprint = Some(result);
+                    ctx.snap.drift.reset();
+                }
+                observer.on_stream(StreamEvent::Refine { installed });
+            }
+            Err(_) => {
+                // A refine panic is contained at this boundary: the
+                // cell keeps serving the blueprint in force and the
+                // drift monitor stays armed.
+                ctx.snap.inference_panics += 1;
+                observer.on_infer(InferenceVerdict::Degraded, false);
+                observer.on_stream(StreamEvent::Refine { installed: false });
+            }
+        }
         Ok(StageFlow::Continue)
     }
 }
@@ -493,6 +606,11 @@ struct DriftTap<'x> {
     est: &'x mut OutcomeEstimator,
     drift: &'x mut crate::engine::context::DriftMonitor,
     blueprint: Option<&'x InferenceResult>,
+    /// Streaming ingest: when the run carries stream state, every
+    /// surviving observation is also admitted into the sliding
+    /// window (retiring the oldest), so the streaming refine always
+    /// sees the freshest bounded history.
+    window: Option<&'x mut crate::blueprint::ObservationWindow>,
     n: usize,
     inner: &'x mut dyn SubframeObserver,
 }
@@ -513,6 +631,9 @@ impl SubframeObserver for DriftTap<'_> {
         let all = ClientSet::all(self.n);
         if let Some((obs, acc)) = self.chan.corrupt(obs_state, all, accessible) {
             self.est.stats_mut().record(obs, acc);
+            if let Some(window) = self.window.as_mut() {
+                window.admit(obs, acc);
+            }
             if let Some(result) = self.blueprint {
                 for ue in obs.iter() {
                     self.drift
@@ -533,6 +654,10 @@ impl SubframeObserver for DriftTap<'_> {
 
     fn on_state_change(&mut self, at_subframe: u64, state: OrchestratorState) {
         self.inner.on_state_change(at_subframe, state);
+    }
+
+    fn on_stream(&mut self, event: StreamEvent) {
+        self.inner.on_stream(event);
     }
 }
 
@@ -572,6 +697,7 @@ impl Stage for TransmitStage {
                 ref mut chan,
                 ref mut drift,
                 ref blueprint,
+                ref mut stream,
                 ..
             } = *ctx.snap;
             let run = |engine: &mut CellEngine<'_>,
@@ -609,6 +735,7 @@ impl Stage for TransmitStage {
                         est,
                         drift,
                         blueprint: blueprint.as_ref(),
+                        window: stream.as_mut().map(|s| &mut s.window),
                         n: ctx.geom.n,
                         inner: observer,
                     };

@@ -74,7 +74,7 @@ use crate::blueprint::InferenceBackend;
 use crate::engine::{
     CellContext, CellGeometry, EngineArena, FleetEngine, GenerateStage, InferGate, InferStage,
     MeasureFidelity, MeasureStage, NullObserver, SchedulePolicy, ScheduleStage, StageFlow,
-    TransmitFeed, TransmitStage,
+    StreamEvent, StreamInferStage, StreamState, TransmitFeed, TransmitStage,
 };
 use crate::error::BluError;
 use crate::measure::measurement_schedule;
@@ -90,6 +90,89 @@ pub use crate::engine::context::CellSnapshot as RobustSnapshot;
 pub use crate::engine::context::{
     CheckpointPolicy, DriftMonitor, OrchestratorState, StateTransition,
 };
+
+/// Streaming online-inference knobs: with
+/// [`RobustConfig::streaming`] set, the Confident arm carries a
+/// sliding [`ObservationWindow`](crate::blueprint::ObservationWindow)
+/// fed per decoded sub-frame and folds its deltas into the blueprint
+/// with budgeted warm-started refines between segments — full §3.7
+/// re-measurement is demoted to the drift-monitor fallback arm.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamingConfig {
+    /// Observation-ring capacity, in retained sub-frames.
+    pub window: usize,
+    /// Minimum window occupancy before incremental refines start
+    /// (a thin window under-determines the constraint system).
+    pub min_window: usize,
+    /// Step budget of each incremental refine (the anytime deadline
+    /// of the streaming arm — refines must never stall a segment
+    /// boundary).
+    pub refine_deadline_steps: u64,
+}
+
+impl StreamingConfig {
+    /// Defaults tuned against the testbed-scale scenarios: a window
+    /// a few segments deep, refines gated on a quarter of it.
+    pub fn new(window: usize) -> Self {
+        StreamingConfig {
+            window,
+            min_window: (window / 4).max(1),
+            refine_deadline_steps: 400,
+        }
+    }
+
+    /// Validate the knobs.
+    pub fn validate(&self) -> Result<(), BluError> {
+        if self.window == 0 {
+            return Err(BluError::InvalidConfig(
+                "streaming window must be positive".into(),
+            ));
+        }
+        if self.min_window > self.window {
+            return Err(BluError::InvalidConfig(
+                "streaming min_window cannot exceed the window".into(),
+            ));
+        }
+        if self.refine_deadline_steps == 0 {
+            return Err(BluError::InvalidConfig(
+                "streaming refine deadline must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for StreamingConfig {
+    fn default() -> Self {
+        StreamingConfig::new(2_000)
+    }
+}
+
+/// Convert relative churn-event offsets into an absolute-time
+/// [`FaultScript`] starting at `start_subframe`. Every conversion is
+/// checked: an offset that would push an event past `u64::MAX` is a
+/// typed [`BluError::Overflow`], never a silent wrap that would
+/// reorder the script (mirroring the `min_subframes` treatment of the
+/// deadline layer).
+pub fn compile_churn_script(
+    events: &[blu_sim::churn::TopologyEvent],
+    start_subframe: u64,
+) -> Result<blu_sim::faults::FaultScript, BluError> {
+    let mut out = Vec::with_capacity(events.len());
+    for ev in events {
+        let at_subframe =
+            start_subframe
+                .checked_add(ev.offset_subframes)
+                .ok_or(BluError::Overflow {
+                    what: "churn event subframe",
+                })?;
+        out.push(blu_sim::faults::FaultEvent {
+            at_subframe,
+            kind: ev.kind,
+        });
+    }
+    Ok(blu_sim::faults::FaultScript::new(out))
+}
 
 /// Configuration of the robust loop.
 #[derive(Debug, Clone)]
@@ -133,6 +216,12 @@ pub struct RobustConfig {
     /// `run_robust_fleet` and across supervised restarts, so repeated
     /// topology classes and re-measurement storms are solved once.
     pub fleet_cache: Option<std::sync::Arc<crate::blueprint::FleetBlueprintCache>>,
+    /// Streaming online inference (`None` = phased reference path,
+    /// bit-identical to the pre-streaming loop): the Confident arm
+    /// feeds a sliding observation window and refines the blueprint
+    /// incrementally between segments, demoting full §3.7
+    /// re-measurement to the drift-monitor fallback arm.
+    pub streaming: Option<StreamingConfig>,
 }
 
 impl RobustConfig {
@@ -153,6 +242,7 @@ impl RobustConfig {
             breaker: BreakerConfig::default(),
             checkpoint: None,
             fleet_cache: None,
+            streaming: None,
         }
     }
 
@@ -169,6 +259,9 @@ impl RobustConfig {
             config.validate()?;
         }
         self.breaker.validate()?;
+        if let Some(streaming) = &self.streaming {
+            streaming.validate()?;
+        }
         Ok(())
     }
 }
@@ -211,6 +304,19 @@ pub struct RobustRunReport {
     /// [`ConstraintSystem::sanitize`](crate::blueprint::ConstraintSystem::sanitize)
     /// before inference.
     pub quarantined_constraints: u64,
+    /// Incremental streaming refines attempted (0 on phased runs).
+    pub stream_refines: u64,
+    /// Streaming refines whose blueprint passed the gate and was
+    /// installed.
+    pub stream_refines_installed: u64,
+    /// Full re-measurements scheduled by the demoted drift-monitor
+    /// fallback arm while streaming.
+    pub stream_fallback_remeasurements: u64,
+    /// Churn-driven topology events crossed (and applied) by the
+    /// streaming run.
+    pub stream_churn_events: u64,
+    /// Final observation-window occupancy, in retained sub-frames.
+    pub stream_window_occupancy: u64,
 }
 
 impl RobustRunReport {
@@ -363,7 +469,13 @@ impl<'a> RobustDriver<'a> {
     /// Finish: fold the snapshot into the public report.
     pub(crate) fn into_report(self) -> RobustRunReport {
         let snap = self.snap;
+        let stream = snap.stream.as_ref();
         RobustRunReport {
+            stream_refines: stream.map_or(0, |s| s.refines),
+            stream_refines_installed: stream.map_or(0, |s| s.refines_installed),
+            stream_fallback_remeasurements: stream.map_or(0, |s| s.fallback_remeasurements),
+            stream_churn_events: stream.map_or(0, |s| s.churn_events_applied),
+            stream_window_occupancy: stream.map_or(0, |s| s.window.occupancy() as u64),
             metrics: snap.metrics,
             measurement_subframes: snap.measurement_subframes,
             n_remeasurements: snap.n_remeasurements,
@@ -403,6 +515,15 @@ pub(crate) fn step_cell_with(
     if snap.done {
         return Ok(false);
     }
+    // Streaming runs materialize their window lazily (and exactly
+    // once — a resumed snapshot keeps its ring); phased runs never
+    // touch the field, keeping their checkpoints byte-identical to
+    // the v1 schema.
+    if let Some(scfg) = &config.streaming {
+        if snap.stream.is_none() {
+            snap.stream = Some(StreamState::new(geom.n, scfg.window));
+        }
+    }
     match snap.state {
         OrchestratorState::Measuring | OrchestratorState::Remeasuring => {
             let t = if snap.state == OrchestratorState::Measuring {
@@ -439,6 +560,7 @@ pub(crate) fn step_cell_with(
         }
         OrchestratorState::Confident | OrchestratorState::Fallback => {
             let was_confident = snap.state == OrchestratorState::Confident;
+            let segment_start = snap.cursor;
             let mut ctx = CellContext::new(
                 &capture.trace,
                 Some(&capture.script),
@@ -475,10 +597,66 @@ pub(crate) fn step_cell_with(
             // mechanism; the drift gate and the probation/breaker
             // countdown are the robust loop's own decisions.
             if was_confident {
+                // Sampled before any streaming refine can reset the
+                // monitor: the peak must record what the segment saw.
                 snap.peak_drift = snap.peak_drift.max(snap.drift.score());
+            }
+            if let Some(scfg) = &config.streaming {
+                // Streaming bookkeeping: count the churn-driven
+                // topology events the segment crossed (the trace
+                // already carries their effects; the counters make
+                // them observable) and report window occupancy.
+                {
+                    let stream = snap.stream.as_mut().expect("initialized at step entry");
+                    let applied = capture
+                        .script
+                        .topology_event_subframes()
+                        .iter()
+                        .filter(|&&sf| sf > segment_start && sf <= snap.cursor)
+                        .count() as u64;
+                    if applied > 0 {
+                        stream.churn_events_applied += applied;
+                        observer.on_stream(StreamEvent::ChurnApplied { count: applied });
+                    }
+                    observer.on_stream(StreamEvent::WindowOccupancy {
+                        occupied: stream.window.occupancy() as u64,
+                        capacity: stream.window.capacity() as u64,
+                    });
+                }
+                // Incremental refine: fold the window's deltas into
+                // the blueprint in force under the anytime deadline.
+                // An installed refine resets the drift monitor, so
+                // the (demoted) full-re-measurement gate below only
+                // fires when streaming cannot keep up.
+                let occupancy = snap.stream.as_ref().map_or(0, |s| s.window.occupancy());
+                if was_confident && occupancy >= scfg.min_window {
+                    let mut ctx = CellContext::new(
+                        &capture.trace,
+                        Some(&capture.script),
+                        &config.blu.emulation,
+                        &config.blu.inference,
+                        &config.backend,
+                        snap,
+                    );
+                    let mut refine = StreamInferStage {
+                        confidence_floor: config.confidence_floor,
+                        refine_deadline_steps: scfg.refine_deadline_steps,
+                    };
+                    crate::engine::run_pipeline(&mut ctx, &mut [&mut refine], observer)?;
+                }
+            }
+            if was_confident {
                 if snap.drift.samples() >= config.min_drift_samples
                     && snap.drift.score() > config.drift_threshold
                 {
+                    if config.streaming.is_some() {
+                        // Demoted §3.7 arm: streaming refines could
+                        // not absorb the change — fall back to a full
+                        // re-measurement and count it.
+                        let stream = snap.stream.as_mut().expect("initialized at step entry");
+                        stream.fallback_remeasurements += 1;
+                        observer.on_stream(StreamEvent::FallbackRemeasure);
+                    }
                     snap.enter(OrchestratorState::Drifting);
                 }
             } else {
@@ -719,6 +897,14 @@ mod tests {
         assert_eq!(a.inference_panics, b.inference_panics);
         assert_eq!(a.deadline_misses, b.deadline_misses);
         assert_eq!(a.quarantined_constraints, b.quarantined_constraints);
+        assert_eq!(a.stream_refines, b.stream_refines);
+        assert_eq!(a.stream_refines_installed, b.stream_refines_installed);
+        assert_eq!(
+            a.stream_fallback_remeasurements,
+            b.stream_fallback_remeasurements
+        );
+        assert_eq!(a.stream_churn_events, b.stream_churn_events);
+        assert_eq!(a.stream_window_occupancy, b.stream_window_occupancy);
     }
 
     #[test]
@@ -1224,6 +1410,229 @@ mod tests {
             Err(BluError::Checkpoint(msg)) => assert!(msg.contains("seed")),
             Err(e) => panic!("expected Checkpoint error, got {e:?}"),
             Ok(_) => panic!("resume with a reseeded config must fail"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Streaming online inference under churn.
+    // ------------------------------------------------------------------
+
+    fn step_change_script() -> FaultScript {
+        FaultScript::new(vec![FaultEvent {
+            at_subframe: 20_000,
+            kind: FaultKind::HtAppear {
+                q: 0.6,
+                edges: ClientSet::from_iter([0, 1, 2, 3]),
+            },
+        }])
+    }
+
+    fn initial_measure_subframes(cfg: &RobustConfig, n: usize) -> u64 {
+        measurement_schedule(
+            n,
+            cfg.blu.emulation.cell.max_ues_per_subframe,
+            cfg.blu.t_samples,
+        )
+        .unwrap()
+        .t_max()
+    }
+
+    #[test]
+    fn streaming_absorbs_step_change_within_half_the_remeasure_budget() {
+        let cap = capture(step_change_script(), 90, 12);
+        let phased_cfg = quick_config();
+        let phased = run_blu_robust(&cap, &phased_cfg).unwrap();
+        assert!(
+            phased.n_remeasurements >= 1,
+            "baseline must pay a full re-measurement for the step change"
+        );
+
+        let mut stream_cfg = quick_config();
+        stream_cfg.streaming = Some(StreamingConfig::new(1_000));
+        let streamed = run_blu_robust(&cap, &stream_cfg).unwrap();
+        assert!(streamed.stream_refines > 0, "no incremental refines ran");
+        assert!(
+            streamed.stream_refines_installed > 0,
+            "no refined blueprint ever passed the gate"
+        );
+
+        // The acceptance criterion: recovery at least as good as the
+        // phased loop's, at no more than half its re-measurement
+        // sub-frame budget.
+        let n = cap.trace.ground_truth.n_clients;
+        let initial = initial_measure_subframes(&phased_cfg, n);
+        let phased_extra = phased.measurement_subframes - initial;
+        let stream_extra = streamed.measurement_subframes - initial;
+        assert!(phased_extra > 0);
+        assert!(
+            stream_extra * 2 <= phased_extra,
+            "streaming re-measured {stream_extra} sub-frames vs phased {phased_extra}"
+        );
+        assert!(
+            streamed.effective_throughput_mbps() >= phased.effective_throughput_mbps(),
+            "streaming recovery ({}) fell below the phased loop ({})",
+            streamed.effective_throughput_mbps(),
+            phased.effective_throughput_mbps()
+        );
+    }
+
+    #[test]
+    fn streaming_is_deterministic_and_resumes_bit_identically() {
+        let cap = capture(step_change_script(), 90, 12);
+        let mut cfg = quick_config();
+        cfg.streaming = Some(StreamingConfig::new(1_000));
+
+        let mut full = RobustDriver::new(&cap, &cfg).unwrap();
+        while full.step().unwrap() {}
+        let full_report = full.into_report();
+
+        // Kill mid-run, persist (the stream state — ring included —
+        // rides the checkpoint), resume, and finish identically.
+        let mut first = RobustDriver::new(&cap, &cfg).unwrap();
+        for _ in 0..6 {
+            assert!(first.step().unwrap());
+        }
+        assert!(
+            first.snap.stream.is_some(),
+            "streaming run must materialize stream state"
+        );
+        let dir = std::env::temp_dir().join(format!("blu-ckpt-stream-{}", std::process::id()));
+        let path = dir.join("cell-0.json");
+        save_robust_checkpoint(&path, &first.snap).unwrap();
+        drop(first);
+        let snap = load_robust_checkpoint(&path).unwrap();
+        let mut resumed = RobustDriver::resume(&cap, &cfg, snap).unwrap();
+        while resumed.step().unwrap() {}
+        let resumed_report = resumed.into_report();
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert_reports_identical(&full_report, &resumed_report);
+    }
+
+    #[test]
+    fn streaming_run_under_poisson_churn_applies_events() {
+        use blu_sim::churn::{generate_churn, ChurnConfig};
+        let cap_cfg = CaptureConfig {
+            duration: Micros::from_secs(90),
+            q_range: (0.25, 0.55),
+            ..CaptureConfig::testbed_default()
+        };
+        let churn = ChurnConfig::with_total_rate(cap_cfg.n_ues, 60_000, 0.2);
+        let events = generate_churn(&churn, cap_cfg.n_hts, 0xC0FF).unwrap();
+        assert!(!events.is_empty(), "expected churn events at this rate");
+        let script = compile_churn_script(&events, 20_000).unwrap();
+        let cap = capture_with_faults(&cap_cfg, &script, 12).unwrap();
+
+        let mut cfg = quick_config();
+        cfg.streaming = Some(StreamingConfig::new(1_000));
+        let report = run_blu_robust(&cap, &cfg).unwrap();
+        assert!(
+            report.stream_churn_events > 0,
+            "segments crossed no churn events"
+        );
+        assert!(report.stream_refines > 0);
+        assert!(report.stream_window_occupancy > 0);
+        assert!(report.metrics.bits_delivered > 0.0);
+    }
+
+    #[test]
+    fn streaming_fleet_cache_is_transparent_under_churn() {
+        use blu_sim::churn::{generate_churn, ChurnConfig};
+        let cap_cfg = CaptureConfig {
+            duration: Micros::from_secs(90),
+            q_range: (0.25, 0.55),
+            ..CaptureConfig::testbed_default()
+        };
+        let churn = ChurnConfig::with_total_rate(cap_cfg.n_ues, 60_000, 0.2);
+        let events = generate_churn(&churn, cap_cfg.n_hts, 0xC0FF).unwrap();
+        let script = compile_churn_script(&events, 20_000).unwrap();
+        let cap = capture_with_faults(&cap_cfg, &script, 12).unwrap();
+
+        let mut plain = quick_config();
+        plain.streaming = Some(StreamingConfig::new(1_000));
+        let mut cached = plain.clone();
+        cached.fleet_cache = Some(std::sync::Arc::new(
+            crate::blueprint::FleetBlueprintCache::new(
+                crate::blueprint::DEFAULT_FLEET_CACHE_CAPACITY,
+            ),
+        ));
+        let a = run_blu_robust(&cap, &plain).unwrap();
+        let b = run_blu_robust(&cap, &cached).unwrap();
+        assert_reports_identical(&a, &b);
+    }
+
+    /// Satellite regression: the cache signature is recomputed from
+    /// the books actually being solved, so a lookup after churn has
+    /// mutated the statistics can never hit the pre-churn entry.
+    #[test]
+    fn post_churn_cache_lookup_cannot_return_pre_churn_blueprint() {
+        use crate::blueprint::{
+            ConstraintSystem, FleetBlueprintCache, InferenceConfig, TopologySignature,
+        };
+        use blu_traces::stats::EmpiricalAccess;
+
+        let n = 4;
+        let mut stats = EmpiricalAccess::new(n);
+        let all = ClientSet::all(n);
+        for _ in 0..200 {
+            stats.record(all, ClientSet::from_iter([0, 1, 2]));
+            stats.record(all, all);
+        }
+        let pre = ConstraintSystem::from_measurements(&stats);
+
+        // Churn: a terminal appears and client 3 starts losing access.
+        for _ in 0..200 {
+            stats.record(all, ClientSet::from_iter([0, 1]));
+        }
+        let post = ConstraintSystem::from_measurements(&stats);
+
+        let icfg = InferenceConfig::default();
+        let backend = InferenceBackend::Gradient;
+        let sig_pre = TopologySignature::new(&pre, &icfg, &backend);
+        let sig_post = TopologySignature::new(&post, &icfg, &backend);
+        assert_ne!(
+            sig_pre.key(),
+            sig_post.key(),
+            "churn-mutated books must re-sign"
+        );
+
+        let cache = FleetBlueprintCache::new(8);
+        let (_, _) = cache.get_or_solve_infallible(&sig_pre, || backend.infer(&pre, &icfg));
+        let (_, _) = cache.get_or_solve_infallible(&sig_post, || backend.infer(&post, &icfg));
+        let stats = cache.stats();
+        assert_eq!(
+            stats.hits, 0,
+            "post-churn lookup must miss the pre-churn entry"
+        );
+        assert_eq!(stats.misses, 2);
+    }
+
+    // ------------------------------------------------------------------
+    // Checked churn-offset compilation (relative → absolute time).
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn churn_offsets_compile_with_checked_arithmetic() {
+        use blu_sim::churn::TopologyEvent;
+        let ev = |offset| TopologyEvent {
+            offset_subframes: offset,
+            kind: FaultKind::QDrift { ht: 0, q: 0.5 },
+        };
+
+        // u32::MAX-adjacent boundaries stay exact in u64 space.
+        let start = u64::from(u32::MAX);
+        let script = compile_churn_script(&[ev(u64::from(u32::MAX))], start).unwrap();
+        assert_eq!(script.events[0].at_subframe, 2 * start);
+        let script = compile_churn_script(&[ev(0)], start + 1).unwrap();
+        assert_eq!(script.events[0].at_subframe, start + 1);
+
+        // The exact u64 ceiling is representable...
+        let script = compile_churn_script(&[ev(u64::MAX - 5)], 5).unwrap();
+        assert_eq!(script.events[0].at_subframe, u64::MAX);
+        // ...and one past it is a typed overflow, not a wrap.
+        match compile_churn_script(&[ev(u64::MAX - 5)], 6) {
+            Err(BluError::Overflow { what }) => assert!(what.contains("churn")),
+            other => panic!("expected Overflow, got {other:?}"),
         }
     }
 

@@ -65,6 +65,7 @@ use blu_sim::rng::DetRng;
 use blu_sim::time::Micros;
 use blu_traces::capture::CaptureConfig;
 use blu_traces::faults::{capture_with_faults, FaultyCapture};
+use rand::RngCore;
 use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io::Write as _;
@@ -187,25 +188,43 @@ impl ServiceConfig {
 /// spec is a complete resume record.
 pub fn capture_for_spec(spec: &CellSpec) -> Result<FaultyCapture, BluError> {
     spec.validate()?;
-    let script = match spec.stall_at {
-        Some(at) => FaultScript::new(vec![FaultEvent {
+    let cfg = CaptureConfig {
+        duration: Micros::from_secs(spec.seconds),
+        q_range: (0.25, 0.55),
+        ..CaptureConfig::testbed_default()
+    };
+    let mut events = Vec::new();
+    if let Some(at) = spec.stall_at {
+        events.push(FaultEvent {
             at_subframe: at,
             kind: FaultKind::InferenceStall {
                 factor: spec.stall_factor,
             },
-        }]),
-        None => FaultScript::none(),
-    };
-    capture_with_faults(
-        &CaptureConfig {
-            duration: Micros::from_secs(spec.seconds),
-            q_range: (0.25, 0.55),
-            ..CaptureConfig::testbed_default()
-        },
-        &script,
-        spec.seed,
-    )
-    .map_err(BluError::from)
+        });
+    }
+    if spec.churn_millihz > 0 {
+        // The churn window opens after the first third of the trace —
+        // past the initial measurement phase — and runs to the end.
+        // Everything derives from the spec, so a persisted spec still
+        // regenerates the identical churned capture on resume.
+        let total = spec.seconds.checked_mul(1_000).ok_or(BluError::Overflow {
+            what: "serve churn window",
+        })?;
+        let start = total / 3;
+        let duration = total - start;
+        if duration > 0 {
+            let churn_cfg = blu_sim::churn::ChurnConfig::with_total_rate(
+                cfg.n_ues,
+                duration,
+                spec.churn_rate_hz(),
+            );
+            let mut rng = DetRng::seed_from_u64(spec.seed).derive("serve-churn");
+            let churn = blu_sim::churn::generate_churn(&churn_cfg, cfg.n_hts, rng.next_u64())
+                .map_err(BluError::from)?;
+            events.extend(crate::robust::compile_churn_script(&churn, start)?.events);
+        }
+    }
+    capture_with_faults(&cfg, &FaultScript::new(events), spec.seed).map_err(BluError::from)
 }
 
 /// FNV-1a-64 digest (hex) of a cell snapshot with wall-clock timing
@@ -264,6 +283,10 @@ enum StepOutcome {
 struct ServeCell {
     id: u64,
     spec: CellSpec,
+    /// Effective robust config for this cell: the daemon-wide config
+    /// with the spec's streaming window layered on, so phased and
+    /// streaming cells coexist in one fleet.
+    robust: RobustConfig,
     capture: FaultyCapture,
     geom: CellGeometry,
     snap: RobustSnapshot,
@@ -298,6 +321,12 @@ impl ServeCell {
     /// Admit a fresh cell.
     fn create(id: u64, spec: CellSpec, config: &ServiceConfig) -> Result<Self, BluError> {
         let capture = capture_for_spec(&spec)?;
+        let mut robust = config.robust.clone();
+        if spec.stream_window > 0 {
+            let streaming = crate::robust::StreamingConfig::new(spec.stream_window as usize);
+            streaming.validate()?;
+            robust.streaming = Some(streaming);
+        }
         let geom = CellGeometry::derive(&capture.trace, &config.robust.blu.emulation);
         let snap = RobustSnapshot::fresh(
             geom.n,
@@ -310,6 +339,7 @@ impl ServeCell {
         Ok(ServeCell {
             id,
             spec,
+            robust,
             capture,
             geom,
             snap,
@@ -474,15 +504,16 @@ impl ServeCell {
 
     /// The parallel half of a round: step (or idle) and stash the
     /// outcome. Every panic is caught inside the fleet closure.
-    fn parallel_step(&mut self, robust: &RobustConfig, stall_factor_limit: u32) {
-        self.outcome = self.compute_step(robust, stall_factor_limit);
+    fn parallel_step(&mut self, stall_factor_limit: u32) {
+        self.outcome = self.compute_step(stall_factor_limit);
     }
 
-    fn compute_step(&mut self, robust: &RobustConfig, stall_factor_limit: u32) -> StepOutcome {
+    fn compute_step(&mut self, stall_factor_limit: u32) -> StepOutcome {
         if self.finished || self.backoff_rounds_left > 0 {
             return StepOutcome::Idle;
         }
         if self.sup.health() == CellHealth::Quarantined || self.shed {
+            let robust = &self.robust;
             let capture = &self.capture;
             let snap = &mut self.snap;
             let arena = &mut self.arena;
@@ -508,6 +539,7 @@ impl ServeCell {
         // Pre-step state is the in-memory restore point: a failed
         // attempt must be redone, never resumed past.
         self.last_good = Some(self.snap.clone());
+        let robust = &self.robust;
         let capture = &self.capture;
         let geom = &self.geom;
         let snap = &mut self.snap;
@@ -621,6 +653,16 @@ impl ServeCell {
             shed_rounds: self.shed_rounds,
             priority: self.spec.priority,
             digest: snapshot_digest(&self.snap),
+            window_occupancy: self
+                .snap
+                .stream
+                .as_ref()
+                .map_or(0, |s| s.window.occupancy() as u64),
+            window_capacity: self
+                .snap
+                .stream
+                .as_ref()
+                .map_or(0, |s| s.window.capacity() as u64),
         }
     }
 }
@@ -714,10 +756,9 @@ impl Engine {
                 self.counters.shed_rounds_total += 1;
             }
         }
-        let robust = &self.config.robust;
         let limit = self.config.supervisor.stall_factor_limit;
         let refs: Vec<&mut ServeCell> = self.cells.iter_mut().collect();
-        FleetEngine::run(refs, || (), |_, cell| cell.parallel_step(robust, limit));
+        FleetEngine::run(refs, || (), |_, cell| cell.parallel_step(limit));
         let mut restarts = 0u64;
         for cell in self.cells.iter_mut() {
             restarts += cell.settle(&self.config);
@@ -850,6 +891,27 @@ impl Engine {
             counter("blu_serve_fleet_cache_delayed_hits_total", s.delayed_hits);
             counter("blu_serve_fleet_cache_misses_total", s.misses);
         }
+        let streams = || {
+            self.cells
+                .iter()
+                .filter_map(|cell| cell.snap.stream.as_ref())
+        };
+        counter(
+            "blu_stream_refines_total",
+            streams().map(|s| s.refines).sum(),
+        );
+        counter(
+            "blu_stream_refines_installed_total",
+            streams().map(|s| s.refines_installed).sum(),
+        );
+        counter(
+            "blu_stream_fallback_remeasure_total",
+            streams().map(|s| s.fallback_remeasurements).sum(),
+        );
+        counter(
+            "blu_stream_churn_events_total",
+            streams().map(|s| s.churn_events_applied).sum(),
+        );
         let mut gauge = |name: &str, value: u64| {
             out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
         };
@@ -857,6 +919,15 @@ impl Engine {
         gauge("blu_serve_quarantined_cells", c.quarantined);
         gauge("blu_serve_breaker_open_cells", breaker_open as u64);
         gauge("blu_serve_draining", u64::from(self.draining));
+        gauge("blu_stream_cells", streams().count() as u64);
+        gauge(
+            "blu_stream_window_occupancy",
+            streams().map(|s| s.window.occupancy() as u64).sum(),
+        );
+        gauge(
+            "blu_stream_window_capacity",
+            streams().map(|s| s.window.capacity() as u64).sum(),
+        );
         out
     }
 

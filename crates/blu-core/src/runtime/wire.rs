@@ -56,6 +56,13 @@ pub struct CellSpec {
     /// Stall wall-clock multiplier (1 = healthy; only meaningful with
     /// `stall_at`).
     pub stall_factor: u32,
+    /// Poisson topology-churn rate in **milli-hertz** (events per
+    /// 1000 s), `0` = no churn. Kept integral so `CellSpec` stays
+    /// `Eq`-comparable and byte-stable as a resume record.
+    pub churn_millihz: u64,
+    /// Streaming observation-window capacity in sub-frames; `0` runs
+    /// the cell in the phased (non-streaming) loop.
+    pub stream_window: u64,
 }
 
 impl CellSpec {
@@ -67,7 +74,14 @@ impl CellSpec {
             priority: 0,
             stall_at: None,
             stall_factor: 1,
+            churn_millihz: 0,
+            stream_window: 0,
         }
+    }
+
+    /// The churn rate in hertz (`churn_millihz / 1000`).
+    pub fn churn_rate_hz(&self) -> f64 {
+        self.churn_millihz as f64 / 1_000.0
     }
 
     /// Reject specs the capture generator or the supervisor would
@@ -150,6 +164,11 @@ pub struct CellStatus {
     /// FNV-1a-64 digest (hex) of the cell's timing-normalized
     /// snapshot: two runs are bit-identical iff their digests match.
     pub digest: String,
+    /// Streaming observation-window occupancy, in sub-frame
+    /// observations (`0` for phased cells).
+    pub window_occupancy: u64,
+    /// Streaming observation-window capacity (`0` for phased cells).
+    pub window_capacity: u64,
 }
 
 /// Daemon-side counters, surfaced through `Status` and `Metrics`.
@@ -387,6 +406,13 @@ mod tests {
             },
             Request::AddCell {
                 spec: CellSpec::new(7, 30),
+            },
+            Request::AddCell {
+                spec: CellSpec {
+                    churn_millihz: 200,
+                    stream_window: 2_000,
+                    ..CellSpec::new(11, 45)
+                },
             },
             Request::RemoveCell { cell: 3 },
             Request::Step { rounds: 12 },

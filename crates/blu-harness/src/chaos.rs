@@ -21,10 +21,17 @@
 //!   panics observed on cells that were never scheduled to crash are
 //!   flagged).
 //!
-//! The fault vocabulary is [`blu_sim::faults::FaultKind`]'s runtime
-//! kinds — [`FaultKind::CellCrash`], [`FaultKind::InferenceStall`],
-//! [`FaultKind::StatPoison`] — which never alter the captured trace,
-//! so golden and chaos runs see identical air.
+//! The default fault vocabulary is [`blu_sim::faults::FaultKind`]'s
+//! runtime kinds — [`FaultKind::CellCrash`],
+//! [`FaultKind::InferenceStall`], [`FaultKind::StatPoison`] — which
+//! never alter the captured trace, so golden and chaos runs see
+//! identical air. Setting [`ChaosConfig::churn_rate_hz`] adds
+//! Poisson *topology churn* (capture-time HT arrivals, departures,
+//! duty-cycle drifts and edge flips from [`blu_sim::churn`]) to every
+//! cell's script; churned cells' air genuinely differs from the
+//! goldens, so every cell counts as faulted and the byte-identity
+//! invariant intentionally vacates — the remaining recovery and
+//! cache-transparency invariants still apply.
 
 use blu_core::runtime::supervisor::{
     run_supervised_fleet_with_hook, CellHealth, SupervisedFleetOutcome, SupervisorConfig,
@@ -36,6 +43,7 @@ use blu_sim::rng::DetRng;
 use blu_sim::time::Micros;
 use blu_traces::capture::CaptureConfig;
 use blu_traces::faults::{capture_with_faults, FaultyCapture};
+use rand::RngCore;
 use std::fs;
 use std::path::Path;
 
@@ -74,6 +82,17 @@ pub struct ChaosConfig {
     /// Fraction of *crash-faulted* cells whose checkpoints are torn
     /// on every save.
     pub torn_fraction: f64,
+    /// Total Poisson topology-churn rate per cell, events per second
+    /// (`0.0` disables churn — the default, preserving the runtime-only
+    /// fault vocabulary). Non-zero rates schedule capture-time
+    /// [`FaultKind::HtAppear`]/[`FaultKind::HtDisappear`]/
+    /// [`FaultKind::QDrift`]/[`FaultKind::EdgeChurn`] events on every
+    /// cell, so churned cells' traces legitimately diverge from the
+    /// fault-free goldens and every cell counts as faulted.
+    pub churn_rate_hz: f64,
+    /// Subframe at which the churn window opens (churn events land in
+    /// `[churn_start_subframe, seconds * 1000)`).
+    pub churn_start_subframe: u64,
 }
 
 impl Default for ChaosConfig {
@@ -93,6 +112,8 @@ impl Default for ChaosConfig {
             poison_rate: 0.25,
             poison_at_subframe: 0,
             torn_fraction: 0.5,
+            churn_rate_hz: 0.0,
+            churn_start_subframe: 20_000,
         }
     }
 }
@@ -127,6 +148,12 @@ impl ChaosConfig {
             return Err(BluError::InvalidConfig(
                 "chaos stall_factor must be >= 2 to be a fault".into(),
             ));
+        }
+        if !self.churn_rate_hz.is_finite() || self.churn_rate_hz < 0.0 {
+            return Err(BluError::InvalidConfig(format!(
+                "chaos churn_rate_hz must be finite and >= 0, got {}",
+                self.churn_rate_hz
+            )));
         }
         Ok(())
     }
@@ -189,13 +216,25 @@ impl ChaosPlan {
 
         let mut scripts = vec![FaultScript::none(); n];
         for &cell in &crash_cells {
-            let events = (0..config.crashes_per_cell)
-                .map(|j| FaultEvent {
-                    at_subframe: config.crash_start_subframe
-                        + u64::from(j) * config.crash_spacing_subframes,
+            let mut events = Vec::with_capacity(config.crashes_per_cell as usize);
+            for j in 0..config.crashes_per_cell {
+                let offset = u64::from(j)
+                    .checked_mul(config.crash_spacing_subframes)
+                    .ok_or(BluError::Overflow {
+                        what: "chaos crash spacing",
+                    })?;
+                let at_subframe =
+                    config
+                        .crash_start_subframe
+                        .checked_add(offset)
+                        .ok_or(BluError::Overflow {
+                            what: "chaos crash schedule",
+                        })?;
+                events.push(FaultEvent {
+                    at_subframe,
                     kind: FaultKind::CellCrash,
-                })
-                .collect::<Vec<_>>();
+                });
+            }
             scripts[cell] = merge(&scripts[cell], events);
         }
         for &cell in &stall_cells {
@@ -220,6 +259,33 @@ impl ChaosPlan {
                 }],
             );
         }
+        if config.churn_rate_hz > 0.0 {
+            let cap = CaptureConfig::testbed_default();
+            let total = config
+                .seconds
+                .checked_mul(1_000)
+                .ok_or(BluError::Overflow {
+                    what: "chaos churn window",
+                })?;
+            let duration = total.saturating_sub(config.churn_start_subframe);
+            if duration > 0 {
+                let churn_cfg = blu_sim::churn::ChurnConfig::with_total_rate(
+                    cap.n_ues,
+                    duration,
+                    config.churn_rate_hz,
+                );
+                for (cell, script) in scripts.iter_mut().enumerate() {
+                    let mut cell_rng = rng.derive_indexed("chaos-churn", cell as u64);
+                    let events =
+                        blu_sim::churn::generate_churn(&churn_cfg, cap.n_hts, cell_rng.next_u64())
+                            .map_err(BluError::from)?;
+                    let compiled =
+                        blu_core::compile_churn_script(&events, config.churn_start_subframe)?;
+                    *script = merge(script, compiled.events);
+                }
+            }
+        }
+
         let faulted = scripts.iter().map(|s| !s.events.is_empty()).collect();
         Ok(ChaosPlan {
             config,
@@ -266,7 +332,7 @@ impl ChaosPlan {
 
     /// One-line human summary for logs and the CLI.
     pub fn describe(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} cells x {}s, seed {:#x}: {} crashing ({} torn), {} stalling, {} poisoned",
             self.config.n_cells,
             self.config.seconds,
@@ -275,7 +341,14 @@ impl ChaosPlan {
             self.torn_cells.len(),
             self.stall_cells.len(),
             self.poison_cells.len(),
-        )
+        );
+        if self.config.churn_rate_hz > 0.0 {
+            line.push_str(&format!(
+                ", churn {:.2} Hz from sf {}",
+                self.config.churn_rate_hz, self.config.churn_start_subframe
+            ));
+        }
+        line
     }
 }
 
@@ -571,6 +644,74 @@ mod tests {
         })
         .unwrap();
         assert_ne!(plan_a.crash_cells, different.crash_cells);
+    }
+
+    #[test]
+    fn crash_schedule_overflow_is_a_typed_error_at_u32_max_boundaries() {
+        // u32::MAX-adjacent values that still fit in u64 compile exactly.
+        let edge = ChaosPlan::compile(ChaosConfig {
+            crash_start_subframe: u64::from(u32::MAX),
+            crash_spacing_subframes: u64::from(u32::MAX),
+            crashes_per_cell: 2,
+            ..ChaosConfig::default()
+        })
+        .unwrap();
+        let cell = edge.crash_cells[0];
+        assert_eq!(
+            edge.scripts[cell].crash_subframes(),
+            vec![u64::from(u32::MAX), 2 * u64::from(u32::MAX)]
+        );
+
+        // One step past the u64 ceiling is a typed overflow, not a wrap
+        // that would silently reorder the script.
+        match ChaosPlan::compile(ChaosConfig {
+            crash_start_subframe: u64::MAX,
+            crash_spacing_subframes: 1,
+            crashes_per_cell: 2,
+            ..ChaosConfig::default()
+        }) {
+            Err(BluError::Overflow { what }) => assert!(what.contains("crash")),
+            other => panic!("expected Overflow, got {other:?}"),
+        }
+        match ChaosPlan::compile(ChaosConfig {
+            crash_start_subframe: 0,
+            crash_spacing_subframes: u64::MAX,
+            crashes_per_cell: 3,
+            ..ChaosConfig::default()
+        }) {
+            Err(BluError::Overflow { what }) => assert!(what.contains("crash")),
+            other => panic!("expected Overflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn churn_storms_compile_deterministically_and_mark_every_cell_faulted() {
+        let cfg = ChaosConfig {
+            churn_rate_hz: 0.5,
+            ..ChaosConfig::default()
+        };
+        let plan_a = ChaosPlan::compile(cfg.clone()).unwrap();
+        let plan_b = ChaosPlan::compile(cfg).unwrap();
+        assert_eq!(plan_a.scripts, plan_b.scripts);
+        assert!(
+            plan_a.faulted.iter().all(|f| *f),
+            "churn touches every cell"
+        );
+        // Churn events land inside the window and differ across cells.
+        let topo_a = plan_a.scripts[0].topology_event_subframes();
+        assert!(!topo_a.is_empty());
+        assert!(topo_a.iter().all(|&sf| (20_000..60_000).contains(&sf)));
+        assert_ne!(
+            plan_a.scripts[0].topology_event_subframes(),
+            plan_a.scripts[1].topology_event_subframes(),
+            "per-cell churn streams must be independent"
+        );
+        // Churn rejects non-finite rates like every other knob.
+        assert!(ChaosPlan::compile(ChaosConfig {
+            churn_rate_hz: f64::NAN,
+            ..ChaosConfig::default()
+        })
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,448 @@
+//! Stochastic-geometry topology churn.
+//!
+//! The fault scripts of [`crate::faults`] express *scripted* topology
+//! changes — an experimenter writes each event down. Real unlicensed
+//! deployments are not scripted: WiFi transmitters arrive and leave
+//! as a point process over the floor plan (stochastic-geometry
+//! modeling of coexisting WiFi/LTE topologies, arXiv:1510.01392),
+//! and their hidden-terminal relationships follow from geometry, not
+//! authorship. This module generates that regime deterministically:
+//!
+//! * [`GeometricCell`] — a sampled deployment (eNB at the region
+//!   center, UEs uniform over the region) under a disk sensing
+//!   model: a candidate WiFi transmitter is a *hidden terminal* iff
+//!   the eNB does not sense it while at least one UE does — the same
+//!   predicate as [`crate::topology::extract_ground_truth`], reduced
+//!   to sensing radii so churn generation stays cheap;
+//! * [`ChurnConfig`] — independent Poisson rates (events/second) for
+//!   HT arrival, departure, duty-cycle drift and edge churn;
+//! * [`generate_churn`] — samples the merged point process via
+//!   exponential inter-arrivals and emits a subframe-ordered list of
+//!   typed [`TopologyEvent`]s whose [`FaultKind`]s always reference
+//!   terminals that exist at fire time, so the compiled script
+//!   passes [`FaultScript::validate`](crate::faults::FaultScript::validate).
+//!
+//! Event offsets are *relative* to the start of the churn window.
+//! Conversion to absolute trace subframes is deliberately left to
+//! the consumer (`blu-core` converts with checked arithmetic and a
+//! typed overflow error); this crate only promises offsets bounded
+//! by the configured duration.
+
+use crate::clientset::ClientSet;
+use crate::error::SimError;
+use crate::faults::FaultKind;
+use crate::geometry::{Point, Region};
+use crate::rng::DetRng;
+use serde::{Deserialize, Serialize};
+
+/// Sub-frames per second (1 ms LTE sub-frames).
+const SUBFRAMES_PER_SECOND: f64 = 1_000.0;
+
+/// How many placement attempts an arrival gets to land a *hidden*
+/// transmitter before the event is dropped (a transmitter the eNB
+/// senses is protected by TxOP acquisition and never becomes an HT).
+const ARRIVAL_PLACEMENT_TRIES: usize = 8;
+
+/// One churn-driven topology change, offset-addressed relative to
+/// the start of the churn window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopologyEvent {
+    /// Sub-frames after the churn window opens at which the event
+    /// fires. Always `< ChurnConfig::duration_subframes`.
+    pub offset_subframes: u64,
+    /// The topology mutation (always one of the topological
+    /// [`FaultKind`]s).
+    pub kind: FaultKind,
+}
+
+/// Poisson churn rates and the geometry they act on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnConfig {
+    /// Clients in the cell (UE positions are sampled for them).
+    pub n_clients: usize,
+    /// Length of the churn window, in sub-frames.
+    pub duration_subframes: u64,
+    /// HT arrival rate, events per second.
+    pub arrival_hz: f64,
+    /// HT departure rate, events per second.
+    pub departure_hz: f64,
+    /// Duty-cycle drift rate, events per second.
+    pub q_drift_hz: f64,
+    /// Edge-churn rate, events per second.
+    pub edge_churn_hz: f64,
+    /// Duty-cycle range for arriving and drifting terminals.
+    pub q_range: (f64, f64),
+    /// Side of the square deployment region, meters.
+    pub region_side: f64,
+    /// Disk radius within which a UE senses a WiFi transmitter.
+    pub ue_sense_radius: f64,
+    /// Disk radius within which the eNB senses a WiFi transmitter
+    /// (energy detection is ~10 dB less sensitive than preamble
+    /// detection, so this is the smaller disk).
+    pub enb_sense_radius: f64,
+}
+
+impl ChurnConfig {
+    /// A churn mix totalling `rate_hz` events/second over
+    /// `duration_subframes`, split 30% arrivals, 30% departures, 25%
+    /// duty-cycle drift, 15% edge churn — arrivals and departures
+    /// balance so the expected HT population is stationary.
+    pub fn with_total_rate(n_clients: usize, duration_subframes: u64, rate_hz: f64) -> Self {
+        ChurnConfig {
+            n_clients,
+            duration_subframes,
+            arrival_hz: 0.30 * rate_hz,
+            departure_hz: 0.30 * rate_hz,
+            q_drift_hz: 0.25 * rate_hz,
+            edge_churn_hz: 0.15 * rate_hz,
+            q_range: (0.25, 0.55),
+            region_side: 50.0,
+            ue_sense_radius: 18.0,
+            enb_sense_radius: 10.0,
+        }
+    }
+
+    /// Validate every knob.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.n_clients == 0 || self.n_clients > ClientSet::CAPACITY {
+            return Err(SimError::InvalidConfig(format!(
+                "churn n_clients {} outside 1..={}",
+                self.n_clients,
+                ClientSet::CAPACITY
+            )));
+        }
+        if self.duration_subframes == 0 {
+            return Err(SimError::InvalidConfig(
+                "churn duration must be at least one sub-frame".into(),
+            ));
+        }
+        let rates = [
+            ("arrival", self.arrival_hz),
+            ("departure", self.departure_hz),
+            ("q drift", self.q_drift_hz),
+            ("edge churn", self.edge_churn_hz),
+        ];
+        for (what, rate) in rates {
+            if !rate.is_finite() || rate < 0.0 {
+                return Err(SimError::InvalidConfig(format!(
+                    "churn {what} rate must be finite and >= 0, got {rate}"
+                )));
+            }
+        }
+        let total = self.arrival_hz + self.departure_hz + self.q_drift_hz + self.edge_churn_hz;
+        if total > 1_000.0 {
+            return Err(SimError::InvalidConfig(format!(
+                "total churn rate {total} Hz exceeds one event per sub-frame"
+            )));
+        }
+        let (lo, hi) = self.q_range;
+        if !(0.0..=1.0).contains(&lo) || !(0.0..=1.0).contains(&hi) || lo > hi {
+            return Err(SimError::InvalidConfig(format!(
+                "churn q_range ({lo}, {hi}) must satisfy 0 <= lo <= hi <= 1"
+            )));
+        }
+        if self.region_side <= 0.0 || self.ue_sense_radius <= 0.0 || self.enb_sense_radius <= 0.0 {
+            return Err(SimError::InvalidConfig(
+                "churn geometry (region side, sensing radii) must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A sampled cell deployment under the disk sensing model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeometricCell {
+    /// The deployment region.
+    pub region: Region,
+    /// eNB position (region center).
+    pub enb: Point,
+    /// UE positions, index-aligned with client indices.
+    pub ues: Vec<Point>,
+}
+
+impl GeometricCell {
+    /// Sample a deployment: eNB at the center, `n_clients` UEs
+    /// uniform over a square of the configured side.
+    pub fn sample(config: &ChurnConfig, rng: &mut DetRng) -> Self {
+        let region = Region::square(config.region_side);
+        GeometricCell {
+            region,
+            enb: region.center(),
+            ues: region.sample_uniform_n(config.n_clients, rng),
+        }
+    }
+
+    /// Classify a candidate WiFi transmitter at `pos`: `Some(edges)`
+    /// when it is hidden (eNB outside its sensing disk) and impacts
+    /// at least one UE, `None` otherwise.
+    pub fn hidden_edges(&self, pos: Point, config: &ChurnConfig) -> Option<ClientSet> {
+        if self.enb.distance(&pos) <= config.enb_sense_radius {
+            return None; // the eNB defers to it: not hidden
+        }
+        let edges = ClientSet::from_iter(
+            self.ues
+                .iter()
+                .enumerate()
+                .filter(|(_, ue)| ue.distance(&pos) <= config.ue_sense_radius)
+                .map(|(i, _)| i),
+        );
+        (!edges.is_empty()).then_some(edges)
+    }
+}
+
+/// Which Poisson process an arrival belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Process {
+    Arrival,
+    Departure,
+    QDrift,
+    EdgeChurn,
+}
+
+/// Sample one Poisson process: event offsets (sub-frames) within the
+/// churn window, via exponential inter-arrivals.
+fn poisson_offsets(rate_hz: f64, duration_subframes: u64, rng: &mut DetRng) -> Vec<u64> {
+    let mut offsets = Vec::new();
+    if rate_hz <= 0.0 {
+        return offsets;
+    }
+    let mut t_subframes = 0.0f64;
+    let horizon = duration_subframes as f64;
+    loop {
+        t_subframes += rng.exponential(SUBFRAMES_PER_SECOND / rate_hz);
+        // `>=` plus the NaN check terminates on any non-finite draw.
+        if t_subframes.is_nan() || t_subframes >= horizon {
+            return offsets;
+        }
+        offsets.push(t_subframes as u64);
+    }
+}
+
+/// Generate a churn window: the merged Poisson processes of
+/// [`ChurnConfig`], applied over a freshly sampled [`GeometricCell`],
+/// starting from a topology that already has `n_initial_hts`
+/// terminals (their indices are `0..n_initial_hts` and churn may
+/// retire or mutate them).
+///
+/// The returned events are offset-ordered and reference-valid: every
+/// `HtDisappear`/`QDrift`/`EdgeChurn` names a terminal that exists
+/// and is still on the air when the event fires, and every
+/// `HtAppear` carries a non-empty edge set — exactly the invariants
+/// [`FaultScript::validate`](crate::faults::FaultScript::validate)
+/// checks. Arrivals that fail to place a hidden transmitter (all
+/// placement attempts landed inside the eNB's sensing disk or out of
+/// every UE's reach) and mutations with no live terminal to act on
+/// are dropped, so low-density geometries simply churn less.
+pub fn generate_churn(
+    config: &ChurnConfig,
+    n_initial_hts: usize,
+    seed: u64,
+) -> Result<Vec<TopologyEvent>, SimError> {
+    config.validate()?;
+    let root = DetRng::seed_from_u64(seed);
+    let cell = GeometricCell::sample(config, &mut root.derive("churn-geometry"));
+    let mut merged: Vec<(u64, Process)> = Vec::new();
+    let processes = [
+        (Process::Arrival, config.arrival_hz, "churn-arrivals"),
+        (Process::Departure, config.departure_hz, "churn-departures"),
+        (Process::QDrift, config.q_drift_hz, "churn-q-drift"),
+        (Process::EdgeChurn, config.edge_churn_hz, "churn-edges"),
+    ];
+    for (proc, rate, label) in processes {
+        let mut rng = root.derive(label);
+        for offset in poisson_offsets(rate, config.duration_subframes, &mut rng) {
+            merged.push((offset, proc));
+        }
+    }
+    merged.sort_by_key(|&(offset, _)| offset);
+
+    let mut rng = root.derive("churn-apply");
+    let mut live: Vec<bool> = vec![true; n_initial_hts];
+    let mut events = Vec::with_capacity(merged.len());
+    for (offset, proc) in merged {
+        let kind = match proc {
+            Process::Arrival => {
+                let mut placed = None;
+                for _ in 0..ARRIVAL_PLACEMENT_TRIES {
+                    let pos = cell.region.sample_uniform(&mut rng);
+                    if let Some(edges) = cell.hidden_edges(pos, config) {
+                        placed = Some(edges);
+                        break;
+                    }
+                }
+                let Some(edges) = placed else { continue };
+                live.push(true);
+                FaultKind::HtAppear {
+                    q: rng.range_f64(config.q_range.0, config.q_range.1),
+                    edges,
+                }
+            }
+            Process::Departure => {
+                let Some(ht) = pick_live(&live, &mut rng) else {
+                    continue;
+                };
+                live[ht] = false;
+                FaultKind::HtDisappear { ht }
+            }
+            Process::QDrift => {
+                let Some(ht) = pick_live(&live, &mut rng) else {
+                    continue;
+                };
+                FaultKind::QDrift {
+                    ht,
+                    q: rng.range_f64(config.q_range.0, config.q_range.1),
+                }
+            }
+            Process::EdgeChurn => {
+                let Some(ht) = pick_live(&live, &mut rng) else {
+                    continue;
+                };
+                let mut toggle =
+                    ClientSet::from_iter((0..config.n_clients).filter(|_| rng.chance(0.3)));
+                if toggle.is_empty() {
+                    toggle.insert(rng.below(config.n_clients));
+                }
+                FaultKind::EdgeChurn { ht, toggle }
+            }
+        };
+        events.push(TopologyEvent {
+            offset_subframes: offset,
+            kind,
+        });
+    }
+    Ok(events)
+}
+
+/// Pick a uniformly random live terminal index, if any.
+fn pick_live(live: &[bool], rng: &mut DetRng) -> Option<usize> {
+    let alive: Vec<usize> = live
+        .iter()
+        .enumerate()
+        .filter(|(_, &l)| l)
+        .map(|(i, _)| i)
+        .collect();
+    if alive.is_empty() {
+        None
+    } else {
+        Some(alive[rng.below(alive.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{FaultEvent, FaultScript};
+
+    fn config() -> ChurnConfig {
+        ChurnConfig::with_total_rate(6, 60_000, 0.5)
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate_churn(&config(), 3, 42).unwrap();
+        let b = generate_churn(&config(), 3, 42).unwrap();
+        assert_eq!(a, b);
+        assert!(!a.is_empty(), "0.5 Hz over 60 s should churn");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_churn(&config(), 3, 1).unwrap();
+        let b = generate_churn(&config(), 3, 2).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn events_are_in_window_ordered_and_topological() {
+        let events = generate_churn(&config(), 3, 7).unwrap();
+        for w in events.windows(2) {
+            assert!(w[0].offset_subframes <= w[1].offset_subframes);
+        }
+        for ev in &events {
+            assert!(ev.offset_subframes < 60_000);
+            assert!(ev.kind.is_topological());
+        }
+    }
+
+    #[test]
+    fn generated_script_validates_against_fault_rules() {
+        for seed in 0..16 {
+            let cfg = ChurnConfig::with_total_rate(6, 60_000, 2.0);
+            let events = generate_churn(&cfg, 2, seed).unwrap();
+            let script = FaultScript::new(
+                events
+                    .iter()
+                    .map(|ev| FaultEvent {
+                        at_subframe: ev.offset_subframes,
+                        kind: ev.kind,
+                    })
+                    .collect(),
+            );
+            script
+                .validate(cfg.n_clients, 2)
+                .expect("churn output must satisfy fault-script invariants");
+        }
+    }
+
+    #[test]
+    fn departed_terminals_are_never_referenced_again() {
+        let cfg = ChurnConfig::with_total_rate(8, 120_000, 3.0);
+        let events = generate_churn(&cfg, 4, 99).unwrap();
+        let mut live: Vec<bool> = vec![true; 4];
+        for ev in &events {
+            match ev.kind {
+                FaultKind::HtAppear { .. } => live.push(true),
+                FaultKind::HtDisappear { ht } => {
+                    assert!(live[ht], "departure of a dead terminal");
+                    live[ht] = false;
+                }
+                FaultKind::QDrift { ht, .. } | FaultKind::EdgeChurn { ht, .. } => {
+                    assert!(live[ht], "mutation of a dead terminal");
+                }
+                _ => unreachable!("non-topological churn event"),
+            }
+        }
+    }
+
+    #[test]
+    fn hidden_edges_respects_both_disks() {
+        let cfg = config();
+        let mut rng = DetRng::seed_from_u64(5);
+        let cell = GeometricCell::sample(&cfg, &mut rng);
+        // On top of the eNB: sensed, never hidden.
+        assert_eq!(cell.hidden_edges(cell.enb, &cfg), None);
+        // On top of a UE but far from the eNB: hidden iff out of the
+        // eNB disk, and then that UE must be an edge.
+        for (i, ue) in cell.ues.iter().enumerate() {
+            if cell.enb.distance(ue) > cfg.enb_sense_radius {
+                let edges = cell
+                    .hidden_edges(*ue, &cfg)
+                    .expect("co-located UE senses it");
+                assert!(edges.contains(i));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rates_produce_no_events() {
+        let cfg = ChurnConfig::with_total_rate(6, 60_000, 0.0);
+        assert!(generate_churn(&cfg, 3, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut cfg = config();
+        cfg.q_range = (0.8, 0.2);
+        assert!(cfg.validate().is_err());
+        let mut cfg = config();
+        cfg.arrival_hz = f64::NAN;
+        assert!(cfg.validate().is_err());
+        let mut cfg = config();
+        cfg.duration_subframes = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = config();
+        cfg.n_clients = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

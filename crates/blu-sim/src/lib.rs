@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod cca;
+pub mod churn;
 pub mod clientset;
 pub mod error;
 pub mod events;
@@ -40,6 +41,7 @@ pub mod time;
 pub mod topology;
 
 pub use cca::{SensingMode, SensingThresholds};
+pub use churn::{generate_churn, ChurnConfig, GeometricCell, TopologyEvent};
 pub use clientset::ClientSet;
 pub use error::SimError;
 pub use fading::Complex;

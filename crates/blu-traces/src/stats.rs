@@ -76,6 +76,35 @@ impl EmpiricalAccess {
         }
     }
 
+    /// Remove one previously [`record`](Self::record)ed sub-frame.
+    ///
+    /// Runs the same loops as `record` with the increments inverted,
+    /// so for any multiset of recorded sub-frames the counters after
+    /// `unrecord(o, a)` are *bit-identical* to never having recorded
+    /// `(o, a)` at all — the property the sliding
+    /// `ObservationWindow` in `blu-core` retires on. Saturating
+    /// subtraction guards against un-recording a sub-frame that was
+    /// never recorded (a caller bug must not wrap the books to
+    /// `u64::MAX`).
+    pub fn unrecord(&mut self, observed: ClientSet, accessible: ClientSet) {
+        for i in observed.iter() {
+            self.obs_individual[i] = self.obs_individual[i].saturating_sub(1);
+            if accessible.contains(i) {
+                self.acc_individual[i] = self.acc_individual[i].saturating_sub(1);
+            }
+        }
+        let obs: Vec<usize> = observed.iter().collect();
+        for (a, &i) in obs.iter().enumerate() {
+            for &j in &obs[a + 1..] {
+                let idx = pair_index(self.n, i, j);
+                self.obs_pair[idx] = self.obs_pair[idx].saturating_sub(1);
+                if accessible.contains(i) && accessible.contains(j) {
+                    self.acc_pair[idx] = self.acc_pair[idx].saturating_sub(1);
+                }
+            }
+        }
+    }
+
     /// Ingest a full trace (every client observed every sub-frame).
     pub fn from_trace(trace: &AccessTrace) -> Self {
         let mut e = EmpiricalAccess::new(trace.n_ues);
@@ -199,6 +228,41 @@ mod tests {
         assert_eq!(e.p_pair(0, 1), Some(0.5));
         assert_eq!(e.p_pair(1, 2), Some(1.0));
         assert_eq!(e.p_pair(2, 0), Some(1.0)); // order-insensitive
+    }
+
+    #[test]
+    fn unrecord_inverts_record_bit_exactly() {
+        use blu_sim::rng::DetRng;
+        let mut rng = DetRng::seed_from_u64(0xACCE55);
+        let n = 6;
+        let frames: Vec<(ClientSet, ClientSet)> = (0..64)
+            .map(|_| {
+                let obs = ClientSet::from_iter((0..n).filter(|_| rng.chance(0.7)));
+                let acc = ClientSet::from_iter(obs.iter().filter(|_| rng.chance(0.5)));
+                (obs, acc)
+            })
+            .collect();
+        let mut full = EmpiricalAccess::new(n);
+        for &(o, a) in &frames {
+            full.record(o, a);
+        }
+        // Remove the first half and compare against recording only
+        // the second half from scratch.
+        for &(o, a) in &frames[..32] {
+            full.unrecord(o, a);
+        }
+        let mut tail = EmpiricalAccess::new(n);
+        for &(o, a) in &frames[32..] {
+            tail.record(o, a);
+        }
+        assert_eq!(full, tail);
+    }
+
+    #[test]
+    fn unrecord_saturates_instead_of_wrapping() {
+        let mut e = EmpiricalAccess::new(3);
+        e.unrecord(ClientSet::all(3), ClientSet::all(3));
+        assert_eq!(e, EmpiricalAccess::new(3));
     }
 
     #[test]

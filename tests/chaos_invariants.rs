@@ -140,6 +140,62 @@ fn fleet_cache_is_transparent_under_a_storm() {
     let _ = std::fs::remove_dir_all(&dir_uncached);
 }
 
+/// The acceptance gate for streaming churn: with Poisson topology
+/// churn compiled into every cell's capture *and* streaming inference
+/// enabled, the fleet blueprint cache must stay transparent. Churn
+/// re-signs blueprints on every topology-event boundary, so a stale
+/// pre-churn cache hit would surface here as a report divergence.
+#[test]
+fn fleet_cache_is_transparent_under_churn() {
+    use blu_core::robust::StreamingConfig;
+    let plan = ChaosPlan::compile(ChaosConfig {
+        n_cells: 3,
+        seconds: 60,
+        seed: 0x00C0_FFEE,
+        crash_fraction: 0.0,
+        stall_fraction: 0.0,
+        poison_fraction: 0.0,
+        torn_fraction: 0.0,
+        churn_rate_hz: 0.2,
+        churn_start_subframe: 20_000,
+        ..ChaosConfig::default()
+    })
+    .expect("plan compiles");
+    assert!(
+        plan.faulted.iter().all(|f| *f),
+        "churn must mark every cell faulted"
+    );
+
+    let cache = Arc::new(FleetBlueprintCache::new(64));
+    let mut cached_config = quick_config(None, false);
+    cached_config.streaming = Some(StreamingConfig::new(1_000));
+    let uncached_config = cached_config.clone();
+    cached_config.fleet_cache = Some(Arc::clone(&cache));
+
+    let cached =
+        run_chaos(&plan, &cached_config, &SupervisorConfig::default()).expect("cached churn run");
+    let uncached = run_chaos(&plan, &uncached_config, &SupervisorConfig::default())
+        .expect("uncached churn run");
+
+    let violations = verify_cache_transparency(&cached, &uncached);
+    assert!(
+        violations.is_empty(),
+        "cache transparency violated under churn:\n  {}",
+        violations.join("\n  ")
+    );
+    let recovery = verify_invariants(&plan, &cached);
+    assert!(
+        recovery.is_empty(),
+        "churn run broke the recovery contract:\n  {}",
+        recovery.join("\n  ")
+    );
+    let stats = cache.stats();
+    assert!(
+        stats.lookups() > 0,
+        "churn storm never consulted the cache: {stats:?}"
+    );
+}
+
 /// Killing the whole supervised fleet mid-storm and restarting it
 /// from checkpoints reproduces the uninterrupted run bit for bit.
 #[test]
